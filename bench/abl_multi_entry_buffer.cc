@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation — multi-entry Set-Buffer / Tag-Buffer (the natural
+ * future-work extension of the paper's single-entry design).
+ *
+ * A deeper buffer keeps several write groups open at once, so groups
+ * survive interleaved writes to other sets. This bench sweeps the
+ * entry count for both WG and WG+RB.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace c8t;
+    using core::WriteScheme;
+
+    mem::CacheConfig cache;
+    const core::RunConfig rc = bench::runConfig();
+    const std::uint32_t depths[] = {1, 2, 4, 8};
+
+    stats::Table t("Ablation: access reduction vs Set-Buffer depth "
+                   "(average over 25 benchmarks, %)");
+    t.setHeader({"entries", "WG %", "WG+RB %", "WG grouped writes %",
+                 "WG+RB bypassed reads %"});
+
+    for (const std::uint32_t depth : depths) {
+        double wg_sum = 0, rb_sum = 0, grouped = 0, bypassed = 0;
+        for (const auto &p : trace::specProfiles()) {
+            trace::MarkovStream gen(p);
+            std::vector<core::ControllerConfig> cfgs(3);
+            for (auto &c : cfgs) {
+                c.cache = cache;
+                c.bufferEntries = depth;
+            }
+            cfgs[0].scheme = WriteScheme::Rmw;
+            cfgs[1].scheme = WriteScheme::WriteGrouping;
+            cfgs[2].scheme = WriteScheme::WriteGroupingReadBypass;
+
+            core::MultiSchemeRunner runner(cfgs);
+            const auto res = runner.run(gen, rc);
+            wg_sum += bench::reductionPct(res[0], res[1]);
+            rb_sum += bench::reductionPct(res[0], res[2]);
+            grouped += 100.0 * res[1].groupedWrites /
+                       std::max<std::uint64_t>(res[1].writes, 1);
+            bypassed += 100.0 * res[2].bypassedReads /
+                        std::max<std::uint64_t>(res[2].reads, 1);
+        }
+        const double n = trace::specProfiles().size();
+        t.addRow({static_cast<std::int64_t>(depth), wg_sum / n,
+                  rb_sum / n, grouped / n, bypassed / n});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nReading: the paper's single entry captures most of "
+                 "the benefit; additional entries add diminishing "
+                 "returns because most grouping opportunity is "
+                 "short-range. Hardware cost grows linearly (one row "
+                 "of latches + one tag descriptor per entry).\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation — replacement-policy sensitivity.
+ *
+ * The paper evaluates LRU only. Since the techniques act on the
+ * request stream (set-level locality), the reductions should be nearly
+ * independent of the replacement policy; this bench verifies that.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace c8t;
+    using core::WriteScheme;
+    using mem::ReplKind;
+
+    const core::RunConfig rc = bench::runConfig();
+
+    stats::Table t("Ablation: access reduction vs replacement policy "
+                   "(average over 25 benchmarks, %)");
+    t.setHeader({"policy", "WG %", "WG+RB %", "miss rate %"});
+
+    for (ReplKind kind : {ReplKind::Lru, ReplKind::TreePlru,
+                          ReplKind::Fifo, ReplKind::Random}) {
+        mem::CacheConfig cache;
+        cache.replacement = kind;
+
+        double wg_sum = 0, rb_sum = 0, miss = 0;
+        for (const auto &p : trace::specProfiles()) {
+            trace::MarkovStream gen(p);
+            core::MultiSchemeRunner runner(bench::schemeConfigs(
+                cache, {WriteScheme::Rmw, WriteScheme::WriteGrouping,
+                        WriteScheme::WriteGroupingReadBypass}));
+            const auto res = runner.run(gen, rc);
+            wg_sum += bench::reductionPct(res[0], res[1]);
+            rb_sum += bench::reductionPct(res[0], res[2]);
+            miss += 100.0 * res[0].misses /
+                    std::max<std::uint64_t>(
+                        res[0].hits + res[0].misses, 1);
+        }
+        const double n = trace::specProfiles().size();
+        t.addRow({std::string(toString(kind)), wg_sum / n, rb_sum / n,
+                  miss / n});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nReading: grouping acts on the access stream, not "
+                 "on residency decisions, so the reductions barely "
+                 "move across policies even as the miss rate shifts.\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation — all six write schemes on the recognisable kernel
+ * workloads.
+ *
+ * Shows where each design point lands when the access pattern is a
+ * known program shape instead of a calibrated SPEC stream: streaming
+ * copy (dense WW), stencil (read reuse), pointer chase (no locality),
+ * hash update (RMW-at-program-level with silent stores), and blocked
+ * transpose (mixed strides).
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "bench/common.hh"
+#include "stats/table.hh"
+#include "trace/kernels.hh"
+
+int
+main()
+{
+    using namespace c8t;
+    using core::WriteScheme;
+
+    const std::vector<WriteScheme> schemes = {
+        WriteScheme::SixTDirect,    WriteScheme::Rmw,
+        WriteScheme::LocalRmw,      WriteScheme::WordGranular,
+        WriteScheme::WriteGrouping, WriteScheme::WriteGroupingReadBypass,
+    };
+
+    std::vector<std::unique_ptr<trace::AccessGenerator>> kernels;
+    kernels.push_back(
+        std::make_unique<trace::StreamCopyKernel>(200'000, 2));
+    kernels.push_back(
+        std::make_unique<trace::StencilKernel>(200'000, 2));
+    kernels.push_back(
+        std::make_unique<trace::PointerChaseKernel>(65536, 400'000));
+    kernels.push_back(std::make_unique<trace::HashUpdateKernel>(
+        65536, 200'000, 0.4, 0.8));
+    kernels.push_back(std::make_unique<trace::TransposeKernel>(512, 8));
+    kernels.push_back(std::make_unique<trace::FillKernel>(150'000, 4));
+
+    stats::Table t("Demand array accesses per scheme on kernel "
+                   "workloads (normalised to RMW = 1.000)");
+    t.setHeader({"kernel", "6T", "RMW", "LocalRMW", "WordGranular",
+                 "WG", "WG+RB"});
+    t.setPrecision(3);
+
+    const core::RunConfig rc = bench::runConfig();
+    for (auto &k : kernels) {
+        core::MultiSchemeRunner runner(
+            bench::schemeConfigs({}, schemes));
+        const auto res = runner.run(*k, rc);
+        const double rmw = static_cast<double>(res[1].demandAccesses);
+
+        std::vector<stats::Cell> row{res[0].workload};
+        for (const auto &r : res)
+            row.push_back(static_cast<double>(r.demandAccesses) / rmw);
+        t.addRow(std::move(row));
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nReading: 6T/WordGranular are the no-RMW reference "
+           "points; LocalRMW matches RMW in accesses (it only helps "
+           "timing); WG approaches the reference on store-dense "
+           "kernels and WG+RB also recovers read reuse. Pointer "
+           "chase (read-only, no locality) is the worst case: nothing "
+           "to group, nothing lost.\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation — read blocking under the three write engagement styles
+ * (the §2 related-work comparison with Park et al.).
+ *
+ * Global RMW holds the shared read port for every write; Park's local
+ * RMW confines the write-back to one sub-array so only same-sub-array
+ * reads block; a Set-Buffer write-back (WG/WG+RB) never touches the
+ * read path. This bench replays each benchmark's demand operations
+ * through the sub-array model and reports the fraction of reads that
+ * would have been delayed.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "sram/subarray.hh"
+#include "stats/table.hh"
+#include "trace/markov_stream.hh"
+
+int
+main()
+{
+    using namespace c8t;
+
+    constexpr std::uint32_t rows = 512;
+    constexpr std::uint32_t rowsPerSub = 128;
+    constexpr std::uint32_t writeBusy = 4; // RMW read+write phases
+    const std::uint64_t n = bench::measureAccesses();
+
+    stats::Table t("Reads blocked by in-flight writes (% of reads)");
+    t.setHeader({"benchmark", "global RMW %", "LocalRMW %",
+                 "buffered WB %"});
+
+    for (const auto &p : trace::specProfiles()) {
+        trace::MarkovStream gen(p);
+        sram::SubarrayModel global(rows, rowsPerSub,
+                                   sram::WriteStyle::GlobalRmw);
+        sram::SubarrayModel local(rows, rowsPerSub,
+                                  sram::WriteStyle::LocalRmw);
+        sram::SubarrayModel buffered(
+            rows, rowsPerSub, sram::WriteStyle::BufferedWriteback);
+
+        std::uint64_t cycle = 0;
+        trace::MemAccess a;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            gen.next(a);
+            cycle += a.gap + 1;
+            const auto row =
+                static_cast<std::uint32_t>((a.addr / 32) % rows);
+            if (a.isWrite()) {
+                global.write(row, cycle, writeBusy);
+                local.write(row, cycle, writeBusy);
+                buffered.write(row, cycle, writeBusy);
+            } else {
+                global.read(row, cycle);
+                local.read(row, cycle);
+                buffered.read(row, cycle);
+            }
+        }
+
+        t.addRow({p.name,
+                  100.0 * global.blockedReads() /
+                      std::max<std::uint64_t>(global.reads(), 1),
+                  100.0 * local.blockedReads() /
+                      std::max<std::uint64_t>(local.reads(), 1),
+                  100.0 * buffered.blockedReads() /
+                      std::max<std::uint64_t>(buffered.reads(), 1)});
+    }
+    t.addRow({std::string("average"), stats::columnMean(t, 1),
+              stats::columnMean(t, 2), stats::columnMean(t, 3)});
+    t.print(std::cout);
+
+    std::cout
+        << "\nReading: LocalRMW removes most — but not all — of the "
+           "read blocking RMW causes (same-sub-array reads still "
+           "wait, and the paper notes the busy sub-array serves no "
+           "other access); the Set-Buffer write-back removes it "
+           "entirely, which is the §5.5 read-port-availability "
+           "argument for WG/WG+RB.\n";
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ablation — write-assist (Kim et al.) interaction with grouping.
+ *
+ * The adaptive pulse/voltage scheme attacks *dynamic write failures*;
+ * the paper's techniques attack *write frequency*. They compose: every
+ * row write WG eliminates is also a write-assist invocation the array
+ * never pays. This bench reports the assist-level mix and the combined
+ * write-energy factor for RMW vs WG vs WG+RB.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "sram/write_assist.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace c8t;
+    using core::WriteScheme;
+
+    sram::WriteAssistParams ap;
+    ap.weakRowFraction = 0.05; // a scaled-voltage operating point
+
+    stats::Table t("Write-assist invocations and energy under each "
+                   "scheme (gcc stream; weak rows 5%)");
+    t.setHeader({"scheme", "row writes", "nominal", "wide pulse",
+                 "boosted", "mean energy factor",
+                 "write energy vs RMW"});
+    t.setPrecision(3);
+
+    trace::MarkovStream gen(trace::specProfile("gcc"));
+    core::MultiSchemeRunner runner(bench::schemeConfigs(
+        {}, {WriteScheme::Rmw, WriteScheme::WriteGrouping,
+             WriteScheme::WriteGroupingReadBypass}));
+    const auto res = runner.run(gen, bench::runConfig());
+
+    double rmw_energy = 0.0;
+    for (std::size_t i = 0; i < res.size(); ++i) {
+        // Replay the scheme's row-write count through the assist model
+        // (the row mix follows the stream's set distribution; we
+        // approximate it as uniform over rows, which the weak map is
+        // too).
+        sram::WriteAssist assist(512, ap);
+        const std::uint64_t writes = res[i].demandRowWrites;
+        for (std::uint64_t w = 0; w < writes; ++w)
+            assist.write(static_cast<std::uint32_t>((w * 73) % 512));
+
+        const double energy =
+            static_cast<double>(writes) * assist.meanEnergyFactor();
+        if (i == 0)
+            rmw_energy = energy;
+
+        t.addRow({res[i].scheme, static_cast<std::int64_t>(writes),
+                  static_cast<std::int64_t>(assist.nominalWrites()),
+                  static_cast<std::int64_t>(assist.widePulseWrites()),
+                  static_cast<std::int64_t>(assist.boostedWrites()),
+                  assist.meanEnergyFactor(),
+                  rmw_energy > 0 ? energy / rmw_energy : 1.0});
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nReading: the adaptive assist keeps the per-write energy "
+           "factor near 1 (vs the margined design's "
+        << sram::WriteAssistParams{}.boostEnergyFactor
+        << "x), and grouping multiplies the saving by cutting the "
+           "number of assisted row writes outright — the two "
+           "techniques are complementary, not competing.\n";
+    return 0;
+}

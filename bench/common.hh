@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries.
+ *
+ * Every bench prints the rows/series of one figure or table from the
+ * paper (plus the derived averages the text quotes). Run lengths can be
+ * scaled through the C8T_BENCH_ACCESSES environment variable; the
+ * defaults are large enough for all reported statistics to be stable to
+ * well under one percentage point.
+ */
+
+#ifndef C8T_BENCH_COMMON_HH
+#define C8T_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hh"
+#include "core/write_scheme.hh"
+#include "mem/cache.hh"
+#include "trace/markov_stream.hh"
+#include "trace/spec_profiles.hh"
+
+namespace c8t::bench
+{
+
+/** Measurement window length (overridable via C8T_BENCH_ACCESSES). */
+inline std::uint64_t
+measureAccesses()
+{
+    if (const char *env = std::getenv("C8T_BENCH_ACCESSES")) {
+        const std::uint64_t v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return 300'000;
+}
+
+/** Warm-up window: 10 % of the measurement window. */
+inline core::RunConfig
+runConfig()
+{
+    const std::uint64_t n = measureAccesses();
+    return core::RunConfig{n / 10, n};
+}
+
+/** Build one controller config per scheme over a common cache shape. */
+inline std::vector<core::ControllerConfig>
+schemeConfigs(const mem::CacheConfig &cache,
+              const std::vector<core::WriteScheme> &schemes)
+{
+    std::vector<core::ControllerConfig> cfgs;
+    cfgs.reserve(schemes.size());
+    for (core::WriteScheme s : schemes) {
+        core::ControllerConfig c;
+        c.cache = cache;
+        c.scheme = s;
+        cfgs.push_back(c);
+    }
+    return cfgs;
+}
+
+/** Access reduction of @p r relative to the RMW baseline, in percent. */
+inline double
+reductionPct(const core::SchemeRunResult &rmw,
+             const core::SchemeRunResult &r)
+{
+    if (rmw.demandAccesses == 0)
+        return 0.0;
+    return 100.0 * (1.0 - static_cast<double>(r.demandAccesses) /
+                              static_cast<double>(rmw.demandAccesses));
+}
+
+/**
+ * Run every SPEC profile through the given schemes on @p cache and
+ * return per-benchmark results (outer index: benchmark, inner: scheme).
+ */
+inline std::vector<std::vector<core::SchemeRunResult>>
+sweepSpec(const mem::CacheConfig &cache,
+          const std::vector<core::WriteScheme> &schemes)
+{
+    std::vector<std::vector<core::SchemeRunResult>> all;
+    const core::RunConfig rc = runConfig();
+    for (const auto &p : trace::specProfiles()) {
+        trace::MarkovStream gen(p);
+        core::MultiSchemeRunner runner(schemeConfigs(cache, schemes));
+        all.push_back(runner.run(gen, rc));
+    }
+    return all;
+}
+
+} // namespace c8t::bench
+
+#endif // C8T_BENCH_COMMON_HH

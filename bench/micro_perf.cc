@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator itself: per-access
+ * cost of each write scheme's controller path, the stream generator,
+ * and the SEC-DED codec. These guard the simulation's own performance
+ * (the full figure sweeps run hundreds of millions of accesses).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/controller.hh"
+#include "sram/ecc.hh"
+#include "trace/markov_stream.hh"
+#include "trace/spec_profiles.hh"
+
+namespace
+{
+
+using namespace c8t;
+
+void
+BM_MarkovStreamGeneration(benchmark::State &state)
+{
+    trace::MarkovStream gen(trace::specProfile("gcc"));
+    trace::MemAccess a;
+    for (auto _ : state) {
+        gen.next(a);
+        benchmark::DoNotOptimize(a.addr);
+    }
+}
+BENCHMARK(BM_MarkovStreamGeneration);
+
+void
+BM_ControllerAccess(benchmark::State &state)
+{
+    const auto scheme = static_cast<core::WriteScheme>(state.range(0));
+    trace::MarkovStream gen(trace::specProfile("gcc"));
+    mem::FunctionalMemory memory;
+    core::ControllerConfig cfg;
+    cfg.scheme = scheme;
+    core::CacheController ctrl(cfg, memory);
+
+    trace::MemAccess a;
+    for (auto _ : state) {
+        gen.next(a);
+        benchmark::DoNotOptimize(ctrl.access(a).data);
+    }
+    state.SetLabel(toString(scheme));
+}
+BENCHMARK(BM_ControllerAccess)
+    ->Arg(static_cast<int>(core::WriteScheme::SixTDirect))
+    ->Arg(static_cast<int>(core::WriteScheme::Rmw))
+    ->Arg(static_cast<int>(core::WriteScheme::WriteGrouping))
+    ->Arg(static_cast<int>(core::WriteScheme::WriteGroupingReadBypass));
+
+void
+BM_SecDedEncode(benchmark::State &state)
+{
+    std::uint64_t v = 0x123456789abcdef0ull;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sram::SecDed72::encode(v));
+        ++v;
+    }
+}
+BENCHMARK(BM_SecDedEncode);
+
+void
+BM_SecDedDecodeCorrected(benchmark::State &state)
+{
+    sram::Codeword72 cw = sram::SecDed72::encode(0xdeadbeefcafef00dull);
+    cw.flip(17);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sram::SecDed72::decode(cw).data);
+}
+BENCHMARK(BM_SecDedDecodeCorrected);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

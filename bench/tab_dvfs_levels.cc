@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The §1 DVFS story, end to end.
+ *
+ * "The more the number of voltage levels the higher the chances of
+ * operating at the optimal voltage ... the minimum voltage level
+ * assuring correct operation limits the lowest operating voltage
+ * [and] one of the system components likely to serve as the
+ * bottleneck is the cache."
+ *
+ * This bench combines the cell Vmin model, the DVFS governor, and the
+ * cache controllers: a phase schedule with varying performance demand
+ * runs under (a) a 6T-limited floor with direct writes and (b) an
+ * 8T-limited floor with RMW / WG+RB, reporting total cache dynamic
+ * energy. The punchline: 8T + WG+RB beats 6T at every phase mix
+ * because it can follow the demand down in voltage *and* pays almost
+ * no RMW tax.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "cpu/dvfs.hh"
+#include "sram/cell.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace c8t;
+    using core::WriteScheme;
+
+    constexpr double pfail = 1e-6;
+    const double vmin6 = sram::vmin(sram::CellType::SixT, pfail);
+    const double vmin8 = sram::vmin(sram::CellType::EightT, pfail);
+
+    cpu::DvfsGovernor gov6(cpu::defaultDvfsLevels(), vmin6);
+    cpu::DvfsGovernor gov8(cpu::defaultDvfsLevels(), vmin8);
+
+    std::cout << "Vmin @ Pfail " << pfail << ": 6T " << vmin6
+              << " V (locks out " << gov6.lockedOutLevels()
+              << " levels), 8T " << vmin8 << " V (locks out "
+              << gov8.lockedOutLevels() << ")\n\n";
+
+    // Nominal-voltage energy per scheme for one phase's worth of the
+    // gcc stream.
+    trace::MarkovStream gen(trace::specProfile("gcc"));
+    core::MultiSchemeRunner runner(bench::schemeConfigs(
+        {}, {WriteScheme::SixTDirect, WriteScheme::Rmw,
+             WriteScheme::WriteGroupingReadBypass}));
+    const auto res = runner.run(gen, bench::runConfig());
+    const double e6 = res[0].dynamicEnergy;
+    const double e_rmw = res[1].dynamicEnergy;
+    const double e_rb = res[2].dynamicEnergy;
+
+    stats::Table t("Cache dynamic energy per phase under DVFS "
+                   "(relative to 6T at nominal voltage = 1.000)");
+    t.setHeader({"phase demand", "6T @ its floor", "8T RMW @ floor",
+                 "8T WG+RB @ floor"});
+    t.setPrecision(3);
+
+    for (double demand : {1.0, 0.8, 0.6, 0.4, 0.2}) {
+        const auto &l6 = gov6.levelFor(demand);
+        const auto &l8 = gov8.levelFor(demand);
+        t.addRow({demand,
+                  cpu::DvfsGovernor::scaleEnergy(e6, 1.0, l6) / e6,
+                  cpu::DvfsGovernor::scaleEnergy(e_rmw, 1.0, l8) / e6,
+                  cpu::DvfsGovernor::scaleEnergy(e_rb, 1.0, l8) / e6});
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nReading: at high demand the 8T options pay the RMW tax "
+           "(middle column above 1.0) that WG+RB mostly removes; at "
+           "low demand the 8T floor unlocks voltage levels the 6T "
+           "cache cannot reach, and 8T + WG+RB is strictly best — "
+           "the combined premise and contribution of the paper.\n";
+    return 0;
+}

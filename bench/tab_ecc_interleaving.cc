@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Motivation (§2) — why bit interleaving (and hence RMW) exists.
+ *
+ * "Bit interleaving is commonly used to spread out bits belonging to
+ * one word across one SRAM array row and prevent multi-bit upsets in
+ * one word" so that per-word SEC-DED suffices. This bench injects
+ * multi-bit bursts into ECC-protected rows with and without
+ * interleaving and reports the outcome distribution.
+ */
+
+#include <iostream>
+
+#include "sram/fault_injection.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace c8t::sram;
+
+    c8t::stats::Table t("Multi-bit upset outcomes: 10k burst strikes on a "
+                   "16-word ECC-protected row");
+    t.setHeader({"interleave", "burst", "multi-bit words",
+                 "corrected", "uncorrectable", "silent corruption",
+                 "fully recovered %"});
+
+    for (std::uint32_t degree : {1u, 2u, 4u, 8u}) {
+        for (std::uint32_t burst : {1u, 2u, 3u, 4u}) {
+            UpsetCampaign cfg;
+            cfg.words = 16;
+            cfg.degree = degree;
+            cfg.burstLength = burst;
+            cfg.trials = 10'000;
+            cfg.seed = 1000 + degree * 10 + burst;
+            const UpsetStats s = runUpsetCampaign(cfg);
+            t.addRow({static_cast<std::int64_t>(degree),
+                      static_cast<std::int64_t>(burst),
+                      static_cast<std::int64_t>(s.multiBitWords),
+                      static_cast<std::int64_t>(s.corrected),
+                      static_cast<std::int64_t>(s.detectedUncorrectable),
+                      static_cast<std::int64_t>(s.silentCorruptions),
+                      100.0 * s.fullyRecoveredTrials / s.trials});
+        }
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nReading: with interleave degree >= burst length every "
+           "strike is fully corrected by per-word SEC-DED; without "
+           "interleaving, 2-bit bursts defeat the code. This is the "
+           "design constraint that forces shared write word lines and "
+           "therefore RMW — the problem WG/WG+RB attack.\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Energy/voltage exploration: the DVFS story that motivates the paper.
+ *
+ * Walks supply voltage down from nominal, showing (a) where 6T and 8T
+ * cells stop working (Vmin), and (b) what the cache's dynamic energy
+ * per 1M-access workload looks like under RMW vs WG+RB at each
+ * operating point. The punchline is the paper's: 8T lets you scale
+ * voltage, RMW taxes every write for it, and WG+RB removes most of
+ * that tax.
+ *
+ *   ./build/examples/energy_explorer
+ */
+
+#include <iostream>
+
+#include "core/simulator.hh"
+#include "sram/cell.hh"
+#include "stats/table.hh"
+#include "trace/markov_stream.hh"
+#include "trace/spec_profiles.hh"
+
+int
+main()
+{
+    using namespace c8t;
+    using core::WriteScheme;
+
+    constexpr double pfail_target = 1e-6;
+    const double vmin6 = sram::vmin(sram::CellType::SixT, pfail_target);
+    const double vmin8 =
+        sram::vmin(sram::CellType::EightT, pfail_target);
+
+    std::cout << "Vmin @ per-cell Pfail " << pfail_target
+              << ":  6T = " << vmin6 << " V,  8T = " << vmin8
+              << " V  (8T headroom " << 1000.0 * (vmin6 - vmin8)
+              << " mV)\n\n";
+
+    stats::Table t("Dynamic energy of 1M gcc-like accesses vs supply "
+                   "voltage (64KB/4w/32B)");
+    t.setHeader({"Vdd (V)", "6T ok?", "8T ok?", "RMW (uJ)",
+                 "WG+RB (uJ)", "WG+RB saving %"});
+    t.setPrecision(3);
+
+    constexpr std::uint64_t accesses = 200'000;
+
+    for (double v = 1.0; v >= 0.55; v -= 0.05) {
+        trace::MarkovStream gen(trace::specProfile("gcc"));
+
+        std::vector<core::ControllerConfig> cfgs(2);
+        for (auto &c : cfgs)
+            c.tech.vdd = v;
+        cfgs[0].scheme = WriteScheme::Rmw;
+        cfgs[1].scheme = WriteScheme::WriteGroupingReadBypass;
+
+        core::MultiSchemeRunner runner(cfgs);
+        const auto res = runner.run(gen, {accesses / 10, accesses});
+
+        const double scale = 1'000'000.0 / accesses; // per 1M accesses
+        const double e_rmw = res[0].dynamicEnergy * 1e6 * scale;
+        const double e_rb = res[1].dynamicEnergy * 1e6 * scale;
+
+        t.addRow({v, std::string(v >= vmin6 ? "yes" : "NO"),
+                  std::string(v >= vmin8 ? "yes" : "NO"), e_rmw, e_rb,
+                  100.0 * (1.0 - e_rb / e_rmw)});
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nReading: below the 6T Vmin only the 8T array keeps "
+           "working — that is why the column-selection problem must "
+           "be solved rather than avoided by staying with 6T. Energy "
+           "scales with Vdd^2; WG+RB's relative saving holds at every "
+           "operating point because it removes array accesses, not "
+           "volts.\n";
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Trace workflow: record a workload to a trace file once, then replay
+ * it through different cache configurations — the decoupled
+ * methodology a performance team would actually use (generate traces
+ * on one machine, sweep configurations on another).
+ *
+ *   ./build/examples/trace_replay [trace_path]
+ */
+
+#include <filesystem>
+#include <iostream>
+
+#include "core/simulator.hh"
+#include "stats/table.hh"
+#include "trace/markov_stream.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/trace_io.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace c8t;
+    using core::WriteScheme;
+
+    const std::string path =
+        argc > 1 ? argv[1]
+                 : (std::filesystem::temp_directory_path() /
+                    "c8t_example.trc")
+                       .string();
+    constexpr std::uint64_t accesses = 400'000;
+
+    // --- Step 1: record -------------------------------------------------
+    {
+        trace::MarkovStream gen(trace::specProfile("lbm"));
+        trace::TraceWriter writer(path);
+        trace::MemAccess a;
+        for (std::uint64_t i = 0; i < accesses; ++i) {
+            gen.next(a);
+            writer.write(a);
+        }
+        writer.finish();
+        std::cout << "recorded " << writer.count() << " accesses of '"
+                  << gen.name() << "' to " << path << "\n\n";
+    }
+
+    // --- Step 2: replay through a configuration sweep --------------------
+    stats::Table t("Replaying one trace across cache shapes "
+                   "(WG+RB reduction vs RMW, %)");
+    t.setHeader({"cache", "RMW accesses", "WG+RB accesses",
+                 "reduction %"});
+
+    const mem::CacheConfig shapes[] = {
+        {32 * 1024, 4, 32},
+        {64 * 1024, 4, 32},
+        {64 * 1024, 4, 64},
+        {128 * 1024, 8, 32},
+    };
+
+    for (const auto &cache : shapes) {
+        trace::TraceReader reader(path);
+        std::vector<core::ControllerConfig> cfgs(2);
+        cfgs[0].cache = cache;
+        cfgs[0].scheme = WriteScheme::Rmw;
+        cfgs[1].cache = cache;
+        cfgs[1].scheme = WriteScheme::WriteGroupingReadBypass;
+
+        core::MultiSchemeRunner runner(cfgs);
+        const auto res = runner.run(reader, {accesses / 10, accesses});
+
+        t.addRow({cache.toString(),
+                  static_cast<std::int64_t>(res[0].demandAccesses),
+                  static_cast<std::int64_t>(res[1].demandAccesses),
+                  100.0 * (1.0 - static_cast<double>(
+                                     res[1].demandAccesses) /
+                                     res[0].demandAccesses)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nThe trace file makes every row byte-identical in "
+                 "its input: differences are purely the cache shape.\n";
+
+    std::error_code ec;
+    if (argc <= 1)
+        std::filesystem::remove(path, ec);
+    return 0;
+}

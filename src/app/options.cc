@@ -1,0 +1,213 @@
+/**
+ * @file
+ * c8tsim option parsing implementation.
+ */
+
+#include "app/options.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/kernels.hh"
+#include "trace/markov_stream.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/trace_io.hh"
+
+namespace c8t::app
+{
+
+namespace
+{
+
+std::uint64_t
+parseU64(const std::string &flag, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        const std::uint64_t v = std::stoull(value, &pos, 10);
+        if (pos != value.size())
+            throw std::invalid_argument("trailing characters");
+        return v;
+    } catch (const std::exception &) {
+        throw std::invalid_argument(flag + ": expected an integer, got '" +
+                                    value + "'");
+    }
+}
+
+} // anonymous namespace
+
+std::string
+usageText()
+{
+    std::ostringstream os;
+    os << "c8tsim — L1 data cache simulator for 8T-SRAM write schemes\n"
+          "\n"
+          "usage: c8tsim [options]\n"
+          "\n"
+          "workload\n"
+          "  --workload SPEC     spec:<bench> | kernel:<name> | "
+          "trace:<path>   (default spec:gcc)\n"
+          "  --accesses N        measured accesses (default 1000000)\n"
+          "  --warmup N          warm-up accesses (default accesses/10)\n"
+          "  --record PATH       also write the stream to a trace file\n"
+          "\n"
+          "cache\n"
+          "  --size KB           capacity in KiB (default 64)\n"
+          "  --ways N            associativity (default 4)\n"
+          "  --block B           block size in bytes (default 32)\n"
+          "  --repl P            lru | plru | fifo | random (default lru)\n"
+          "\n"
+          "scheme\n"
+          "  --scheme S          6T | RMW | LocalRMW | WordGranular | WG "
+          "| WG+RB (repeatable; default RMW and WG+RB)\n"
+          "  --all               run every scheme\n"
+          "  --buffer-entries N  Set-Buffer entries (default 1)\n"
+          "  --no-silent-detection\n"
+          "  --l2 KB             enable a tags-only L2 of KB KiB\n"
+          "\n"
+          "output\n"
+          "  --stats             dump the full statistics registry\n"
+          "  --csv               print the result table as CSV\n"
+          "  --help\n"
+          "\n"
+          "kernels: ";
+    bool first = true;
+    for (const auto &k : kernelNames()) {
+        if (!first)
+            os << ", ";
+        os << k;
+        first = false;
+    }
+    os << "\nbenchmarks: the 25 calibrated SPEC CPU2006 profiles "
+          "(see spec_profiles.cc)\n";
+    return os.str();
+}
+
+SimOptions
+parseOptions(const std::vector<std::string> &args)
+{
+    SimOptions opt;
+    bool schemes_given = false;
+
+    auto need_value = [&](std::size_t i, const std::string &flag) {
+        if (i + 1 >= args.size())
+            throw std::invalid_argument(flag + ": missing value");
+        return args[i + 1];
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if (a == "--help" || a == "-h") {
+            opt.help = true;
+        } else if (a == "--workload") {
+            opt.workload = need_value(i++, a);
+        } else if (a == "--accesses") {
+            opt.accesses = parseU64(a, need_value(i++, a));
+            if (opt.accesses == 0)
+                throw std::invalid_argument("--accesses: must be > 0");
+        } else if (a == "--warmup") {
+            opt.warmup = parseU64(a, need_value(i++, a));
+        } else if (a == "--record") {
+            opt.recordTrace = need_value(i++, a);
+        } else if (a == "--size") {
+            opt.cache.sizeBytes = parseU64(a, need_value(i++, a)) * 1024;
+        } else if (a == "--ways") {
+            opt.cache.ways =
+                static_cast<std::uint32_t>(parseU64(a, need_value(i++, a)));
+        } else if (a == "--block") {
+            opt.cache.blockBytes =
+                static_cast<std::uint32_t>(parseU64(a, need_value(i++, a)));
+        } else if (a == "--repl") {
+            opt.cache.replacement = mem::parseReplKind(need_value(i++, a));
+        } else if (a == "--scheme") {
+            if (!schemes_given)
+                opt.schemes.clear();
+            schemes_given = true;
+            opt.schemes.push_back(
+                core::parseWriteScheme(need_value(i++, a)));
+        } else if (a == "--all") {
+            schemes_given = true;
+            opt.schemes = {core::WriteScheme::SixTDirect,
+                           core::WriteScheme::Rmw,
+                           core::WriteScheme::LocalRmw,
+                           core::WriteScheme::WordGranular,
+                           core::WriteScheme::WriteGrouping,
+                           core::WriteScheme::WriteGroupingReadBypass};
+        } else if (a == "--buffer-entries") {
+            opt.bufferEntries =
+                static_cast<std::uint32_t>(parseU64(a, need_value(i++, a)));
+            if (opt.bufferEntries == 0)
+                throw std::invalid_argument(
+                    "--buffer-entries: must be >= 1");
+        } else if (a == "--l2") {
+            opt.l2SizeKb = parseU64(a, need_value(i++, a));
+        } else if (a == "--no-silent-detection") {
+            opt.silentDetection = false;
+        } else if (a == "--stats") {
+            opt.dumpStats = true;
+        } else if (a == "--csv") {
+            opt.csv = true;
+        } else {
+            throw std::invalid_argument("unknown option: " + a +
+                                        " (try --help)");
+        }
+    }
+
+    if (!opt.help)
+        opt.cache.validate();
+    return opt;
+}
+
+std::vector<std::string>
+kernelNames()
+{
+    return {"stream_copy", "stencil3", "pointer_chase", "hash_update",
+            "transpose", "fill"};
+}
+
+std::unique_ptr<trace::AccessGenerator>
+makeWorkload(const std::string &spec)
+{
+    const auto colon = spec.find(':');
+    if (colon == std::string::npos) {
+        throw std::invalid_argument(
+            "workload must be spec:<bench>, kernel:<name> or "
+            "trace:<path>, got '" + spec + "'");
+    }
+    const std::string kind = spec.substr(0, colon);
+    const std::string name = spec.substr(colon + 1);
+
+    if (kind == "spec") {
+        try {
+            return std::make_unique<trace::MarkovStream>(
+                trace::specProfile(name));
+        } catch (const std::out_of_range &) {
+            throw std::invalid_argument("unknown SPEC benchmark: " + name);
+        }
+    }
+    if (kind == "trace")
+        return std::make_unique<trace::TraceReader>(name);
+    if (kind == "kernel") {
+        // Kernel shapes sized so the default run lengths exercise them
+        // meaningfully; pass a trace file for full control.
+        if (name == "stream_copy")
+            return std::make_unique<trace::StreamCopyKernel>(1'000'000,
+                                                             4);
+        if (name == "stencil3")
+            return std::make_unique<trace::StencilKernel>(1'000'000, 4);
+        if (name == "pointer_chase")
+            return std::make_unique<trace::PointerChaseKernel>(
+                1 << 16, 8'000'000);
+        if (name == "hash_update")
+            return std::make_unique<trace::HashUpdateKernel>(
+                1 << 14, 4'000'000, 0.35, 1.5);
+        if (name == "transpose")
+            return std::make_unique<trace::TransposeKernel>(1024, 8);
+        if (name == "fill")
+            return std::make_unique<trace::FillKernel>(500'000, 8);
+        throw std::invalid_argument("unknown kernel: " + name);
+    }
+    throw std::invalid_argument("unknown workload kind: " + kind);
+}
+
+} // namespace c8t::app

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Command-line option parsing and workload construction for the
+ * c8tsim driver (tools/c8tsim.cc). Lives in the library so it is unit
+ * testable and reusable by other front ends.
+ */
+
+#ifndef C8T_APP_OPTIONS_HH
+#define C8T_APP_OPTIONS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/write_scheme.hh"
+#include "mem/cache.hh"
+#include "trace/access.hh"
+
+namespace c8t::app
+{
+
+/** Parsed c8tsim options. */
+struct SimOptions
+{
+    /**
+     * Workload specifier:
+     *   spec:<benchmark>   one of the 25 calibrated SPEC profiles
+     *   kernel:<name>      stream_copy | stencil3 | pointer_chase |
+     *                      hash_update | transpose
+     *   trace:<path>       a binary trace file
+     */
+    std::string workload = "spec:gcc";
+
+    /** Schemes to run (--scheme, repeatable; --all for every scheme). */
+    std::vector<core::WriteScheme> schemes = {
+        core::WriteScheme::Rmw,
+        core::WriteScheme::WriteGroupingReadBypass};
+
+    /** Measured accesses (--accesses). */
+    std::uint64_t accesses = 1'000'000;
+
+    /** Warm-up accesses (--warmup; default accesses/10). */
+    std::uint64_t warmup = 0;
+
+    /** Cache shape (--size KB, --ways, --block, --repl). */
+    mem::CacheConfig cache;
+
+    /** Set-Buffer entries (--buffer-entries). */
+    std::uint32_t bufferEntries = 1;
+
+    /** Disable silent-store detection (--no-silent-detection). */
+    bool silentDetection = true;
+
+    /** Enable the tags-only L2 of the given KiB capacity (--l2 KB;
+     *  0 = disabled). */
+    std::uint64_t l2SizeKb = 0;
+
+    /** Dump the full statistics registry after the run (--stats). */
+    bool dumpStats = false;
+
+    /** Emit the result table as CSV (--csv). */
+    bool csv = false;
+
+    /** Record the generated stream to this trace file (--record). */
+    std::string recordTrace;
+
+    /** --help was given. */
+    bool help = false;
+
+    /** Effective warm-up length. */
+    std::uint64_t effectiveWarmup() const
+    {
+        return warmup ? warmup : accesses / 10;
+    }
+};
+
+/**
+ * Parse c8tsim arguments (argv[1..]).
+ * @throws std::invalid_argument with a usable message on bad input.
+ */
+SimOptions parseOptions(const std::vector<std::string> &args);
+
+/** The --help text. */
+std::string usageText();
+
+/**
+ * Construct the workload named by @p spec (see SimOptions::workload).
+ * @throws std::invalid_argument on an unknown specifier.
+ * @throws std::runtime_error when a trace file cannot be opened.
+ */
+std::unique_ptr<trace::AccessGenerator>
+makeWorkload(const std::string &spec);
+
+/** All valid kernel names accepted by makeWorkload(). */
+std::vector<std::string> kernelNames();
+
+} // namespace c8t::app
+
+#endif // C8T_APP_OPTIONS_HH

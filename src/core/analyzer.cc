@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Stream analyzer implementation.
+ */
+
+#include "core/analyzer.hh"
+
+#include "stats/counter.hh"
+
+namespace c8t::core
+{
+
+StreamAnalyzer::StreamAnalyzer(const mem::AddrLayout &layout)
+    : _layout(layout)
+{}
+
+void
+StreamAnalyzer::observe(const trace::MemAccess &a)
+{
+    _instructions += a.gap + 1;
+
+    const std::uint32_t set = _layout.setOf(a.addr);
+
+    if (_havePrev) {
+        ++_pairs;
+        if (set == _prevSet) {
+            const bool prev_read = _prevType == trace::AccessType::Read;
+            const bool cur_read = a.isRead();
+            if (prev_read && cur_read)
+                ++_rr;
+            else if (prev_read && !cur_read)
+                ++_rw;
+            else if (!prev_read && !cur_read)
+                ++_ww;
+            else
+                ++_wr;
+        }
+    }
+
+    if (a.isRead()) {
+        ++_reads;
+    } else {
+        ++_writes;
+
+        // Silent-store check against the architectural word value.
+        const std::uint64_t word_addr = a.addr & ~7ull;
+        const std::uint32_t byte_off =
+            static_cast<std::uint32_t>(a.addr & 7ull);
+        auto it = _shadow.find(word_addr);
+        std::uint64_t word = it == _shadow.end() ? 0 : it->second;
+
+        bool silent = true;
+        for (std::uint8_t i = 0; i < a.size; ++i) {
+            const std::uint32_t shift = 8 * (byte_off + i);
+            const auto old_byte =
+                static_cast<std::uint8_t>(word >> shift);
+            const auto new_byte =
+                static_cast<std::uint8_t>(a.data >> (8 * i));
+            if (old_byte != new_byte) {
+                silent = false;
+                word &= ~(0xffull << shift);
+                word |= static_cast<std::uint64_t>(new_byte) << shift;
+            }
+        }
+        if (silent)
+            ++_silentWrites;
+        else
+            _shadow[word_addr] = word;
+    }
+
+    _havePrev = true;
+    _prevType = a.type;
+    _prevSet = set;
+}
+
+double
+StreamAnalyzer::readInstrFraction() const
+{
+    return stats::safeRatio(_reads, _instructions);
+}
+
+double
+StreamAnalyzer::writeInstrFraction() const
+{
+    return stats::safeRatio(_writes, _instructions);
+}
+
+double
+StreamAnalyzer::rrShare() const
+{
+    return stats::safeRatio(_rr, _pairs);
+}
+
+double
+StreamAnalyzer::rwShare() const
+{
+    return stats::safeRatio(_rw, _pairs);
+}
+
+double
+StreamAnalyzer::wwShare() const
+{
+    return stats::safeRatio(_ww, _pairs);
+}
+
+double
+StreamAnalyzer::wrShare() const
+{
+    return stats::safeRatio(_wr, _pairs);
+}
+
+double
+StreamAnalyzer::sameSetShare() const
+{
+    return stats::safeRatio(_rr + _rw + _ww + _wr, _pairs);
+}
+
+double
+StreamAnalyzer::silentWriteFraction() const
+{
+    return stats::safeRatio(_silentWrites, _writes);
+}
+
+void
+StreamAnalyzer::reset()
+{
+    _instructions = 0;
+    _reads = 0;
+    _writes = 0;
+    _pairs = 0;
+    _rr = 0;
+    _rw = 0;
+    _ww = 0;
+    _wr = 0;
+    _silentWrites = 0;
+    _havePrev = false;
+    _shadow.clear();
+}
+
+} // namespace c8t::core

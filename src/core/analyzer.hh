@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Stream analyzer: measures exactly the quantities the paper's
+ * motivation figures report, directly on an access stream (no cache
+ * model involved, matching the paper's methodology).
+ *
+ *  - Figure 3: read/write accesses as a share of executed instructions.
+ *  - Figure 4: consecutive same-set scenario breakdown (RR/RW/WW/WR).
+ *  - Figure 5: silent write frequency.
+ */
+
+#ifndef C8T_CORE_ANALYZER_HH
+#define C8T_CORE_ANALYZER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/addr.hh"
+#include "stats/counter.hh"
+#include "trace/access.hh"
+
+namespace c8t::core
+{
+
+/**
+ * Accumulates stream statistics access by access.
+ */
+class StreamAnalyzer
+{
+  public:
+    /**
+     * @param layout The cache layout defining "same set" (the paper
+     *               uses the baseline 64 KB / 4-way / 32 B shape).
+     */
+    explicit StreamAnalyzer(const mem::AddrLayout &layout);
+
+    /** Feed one access. */
+    void observe(const trace::MemAccess &a);
+
+    // --- Figure 3 ---------------------------------------------------------
+
+    /** Executed instructions (memory accesses + gaps). */
+    std::uint64_t instructions() const { return _instructions; }
+
+    /** Memory accesses observed. */
+    std::uint64_t accesses() const { return _reads + _writes; }
+
+    /** Read accesses observed. */
+    std::uint64_t reads() const { return _reads; }
+
+    /** Write accesses observed. */
+    std::uint64_t writes() const { return _writes; }
+
+    /** Reads as a fraction of instructions. */
+    double readInstrFraction() const;
+
+    /** Writes as a fraction of instructions. */
+    double writeInstrFraction() const;
+
+    // --- Figure 4 ---------------------------------------------------------
+
+    /** Consecutive pairs observed (accesses - 1). */
+    std::uint64_t pairs() const { return _pairs; }
+
+    /** Same-set read-then-read pairs. */
+    std::uint64_t rrPairs() const { return _rr; }
+
+    /** Same-set read-then-write pairs. */
+    std::uint64_t rwPairs() const { return _rw; }
+
+    /** Same-set write-then-write pairs. */
+    std::uint64_t wwPairs() const { return _ww; }
+
+    /** Same-set write-then-read pairs. */
+    std::uint64_t wrPairs() const { return _wr; }
+
+    /** RR share of all pairs. */
+    double rrShare() const;
+
+    /** RW share of all pairs. */
+    double rwShare() const;
+
+    /** WW share of all pairs. */
+    double wwShare() const;
+
+    /** WR share of all pairs. */
+    double wrShare() const;
+
+    /** Total same-set share of all pairs. */
+    double sameSetShare() const;
+
+    // --- Figure 5 ---------------------------------------------------------
+
+    /** Writes that stored the value already present. */
+    std::uint64_t silentWrites() const { return _silentWrites; }
+
+    /** Silent writes as a fraction of all writes. */
+    double silentWriteFraction() const;
+
+    /** Reset all statistics and the silent-write shadow state. */
+    void reset();
+
+  private:
+    mem::AddrLayout _layout;
+
+    std::uint64_t _instructions = 0;
+    std::uint64_t _reads = 0;
+    std::uint64_t _writes = 0;
+    std::uint64_t _pairs = 0;
+    std::uint64_t _rr = 0;
+    std::uint64_t _rw = 0;
+    std::uint64_t _ww = 0;
+    std::uint64_t _wr = 0;
+    std::uint64_t _silentWrites = 0;
+
+    bool _havePrev = false;
+    trace::AccessType _prevType = trace::AccessType::Read;
+    std::uint32_t _prevSet = 0;
+
+    /** Architectural word values for silent-store detection. */
+    std::unordered_map<std::uint64_t, std::uint64_t> _shadow;
+};
+
+} // namespace c8t::core
+
+#endif // C8T_CORE_ANALYZER_HH

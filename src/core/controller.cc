@@ -1,0 +1,618 @@
+/**
+ * @file
+ * Cache controller implementation.
+ */
+
+#include "core/controller.hh"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/policies.hh"
+
+namespace c8t::core
+{
+
+namespace
+{
+
+/** Serialise a little-endian value into a byte vector. */
+std::vector<std::uint8_t>
+toBytes(std::uint64_t value, std::uint8_t size)
+{
+    std::vector<std::uint8_t> bytes(size);
+    for (std::uint8_t i = 0; i < size; ++i)
+        bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    return bytes;
+}
+
+} // anonymous namespace
+
+CacheController::CacheController(const ControllerConfig &config,
+                                 mem::FunctionalMemory &memory)
+    : _config(config), _mem(memory), _tags(config.cache),
+      _array(sram::ArrayGeometry{
+          config.cache.numSets(), config.cache.setBytes(),
+          schemeTraits(config.scheme).requiresNonInterleaved
+              ? 1u : config.interleaveDegree,
+          config.scheme == WriteScheme::WordGranular}),
+      _energy(_array.geometry(), config.tech)
+{
+    if (_config.bufferEntries == 0)
+        throw std::invalid_argument(
+            "ControllerConfig: bufferEntries must be >= 1");
+
+    if (_config.l2Enabled) {
+        if (_config.l2.blockBytes != _config.cache.blockBytes)
+            throw std::invalid_argument(
+                "ControllerConfig: L2 block size must match the L1's");
+        _l2 = std::make_unique<mem::TagArray>(_config.l2);
+    }
+
+    if (usesGroupingBuffer(_config.scheme)) {
+        _tagBuffer = std::make_unique<TagBuffer>(_config.bufferEntries,
+                                                 _config.cache.ways);
+        _setBuffer = std::make_unique<SetBuffer>(_config.bufferEntries,
+                                                 _config.cache.setBytes());
+        _entryWritesSinceWb.assign(_config.bufferEntries, 0);
+        _entryGroupSize.assign(_config.bufferEntries, 0);
+    }
+    _scratch.resize(_config.cache.setBytes());
+}
+
+std::uint32_t
+CacheController::rowOffsetOf(mem::Addr addr, std::uint32_t way) const
+{
+    return way * _config.cache.blockBytes +
+           _tags.layout().blockOffset(addr);
+}
+
+std::uint64_t
+CacheController::extractData(const sram::RowData &row,
+                             std::uint32_t offset, std::uint8_t size) const
+{
+    assert(offset + size <= row.size());
+    std::uint64_t v = 0;
+    for (std::uint8_t i = 0; i < size; ++i)
+        v |= static_cast<std::uint64_t>(row[offset + i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+CacheController::scheduleOp(sram::PortUse use, std::uint64_t earliest,
+                            std::uint32_t duration)
+{
+    const std::uint64_t start = _ports.schedule(use, earliest, duration);
+    // Blocking-cache back-pressure: the controller accepts the next
+    // request only after the ports accepted this operation, so queueing
+    // delay is bounded (one outstanding operation) and the latency
+    // statistics stay meaningful under write-port saturation.
+    if (start > _cycle)
+        _cycle = start;
+    return start;
+}
+
+void
+CacheController::demandRead(std::uint32_t row, sram::RowData &out)
+{
+    _array.readRowInto(row, out);
+    ++_demandRowReads;
+    _dynamicEnergy += _energy.rowReadEnergy();
+}
+
+void
+CacheController::demandWrite(std::uint32_t row, const sram::RowData &data,
+                             sram::PortUse use)
+{
+    _array.writeRow(row, data);
+    ++_demandRowWrites;
+    _dynamicEnergy += _energy.rowWriteEnergy();
+    scheduleOp(use, _cycle, _config.latency.rowWriteCycles);
+}
+
+void
+CacheController::demandMerge(std::uint32_t row, std::uint32_t offset,
+                             const std::vector<std::uint8_t> &bytes)
+{
+    _array.mergeBytes(row, offset, bytes);
+    ++_demandRowWrites;
+    _dynamicEnergy += _energy.partialWriteEnergy(
+        static_cast<std::uint32_t>(bytes.size()));
+    scheduleOp(sram::PortUse::WritePort, _cycle,
+               _config.latency.rowWriteCycles);
+}
+
+std::uint32_t
+CacheController::entryOfSet(std::uint32_t set) const
+{
+    if (!_tagBuffer)
+        return 0;
+    for (std::uint32_t e = 0; e < _tagBuffer->entries(); ++e) {
+        if (_tagBuffer->entryValid(e) && _tagBuffer->entrySet(e) == set)
+            return e;
+    }
+    return _tagBuffer->entries();
+}
+
+void
+CacheController::writebackEntry(std::uint32_t e, stats::Counter &cause)
+{
+    assert(_tagBuffer && _tagBuffer->entryValid(e));
+    const std::uint32_t set = _tagBuffer->entrySet(e);
+
+    _array.writeRow(set, _setBuffer->row(e));
+    ++_demandRowWrites;
+    ++cause;
+    _dynamicEnergy += _energy.rowWriteEnergy() +
+                      _energy.setBufferReadEnergy(_setBuffer->rowBytes());
+    // The row image is already latched, so the write-back needs the
+    // write port only (the grouping schemes' port-availability win);
+    // the traits table is the single source of that fact.
+    scheduleOp(schemeTraits(_config.scheme).writebackPortUse, _cycle,
+               _config.latency.rowWriteCycles);
+
+    _tagBuffer->setDirty(e, false);
+    _entryWritesSinceWb[e] = 0;
+}
+
+void
+CacheController::endGroup(std::uint32_t e, stats::Counter &cause)
+{
+    assert(_tagBuffer && _tagBuffer->entryValid(e));
+    if (_entryGroupSize[e] > 0)
+        _groupSizes.sample(static_cast<double>(_entryGroupSize[e]));
+
+    if (_tagBuffer->dirty(e)) {
+        writebackEntry(e, cause);
+    } else if (_entryWritesSinceWb[e] > 0) {
+        // Every write since the last write-back was silent: the
+        // write-back is elided entirely (the Dirty-bit optimisation).
+        ++_silentGroupsElided;
+    }
+    _entryGroupSize[e] = 0;
+    _entryWritesSinceWb[e] = 0;
+}
+
+bool
+CacheController::ensureResident(mem::Addr block_addr)
+{
+    const mem::LookupResult r = _tags.access(block_addr);
+    if (r.hit)
+        return true;
+    handleMiss(block_addr);
+    return false;
+}
+
+void
+CacheController::handleMiss(mem::Addr block_addr)
+{
+    const std::uint32_t set = _tags.layout().setOf(block_addr);
+
+    // The buffered row image and tag list become stale when the set's
+    // contents change, so a miss to the buffered set ends its group.
+    if (_tagBuffer) {
+        const std::uint32_t e = entryOfSet(set);
+        if (e < _tagBuffer->entries()) {
+            endGroup(e, _missFlushWritebacks);
+            _tagBuffer->invalidate(e);
+        }
+    }
+
+    // Consult the L2 (tags-only): an L2 hit shortens the miss
+    // service; an L2 miss allocates there too. L1 victims are
+    // installed into the L2 (write-back allocate), keeping it roughly
+    // inclusive of recently evicted blocks.
+    _lastMissPenalty = _config.latency.missPenaltyCycles;
+    if (_l2) {
+        if (_l2->access(block_addr).hit) {
+            _lastMissPenalty = _config.l2LatencyCycles;
+        } else {
+            _l2->fill(block_addr);
+        }
+    }
+
+    const mem::FillResult fill = _tags.fill(block_addr);
+    const std::uint32_t block_bytes = _config.cache.blockBytes;
+
+    // Victim extraction + fill merge, as row operations (miss-handling
+    // accounting, kept separate from the paper's demand counters).
+    _array.readRowInto(set, _scratch);
+    ++_fillRowReads;
+    _dynamicEnergy += _energy.rowReadEnergy();
+
+    if (fill.evictedValid && fill.evictedDirty) {
+        // Architectural state always lands in the functional memory;
+        // the L2 additionally remembers the victim (timing only).
+        _mem.writeBytes(fill.evictedBlockAddr,
+                        _scratch.data() + fill.way * block_bytes,
+                        block_bytes);
+    }
+    if (_l2 && fill.evictedValid &&
+        !_l2->probe(fill.evictedBlockAddr).hit) {
+        _l2->fill(fill.evictedBlockAddr);
+    }
+
+    const std::vector<std::uint8_t> data =
+        _mem.readBytes(block_addr, block_bytes);
+    std::memcpy(_scratch.data() + fill.way * block_bytes, data.data(),
+                block_bytes);
+
+    _array.writeRow(set, _scratch);
+    ++_fillRowWrites;
+    _dynamicEnergy += _energy.rowWriteEnergy();
+}
+
+AccessOutcome
+CacheController::access(const trace::MemAccess &request)
+{
+    assert(request.size >= 1 && request.size <= 8);
+    assert(_tags.layout().blockOffset(request.addr) + request.size <=
+           _config.cache.blockBytes);
+
+    ++_requests;
+    if (request.isRead())
+        ++_readRequests;
+    else
+        ++_writeRequests;
+
+    _cycle += request.gap + 1;
+    _requestCycle = _cycle;
+
+    switch (_config.scheme) {
+      case WriteScheme::SixTDirect:
+      case WriteScheme::WordGranular:
+        return accessDirect(request);
+      case WriteScheme::Rmw:
+      case WriteScheme::LocalRmw:
+        return accessRmw(request);
+      case WriteScheme::WriteGrouping:
+      case WriteScheme::WriteGroupingReadBypass:
+        return accessGrouped(request);
+    }
+    return {};
+}
+
+AccessOutcome
+CacheController::accessDirect(const trace::MemAccess &a)
+{
+    AccessOutcome out;
+    const mem::Addr block_addr = _tags.layout().blockAlign(a.addr);
+    out.hit = ensureResident(block_addr);
+    const std::uint32_t way = _tags.probe(block_addr).way;
+    const std::uint32_t set = _tags.layout().setOf(a.addr);
+    const std::uint32_t offset = rowOffsetOf(a.addr, way);
+
+    std::uint64_t extra = out.hit ? 0 : _lastMissPenalty;
+
+    if (a.isRead()) {
+        const std::uint64_t start = scheduleOp(
+            sram::PortUse::ReadPort, _cycle + extra,
+            _config.latency.rowReadCycles);
+        demandRead(set, _scratch);
+        out.data = extractData(_scratch, offset, a.size);
+        out.latencyCycles =
+            start + _config.latency.rowReadCycles - _requestCycle;
+        _readLatency.sample(static_cast<double>(out.latencyCycles));
+    } else {
+        demandMerge(set, offset, toBytes(a.data, a.size));
+        _tags.markDirty(block_addr);
+        out.latencyCycles = extra + _config.latency.rowWriteCycles;
+    }
+    return out;
+}
+
+AccessOutcome
+CacheController::accessRmw(const trace::MemAccess &a)
+{
+    AccessOutcome out;
+    const mem::Addr block_addr = _tags.layout().blockAlign(a.addr);
+    out.hit = ensureResident(block_addr);
+    const std::uint32_t way = _tags.probe(block_addr).way;
+    const std::uint32_t set = _tags.layout().setOf(a.addr);
+    const std::uint32_t offset = rowOffsetOf(a.addr, way);
+
+    const std::uint64_t extra = out.hit ? 0 : _lastMissPenalty;
+
+    if (a.isRead()) {
+        const std::uint64_t start = scheduleOp(
+            sram::PortUse::ReadPort, _cycle + extra,
+            _config.latency.rowReadCycles);
+        demandRead(set, _scratch);
+        out.data = extractData(_scratch, offset, a.size);
+        out.latencyCycles =
+            start + _config.latency.rowReadCycles - _requestCycle;
+        _readLatency.sample(static_cast<double>(out.latencyCycles));
+    } else {
+        // Read-modify-write: read the row, merge the store, write the
+        // row back. Under plain RMW both ports are held for the whole
+        // sequence (§2); LocalRMW confines the read phase to the
+        // sub-array and holds only the write port.
+        const SchemeTraits traits = schemeTraits(_config.scheme);
+        const std::uint32_t duration = _config.latency.rowReadCycles +
+                                       _config.latency.rowWriteCycles;
+        scheduleOp(traits.writePortUse, _cycle + extra, duration);
+
+        demandRead(set, _scratch);
+        const std::vector<std::uint8_t> bytes = toBytes(a.data, a.size);
+        std::memcpy(_scratch.data() + offset, bytes.data(), bytes.size());
+        _array.writeRow(set, _scratch);
+        ++_demandRowWrites;
+        _dynamicEnergy += _energy.rowWriteEnergy();
+
+        _tags.markDirty(block_addr);
+        out.latencyCycles = extra + duration;
+    }
+    return out;
+}
+
+AccessOutcome
+CacheController::accessGrouped(const trace::MemAccess &a)
+{
+    AccessOutcome out;
+    const mem::Addr block_addr = _tags.layout().blockAlign(a.addr);
+    const std::uint32_t set = _tags.layout().setOf(a.addr);
+    const mem::Addr tag = _tags.layout().tagOf(a.addr);
+
+    // Algorithm 1 starts with the Tag-Buffer probe.
+    const TagProbe probe = _tagBuffer->probe(set, tag);
+    out.tagBufferHit = probe.tagMatch;
+    _dynamicEnergy += _energy.tagCompareEnergy(
+        _tags.layout().tagBits(), _config.cache.ways);
+
+    out.hit = ensureResident(block_addr);
+    // A Tag-Buffer tag hit implies the block was resident (the buffer
+    // mirrors the set's tag state), so the entry survived ensureResident.
+    assert(!probe.tagMatch || out.hit);
+
+    const std::uint32_t way = _tags.probe(block_addr).way;
+    const std::uint32_t offset = rowOffsetOf(a.addr, way);
+    const std::uint64_t extra = out.hit ? 0 : _lastMissPenalty;
+
+    if (a.isRead()) {
+        if (probe.tagMatch) {
+            const std::uint32_t e = probe.entry;
+            _tagBuffer->touch(e);
+            if (bypassesReads(_config.scheme)) {
+                // WG+RB: serve straight from the Set-Buffer. No array
+                // access, no premature write-back.
+                std::uint8_t buf[8] = {};
+                _setBuffer->readBytes(e, offset, buf, a.size);
+                std::uint64_t v = 0;
+                for (std::uint8_t i = 0; i < a.size; ++i)
+                    v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+                out.data = v;
+                out.bypassed = true;
+                ++_bypassedReads;
+                _dynamicEnergy +=
+                    _energy.setBufferReadEnergy(a.size);
+                out.latencyCycles = _config.latency.setBufferCycles;
+                _readLatency.sample(
+                    static_cast<double>(out.latencyCycles));
+                return out;
+            }
+            // WG: update the cache first if the buffer is newer, then
+            // read from the array as usual.
+            std::uint64_t earliest = _cycle;
+            if (_tagBuffer->dirty(e)) {
+                writebackEntry(e, _prematureWritebacks);
+                earliest += _config.latency.rowWriteCycles;
+            }
+            const std::uint64_t start = scheduleOp(
+                sram::PortUse::ReadPort, earliest,
+                _config.latency.rowReadCycles);
+            demandRead(set, _scratch);
+            out.data = extractData(_scratch, offset, a.size);
+            out.latencyCycles =
+                start + _config.latency.rowReadCycles - _requestCycle;
+            _readLatency.sample(static_cast<double>(out.latencyCycles));
+            return out;
+        }
+
+        // Tag-Buffer miss: the array row is current for this set
+        // (a dirty buffered row for the same set would have produced a
+        // tag match or been flushed by the miss path).
+        const std::uint64_t start = scheduleOp(
+            sram::PortUse::ReadPort, _cycle + extra,
+            _config.latency.rowReadCycles);
+        demandRead(set, _scratch);
+        out.data = extractData(_scratch, offset, a.size);
+        out.latencyCycles =
+            start + _config.latency.rowReadCycles - _requestCycle;
+        _readLatency.sample(static_cast<double>(out.latencyCycles));
+        return out;
+    }
+
+    // Write request.
+    const std::vector<std::uint8_t> bytes = toBytes(a.data, a.size);
+
+    if (probe.tagMatch) {
+        // Grouped: merge into the Set-Buffer, zero array operations.
+        const std::uint32_t e = probe.entry;
+        _tagBuffer->touch(e);
+        const bool changed =
+            _setBuffer->updateBytes(e, offset, bytes.data(), bytes.size());
+        if (changed || !_config.silentDetection)
+            _tagBuffer->setDirty(e, true);
+        if (!changed && _config.silentDetection)
+            ++_silentWritesDetected;
+        ++_groupedWrites;
+        ++_entryGroupSize[e];
+        ++_entryWritesSinceWb[e];
+        _tags.markDirty(block_addr);
+        _dynamicEnergy += _energy.setBufferWriteEnergy(a.size);
+        out.latencyCycles = _config.latency.setBufferCycles;
+        return out;
+    }
+
+    // Tag-Buffer miss: end the victim entry's group and open a new one
+    // for this set (Algorithm 1's write-miss path).
+    assert(entryOfSet(set) == _tagBuffer->entries() &&
+           "a buffered set can only reach here via a flushed miss");
+
+    const std::uint32_t e = _tagBuffer->victim();
+    if (_tagBuffer->entryValid(e))
+        endGroup(e, _groupWritebacks);
+
+    // Fill the Set-Buffer by reading the row.
+    const std::uint64_t start = scheduleOp(
+        sram::PortUse::ReadPort, _cycle + extra,
+        _config.latency.rowReadCycles);
+    demandRead(set, _scratch);
+    _setBuffer->fill(e, _scratch);
+    _dynamicEnergy += _energy.setBufferWriteEnergy(_setBuffer->rowBytes());
+    _tagBuffer->load(e, set, _tags.tagsOfSet(set), _tags.validMask(set));
+    _tagBuffer->touch(e);
+
+    const bool changed =
+        _setBuffer->updateBytes(e, offset, bytes.data(), bytes.size());
+    if (changed || !_config.silentDetection)
+        _tagBuffer->setDirty(e, true);
+    if (!changed && _config.silentDetection)
+        ++_silentWritesDetected;
+    _entryGroupSize[e] = 1;
+    _entryWritesSinceWb[e] = 1;
+    _tags.markDirty(block_addr);
+
+    out.latencyCycles = start + _config.latency.rowReadCycles +
+                        _config.latency.setBufferCycles - _requestCycle;
+    return out;
+}
+
+void
+CacheController::drain()
+{
+    if (!_tagBuffer)
+        return;
+    for (std::uint32_t e = 0; e < _tagBuffer->entries(); ++e) {
+        if (!_tagBuffer->entryValid(e))
+            continue;
+        if (_entryGroupSize[e] > 0)
+            _groupSizes.sample(static_cast<double>(_entryGroupSize[e]));
+        if (_tagBuffer->dirty(e)) {
+            const std::uint32_t set = _tagBuffer->entrySet(e);
+            _array.writeRow(set, _setBuffer->row(e));
+            ++_drainWrites;
+            _tagBuffer->setDirty(e, false);
+        }
+        _entryGroupSize[e] = 0;
+        _entryWritesSinceWb[e] = 0;
+    }
+}
+
+void
+CacheController::flushCacheToMemory()
+{
+    const std::uint32_t sets = _config.cache.numSets();
+    const std::uint32_t ways = _config.cache.ways;
+    const std::uint32_t block_bytes = _config.cache.blockBytes;
+
+    for (std::uint32_t set = 0; set < sets; ++set) {
+        const std::uint32_t e = entryOfSet(set);
+        const bool buffered = _tagBuffer && e < _tagBuffer->entries();
+        const sram::RowData &row =
+            buffered ? _setBuffer->row(e) : _array.peekRow(set);
+
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (!_tags.isValid(set, w) || !_tags.isDirty(set, w))
+                continue;
+            const mem::Addr block_addr = _tags.blockAddrAt(set, w);
+            _mem.writeBytes(block_addr, row.data() + w * block_bytes,
+                            block_bytes);
+            _tags.clearDirty(set, w);
+        }
+    }
+}
+
+std::uint64_t
+CacheController::peekWord(mem::Addr addr) const
+{
+    const mem::Addr word_addr = addr & ~7ull;
+    const mem::LookupResult r = _tags.probe(word_addr);
+    if (!r.hit)
+        return _mem.readWord(word_addr);
+
+    const std::uint32_t set = _tags.layout().setOf(word_addr);
+    const std::uint32_t offset = rowOffsetOf(word_addr, r.way);
+    const std::uint32_t e = entryOfSet(set);
+    const sram::RowData &row =
+        (_tagBuffer && e < _tagBuffer->entries())
+            ? _setBuffer->row(e) : _array.peekRow(set);
+    return extractData(row, offset, 8);
+}
+
+void
+CacheController::registerStats(stats::Registry &reg)
+{
+    reg.add(_requests);
+    reg.add(_readRequests);
+    reg.add(_writeRequests);
+    reg.add(_demandRowReads);
+    reg.add(_demandRowWrites);
+    reg.add(_fillRowReads);
+    reg.add(_fillRowWrites);
+    reg.add(_drainWrites);
+    reg.add(_groupedWrites);
+    reg.add(_prematureWritebacks);
+    reg.add(_groupWritebacks);
+    reg.add(_missFlushWritebacks);
+    reg.add(_silentGroupsElided);
+    reg.add(_bypassedReads);
+    reg.add(_silentWritesDetected);
+    reg.add(_groupSizes);
+    reg.add(_readLatency);
+
+    _tags.registerStats(reg);
+    _array.registerStats(reg);
+    _ports.registerStats(reg);
+    if (_tagBuffer)
+        _tagBuffer->registerStats(reg);
+    if (_setBuffer)
+        _setBuffer->registerStats(reg);
+}
+
+void
+CacheController::dumpStats(std::ostream &os)
+{
+    stats::Registry reg;
+    registerStats(reg);
+    reg.dump(os);
+}
+
+void
+CacheController::resetStats()
+{
+    _cycle = 0;
+    _requestCycle = 0;
+    _dynamicEnergy = 0.0;
+
+    _requests.reset();
+    _readRequests.reset();
+    _writeRequests.reset();
+    _demandRowReads.reset();
+    _demandRowWrites.reset();
+    _fillRowReads.reset();
+    _fillRowWrites.reset();
+    _drainWrites.reset();
+    _groupedWrites.reset();
+    _prematureWritebacks.reset();
+    _groupWritebacks.reset();
+    _missFlushWritebacks.reset();
+    _silentGroupsElided.reset();
+    _bypassedReads.reset();
+    _silentWritesDetected.reset();
+    _groupSizes.reset();
+    _readLatency.reset();
+
+    _tags.resetCounters();
+    if (_l2)
+        _l2->resetCounters();
+    _array.resetCounters();
+    _ports.reset();
+    if (_tagBuffer)
+        _tagBuffer->resetCounters();
+    if (_setBuffer)
+        _setBuffer->resetCounters();
+}
+
+} // namespace c8t::core

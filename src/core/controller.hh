@@ -1,0 +1,382 @@
+/**
+ * @file
+ * The L1 data-cache controller: the paper's Algorithm 1 (WG and WG+RB)
+ * plus all the baseline write schemes, over the shared substrates
+ * (TagArray, SRAMArray, FunctionalMemory, PortScheduler, EnergyModel).
+ *
+ * Accounting model (DESIGN.md §3): "cache access frequency" — the
+ * quantity every figure of the paper is about — is the number of data
+ * array row operations caused by *demand* requests: row reads, RMW
+ * write-backs, group write-backs and premature write-backs. Row
+ * operations caused by miss handling (fills, victim extraction) are
+ * counted separately so the paper's numbers can be reproduced exactly
+ * while the full-system numbers remain available.
+ *
+ * Correctness invariant (property-tested): for any access stream, every
+ * read returns the same value under every scheme, and after drain() +
+ * flushCacheToMemory() the functional memory is byte-identical across
+ * schemes.
+ */
+
+#ifndef C8T_CORE_CONTROLLER_HH
+#define C8T_CORE_CONTROLLER_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "core/set_buffer.hh"
+#include "core/tag_buffer.hh"
+#include "core/write_scheme.hh"
+#include "mem/cache.hh"
+#include "mem/functional_mem.hh"
+#include "sram/array.hh"
+#include "sram/energy.hh"
+#include "sram/ports.hh"
+#include "stats/distribution.hh"
+#include "stats/registry.hh"
+#include "trace/access.hh"
+
+namespace c8t::core
+{
+
+/** Full configuration of one controller instance. */
+struct ControllerConfig
+{
+    /** Cache shape (paper baseline: 64 KB / 4-way / 32 B / LRU). */
+    mem::CacheConfig cache;
+
+    /** Write scheme. */
+    WriteScheme scheme = WriteScheme::Rmw;
+
+    /** Set-Buffer / Tag-Buffer entries (paper: 1). */
+    std::uint32_t bufferEntries = 1;
+
+    /** Detect silent stores in the Set-Buffer (paper: on). */
+    bool silentDetection = true;
+
+    /** Bit-interleave degree of the data array. */
+    std::uint32_t interleaveDegree = 4;
+
+    /** Array timing. */
+    LatencyParams latency;
+
+    /** Process constants for the energy model. */
+    sram::TechParams tech;
+
+    /**
+     * Optional second-level cache (tags-only timing model): L1 misses
+     * that hit in the L2 pay l2LatencyCycles instead of the full miss
+     * penalty. The data path is unaffected — the functional memory is
+     * kept architecturally current — so the L2 changes latency and
+     * hit statistics only, never values.
+     */
+    bool l2Enabled = false;
+
+    /** L2 shape (block size must match the L1's). */
+    mem::CacheConfig l2{256 * 1024, 8, 32};
+
+    /** L1-miss/L2-hit service latency (cycles). */
+    std::uint32_t l2LatencyCycles = 12;
+};
+
+/** Per-access result. */
+struct AccessOutcome
+{
+    /** The block was resident before the access. */
+    bool hit = false;
+
+    /** The request matched the Tag-Buffer (set + tag). */
+    bool tagBufferHit = false;
+
+    /** A read served from the Set-Buffer (WG+RB only). */
+    bool bypassed = false;
+
+    /** Loaded value for reads (little endian, access size bytes). */
+    std::uint64_t data = 0;
+
+    /** Request-to-completion latency in cycles. */
+    std::uint64_t latencyCycles = 0;
+};
+
+/**
+ * The controller. One instance per (scheme, shape) under test; several
+ * instances typically share one FunctionalMemory per *logical machine*,
+ * but comparison runs give each scheme its own memory so final states
+ * can be compared.
+ */
+class CacheController
+{
+  public:
+    /**
+     * @param config Validated configuration.
+     * @param memory Backing store (must outlive the controller).
+     * @throws std::invalid_argument on inconsistent configuration.
+     */
+    CacheController(const ControllerConfig &config,
+                    mem::FunctionalMemory &memory);
+
+    /** Service one request (Algorithm 1 for the grouping schemes). */
+    AccessOutcome access(const trace::MemAccess &request);
+
+    /**
+     * Write back every dirty Set-Buffer entry to the array (counted
+     * separately, not as demand traffic). Call at end of simulation
+     * before inspecting the array.
+     */
+    void drain();
+
+    /**
+     * Backdoor: copy every dirty cache line (freshest image: Set-Buffer
+     * over array) to the functional memory and mark it clean. For
+     * end-state comparison in tests; no events are counted.
+     */
+    void flushCacheToMemory();
+
+    /**
+     * Architectural value of the aligned 64-bit word at @p addr as the
+     * hierarchy would return it (Set-Buffer > array > memory). Test
+     * and verification access; no events are counted.
+     */
+    std::uint64_t peekWord(mem::Addr addr) const;
+
+    // --- component access -------------------------------------------------
+
+    /** The configuration in effect. */
+    const ControllerConfig &config() const { return _config; }
+
+    /** The tag array (hit/miss statistics). */
+    const mem::TagArray &tags() const { return _tags; }
+
+    /** The L2 tag array; null when the L2 is disabled. */
+    const mem::TagArray *l2() const { return _l2.get(); }
+
+    /** The data array (circuit event counters). */
+    const sram::SRAMArray &array() const { return _array; }
+
+    /** The Tag-Buffer (probe statistics); null for non-grouping
+     *  schemes. */
+    const TagBuffer *tagBuffer() const { return _tagBuffer.get(); }
+
+    /** The Set-Buffer; null for non-grouping schemes. */
+    const SetBuffer *setBuffer() const { return _setBuffer.get(); }
+
+    /** The port scheduler (contention statistics). */
+    const sram::PortScheduler &ports() const { return _ports; }
+
+    /** The energy model used for accounting. */
+    const sram::EnergyModel &energyModel() const { return _energy; }
+
+    // --- the paper's accounting -------------------------------------------
+
+    /** Demand row reads (group-opening reads, RMW read phases, read
+     *  requests served from the array). */
+    std::uint64_t demandRowReads() const
+    {
+        return _demandRowReads.value();
+    }
+
+    /** Demand row writes (RMW write-backs, group write-backs,
+     *  premature write-backs, direct writes). */
+    std::uint64_t demandRowWrites() const
+    {
+        return _demandRowWrites.value();
+    }
+
+    /** The paper's "cache access frequency": demand row operations. */
+    std::uint64_t demandAccesses() const
+    {
+        return demandRowReads() + demandRowWrites();
+    }
+
+    /** Row reads caused by miss handling. */
+    std::uint64_t fillRowReads() const { return _fillRowReads.value(); }
+
+    /** Row writes caused by miss handling. */
+    std::uint64_t fillRowWrites() const { return _fillRowWrites.value(); }
+
+    /** Row writes performed by drain(). */
+    std::uint64_t drainWrites() const { return _drainWrites.value(); }
+
+    /** Requests serviced. */
+    std::uint64_t requests() const { return _requests.value(); }
+
+    /** Read requests serviced. */
+    std::uint64_t readRequests() const { return _readRequests.value(); }
+
+    /** Write requests serviced. */
+    std::uint64_t writeRequests() const { return _writeRequests.value(); }
+
+    /** Writes absorbed by the Set-Buffer with zero array operations. */
+    std::uint64_t groupedWrites() const { return _groupedWrites.value(); }
+
+    /** Write-backs forced by a read hitting the Tag-Buffer (WG). */
+    std::uint64_t prematureWritebacks() const
+    {
+        return _prematureWritebacks.value();
+    }
+
+    /** Group-ending write-backs (buffer entry eviction). */
+    std::uint64_t groupWritebacks() const
+    {
+        return _groupWritebacks.value();
+    }
+
+    /** Groups whose write-back was elided because every write in the
+     *  group was silent (Dirty bit never set). */
+    std::uint64_t silentGroupsElided() const
+    {
+        return _silentGroupsElided.value();
+    }
+
+    /** Reads served from the Set-Buffer (WG+RB). */
+    std::uint64_t bypassedReads() const
+    {
+        return _bypassedReads.value();
+    }
+
+    /** Silent stores detected by the Set-Buffer comparators. */
+    std::uint64_t silentWritesDetected() const
+    {
+        return _silentWritesDetected.value();
+    }
+
+    /** Accumulated dynamic energy (J) of the data path. */
+    double dynamicEnergy() const { return _dynamicEnergy; }
+
+    /** Distribution of write-group sizes (writes per group). */
+    const stats::Distribution &groupSizes() const { return _groupSizes; }
+
+    /** Distribution of read latencies (cycles). */
+    const stats::Distribution &readLatency() const
+    {
+        return _readLatency;
+    }
+
+    /** Current cycle (advances with request gaps and stalls). */
+    std::uint64_t cycle() const { return _cycle; }
+
+    /** Reset all statistics and the cycle clock; contents, tags and
+     *  buffer state are untouched. */
+    void resetStats();
+
+    /**
+     * Register every statistic of the controller and its components
+     * (tag array, data array, ports, buffers) with @p reg. Use one
+     * registry per controller — statistic names are not prefixed.
+     */
+    void registerStats(stats::Registry &reg);
+
+    /** Convenience: register into a fresh registry and dump it
+     *  (gem5 stats.txt flavour) to @p os. */
+    void dumpStats(std::ostream &os);
+
+  private:
+    // Request paths.
+    AccessOutcome accessDirect(const trace::MemAccess &a);
+    AccessOutcome accessRmw(const trace::MemAccess &a);
+    AccessOutcome accessGrouped(const trace::MemAccess &a);
+
+    /** Ensure the block is resident; returns true when it already was. */
+    bool ensureResident(mem::Addr block_addr);
+
+    /** Miss handling: victim write-back + fill. */
+    void handleMiss(mem::Addr block_addr);
+
+    /** Write entry @p e's row image back to the array. */
+    void writebackEntry(std::uint32_t e, stats::Counter &cause);
+
+    /** Close entry @p e's write group: record its size, write back or
+     *  elide, and reset the per-entry group state. */
+    void endGroup(std::uint32_t e, stats::Counter &cause);
+
+    /** Find the buffer entry holding @p set; entries() if none. */
+    std::uint32_t entryOfSet(std::uint32_t set) const;
+
+    /** Byte offset of @p addr within its set's row image. */
+    std::uint32_t rowOffsetOf(mem::Addr addr, std::uint32_t way) const;
+
+    /** Extract an access-sized little-endian value from a row image. */
+    std::uint64_t extractData(const sram::RowData &row,
+                              std::uint32_t offset,
+                              std::uint8_t size) const;
+
+    /** Schedule a port operation with blocking back-pressure: the
+     *  controller's clock advances to the operation's start cycle. */
+    std::uint64_t scheduleOp(sram::PortUse use, std::uint64_t earliest,
+                             std::uint32_t duration);
+
+    // Counted/energy-accounted array operations.
+    void demandRead(std::uint32_t row, sram::RowData &out);
+    void demandWrite(std::uint32_t row, const sram::RowData &data,
+                     sram::PortUse use);
+    void demandMerge(std::uint32_t row, std::uint32_t offset,
+                     const std::vector<std::uint8_t> &bytes);
+
+    ControllerConfig _config;
+    mem::FunctionalMemory &_mem;
+    mem::TagArray _tags;
+    std::unique_ptr<mem::TagArray> _l2;
+    sram::SRAMArray _array;
+    sram::EnergyModel _energy;
+    sram::PortScheduler _ports;
+    std::unique_ptr<TagBuffer> _tagBuffer;
+    std::unique_ptr<SetBuffer> _setBuffer;
+
+    std::uint64_t _cycle = 0;
+    std::uint64_t _requestCycle = 0;
+
+    /** Service latency of the most recent miss (L2 hit vs memory). */
+    std::uint32_t _lastMissPenalty = 0;
+    double _dynamicEnergy = 0.0;
+    sram::RowData _scratch;
+
+    /** Per-entry writes merged since the last write-back (silent-group
+     *  elision accounting). */
+    std::vector<std::uint32_t> _entryWritesSinceWb;
+
+    /** Per-entry writes merged into the currently open group. */
+    std::vector<std::uint32_t> _entryGroupSize;
+
+    stats::Counter _requests{"ctrl.requests", "requests serviced"};
+    stats::Counter _readRequests{"ctrl.reads", "read requests"};
+    stats::Counter _writeRequests{"ctrl.writes", "write requests"};
+    stats::Counter _demandRowReads{"ctrl.demand_row_reads",
+                                   "demand row reads"};
+    stats::Counter _demandRowWrites{"ctrl.demand_row_writes",
+                                    "demand row writes"};
+    stats::Counter _fillRowReads{"ctrl.fill_row_reads",
+                                 "miss-handling row reads"};
+    stats::Counter _fillRowWrites{"ctrl.fill_row_writes",
+                                  "miss-handling row writes"};
+    stats::Counter _drainWrites{"ctrl.drain_writes",
+                                "drain() write-backs"};
+    stats::Counter _groupedWrites{"ctrl.grouped_writes",
+                                  "writes absorbed by the Set-Buffer"};
+    stats::Counter _prematureWritebacks{
+        "ctrl.premature_writebacks",
+        "write-backs forced by Tag-Buffer read hits"};
+    stats::Counter _groupWritebacks{"ctrl.group_writebacks",
+                                    "group-ending write-backs"};
+    stats::Counter _missFlushWritebacks{
+        "ctrl.miss_flush_writebacks",
+        "write-backs forced by misses to the buffered set"};
+    stats::Counter _silentGroupsElided{
+        "ctrl.silent_groups_elided",
+        "groups whose write-back was skipped (Dirty clear)"};
+    stats::Counter _bypassedReads{"ctrl.bypassed_reads",
+                                  "reads served from the Set-Buffer"};
+    stats::Counter _silentWritesDetected{
+        "ctrl.silent_writes_detected",
+        "silent stores caught by comparison"};
+
+    stats::Distribution _groupSizes{"ctrl.group_sizes",
+                                    "writes per write-group", 0, 64, 64};
+    stats::Distribution _readLatency{"ctrl.read_latency",
+                                     "read latency (cycles)", 0, 64, 64};
+};
+
+} // namespace c8t::core
+
+#endif // C8T_CORE_CONTROLLER_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Set-Buffer implementation.
+ */
+
+#include "core/set_buffer.hh"
+
+#include <cassert>
+#include <cstring>
+
+namespace c8t::core
+{
+
+SetBuffer::SetBuffer(std::uint32_t entries, std::uint32_t row_bytes)
+    : _entries(entries), _rowBytes(row_bytes),
+      _rows(entries, sram::RowData(row_bytes, 0))
+{
+    assert(entries >= 1 && row_bytes >= 8);
+}
+
+void
+SetBuffer::fill(std::uint32_t e, const sram::RowData &row)
+{
+    assert(e < _entries);
+    assert(row.size() == _rowBytes);
+    ++_fills;
+    _rows[e] = row;
+}
+
+bool
+SetBuffer::updateBytes(std::uint32_t e, std::uint32_t offset,
+                       const std::uint8_t *src, std::size_t len)
+{
+    assert(e < _entries);
+    assert(offset + len <= _rowBytes);
+    ++_updates;
+
+    std::uint8_t *dst = _rows[e].data() + offset;
+    const bool changed = std::memcmp(dst, src, len) != 0;
+    if (changed)
+        std::memcpy(dst, src, len);
+    else
+        ++_silentUpdates;
+    return changed;
+}
+
+void
+SetBuffer::readBytes(std::uint32_t e, std::uint32_t offset,
+                     std::uint8_t *dst, std::size_t len) const
+{
+    assert(e < _entries);
+    assert(offset + len <= _rowBytes);
+    ++_reads;
+    std::memcpy(dst, _rows[e].data() + offset, len);
+}
+
+const sram::RowData &
+SetBuffer::row(std::uint32_t e) const
+{
+    assert(e < _entries);
+    return _rows[e];
+}
+
+void
+SetBuffer::registerStats(stats::Registry &reg)
+{
+    reg.add(_fills);
+    reg.add(_updates);
+    reg.add(_silentUpdates);
+    reg.add(_reads);
+}
+
+void
+SetBuffer::resetCounters()
+{
+    _fills.reset();
+    _updates.reset();
+    _silentUpdates.reset();
+    _reads.reset();
+}
+
+} // namespace c8t::core

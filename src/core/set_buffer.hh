@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The Set-Buffer: the datapath buffer of the paper's Figure 6a, sized
+ * to one cache set (one SRAM row), generalised to a small number of
+ * entries (one per Tag-Buffer entry).
+ *
+ * The buffer sits between the column multiplexer and the write
+ * drivers: it is filled by a row read, updated in place by write
+ * requests (which is where silent stores are detected by comparison),
+ * and drained by a single full-row write-back.
+ */
+
+#ifndef C8T_CORE_SET_BUFFER_HH
+#define C8T_CORE_SET_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sram/array.hh"
+#include "stats/counter.hh"
+#include "stats/registry.hh"
+
+namespace c8t::core
+{
+
+/**
+ * Data storage for the grouping buffer entries.
+ */
+class SetBuffer
+{
+  public:
+    /**
+     * @param entries   Number of entries (paper: 1).
+     * @param row_bytes Bytes per entry (= one cache set).
+     */
+    SetBuffer(std::uint32_t entries, std::uint32_t row_bytes);
+
+    /** Fill entry @p e from a row image (a row read's result). */
+    void fill(std::uint32_t e, const sram::RowData &row);
+
+    /**
+     * Merge @p len bytes at @p offset into entry @p e, comparing
+     * against the previous contents — the silent-store check the
+     * proposed hardware performs with comparators on the latch inputs.
+     *
+     * @return True when any byte changed (i.e. the write was NOT
+     *         silent).
+     */
+    bool updateBytes(std::uint32_t e, std::uint32_t offset,
+                     const std::uint8_t *src, std::size_t len);
+
+    /** Read @p len bytes at @p offset from entry @p e. */
+    void readBytes(std::uint32_t e, std::uint32_t offset,
+                   std::uint8_t *dst, std::size_t len) const;
+
+    /** Whole row image of entry @p e (for write-back). */
+    const sram::RowData &row(std::uint32_t e) const;
+
+    /** Entry count. */
+    std::uint32_t entries() const { return _entries; }
+
+    /** Bytes per entry. */
+    std::uint32_t rowBytes() const { return _rowBytes; }
+
+    /** Buffer fills (row loads). */
+    std::uint64_t fills() const { return _fills.value(); }
+
+    /** In-place merges. */
+    std::uint64_t updates() const { return _updates.value(); }
+
+    /** Merges whose data matched (silent stores caught). */
+    std::uint64_t silentUpdates() const { return _silentUpdates.value(); }
+
+    /** Buffer read accesses (bypassed reads). */
+    std::uint64_t reads() const { return _reads.value(); }
+
+    /** Reset statistics (contents untouched). */
+    void resetCounters();
+
+    /** Register the buffer counters with @p reg. */
+    void registerStats(stats::Registry &reg);
+
+  private:
+    std::uint32_t _entries;
+    std::uint32_t _rowBytes;
+    std::vector<sram::RowData> _rows;
+
+    stats::Counter _fills{"setbuf.fills", "Set-Buffer row loads"};
+    stats::Counter _updates{"setbuf.updates", "in-place merges"};
+    stats::Counter _silentUpdates{"setbuf.silent_updates",
+                                  "merges detected as silent"};
+    /** Mutable: reads are logically const but still counted. */
+    mutable stats::Counter _reads{"setbuf.reads", "buffer read accesses"};
+};
+
+} // namespace c8t::core
+
+#endif // C8T_CORE_SET_BUFFER_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Simulation drivers.
+ */
+
+#include "core/simulator.hh"
+
+#include <stdexcept>
+
+namespace c8t::core
+{
+
+MultiSchemeRunner::MultiSchemeRunner(std::vector<ControllerConfig> configs)
+    : _configs(std::move(configs))
+{
+    if (_configs.empty())
+        throw std::invalid_argument("MultiSchemeRunner: no configs");
+
+    _memories.reserve(_configs.size());
+    _controllers.reserve(_configs.size());
+    for (const auto &cfg : _configs) {
+        _memories.push_back(std::make_unique<mem::FunctionalMemory>());
+        _controllers.push_back(
+            std::make_unique<CacheController>(cfg, *_memories.back()));
+    }
+}
+
+CacheController &
+MultiSchemeRunner::controller(std::size_t i)
+{
+    return *_controllers.at(i);
+}
+
+std::vector<SchemeRunResult>
+MultiSchemeRunner::run(trace::AccessGenerator &gen, const RunConfig &run)
+{
+    gen.reset();
+
+    trace::MemAccess a;
+    for (std::uint64_t i = 0; i < run.warmupAccesses; ++i) {
+        if (!gen.next(a))
+            break;
+        for (auto &ctrl : _controllers)
+            ctrl->access(a);
+    }
+    for (auto &ctrl : _controllers)
+        ctrl->resetStats();
+
+    for (std::uint64_t i = 0; i < run.measureAccesses; ++i) {
+        if (!gen.next(a))
+            break;
+        for (auto &ctrl : _controllers)
+            ctrl->access(a);
+    }
+    for (auto &ctrl : _controllers)
+        ctrl->drain();
+
+    std::vector<SchemeRunResult> results;
+    results.reserve(_controllers.size());
+    for (auto &ctrl : _controllers)
+        results.push_back(snapshotResult(gen.name(), *ctrl));
+    return results;
+}
+
+SchemeRunResult
+snapshotResult(const std::string &workload, const CacheController &ctrl)
+{
+    SchemeRunResult r;
+    r.workload = workload;
+    r.scheme = toString(ctrl.config().scheme);
+    r.requests = ctrl.requests();
+    r.reads = ctrl.readRequests();
+    r.writes = ctrl.writeRequests();
+    r.demandAccesses = ctrl.demandAccesses();
+    r.demandRowReads = ctrl.demandRowReads();
+    r.demandRowWrites = ctrl.demandRowWrites();
+    r.fillAccesses = ctrl.fillRowReads() + ctrl.fillRowWrites();
+    r.hits = ctrl.tags().hits();
+    r.misses = ctrl.tags().misses();
+    r.groupedWrites = ctrl.groupedWrites();
+    r.bypassedReads = ctrl.bypassedReads();
+    r.prematureWritebacks = ctrl.prematureWritebacks();
+    r.silentWritesDetected = ctrl.silentWritesDetected();
+    r.silentGroupsElided = ctrl.silentGroupsElided();
+    r.meanGroupSize = ctrl.groupSizes().mean();
+    r.portStallCycles = ctrl.ports().stallCycles();
+    r.portConflicts = ctrl.ports().conflicts();
+    r.meanReadLatency = ctrl.readLatency().mean();
+    r.dynamicEnergy = ctrl.dynamicEnergy();
+    r.cycles = ctrl.cycle();
+    return r;
+}
+
+StreamStats
+analyzeStream(trace::AccessGenerator &gen, const mem::AddrLayout &layout,
+              std::uint64_t accesses)
+{
+    gen.reset();
+    StreamAnalyzer analyzer(layout);
+
+    trace::MemAccess a;
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+        if (!gen.next(a))
+            break;
+        analyzer.observe(a);
+    }
+
+    StreamStats s;
+    s.workload = gen.name();
+    s.instructions = analyzer.instructions();
+    s.accesses = analyzer.accesses();
+    s.readInstrFraction = analyzer.readInstrFraction();
+    s.writeInstrFraction = analyzer.writeInstrFraction();
+    s.rrShare = analyzer.rrShare();
+    s.rwShare = analyzer.rwShare();
+    s.wwShare = analyzer.wwShare();
+    s.wrShare = analyzer.wrShare();
+    s.sameSetShare = analyzer.sameSetShare();
+    s.silentWriteFraction = analyzer.silentWriteFraction();
+    return s;
+}
+
+} // namespace c8t::core

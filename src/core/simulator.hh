@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Simulation drivers: run workloads through controllers and collect
+ * comparable result snapshots. Mirrors the paper's methodology of
+ * evaluating every technique on the identical access stream in one run.
+ */
+
+#ifndef C8T_CORE_SIMULATOR_HH
+#define C8T_CORE_SIMULATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hh"
+#include "core/controller.hh"
+#include "trace/access.hh"
+
+namespace c8t::core
+{
+
+/** Run length configuration. */
+struct RunConfig
+{
+    /** Accesses run before statistics are reset (cache warm-up; the
+     *  paper fast-forwards 1 B of its 10 B instructions). */
+    std::uint64_t warmupAccesses = 200'000;
+
+    /** Accesses measured after warm-up. */
+    std::uint64_t measureAccesses = 2'000'000;
+};
+
+/** Comparable per-(workload, scheme) result snapshot. */
+struct SchemeRunResult
+{
+    /** Workload name. */
+    std::string workload;
+
+    /** Scheme name (toString(WriteScheme)). */
+    std::string scheme;
+
+    /** Requests serviced in the measurement window. */
+    std::uint64_t requests = 0;
+
+    /** Read requests. */
+    std::uint64_t reads = 0;
+
+    /** Write requests. */
+    std::uint64_t writes = 0;
+
+    /** Demand row operations: the paper's "cache accesses". */
+    std::uint64_t demandAccesses = 0;
+
+    /** Demand row reads. */
+    std::uint64_t demandRowReads = 0;
+
+    /** Demand row writes. */
+    std::uint64_t demandRowWrites = 0;
+
+    /** Miss-handling row operations (fills, victim extraction). */
+    std::uint64_t fillAccesses = 0;
+
+    /** Cache hits / misses. */
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    /** Grouping statistics (zero for non-grouping schemes). */
+    std::uint64_t groupedWrites = 0;
+    std::uint64_t bypassedReads = 0;
+    std::uint64_t prematureWritebacks = 0;
+    std::uint64_t silentWritesDetected = 0;
+    std::uint64_t silentGroupsElided = 0;
+    double meanGroupSize = 0.0;
+
+    /** Port contention. */
+    std::uint64_t portStallCycles = 0;
+    std::uint64_t portConflicts = 0;
+
+    /** Mean read latency in cycles. */
+    double meanReadLatency = 0.0;
+
+    /** Dynamic energy of the measured window (J). */
+    double dynamicEnergy = 0.0;
+
+    /** Elapsed cycles. */
+    std::uint64_t cycles = 0;
+};
+
+/**
+ * Run one workload through several controllers in a single generation
+ * pass (every controller sees the byte-identical stream). Each
+ * controller gets its own functional memory.
+ *
+ * The generator is reset() first; after warm-up every controller's
+ * statistics are reset; after the measurement window every controller
+ * is drained so open groups are accounted for.
+ */
+class MultiSchemeRunner
+{
+  public:
+    /**
+     * @param configs One controller configuration per scheme under
+     *                test.
+     */
+    explicit MultiSchemeRunner(std::vector<ControllerConfig> configs);
+
+    /**
+     * Run @p gen for the configured window.
+     *
+     * @param gen Workload (reset() is called first).
+     * @param run Window lengths.
+     * @return One result per configuration, in input order.
+     */
+    std::vector<SchemeRunResult> run(trace::AccessGenerator &gen,
+                                     const RunConfig &run);
+
+    /** Access a controller (e.g. for invariant checks after run()). */
+    CacheController &controller(std::size_t i);
+
+    /** Number of controllers. */
+    std::size_t controllers() const { return _controllers.size(); }
+
+  private:
+    std::vector<ControllerConfig> _configs;
+    std::vector<std::unique_ptr<mem::FunctionalMemory>> _memories;
+    std::vector<std::unique_ptr<CacheController>> _controllers;
+};
+
+/** Snapshot of StreamAnalyzer results (Figures 3-5 quantities). */
+struct StreamStats
+{
+    std::string workload;
+    std::uint64_t instructions = 0;
+    std::uint64_t accesses = 0;
+    double readInstrFraction = 0.0;
+    double writeInstrFraction = 0.0;
+    double rrShare = 0.0;
+    double rwShare = 0.0;
+    double wwShare = 0.0;
+    double wrShare = 0.0;
+    double sameSetShare = 0.0;
+    double silentWriteFraction = 0.0;
+};
+
+/**
+ * Measure a workload's stream statistics over @p accesses accesses
+ * against @p layout's set mapping.
+ */
+StreamStats analyzeStream(trace::AccessGenerator &gen,
+                          const mem::AddrLayout &layout,
+                          std::uint64_t accesses);
+
+/** Extract a result snapshot from a controller. */
+SchemeRunResult snapshotResult(const std::string &workload,
+                               const CacheController &ctrl);
+
+} // namespace c8t::core
+
+#endif // C8T_CORE_SIMULATOR_HH

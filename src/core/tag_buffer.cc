@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tag-Buffer implementation.
+ */
+
+#include "core/tag_buffer.hh"
+
+#include <cassert>
+
+namespace c8t::core
+{
+
+TagBuffer::TagBuffer(std::uint32_t entries, std::uint32_t ways)
+    : _entries(entries), _ways(ways), _store(entries)
+{
+    assert(entries >= 1 && ways >= 1);
+    for (auto &e : _store)
+        e.tags.assign(ways, 0);
+}
+
+TagProbe
+TagBuffer::peek(std::uint32_t set, mem::Addr tag) const
+{
+    TagProbe r;
+    for (std::uint32_t i = 0; i < _entries; ++i) {
+        const Entry &e = _store[i];
+        if (!e.valid || e.set != set)
+            continue;
+        r.setMatch = true;
+        r.entry = i;
+        for (std::uint32_t w = 0; w < _ways; ++w) {
+            if (((e.validMask >> w) & 1) && e.tags[w] == tag) {
+                r.tagMatch = true;
+                r.way = w;
+                break;
+            }
+        }
+        break; // a set is buffered by at most one entry
+    }
+    return r;
+}
+
+TagProbe
+TagBuffer::probe(std::uint32_t set, mem::Addr tag)
+{
+    ++_probes;
+    const TagProbe r = peek(set, tag);
+    if (r.setMatch)
+        ++_setHits;
+    if (r.tagMatch)
+        ++_tagHits;
+    return r;
+}
+
+void
+TagBuffer::load(std::uint32_t e, std::uint32_t set,
+                const std::vector<mem::Addr> &tags,
+                std::uint64_t valid_mask)
+{
+    assert(e < _entries);
+    assert(tags.size() == _ways);
+    Entry &entry = _store[e];
+    entry.set = set;
+    entry.valid = true;
+    entry.dirty = false;
+    entry.validMask = valid_mask;
+    entry.tags = tags;
+    entry.lruStamp = ++_clock;
+}
+
+void
+TagBuffer::invalidate(std::uint32_t e)
+{
+    assert(e < _entries);
+    _store[e].valid = false;
+    _store[e].dirty = false;
+}
+
+void
+TagBuffer::invalidateAll()
+{
+    for (std::uint32_t e = 0; e < _entries; ++e)
+        invalidate(e);
+}
+
+void
+TagBuffer::touch(std::uint32_t e)
+{
+    assert(e < _entries);
+    _store[e].lruStamp = ++_clock;
+}
+
+std::uint32_t
+TagBuffer::victim() const
+{
+    std::uint32_t best = 0;
+    bool found_valid = false;
+    std::uint64_t oldest = 0;
+    for (std::uint32_t i = 0; i < _entries; ++i) {
+        const Entry &e = _store[i];
+        if (!e.valid)
+            return i;
+        if (!found_valid || e.lruStamp < oldest) {
+            best = i;
+            oldest = e.lruStamp;
+            found_valid = true;
+        }
+    }
+    return best;
+}
+
+bool
+TagBuffer::entryValid(std::uint32_t e) const
+{
+    assert(e < _entries);
+    return _store[e].valid;
+}
+
+std::uint32_t
+TagBuffer::entrySet(std::uint32_t e) const
+{
+    assert(e < _entries && _store[e].valid);
+    return _store[e].set;
+}
+
+bool
+TagBuffer::dirty(std::uint32_t e) const
+{
+    assert(e < _entries);
+    return _store[e].dirty;
+}
+
+void
+TagBuffer::setDirty(std::uint32_t e, bool d)
+{
+    assert(e < _entries);
+    _store[e].dirty = d;
+}
+
+std::uint64_t
+TagBuffer::storageBits(std::uint32_t set_index_bits,
+                       std::uint32_t tag_bits) const
+{
+    // Per entry: set index + per-way (tag + valid) + dirty.
+    const std::uint64_t per_entry =
+        set_index_bits +
+        static_cast<std::uint64_t>(_ways) * (tag_bits + 1) + 1;
+    return per_entry * _entries;
+}
+
+void
+TagBuffer::registerStats(stats::Registry &reg)
+{
+    reg.add(_probes);
+    reg.add(_setHits);
+    reg.add(_tagHits);
+}
+
+void
+TagBuffer::resetCounters()
+{
+    _probes.reset();
+    _setHits.reset();
+    _tagHits.reset();
+}
+
+} // namespace c8t::core

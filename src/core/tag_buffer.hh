@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The Tag-Buffer: the controller-side address-tracking structure of the
+ * paper's Figure 6b, generalised to a small number of entries.
+ *
+ * Each entry mirrors one buffered cache set: the set index, the tags of
+ * *all* blocks in that set, and the Dirty bit indicating the Set-Buffer
+ * holds data newer than the array. The paper's design is a single
+ * entry; the multi-entry generalisation is the natural future-work
+ * extension evaluated in bench/abl_multi_entry_buffer.
+ */
+
+#ifndef C8T_CORE_TAG_BUFFER_HH
+#define C8T_CORE_TAG_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "stats/counter.hh"
+#include "stats/registry.hh"
+
+namespace c8t::core
+{
+
+/** Result of a Tag-Buffer probe. */
+struct TagProbe
+{
+    /** An entry holds the probed set. */
+    bool setMatch = false;
+
+    /** ... and the probed tag is among that set's valid tags. */
+    bool tagMatch = false;
+
+    /** The matching entry index (valid when setMatch). */
+    std::uint32_t entry = 0;
+
+    /** The way whose tag matched (valid when tagMatch). */
+    std::uint32_t way = 0;
+};
+
+/**
+ * A small, fully-associative buffer of set descriptors with LRU
+ * replacement among entries.
+ */
+class TagBuffer
+{
+  public:
+    /**
+     * @param entries Number of buffered sets (paper: 1).
+     * @param ways    Cache associativity (tags per entry).
+     */
+    TagBuffer(std::uint32_t entries, std::uint32_t ways);
+
+    /**
+     * Probe for (set, tag). Counts one probe plus set/tag hit
+     * statistics; does not modify entry state.
+     */
+    TagProbe probe(std::uint32_t set, mem::Addr tag);
+
+    /** Like probe() but without statistics side effects. */
+    TagProbe peek(std::uint32_t set, mem::Addr tag) const;
+
+    /**
+     * Load entry @p e with a new set descriptor.
+     *
+     * @param e          Entry index.
+     * @param set        Cache set index.
+     * @param tags       Tag of each way (from TagArray::tagsOfSet()).
+     * @param valid_mask Which ways hold valid blocks.
+     */
+    void load(std::uint32_t e, std::uint32_t set,
+              const std::vector<mem::Addr> &tags,
+              std::uint64_t valid_mask);
+
+    /** Drop entry @p e. */
+    void invalidate(std::uint32_t e);
+
+    /** Drop every entry. */
+    void invalidateAll();
+
+    /** Mark entry @p e most recently used. */
+    void touch(std::uint32_t e);
+
+    /** Entry to evict next (invalid entries first, then LRU). */
+    std::uint32_t victim() const;
+
+    /** True when entry @p e holds a set. */
+    bool entryValid(std::uint32_t e) const;
+
+    /** Set index held by entry @p e (requires valid). */
+    std::uint32_t entrySet(std::uint32_t e) const;
+
+    /** Dirty bit of entry @p e. */
+    bool dirty(std::uint32_t e) const;
+
+    /** Set/clear the Dirty bit of entry @p e. */
+    void setDirty(std::uint32_t e, bool d);
+
+    /** Number of entries. */
+    std::uint32_t entries() const { return _entries; }
+
+    /** Storage bits of this buffer for @p set_index_bits / @p tag_bits
+     *  geometry (the §5.4 area argument). */
+    std::uint64_t storageBits(std::uint32_t set_index_bits,
+                              std::uint32_t tag_bits) const;
+
+    /** Probes issued. */
+    std::uint64_t probes() const { return _probes.value(); }
+
+    /** Probes that matched a buffered set. */
+    std::uint64_t setHits() const { return _setHits.value(); }
+
+    /** Probes that matched set and tag. */
+    std::uint64_t tagHits() const { return _tagHits.value(); }
+
+    /** Reset statistics (entries untouched). */
+    void resetCounters();
+
+    /** Register the probe counters with @p reg. */
+    void registerStats(stats::Registry &reg);
+
+  private:
+    struct Entry
+    {
+        std::uint32_t set = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t validMask = 0;
+        std::vector<mem::Addr> tags;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::uint32_t _entries;
+    std::uint32_t _ways;
+    std::vector<Entry> _store;
+    std::uint64_t _clock = 0;
+
+    stats::Counter _probes{"tagbuf.probes", "Tag-Buffer probes"};
+    stats::Counter _setHits{"tagbuf.set_hits", "probes matching a set"};
+    stats::Counter _tagHits{"tagbuf.tag_hits",
+                            "probes matching set and tag"};
+};
+
+} // namespace c8t::core
+
+#endif // C8T_CORE_TAG_BUFFER_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * DVFS governor implementation.
+ */
+
+#include "cpu/dvfs.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace c8t::cpu
+{
+
+DvfsGovernor::DvfsGovernor(std::vector<DvfsLevel> levels,
+                           double vmin_floor)
+{
+    std::sort(levels.begin(), levels.end(),
+              [](const DvfsLevel &a, const DvfsLevel &b) {
+                  return a.vdd > b.vdd;
+              });
+    for (const DvfsLevel &l : levels) {
+        if (l.vdd >= vmin_floor)
+            _usable.push_back(l);
+        else
+            ++_lockedOut;
+    }
+    if (_usable.empty())
+        throw std::invalid_argument(
+            "DvfsGovernor: the voltage floor excludes every level");
+    for (const DvfsLevel &l : levels)
+        _maxFreq = std::max(_maxFreq, l.freqGhz);
+}
+
+const DvfsLevel &
+DvfsGovernor::levelFor(double demand) const
+{
+    demand = std::clamp(demand, 0.0, 1.0);
+    const double needed = demand * _maxFreq;
+    // Walk from the slowest usable level up.
+    for (auto it = _usable.rbegin(); it != _usable.rend(); ++it) {
+        if (it->freqGhz >= needed)
+            return *it;
+    }
+    return _usable.front();
+}
+
+double
+DvfsGovernor::scaleEnergy(double energy_at_nominal, double nominal_vdd,
+                          const DvfsLevel &level)
+{
+    const double ratio = level.vdd / nominal_vdd;
+    return energy_at_nominal * ratio * ratio;
+}
+
+std::vector<DvfsLevel>
+defaultDvfsLevels()
+{
+    // Representative voltage/frequency pairs: frequency degrades
+    // super-linearly as Vdd approaches threshold (alpha-power law
+    // flavour).
+    return {
+        {1.00, 2.00}, {0.90, 1.70}, {0.80, 1.40}, {0.70, 1.05},
+        {0.65, 0.85}, {0.60, 0.65}, {0.55, 0.45},
+    };
+}
+
+} // namespace c8t::cpu

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A DVFS governor with a cache-limited voltage floor.
+ *
+ * The paper's framing (§1): DVFS switches between predefined
+ * voltage/frequency levels, and the *minimum* usable level is set by
+ * the weakest component — typically the 6T SRAM cache. Replacing it
+ * with an 8T cache lowers the floor and unlocks the low-voltage
+ * levels, at the cost of the RMW write problem the paper then solves.
+ * This governor makes that chain quantitative: given a level table and
+ * a cell-limited Vmin, it reports which levels are usable and picks
+ * the lowest-energy level that meets a performance demand.
+ */
+
+#ifndef C8T_CPU_DVFS_HH
+#define C8T_CPU_DVFS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace c8t::cpu
+{
+
+/** One operating point. */
+struct DvfsLevel
+{
+    /** Supply voltage (V). */
+    double vdd = 1.0;
+
+    /** Clock frequency at this voltage (GHz). */
+    double freqGhz = 2.0;
+};
+
+/**
+ * The governor: a sorted level table filtered by a voltage floor.
+ */
+class DvfsGovernor
+{
+  public:
+    /**
+     * @param levels     Operating points (any order; sorted
+     *                   internally by descending voltage).
+     * @param vmin_floor Lowest usable supply voltage — the cache
+     *                   cell's Vmin for the target failure rate.
+     * @throws std::invalid_argument when no level is usable.
+     */
+    DvfsGovernor(std::vector<DvfsLevel> levels, double vmin_floor);
+
+    /** All levels at or above the floor, fastest first. */
+    const std::vector<DvfsLevel> &usableLevels() const
+    {
+        return _usable;
+    }
+
+    /** Levels excluded by the floor. */
+    std::uint32_t lockedOutLevels() const { return _lockedOut; }
+
+    /** The fastest usable level. */
+    const DvfsLevel &fastest() const { return _usable.front(); }
+
+    /** The most efficient (lowest-voltage) usable level. */
+    const DvfsLevel &slowest() const { return _usable.back(); }
+
+    /**
+     * Lowest-voltage usable level whose frequency still meets
+     * @p demand (a fraction of the table's maximum frequency,
+     * clamped to [0, 1]).
+     */
+    const DvfsLevel &levelFor(double demand) const;
+
+    /**
+     * Dynamic energy at @p level for work that costs
+     * @p energy_at_nominal joules at @p nominal_vdd (CV^2 scaling).
+     */
+    static double scaleEnergy(double energy_at_nominal,
+                              double nominal_vdd,
+                              const DvfsLevel &level);
+
+  private:
+    std::vector<DvfsLevel> _usable;
+    std::uint32_t _lockedOut = 0;
+    double _maxFreq = 0.0;
+};
+
+/** A representative 45 nm-class level table (1.0 V .. 0.55 V). */
+std::vector<DvfsLevel> defaultDvfsLevels();
+
+} // namespace c8t::cpu
+
+#endif // C8T_CPU_DVFS_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Timing core implementation.
+ */
+
+#include "cpu/timing_core.hh"
+
+namespace c8t::cpu
+{
+
+TimingCore::TimingCore(CoreParams params, core::CacheController &ctrl)
+    : _params(params), _ctrl(ctrl)
+{}
+
+TimingResult
+TimingCore::run(trace::AccessGenerator &gen, std::uint64_t accesses)
+{
+    TimingResult result;
+
+    trace::MemAccess a;
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+        if (!gen.next(a))
+            break;
+
+        const core::AccessOutcome out = _ctrl.access(a);
+        result.instructions += a.gap + 1;
+
+        if (a.isRead() && out.latencyCycles > _params.loadToUseSlack)
+            result.readStallCycles +=
+                out.latencyCycles - _params.loadToUseSlack;
+    }
+
+    result.cycles = result.instructions + result.readStallCycles;
+    return result;
+}
+
+} // namespace c8t::cpu

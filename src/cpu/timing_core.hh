@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A simple in-order timing core for the paper's §5.5 performance
+ * discussion.
+ *
+ * Model: one instruction issues per cycle. Non-memory instructions
+ * never stall. Loads are on the critical path: a read whose L1 latency
+ * exceeds the pipelined load-to-use slack stalls the core for the
+ * difference (so WG+RB's 1-cycle Set-Buffer hits turn into fewer stall
+ * cycles, and RMW's port contention turns into more). Stores retire
+ * through the write path off the critical path, exactly the paper's
+ * argument for why WG's write latency is tolerable.
+ */
+
+#ifndef C8T_CPU_TIMING_CORE_HH
+#define C8T_CPU_TIMING_CORE_HH
+
+#include <cstdint>
+
+#include "core/controller.hh"
+#include "trace/access.hh"
+
+namespace c8t::cpu
+{
+
+/** Core timing parameters. */
+struct CoreParams
+{
+    /** L1 read cycles fully hidden by the pipeline (load-to-use
+     *  slack). A read costing more than this stalls the difference. */
+    std::uint32_t loadToUseSlack = 1;
+};
+
+/** Result of a timed run. */
+struct TimingResult
+{
+    /** Instructions executed (memory + non-memory). */
+    std::uint64_t instructions = 0;
+
+    /** Total cycles: base issue cycles + read stalls. */
+    std::uint64_t cycles = 0;
+
+    /** Cycles lost to read latency beyond the load-to-use slack. */
+    std::uint64_t readStallCycles = 0;
+
+    /** Cycles per instruction. */
+    double cpi() const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : static_cast<double>(cycles) / instructions;
+    }
+
+    /** Instructions per cycle. */
+    double ipc() const
+    {
+        return cycles == 0
+                   ? 0.0
+                   : static_cast<double>(instructions) / cycles;
+    }
+};
+
+/**
+ * The in-order core: pulls accesses from a generator, issues them to a
+ * cache controller and accounts stalls.
+ */
+class TimingCore
+{
+  public:
+    /**
+     * @param params Core parameters.
+     * @param ctrl   The L1 data cache (must outlive the core).
+     */
+    TimingCore(CoreParams params, core::CacheController &ctrl);
+
+    /**
+     * Execute @p accesses memory accesses (plus their instruction
+     * gaps) from @p gen.
+     */
+    TimingResult run(trace::AccessGenerator &gen, std::uint64_t accesses);
+
+  private:
+    CoreParams _params;
+    core::CacheController &_ctrl;
+};
+
+} // namespace c8t::cpu
+
+#endif // C8T_CPU_TIMING_CORE_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Address layout implementation.
+ */
+
+#include "mem/addr.hh"
+
+#include <stdexcept>
+
+namespace c8t::mem
+{
+
+std::uint32_t
+log2i(std::uint64_t v)
+{
+    std::uint32_t bits = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+AddrLayout::AddrLayout(std::uint32_t block_bytes, std::uint32_t num_sets)
+    : _blockBytes(block_bytes), _numSets(num_sets)
+{
+    if (!isPowerOfTwo(block_bytes))
+        throw std::invalid_argument("AddrLayout: block size not 2^n");
+    if (!isPowerOfTwo(num_sets))
+        throw std::invalid_argument("AddrLayout: set count not 2^n");
+
+    _offsetBits = log2i(block_bytes);
+    _setBits = log2i(num_sets);
+    _blockMask = block_bytes - 1;
+    _setMask = num_sets - 1;
+}
+
+} // namespace c8t::mem

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Address arithmetic: block/set/tag decomposition for a set-associative
+ * cache.
+ */
+
+#ifndef C8T_MEM_ADDR_HH
+#define C8T_MEM_ADDR_HH
+
+#include <cstdint>
+
+namespace c8t::mem
+{
+
+/** A byte address (up to 48 bits used, matching the paper's §5.4). */
+using Addr = std::uint64_t;
+
+/** Number of address bits assumed physical (paper §5.4: 48). */
+constexpr std::uint32_t physAddrBits = 48;
+
+/** True when @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+std::uint32_t log2i(std::uint64_t v);
+
+/**
+ * Block/set/tag decomposition for a given cache shape.
+ *
+ * Layout (little endian bit positions):
+ *   [ tag | set index | block offset ]
+ */
+class AddrLayout
+{
+  public:
+    /**
+     * @param block_bytes Block size in bytes (power of two).
+     * @param num_sets    Number of sets (power of two).
+     * @throws std::invalid_argument when either is not a power of two.
+     */
+    AddrLayout(std::uint32_t block_bytes, std::uint32_t num_sets);
+
+    /** Block-aligned base of @p a. */
+    Addr blockAlign(Addr a) const { return a & ~(_blockMask); }
+
+    /** Byte offset of @p a within its block. */
+    std::uint32_t blockOffset(Addr a) const
+    {
+        return static_cast<std::uint32_t>(a & _blockMask);
+    }
+
+    /** Set index of @p a. */
+    std::uint32_t setOf(Addr a) const
+    {
+        return static_cast<std::uint32_t>((a >> _offsetBits) & _setMask);
+    }
+
+    /** Tag of @p a. */
+    Addr tagOf(Addr a) const { return a >> (_offsetBits + _setBits); }
+
+    /** Rebuild a block base address from tag and set index. */
+    Addr blockAddr(Addr tag, std::uint32_t set) const
+    {
+        return (tag << (_offsetBits + _setBits)) |
+               (static_cast<Addr>(set) << _offsetBits);
+    }
+
+    /** Block size in bytes. */
+    std::uint32_t blockBytes() const { return _blockBytes; }
+
+    /** Number of sets. */
+    std::uint32_t numSets() const { return _numSets; }
+
+    /** Bits used for the block offset. */
+    std::uint32_t offsetBits() const { return _offsetBits; }
+
+    /** Bits used for the set index. */
+    std::uint32_t setBits() const { return _setBits; }
+
+    /** Bits left for the tag (of a 48-bit physical address). */
+    std::uint32_t tagBits() const
+    {
+        return physAddrBits - _offsetBits - _setBits;
+    }
+
+  private:
+    std::uint32_t _blockBytes;
+    std::uint32_t _numSets;
+    std::uint32_t _offsetBits;
+    std::uint32_t _setBits;
+    std::uint64_t _blockMask;
+    std::uint64_t _setMask;
+};
+
+} // namespace c8t::mem
+
+#endif // C8T_MEM_ADDR_HH

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tag array implementation.
+ */
+
+#include "mem/cache.hh"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace c8t::mem
+{
+
+void
+CacheConfig::validate() const
+{
+    if (!isPowerOfTwo(blockBytes) || blockBytes < 8)
+        throw std::invalid_argument(
+            "CacheConfig: block size must be a power of two >= 8");
+    if (ways == 0 || ways > 64)
+        throw std::invalid_argument("CacheConfig: ways must be in 1..64");
+    const std::uint64_t set_bytes =
+        static_cast<std::uint64_t>(ways) * blockBytes;
+    if (sizeBytes == 0 || sizeBytes % set_bytes != 0)
+        throw std::invalid_argument(
+            "CacheConfig: size must be a multiple of ways * blockBytes");
+    if (!isPowerOfTwo(numSets()))
+        throw std::invalid_argument(
+            "CacheConfig: set count must be a power of two");
+}
+
+std::string
+CacheConfig::toString() const
+{
+    std::ostringstream os;
+    os << (sizeBytes >> 10) << "KB/" << ways << "w/" << blockBytes << "B/"
+       << c8t::mem::toString(replacement);
+    return os.str();
+}
+
+TagArray::TagArray(const CacheConfig &config)
+    : _config(config),
+      _layout((config.validate(), config.blockBytes), config.numSets()),
+      _lines(static_cast<std::size_t>(config.numSets()) * config.ways),
+      _repl(makeReplacementPolicy(config.replacement, config.numSets(),
+                                  config.ways))
+{}
+
+TagArray::Line &
+TagArray::lineAt(std::uint32_t set, std::uint32_t way)
+{
+    assert(set < _config.numSets() && way < _config.ways);
+    return _lines[static_cast<std::size_t>(set) * _config.ways + way];
+}
+
+const TagArray::Line &
+TagArray::lineAt(std::uint32_t set, std::uint32_t way) const
+{
+    assert(set < _config.numSets() && way < _config.ways);
+    return _lines[static_cast<std::size_t>(set) * _config.ways + way];
+}
+
+LookupResult
+TagArray::probe(Addr addr) const
+{
+    const std::uint32_t set = _layout.setOf(addr);
+    const Addr tag = _layout.tagOf(addr);
+    for (std::uint32_t w = 0; w < _config.ways; ++w) {
+        const Line &line = lineAt(set, w);
+        if (line.valid && line.tag == tag)
+            return {true, w};
+    }
+    return {false, 0};
+}
+
+LookupResult
+TagArray::access(Addr addr)
+{
+    const LookupResult r = probe(addr);
+    if (r.hit) {
+        ++_hits;
+        _repl->touch(_layout.setOf(addr), r.way);
+    } else {
+        ++_misses;
+    }
+    return r;
+}
+
+FillResult
+TagArray::fill(Addr addr)
+{
+    assert(!probe(addr).hit && "fill of a resident block");
+
+    const std::uint32_t set = _layout.setOf(addr);
+    const std::uint32_t way = _repl->victim(set, validMask(set));
+
+    FillResult result;
+    result.way = way;
+
+    Line &line = lineAt(set, way);
+    if (line.valid) {
+        result.evictedValid = true;
+        result.evictedDirty = line.dirty;
+        result.evictedBlockAddr = _layout.blockAddr(line.tag, set);
+        ++_evictions;
+        if (line.dirty)
+            ++_dirtyEvictions;
+    }
+
+    line.tag = _layout.tagOf(addr);
+    line.valid = true;
+    line.dirty = false;
+    _repl->insert(set, way);
+    return result;
+}
+
+void
+TagArray::markDirty(Addr addr)
+{
+    const LookupResult r = probe(addr);
+    assert(r.hit && "markDirty on a non-resident block");
+    lineAt(_layout.setOf(addr), r.way).dirty = true;
+}
+
+bool
+TagArray::isDirty(std::uint32_t set, std::uint32_t way) const
+{
+    return lineAt(set, way).dirty;
+}
+
+void
+TagArray::clearDirty(std::uint32_t set, std::uint32_t way)
+{
+    lineAt(set, way).dirty = false;
+}
+
+bool
+TagArray::isValid(std::uint32_t set, std::uint32_t way) const
+{
+    return lineAt(set, way).valid;
+}
+
+Addr
+TagArray::tagAt(std::uint32_t set, std::uint32_t way) const
+{
+    return lineAt(set, way).tag;
+}
+
+Addr
+TagArray::blockAddrAt(std::uint32_t set, std::uint32_t way) const
+{
+    const Line &line = lineAt(set, way);
+    assert(line.valid);
+    return _layout.blockAddr(line.tag, set);
+}
+
+std::vector<Addr>
+TagArray::tagsOfSet(std::uint32_t set) const
+{
+    std::vector<Addr> tags(_config.ways, 0);
+    for (std::uint32_t w = 0; w < _config.ways; ++w) {
+        const Line &line = lineAt(set, w);
+        if (line.valid)
+            tags[w] = line.tag;
+    }
+    return tags;
+}
+
+std::uint64_t
+TagArray::validMask(std::uint32_t set) const
+{
+    std::uint64_t mask = 0;
+    for (std::uint32_t w = 0; w < _config.ways; ++w) {
+        if (lineAt(set, w).valid)
+            mask |= 1ull << w;
+    }
+    return mask;
+}
+
+void
+TagArray::registerStats(stats::Registry &reg)
+{
+    reg.add(_hits);
+    reg.add(_misses);
+    reg.add(_evictions);
+    reg.add(_dirtyEvictions);
+}
+
+void
+TagArray::resetCounters()
+{
+    _hits.reset();
+    _misses.reset();
+    _evictions.reset();
+    _dirtyEvictions.reset();
+}
+
+} // namespace c8t::mem

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Set-associative cache tag state.
+ *
+ * The TagArray owns the architectural tag/valid/dirty state and the
+ * replacement policy. It deliberately does NOT own block data: data
+ * lives in the SRAM data array (one physical row per set) and, under
+ * the proposed schemes, temporarily in the Set-Buffer — placement is
+ * the controller's job (src/core/controller.hh). Keeping tags separate
+ * guarantees every write scheme sees the identical hit/miss sequence.
+ */
+
+#ifndef C8T_MEM_CACHE_HH
+#define C8T_MEM_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "mem/replacement.hh"
+#include "stats/counter.hh"
+#include "stats/registry.hh"
+
+namespace c8t::mem
+{
+
+/** Shape and policy of one cache. */
+struct CacheConfig
+{
+    /** Total capacity in bytes. */
+    std::uint64_t sizeBytes = 64 * 1024;
+
+    /** Associativity. */
+    std::uint32_t ways = 4;
+
+    /** Block size in bytes. */
+    std::uint32_t blockBytes = 32;
+
+    /** Replacement policy. */
+    ReplKind replacement = ReplKind::Lru;
+
+    /** Number of sets implied by the shape. */
+    std::uint32_t numSets() const
+    {
+        return static_cast<std::uint32_t>(
+            sizeBytes / (static_cast<std::uint64_t>(ways) * blockBytes));
+    }
+
+    /** Bytes in one set (= one SRAM row = the Set-Buffer size). */
+    std::uint32_t setBytes() const { return ways * blockBytes; }
+
+    /**
+     * Check shape consistency (powers of two, exact division).
+     * @throws std::invalid_argument on violation.
+     */
+    void validate() const;
+
+    /** "64KB/4w/32B/lru" style description. */
+    std::string toString() const;
+};
+
+/** Result of a tag lookup. */
+struct LookupResult
+{
+    /** True when the block is resident. */
+    bool hit = false;
+
+    /** Way holding the block (valid only when hit). */
+    std::uint32_t way = 0;
+};
+
+/** Result of allocating a block (a fill). */
+struct FillResult
+{
+    /** Way the new block was placed in. */
+    std::uint32_t way = 0;
+
+    /** True when a valid block was evicted. */
+    bool evictedValid = false;
+
+    /** True when the evicted block was dirty. */
+    bool evictedDirty = false;
+
+    /** Block base address of the evicted block (when evictedValid). */
+    Addr evictedBlockAddr = 0;
+};
+
+/**
+ * The tag array: lookup, fill, dirty tracking, statistics.
+ */
+class TagArray
+{
+  public:
+    /**
+     * @param config Cache shape; validated.
+     * @throws std::invalid_argument on a bad shape.
+     */
+    explicit TagArray(const CacheConfig &config);
+
+    /** The address layout in effect. */
+    const AddrLayout &layout() const { return _layout; }
+
+    /** The configuration in effect. */
+    const CacheConfig &config() const { return _config; }
+
+    /**
+     * Probe for @p addr without changing any state (no LRU update,
+     * no statistics).
+     */
+    LookupResult probe(Addr addr) const;
+
+    /**
+     * Look up @p addr, updating replacement state and hit/miss
+     * statistics. Does not allocate on miss.
+     */
+    LookupResult access(Addr addr);
+
+    /**
+     * Allocate a block for @p addr (which must currently miss):
+     * chooses a victim, installs the tag, marks it valid and clean,
+     * and updates replacement state.
+     */
+    FillResult fill(Addr addr);
+
+    /** Mark the block holding @p addr dirty (must be resident). */
+    void markDirty(Addr addr);
+
+    /** Dirty state of way @p way in set @p set. */
+    bool isDirty(std::uint32_t set, std::uint32_t way) const;
+
+    /** Clear the dirty bit of (set, way). */
+    void clearDirty(std::uint32_t set, std::uint32_t way);
+
+    /** Valid state of way @p way in set @p set. */
+    bool isValid(std::uint32_t set, std::uint32_t way) const;
+
+    /** Tag stored in (set, way); meaningful only when valid. */
+    Addr tagAt(std::uint32_t set, std::uint32_t way) const;
+
+    /** Block base address stored in (set, way); requires valid. */
+    Addr blockAddrAt(std::uint32_t set, std::uint32_t way) const;
+
+    /** All tags of @p set (invalid ways report tag 0). Used to load
+     *  the Tag-Buffer, which mirrors a whole set. */
+    std::vector<Addr> tagsOfSet(std::uint32_t set) const;
+
+    /** Valid-way bitmask of @p set. */
+    std::uint64_t validMask(std::uint32_t set) const;
+
+    /** Demand lookups that hit. */
+    std::uint64_t hits() const { return _hits.value(); }
+
+    /** Demand lookups that missed. */
+    std::uint64_t misses() const { return _misses.value(); }
+
+    /** Valid blocks evicted by fills. */
+    std::uint64_t evictions() const { return _evictions.value(); }
+
+    /** Dirty blocks evicted by fills. */
+    std::uint64_t dirtyEvictions() const
+    {
+        return _dirtyEvictions.value();
+    }
+
+    /** Reset statistics (contents untouched). */
+    void resetCounters();
+
+    /** Register the hit/miss/eviction counters with @p reg. */
+    void registerStats(stats::Registry &reg);
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    Line &lineAt(std::uint32_t set, std::uint32_t way);
+    const Line &lineAt(std::uint32_t set, std::uint32_t way) const;
+
+    CacheConfig _config;
+    AddrLayout _layout;
+    std::vector<Line> _lines;
+    std::unique_ptr<ReplacementPolicy> _repl;
+
+    stats::Counter _hits{"cache.hits", "demand hits"};
+    stats::Counter _misses{"cache.misses", "demand misses"};
+    stats::Counter _evictions{"cache.evictions", "valid blocks evicted"};
+    stats::Counter _dirtyEvictions{"cache.dirty_evictions",
+                                   "dirty blocks evicted"};
+};
+
+} // namespace c8t::mem
+
+#endif // C8T_MEM_CACHE_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Functional memory implementation.
+ */
+
+#include "mem/functional_mem.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace c8t::mem
+{
+
+std::uint64_t
+FunctionalMemory::readWord(Addr addr) const
+{
+    auto it = _words.find(addr & ~7ull);
+    return it == _words.end() ? 0 : it->second;
+}
+
+void
+FunctionalMemory::writeWord(Addr addr, std::uint64_t value)
+{
+    const Addr word = addr & ~7ull;
+    if (value == 0) {
+        // Keep the map sparse: zero is the default.
+        _words.erase(word);
+    } else {
+        _words[word] = value;
+    }
+}
+
+void
+FunctionalMemory::readBytes(Addr addr, std::uint8_t *out,
+                            std::size_t len) const
+{
+    std::size_t i = 0;
+    while (i < len) {
+        const Addr a = addr + i;
+        const Addr word_base = a & ~7ull;
+        const std::uint64_t w = readWord(word_base);
+        const std::size_t off = static_cast<std::size_t>(a - word_base);
+        const std::size_t n = std::min<std::size_t>(8 - off, len - i);
+        for (std::size_t b = 0; b < n; ++b)
+            out[i + b] = static_cast<std::uint8_t>(w >> (8 * (off + b)));
+        i += n;
+    }
+}
+
+std::vector<std::uint8_t>
+FunctionalMemory::readBytes(Addr addr, std::size_t len) const
+{
+    std::vector<std::uint8_t> out(len);
+    readBytes(addr, out.data(), len);
+    return out;
+}
+
+void
+FunctionalMemory::writeBytes(Addr addr, const std::uint8_t *data,
+                             std::size_t len)
+{
+    std::size_t i = 0;
+    while (i < len) {
+        const Addr a = addr + i;
+        const Addr word_base = a & ~7ull;
+        std::uint64_t w = readWord(word_base);
+        const std::size_t off = static_cast<std::size_t>(a - word_base);
+        const std::size_t n = std::min<std::size_t>(8 - off, len - i);
+        for (std::size_t b = 0; b < n; ++b) {
+            const std::size_t shift = 8 * (off + b);
+            w &= ~(0xffull << shift);
+            w |= static_cast<std::uint64_t>(data[i + b]) << shift;
+        }
+        writeWord(word_base, w);
+        i += n;
+    }
+}
+
+} // namespace c8t::mem

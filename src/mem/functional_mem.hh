@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Sparse functional backing memory.
+ *
+ * Holds the architectural state below the cache. Storage is a sparse
+ * map of 64-bit words; untouched memory reads as zero. Byte-granular
+ * accessors let the cache move arbitrary block sizes.
+ */
+
+#ifndef C8T_MEM_FUNCTIONAL_MEM_HH
+#define C8T_MEM_FUNCTIONAL_MEM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/addr.hh"
+
+namespace c8t::mem
+{
+
+/**
+ * Sparse, word-granular functional memory.
+ */
+class FunctionalMemory
+{
+  public:
+    /** Read the aligned 64-bit word containing @p addr. */
+    std::uint64_t readWord(Addr addr) const;
+
+    /** Write the aligned 64-bit word containing @p addr. */
+    void writeWord(Addr addr, std::uint64_t value);
+
+    /** Read @p len bytes starting at @p addr into @p out. */
+    void readBytes(Addr addr, std::uint8_t *out, std::size_t len) const;
+
+    /** Convenience: read @p len bytes as a vector. */
+    std::vector<std::uint8_t> readBytes(Addr addr, std::size_t len) const;
+
+    /** Write @p len bytes starting at @p addr. */
+    void writeBytes(Addr addr, const std::uint8_t *data, std::size_t len);
+
+    /** Number of distinct words ever written. */
+    std::size_t touchedWords() const { return _words.size(); }
+
+    /** Drop all contents (memory reads as zero again). */
+    void clear() { _words.clear(); }
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> _words;
+};
+
+} // namespace c8t::mem
+
+#endif // C8T_MEM_FUNCTIONAL_MEM_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Cell model implementations.
+ */
+
+#include "sram/cell.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace c8t::sram
+{
+
+const char *
+toString(CellType t)
+{
+    return t == CellType::SixT ? "6T" : "8T";
+}
+
+bool
+Cell6T::read(double vdd, double vdd_stable)
+{
+    const bool sensed = _q;
+    if (vdd < vdd_stable) {
+        // Read disturb: the voltage divider across the access device
+        // raises the internal '0' node above the trip point. Worst-case
+        // behavioural model: the cell flips.
+        _q = !_q;
+    }
+    return sensed;
+}
+
+void
+Cell6T::halfSelect(double vdd, double vdd_stable)
+{
+    // Identical bias condition to a read; discard the sensed value.
+    (void)read(vdd, vdd_stable);
+}
+
+double
+noiseMargin(CellType type, CellOp op, double vdd, const StabilityParams &p)
+{
+    const double overdrive = std::max(vdd - p.vth, 0.0);
+    switch (op) {
+      case CellOp::Hold:
+        return p.kHold * overdrive;
+      case CellOp::Read:
+        if (type == CellType::SixT)
+            return p.kRead6T * overdrive;
+        // 8T: the read stack is decoupled from the storage node, so
+        // read stability equals hold stability.
+        return p.kHold * overdrive;
+      case CellOp::Write:
+        return p.kWrite * overdrive;
+    }
+    return 0.0;
+}
+
+namespace
+{
+
+/** Standard normal upper-tail probability Q(x) = P(N(0,1) > x). */
+double
+gaussianTail(double x)
+{
+    return 0.5 * std::erfc(x / std::sqrt(2.0));
+}
+
+} // anonymous namespace
+
+double
+failureProbability(CellType type, CellOp op, double vdd,
+                   const StabilityParams &p)
+{
+    const double margin = noiseMargin(type, op, vdd, p);
+    // Margin variation grows as the supply shrinks: sigma scales with
+    // sigmaVth amplified at low voltage (random dopant fluctuation has
+    // proportionally more impact near threshold).
+    const double sigma = p.sigmaVth * std::sqrt(1.0 / std::max(vdd, 0.2));
+    if (sigma <= 0.0)
+        return margin > 0.0 ? 0.0 : 1.0;
+    // Failure when the Gaussian margin sample falls below zero.
+    return gaussianTail(margin / sigma);
+}
+
+double
+vmin(CellType type, double target_pfail, const StabilityParams &p)
+{
+    // The binding constraint is the worst operation at each voltage.
+    auto worst_pfail = [&](double v) {
+        return std::max({failureProbability(type, CellOp::Hold, v, p),
+                         failureProbability(type, CellOp::Read, v, p),
+                         failureProbability(type, CellOp::Write, v, p)});
+    };
+
+    double lo = p.vth;
+    double hi = 1.4;
+    if (worst_pfail(hi) > target_pfail)
+        return hi; // not attainable in range; report the ceiling
+
+    for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (worst_pfail(mid) <= target_pfail)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+} // namespace c8t::sram

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Hamming(72,64) SEC-DED implementation.
+ */
+
+#include "sram/ecc.hh"
+
+#include <cassert>
+
+namespace c8t::sram
+{
+
+bool
+Codeword72::get(std::uint32_t idx) const
+{
+    assert(idx < bits);
+    return (_w[idx >> 6] >> (idx & 63)) & 1;
+}
+
+void
+Codeword72::set(std::uint32_t idx, bool v)
+{
+    assert(idx < bits);
+    const std::uint64_t mask = 1ull << (idx & 63);
+    if (v)
+        _w[idx >> 6] |= mask;
+    else
+        _w[idx >> 6] &= ~mask;
+}
+
+void
+Codeword72::flip(std::uint32_t idx)
+{
+    assert(idx < bits);
+    _w[idx >> 6] ^= 1ull << (idx & 63);
+}
+
+const char *
+toString(EccStatus s)
+{
+    switch (s) {
+      case EccStatus::Ok:
+        return "ok";
+      case EccStatus::Corrected:
+        return "corrected";
+      case EccStatus::DetectedUncorrectable:
+        return "detected_uncorrectable";
+    }
+    return "?";
+}
+
+bool
+SecDed72::isCheckPosition(std::uint32_t pos)
+{
+    return (pos & (pos - 1)) == 0; // powers of two: 1, 2, 4, ..., 64
+}
+
+Codeword72
+SecDed72::encode(std::uint64_t data)
+{
+    Codeword72 cw;
+
+    // Scatter data bits into non-power-of-two positions 1..71.
+    std::uint32_t data_idx = 0;
+    for (std::uint32_t pos = 1; pos <= 71; ++pos) {
+        if (isCheckPosition(pos))
+            continue;
+        cw.set(pos, (data >> data_idx) & 1);
+        ++data_idx;
+    }
+    assert(data_idx == 64);
+
+    // Hamming check bits: check bit at position p covers every position
+    // whose index has bit p set.
+    for (std::uint32_t p = 1; p <= 64; p <<= 1) {
+        bool parity = false;
+        for (std::uint32_t pos = 1; pos <= 71; ++pos) {
+            if (pos != p && (pos & p))
+                parity ^= cw.get(pos);
+        }
+        cw.set(p, parity);
+    }
+
+    // Overall parity over positions 1..71 stored at position 0.
+    bool overall = false;
+    for (std::uint32_t pos = 1; pos <= 71; ++pos)
+        overall ^= cw.get(pos);
+    cw.set(0, overall);
+
+    return cw;
+}
+
+EccDecodeResult
+SecDed72::decode(const Codeword72 &cw)
+{
+    // Syndrome: xor of the indices of all set positions.
+    std::uint32_t syndrome = 0;
+    for (std::uint32_t pos = 1; pos <= 71; ++pos) {
+        if (cw.get(pos))
+            syndrome ^= pos;
+    }
+
+    bool overall = cw.get(0);
+    for (std::uint32_t pos = 1; pos <= 71; ++pos)
+        overall ^= cw.get(pos);
+    const bool parity_error = overall; // nonzero xor => parity mismatch
+
+    Codeword72 fixed = cw;
+    EccStatus status;
+
+    if (syndrome == 0 && !parity_error) {
+        status = EccStatus::Ok;
+    } else if (parity_error) {
+        // Odd number of errors; assume one and correct it. A syndrome
+        // of zero means the overall-parity bit itself flipped.
+        if (syndrome != 0) {
+            if (syndrome <= 71) {
+                fixed.flip(syndrome);
+                status = EccStatus::Corrected;
+            } else {
+                status = EccStatus::DetectedUncorrectable;
+            }
+        } else {
+            fixed.set(0, !fixed.get(0));
+            status = EccStatus::Corrected;
+        }
+    } else {
+        // Even number of errors with a non-zero syndrome: double error.
+        status = EccStatus::DetectedUncorrectable;
+    }
+
+    // Gather the (possibly corrected) data bits.
+    EccDecodeResult result;
+    result.status = status;
+    std::uint32_t data_idx = 0;
+    for (std::uint32_t pos = 1; pos <= 71; ++pos) {
+        if (isCheckPosition(pos))
+            continue;
+        if (fixed.get(pos))
+            result.data |= 1ull << data_idx;
+        ++data_idx;
+    }
+    return result;
+}
+
+} // namespace c8t::sram

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * cacti-lite implementation.
+ */
+
+#include "sram/energy.hh"
+
+namespace c8t::sram
+{
+
+EnergyModel::EnergyModel(ArrayGeometry geom, TechParams tech)
+    : _geom(geom), _tech(tech)
+{}
+
+double
+EnergyModel::activeColumns() const
+{
+    // An RMW-style row operation cycles the entire set row regardless of
+    // horizontal partitioning (every subarray slice of the row is
+    // activated), so all columns count.
+    return static_cast<double>(_geom.columns());
+}
+
+double
+EnergyModel::bitlineCap() const
+{
+    // A column's bit line spans one subarray vertically.
+    const double rows = static_cast<double>(_tech.rowsPerSubarray);
+    return rows * _tech.cBitlinePerCell;
+}
+
+double
+EnergyModel::wordlineCap() const
+{
+    return activeColumns() * _tech.cWordlinePerCell;
+}
+
+double
+EnergyModel::rowReadEnergy() const
+{
+    const double v2 = _tech.vdd * _tech.vdd;
+    // Precharge + discharge: on average half the RBLs swing fully
+    // (cells holding zero discharge them), all were precharged.
+    const double e_bitlines = activeColumns() * bitlineCap() * v2 * 0.5;
+    const double e_wordline = wordlineCap() * v2;
+    const double e_sense = activeColumns() * _tech.cSensePerColumn * v2;
+    return e_bitlines + e_wordline + e_sense;
+}
+
+double
+EnergyModel::rowWriteEnergy() const
+{
+    const double v2 = _tech.vdd * _tech.vdd;
+    // Differential WBL/WBLB pair: one of the two lines swings per
+    // column, plus the cell internal nodes flip with activity ~0.5.
+    const double e_bitlines = activeColumns() * bitlineCap() * v2;
+    const double e_wordline = wordlineCap() * v2;
+    const double e_cells = activeColumns() * _tech.cLatchBit * v2 * 0.5;
+    return e_bitlines + e_wordline + e_cells;
+}
+
+double
+EnergyModel::partialWriteEnergy(std::uint32_t bytes) const
+{
+    const double v2 = _tech.vdd * _tech.vdd;
+    const double cols = static_cast<double>(bytes) * 8.0;
+    const double e_bitlines = cols * bitlineCap() * v2;
+    const double e_wordline = wordlineCap() * v2; // WWL spans the row
+    const double e_cells = cols * _tech.cLatchBit * v2 * 0.5;
+    return e_bitlines + e_wordline + e_cells;
+}
+
+double
+EnergyModel::setBufferReadEnergy(std::uint32_t bytes) const
+{
+    const double v2 = _tech.vdd * _tech.vdd;
+    return static_cast<double>(bytes) * 8.0 * _tech.cLatchBit * v2 * 0.5;
+}
+
+double
+EnergyModel::setBufferWriteEnergy(std::uint32_t bytes) const
+{
+    const double v2 = _tech.vdd * _tech.vdd;
+    return static_cast<double>(bytes) * 8.0 * _tech.cLatchBit * v2;
+}
+
+double
+EnergyModel::tagCompareEnergy(std::uint32_t tag_bits,
+                              std::uint32_t ways) const
+{
+    const double v2 = _tech.vdd * _tech.vdd;
+    return static_cast<double>(tag_bits) * ways * _tech.cCompareBit * v2;
+}
+
+double
+EnergyModel::rowReadLatency() const
+{
+    // Lumped RC stages: word line charge, bit line discharge through
+    // the cell stack, sense margin development (~0.69 RC each).
+    const double t_wl = 0.69 * _tech.rDriver * wordlineCap();
+    const double t_bl = 0.69 * _tech.rCell * bitlineCap();
+    const double t_sense = 0.69 * _tech.rDriver * _tech.cSensePerColumn;
+    return t_wl + t_bl + t_sense;
+}
+
+double
+EnergyModel::rowWriteLatency() const
+{
+    const double t_wl = 0.69 * _tech.rDriver * wordlineCap();
+    const double t_bl = 0.69 * _tech.rDriver * bitlineCap();
+    return t_wl + t_bl;
+}
+
+double
+EnergyModel::setBufferLatency() const
+{
+    // One latch stage plus a mux: a small fraction of a row access.
+    const double c_word = 64.0 * _tech.cLatchBit;
+    return 0.69 * _tech.rDriver * c_word;
+}
+
+double
+EnergyModel::leakagePower() const
+{
+    const double cells =
+        static_cast<double>(_geom.rows) * _geom.columns();
+    return cells * _tech.leakPerCell;
+}
+
+double
+EnergyModel::dataArrayArea(CellType cell_type) const
+{
+    const double per_cell =
+        cell_type == CellType::SixT ? _tech.area6T : _tech.area8T;
+    const double cells =
+        static_cast<double>(_geom.rows) * _geom.columns();
+    return cells * per_cell * (1.0 + _tech.peripheryOverhead);
+}
+
+double
+EnergyModel::setBufferArea() const
+{
+    // One row of latches sharing the existing write-driver pitch: a
+    // latch bit costs ~1.3x an 8T cell footprint.
+    const double bits = static_cast<double>(_geom.columns());
+    return bits * 1.3 * _tech.area8T;
+}
+
+double
+EnergyModel::setBufferOverheadFraction() const
+{
+    return setBufferArea() / dataArrayArea(CellType::EightT);
+}
+
+std::uint32_t
+EnergyModel::tagBufferBits(std::uint32_t set_index_bits,
+                           std::uint32_t tag_bits, std::uint32_t ways)
+{
+    return set_index_bits + tag_bits * ways + 1; // +1: the Dirty bit
+}
+
+} // namespace c8t::sram

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Upset campaign implementation.
+ */
+
+#include "sram/fault_injection.hh"
+
+#include <cassert>
+
+namespace c8t::sram
+{
+
+EccProtectedRow::EccProtectedRow(std::uint32_t words, std::uint32_t degree)
+    : _map(words, Codeword72::bits, degree),
+      _codewords(words, SecDed72::encode(0))
+{}
+
+void
+EccProtectedRow::writeWord(std::uint32_t w, std::uint64_t data)
+{
+    assert(w < words());
+    _codewords[w] = SecDed72::encode(data);
+}
+
+EccDecodeResult
+EccProtectedRow::readWord(std::uint32_t w) const
+{
+    assert(w < words());
+    return SecDed72::decode(_codewords[w]);
+}
+
+void
+EccProtectedRow::strike(std::uint32_t col)
+{
+    assert(col < columns());
+    const std::uint32_t word = _map.wordOf(col);
+    const std::uint32_t bit = _map.bitOf(col);
+    _codewords[word].flip(bit);
+}
+
+UpsetStats
+runUpsetCampaign(const UpsetCampaign &cfg)
+{
+    assert(cfg.burstLength >= 1);
+    trace::Rng rng(cfg.seed);
+    UpsetStats out;
+
+    std::vector<std::uint64_t> original(cfg.words);
+
+    for (std::uint32_t trial = 0; trial < cfg.trials; ++trial) {
+        EccProtectedRow row(cfg.words, cfg.degree);
+        for (std::uint32_t w = 0; w < cfg.words; ++w) {
+            original[w] = rng.next();
+            row.writeWord(w, original[w]);
+        }
+
+        // One physically contiguous burst, fully inside the row.
+        const std::uint32_t start = static_cast<std::uint32_t>(
+            rng.below(row.columns() - cfg.burstLength + 1));
+        std::vector<std::uint32_t> hits_per_word(cfg.words, 0);
+        for (std::uint32_t i = 0; i < cfg.burstLength; ++i) {
+            row.strike(start + i);
+            ++hits_per_word[row.wordOfColumn(start + i)];
+        }
+
+        bool all_recovered = true;
+        for (std::uint32_t w = 0; w < cfg.words; ++w) {
+            if (hits_per_word[w] >= 2)
+                ++out.multiBitWords;
+            if (hits_per_word[w] == 0)
+                continue;
+
+            const EccDecodeResult r = row.readWord(w);
+            switch (r.status) {
+              case EccStatus::Corrected:
+                ++out.corrected;
+                break;
+              case EccStatus::DetectedUncorrectable:
+                ++out.detectedUncorrectable;
+                all_recovered = false;
+                break;
+              case EccStatus::Ok:
+                break;
+            }
+            if (r.status != EccStatus::DetectedUncorrectable &&
+                r.data != original[w]) {
+                ++out.silentCorruptions;
+                all_recovered = false;
+            }
+        }
+        if (all_recovered)
+            ++out.fullyRecoveredTrials;
+        ++out.trials;
+    }
+    return out;
+}
+
+} // namespace c8t::sram

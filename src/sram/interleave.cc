@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Interleaving map implementation.
+ */
+
+#include "sram/interleave.hh"
+
+#include <cassert>
+
+namespace c8t::sram
+{
+
+InterleaveMap::InterleaveMap(std::uint32_t words,
+                             std::uint32_t bits_per_word,
+                             std::uint32_t degree)
+    : _words(words), _bitsPerWord(bits_per_word), _degree(degree)
+{
+    assert(words > 0 && bits_per_word > 0 && degree > 0);
+    assert(words % degree == 0 &&
+           "word count must be a multiple of the interleave degree");
+}
+
+std::uint32_t
+InterleaveMap::toPhysical(std::uint32_t word, std::uint32_t bit) const
+{
+    assert(word < _words && bit < _bitsPerWord);
+    const std::uint32_t group = word / _degree;
+    const std::uint32_t lane = word % _degree;
+    const std::uint32_t group_base = group * _bitsPerWord * _degree;
+    return group_base + bit * _degree + lane;
+}
+
+std::uint32_t
+InterleaveMap::wordOf(std::uint32_t col) const
+{
+    assert(col < columns());
+    const std::uint32_t group_span = _bitsPerWord * _degree;
+    const std::uint32_t group = col / group_span;
+    const std::uint32_t lane = (col % group_span) % _degree;
+    return group * _degree + lane;
+}
+
+std::uint32_t
+InterleaveMap::bitOf(std::uint32_t col) const
+{
+    assert(col < columns());
+    const std::uint32_t group_span = _bitsPerWord * _degree;
+    return (col % group_span) / _degree;
+}
+
+} // namespace c8t::sram

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bit-interleaving maps.
+ *
+ * Bit interleaving spreads the bits of one logical word across the
+ * physical row so that a multi-bit upset (a particle strike hitting
+ * adjacent physical cells) lands in *different* words, each of which a
+ * per-word SEC-DED code can then correct. This is the design decision
+ * that causes the column-selection problem the paper addresses: since
+ * word lines are shared by the whole physical row, a write to one word
+ * half-selects the interleaved neighbours.
+ *
+ * The map is bijective between (word, bit) logical coordinates and
+ * physical column indices. Layout for interleave degree IL: words are
+ * grouped IL at a time; within a group, bit b of word w sits at column
+ *
+ *     group_base + b * IL + (w % IL)
+ *
+ * so physically adjacent columns hold the same bit index of IL
+ * different words.
+ */
+
+#ifndef C8T_SRAM_INTERLEAVE_HH
+#define C8T_SRAM_INTERLEAVE_HH
+
+#include <cstdint>
+
+namespace c8t::sram
+{
+
+/**
+ * A bijective interleaving map for a row of @c words() logical words of
+ * @c bitsPerWord() bits with interleave degree @c degree().
+ */
+class InterleaveMap
+{
+  public:
+    /**
+     * @param words         Number of logical words in the row (> 0,
+     *                      multiple of @p degree).
+     * @param bits_per_word Bits per logical word (> 0).
+     * @param degree        Interleave degree (1 = non-interleaved).
+     */
+    InterleaveMap(std::uint32_t words, std::uint32_t bits_per_word,
+                  std::uint32_t degree);
+
+    /** Physical column of logical (word, bit). */
+    std::uint32_t toPhysical(std::uint32_t word, std::uint32_t bit) const;
+
+    /** Logical word index holding physical column @p col. */
+    std::uint32_t wordOf(std::uint32_t col) const;
+
+    /** Logical bit index (within its word) of physical column @p col. */
+    std::uint32_t bitOf(std::uint32_t col) const;
+
+    /** Number of logical words. */
+    std::uint32_t words() const { return _words; }
+
+    /** Bits per logical word. */
+    std::uint32_t bitsPerWord() const { return _bitsPerWord; }
+
+    /** Interleave degree. */
+    std::uint32_t degree() const { return _degree; }
+
+    /** Total physical columns in the row. */
+    std::uint32_t columns() const { return _words * _bitsPerWord; }
+
+  private:
+    std::uint32_t _words;
+    std::uint32_t _bitsPerWord;
+    std::uint32_t _degree;
+};
+
+} // namespace c8t::sram
+
+#endif // C8T_SRAM_INTERLEAVE_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The 8T array's 1R/1W port pair.
+ *
+ * 8T cells give the array one read port (RWL/RBL) and one write port
+ * (WWL/WBL) that can operate in the same cycle — unless the write is an
+ * RMW, whose read phase occupies the read port too, which is one of the
+ * performance costs the paper attacks. This scheduler tracks when each
+ * port is next free and measures the contention.
+ */
+
+#ifndef C8T_SRAM_PORTS_HH
+#define C8T_SRAM_PORTS_HH
+
+#include <cstdint>
+
+#include "stats/counter.hh"
+#include "stats/registry.hh"
+
+namespace c8t::sram
+{
+
+/** Which ports an operation occupies. */
+enum class PortUse : std::uint8_t {
+    /** Read port only (a plain array read). */
+    ReadPort,
+    /** Write port only (a write-back whose row image is buffered). */
+    WritePort,
+    /** Both ports (an RMW write: read phase + write phase). */
+    BothPorts,
+};
+
+/**
+ * Busy-until scheduler for the 1R/1W port pair.
+ *
+ * Operations are scheduled in non-decreasing request time; each returns
+ * its actual start cycle after waiting for the ports it needs.
+ */
+class PortScheduler
+{
+  public:
+    PortScheduler() = default;
+
+    /**
+     * Schedule an operation.
+     *
+     * @param use      Ports occupied.
+     * @param earliest First cycle the operation could start.
+     * @param duration Cycles the ports stay busy.
+     * @return The cycle the operation actually starts.
+     */
+    std::uint64_t schedule(PortUse use, std::uint64_t earliest,
+                           std::uint32_t duration);
+
+    /** Cycle at which the read port becomes free. */
+    std::uint64_t readFreeAt() const { return _readFreeAt; }
+
+    /** Cycle at which the write port becomes free. */
+    std::uint64_t writeFreeAt() const { return _writeFreeAt; }
+
+    /** Total cycles operations spent waiting for a busy port. */
+    std::uint64_t stallCycles() const { return _stallCycles.value(); }
+
+    /** Number of operations that had to wait. */
+    std::uint64_t conflicts() const { return _conflicts.value(); }
+
+    /** Total cycles the read port was held. */
+    std::uint64_t readBusyCycles() const { return _readBusy.value(); }
+
+    /** Total cycles the write port was held. */
+    std::uint64_t writeBusyCycles() const { return _writeBusy.value(); }
+
+    /** Reset schedule and counters. */
+    void reset();
+
+    /** Register the contention counters with @p reg. */
+    void registerStats(stats::Registry &reg);
+
+  private:
+    std::uint64_t _readFreeAt = 0;
+    std::uint64_t _writeFreeAt = 0;
+
+    stats::Counter _stallCycles{"ports.stall_cycles",
+                                "cycles spent waiting for a busy port"};
+    stats::Counter _conflicts{"ports.conflicts",
+                              "operations delayed by port contention"};
+    stats::Counter _readBusy{"ports.read_busy_cycles",
+                             "cycles the read port was held"};
+    stats::Counter _writeBusy{"ports.write_busy_cycles",
+                              "cycles the write port was held"};
+};
+
+} // namespace c8t::sram
+
+#endif // C8T_SRAM_PORTS_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Sub-array conflict model implementation.
+ */
+
+#include "sram/subarray.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace c8t::sram
+{
+
+const char *
+toString(WriteStyle s)
+{
+    switch (s) {
+      case WriteStyle::GlobalRmw:
+        return "global_rmw";
+      case WriteStyle::LocalRmw:
+        return "local_rmw";
+      case WriteStyle::BufferedWriteback:
+        return "buffered_writeback";
+    }
+    return "?";
+}
+
+SubarrayModel::SubarrayModel(std::uint32_t rows,
+                             std::uint32_t rows_per_subarray,
+                             WriteStyle style)
+    : _rowsPerSubarray(rows_per_subarray),
+      _subarrays((rows + rows_per_subarray - 1) / rows_per_subarray),
+      _style(style), _busyUntil(_subarrays, 0)
+{
+    assert(rows_per_subarray > 0 && rows > 0);
+}
+
+void
+SubarrayModel::write(std::uint32_t row, std::uint64_t start,
+                     std::uint32_t duration)
+{
+    const std::uint64_t end = start + duration;
+    switch (_style) {
+      case WriteStyle::GlobalRmw:
+        // The read port itself is held: everything is blocked.
+        _globalBusyUntil = std::max(_globalBusyUntil, end);
+        break;
+      case WriteStyle::LocalRmw:
+        _busyUntil[subarrayOf(row)] =
+            std::max(_busyUntil[subarrayOf(row)], end);
+        break;
+      case WriteStyle::BufferedWriteback:
+        // The row image is latched; the write drivers work without
+        // touching the read path.
+        break;
+    }
+}
+
+std::uint64_t
+SubarrayModel::read(std::uint32_t row, std::uint64_t when)
+{
+    ++_reads;
+
+    std::uint64_t free_at = 0;
+    switch (_style) {
+      case WriteStyle::GlobalRmw:
+        free_at = _globalBusyUntil;
+        break;
+      case WriteStyle::LocalRmw:
+        free_at = _busyUntil[subarrayOf(row)];
+        break;
+      case WriteStyle::BufferedWriteback:
+        free_at = 0;
+        break;
+    }
+
+    if (free_at > when) {
+        ++_blockedReads;
+        _blockedCycles += free_at - when;
+        return free_at;
+    }
+    return when;
+}
+
+} // namespace c8t::sram

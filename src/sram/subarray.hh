@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Sub-array conflict model.
+ *
+ * Park et al. (the LocalRMW baseline) exploit hierarchical read bit
+ * lines: the RMW's read phase stays inside one sub-array, so a
+ * concurrent read can proceed — unless it targets the *same* sub-array,
+ * which is busy performing the write-back. This model quantifies that
+ * residual blocking: it tracks per-sub-array busy windows and reports
+ * how often a read would have been blocked under
+ *
+ *  - global RMW   (any in-flight write blocks every read),
+ *  - LocalRMW     (blocks reads to the busy sub-array only),
+ *  - WG-style write-backs (write port only; reads never blocked).
+ */
+
+#ifndef C8T_SRAM_SUBARRAY_HH
+#define C8T_SRAM_SUBARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/counter.hh"
+
+namespace c8t::sram
+{
+
+/** How a write engages the array for conflict purposes. */
+enum class WriteStyle : std::uint8_t {
+    /** Global RMW: the shared read port is held for the whole row
+     *  operation — every concurrent read is blocked. */
+    GlobalRmw,
+    /** Park et al.: only the target sub-array is unavailable. */
+    LocalRmw,
+    /** Set-Buffer write-back: the read path is untouched. */
+    BufferedWriteback,
+};
+
+/** Human readable style name. */
+const char *toString(WriteStyle s);
+
+/**
+ * Tracks sub-array occupancy over time and classifies read-vs-write
+ * conflicts for one write style.
+ */
+class SubarrayModel
+{
+  public:
+    /**
+     * @param rows             Total array rows.
+     * @param rows_per_subarray Vertical partition size (> 0).
+     * @param style            Write engagement style.
+     */
+    SubarrayModel(std::uint32_t rows, std::uint32_t rows_per_subarray,
+                  WriteStyle style);
+
+    /** Number of sub-arrays. */
+    std::uint32_t subarrays() const { return _subarrays; }
+
+    /** Sub-array containing @p row. */
+    std::uint32_t subarrayOf(std::uint32_t row) const
+    {
+        return row / _rowsPerSubarray;
+    }
+
+    /**
+     * Record a write to @p row occupying its resources during
+     * [@p start, @p start + @p duration).
+     */
+    void write(std::uint32_t row, std::uint64_t start,
+               std::uint32_t duration);
+
+    /**
+     * Attempt a read of @p row at @p when.
+     * @return The cycle the read can actually start (== @p when if
+     *         unblocked).
+     */
+    std::uint64_t read(std::uint32_t row, std::uint64_t when);
+
+    /** Reads attempted. */
+    std::uint64_t reads() const { return _reads.value(); }
+
+    /** Reads delayed by an in-flight write. */
+    std::uint64_t blockedReads() const { return _blockedReads.value(); }
+
+    /** Total cycles reads spent blocked. */
+    std::uint64_t blockedCycles() const
+    {
+        return _blockedCycles.value();
+    }
+
+    /** The style in effect. */
+    WriteStyle style() const { return _style; }
+
+  private:
+    std::uint32_t _rowsPerSubarray;
+    std::uint32_t _subarrays;
+    WriteStyle _style;
+
+    /** Per-sub-array busy-until cycle. */
+    std::vector<std::uint64_t> _busyUntil;
+
+    /** Global read-port busy-until (GlobalRmw only). */
+    std::uint64_t _globalBusyUntil = 0;
+
+    stats::Counter _reads{"subarray.reads", "reads attempted"};
+    stats::Counter _blockedReads{"subarray.blocked_reads",
+                                 "reads delayed by writes"};
+    stats::Counter _blockedCycles{"subarray.blocked_cycles",
+                                  "cycles reads spent blocked"};
+};
+
+} // namespace c8t::sram
+
+#endif // C8T_SRAM_SUBARRAY_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Write-assist implementation.
+ */
+
+#include "sram/write_assist.hh"
+
+#include <cassert>
+
+#include "trace/rng.hh"
+
+namespace c8t::sram
+{
+
+const char *
+toString(AssistLevel l)
+{
+    switch (l) {
+      case AssistLevel::Nominal:
+        return "nominal";
+      case AssistLevel::WidePulse:
+        return "wide_pulse";
+      case AssistLevel::BoostedVoltage:
+        return "boosted";
+    }
+    return "?";
+}
+
+WriteAssist::WriteAssist(std::uint32_t rows, WriteAssistParams params)
+    : _params(params), _rowClass(rows, 0)
+{
+    assert(rows > 0);
+    trace::Rng rng(_params.seed);
+    for (auto &cls : _rowClass) {
+        if (rng.chance(_params.weakRowFraction)) {
+            cls = rng.chance(_params.boostNeedingFraction)
+                      ? 2 : 1;
+        }
+    }
+}
+
+bool
+WriteAssist::rowIsWeak(std::uint32_t row) const
+{
+    assert(row < _rowClass.size());
+    return _rowClass[row] != 0;
+}
+
+AssistLevel
+WriteAssist::write(std::uint32_t row)
+{
+    assert(row < _rowClass.size());
+    switch (_rowClass[row]) {
+      case 0:
+        ++_nominal;
+        return AssistLevel::Nominal;
+      case 1:
+        ++_wide;
+        return AssistLevel::WidePulse;
+      default:
+        ++_boosted;
+        return AssistLevel::BoostedVoltage;
+    }
+}
+
+double
+WriteAssist::meanLatencyFactor() const
+{
+    const std::uint64_t total =
+        _nominal.value() + _wide.value() + _boosted.value();
+    if (total == 0)
+        return 1.0;
+    const double sum =
+        static_cast<double>(_nominal.value()) +
+        _wide.value() * _params.widePulseLatencyFactor +
+        _boosted.value() * _params.boostLatencyFactor;
+    return sum / static_cast<double>(total);
+}
+
+double
+WriteAssist::meanEnergyFactor() const
+{
+    const std::uint64_t total =
+        _nominal.value() + _wide.value() + _boosted.value();
+    if (total == 0)
+        return 1.0;
+    const double sum =
+        static_cast<double>(_nominal.value()) +
+        _wide.value() * _params.widePulseEnergyFactor +
+        _boosted.value() * _params.boostEnergyFactor;
+    return sum / static_cast<double>(total);
+}
+
+} // namespace c8t::sram

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Write-assist model: Kim et al.'s adaptive write word-line pulse
+ * width and voltage modulation (the §2 related-work baseline for
+ * *dynamic write failures* in bit-interleaved 8T arrays).
+ *
+ * Mechanism being modelled: under voltage scaling some cells are too
+ * weak to be written by the nominal WWL pulse. Rather than margining
+ * every write for the weakest cell (slow, power hungry), the adaptive
+ * scheme tries the nominal pulse and escalates — longer pulse, then a
+ * boosted WWL voltage — only when a weak cell is addressed. This model
+ * captures the statistics: a deterministic pseudo-random weak-cell map
+ * per array, per-write escalation decisions, and the resulting
+ * latency/energy distribution, so the scheme's costs can be compared
+ * against the margined design point.
+ */
+
+#ifndef C8T_SRAM_WRITE_ASSIST_HH
+#define C8T_SRAM_WRITE_ASSIST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/counter.hh"
+
+namespace c8t::sram
+{
+
+/** Escalation level used to complete a write. */
+enum class AssistLevel : std::uint8_t {
+    /** Nominal pulse width at nominal WWL voltage. */
+    Nominal,
+    /** Extended pulse width. */
+    WidePulse,
+    /** Extended pulse + boosted WWL voltage. */
+    BoostedVoltage,
+};
+
+/** Human readable level name. */
+const char *toString(AssistLevel l);
+
+/** Parameters of the assist policy. */
+struct WriteAssistParams
+{
+    /** Probability a row contains at least one pulse-weak cell at the
+     *  operating voltage (grows as Vdd shrinks). */
+    double weakRowFraction = 0.02;
+
+    /** Fraction of the weak rows that even the wide pulse cannot
+     *  write (they need the voltage boost). */
+    double boostNeedingFraction = 0.1;
+
+    /** Latency multipliers relative to the nominal pulse. */
+    double widePulseLatencyFactor = 1.5;
+    double boostLatencyFactor = 1.8;
+
+    /** Energy multipliers relative to the nominal pulse. */
+    double widePulseEnergyFactor = 1.4;
+    double boostEnergyFactor = 2.0;
+
+    /** Deterministic seed of the weak-cell map. */
+    std::uint64_t seed = 99;
+};
+
+/**
+ * Per-array write-assist controller.
+ *
+ * The weak-row map is fixed at construction (process variation is
+ * static); writes to weak rows escalate deterministically.
+ */
+class WriteAssist
+{
+  public:
+    /**
+     * @param rows   Array rows.
+     * @param params Policy parameters.
+     */
+    WriteAssist(std::uint32_t rows, WriteAssistParams params = {});
+
+    /**
+     * Account one row write.
+     * @param row The target row.
+     * @return The escalation level the write needed.
+     */
+    AssistLevel write(std::uint32_t row);
+
+    /** True when @p row carries a pulse-weak cell. */
+    bool rowIsWeak(std::uint32_t row) const;
+
+    /** Average latency factor across all writes so far (>= 1). */
+    double meanLatencyFactor() const;
+
+    /** Average energy factor across all writes so far (>= 1). */
+    double meanEnergyFactor() const;
+
+    /**
+     * The margined alternative: the factors a design would pay if
+     * every write used the worst-case (boosted) pulse.
+     */
+    double marginedLatencyFactor() const
+    {
+        return _params.boostLatencyFactor;
+    }
+    double marginedEnergyFactor() const
+    {
+        return _params.boostEnergyFactor;
+    }
+
+    /** Writes completed at each level. */
+    std::uint64_t nominalWrites() const { return _nominal.value(); }
+    std::uint64_t widePulseWrites() const { return _wide.value(); }
+    std::uint64_t boostedWrites() const { return _boosted.value(); }
+
+    /** Parameters in effect. */
+    const WriteAssistParams &params() const { return _params; }
+
+  private:
+    WriteAssistParams _params;
+    /** 0 = strong, 1 = needs wide pulse, 2 = needs boost. */
+    std::vector<std::uint8_t> _rowClass;
+
+    stats::Counter _nominal{"assist.nominal", "nominal-pulse writes"};
+    stats::Counter _wide{"assist.wide", "wide-pulse writes"};
+    stats::Counter _boosted{"assist.boosted", "boosted writes"};
+};
+
+} // namespace c8t::sram
+
+#endif // C8T_SRAM_WRITE_ASSIST_HH

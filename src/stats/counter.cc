@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Scalar statistic helpers.
+ */
+
+#include "stats/counter.hh"
+
+namespace c8t::stats
+{
+
+double
+safeRatio(std::uint64_t num, std::uint64_t den)
+{
+    if (den == 0)
+        return 0.0;
+    return static_cast<double>(num) / static_cast<double>(den);
+}
+
+double
+safePercent(std::uint64_t num, std::uint64_t den)
+{
+    return 100.0 * safeRatio(num, den);
+}
+
+} // namespace c8t::stats

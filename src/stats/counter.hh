@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Scalar statistics: event counters, gauges and derived formulas.
+ *
+ * These are the building blocks used throughout the simulator. They are
+ * intentionally lightweight (a counter increment is a single add) so that
+ * instrumenting hot paths is free in practice.
+ */
+
+#ifndef C8T_STATS_COUNTER_HH
+#define C8T_STATS_COUNTER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace c8t::stats
+{
+
+/**
+ * A monotonically increasing event counter.
+ *
+ * Counters are the canonical statistic for "number of times X happened"
+ * (array reads, Tag-Buffer hits, silent writes, ...). They carry a name
+ * and description so that reporting code can render them without extra
+ * bookkeeping at the call site.
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /**
+     * Construct a named counter.
+     *
+     * @param name Short dotted name, e.g. "array.row_reads".
+     * @param desc One-line human readable description.
+     */
+    Counter(std::string name, std::string desc)
+        : _name(std::move(name)), _desc(std::move(desc))
+    {}
+
+    /** Increment by @p n events (default one). */
+    void inc(std::uint64_t n = 1) { _value += n; }
+
+    /** Reset the counter to zero. */
+    void reset() { _value = 0; }
+
+    /** Current value. */
+    std::uint64_t value() const { return _value; }
+
+    /** Counter name. */
+    const std::string &name() const { return _name; }
+
+    /** Counter description. */
+    const std::string &desc() const { return _desc; }
+
+    /** Pre-increment sugar: ++counter. */
+    Counter &operator++() { inc(); return *this; }
+
+    /** Compound add sugar: counter += n. */
+    Counter &operator+=(std::uint64_t n) { inc(n); return *this; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    std::uint64_t _value = 0;
+};
+
+/**
+ * A floating point gauge: a value that can move in both directions
+ * (occupancy, voltage, energy accumulated in joules, ...).
+ */
+class Gauge
+{
+  public:
+    Gauge() = default;
+
+    /** Construct a named gauge. */
+    Gauge(std::string name, std::string desc)
+        : _name(std::move(name)), _desc(std::move(desc))
+    {}
+
+    /** Add @p delta (may be negative). */
+    void add(double delta) { _value += delta; }
+
+    /** Set the gauge to an absolute value. */
+    void set(double v) { _value = v; }
+
+    /** Reset to zero. */
+    void reset() { _value = 0.0; }
+
+    /** Current value. */
+    double value() const { return _value; }
+
+    /** Gauge name. */
+    const std::string &name() const { return _name; }
+
+    /** Gauge description. */
+    const std::string &desc() const { return _desc; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    double _value = 0.0;
+};
+
+/**
+ * A derived statistic computed on demand from other statistics.
+ *
+ * Formulas are evaluated lazily at reporting time, so they always reflect
+ * the final counter values without requiring explicit update calls.
+ */
+class Formula
+{
+  public:
+    Formula() = default;
+
+    /**
+     * Construct a named formula.
+     *
+     * @param name Short dotted name.
+     * @param desc One-line description.
+     * @param fn   Evaluation function; called at reporting time.
+     */
+    Formula(std::string name, std::string desc, std::function<double()> fn)
+        : _name(std::move(name)), _desc(std::move(desc)), _fn(std::move(fn))
+    {}
+
+    /** Evaluate the formula. Returns 0 when no function is bound. */
+    double value() const { return _fn ? _fn() : 0.0; }
+
+    /** Formula name. */
+    const std::string &name() const { return _name; }
+
+    /** Formula description. */
+    const std::string &desc() const { return _desc; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    std::function<double()> _fn;
+};
+
+/**
+ * Divide two counters, returning 0 when the denominator is zero.
+ *
+ * This is the common "rate" pattern (hits / accesses) with the divide-by-
+ * zero edge handled once, centrally.
+ */
+double safeRatio(std::uint64_t num, std::uint64_t den);
+
+/** Percentage variant of safeRatio(): 100 * num / den, 0 if den == 0. */
+double safePercent(std::uint64_t num, std::uint64_t den);
+
+} // namespace c8t::stats
+
+#endif // C8T_STATS_COUNTER_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Bucketed histogram implementation.
+ */
+
+#include "stats/distribution.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace c8t::stats
+{
+
+Distribution::Distribution(std::string name, std::string desc,
+                           double min, double max, std::size_t buckets)
+    : _name(std::move(name)), _desc(std::move(desc)),
+      _min(min), _max(max),
+      _buckets(std::max<std::size_t>(buckets, 1), 0)
+{
+    assert(max > min && "distribution range must be non-empty");
+}
+
+void
+Distribution::sample(double v)
+{
+    sample(v, 1);
+}
+
+void
+Distribution::sample(double v, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+
+    if (_count == 0) {
+        _minSeen = v;
+        _maxSeen = v;
+    } else {
+        _minSeen = std::min(_minSeen, v);
+        _maxSeen = std::max(_maxSeen, v);
+    }
+
+    _count += n;
+    _sum += v * static_cast<double>(n);
+    _sumSq += v * v * static_cast<double>(n);
+
+    if (v < _min) {
+        _underflow += n;
+    } else if (v >= _max) {
+        _overflow += n;
+    } else {
+        const double width = (_max - _min) / _buckets.size();
+        auto idx = static_cast<std::size_t>((v - _min) / width);
+        idx = std::min(idx, _buckets.size() - 1);
+        _buckets[idx] += n;
+    }
+}
+
+double
+Distribution::mean() const
+{
+    if (_count == 0)
+        return 0.0;
+    return _sum / static_cast<double>(_count);
+}
+
+double
+Distribution::variance() const
+{
+    if (_count == 0)
+        return 0.0;
+    const double m = mean();
+    const double var = _sumSq / static_cast<double>(_count) - m * m;
+    // Numerical cancellation can produce a tiny negative value.
+    return var > 0.0 ? var : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Distribution::bucketLow(std::size_t i) const
+{
+    const double width = (_max - _min) / _buckets.size();
+    return _min + width * static_cast<double>(i);
+}
+
+double
+Distribution::bucketHigh(std::size_t i) const
+{
+    const double width = (_max - _min) / _buckets.size();
+    return _min + width * static_cast<double>(i + 1);
+}
+
+double
+Distribution::percentile(double p) const
+{
+    std::uint64_t in_range = 0;
+    for (auto b : _buckets)
+        in_range += b;
+    if (in_range == 0)
+        return 0.0;
+
+    p = std::clamp(p, 0.0, 100.0);
+    const double target = p / 100.0 * static_cast<double>(in_range);
+
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        const double next = cumulative + static_cast<double>(_buckets[i]);
+        if (next >= target && _buckets[i] > 0) {
+            const double frac =
+                (target - cumulative) / static_cast<double>(_buckets[i]);
+            return bucketLow(i) + frac * (bucketHigh(i) - bucketLow(i));
+        }
+        cumulative = next;
+    }
+    return bucketHigh(_buckets.size() - 1);
+}
+
+void
+Distribution::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _underflow = 0;
+    _overflow = 0;
+    _count = 0;
+    _sum = 0.0;
+    _sumSq = 0.0;
+    _minSeen = 0.0;
+    _maxSeen = 0.0;
+}
+
+} // namespace c8t::stats

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Sample distributions: running moments plus a bucketed histogram.
+ *
+ * Used for quantities such as write-group sizes, read latencies and
+ * inter-access distances where the shape of the distribution matters,
+ * not just the mean.
+ */
+
+#ifndef C8T_STATS_DISTRIBUTION_HH
+#define C8T_STATS_DISTRIBUTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace c8t::stats
+{
+
+/**
+ * A fixed-bucket histogram with running mean/min/max.
+ *
+ * Buckets cover [min, max) in equal-width bins; samples outside the range
+ * are counted in dedicated underflow/overflow bins so no sample is ever
+ * silently dropped.
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /**
+     * Construct a distribution.
+     *
+     * @param name    Short dotted name.
+     * @param desc    One-line description.
+     * @param min     Inclusive lower bound of the bucketed range.
+     * @param max     Exclusive upper bound of the bucketed range.
+     * @param buckets Number of equal-width buckets (>= 1).
+     */
+    Distribution(std::string name, std::string desc,
+                 double min, double max, std::size_t buckets);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    /** Record @p n identical samples. */
+    void sample(double v, std::uint64_t n);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return _count; }
+
+    /** Mean of all samples (0 when empty). */
+    double mean() const;
+
+    /** Population variance of all samples (0 when empty). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen (0 when empty). */
+    double min() const { return _count ? _minSeen : 0.0; }
+
+    /** Largest sample seen (0 when empty). */
+    double max() const { return _count ? _maxSeen : 0.0; }
+
+    /** Samples below the bucketed range. */
+    std::uint64_t underflow() const { return _underflow; }
+
+    /** Samples at or above the bucketed range. */
+    std::uint64_t overflow() const { return _overflow; }
+
+    /** Per-bucket counts (size == bucket count passed at construction). */
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+
+    /** Inclusive lower bound of bucket @p i. */
+    double bucketLow(std::size_t i) const;
+
+    /** Exclusive upper bound of bucket @p i. */
+    double bucketHigh(std::size_t i) const;
+
+    /**
+     * Approximate p-th percentile (0 <= p <= 100) from the histogram.
+     * Linear interpolation within the containing bucket. Requires at
+     * least one in-range sample; returns 0 otherwise.
+     */
+    double percentile(double p) const;
+
+    /** Clear all samples. */
+    void reset();
+
+    /** Distribution name. */
+    const std::string &name() const { return _name; }
+
+    /** Distribution description. */
+    const std::string &desc() const { return _desc; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    double _min = 0.0;
+    double _max = 1.0;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _sumSq = 0.0;
+    double _minSeen = 0.0;
+    double _maxSeen = 0.0;
+};
+
+} // namespace c8t::stats
+
+#endif // C8T_STATS_DISTRIBUTION_HH

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Statistics registry implementation.
+ */
+
+#include "stats/registry.hh"
+
+#include <cassert>
+#include <iomanip>
+
+namespace c8t::stats
+{
+
+void
+Registry::add(Counter &c)
+{
+    assert(!c.name().empty() && "stat must be named before registration");
+    auto [it, inserted] = _counters.emplace(c.name(), &c);
+    (void)it;
+    assert(inserted && "duplicate counter name");
+    (void)inserted;
+}
+
+void
+Registry::add(Gauge &g)
+{
+    assert(!g.name().empty() && "stat must be named before registration");
+    auto [it, inserted] = _gauges.emplace(g.name(), &g);
+    (void)it;
+    assert(inserted && "duplicate gauge name");
+    (void)inserted;
+}
+
+void
+Registry::add(Formula &f)
+{
+    assert(!f.name().empty() && "stat must be named before registration");
+    auto [it, inserted] = _formulas.emplace(f.name(), &f);
+    (void)it;
+    assert(inserted && "duplicate formula name");
+    (void)inserted;
+}
+
+void
+Registry::add(Distribution &d)
+{
+    assert(!d.name().empty() && "stat must be named before registration");
+    auto [it, inserted] = _distributions.emplace(d.name(), &d);
+    (void)it;
+    assert(inserted && "duplicate distribution name");
+    (void)inserted;
+}
+
+const Counter *
+Registry::counter(const std::string &name) const
+{
+    auto it = _counters.find(name);
+    return it == _counters.end() ? nullptr : it->second;
+}
+
+const Gauge *
+Registry::gauge(const std::string &name) const
+{
+    auto it = _gauges.find(name);
+    return it == _gauges.end() ? nullptr : it->second;
+}
+
+const Formula *
+Registry::formula(const std::string &name) const
+{
+    auto it = _formulas.find(name);
+    return it == _formulas.end() ? nullptr : it->second;
+}
+
+const Distribution *
+Registry::distribution(const std::string &name) const
+{
+    auto it = _distributions.find(name);
+    return it == _distributions.end() ? nullptr : it->second;
+}
+
+std::vector<const Counter *>
+Registry::counters() const
+{
+    std::vector<const Counter *> out;
+    out.reserve(_counters.size());
+    for (const auto &kv : _counters)
+        out.push_back(kv.second);
+    return out;
+}
+
+std::vector<const Gauge *>
+Registry::gauges() const
+{
+    std::vector<const Gauge *> out;
+    out.reserve(_gauges.size());
+    for (const auto &kv : _gauges)
+        out.push_back(kv.second);
+    return out;
+}
+
+std::vector<const Formula *>
+Registry::formulas() const
+{
+    std::vector<const Formula *> out;
+    out.reserve(_formulas.size());
+    for (const auto &kv : _formulas)
+        out.push_back(kv.second);
+    return out;
+}
+
+std::vector<const Distribution *>
+Registry::distributions() const
+{
+    std::vector<const Distribution *> out;
+    out.reserve(_distributions.size());
+    for (const auto &kv : _distributions)
+        out.push_back(kv.second);
+    return out;
+}
+
+void
+Registry::resetAll()
+{
+    for (auto &kv : _counters)
+        kv.second->reset();
+    for (auto &kv : _gauges)
+        kv.second->reset();
+    for (auto &kv : _distributions)
+        kv.second->reset();
+}
+
+void
+Registry::dump(std::ostream &os) const
+{
+    const auto flags = os.flags();
+
+    for (const auto &kv : _counters) {
+        os << std::left << std::setw(44) << kv.first
+           << std::right << std::setw(16) << kv.second->value()
+           << "  # " << kv.second->desc() << '\n';
+    }
+    for (const auto &kv : _gauges) {
+        os << std::left << std::setw(44) << kv.first
+           << std::right << std::setw(16) << kv.second->value()
+           << "  # " << kv.second->desc() << '\n';
+    }
+    for (const auto &kv : _formulas) {
+        os << std::left << std::setw(44) << kv.first
+           << std::right << std::setw(16) << kv.second->value()
+           << "  # " << kv.second->desc() << '\n';
+    }
+    for (const auto &kv : _distributions) {
+        const auto *d = kv.second;
+        os << std::left << std::setw(44) << (kv.first + "::count")
+           << std::right << std::setw(16) << d->count()
+           << "  # " << d->desc() << '\n';
+        os << std::left << std::setw(44) << (kv.first + "::mean")
+           << std::right << std::setw(16) << d->mean() << '\n';
+        os << std::left << std::setw(44) << (kv.first + "::stddev")
+           << std::right << std::setw(16) << d->stddev() << '\n';
+        os << std::left << std::setw(44) << (kv.first + "::min")
+           << std::right << std::setw(16) << d->min() << '\n';
+        os << std::left << std::setw(44) << (kv.first + "::max")
+           << std::right << std::setw(16) << d->max() << '\n';
+    }
+
+    os.flags(flags);
+}
+
+std::size_t
+Registry::size() const
+{
+    return _counters.size() + _gauges.size() + _formulas.size() +
+           _distributions.size();
+}
+
+} // namespace c8t::stats

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A named registry of statistics with hierarchical group support.
+ *
+ * Components register their counters/gauges/distributions under a group
+ * prefix ("l1d.wg.", "array.", ...); reporting code walks the registry
+ * and renders everything uniformly.
+ */
+
+#ifndef C8T_STATS_REGISTRY_HH
+#define C8T_STATS_REGISTRY_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats/counter.hh"
+#include "stats/distribution.hh"
+
+namespace c8t::stats
+{
+
+/**
+ * Registry of statistics owned elsewhere.
+ *
+ * The registry stores non-owning pointers: statistic objects live inside
+ * the components that update them (so updates stay a plain member access)
+ * and are registered once at construction time. The registering component
+ * must outlive the registry or deregister on destruction; in this codebase
+ * components and their registry share the simulation's lifetime.
+ */
+class Registry
+{
+  public:
+    /** Register a counter. Names must be unique within the registry. */
+    void add(Counter &c);
+
+    /** Register a gauge. */
+    void add(Gauge &g);
+
+    /** Register a formula. */
+    void add(Formula &f);
+
+    /** Register a distribution. */
+    void add(Distribution &d);
+
+    /** Look up a counter by exact name; nullptr when absent. */
+    const Counter *counter(const std::string &name) const;
+
+    /** Look up a gauge by exact name; nullptr when absent. */
+    const Gauge *gauge(const std::string &name) const;
+
+    /** Look up a formula by exact name; nullptr when absent. */
+    const Formula *formula(const std::string &name) const;
+
+    /** Look up a distribution by exact name; nullptr when absent. */
+    const Distribution *distribution(const std::string &name) const;
+
+    /** All registered counters, in name order. */
+    std::vector<const Counter *> counters() const;
+
+    /** All registered gauges, in name order. */
+    std::vector<const Gauge *> gauges() const;
+
+    /** All registered formulas, in name order. */
+    std::vector<const Formula *> formulas() const;
+
+    /** All registered distributions, in name order. */
+    std::vector<const Distribution *> distributions() const;
+
+    /** Reset every registered mutable statistic to zero. */
+    void resetAll();
+
+    /**
+     * Dump every statistic (gem5 stats.txt flavour) to @p os.
+     * Counters and gauges print raw values; formulas print their
+     * evaluated value; distributions print summary moments.
+     */
+    void dump(std::ostream &os) const;
+
+    /** Number of registered statistics of all kinds. */
+    std::size_t size() const;
+
+  private:
+    std::map<std::string, Counter *> _counters;
+    std::map<std::string, Gauge *> _gauges;
+    std::map<std::string, Formula *> _formulas;
+    std::map<std::string, Distribution *> _distributions;
+};
+
+} // namespace c8t::stats
+
+#endif // C8T_STATS_REGISTRY_HH

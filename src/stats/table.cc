@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Table rendering implementation.
+ */
+
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace c8t::stats
+{
+
+Table::Table(std::string caption)
+    : _caption(std::move(caption))
+{}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    assert(_rows.empty() && "set the header before adding rows");
+    _header = std::move(header);
+}
+
+void
+Table::addRow(std::vector<Cell> row)
+{
+    assert(row.size() == _header.size() && "row width != header width");
+    _rows.push_back(std::move(row));
+}
+
+const Cell &
+Table::at(std::size_t row, std::size_t col) const
+{
+    assert(row < _rows.size() && col < _header.size());
+    return _rows[row][col];
+}
+
+std::string
+Table::renderCell(const Cell &c) const
+{
+    std::ostringstream os;
+    if (std::holds_alternative<std::string>(c)) {
+        os << std::get<std::string>(c);
+    } else if (std::holds_alternative<std::int64_t>(c)) {
+        os << std::get<std::int64_t>(c);
+    } else {
+        os << std::fixed << std::setprecision(_precision)
+           << std::get<double>(c);
+    }
+    return os.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    if (!_caption.empty())
+        os << _caption << '\n';
+
+    // Column widths: max over header and rendered cells.
+    std::vector<std::size_t> width(_header.size());
+    for (std::size_t c = 0; c < _header.size(); ++c)
+        width[c] = _header[c].size();
+    std::vector<std::vector<std::string>> rendered;
+    rendered.reserve(_rows.size());
+    for (const auto &row : _rows) {
+        std::vector<std::string> r;
+        r.reserve(row.size());
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            r.push_back(renderCell(row[c]));
+            width[c] = std::max(width[c], r.back().size());
+        }
+        rendered.push_back(std::move(r));
+    }
+
+    auto rule = [&]() {
+        for (std::size_t c = 0; c < _header.size(); ++c) {
+            os << '+' << std::string(width[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+
+    rule();
+    os << '|';
+    for (std::size_t c = 0; c < _header.size(); ++c)
+        os << ' ' << std::left << std::setw(width[c]) << _header[c] << " |";
+    os << '\n';
+    rule();
+
+    for (std::size_t i = 0; i < rendered.size(); ++i) {
+        const auto &r = rendered[i];
+        os << '|';
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            // Numbers right-align, text left-aligns.
+            const bool text = std::holds_alternative<std::string>(_rows[i][c]);
+            if (text)
+                os << ' ' << std::left << std::setw(width[c]) << r[c] << " |";
+            else
+                os << ' ' << std::right << std::setw(width[c]) << r[c] << " |";
+        }
+        os << '\n';
+    }
+    rule();
+}
+
+std::string
+Table::csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char ch : s) {
+        if (ch == '"')
+            out += "\"\"";
+        else
+            out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    for (std::size_t c = 0; c < _header.size(); ++c) {
+        if (c)
+            os << ',';
+        os << csvEscape(_header[c]);
+    }
+    os << '\n';
+    for (const auto &row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << csvEscape(renderCell(row[c]));
+        }
+        os << '\n';
+    }
+}
+
+double
+columnMean(const Table &t, std::size_t col)
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+        const Cell &c = t.at(r, col);
+        if (std::holds_alternative<double>(c)) {
+            sum += std::get<double>(c);
+            ++n;
+        } else if (std::holds_alternative<std::int64_t>(c)) {
+            sum += static_cast<double>(std::get<std::int64_t>(c));
+            ++n;
+        }
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+} // namespace c8t::stats

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Aligned-column table and CSV formatting.
+ *
+ * Every bench binary reproduces one of the paper's tables or figures and
+ * prints it as rows; this module centralises the rendering so all outputs
+ * share one look and can also be emitted as CSV for plotting.
+ */
+
+#ifndef C8T_STATS_TABLE_HH
+#define C8T_STATS_TABLE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace c8t::stats
+{
+
+/**
+ * A cell in a table: text, integer, or floating point (with per-table
+ * precision control applied at render time).
+ */
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+/**
+ * A simple rectangular table.
+ *
+ * Usage:
+ * @code
+ * Table t("Figure 9: cache access frequency reduction");
+ * t.setHeader({"benchmark", "WG (%)", "WG+RB (%)"});
+ * t.addRow({"bwaves", 47.1, 49.3});
+ * t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct a table with an optional caption printed above it. */
+    explicit Table(std::string caption = "");
+
+    /** Set the column headers; fixes the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row. Row width must match the header width. */
+    void addRow(std::vector<Cell> row);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return _rows.size(); }
+
+    /** Number of columns (0 before setHeader()). */
+    std::size_t cols() const { return _header.size(); }
+
+    /** Digits after the decimal point for double cells (default 2). */
+    void setPrecision(int digits) { _precision = digits; }
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (RFC-4180 quoting for embedded commas/quotes). */
+    void printCsv(std::ostream &os) const;
+
+    /** Table caption. */
+    const std::string &caption() const { return _caption; }
+
+    /** Access a cell (row-major); bounds are asserted. */
+    const Cell &at(std::size_t row, std::size_t col) const;
+
+  private:
+    std::string renderCell(const Cell &c) const;
+    static std::string csvEscape(const std::string &s);
+
+    std::string _caption;
+    std::vector<std::string> _header;
+    std::vector<std::vector<Cell>> _rows;
+    int _precision = 2;
+};
+
+/**
+ * Compute the arithmetic mean of a column of doubles; string cells are
+ * skipped, integer cells are included. Returns 0 on an empty column.
+ */
+double columnMean(const Table &t, std::size_t col);
+
+} // namespace c8t::stats
+
+#endif // C8T_STATS_TABLE_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * MemAccess helpers.
+ */
+
+#include "trace/access.hh"
+
+#include <sstream>
+
+namespace c8t::trace
+{
+
+const char *
+toString(AccessType t)
+{
+    return t == AccessType::Read ? "R" : "W";
+}
+
+std::string
+MemAccess::toString() const
+{
+    std::ostringstream os;
+    os << c8t::trace::toString(type) << " 0x" << std::hex << addr
+       << std::dec << " sz=" << static_cast<unsigned>(size)
+       << " gap=" << gap;
+    if (isWrite())
+        os << " data=0x" << std::hex << data << std::dec;
+    return os.str();
+}
+
+} // namespace c8t::trace

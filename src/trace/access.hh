@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The memory-access record exchanged between workload generators, traces
+ * and the cache model, plus the generator interface.
+ */
+
+#ifndef C8T_TRACE_ACCESS_HH
+#define C8T_TRACE_ACCESS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace c8t::trace
+{
+
+/** Kind of memory access. */
+enum class AccessType : std::uint8_t {
+    Read = 0,
+    Write = 1,
+};
+
+/** Human-readable name ("R"/"W"). */
+const char *toString(AccessType t);
+
+/**
+ * One dynamic memory access.
+ *
+ * The record carries the data payload so that silent stores are a real,
+ * observable property of the stream (the Set-Buffer detects them by value
+ * comparison, exactly as the proposed hardware does) rather than a flag.
+ *
+ * @c gap is the number of non-memory instructions executed since the
+ * previous memory access; it reconstructs the paper's "share of executed
+ * instructions that are memory requests" (Figure 3) and feeds the timing
+ * model.
+ */
+struct MemAccess
+{
+    /** Byte address (physical; up to 48 bits used). */
+    std::uint64_t addr = 0;
+
+    /** Data payload for writes (little endian, @c size bytes valid).
+     *  Ignored for reads. */
+    std::uint64_t data = 0;
+
+    /** Non-memory instructions since the previous memory access. */
+    std::uint32_t gap = 0;
+
+    /** Access size in bytes: 1, 2, 4 or 8; must not straddle an 8-byte
+     *  word boundary. */
+    std::uint8_t size = 8;
+
+    /** Read or write. */
+    AccessType type = AccessType::Read;
+
+    /** True when the access is a write. */
+    bool isWrite() const { return type == AccessType::Write; }
+
+    /** True when the access is a read. */
+    bool isRead() const { return type == AccessType::Read; }
+
+    /** Render as "R 0x1234 sz=8" style text (for debugging/traces). */
+    std::string toString() const;
+
+    /** Field-wise equality (used by trace round-trip tests). */
+    bool operator==(const MemAccess &other) const = default;
+};
+
+/**
+ * A source of memory accesses.
+ *
+ * Implementations include the calibrated SPEC-profile Markov model, the
+ * kernel workloads, and the trace-file reader. Generators are pull-based:
+ * the simulator asks for the next access until the stream ends.
+ */
+class AccessGenerator
+{
+  public:
+    virtual ~AccessGenerator() = default;
+
+    /**
+     * Produce the next access.
+     *
+     * @param out Filled in on success.
+     * @retval true  An access was produced.
+     * @retval false The stream has ended; @p out is unchanged.
+     */
+    virtual bool next(MemAccess &out) = 0;
+
+    /** Restart the stream from the beginning (same seed, same content). */
+    virtual void reset() = 0;
+
+    /** Short generator name for reports. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace c8t::trace
+
+#endif // C8T_TRACE_ACCESS_HH

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Kernel workload implementations.
+ */
+
+#include "trace/kernels.hh"
+
+#include <cassert>
+#include <numeric>
+
+namespace c8t::trace
+{
+
+namespace
+{
+
+/** Disjoint base addresses for the kernels' data structures. */
+constexpr std::uint64_t srcBase = 0x200000000ull;
+constexpr std::uint64_t dstBase = 0x240000000ull;
+
+} // anonymous namespace
+
+std::uint64_t
+KernelBase::shadowValue(std::uint64_t addr) const
+{
+    auto it = _shadow.find(addr & ~7ull);
+    return it == _shadow.end() ? 0 : it->second;
+}
+
+MemAccess
+KernelBase::makeRead(std::uint64_t addr, std::uint32_t gap)
+{
+    MemAccess a;
+    a.addr = addr & ~7ull;
+    a.type = AccessType::Read;
+    a.size = 8;
+    a.gap = gap;
+    return a;
+}
+
+MemAccess
+KernelBase::makeWrite(std::uint64_t addr, std::uint64_t value,
+                      std::uint32_t gap)
+{
+    MemAccess a;
+    a.addr = addr & ~7ull;
+    a.type = AccessType::Write;
+    a.size = 8;
+    a.gap = gap;
+    a.data = value;
+    _shadow[a.addr] = value;
+    return a;
+}
+
+MemAccess
+KernelBase::makeSilentWrite(std::uint64_t addr, std::uint32_t gap)
+{
+    MemAccess a;
+    a.addr = addr & ~7ull;
+    a.type = AccessType::Write;
+    a.size = 8;
+    a.gap = gap;
+    a.data = shadowValue(a.addr);
+    return a;
+}
+
+std::uint64_t
+KernelBase::freshValue(std::uint64_t addr)
+{
+    std::uint64_t state = ++_valueCounter;
+    std::uint64_t v = splitmix64(state);
+    if (v == shadowValue(addr))
+        ++v;
+    return v;
+}
+
+void
+KernelBase::resetBase()
+{
+    _rng.seed(_seed);
+    _shadow.clear();
+    _valueCounter = 0;
+}
+
+// ---------------------------------------------------------------------
+// StreamCopyKernel
+
+StreamCopyKernel::StreamCopyKernel(std::uint64_t elements,
+                                   std::uint32_t passes, std::uint64_t seed)
+    : KernelBase(seed), _elements(elements), _passes(passes)
+{
+    assert(elements > 0 && passes > 0);
+}
+
+bool
+StreamCopyKernel::next(MemAccess &out)
+{
+    if (_pass >= _passes)
+        return false;
+
+    const std::uint64_t src = srcBase + _i * 8;
+    const std::uint64_t dst = dstBase + _i * 8;
+
+    if (!_phaseWrite) {
+        out = makeRead(src, 2);
+        _phaseWrite = true;
+    } else {
+        out = makeWrite(dst, freshValue(dst), 1);
+        _phaseWrite = false;
+        if (++_i == _elements) {
+            _i = 0;
+            ++_pass;
+        }
+    }
+    return true;
+}
+
+void
+StreamCopyKernel::reset()
+{
+    resetBase();
+    _i = 0;
+    _pass = 0;
+    _phaseWrite = false;
+}
+
+// ---------------------------------------------------------------------
+// StencilKernel
+
+StencilKernel::StencilKernel(std::uint64_t elements, std::uint32_t passes,
+                             std::uint64_t seed)
+    : KernelBase(seed), _elements(elements), _passes(passes)
+{
+    assert(elements >= 3 && passes > 0);
+}
+
+bool
+StencilKernel::next(MemAccess &out)
+{
+    if (_pass >= _passes)
+        return false;
+
+    if (_step < 3) {
+        // Loads a[i-1], a[i], a[i+1].
+        const std::uint64_t idx = _i - 1 + static_cast<std::uint64_t>(_step);
+        out = makeRead(srcBase + idx * 8, _step == 0 ? 2 : 0);
+        ++_step;
+    } else {
+        out = makeWrite(dstBase + _i * 8, freshValue(dstBase + _i * 8), 1);
+        _step = 0;
+        if (++_i >= _elements - 1) {
+            _i = 1;
+            ++_pass;
+        }
+    }
+    return true;
+}
+
+void
+StencilKernel::reset()
+{
+    resetBase();
+    _i = 1;
+    _pass = 0;
+    _step = 0;
+}
+
+// ---------------------------------------------------------------------
+// PointerChaseKernel
+
+PointerChaseKernel::PointerChaseKernel(std::uint64_t nodes,
+                                       std::uint64_t hops,
+                                       std::uint64_t seed)
+    : KernelBase(seed), _nodes(nodes), _hops(hops)
+{
+    assert(nodes > 0 && hops > 0);
+    _inc = nodes / 2 + 1;
+    while (std::gcd(_inc, _nodes) != 1)
+        ++_inc;
+}
+
+bool
+PointerChaseKernel::next(MemAccess &out)
+{
+    if (_done >= _hops)
+        return false;
+
+    _pos = (_pos + _inc) % _nodes;
+    out = makeRead(srcBase + _pos * 64, 3);
+    ++_done;
+    return true;
+}
+
+void
+PointerChaseKernel::reset()
+{
+    resetBase();
+    _done = 0;
+    _pos = 0;
+}
+
+// ---------------------------------------------------------------------
+// HashUpdateKernel
+
+HashUpdateKernel::HashUpdateKernel(std::uint64_t buckets,
+                                   std::uint64_t updates,
+                                   double silent_frac, double skew,
+                                   std::uint64_t seed)
+    : KernelBase(seed), _buckets(buckets), _updates(updates),
+      _silentFrac(silent_frac), _skew(skew)
+{
+    assert(buckets > 0 && updates > 0);
+}
+
+bool
+HashUpdateKernel::next(MemAccess &out)
+{
+    if (_done >= _updates)
+        return false;
+
+    if (!_phaseWrite) {
+        _curAddr = srcBase + _rng.zipf(_buckets, _skew) * 8;
+        out = makeRead(_curAddr, 2);
+        _phaseWrite = true;
+    } else {
+        if (_rng.chance(_silentFrac))
+            out = makeSilentWrite(_curAddr);
+        else
+            out = makeWrite(_curAddr, freshValue(_curAddr));
+        _phaseWrite = false;
+        ++_done;
+    }
+    return true;
+}
+
+void
+HashUpdateKernel::reset()
+{
+    resetBase();
+    _done = 0;
+    _phaseWrite = false;
+    _curAddr = 0;
+}
+
+// ---------------------------------------------------------------------
+// FillKernel
+
+FillKernel::FillKernel(std::uint64_t elements, std::uint32_t passes,
+                       std::uint64_t value, std::uint64_t seed)
+    : KernelBase(seed), _elements(elements), _passes(passes),
+      _value(value)
+{
+    assert(elements > 0 && passes > 0);
+}
+
+bool
+FillKernel::next(MemAccess &out)
+{
+    if (_pass >= _passes)
+        return false;
+
+    const std::uint64_t addr = dstBase + _i * 8;
+    // makeWrite updates the shadow, so second-pass stores carry the
+    // value already present — genuinely silent.
+    if (shadowValue(addr) == _value)
+        out = makeSilentWrite(addr, 1);
+    else
+        out = makeWrite(addr, _value, 1);
+
+    if (++_i == _elements) {
+        _i = 0;
+        ++_pass;
+    }
+    return true;
+}
+
+void
+FillKernel::reset()
+{
+    resetBase();
+    _i = 0;
+    _pass = 0;
+}
+
+// ---------------------------------------------------------------------
+// TransposeKernel
+
+TransposeKernel::TransposeKernel(std::uint64_t dim, std::uint64_t tile,
+                                 std::uint64_t seed)
+    : KernelBase(seed), _dim(dim), _tile(tile)
+{
+    assert(dim > 0 && tile > 0 && tile <= dim && dim % tile == 0);
+}
+
+bool
+TransposeKernel::advance()
+{
+    if (++_j == _tile) {
+        _j = 0;
+        if (++_i == _tile) {
+            _i = 0;
+            _tj += _tile;
+            if (_tj >= _dim) {
+                _tj = 0;
+                _ti += _tile;
+                if (_ti >= _dim) {
+                    _finished = true;
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+bool
+TransposeKernel::next(MemAccess &out)
+{
+    if (_finished)
+        return false;
+
+    const std::uint64_t row = _ti + _i;
+    const std::uint64_t col = _tj + _j;
+
+    if (!_phaseWrite) {
+        // Read src[row][col] (row-major).
+        out = makeRead(srcBase + (row * _dim + col) * 8, 1);
+        _phaseWrite = true;
+    } else {
+        // Write dst[col][row] (transposed position).
+        const std::uint64_t addr = dstBase + (col * _dim + row) * 8;
+        out = makeWrite(addr, freshValue(addr), 1);
+        _phaseWrite = false;
+        advance();
+    }
+    return true;
+}
+
+void
+TransposeKernel::reset()
+{
+    resetBase();
+    _ti = _tj = _i = _j = 0;
+    _phaseWrite = false;
+    _finished = false;
+}
+
+} // namespace c8t::trace

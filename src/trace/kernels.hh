@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Kernel workloads: small, recognisable access-pattern generators used
+ * by the examples and the scheme-comparison ablation bench. Unlike the
+ * calibrated SPEC profiles these are *programs*: each generator walks a
+ * concrete data structure, so their behaviour under the write schemes
+ * has an obvious code-level interpretation.
+ */
+
+#ifndef C8T_TRACE_KERNELS_HH
+#define C8T_TRACE_KERNELS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "trace/access.hh"
+#include "trace/rng.hh"
+
+namespace c8t::trace
+{
+
+/**
+ * Common machinery for kernels: an architectural shadow memory so write
+ * payloads are real values and silent stores are genuinely silent.
+ */
+class KernelBase : public AccessGenerator
+{
+  public:
+    explicit KernelBase(std::uint64_t seed) : _rng(seed), _seed(seed) {}
+
+    /** Architectural value of the word at @p addr (0 if never written). */
+    std::uint64_t shadowValue(std::uint64_t addr) const;
+
+  protected:
+    /** Emit a read of the 8-byte word at @p addr. */
+    MemAccess makeRead(std::uint64_t addr, std::uint32_t gap = 0);
+
+    /** Emit a write of @p value to the word at @p addr. */
+    MemAccess makeWrite(std::uint64_t addr, std::uint64_t value,
+                        std::uint32_t gap = 0);
+
+    /** Emit a write that re-stores the current value (a silent store). */
+    MemAccess makeSilentWrite(std::uint64_t addr, std::uint32_t gap = 0);
+
+    /** A fresh value guaranteed to differ from the current one. */
+    std::uint64_t freshValue(std::uint64_t addr);
+
+    /** Reset shadow state and RNG (call from subclass reset()). */
+    void resetBase();
+
+    Rng _rng;
+
+  private:
+    std::uint64_t _seed;
+    std::unordered_map<std::uint64_t, std::uint64_t> _shadow;
+    std::uint64_t _valueCounter = 0;
+};
+
+/**
+ * STREAM-style copy: for i in [0, n): load src[i]; store dst[i].
+ * Pure streaming; writes are never silent. Exercises sequential WW/RW
+ * behaviour at block granularity.
+ */
+class StreamCopyKernel : public KernelBase
+{
+  public:
+    /**
+     * @param elements Number of 8-byte elements to copy.
+     * @param passes   Number of full passes over the arrays.
+     * @param seed     RNG seed (used only for data values).
+     */
+    StreamCopyKernel(std::uint64_t elements, std::uint32_t passes = 1,
+                     std::uint64_t seed = 42);
+
+    bool next(MemAccess &out) override;
+    void reset() override;
+    std::string name() const override { return "stream_copy"; }
+
+  private:
+    std::uint64_t _elements;
+    std::uint32_t _passes;
+    std::uint64_t _i = 0;
+    std::uint32_t _pass = 0;
+    bool _phaseWrite = false;
+};
+
+/**
+ * 1-D 3-point stencil: for i: load a[i-1], a[i], a[i+1]; store b[i].
+ * Read-dominated with strong spatial reuse; the classic WG+RB-friendly
+ * shape (many RR pairs within one set).
+ */
+class StencilKernel : public KernelBase
+{
+  public:
+    StencilKernel(std::uint64_t elements, std::uint32_t passes = 1,
+                  std::uint64_t seed = 43);
+
+    bool next(MemAccess &out) override;
+    void reset() override;
+    std::string name() const override { return "stencil3"; }
+
+  private:
+    std::uint64_t _elements;
+    std::uint32_t _passes;
+    std::uint64_t _i = 1;
+    std::uint32_t _pass = 0;
+    int _step = 0; // 0..2 loads, 3 store
+};
+
+/**
+ * Pointer chase: repeatedly load node->next over a scrambled ring.
+ * Read-only, no spatial locality — the worst case for grouping and the
+ * best case for showing that WG adds no overhead to read streams.
+ */
+class PointerChaseKernel : public KernelBase
+{
+  public:
+    PointerChaseKernel(std::uint64_t nodes, std::uint64_t hops,
+                       std::uint64_t seed = 44);
+
+    bool next(MemAccess &out) override;
+    void reset() override;
+    std::string name() const override { return "pointer_chase"; }
+
+  private:
+    std::uint64_t _nodes;
+    std::uint64_t _hops;
+    std::uint64_t _done = 0;
+    std::uint64_t _pos = 0;
+    std::uint64_t _inc;
+};
+
+/**
+ * Histogram / hash-update kernel: load bucket, store bucket (an
+ * in-place read-modify-write at the program level). A fraction of the
+ * updates store an unchanged value — e.g. saturating counters or
+ * re-inserted keys — producing genuine silent stores. Dense WR/RW
+ * same-set pairs make this the natural Write Grouping showcase.
+ */
+class HashUpdateKernel : public KernelBase
+{
+  public:
+    /**
+     * @param buckets     Number of 8-byte buckets.
+     * @param updates     Number of update operations (each = 1R + 1W).
+     * @param silentFrac  Fraction of updates whose store is silent.
+     * @param skew        Hot-bucket skew (0 = uniform).
+     * @param seed        RNG seed.
+     */
+    HashUpdateKernel(std::uint64_t buckets, std::uint64_t updates,
+                     double silent_frac = 0.3, double skew = 0.8,
+                     std::uint64_t seed = 45);
+
+    bool next(MemAccess &out) override;
+    void reset() override;
+    std::string name() const override { return "hash_update"; }
+
+  private:
+    std::uint64_t _buckets;
+    std::uint64_t _updates;
+    double _silentFrac;
+    double _skew;
+    std::uint64_t _done = 0;
+    bool _phaseWrite = false;
+    std::uint64_t _curAddr = 0;
+};
+
+/**
+ * memset-style fill kernel: write every word of a buffer with one
+ * value, repeatedly. From the second pass on every store is silent —
+ * the densest silent-write workload possible (zeroing pools, clearing
+ * bitmaps, re-initialising buffers are the real-world analogues the
+ * silent-store literature cites).
+ */
+class FillKernel : public KernelBase
+{
+  public:
+    /**
+     * @param elements Number of 8-byte words in the buffer.
+     * @param passes   Number of fill passes (>= 1).
+     * @param value    The fill value.
+     * @param seed     RNG seed (unused; kept for interface symmetry).
+     */
+    FillKernel(std::uint64_t elements, std::uint32_t passes = 2,
+               std::uint64_t value = 0xa5a5a5a5a5a5a5a5ull,
+               std::uint64_t seed = 47);
+
+    bool next(MemAccess &out) override;
+    void reset() override;
+    std::string name() const override { return "fill"; }
+
+  private:
+    std::uint64_t _elements;
+    std::uint32_t _passes;
+    std::uint64_t _value;
+    std::uint64_t _i = 0;
+    std::uint32_t _pass = 0;
+};
+
+/**
+ * Blocked matrix transpose-like kernel: reads a row-major tile, writes
+ * a column-major tile. Mixed strides stress the set-mapping logic.
+ */
+class TransposeKernel : public KernelBase
+{
+  public:
+    /**
+     * @param dim  Matrix dimension (dim x dim of 8-byte elements).
+     * @param tile Tile edge length in elements.
+     * @param seed RNG seed.
+     */
+    TransposeKernel(std::uint64_t dim, std::uint64_t tile = 8,
+                    std::uint64_t seed = 46);
+
+    bool next(MemAccess &out) override;
+    void reset() override;
+    std::string name() const override { return "transpose"; }
+
+  private:
+    bool advance();
+
+    std::uint64_t _dim;
+    std::uint64_t _tile;
+    std::uint64_t _ti = 0, _tj = 0; // tile origin
+    std::uint64_t _i = 0, _j = 0;   // within tile
+    bool _phaseWrite = false;
+    bool _finished = false;
+};
+
+} // namespace c8t::trace
+
+#endif // C8T_TRACE_KERNELS_HH

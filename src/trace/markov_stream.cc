@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Markov stream model implementation.
+ *
+ * Type/scenario algebra. Let r = readShare, w = 1 - r, and let rr, rw,
+ * ww, wr be the same-set pair shares (fractions of all pairs). Then:
+ *
+ *   P(cur = R, same | prev = R) = rr / r
+ *   P(cur = W, same | prev = R) = rw / r
+ *   P(cur = R, same | prev = W) = wr / w
+ *   P(cur = W, same | prev = W) = ww / w
+ *
+ * reproduce the pair shares exactly (multiply by the stationary type
+ * probability of the previous access). The remaining probability mass in
+ * each row is a diff-set access whose type is drawn independently with
+ * P(write) = wStar. Stationarity of the type marginal requires
+ *
+ *   w = rw + ww + wStar * (1 - rr - rw - ww - wr)
+ *   =>  wStar = (w - ww - rw) / (1 - sameSetShare)
+ *
+ * which validate() checks lands in [0, 1].
+ */
+
+#include "trace/markov_stream.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace c8t::trace
+{
+
+namespace
+{
+
+/** Base virtual address of every stream's data region. */
+constexpr std::uint64_t regionBase = 0x100000000ull;
+
+void
+requireProb(double v, const char *what, const std::string &bench)
+{
+    if (v < 0.0 || v > 1.0) {
+        std::ostringstream os;
+        os << "StreamParams[" << bench << "]: " << what << " = " << v
+           << " outside [0, 1]";
+        throw std::invalid_argument(os.str());
+    }
+}
+
+} // anonymous namespace
+
+double
+StreamParams::diffSetWriteProb() const
+{
+    const double same = sameSetShare();
+    if (same >= 1.0)
+        return 0.0;
+    return (writeShare() - ww - rw) / (1.0 - same);
+}
+
+void
+StreamParams::validate() const
+{
+    requireProb(memFraction, "memFraction", name);
+    requireProb(readShare, "readShare", name);
+    requireProb(rr, "rr", name);
+    requireProb(rw, "rw", name);
+    requireProb(ww, "ww", name);
+    requireProb(wr, "wr", name);
+    requireProb(silentFraction, "silentFraction", name);
+    requireProb(sameBlockBias, "sameBlockBias", name);
+    requireProb(pWriteReturn, "pWriteReturn", name);
+    requireProb(pReadReturn, "pReadReturn", name);
+
+    if (memFraction <= 0.0) {
+        throw std::invalid_argument(
+            "StreamParams[" + name + "]: memFraction must be positive");
+    }
+
+    const double same = sameSetShare();
+    if (same >= 1.0) {
+        throw std::invalid_argument(
+            "StreamParams[" + name + "]: same-set shares sum to >= 1");
+    }
+    if (rr + rw > readShare + 1e-12) {
+        throw std::invalid_argument(
+            "StreamParams[" + name +
+            "]: rr + rw exceeds readShare (impossible pair shares)");
+    }
+    if (ww + wr > writeShare() + 1e-12) {
+        throw std::invalid_argument(
+            "StreamParams[" + name +
+            "]: ww + wr exceeds writeShare (impossible pair shares)");
+    }
+
+    const double w_star = diffSetWriteProb();
+    if (w_star < -1e-12 || w_star > 1.0 + 1e-12) {
+        std::ostringstream os;
+        os << "StreamParams[" << name << "]: residual write probability "
+           << w_star << " outside [0, 1]; the type mix and pair shares "
+           << "are jointly infeasible";
+        throw std::invalid_argument(os.str());
+    }
+
+    if (footprintBytes < refSetSpan) {
+        throw std::invalid_argument(
+            "StreamParams[" + name + "]: footprint smaller than one pass "
+            "over the reference sets (" + std::to_string(refSetSpan) +
+            " bytes)");
+    }
+    if (seqWeight + randWeight + hotWeight + chaseWeight <= 0.0) {
+        throw std::invalid_argument(
+            "StreamParams[" + name + "]: all mixture weights are zero");
+    }
+}
+
+MarkovStream::MarkovStream(StreamParams params)
+    : _params(std::move(params)), _rng(_params.seed)
+{
+    _params.validate();
+    // Round the footprint up to a whole number of reference-set spans so
+    // that same-set tag hops can wrap without changing the set index.
+    _footprint =
+        (_params.footprintBytes + refSetSpan - 1) / refSetSpan * refSetSpan;
+    _base = regionBase;
+    buildPatterns();
+}
+
+void
+MarkovStream::buildPatterns()
+{
+    _mixture = std::make_unique<MixturePattern>();
+    if (_params.seqWeight > 0.0) {
+        _mixture->add(std::make_unique<SequentialPattern>(
+                          _base, _footprint, 8),
+                      _params.seqWeight);
+    }
+    if (_params.randWeight > 0.0) {
+        if (_params.randWindowBytes >= 8 &&
+            _params.randWindowBytes < _footprint) {
+            // Phase length amortises the window's cold start: ~4
+            // touches per word in the window per phase.
+            const std::uint64_t phase_draws =
+                _params.randWindowBytes / 2;
+            _mixture->add(std::make_unique<WindowedRandomPattern>(
+                              _base, _footprint,
+                              _params.randWindowBytes, phase_draws),
+                          _params.randWeight);
+        } else {
+            _mixture->add(std::make_unique<RandomPattern>(
+                              _base, _footprint, 8),
+                          _params.randWeight);
+        }
+    }
+    if (_params.hotWeight > 0.0) {
+        // Hot region: two reference-set spans (32 KB) — comfortably
+        // cache-resident.
+        const std::uint64_t hot_len = std::min<std::uint64_t>(
+            _footprint, 2 * refSetSpan);
+        _mixture->add(std::make_unique<HotspotPattern>(
+                          _base, hot_len, _params.hotSkew),
+                      _params.hotWeight);
+    }
+    if (_params.chaseWeight > 0.0) {
+        _mixture->add(std::make_unique<PointerChasePattern>(
+                          _base, _footprint / 64, 64),
+                      _params.chaseWeight);
+    }
+}
+
+void
+MarkovStream::reset()
+{
+    _rng.seed(_params.seed);
+    _mixture->reset();
+    _first = true;
+    _prevType = AccessType::Read;
+    _prevAddr = 0;
+    _lastWriteAddr = 0;
+    _haveLastWrite = false;
+    _shadow.clear();
+    _valueCounter = 0;
+}
+
+std::uint64_t
+MarkovStream::shadowValue(std::uint64_t addr) const
+{
+    auto it = _shadow.find(addr & ~7ull);
+    return it == _shadow.end() ? 0 : it->second;
+}
+
+std::uint64_t
+MarkovStream::sameSetAddr(std::uint64_t prev)
+{
+    const std::uint64_t block = prev / refBlockBytes * refBlockBytes;
+    if (_rng.chance(_params.sameBlockBias)) {
+        // Same reference block, random word within it.
+        return block + _rng.below(refBlockBytes / 8) * 8;
+    }
+    // Different block, same reference set: hop a small number of set
+    // spans, wrapping within the footprint (a multiple of refSetSpan,
+    // so the set index is preserved).
+    const std::uint64_t hops = _rng.between(1, 3);
+    const std::uint64_t word = block + _rng.below(refBlockBytes / 8) * 8;
+    const std::uint64_t off = (word - _base + hops * refSetSpan) % _footprint;
+    return _base + off;
+}
+
+std::uint64_t
+MarkovStream::diffSetAddr(std::uint64_t prev, AccessType cur)
+{
+    // Optionally return to the most recently written set — but only when
+    // that would not accidentally create a consecutive same-set pair,
+    // which would distort the calibrated Figure 4 shares. Writes return
+    // more often than reads (spatio-temporal store reuse).
+    const double p_return = cur == AccessType::Write
+                                ? _params.pWriteReturn
+                                : _params.pReadReturn;
+    if (_haveLastWrite && _rng.chance(p_return) &&
+        refSetOf(_lastWriteAddr) != refSetOf(prev)) {
+        const std::uint64_t block =
+            _lastWriteAddr / refBlockBytes * refBlockBytes;
+        return block + _rng.below(refBlockBytes / 8) * 8;
+    }
+
+    std::uint64_t addr = _mixture->nextAddr(_rng) & ~7ull;
+    if (!_first && refSetOf(addr) == refSetOf(prev)) {
+        // Bump one reference block forward: adjacent blocks map to
+        // adjacent sets, so this guarantees a different set while
+        // preserving the pattern's spatial character.
+        addr += refBlockBytes;
+        if (addr >= _base + _footprint)
+            addr -= _footprint;
+    }
+    return addr;
+}
+
+std::uint64_t
+MarkovStream::freshValue(std::uint64_t addr)
+{
+    // Unique-per-write values so a non-silent write can never be
+    // accidentally silent.
+    std::uint64_t state = ++_valueCounter;
+    std::uint64_t v = splitmix64(state);
+    const std::uint64_t word = addr & ~7ull;
+    auto it = _shadow.find(word);
+    const std::uint64_t current = it == _shadow.end() ? 0 : it->second;
+    if (v == current)
+        ++v;
+    return v;
+}
+
+bool
+MarkovStream::next(MemAccess &out)
+{
+    out.gap = static_cast<std::uint32_t>(
+        _rng.geometric(_params.memFraction));
+    out.size = 8;
+
+    AccessType cur;
+    bool same_set;
+
+    if (_first) {
+        cur = _rng.chance(_params.writeShare()) ? AccessType::Write
+                                                : AccessType::Read;
+        same_set = false;
+    } else if (_prevType == AccessType::Read) {
+        const double r = _params.readShare;
+        const double u = _rng.uniform();
+        if (r > 0.0 && u < _params.rr / r) {
+            cur = AccessType::Read;
+            same_set = true;
+        } else if (r > 0.0 && u < (_params.rr + _params.rw) / r) {
+            cur = AccessType::Write;
+            same_set = true;
+        } else {
+            same_set = false;
+            cur = _rng.chance(_params.diffSetWriteProb())
+                      ? AccessType::Write : AccessType::Read;
+        }
+    } else {
+        const double w = _params.writeShare();
+        const double u = _rng.uniform();
+        if (w > 0.0 && u < _params.ww / w) {
+            cur = AccessType::Write;
+            same_set = true;
+        } else if (w > 0.0 && u < (_params.ww + _params.wr) / w) {
+            cur = AccessType::Read;
+            same_set = true;
+        } else {
+            same_set = false;
+            cur = _rng.chance(_params.diffSetWriteProb())
+                      ? AccessType::Write : AccessType::Read;
+        }
+    }
+
+    const std::uint64_t addr = (_first || !same_set)
+                                   ? diffSetAddr(_prevAddr, cur)
+                                   : sameSetAddr(_prevAddr);
+
+    out.addr = addr;
+    out.type = cur;
+    out.data = 0;
+
+    if (cur == AccessType::Write) {
+        const std::uint64_t word = addr & ~7ull;
+        if (_rng.chance(_params.silentFraction)) {
+            auto it = _shadow.find(word);
+            out.data = it == _shadow.end() ? 0 : it->second;
+        } else {
+            out.data = freshValue(addr);
+            _shadow[word] = out.data;
+        }
+        _lastWriteAddr = addr;
+        _haveLastWrite = true;
+    }
+
+    _prevType = cur;
+    _prevAddr = addr;
+    _first = false;
+    return true;
+}
+
+} // namespace c8t::trace

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The calibrated Markov access-stream model.
+ *
+ * This is the substitution for Pin-instrumented SPEC CPU2006 runs (see
+ * DESIGN.md §2): a first-order Markov model over (access type, cache-set
+ * relation) whose stationary statistics are *exactly* the per-benchmark
+ * quantities the paper measures in Figures 3-5:
+ *
+ *  - memory-instruction fraction (Fig. 3),
+ *  - read/write mix (Fig. 3),
+ *  - consecutive same-set scenario shares RR/RW/WW/WR (Fig. 4),
+ *  - silent-store fraction (Fig. 5).
+ *
+ * On top of the pair-level model, set-return knobs (@c pWriteReturn,
+ * @c pReadReturn) reproduce the longer-range set reuse real programs
+ * exhibit: accesses that leave the current set sometimes return to the
+ * most recently written set. Such returns never form a *consecutive*
+ * same-set pair
+ * (they are only taken when the previous access sits in a different
+ * set), so they are invisible to Figure 4 while exercising the Write
+ * Grouping and Read Bypassing machinery exactly the way non-adjacent
+ * set reuse does in real code.
+ *
+ * "Same set" is defined against a fixed reference geometry (32 B blocks,
+ * 512 sets = the paper's 64 KB / 4-way baseline). Streams are geometry-
+ * independent addresses; measuring them under other geometries yields
+ * the paper's sensitivity behaviour (larger blocks merge neighbouring
+ * reference blocks into one set, so grouping improves, etc.).
+ */
+
+#ifndef C8T_TRACE_MARKOV_STREAM_HH
+#define C8T_TRACE_MARKOV_STREAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "trace/access.hh"
+#include "trace/patterns.hh"
+#include "trace/rng.hh"
+
+namespace c8t::trace
+{
+
+/** Reference block size used to define "same set" during generation. */
+constexpr std::uint64_t refBlockBytes = 32;
+
+/** Reference set count (64 KB, 4-way, 32 B blocks). */
+constexpr std::uint64_t refSetCount = 512;
+
+/** Span of one pass over all reference sets (16 KB). */
+constexpr std::uint64_t refSetSpan = refBlockBytes * refSetCount;
+
+/** Reference set index of an address. */
+constexpr std::uint64_t
+refSetOf(std::uint64_t addr)
+{
+    return (addr / refBlockBytes) % refSetCount;
+}
+
+/**
+ * Parameters of one synthetic benchmark stream. All probabilities are
+ * stationary targets; the generator realises them exactly (up to
+ * sampling noise) by construction.
+ */
+struct StreamParams
+{
+    /** Benchmark name, e.g. "bwaves". */
+    std::string name;
+
+    /** P(an executed instruction is a memory access). */
+    double memFraction = 0.40;
+
+    /** P(read | memory access). */
+    double readShare = 0.65;
+
+    /**
+     * Consecutive same-set scenario shares, as fractions of all
+     * consecutive access *pairs* (the paper's Figure 4 semantics).
+     * rr: read followed by same-set read, rw: read then same-set write,
+     * ww: write then same-set write, wr: write then same-set read.
+     * Their sum is the same-set share (paper average: 0.27).
+     */
+    double rr = 0.12;
+    double rw = 0.02;
+    double ww = 0.10;
+    double wr = 0.03;
+
+    /** P(a write stores the value already present) — Figure 5. */
+    double silentFraction = 0.42;
+
+    /** P(a same-set access targets the same reference block). */
+    double sameBlockBias = 0.85;
+
+    /**
+     * P(a WRITE leaving the current set returns to the most recently
+     * written set). Models non-adjacent write reuse (see file comment);
+     * this is what lets write groups span intervening accesses.
+     */
+    double pWriteReturn = 0.30;
+
+    /**
+     * P(a READ leaving the current set returns to the most recently
+     * written set). Read returns are what Read Bypassing profits from
+     * (and what forces premature write-backs under plain WG).
+     */
+    double pReadReturn = 0.12;
+
+    /** Footprint in bytes (rounded up to a multiple of refSetSpan). */
+    std::uint64_t footprintBytes = 8ull << 20;
+
+    /**
+     * Working-set window of the random component in bytes (0 = the
+     * whole footprint). A window smaller than the cache models the
+     * phase-local temporal reuse of real programs; benchmarks known
+     * for cache-hostile access (mcf, milc) leave it at 0.
+     */
+    std::uint64_t randWindowBytes = 48 * 1024;
+
+    /** Diff-set address mixture weights (need not sum to 1). */
+    double seqWeight = 0.5;
+    double randWeight = 0.3;
+    double hotWeight = 0.1;
+    double chaseWeight = 0.1;
+
+    /** Zipf-ish skew of the hot region. */
+    double hotSkew = 1.0;
+
+    /** RNG seed; streams are fully deterministic given the params. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Check internal consistency (shares within their marginals, the
+     * residual type probability within [0, 1], probabilities in range).
+     * @throws std::invalid_argument with a precise message on failure.
+     */
+    void validate() const;
+
+    /** Same-set share of all consecutive pairs (rr + rw + ww + wr). */
+    double sameSetShare() const { return rr + rw + ww + wr; }
+
+    /** P(write | memory access). */
+    double writeShare() const { return 1.0 - readShare; }
+
+    /**
+     * Residual probability that a diff-set access is a write, derived
+     * so the stationary type mix equals readShare/writeShare (see
+     * markov_stream.cc for the algebra).
+     */
+    double diffSetWriteProb() const;
+};
+
+/**
+ * The stream generator. Unbounded: next() always produces an access;
+ * callers bound the run length.
+ */
+class MarkovStream : public AccessGenerator
+{
+  public:
+    /**
+     * Build a generator from validated parameters.
+     * @throws std::invalid_argument when @p params fails validation.
+     */
+    explicit MarkovStream(StreamParams params);
+
+    bool next(MemAccess &out) override;
+    void reset() override;
+    std::string name() const override { return _params.name; }
+
+    /** The parameters this stream was built from. */
+    const StreamParams &params() const { return _params; }
+
+    /**
+     * Architectural value of the 8-byte word at @p addr after all
+     * accesses generated so far (zero if never written). Exposed so
+     * tests can cross-check simulated memory state.
+     */
+    std::uint64_t shadowValue(std::uint64_t addr) const;
+
+  private:
+    std::uint64_t sameSetAddr(std::uint64_t prev);
+    std::uint64_t diffSetAddr(std::uint64_t prev, AccessType cur);
+    std::uint64_t freshValue(std::uint64_t addr);
+    void buildPatterns();
+
+    StreamParams _params;
+    Rng _rng;
+    std::unique_ptr<MixturePattern> _mixture;
+
+    bool _first = true;
+    AccessType _prevType = AccessType::Read;
+    std::uint64_t _prevAddr = 0;
+    std::uint64_t _lastWriteAddr = 0;
+    bool _haveLastWrite = false;
+
+    /** Architectural word values; absent means zero. */
+    std::unordered_map<std::uint64_t, std::uint64_t> _shadow;
+    std::uint64_t _valueCounter = 0;
+
+    std::uint64_t _base;
+    std::uint64_t _footprint;
+};
+
+} // namespace c8t::trace
+
+#endif // C8T_TRACE_MARKOV_STREAM_HH

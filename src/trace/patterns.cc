@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Address pattern implementations.
+ */
+
+#include "trace/patterns.hh"
+
+#include <cassert>
+#include <numeric>
+
+namespace c8t::trace
+{
+
+SequentialPattern::SequentialPattern(std::uint64_t base, std::uint64_t length,
+                                     std::uint64_t stride)
+    : _base(base), _length(length), _stride(stride)
+{
+    assert(length > 0 && stride > 0 && stride % 8 == 0);
+}
+
+std::uint64_t
+SequentialPattern::nextAddr(Rng &rng)
+{
+    (void)rng;
+    const std::uint64_t addr = _base + _offset;
+    _offset += _stride;
+    if (_offset >= _length)
+        _offset = 0;
+    return addr;
+}
+
+void
+SequentialPattern::reset()
+{
+    _offset = 0;
+}
+
+RandomPattern::RandomPattern(std::uint64_t base, std::uint64_t length,
+                             std::uint64_t align)
+    : _base(base), _slots(length / align), _align(align)
+{
+    assert(length >= align && align >= 8 && (align & (align - 1)) == 0);
+}
+
+std::uint64_t
+RandomPattern::nextAddr(Rng &rng)
+{
+    return _base + rng.below(_slots) * _align;
+}
+
+WindowedRandomPattern::WindowedRandomPattern(std::uint64_t base,
+                                             std::uint64_t length,
+                                             std::uint64_t window_bytes,
+                                             std::uint64_t draws_per_window)
+    : _base(base), _length(length), _window(window_bytes),
+      _drawsPerWindow(draws_per_window)
+{
+    assert(length >= window_bytes && window_bytes >= 8);
+    assert(draws_per_window > 0);
+}
+
+std::uint64_t
+WindowedRandomPattern::nextAddr(Rng &rng)
+{
+    if (_draws % _drawsPerWindow == 0) {
+        // Jump to a fresh phase: any window-aligned-ish position that
+        // keeps the window inside the region.
+        _windowBase = rng.below(_length - _window + 1) & ~7ull;
+    }
+    ++_draws;
+    return _base + _windowBase + rng.below(_window / 8) * 8;
+}
+
+void
+WindowedRandomPattern::reset()
+{
+    _windowBase = 0;
+    _draws = 0;
+}
+
+HotspotPattern::HotspotPattern(std::uint64_t base, std::uint64_t length,
+                               double skew)
+    : _base(base), _slots(length / 8), _skew(skew)
+{
+    assert(length >= 8);
+}
+
+std::uint64_t
+HotspotPattern::nextAddr(Rng &rng)
+{
+    return _base + rng.zipf(_slots, _skew) * 8;
+}
+
+PointerChasePattern::PointerChasePattern(std::uint64_t base,
+                                         std::uint64_t nodes,
+                                         std::uint64_t node_size)
+    : _base(base), _nodes(nodes), _nodeSize(node_size)
+{
+    assert(nodes > 0 && node_size % 8 == 0 && node_size > 0);
+    // pos' = (pos + inc) mod nodes with gcd(inc, nodes) == 1 visits every
+    // node exactly once per cycle; inc near nodes/2 makes consecutive
+    // visits land far apart, which is the locality-free behaviour we want.
+    _mult = 1;
+    _inc = nodes / 2 + 1;
+    while (std::gcd(_inc, _nodes) != 1)
+        ++_inc;
+}
+
+std::uint64_t
+PointerChasePattern::nextAddr(Rng &rng)
+{
+    (void)rng;
+    _pos = (_pos * _mult + _inc) % _nodes;
+    return _base + _pos * _nodeSize;
+}
+
+void
+PointerChasePattern::reset()
+{
+    _pos = 0;
+}
+
+void
+MixturePattern::add(std::unique_ptr<AddressPattern> p, double weight)
+{
+    assert(p && weight > 0.0);
+    _totalWeight += weight;
+    _parts.push_back(Part{std::move(p), weight});
+}
+
+std::uint64_t
+MixturePattern::nextAddr(Rng &rng)
+{
+    assert(!_parts.empty());
+    double pick = rng.uniform() * _totalWeight;
+    for (auto &part : _parts) {
+        pick -= part.weight;
+        if (pick < 0.0)
+            return part.pattern->nextAddr(rng);
+    }
+    return _parts.back().pattern->nextAddr(rng);
+}
+
+void
+MixturePattern::reset()
+{
+    for (auto &part : _parts)
+        part.pattern->reset();
+}
+
+} // namespace c8t::trace

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Composable address-pattern library.
+ *
+ * Patterns produce the "new location" addresses used by the workload
+ * models whenever a stream leaves its current cache set: sequential
+ * walks (streaming array code), strided walks (column-major / stencil
+ * code), uniform random (pointer-heavy code), hot regions (locks,
+ * globals) and pointer chases (linked structures). The Markov stream
+ * model composes them with per-benchmark weights.
+ */
+
+#ifndef C8T_TRACE_PATTERNS_HH
+#define C8T_TRACE_PATTERNS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/rng.hh"
+
+namespace c8t::trace
+{
+
+/**
+ * A source of addresses. Patterns are deterministic given the Rng that
+ * is threaded through them.
+ */
+class AddressPattern
+{
+  public:
+    virtual ~AddressPattern() = default;
+
+    /** Produce the next address (8-byte aligned). */
+    virtual std::uint64_t nextAddr(Rng &rng) = 0;
+
+    /** Restart the pattern (position state only; Rng is external). */
+    virtual void reset() = 0;
+
+    /** Short pattern name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Sequential walk: base, base+stride, base+2*stride, ... wrapping at
+ * base+length. Models streaming loops; with stride == element size it
+ * generates strong spatial locality.
+ */
+class SequentialPattern : public AddressPattern
+{
+  public:
+    /**
+     * @param base   Region start (8-byte aligned).
+     * @param length Region length in bytes (> 0).
+     * @param stride Step in bytes (> 0, multiple of 8).
+     */
+    SequentialPattern(std::uint64_t base, std::uint64_t length,
+                      std::uint64_t stride);
+
+    std::uint64_t nextAddr(Rng &rng) override;
+    void reset() override;
+    std::string name() const override { return "sequential"; }
+
+  private:
+    std::uint64_t _base;
+    std::uint64_t _length;
+    std::uint64_t _stride;
+    std::uint64_t _offset = 0;
+};
+
+/**
+ * Uniform random addresses over a region, aligned to @c align bytes.
+ * Models irregular/pointer-heavy access with a given footprint.
+ */
+class RandomPattern : public AddressPattern
+{
+  public:
+    /**
+     * @param base   Region start.
+     * @param length Region length in bytes (> 0).
+     * @param align  Address alignment in bytes (power of two, >= 8).
+     */
+    RandomPattern(std::uint64_t base, std::uint64_t length,
+                  std::uint64_t align = 8);
+
+    std::uint64_t nextAddr(Rng &rng) override;
+    void reset() override {}
+    std::string name() const override { return "random"; }
+
+  private:
+    std::uint64_t _base;
+    std::uint64_t _slots;
+    std::uint64_t _align;
+};
+
+/**
+ * Random accesses within a drifting working-set window: draws are
+ * uniform over a window of @c windowBytes that jumps to a new random
+ * position in the region every @c drawsPerWindow draws. Models the
+ * phase behaviour of real programs — strong temporal locality inside a
+ * phase, none across phases — which plain RandomPattern lacks.
+ */
+class WindowedRandomPattern : public AddressPattern
+{
+  public:
+    /**
+     * @param base             Region start.
+     * @param length           Region length in bytes (>= window).
+     * @param window_bytes     Working-set window size (>= 8).
+     * @param draws_per_window Draws before the window jumps (> 0).
+     */
+    WindowedRandomPattern(std::uint64_t base, std::uint64_t length,
+                          std::uint64_t window_bytes,
+                          std::uint64_t draws_per_window = 4096);
+
+    std::uint64_t nextAddr(Rng &rng) override;
+    void reset() override;
+    std::string name() const override { return "windowed_random"; }
+
+  private:
+    std::uint64_t _base;
+    std::uint64_t _length;
+    std::uint64_t _window;
+    std::uint64_t _drawsPerWindow;
+    std::uint64_t _windowBase = 0;
+    std::uint64_t _draws = 0;
+};
+
+/**
+ * Hot-region accesses: Zipf-biased over a (usually small) region, so a
+ * few lines absorb most touches. Models globals, locks, stack tops.
+ */
+class HotspotPattern : public AddressPattern
+{
+  public:
+    /**
+     * @param base   Region start.
+     * @param length Region length in bytes (> 0).
+     * @param skew   Zipf-style skew (0 = uniform; larger = hotter head).
+     */
+    HotspotPattern(std::uint64_t base, std::uint64_t length,
+                   double skew = 1.0);
+
+    std::uint64_t nextAddr(Rng &rng) override;
+    void reset() override {}
+    std::string name() const override { return "hotspot"; }
+
+  private:
+    std::uint64_t _base;
+    std::uint64_t _slots;
+    double _skew;
+};
+
+/**
+ * Pointer chase over @c nodes fixed pseudo-random locations: visits a
+ * full-period permutation of node slots, so consecutive addresses have
+ * essentially no spatial locality, like linked-list traversal.
+ */
+class PointerChasePattern : public AddressPattern
+{
+  public:
+    /**
+     * @param base     Region start.
+     * @param nodes    Number of nodes (> 0).
+     * @param nodeSize Bytes per node (multiple of 8).
+     */
+    PointerChasePattern(std::uint64_t base, std::uint64_t nodes,
+                        std::uint64_t node_size = 64);
+
+    std::uint64_t nextAddr(Rng &rng) override;
+    void reset() override;
+    std::string name() const override { return "pointer_chase"; }
+
+  private:
+    std::uint64_t _base;
+    std::uint64_t _nodes;
+    std::uint64_t _nodeSize;
+    std::uint64_t _pos = 0;
+    std::uint64_t _mult;
+    std::uint64_t _inc;
+};
+
+/**
+ * Weighted mixture of sub-patterns: each call draws one sub-pattern
+ * according to the weights and returns its next address.
+ */
+class MixturePattern : public AddressPattern
+{
+  public:
+    MixturePattern() = default;
+
+    /** Add a component with relative weight @p weight (> 0). */
+    void add(std::unique_ptr<AddressPattern> p, double weight);
+
+    std::uint64_t nextAddr(Rng &rng) override;
+    void reset() override;
+    std::string name() const override { return "mixture"; }
+
+    /** Number of components. */
+    std::size_t components() const { return _parts.size(); }
+
+  private:
+    struct Part
+    {
+        std::unique_ptr<AddressPattern> pattern;
+        double weight;
+    };
+    std::vector<Part> _parts;
+    double _totalWeight = 0.0;
+};
+
+} // namespace c8t::trace
+
+#endif // C8T_TRACE_PATTERNS_HH

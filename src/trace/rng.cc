@@ -1,0 +1,140 @@
+/**
+ * @file
+ * xoshiro256** implementation.
+ */
+
+#include "trace/rng.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace c8t::trace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+namespace
+{
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(std::uint64_t seed_value)
+{
+    std::uint64_t sm = seed_value;
+    for (auto &word : _s)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+    const std::uint64_t t = _s[1] << 17;
+
+    _s[2] ^= _s[0];
+    _s[3] ^= _s[1];
+    _s[1] ^= _s[2];
+    _s[0] ^= _s[3];
+    _s[2] ^= t;
+    _s[3] = rotl(_s[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    assert(bound != 0 && "below(0) is meaningless");
+    // Lemire's nearly-divisionless unbiased bounded generation.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        const std::uint64_t threshold = -bound % bound;
+        while (l < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t
+Rng::between(std::uint64_t lo, std::uint64_t hi)
+{
+    assert(lo <= hi);
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::geometric(double p, std::uint64_t cap)
+{
+    if (p >= 1.0)
+        return 0;
+    p = std::max(p, 1e-9);
+    // Inverse transform: floor(ln(U) / ln(1-p)).
+    const double u = std::max(uniform(), 1e-18);
+    const double v = std::floor(std::log(u) / std::log1p(-p));
+    const auto k = static_cast<std::uint64_t>(v);
+    return std::min(k, cap);
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    assert(n != 0);
+    if (n == 1)
+        return 0;
+    // Inverse-power transform: heavy-tailed toward 0. For s <= 0 fall
+    // back to uniform.
+    if (s <= 0.0)
+        return below(n);
+    const double u = uniform();
+    const double nd = static_cast<double>(n);
+    // Power transform: u^(1+s) biases the draw toward small indices;
+    // larger s means a heavier head. Clamped into [0, n).
+    const double x = std::pow(u, 1.0 + s) * nd;
+    auto idx = static_cast<std::uint64_t>(x);
+    if (idx >= n)
+        idx = n - 1;
+    return idx;
+}
+
+} // namespace c8t::trace

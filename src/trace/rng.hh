@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The standard library's distributions are not guaranteed to produce the
+ * same sequences across implementations, which would make the calibrated
+ * workloads non-reproducible between platforms. This module provides a
+ * fixed, documented generator (xoshiro256** seeded via splitmix64) and the
+ * handful of distributions the workload engine needs, all with exactly
+ * specified algorithms.
+ */
+
+#ifndef C8T_TRACE_RNG_HH
+#define C8T_TRACE_RNG_HH
+
+#include <cstdint>
+
+namespace c8t::trace
+{
+
+/**
+ * splitmix64: used to expand a single 64-bit seed into generator state.
+ * Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+ * generators" (the exact constants below are the canonical ones).
+ */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/**
+ * xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, and fully
+ * deterministic across platforms. Not cryptographic; not intended to be.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x8f0c31415926535bull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform in [0, bound); bound must be non-zero. Unbiased
+     *  (Lemire's multiply-shift with rejection). */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform in [lo, hi] inclusive; requires lo <= hi. */
+    std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1) with 53 bits of randomness. */
+    double uniform();
+
+    /** Bernoulli trial: true with probability @p p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /**
+     * Geometric number of failures before the first success with success
+     * probability @p p in (0, 1]; capped at @p cap to bound pathological
+     * draws. Used for instruction-gap generation.
+     */
+    std::uint64_t geometric(double p, std::uint64_t cap = 1000);
+
+    /**
+     * Zipf-distributed value in [0, n) with exponent @p s, favouring
+     * small values. Implemented by inverse-CDF over a precomputed-free
+     * rejection scheme; exact distribution is implementation-defined but
+     * deterministic and heavy-tailed, which is all the hot-region model
+     * needs.
+     */
+    std::uint64_t zipf(std::uint64_t n, double s);
+
+    /** Re-seed in place. */
+    void seed(std::uint64_t seed);
+
+  private:
+    std::uint64_t _s[4];
+};
+
+} // namespace c8t::trace
+
+#endif // C8T_TRACE_RNG_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The calibrated per-benchmark parameter table.
+ *
+ * Table columns (per benchmark):
+ *   rd_i, wr_i : read / write fraction of *instructions* (Fig. 3)
+ *   rr..wr     : consecutive same-set pair shares (Fig. 4)
+ *   silent     : silent-store fraction of writes (Fig. 5)
+ *   p_wret     : non-adjacent write-return probability (grouping reach)
+ *   p_rret     : non-adjacent read-return probability (bypassing reach)
+ *   foot_mb    : footprint in MiB
+ *   seq/rnd/hot/chase : diff-set address mixture weights
+ *
+ * Anchors from the paper text: bwaves (writes > 22 % of instructions,
+ * WW = 24 %, silent = 77 %, best WG reduction), wrf and lbm close
+ * behind, gamess and cactusADM with the highest RR shares. Averages:
+ * reads 26 % / writes 14 % of instructions, same-set 27 %, silent 42 %.
+ */
+
+#include "trace/spec_profiles.hh"
+
+#include <stdexcept>
+
+namespace c8t::trace
+{
+
+namespace
+{
+
+StreamParams
+make(const std::string &name, double rd_i, double wr_i,
+     double rr, double rw, double ww, double wr,
+     double silent, double p_wret, double p_rret, double foot_mb,
+     double seq, double rnd, double hot, double chase,
+     std::uint64_t seed)
+{
+    StreamParams p;
+    p.name = name;
+    p.memFraction = rd_i + wr_i;
+    p.readShare = rd_i / p.memFraction;
+    p.rr = rr;
+    p.rw = rw;
+    p.ww = ww;
+    p.wr = wr;
+    p.silentFraction = silent;
+    p.pWriteReturn = p_wret;
+    p.pReadReturn = p_rret;
+    p.footprintBytes = static_cast<std::uint64_t>(foot_mb * (1 << 20));
+    p.seqWeight = seq;
+    p.randWeight = rnd;
+    p.hotWeight = hot;
+    p.chaseWeight = chase;
+    p.seed = seed;
+    // Cache-hostile benchmarks draw random addresses over the whole
+    // footprint; the rest reuse a phase-local working set.
+    if (name == "mcf" || name == "milc" || name == "soplex")
+        p.randWindowBytes = 0;
+    else if (name == "astar" || name == "gobmk" || name == "sjeng")
+        p.randWindowBytes = 256 * 1024;
+    p.validate();
+    return p;
+}
+
+std::vector<StreamParams>
+buildProfiles()
+{
+    std::vector<StreamParams> v;
+    v.reserve(25);
+
+    //            name         rd_i  wr_i   rr    rw    ww    wr  silent p_wret p_rret foot  seq  rnd  hot  chase seed
+    v.push_back(make("perlbench", 0.29, 0.16, 0.12, 0.03, 0.10, 0.04, 0.45, 0.49, 0.054,  4, 0.35, 0.150, 0.375, 0.050, 101));
+    v.push_back(make("bzip2",     0.26, 0.12, 0.11, 0.02, 0.08, 0.03, 0.35, 0.44, 0.045,  8, 0.55, 0.150, 0.250, 0.013, 102));
+    v.push_back(make("gcc",       0.27, 0.15, 0.13, 0.03, 0.11, 0.04, 0.50, 0.49, 0.054,  6, 0.30, 0.175, 0.375, 0.050, 103));
+    v.push_back(make("bwaves",    0.28, 0.22, 0.10, 0.02, 0.24, 0.03, 0.77, 0.64, 0.090, 16, 0.70, 0.075, 0.250, 0.013, 104));
+    v.push_back(make("gamess",    0.30, 0.12, 0.20, 0.02, 0.07, 0.02, 0.38, 0.54, 0.068,  2, 0.45, 0.100, 0.600, 0.013, 105));
+    v.push_back(make("mcf",       0.26, 0.09, 0.08, 0.02, 0.05, 0.02, 0.30, 0.34, 0.023, 32, 0.10, 0.200, 0.125, 0.113, 106));
+    v.push_back(make("milc",      0.26, 0.14, 0.09, 0.02, 0.10, 0.03, 0.40, 0.44, 0.045, 24, 0.60, 0.125, 0.250, 0.013, 107));
+    v.push_back(make("zeusmp",    0.24, 0.14, 0.10, 0.02, 0.12, 0.03, 0.48, 0.49, 0.054, 12, 0.65, 0.100, 0.250, 0.013, 108));
+    v.push_back(make("gromacs",   0.25, 0.12, 0.12, 0.02, 0.09, 0.03, 0.42, 0.49, 0.054,  4, 0.50, 0.125, 0.375, 0.025, 109));
+    v.push_back(make("cactusADM", 0.31, 0.13, 0.19, 0.02, 0.08, 0.02, 0.40, 0.54, 0.068,  8, 0.55, 0.100, 0.500, 0.013, 110));
+    v.push_back(make("leslie3d",  0.27, 0.15, 0.11, 0.02, 0.13, 0.03, 0.52, 0.52, 0.063, 12, 0.65, 0.100, 0.250, 0.013, 111));
+    v.push_back(make("namd",      0.25, 0.11, 0.12, 0.02, 0.08, 0.03, 0.38, 0.46, 0.050,  4, 0.50, 0.125, 0.375, 0.025, 112));
+    v.push_back(make("gobmk",     0.22, 0.11, 0.10, 0.02, 0.07, 0.03, 0.35, 0.42, 0.041,  4, 0.25, 0.175, 0.375, 0.062, 113));
+    v.push_back(make("soplex",    0.28, 0.11, 0.12, 0.02, 0.07, 0.02, 0.33, 0.44, 0.045, 16, 0.40, 0.175, 0.250, 0.037, 114));
+    v.push_back(make("povray",    0.28, 0.13, 0.13, 0.03, 0.09, 0.03, 0.40, 0.49, 0.054,  2, 0.40, 0.125, 0.600, 0.025, 115));
+    v.push_back(make("calculix",  0.27, 0.13, 0.12, 0.02, 0.10, 0.03, 0.44, 0.49, 0.054,  6, 0.55, 0.125, 0.375, 0.013, 116));
+    v.push_back(make("hmmer",     0.30, 0.16, 0.14, 0.03, 0.12, 0.04, 0.47, 0.52, 0.063,  2, 0.50, 0.125, 0.500, 0.013, 117));
+    v.push_back(make("sjeng",     0.21, 0.10, 0.09, 0.02, 0.06, 0.03, 0.32, 0.39, 0.032,  4, 0.20, 0.200, 0.375, 0.062, 118));
+    v.push_back(make("GemsFDTD",  0.28, 0.16, 0.11, 0.02, 0.14, 0.03, 0.55, 0.54, 0.068, 16, 0.70, 0.075, 0.250, 0.013, 119));
+    v.push_back(make("libquantum",0.22, 0.12, 0.10, 0.02, 0.13, 0.03, 0.60, 0.54, 0.068,  8, 0.80, 0.050, 0.125, 0.013, 120));
+    v.push_back(make("h264ref",   0.28, 0.14, 0.13, 0.03, 0.10, 0.03, 0.41, 0.49, 0.054,  4, 0.45, 0.125, 0.500, 0.025, 121));
+    v.push_back(make("lbm",       0.26, 0.21, 0.09, 0.02, 0.21, 0.03, 0.70, 0.62, 0.086, 16, 0.75, 0.050, 0.250, 0.013, 122));
+    v.push_back(make("astar",     0.26, 0.10, 0.10, 0.02, 0.06, 0.02, 0.30, 0.39, 0.032,  8, 0.20, 0.200, 0.250, 0.075, 123));
+    v.push_back(make("wrf",       0.27, 0.18, 0.10, 0.02, 0.18, 0.03, 0.65, 0.59, 0.077, 12, 0.70, 0.075, 0.250, 0.013, 124));
+    v.push_back(make("sphinx3",   0.28, 0.12, 0.13, 0.02, 0.08, 0.03, 0.38, 0.46, 0.050,  6, 0.50, 0.125, 0.375, 0.025, 125));
+
+    return v;
+}
+
+} // anonymous namespace
+
+const std::vector<StreamParams> &
+specProfiles()
+{
+    static const std::vector<StreamParams> profiles = buildProfiles();
+    return profiles;
+}
+
+const StreamParams &
+specProfile(const std::string &name)
+{
+    for (const auto &p : specProfiles()) {
+        if (p.name == name)
+            return p;
+    }
+    throw std::out_of_range("specProfile: unknown benchmark " + name);
+}
+
+std::vector<std::string>
+specBenchmarkNames()
+{
+    std::vector<std::string> names;
+    names.reserve(specProfiles().size());
+    for (const auto &p : specProfiles())
+        names.push_back(p.name);
+    return names;
+}
+
+} // namespace c8t::trace

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unit tests for the MemAccess record.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/access.hh"
+
+namespace
+{
+
+using namespace c8t::trace;
+
+TEST(AccessType, Names)
+{
+    EXPECT_STREQ(toString(AccessType::Read), "R");
+    EXPECT_STREQ(toString(AccessType::Write), "W");
+}
+
+TEST(MemAccess, Defaults)
+{
+    MemAccess a;
+    EXPECT_EQ(a.addr, 0u);
+    EXPECT_EQ(a.size, 8);
+    EXPECT_TRUE(a.isRead());
+    EXPECT_FALSE(a.isWrite());
+}
+
+TEST(MemAccess, TypePredicates)
+{
+    MemAccess a;
+    a.type = AccessType::Write;
+    EXPECT_TRUE(a.isWrite());
+    EXPECT_FALSE(a.isRead());
+}
+
+TEST(MemAccess, ReadToString)
+{
+    MemAccess a;
+    a.addr = 0x1234;
+    a.size = 4;
+    a.gap = 3;
+    const std::string s = a.toString();
+    EXPECT_EQ(s, "R 0x1234 sz=4 gap=3");
+}
+
+TEST(MemAccess, WriteToStringIncludesData)
+{
+    MemAccess a;
+    a.addr = 0xbeef;
+    a.type = AccessType::Write;
+    a.data = 0xff;
+    a.gap = 0;
+    const std::string s = a.toString();
+    EXPECT_EQ(s, "W 0xbeef sz=8 gap=0 data=0xff");
+}
+
+TEST(MemAccess, Equality)
+{
+    MemAccess a, b;
+    a.addr = b.addr = 0x10;
+    EXPECT_EQ(a, b);
+    b.gap = 1;
+    EXPECT_NE(a, b);
+}
+
+} // anonymous namespace

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for address decomposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mem/addr.hh"
+
+namespace
+{
+
+using namespace c8t::mem;
+
+TEST(PowerOfTwo, Basics)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(48));
+}
+
+TEST(Log2i, KnownValues)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(32), 5u);
+    EXPECT_EQ(log2i(512), 9u);
+}
+
+TEST(AddrLayout, BaselineGeometry)
+{
+    // The paper's baseline: 64 KB / 4-way / 32 B => 512 sets.
+    AddrLayout layout(32, 512);
+    EXPECT_EQ(layout.offsetBits(), 5u);
+    EXPECT_EQ(layout.setBits(), 9u);
+    EXPECT_EQ(layout.tagBits(), 48u - 5u - 9u);
+}
+
+TEST(AddrLayout, RejectsNonPowerOfTwo)
+{
+    EXPECT_THROW(AddrLayout(33, 512), std::invalid_argument);
+    EXPECT_THROW(AddrLayout(32, 500), std::invalid_argument);
+}
+
+TEST(AddrLayout, Decomposition)
+{
+    AddrLayout layout(32, 512);
+    const Addr a = 0x12345678;
+    EXPECT_EQ(layout.blockAlign(a), 0x12345660u);
+    EXPECT_EQ(layout.blockOffset(a), 0x18u);
+    EXPECT_EQ(layout.setOf(a), (0x12345678u >> 5) & 511u);
+    EXPECT_EQ(layout.tagOf(a), 0x12345678ull >> 14);
+}
+
+TEST(AddrLayout, RebuildRoundTrips)
+{
+    AddrLayout layout(32, 512);
+    for (Addr a : {Addr{0}, Addr{0x1fff}, Addr{0xdeadbeef},
+                   Addr{0x0000ffffffffffull}}) {
+        const Addr block = layout.blockAlign(a);
+        const Addr rebuilt =
+            layout.blockAddr(layout.tagOf(a), layout.setOf(a));
+        EXPECT_EQ(rebuilt, block);
+    }
+}
+
+TEST(AddrLayout, AdjacentBlocksAdjacentSets)
+{
+    AddrLayout layout(32, 512);
+    const Addr a = 0x10000;
+    EXPECT_EQ(layout.setOf(a + 32), (layout.setOf(a) + 1) % 512);
+}
+
+TEST(AddrLayout, SetWrapsAcrossTagBoundary)
+{
+    AddrLayout layout(32, 512);
+    // Addresses one full set-span apart share the set index.
+    const Addr span = 32ull * 512ull;
+    EXPECT_EQ(layout.setOf(0x40), layout.setOf(0x40 + span));
+    EXPECT_NE(layout.tagOf(0x40), layout.tagOf(0x40 + span));
+}
+
+TEST(AddrLayout, LargerBlocksMergeSets)
+{
+    // Two addresses in different 32 B reference blocks can share a
+    // 64 B block — the Figure 10 mechanism.
+    AddrLayout small(32, 512);
+    AddrLayout big(64, 128);
+    const Addr a = 0x1000;
+    const Addr b = 0x1020; // next 32 B block
+    EXPECT_NE(small.setOf(a), small.setOf(b));
+    EXPECT_EQ(big.setOf(a), big.setOf(b));
+}
+
+} // anonymous namespace

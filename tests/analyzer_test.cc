@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the stream analyzer (the Figures 3-5 measurement
+ * machinery), on hand-constructed streams with known answers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hh"
+
+namespace
+{
+
+using namespace c8t::core;
+using c8t::mem::AddrLayout;
+using c8t::trace::AccessType;
+using c8t::trace::MemAccess;
+
+MemAccess
+read(std::uint64_t addr, std::uint32_t gap = 0)
+{
+    MemAccess a;
+    a.addr = addr;
+    a.gap = gap;
+    return a;
+}
+
+MemAccess
+write(std::uint64_t addr, std::uint64_t data, std::uint32_t gap = 0)
+{
+    MemAccess a;
+    a.addr = addr;
+    a.type = AccessType::Write;
+    a.data = data;
+    a.gap = gap;
+    return a;
+}
+
+class AnalyzerTest : public ::testing::Test
+{
+  protected:
+    AnalyzerTest() : layout(32, 512), an(layout) {}
+
+    AddrLayout layout;
+    StreamAnalyzer an;
+};
+
+TEST_F(AnalyzerTest, CountsInstructionsFromGaps)
+{
+    an.observe(read(0x0, 3)); // 3 non-mem + 1 mem
+    an.observe(read(0x40, 0));
+    EXPECT_EQ(an.instructions(), 5u);
+    EXPECT_EQ(an.accesses(), 2u);
+}
+
+TEST_F(AnalyzerTest, ReadWriteInstrFractions)
+{
+    an.observe(read(0x0, 1));
+    an.observe(write(0x40, 1, 1));
+    // 4 instructions: 1 read, 1 write.
+    EXPECT_DOUBLE_EQ(an.readInstrFraction(), 0.25);
+    EXPECT_DOUBLE_EQ(an.writeInstrFraction(), 0.25);
+}
+
+TEST_F(AnalyzerTest, PairClassification)
+{
+    const std::uint64_t set_span = 32 * 512;
+    // Same set: a and a+set_span; different set: a+32.
+    an.observe(read(0x1000));            // no pair yet
+    an.observe(read(0x1000 + set_span)); // RR same set
+    an.observe(write(0x1000, 1));        // RW same set
+    an.observe(write(0x1000 + 8, 2));    // WW same set (same block)
+    an.observe(read(0x1010));            // WR same set
+    an.observe(read(0x1020));            // different set: unclassified
+    an.observe(write(0x2000, 3));        // different set
+
+    EXPECT_EQ(an.pairs(), 6u);
+    EXPECT_EQ(an.rrPairs(), 1u);
+    EXPECT_EQ(an.rwPairs(), 1u);
+    EXPECT_EQ(an.wwPairs(), 1u);
+    EXPECT_EQ(an.wrPairs(), 1u);
+    EXPECT_DOUBLE_EQ(an.sameSetShare(), 4.0 / 6.0);
+}
+
+TEST_F(AnalyzerTest, SilentWriteDetection)
+{
+    an.observe(write(0x100, 0xdead)); // first write: not silent
+    an.observe(write(0x100, 0xdead)); // same value: silent
+    an.observe(write(0x100, 0xbeef)); // new value: not silent
+    EXPECT_EQ(an.silentWrites(), 1u);
+    EXPECT_DOUBLE_EQ(an.silentWriteFraction(), 1.0 / 3.0);
+}
+
+TEST_F(AnalyzerTest, WritingZeroToUntouchedMemoryIsSilent)
+{
+    an.observe(write(0x200, 0));
+    EXPECT_EQ(an.silentWrites(), 1u);
+}
+
+TEST_F(AnalyzerTest, SubWordSilentDetection)
+{
+    MemAccess a = write(0x300, 0xaabb);
+    a.size = 2;
+    an.observe(a);
+    an.observe(a); // identical 2-byte write: silent
+    MemAccess b = write(0x300 + 2, 0xcc);
+    b.size = 1;
+    an.observe(b); // different bytes of the same word: not silent
+    EXPECT_EQ(an.silentWrites(), 1u);
+}
+
+TEST_F(AnalyzerTest, PartialOverlapNotSilent)
+{
+    MemAccess a = write(0x400, 0x1122334455667788ull);
+    an.observe(a);
+    MemAccess b = write(0x400, 0x1122334455667789ull);
+    an.observe(b);
+    EXPECT_EQ(an.silentWrites(), 0u);
+}
+
+TEST_F(AnalyzerTest, ReadsDoNotAffectSilentState)
+{
+    an.observe(write(0x500, 7));
+    an.observe(read(0x500));
+    an.observe(write(0x500, 7));
+    EXPECT_EQ(an.silentWrites(), 1u);
+}
+
+TEST_F(AnalyzerTest, ResetClearsEverything)
+{
+    an.observe(write(0x100, 1));
+    an.observe(write(0x100, 1));
+    an.reset();
+    EXPECT_EQ(an.instructions(), 0u);
+    EXPECT_EQ(an.pairs(), 0u);
+    // After reset the shadow is gone: writing 1 to 0x100 is non-silent
+    // only against zeroed memory — value 1 != 0, so not silent.
+    an.observe(write(0x100, 1));
+    EXPECT_EQ(an.silentWrites(), 0u);
+}
+
+TEST_F(AnalyzerTest, LargerBlocksReclassifyPairs)
+{
+    // 0x1000 and 0x1020 are different 32 B sets but the same 64 B set —
+    // the Figure 10 reclassification.
+    AddrLayout big(64, 128);
+    StreamAnalyzer an_big(big);
+
+    an.observe(read(0x1000));
+    an.observe(read(0x1020));
+    an_big.observe(read(0x1000));
+    an_big.observe(read(0x1020));
+
+    EXPECT_EQ(an.rrPairs(), 0u);
+    EXPECT_EQ(an_big.rrPairs(), 1u);
+}
+
+} // anonymous namespace

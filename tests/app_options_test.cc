@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the c8tsim option parser and workload factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "app/options.hh"
+
+namespace
+{
+
+using namespace c8t::app;
+using c8t::core::WriteScheme;
+
+SimOptions
+parse(std::initializer_list<const char *> args)
+{
+    std::vector<std::string> v;
+    for (const char *a : args)
+        v.emplace_back(a);
+    return parseOptions(v);
+}
+
+TEST(Options, Defaults)
+{
+    const SimOptions o = parse({});
+    EXPECT_EQ(o.workload, "spec:gcc");
+    EXPECT_EQ(o.accesses, 1'000'000u);
+    EXPECT_EQ(o.effectiveWarmup(), 100'000u);
+    EXPECT_EQ(o.cache.sizeBytes, 64u * 1024);
+    ASSERT_EQ(o.schemes.size(), 2u);
+    EXPECT_EQ(o.schemes[0], WriteScheme::Rmw);
+    EXPECT_EQ(o.schemes[1], WriteScheme::WriteGroupingReadBypass);
+    EXPECT_TRUE(o.silentDetection);
+    EXPECT_FALSE(o.help);
+}
+
+TEST(Options, CacheShape)
+{
+    const SimOptions o =
+        parse({"--size", "32", "--ways", "8", "--block", "64",
+               "--repl", "plru"});
+    EXPECT_EQ(o.cache.sizeBytes, 32u * 1024);
+    EXPECT_EQ(o.cache.ways, 8u);
+    EXPECT_EQ(o.cache.blockBytes, 64u);
+    EXPECT_EQ(o.cache.replacement, c8t::mem::ReplKind::TreePlru);
+}
+
+TEST(Options, SchemeSelection)
+{
+    const SimOptions o =
+        parse({"--scheme", "WG", "--scheme", "RMW"});
+    ASSERT_EQ(o.schemes.size(), 2u);
+    EXPECT_EQ(o.schemes[0], WriteScheme::WriteGrouping);
+    EXPECT_EQ(o.schemes[1], WriteScheme::Rmw);
+}
+
+TEST(Options, AllSchemes)
+{
+    const SimOptions o = parse({"--all"});
+    EXPECT_EQ(o.schemes.size(), 6u);
+}
+
+TEST(Options, WarmupOverride)
+{
+    const SimOptions o =
+        parse({"--accesses", "5000", "--warmup", "123"});
+    EXPECT_EQ(o.accesses, 5000u);
+    EXPECT_EQ(o.effectiveWarmup(), 123u);
+}
+
+TEST(Options, Toggles)
+{
+    const SimOptions o = parse({"--no-silent-detection", "--stats",
+                                "--csv", "--buffer-entries", "4",
+                                "--l2", "512"});
+    EXPECT_FALSE(o.silentDetection);
+    EXPECT_TRUE(o.dumpStats);
+    EXPECT_TRUE(o.csv);
+    EXPECT_EQ(o.bufferEntries, 4u);
+    EXPECT_EQ(o.l2SizeKb, 512u);
+}
+
+TEST(Options, L2DisabledByDefault)
+{
+    EXPECT_EQ(parse({}).l2SizeKb, 0u);
+}
+
+TEST(Options, HelpShortCircuitsValidation)
+{
+    // --help with a nonsense shape must not throw.
+    EXPECT_NO_THROW(parse({"--help", "--size", "7"}));
+    EXPECT_TRUE(parse({"-h"}).help);
+}
+
+TEST(Options, Errors)
+{
+    EXPECT_THROW(parse({"--bogus"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--accesses"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--accesses", "abc"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--accesses", "0"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--scheme", "XYZ"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--repl", "mru"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--buffer-entries", "0"}),
+                 std::invalid_argument);
+    // Invalid cache shape caught by validation.
+    EXPECT_THROW(parse({"--block", "24"}), std::invalid_argument);
+}
+
+TEST(Options, UsageMentionsEveryFlag)
+{
+    const std::string u = usageText();
+    for (const char *flag :
+         {"--workload", "--accesses", "--warmup", "--record", "--size",
+          "--ways", "--block", "--repl", "--scheme", "--all",
+          "--buffer-entries", "--no-silent-detection", "--l2",
+          "--stats", "--csv"}) {
+        EXPECT_NE(u.find(flag), std::string::npos) << flag;
+    }
+}
+
+TEST(Workloads, SpecFactory)
+{
+    auto w = makeWorkload("spec:bwaves");
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->name(), "bwaves");
+    c8t::trace::MemAccess a;
+    EXPECT_TRUE(w->next(a));
+}
+
+TEST(Workloads, KernelFactory)
+{
+    for (const auto &name : kernelNames()) {
+        auto w = makeWorkload("kernel:" + name);
+        ASSERT_NE(w, nullptr) << name;
+        EXPECT_EQ(w->name(), name);
+        c8t::trace::MemAccess a;
+        EXPECT_TRUE(w->next(a)) << name;
+    }
+}
+
+TEST(Workloads, Errors)
+{
+    EXPECT_THROW(makeWorkload("nonsense"), std::invalid_argument);
+    EXPECT_THROW(makeWorkload("spec:dealII"), std::invalid_argument);
+    EXPECT_THROW(makeWorkload("kernel:bogus"), std::invalid_argument);
+    EXPECT_THROW(makeWorkload("mars:rover"), std::invalid_argument);
+    EXPECT_THROW(makeWorkload("trace:/no/such/file.trc"),
+                 std::runtime_error);
+}
+
+} // anonymous namespace

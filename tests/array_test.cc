@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for the SRAM array: functional storage, event counting,
+ * and — crucially — the column-selection failure semantics that
+ * motivate the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sram/array.hh"
+
+namespace
+{
+
+using namespace c8t::sram;
+
+ArrayGeometry
+smallGeom()
+{
+    ArrayGeometry g;
+    g.rows = 8;
+    g.bytesPerRow = 32;
+    g.interleaveDegree = 4;
+    return g;
+}
+
+RowData
+patternRow(std::uint32_t bytes, std::uint8_t seed)
+{
+    RowData r(bytes);
+    for (std::uint32_t i = 0; i < bytes; ++i)
+        r[i] = static_cast<std::uint8_t>(seed + i);
+    return r;
+}
+
+TEST(SRAMArray, StartsZeroed)
+{
+    SRAMArray a(smallGeom());
+    for (std::uint32_t row = 0; row < 8; ++row)
+        for (std::uint8_t byte : a.peekRow(row))
+            EXPECT_EQ(byte, 0);
+}
+
+TEST(SRAMArray, RejectsBadGeometry)
+{
+    ArrayGeometry g = smallGeom();
+    g.rows = 0;
+    EXPECT_THROW(SRAMArray{g}, std::invalid_argument);
+
+    g = smallGeom();
+    g.bytesPerRow = 30; // not a multiple of 8
+    EXPECT_THROW(SRAMArray{g}, std::invalid_argument);
+
+    g = smallGeom();
+    g.interleaveDegree = 3; // 4 words not divisible by 3
+    EXPECT_THROW(SRAMArray{g}, std::invalid_argument);
+}
+
+TEST(SRAMArray, WriteReadRoundTrip)
+{
+    SRAMArray a(smallGeom());
+    const RowData data = patternRow(32, 7);
+    a.writeRow(3, data);
+    EXPECT_EQ(a.readRow(3), data);
+}
+
+TEST(SRAMArray, ReadCountsPrechargeAndRead)
+{
+    SRAMArray a(smallGeom());
+    RowData out;
+    a.readRowInto(0, out);
+    a.readRowInto(1, out);
+    EXPECT_EQ(a.rowReads(), 2u);
+    EXPECT_EQ(a.precharges(), 2u);
+    EXPECT_EQ(a.rowWrites(), 0u);
+}
+
+TEST(SRAMArray, WriteCounts)
+{
+    SRAMArray a(smallGeom());
+    a.writeRow(0, patternRow(32, 1));
+    a.mergeBytes(0, 8, std::vector<std::uint8_t>(8, 0xff));
+    EXPECT_EQ(a.rowWrites(), 2u);
+}
+
+TEST(SRAMArray, PeekPokeAreUncounted)
+{
+    SRAMArray a(smallGeom());
+    a.pokeRow(0, patternRow(32, 9));
+    (void)a.peekRow(0);
+    EXPECT_EQ(a.rowReads(), 0u);
+    EXPECT_EQ(a.rowWrites(), 0u);
+}
+
+TEST(SRAMArray, MergeBytesOnlyChangesRange)
+{
+    SRAMArray a(smallGeom());
+    a.pokeRow(2, patternRow(32, 3));
+    const RowData before = a.peekRow(2);
+
+    a.mergeBytes(2, 16, std::vector<std::uint8_t>(4, 0xee));
+
+    const RowData &after = a.peekRow(2);
+    for (std::uint32_t i = 0; i < 32; ++i) {
+        if (i >= 16 && i < 20)
+            EXPECT_EQ(after[i], 0xee);
+        else
+            EXPECT_EQ(after[i], before[i]) << "byte " << i;
+    }
+}
+
+TEST(SRAMArray, UnsafePartialWriteCorruptsHalfSelectedCells)
+{
+    // The column-selection failure: writing one word of an interleaved
+    // shared-WWL row clobbers the rest of the row.
+    SRAMArray a(smallGeom());
+    a.pokeRow(1, patternRow(32, 5));
+    const RowData before = a.peekRow(1);
+
+    a.writePartialUnsafe(1, 8, std::vector<std::uint8_t>(8, 0x77));
+
+    const RowData &after = a.peekRow(1);
+    // The selected range carries the written data...
+    for (std::uint32_t i = 8; i < 16; ++i)
+        EXPECT_EQ(after[i], 0x77);
+    // ...and at least some half-selected bytes were corrupted.
+    bool corrupted = false;
+    for (std::uint32_t i = 0; i < 32; ++i) {
+        if (i >= 8 && i < 16)
+            continue;
+        corrupted |= after[i] != before[i];
+    }
+    EXPECT_TRUE(corrupted);
+    EXPECT_GT(a.halfSelectCorruptions(), 0u);
+}
+
+TEST(SRAMArray, WordGranularWwlMakesAlignedPartialWritesSafe)
+{
+    // Chang et al.: segmented write word lines remove the hazard for
+    // word-aligned writes.
+    ArrayGeometry g = smallGeom();
+    g.wordGranularWwl = true;
+    g.interleaveDegree = 1;
+    SRAMArray a(g);
+    a.pokeRow(1, patternRow(32, 5));
+    const RowData before = a.peekRow(1);
+
+    a.writePartialUnsafe(1, 8, std::vector<std::uint8_t>(8, 0x77));
+
+    const RowData &after = a.peekRow(1);
+    for (std::uint32_t i = 0; i < 32; ++i) {
+        if (i >= 8 && i < 16)
+            EXPECT_EQ(after[i], 0x77);
+        else
+            EXPECT_EQ(after[i], before[i]);
+    }
+    EXPECT_EQ(a.halfSelectCorruptions(), 0u);
+}
+
+TEST(SRAMArray, UnalignedPartialWriteUnsafeEvenWithSegmentedWwl)
+{
+    ArrayGeometry g = smallGeom();
+    g.wordGranularWwl = true;
+    g.interleaveDegree = 1;
+    SRAMArray a(g);
+    a.pokeRow(0, patternRow(32, 1));
+
+    // 4-byte (sub-word) write cannot use the word-granular path.
+    a.writePartialUnsafe(0, 4, std::vector<std::uint8_t>(4, 0x11));
+    EXPECT_GT(a.halfSelectCorruptions(), 0u);
+}
+
+TEST(SRAMArray, RmwSequenceIsSafe)
+{
+    // Read row, merge, write row: the canonical safe write.
+    SRAMArray a(smallGeom());
+    a.pokeRow(4, patternRow(32, 11));
+    const RowData before = a.peekRow(4);
+
+    RowData row = a.readRow(4);
+    for (std::uint32_t i = 0; i < 8; ++i)
+        row[i] = 0xab;
+    a.writeRow(4, row);
+
+    const RowData &after = a.peekRow(4);
+    for (std::uint32_t i = 0; i < 32; ++i) {
+        if (i < 8)
+            EXPECT_EQ(after[i], 0xab);
+        else
+            EXPECT_EQ(after[i], before[i]);
+    }
+    EXPECT_EQ(a.halfSelectCorruptions(), 0u);
+}
+
+TEST(SRAMArray, PhysicalBitViewMatchesLogicalBytes)
+{
+    SRAMArray a(smallGeom());
+    RowData row(32, 0);
+    row[0] = 0x01; // word 0, bit 0
+    row[8] = 0x80; // word 1, bit 7
+    a.pokeRow(0, row);
+
+    const auto &map = a.map();
+    EXPECT_TRUE(a.physicalBit(0, map.toPhysical(0, 0)));
+    EXPECT_TRUE(a.physicalBit(0, map.toPhysical(1, 7)));
+    EXPECT_FALSE(a.physicalBit(0, map.toPhysical(0, 1)));
+}
+
+TEST(SRAMArray, FlipPhysicalBitRoundTrips)
+{
+    SRAMArray a(smallGeom());
+    for (std::uint32_t col = 0; col < a.geometry().columns(); col += 37) {
+        EXPECT_FALSE(a.physicalBit(0, col));
+        a.flipPhysicalBit(0, col);
+        EXPECT_TRUE(a.physicalBit(0, col));
+        a.flipPhysicalBit(0, col);
+        EXPECT_FALSE(a.physicalBit(0, col));
+    }
+}
+
+TEST(SRAMArray, ResetCountersKeepsContents)
+{
+    SRAMArray a(smallGeom());
+    a.writeRow(0, patternRow(32, 2));
+    a.resetCounters();
+    EXPECT_EQ(a.rowWrites(), 0u);
+    EXPECT_EQ(a.peekRow(0), patternRow(32, 2));
+}
+
+TEST(ArrayGeometry, DerivedQuantities)
+{
+    ArrayGeometry g;
+    g.rows = 512;
+    g.bytesPerRow = 128;
+    EXPECT_EQ(g.wordsPerRow(), 16u);
+    EXPECT_EQ(g.columns(), 1024u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the 6T/8T cell models (functional behaviour and the
+ * analytic stability/Vmin model — the paper's motivation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sram/cell.hh"
+
+namespace
+{
+
+using namespace c8t::sram;
+
+TEST(Cell6T, WriteAndReadAtNominalVoltage)
+{
+    Cell6T c;
+    c.write(true);
+    EXPECT_TRUE(c.read(1.0, 0.8));
+    EXPECT_TRUE(c.value()); // non-destructive at nominal Vdd
+}
+
+TEST(Cell6T, ReadDisturbFlipsBelowStableVoltage)
+{
+    Cell6T c;
+    c.write(true);
+    EXPECT_TRUE(c.read(0.6, 0.8)); // sensed value is pre-disturb
+    EXPECT_FALSE(c.value());       // but the cell flipped
+}
+
+TEST(Cell6T, HalfSelectBehavesLikeRead)
+{
+    Cell6T c;
+    c.write(true);
+    c.halfSelect(0.6, 0.8);
+    EXPECT_FALSE(c.value()); // disturbed
+    Cell6T d;
+    d.write(true);
+    d.halfSelect(1.0, 0.8);
+    EXPECT_TRUE(d.value()); // safe at nominal voltage
+}
+
+TEST(Cell8T, ReadNeverDisturbs)
+{
+    Cell8T c;
+    c.write(true);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(c.read());
+    EXPECT_TRUE(c.value());
+}
+
+TEST(Cell8T, HalfSelectWriteClobbersWithBitlineValue)
+{
+    // The column-selection problem in one cell: a half-selected 8T cell
+    // takes whatever its write bit lines carry.
+    Cell8T c;
+    c.write(true);
+    c.halfSelectWrite(false);
+    EXPECT_FALSE(c.value());
+}
+
+TEST(Stability, EightTReadMarginEqualsHoldMargin)
+{
+    for (double v : {0.6, 0.8, 1.0}) {
+        EXPECT_DOUBLE_EQ(noiseMargin(CellType::EightT, CellOp::Read, v),
+                         noiseMargin(CellType::EightT, CellOp::Hold, v));
+    }
+}
+
+TEST(Stability, SixTReadMarginWellBelowHold)
+{
+    const double read = noiseMargin(CellType::SixT, CellOp::Read, 1.0);
+    const double hold = noiseMargin(CellType::SixT, CellOp::Hold, 1.0);
+    EXPECT_LT(read, hold * 0.6);
+}
+
+TEST(Stability, MarginsShrinkWithVoltage)
+{
+    for (CellType t : {CellType::SixT, CellType::EightT}) {
+        for (CellOp op : {CellOp::Hold, CellOp::Read, CellOp::Write}) {
+            EXPECT_LT(noiseMargin(t, op, 0.7), noiseMargin(t, op, 1.0));
+        }
+    }
+}
+
+TEST(Stability, MarginZeroAtThreshold)
+{
+    StabilityParams p;
+    EXPECT_DOUBLE_EQ(noiseMargin(CellType::SixT, CellOp::Read, p.vth, p),
+                     0.0);
+}
+
+TEST(Stability, FailureProbabilityMonotoneInVoltage)
+{
+    double prev = 1.0;
+    for (double v = 0.5; v <= 1.2; v += 0.1) {
+        const double pf =
+            failureProbability(CellType::SixT, CellOp::Read, v);
+        EXPECT_LE(pf, prev + 1e-12);
+        prev = pf;
+    }
+}
+
+TEST(Stability, EightTFailsLessThanSixTAtLowVoltage)
+{
+    for (double v : {0.5, 0.6, 0.7, 0.8}) {
+        EXPECT_LT(failureProbability(CellType::EightT, CellOp::Read, v),
+                  failureProbability(CellType::SixT, CellOp::Read, v));
+    }
+}
+
+TEST(Vmin, EightTScalesLowerThanSixT)
+{
+    // The paper's whole premise: the 8T cell's Vmin is lower.
+    const double target = 1e-6;
+    const double v6 = vmin(CellType::SixT, target);
+    const double v8 = vmin(CellType::EightT, target);
+    EXPECT_LT(v8, v6);
+    EXPECT_GT(v6 - v8, 0.05); // a meaningful scaling headroom
+}
+
+TEST(Vmin, MeetsTheTargetItReports)
+{
+    const double target = 1e-6;
+    for (CellType t : {CellType::SixT, CellType::EightT}) {
+        const double v = vmin(t, target);
+        for (CellOp op : {CellOp::Hold, CellOp::Read, CellOp::Write})
+            EXPECT_LE(failureProbability(t, op, v), target * 1.01);
+    }
+}
+
+TEST(Vmin, TighterTargetNeedsHigherVoltage)
+{
+    EXPECT_GT(vmin(CellType::SixT, 1e-9), vmin(CellType::SixT, 1e-3));
+}
+
+TEST(CellType, Names)
+{
+    EXPECT_STREQ(toString(CellType::SixT), "6T");
+    EXPECT_STREQ(toString(CellType::EightT), "8T");
+}
+
+} // anonymous namespace

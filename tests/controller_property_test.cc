@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Property tests over the whole controller stack: for arbitrary
+ * calibrated streams and kernels, every scheme must be architecturally
+ * indistinguishable (same read values, same final memory) and the
+ * access-count dominance relations the paper claims must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/controller.hh"
+#include "trace/kernels.hh"
+#include "trace/markov_stream.hh"
+#include "trace/spec_profiles.hh"
+
+namespace
+{
+
+using namespace c8t::core;
+using c8t::mem::FunctionalMemory;
+using c8t::trace::AccessGenerator;
+using c8t::trace::MemAccess;
+
+constexpr std::uint64_t accessesPerRun = 60'000;
+
+struct Rig
+{
+    std::vector<std::unique_ptr<FunctionalMemory>> memories;
+    std::vector<std::unique_ptr<CacheController>> controllers;
+
+    explicit Rig(std::uint32_t buffer_entries = 1)
+    {
+        for (WriteScheme s :
+             {WriteScheme::SixTDirect, WriteScheme::Rmw,
+              WriteScheme::LocalRmw, WriteScheme::WordGranular,
+              WriteScheme::WriteGrouping,
+              WriteScheme::WriteGroupingReadBypass}) {
+            ControllerConfig cfg;
+            cfg.scheme = s;
+            cfg.bufferEntries = buffer_entries;
+            memories.push_back(std::make_unique<FunctionalMemory>());
+            controllers.push_back(std::make_unique<CacheController>(
+                cfg, *memories.back()));
+        }
+    }
+
+    CacheController &byScheme(WriteScheme s)
+    {
+        for (auto &c : controllers)
+            if (c->config().scheme == s)
+                return *c;
+        throw std::logic_error("scheme not in rig");
+    }
+};
+
+/** Drive every controller with the same stream, checking read values
+ *  against each other on every single access. */
+void
+runEquivalence(AccessGenerator &gen, Rig &rig,
+               std::uint64_t n = accessesPerRun)
+{
+    gen.reset();
+    MemAccess a;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (!gen.next(a))
+            break;
+        std::uint64_t reference = 0;
+        for (std::size_t c = 0; c < rig.controllers.size(); ++c) {
+            const AccessOutcome out = rig.controllers[c]->access(a);
+            if (!a.isRead())
+                continue;
+            if (c == 0)
+                reference = out.data;
+            else
+                ASSERT_EQ(out.data, reference)
+                    << "scheme "
+                    << toString(rig.controllers[c]->config().scheme)
+                    << " diverged at access " << i << ": "
+                    << a.toString();
+        }
+    }
+}
+
+class SpecEquivalence : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(SpecEquivalence, AllSchemesReturnIdenticalReadValues)
+{
+    c8t::trace::MarkovStream gen(
+        c8t::trace::specProfile(GetParam()));
+    Rig rig;
+    runEquivalence(gen, rig);
+}
+
+TEST_P(SpecEquivalence, ReadValuesMatchGeneratorShadow)
+{
+    // End-to-end oracle: the architectural value tracked by the
+    // generator must be what any scheme's hierarchy returns.
+    c8t::trace::MarkovStream gen(c8t::trace::specProfile(GetParam()));
+    ControllerConfig cfg;
+    cfg.scheme = WriteScheme::WriteGroupingReadBypass;
+    FunctionalMemory mem;
+    CacheController c(cfg, mem);
+
+    MemAccess a;
+    for (std::uint64_t i = 0; i < accessesPerRun; ++i) {
+        ASSERT_TRUE(gen.next(a));
+        const AccessOutcome out = c.access(a);
+        if (a.isRead()) {
+            ASSERT_EQ(out.data, gen.shadowValue(a.addr))
+                << "access " << i << ": " << a.toString();
+        }
+    }
+}
+
+TEST_P(SpecEquivalence, FinalMemoryIdenticalAcrossSchemes)
+{
+    c8t::trace::MarkovStream gen(c8t::trace::specProfile(GetParam()));
+    Rig rig;
+    runEquivalence(gen, rig, 30'000);
+
+    // Publish all cached state, then compare the memories word by
+    // word via the generator's write log.
+    for (auto &c : rig.controllers) {
+        c->drain();
+        c->flushCacheToMemory();
+    }
+
+    gen.reset();
+    MemAccess a;
+    std::set<std::uint64_t> written;
+    for (std::uint64_t i = 0; i < 30'000; ++i) {
+        ASSERT_TRUE(gen.next(a));
+        if (a.isWrite())
+            written.insert(a.addr & ~7ull);
+    }
+    for (const std::uint64_t addr : written) {
+        const std::uint64_t expect = gen.shadowValue(addr);
+        for (std::size_t c = 0; c < rig.memories.size(); ++c) {
+            ASSERT_EQ(rig.memories[c]->readWord(addr), expect)
+                << "scheme "
+                << toString(rig.controllers[c]->config().scheme)
+                << " at 0x" << std::hex << addr;
+        }
+    }
+}
+
+TEST_P(SpecEquivalence, AccessCountDominanceRelations)
+{
+    c8t::trace::MarkovStream gen(c8t::trace::specProfile(GetParam()));
+    Rig rig;
+    runEquivalence(gen, rig);
+    for (auto &c : rig.controllers)
+        c->drain();
+
+    const auto demand = [&](WriteScheme s) {
+        return rig.byScheme(s).demandAccesses();
+    };
+
+    // RMW is never cheaper than the 6T reference; grouping only helps.
+    EXPECT_GE(demand(WriteScheme::Rmw), demand(WriteScheme::SixTDirect));
+    EXPECT_EQ(demand(WriteScheme::Rmw), demand(WriteScheme::LocalRmw));
+    EXPECT_LE(demand(WriteScheme::WriteGrouping),
+              demand(WriteScheme::Rmw));
+    EXPECT_LE(demand(WriteScheme::WriteGroupingReadBypass),
+              demand(WriteScheme::WriteGrouping));
+
+    // RMW total = reads + 2 * writes (demand ops).
+    const CacheController &rmw = rig.byScheme(WriteScheme::Rmw);
+    EXPECT_EQ(rmw.demandAccesses(),
+              rmw.readRequests() + 2 * rmw.writeRequests());
+}
+
+TEST_P(SpecEquivalence, GroupingConservationLaws)
+{
+    c8t::trace::MarkovStream gen(c8t::trace::specProfile(GetParam()));
+    Rig rig;
+    runEquivalence(gen, rig);
+
+    const CacheController &wg = rig.byScheme(WriteScheme::WriteGrouping);
+
+    // Every write is either grouped (free) or opens a group (one row
+    // read). Group-opening reads = writes - groupedWrites.
+    EXPECT_EQ(wg.writeRequests(),
+              wg.groupedWrites() +
+                  (wg.demandRowReads() - wg.readRequests()));
+
+    // Write-backs can never exceed group-opening events + premature
+    // triggers.
+    EXPECT_LE(wg.groupWritebacks() + wg.prematureWritebacks(),
+              wg.writeRequests() + wg.readRequests());
+
+    // Bypasses only exist under WG+RB.
+    EXPECT_EQ(wg.bypassedReads(), 0u);
+    const CacheController &rb =
+        rig.byScheme(WriteScheme::WriteGroupingReadBypass);
+    EXPECT_EQ(rb.demandRowReads() + rb.bypassedReads() -
+                  (rb.writeRequests() - rb.groupedWrites()),
+              rb.readRequests());
+}
+
+TEST_P(SpecEquivalence, HitMissSequenceIdenticalAcrossSchemes)
+{
+    // The tag state machine must be scheme-independent; otherwise the
+    // paper's comparison would be confounded.
+    c8t::trace::MarkovStream gen(c8t::trace::specProfile(GetParam()));
+    Rig rig;
+    runEquivalence(gen, rig, 30'000);
+    const std::uint64_t hits0 = rig.controllers[0]->tags().hits();
+    const std::uint64_t miss0 = rig.controllers[0]->tags().misses();
+    for (auto &c : rig.controllers) {
+        EXPECT_EQ(c->tags().hits(), hits0);
+        EXPECT_EQ(c->tags().misses(), miss0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, SpecEquivalence,
+                         ::testing::Values("bwaves", "gamess", "mcf",
+                                           "lbm", "sjeng", "sphinx3"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+/** The same equivalence over the kernel workloads. */
+class KernelEquivalence : public ::testing::TestWithParam<int>
+{
+  protected:
+    std::unique_ptr<AccessGenerator> makeKernel() const
+    {
+        using namespace c8t::trace;
+        switch (GetParam()) {
+          case 0:
+            return std::make_unique<StreamCopyKernel>(20000, 2);
+          case 1:
+            return std::make_unique<StencilKernel>(20000, 2);
+          case 2:
+            return std::make_unique<PointerChaseKernel>(4096, 40000);
+          case 3:
+            return std::make_unique<HashUpdateKernel>(4096, 20000, 0.4,
+                                                      0.8);
+          default:
+            return std::make_unique<TransposeKernel>(128, 8);
+        }
+    }
+};
+
+TEST_P(KernelEquivalence, AllSchemesAgree)
+{
+    auto gen = makeKernel();
+    Rig rig;
+    runEquivalence(*gen, rig);
+
+    for (auto &c : rig.controllers) {
+        c->drain();
+        c->flushCacheToMemory();
+    }
+    // Cross-check a few words against the 6T reference memory.
+    gen->reset();
+    MemAccess a;
+    std::set<std::uint64_t> written;
+    while (gen->next(a) && written.size() < 2000) {
+        if (a.isWrite())
+            written.insert(a.addr & ~7ull);
+    }
+    for (const std::uint64_t addr : written) {
+        const std::uint64_t expect = rig.memories[0]->readWord(addr);
+        for (auto &m : rig.memories)
+            ASSERT_EQ(m->readWord(addr), expect);
+    }
+}
+
+TEST_P(KernelEquivalence, MultiEntryBufferPreservesCorrectness)
+{
+    for (std::uint32_t entries : {2u, 4u}) {
+        auto gen = makeKernel();
+        Rig rig(entries);
+        runEquivalence(*gen, rig, 30'000);
+    }
+}
+
+std::string
+kernelCaseName(const ::testing::TestParamInfo<int> &info)
+{
+    static const char *const names[] = {"stream_copy", "stencil",
+                                        "pointer_chase", "hash_update",
+                                        "transpose"};
+    return names[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, KernelEquivalence,
+                         ::testing::Range(0, 5), kernelCaseName);
+
+TEST(MultiEntryDominance, DeeperBuffersNeverIncreaseDemand)
+{
+    // The future-work extension must be monotone on a grouping-friendly
+    // stream.
+    c8t::trace::MarkovStream gen(c8t::trace::specProfile("bwaves"));
+    std::uint64_t prev = ~0ull;
+    for (std::uint32_t entries : {1u, 2u, 4u, 8u}) {
+        gen.reset();
+        FunctionalMemory mem;
+        ControllerConfig cfg;
+        cfg.scheme = WriteScheme::WriteGrouping;
+        cfg.bufferEntries = entries;
+        CacheController c(cfg, mem);
+        MemAccess a;
+        for (std::uint64_t i = 0; i < accessesPerRun; ++i) {
+            ASSERT_TRUE(gen.next(a));
+            c.access(a);
+        }
+        c.drain();
+        EXPECT_LE(c.demandAccesses(), prev) << entries << " entries";
+        prev = c.demandAccesses();
+    }
+}
+
+} // anonymous namespace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the DVFS governor and its cache-limited voltage
+ * floor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cpu/dvfs.hh"
+#include "sram/cell.hh"
+
+namespace
+{
+
+using namespace c8t::cpu;
+
+TEST(Dvfs, DefaultTableIsSane)
+{
+    const auto levels = defaultDvfsLevels();
+    EXPECT_GE(levels.size(), 5u);
+    for (const auto &l : levels) {
+        EXPECT_GT(l.vdd, 0.4);
+        EXPECT_LE(l.vdd, 1.1);
+        EXPECT_GT(l.freqGhz, 0.0);
+    }
+}
+
+TEST(Dvfs, FloorFiltersLevels)
+{
+    DvfsGovernor g(defaultDvfsLevels(), 0.75);
+    for (const auto &l : g.usableLevels())
+        EXPECT_GE(l.vdd, 0.75);
+    EXPECT_GT(g.lockedOutLevels(), 0u);
+    EXPECT_EQ(g.usableLevels().size() + g.lockedOutLevels(),
+              defaultDvfsLevels().size());
+}
+
+TEST(Dvfs, ZeroFloorKeepsEverything)
+{
+    DvfsGovernor g(defaultDvfsLevels(), 0.0);
+    EXPECT_EQ(g.lockedOutLevels(), 0u);
+}
+
+TEST(Dvfs, ImpossibleFloorThrows)
+{
+    EXPECT_THROW(DvfsGovernor(defaultDvfsLevels(), 2.0),
+                 std::invalid_argument);
+}
+
+TEST(Dvfs, LevelsSortedFastestFirst)
+{
+    DvfsGovernor g(defaultDvfsLevels(), 0.0);
+    const auto &levels = g.usableLevels();
+    for (std::size_t i = 1; i < levels.size(); ++i)
+        EXPECT_GE(levels[i - 1].vdd, levels[i].vdd);
+    EXPECT_GE(g.fastest().freqGhz, g.slowest().freqGhz);
+}
+
+TEST(Dvfs, LevelForPicksLowestSufficientVoltage)
+{
+    DvfsGovernor g(defaultDvfsLevels(), 0.0);
+    // Full demand needs the fastest level.
+    EXPECT_DOUBLE_EQ(g.levelFor(1.0).vdd, g.fastest().vdd);
+    // Zero demand drops to the floor.
+    EXPECT_DOUBLE_EQ(g.levelFor(0.0).vdd, g.slowest().vdd);
+    // Half demand: some middle level, monotone in demand.
+    double prev = 0.0;
+    for (double d = 0.0; d <= 1.0; d += 0.1) {
+        const double v = g.levelFor(d).vdd;
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(Dvfs, LevelForMeetsTheDemand)
+{
+    DvfsGovernor g(defaultDvfsLevels(), 0.0);
+    const double fmax = g.fastest().freqGhz;
+    for (double d = 0.05; d <= 1.0; d += 0.05)
+        EXPECT_GE(g.levelFor(d).freqGhz, d * fmax - 1e-12);
+}
+
+TEST(Dvfs, HigherFloorRaisesIdleEnergy)
+{
+    // The punchline: a 6T-limited cache cannot reach the low levels a
+    // low-demand phase would otherwise use.
+    const double vmin6 =
+        c8t::sram::vmin(c8t::sram::CellType::SixT, 1e-6);
+    const double vmin8 =
+        c8t::sram::vmin(c8t::sram::CellType::EightT, 1e-6);
+    ASSERT_LT(vmin8, vmin6);
+
+    DvfsGovernor g6(defaultDvfsLevels(), vmin6);
+    DvfsGovernor g8(defaultDvfsLevels(), vmin8);
+    EXPECT_GE(g6.lockedOutLevels(), g8.lockedOutLevels());
+    EXPECT_LE(g8.slowest().vdd, g6.slowest().vdd);
+
+    const double idle6 =
+        DvfsGovernor::scaleEnergy(1.0, 1.0, g6.levelFor(0.1));
+    const double idle8 =
+        DvfsGovernor::scaleEnergy(1.0, 1.0, g8.levelFor(0.1));
+    EXPECT_LE(idle8, idle6);
+}
+
+TEST(Dvfs, EnergyScalesQuadratically)
+{
+    const DvfsLevel half{0.5, 1.0};
+    EXPECT_DOUBLE_EQ(DvfsGovernor::scaleEnergy(4.0, 1.0, half), 1.0);
+    const DvfsLevel same{1.0, 2.0};
+    EXPECT_DOUBLE_EQ(DvfsGovernor::scaleEnergy(4.0, 1.0, same), 4.0);
+}
+
+} // anonymous namespace

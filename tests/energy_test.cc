@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the cacti-lite energy/latency/area model. The tests
+ * pin the *relative* properties the paper's arguments rest on, not
+ * absolute joule values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sram/energy.hh"
+
+namespace
+{
+
+using namespace c8t::sram;
+
+ArrayGeometry
+baselineGeom()
+{
+    // 64 KB / 4-way / 32 B: 512 rows of 128 B.
+    ArrayGeometry g;
+    g.rows = 512;
+    g.bytesPerRow = 128;
+    return g;
+}
+
+TEST(EnergyModel, AllEnergiesPositive)
+{
+    EnergyModel m(baselineGeom());
+    EXPECT_GT(m.rowReadEnergy(), 0.0);
+    EXPECT_GT(m.rowWriteEnergy(), 0.0);
+    EXPECT_GT(m.partialWriteEnergy(8), 0.0);
+    EXPECT_GT(m.setBufferReadEnergy(8), 0.0);
+    EXPECT_GT(m.setBufferWriteEnergy(8), 0.0);
+    EXPECT_GT(m.tagCompareEnergy(34, 4), 0.0);
+}
+
+TEST(EnergyModel, SetBufferAccessFarCheaperThanRowAccess)
+{
+    // The paper's power argument (§5.5): replacing row accesses with
+    // Set-Buffer accesses saves energy.
+    EnergyModel m(baselineGeom());
+    EXPECT_LT(m.setBufferReadEnergy(8) * 10, m.rowReadEnergy());
+    EXPECT_LT(m.setBufferWriteEnergy(8) * 10, m.rowWriteEnergy());
+}
+
+TEST(EnergyModel, PartialWriteCheaperThanFullRowWrite)
+{
+    EnergyModel m(baselineGeom());
+    EXPECT_LT(m.partialWriteEnergy(8), m.rowWriteEnergy());
+}
+
+TEST(EnergyModel, EnergyScalesWithVddSquared)
+{
+    TechParams hi;
+    hi.vdd = 1.0;
+    TechParams lo = hi;
+    lo.vdd = 0.5;
+    EnergyModel mh(baselineGeom(), hi);
+    EnergyModel ml(baselineGeom(), lo);
+    EXPECT_NEAR(ml.rowReadEnergy() / mh.rowReadEnergy(), 0.25, 1e-9);
+    EXPECT_NEAR(ml.rowWriteEnergy() / mh.rowWriteEnergy(), 0.25, 1e-9);
+}
+
+TEST(EnergyModel, WiderRowsCostMore)
+{
+    ArrayGeometry narrow = baselineGeom();
+    ArrayGeometry wide = baselineGeom();
+    wide.bytesPerRow = 256;
+    EnergyModel mn(narrow), mw(wide);
+    EXPECT_GT(mw.rowReadEnergy(), mn.rowReadEnergy());
+    EXPECT_GT(mw.rowWriteEnergy(), mn.rowWriteEnergy());
+}
+
+TEST(EnergyModel, SetBufferLatencyBelowRowLatency)
+{
+    // §5.5: "access latency to the Set-Buffer is less than the cache
+    // latency".
+    EnergyModel m(baselineGeom());
+    EXPECT_LT(m.setBufferLatency(), m.rowReadLatency());
+    EXPECT_LT(m.setBufferLatency(), m.rowWriteLatency());
+}
+
+TEST(EnergyModel, LatenciesPositive)
+{
+    EnergyModel m(baselineGeom());
+    EXPECT_GT(m.rowReadLatency(), 0.0);
+    EXPECT_GT(m.rowWriteLatency(), 0.0);
+    EXPECT_GT(m.setBufferLatency(), 0.0);
+}
+
+TEST(EnergyModel, EightTAreaLargerThanSixT)
+{
+    EnergyModel m(baselineGeom());
+    EXPECT_GT(m.dataArrayArea(CellType::EightT),
+              m.dataArrayArea(CellType::SixT));
+}
+
+TEST(EnergyModel, SetBufferOverheadBelowPaperBound)
+{
+    // §5.4: the Set-Buffer adds less than 0.2 % to the 64 KB baseline.
+    EnergyModel m(baselineGeom());
+    EXPECT_LT(m.setBufferOverheadFraction(), 0.002);
+    EXPECT_GT(m.setBufferOverheadFraction(), 0.0);
+}
+
+TEST(EnergyModel, TagBufferBitsBelowPaperBound)
+{
+    // §5.4: < 150 bits for 48-bit physical addresses on the baseline
+    // (9 set bits, 34-bit tags, 4 ways).
+    const std::uint32_t bits = EnergyModel::tagBufferBits(9, 34, 4);
+    EXPECT_LT(bits, 150u);
+    EXPECT_EQ(bits, 9u + 34u * 4u + 1u);
+}
+
+TEST(EnergyModel, LeakageScalesWithCellCount)
+{
+    ArrayGeometry small = baselineGeom();
+    ArrayGeometry big = baselineGeom();
+    big.rows = 1024;
+    EnergyModel ms(small), mb(big);
+    EXPECT_NEAR(mb.leakagePower() / ms.leakagePower(), 2.0, 1e-9);
+}
+
+} // anonymous namespace

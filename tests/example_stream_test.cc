@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The paper's Figure 8 worked example, executed literally.
+ *
+ * Request stream (arrival order): Ra, Wb, Wb, Rb, Rb, Wb, Wa, Rb, Ra,
+ * with the Wa silent, all blocks pre-resident, Tag-Buffer initially
+ * empty. The expected access counts per scheme are derived step by
+ * step in the paper's §4.3 narrative; this test pins each step.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/controller.hh"
+
+namespace
+{
+
+using namespace c8t::core;
+using c8t::mem::FunctionalMemory;
+using c8t::trace::AccessType;
+using c8t::trace::MemAccess;
+
+constexpr std::uint64_t blockA = 0x20000; // set 0 of the baseline cache
+constexpr std::uint64_t blockB = 0x20040; // set 2: a different set
+
+MemAccess
+R(std::uint64_t addr)
+{
+    MemAccess a;
+    a.addr = addr;
+    return a;
+}
+
+MemAccess
+W(std::uint64_t addr, std::uint64_t data)
+{
+    MemAccess a;
+    a.addr = addr;
+    a.type = AccessType::Write;
+    a.data = data;
+    return a;
+}
+
+/** The Figure 8 stream. Wa writes 0 to zero-initialised memory, which
+ *  makes it silent, matching the paper's assumption. */
+std::vector<MemAccess>
+figure8Stream()
+{
+    return {
+        R(blockA),     // Ra   — Tag-Buffer miss, cache access
+        W(blockB, 1),  // Wb   — read row b, fill Set-Buffer
+        W(blockB, 2),  // Wb   — Tag-Buffer hit, non-silent: Dirty
+        R(blockB),     // Rb   — hit: premature write-back + read (WG)
+        R(blockB),     // Rb   — hit, Dirty clear: read only (WG)
+        W(blockB, 3),  // Wb   — hit: update, Dirty set
+        W(blockA, 0),  // Wa   — miss: write back b, read row a; silent
+        R(blockB),     // Rb   — Tag-Buffer miss: cache access
+        R(blockA),     // Ra   — hit, Dirty clear: no write-back
+    };
+}
+
+class Figure8 : public ::testing::Test
+{
+  protected:
+    CacheController
+    make(WriteScheme scheme)
+    {
+        ControllerConfig cfg;
+        cfg.scheme = scheme;
+        CacheController c(cfg, mem);
+        // Pre-warm both blocks with reads (reads never allocate buffer
+        // entries), then reset so the example starts clean.
+        c.access(R(blockA));
+        c.access(R(blockB));
+        c.resetStats();
+        return c;
+    }
+
+    FunctionalMemory mem;
+};
+
+TEST_F(Figure8, RmwRow)
+{
+    // Figure 8 second row: each write preceded by a read.
+    auto c = make(WriteScheme::Rmw);
+    for (const auto &a : figure8Stream())
+        c.access(a);
+    // 5 reads x 1 + 4 writes x 2 = 13 accesses.
+    EXPECT_EQ(c.demandRowReads(), 5u + 4u);
+    EXPECT_EQ(c.demandRowWrites(), 4u);
+    EXPECT_EQ(c.demandAccesses(), 13u);
+}
+
+TEST_F(Figure8, WgRow)
+{
+    auto c = make(WriteScheme::WriteGrouping);
+    const auto stream = figure8Stream();
+
+    // Step-by-step narrative from the paper.
+    c.access(stream[0]); // Ra: Tag-Buffer miss, cache accessed
+    EXPECT_EQ(c.demandAccesses(), 1u);
+
+    c.access(stream[1]); // Wb: read row, fill Set-Buffer
+    EXPECT_EQ(c.demandRowReads(), 2u);
+    EXPECT_EQ(c.demandRowWrites(), 0u);
+
+    c.access(stream[2]); // Wb: grouped, Dirty set
+    EXPECT_EQ(c.groupedWrites(), 1u);
+    EXPECT_EQ(c.demandAccesses(), 2u);
+
+    c.access(stream[3]); // Rb: premature write-back + read
+    EXPECT_EQ(c.prematureWritebacks(), 1u);
+    EXPECT_EQ(c.demandRowWrites(), 1u);
+    EXPECT_EQ(c.demandRowReads(), 3u);
+
+    c.access(stream[4]); // Rb: Dirty clear, read only
+    EXPECT_EQ(c.demandRowWrites(), 1u);
+    EXPECT_EQ(c.demandRowReads(), 4u);
+
+    c.access(stream[5]); // Wb: grouped again, Dirty set
+    EXPECT_EQ(c.groupedWrites(), 2u);
+    EXPECT_EQ(c.demandAccesses(), 5u);
+
+    c.access(stream[6]); // Wa: write back b, read row a; Wa silent
+    EXPECT_EQ(c.groupWritebacks(), 1u);
+    EXPECT_EQ(c.silentWritesDetected(), 1u);
+    EXPECT_EQ(c.demandRowWrites(), 2u);
+    EXPECT_EQ(c.demandRowReads(), 5u);
+
+    c.access(stream[7]); // Rb: Tag-Buffer miss, cache access
+    EXPECT_EQ(c.demandRowReads(), 6u);
+
+    c.access(stream[8]); // Ra: hit but Dirty clear — no write-back
+    EXPECT_EQ(c.demandRowWrites(), 2u);
+    EXPECT_EQ(c.demandRowReads(), 7u);
+
+    // WG total: 9 accesses vs RMW's 13.
+    EXPECT_EQ(c.demandAccesses(), 9u);
+}
+
+TEST_F(Figure8, WgRbRow)
+{
+    auto c = make(WriteScheme::WriteGroupingReadBypass);
+    const auto stream = figure8Stream();
+
+    c.access(stream[0]); // Ra: miss in Tag-Buffer, cache access
+    c.access(stream[1]); // Wb: read row, fill buffer
+    c.access(stream[2]); // Wb: grouped
+    EXPECT_EQ(c.demandAccesses(), 2u);
+
+    c.access(stream[3]); // Rb: bypassed!
+    c.access(stream[4]); // Rb: bypassed!
+    EXPECT_EQ(c.bypassedReads(), 2u);
+    EXPECT_EQ(c.prematureWritebacks(), 0u);
+    EXPECT_EQ(c.demandAccesses(), 2u);
+
+    c.access(stream[5]); // Wb: grouped
+    c.access(stream[6]); // Wa: "the write back happens before Wa"
+    EXPECT_EQ(c.groupWritebacks(), 1u);
+    EXPECT_EQ(c.demandRowWrites(), 1u);
+    EXPECT_EQ(c.demandRowReads(), 3u);
+
+    c.access(stream[7]); // Rb: Tag-Buffer miss, cache access
+    EXPECT_EQ(c.demandRowReads(), 4u);
+
+    // "The last request (Ra) is eliminated as it hits in the
+    // Tag-Buffer and is bypassed by WG+RB."
+    const AccessOutcome last = c.access(stream[8]);
+    EXPECT_TRUE(last.bypassed);
+    EXPECT_EQ(c.bypassedReads(), 3u);
+
+    // WG+RB total: 5 accesses vs WG's 9 and RMW's 13.
+    EXPECT_EQ(c.demandAccesses(), 5u);
+}
+
+TEST_F(Figure8, AllSchemesReturnTheSameReadValues)
+{
+    std::vector<std::vector<std::uint64_t>> values;
+    for (WriteScheme s : {WriteScheme::Rmw, WriteScheme::WriteGrouping,
+                          WriteScheme::WriteGroupingReadBypass}) {
+        FunctionalMemory local;
+        ControllerConfig cfg;
+        cfg.scheme = s;
+        CacheController c(cfg, local);
+        c.access(R(blockA));
+        c.access(R(blockB));
+
+        std::vector<std::uint64_t> v;
+        for (const auto &a : figure8Stream()) {
+            const AccessOutcome out = c.access(a);
+            if (a.isRead())
+                v.push_back(out.data);
+        }
+        values.push_back(std::move(v));
+    }
+    EXPECT_EQ(values[0], values[1]);
+    EXPECT_EQ(values[0], values[2]);
+    // And the reads of block B observe the grouped writes.
+    EXPECT_EQ(values[0][1], 2u); // first Rb after Wb(1), Wb(2)
+    EXPECT_EQ(values[0][3], 3u); // Rb after Wb(3)
+}
+
+} // anonymous namespace

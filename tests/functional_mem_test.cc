@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the functional backing memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/functional_mem.hh"
+
+namespace
+{
+
+using c8t::mem::FunctionalMemory;
+
+TEST(FunctionalMemory, ReadsZeroWhenUntouched)
+{
+    FunctionalMemory m;
+    EXPECT_EQ(m.readWord(0x1000), 0u);
+    EXPECT_EQ(m.touchedWords(), 0u);
+}
+
+TEST(FunctionalMemory, WordRoundTrip)
+{
+    FunctionalMemory m;
+    m.writeWord(0x1000, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(m.readWord(0x1000), 0xdeadbeefcafef00dull);
+}
+
+TEST(FunctionalMemory, WordAddressesAreAligned)
+{
+    FunctionalMemory m;
+    m.writeWord(0x1003, 42); // unaligned address hits the same word
+    EXPECT_EQ(m.readWord(0x1000), 42u);
+    EXPECT_EQ(m.readWord(0x1007), 42u);
+}
+
+TEST(FunctionalMemory, ZeroWritesKeepMapSparse)
+{
+    FunctionalMemory m;
+    m.writeWord(0x1000, 7);
+    EXPECT_EQ(m.touchedWords(), 1u);
+    m.writeWord(0x1000, 0);
+    EXPECT_EQ(m.touchedWords(), 0u);
+    EXPECT_EQ(m.readWord(0x1000), 0u);
+}
+
+TEST(FunctionalMemory, ByteReadBackOfWordWrite)
+{
+    FunctionalMemory m;
+    m.writeWord(0x2000, 0x0807060504030201ull);
+    const auto bytes = m.readBytes(0x2000, 8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(bytes[i], i + 1);
+}
+
+TEST(FunctionalMemory, ByteWriteReadRoundTrip)
+{
+    FunctionalMemory m;
+    const std::uint8_t data[] = {0xaa, 0xbb, 0xcc};
+    m.writeBytes(0x3001, data, 3); // unaligned, within one word
+    const auto out = m.readBytes(0x3001, 3);
+    EXPECT_EQ(out[0], 0xaa);
+    EXPECT_EQ(out[1], 0xbb);
+    EXPECT_EQ(out[2], 0xcc);
+    // Surrounding bytes untouched.
+    EXPECT_EQ(m.readBytes(0x3000, 1)[0], 0u);
+}
+
+TEST(FunctionalMemory, ByteAccessSpansWords)
+{
+    FunctionalMemory m;
+    std::uint8_t data[16];
+    for (int i = 0; i < 16; ++i)
+        data[i] = static_cast<std::uint8_t>(i + 1);
+    m.writeBytes(0x4004, data, 16); // spans three words
+    const auto out = m.readBytes(0x4004, 16);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(out[i], i + 1);
+}
+
+TEST(FunctionalMemory, BlockSizedTransfers)
+{
+    FunctionalMemory m;
+    std::vector<std::uint8_t> block(32);
+    for (int i = 0; i < 32; ++i)
+        block[i] = static_cast<std::uint8_t>(255 - i);
+    m.writeBytes(0x5000, block.data(), block.size());
+    EXPECT_EQ(m.readBytes(0x5000, 32), block);
+}
+
+TEST(FunctionalMemory, PartialByteOverwrite)
+{
+    FunctionalMemory m;
+    m.writeWord(0x6000, ~0ull);
+    const std::uint8_t zero = 0;
+    m.writeBytes(0x6003, &zero, 1);
+    EXPECT_EQ(m.readWord(0x6000), ~0ull & ~(0xffull << 24));
+}
+
+TEST(FunctionalMemory, ClearDropsEverything)
+{
+    FunctionalMemory m;
+    m.writeWord(0x1000, 1);
+    m.writeWord(0x2000, 2);
+    m.clear();
+    EXPECT_EQ(m.touchedWords(), 0u);
+    EXPECT_EQ(m.readWord(0x1000), 0u);
+}
+
+TEST(FunctionalMemory, DistinctWordsIndependent)
+{
+    FunctionalMemory m;
+    m.writeWord(0x1000, 1);
+    m.writeWord(0x1008, 2);
+    EXPECT_EQ(m.readWord(0x1000), 1u);
+    EXPECT_EQ(m.readWord(0x1008), 2u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Cache-geometry property suite: the correctness invariants and the
+ * paper's dominance relations must hold for *every* cache shape, not
+ * just the baseline. Runs the cross-scheme equivalence over a grid of
+ * sizes, associativities and block sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/controller.hh"
+#include "trace/markov_stream.hh"
+#include "trace/spec_profiles.hh"
+
+namespace
+{
+
+using namespace c8t;
+using core::CacheController;
+using core::ControllerConfig;
+using core::WriteScheme;
+
+struct Shape
+{
+    std::uint64_t sizeKb;
+    std::uint32_t ways;
+    std::uint32_t blockBytes;
+};
+
+class GeometryProperty : public ::testing::TestWithParam<Shape>
+{};
+
+std::string
+shapeName(const ::testing::TestParamInfo<Shape> &info)
+{
+    return std::to_string(info.param.sizeKb) + "KB_" +
+           std::to_string(info.param.ways) + "w_" +
+           std::to_string(info.param.blockBytes) + "B";
+}
+
+TEST_P(GeometryProperty, AllSchemesAgreeOnEveryRead)
+{
+    const Shape shape = GetParam();
+    mem::CacheConfig cache{shape.sizeKb * 1024, shape.ways,
+                           shape.blockBytes};
+
+    std::vector<std::unique_ptr<mem::FunctionalMemory>> memories;
+    std::vector<std::unique_ptr<CacheController>> controllers;
+    for (WriteScheme s :
+         {WriteScheme::SixTDirect, WriteScheme::Rmw,
+          WriteScheme::WriteGrouping,
+          WriteScheme::WriteGroupingReadBypass}) {
+        ControllerConfig cfg;
+        cfg.cache = cache;
+        cfg.scheme = s;
+        memories.push_back(std::make_unique<mem::FunctionalMemory>());
+        controllers.push_back(
+            std::make_unique<CacheController>(cfg, *memories.back()));
+    }
+
+    trace::MarkovStream gen(trace::specProfile("gcc"));
+    trace::MemAccess a;
+    for (std::uint64_t i = 0; i < 30'000; ++i) {
+        ASSERT_TRUE(gen.next(a));
+        std::uint64_t reference = 0;
+        for (std::size_t c = 0; c < controllers.size(); ++c) {
+            const core::AccessOutcome out = controllers[c]->access(a);
+            if (!a.isRead())
+                continue;
+            if (c == 0) {
+                reference = out.data;
+                // The 6T reference must equal the generator's shadow.
+                ASSERT_EQ(out.data, gen.shadowValue(a.addr))
+                    << "access " << i;
+            } else {
+                ASSERT_EQ(out.data, reference)
+                    << toString(controllers[c]->config().scheme)
+                    << " at access " << i;
+            }
+        }
+    }
+}
+
+TEST_P(GeometryProperty, DominanceRelationsHold)
+{
+    const Shape shape = GetParam();
+    mem::CacheConfig cache{shape.sizeKb * 1024, shape.ways,
+                           shape.blockBytes};
+
+    std::uint64_t demand[3] = {};
+    const WriteScheme schemes[] = {WriteScheme::Rmw,
+                                   WriteScheme::WriteGrouping,
+                                   WriteScheme::WriteGroupingReadBypass};
+    for (int s = 0; s < 3; ++s) {
+        trace::MarkovStream gen(trace::specProfile("leslie3d"));
+        mem::FunctionalMemory memory;
+        ControllerConfig cfg;
+        cfg.cache = cache;
+        cfg.scheme = schemes[s];
+        CacheController c(cfg, memory);
+        trace::MemAccess a;
+        for (std::uint64_t i = 0; i < 30'000; ++i) {
+            ASSERT_TRUE(gen.next(a));
+            c.access(a);
+        }
+        c.drain();
+        demand[s] = c.demandAccesses();
+    }
+    EXPECT_LE(demand[1], demand[0]); // WG <= RMW
+    EXPECT_LE(demand[2], demand[1]); // WG+RB <= WG
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeometryProperty,
+    ::testing::Values(Shape{16, 2, 16}, Shape{16, 1, 32},
+                      Shape{32, 4, 64}, Shape{64, 4, 32},
+                      Shape{64, 8, 32}, Shape{128, 8, 64},
+                      Shape{256, 16, 32}, Shape{8, 2, 64}),
+    shapeName);
+
+} // anonymous namespace

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * End-to-end integration tests: the headline results of the paper must
+ * hold when the whole stack runs together, and trace files round-trip
+ * through the full simulation pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/simulator.hh"
+#include "trace/markov_stream.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/trace_io.hh"
+
+namespace
+{
+
+using namespace c8t::core;
+using namespace c8t::trace;
+
+std::vector<ControllerConfig>
+schemes(const c8t::mem::CacheConfig &cache)
+{
+    std::vector<ControllerConfig> cfgs(4);
+    for (auto &c : cfgs)
+        c.cache = cache;
+    cfgs[0].scheme = WriteScheme::SixTDirect;
+    cfgs[1].scheme = WriteScheme::Rmw;
+    cfgs[2].scheme = WriteScheme::WriteGrouping;
+    cfgs[3].scheme = WriteScheme::WriteGroupingReadBypass;
+    return cfgs;
+}
+
+constexpr RunConfig shortRun{20'000, 150'000};
+
+double
+reduction(const SchemeRunResult &rmw, const SchemeRunResult &r)
+{
+    return 1.0 - static_cast<double>(r.demandAccesses) /
+                     static_cast<double>(rmw.demandAccesses);
+}
+
+TEST(Integration, RmwInflatesAccessesPerPaperClaim)
+{
+    // §1: "RMW increases cache access frequency by more than 32% on
+    // average (max 47%)" — spot-check the two extremes.
+    for (const char *name : {"bwaves", "mcf"}) {
+        MarkovStream gen(specProfile(name));
+        MultiSchemeRunner runner(schemes({}));
+        const auto res = runner.run(gen, shortRun);
+        const double inflation =
+            static_cast<double>(res[1].demandAccesses) /
+                res[0].demandAccesses -
+            1.0;
+        if (std::string(name) == "bwaves") {
+            EXPECT_GT(inflation, 0.40) << name;
+            EXPECT_LT(inflation, 0.50) << name;
+        } else {
+            EXPECT_GT(inflation, 0.20) << name;
+        }
+    }
+}
+
+TEST(Integration, BwavesHeadlineReductions)
+{
+    // Figure 9's best case: bwaves cuts >40 % of RMW accesses with WG.
+    MarkovStream gen(specProfile("bwaves"));
+    MultiSchemeRunner runner(schemes({}));
+    const auto res = runner.run(gen, shortRun);
+    EXPECT_GT(reduction(res[1], res[2]), 0.40);
+    EXPECT_GT(reduction(res[1], res[3]), reduction(res[1], res[2]));
+}
+
+TEST(Integration, WgRbBeatsWgOnEveryProfileSpotCheck)
+{
+    for (const char *name : {"gamess", "cactusADM", "sjeng"}) {
+        MarkovStream gen(specProfile(name));
+        MultiSchemeRunner runner(schemes({}));
+        const auto res = runner.run(gen, shortRun);
+        EXPECT_LE(res[3].demandAccesses, res[2].demandAccesses) << name;
+        EXPECT_LT(res[2].demandAccesses, res[1].demandAccesses) << name;
+    }
+}
+
+TEST(Integration, LargerBlocksImproveBothSchemes)
+{
+    // The Figure 10 shape: 64 B blocks group better than 32 B.
+    MarkovStream gen(specProfile("leslie3d"));
+
+    MultiSchemeRunner base(schemes({64 * 1024, 4, 32}));
+    const auto res32 = base.run(gen, shortRun);
+
+    MultiSchemeRunner big(schemes({32 * 1024, 4, 64}));
+    const auto res64 = big.run(gen, shortRun);
+
+    EXPECT_GT(reduction(res64[1], res64[3]),
+              reduction(res32[1], res32[3]));
+}
+
+TEST(Integration, CacheSizeBarelyMatters)
+{
+    // The Figure 11 shape: reductions are insensitive to cache size.
+    MarkovStream gen(specProfile("gcc"));
+    MultiSchemeRunner small(schemes({32 * 1024, 4, 32}));
+    const auto res_s = small.run(gen, shortRun);
+    MultiSchemeRunner large(schemes({128 * 1024, 4, 32}));
+    const auto res_l = large.run(gen, shortRun);
+
+    EXPECT_NEAR(reduction(res_s[1], res_s[2]),
+                reduction(res_l[1], res_l[2]), 0.05);
+}
+
+TEST(Integration, TraceFileReplayMatchesLiveGeneration)
+{
+    // Generate -> write trace -> replay through the simulator: results
+    // must be bit-identical to driving the generator directly.
+    const auto path = std::filesystem::temp_directory_path() /
+                      "c8t_integration.trc";
+
+    MarkovStream gen(specProfile("povray"));
+    {
+        TraceWriter w(path.string());
+        MemAccess a;
+        for (int i = 0; i < 50'000; ++i) {
+            gen.next(a);
+            w.write(a);
+        }
+        w.finish();
+    }
+
+    MultiSchemeRunner live(schemes({}));
+    gen.reset();
+    const auto res_live = live.run(gen, {10'000, 40'000});
+
+    TraceReader reader(path.string());
+    MultiSchemeRunner replay(schemes({}));
+    const auto res_replay = replay.run(reader, {10'000, 40'000});
+
+    for (std::size_t i = 0; i < res_live.size(); ++i) {
+        EXPECT_EQ(res_live[i].demandAccesses,
+                  res_replay[i].demandAccesses);
+        EXPECT_EQ(res_live[i].hits, res_replay[i].hits);
+        EXPECT_EQ(res_live[i].groupedWrites,
+                  res_replay[i].groupedWrites);
+    }
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+}
+
+TEST(Integration, SilentDetectionAblationMatters)
+{
+    // Turning the comparator off must cost write-backs on a silent-
+    // heavy stream (the Figure 5 -> Figure 9 causal link).
+    MarkovStream gen(specProfile("bwaves"));
+
+    std::vector<ControllerConfig> cfgs(2);
+    cfgs[0].scheme = WriteScheme::WriteGrouping;
+    cfgs[1].scheme = WriteScheme::WriteGrouping;
+    cfgs[1].silentDetection = false;
+    MultiSchemeRunner runner(cfgs);
+    const auto res = runner.run(gen, shortRun);
+    EXPECT_LT(res[0].demandAccesses, res[1].demandAccesses);
+    EXPECT_GT(res[0].silentGroupsElided, 0u);
+    EXPECT_EQ(res[1].silentGroupsElided, 0u);
+}
+
+TEST(Integration, EnergyFollowsAccessReduction)
+{
+    // §5.5's power argument: fewer row operations => less dynamic
+    // energy, with the Set-Buffer's small cost not erasing the win.
+    MarkovStream gen(specProfile("lbm"));
+    MultiSchemeRunner runner(schemes({}));
+    const auto res = runner.run(gen, shortRun);
+    EXPECT_LT(res[2].dynamicEnergy, res[1].dynamicEnergy);
+    EXPECT_LT(res[3].dynamicEnergy, res[2].dynamicEnergy);
+}
+
+TEST(Integration, PortStallsDropUnderGrouping)
+{
+    MarkovStream gen(specProfile("bwaves"));
+    MultiSchemeRunner runner(schemes({}));
+    const auto res = runner.run(gen, shortRun);
+    // RMW writes occupy both ports; WG+RB removes most of that.
+    EXPECT_LT(res[3].portStallCycles, res[1].portStallCycles);
+}
+
+TEST(Integration, MeanReadLatencyDropsWithBypassing)
+{
+    MarkovStream gen(specProfile("gamess"));
+    MultiSchemeRunner runner(schemes({}));
+    const auto res = runner.run(gen, shortRun);
+    EXPECT_LT(res[3].meanReadLatency, res[1].meanReadLatency);
+}
+
+} // anonymous namespace

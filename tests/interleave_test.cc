@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit and property tests for the bit-interleaving map.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "sram/interleave.hh"
+
+namespace
+{
+
+using c8t::sram::InterleaveMap;
+
+TEST(InterleaveMap, NonInterleavedIsIdentityLayout)
+{
+    InterleaveMap map(4, 8, 1);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        for (std::uint32_t b = 0; b < 8; ++b)
+            EXPECT_EQ(map.toPhysical(w, b), w * 8 + b);
+}
+
+TEST(InterleaveMap, AdjacentColumnsBelongToDifferentWords)
+{
+    InterleaveMap map(8, 64, 4);
+    for (std::uint32_t col = 0; col + 1 < map.columns(); ++col) {
+        // Within an interleave group, neighbours differ in word.
+        const bool same_group =
+            col / (64 * 4) == (col + 1) / (64 * 4);
+        if (same_group) {
+            EXPECT_NE(map.wordOf(col), map.wordOf(col + 1))
+                << "col " << col;
+        }
+    }
+}
+
+TEST(InterleaveMap, BurstOfDegreeHitsDistinctWords)
+{
+    // The motivating property: any burst of up to `degree` adjacent
+    // columns lands in `degree` distinct words.
+    InterleaveMap map(8, 64, 4);
+    for (std::uint32_t start = 0; start + 4 <= map.columns(); ++start) {
+        std::set<std::uint32_t> words;
+        for (std::uint32_t i = 0; i < 4; ++i)
+            words.insert(map.wordOf(start + i));
+        EXPECT_EQ(words.size(), 4u) << "burst at " << start;
+    }
+}
+
+TEST(InterleaveMap, ColumnsCount)
+{
+    InterleaveMap map(16, 72, 4);
+    EXPECT_EQ(map.columns(), 16u * 72u);
+}
+
+/** Property suite over several geometries. */
+class InterleaveProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>>
+{};
+
+TEST_P(InterleaveProperty, MappingIsBijective)
+{
+    const auto [words, bits, degree] = GetParam();
+    InterleaveMap map(words, bits, degree);
+
+    std::set<std::uint32_t> used;
+    for (std::uint32_t w = 0; w < words; ++w) {
+        for (std::uint32_t b = 0; b < bits; ++b) {
+            const std::uint32_t col = map.toPhysical(w, b);
+            EXPECT_LT(col, map.columns());
+            EXPECT_TRUE(used.insert(col).second)
+                << "collision at (" << w << ", " << b << ")";
+        }
+    }
+    EXPECT_EQ(used.size(), map.columns());
+}
+
+TEST_P(InterleaveProperty, InverseRoundTrips)
+{
+    const auto [words, bits, degree] = GetParam();
+    InterleaveMap map(words, bits, degree);
+
+    for (std::uint32_t col = 0; col < map.columns(); ++col) {
+        const std::uint32_t w = map.wordOf(col);
+        const std::uint32_t b = map.bitOf(col);
+        EXPECT_LT(w, words);
+        EXPECT_LT(b, bits);
+        EXPECT_EQ(map.toPhysical(w, b), col);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, InterleaveProperty,
+    ::testing::Values(std::make_tuple(4u, 8u, 1u),
+                      std::make_tuple(4u, 8u, 2u),
+                      std::make_tuple(4u, 8u, 4u),
+                      std::make_tuple(16u, 64u, 4u),
+                      std::make_tuple(16u, 64u, 8u),
+                      std::make_tuple(16u, 72u, 4u),
+                      std::make_tuple(8u, 72u, 8u),
+                      std::make_tuple(32u, 64u, 16u)));
+
+} // anonymous namespace

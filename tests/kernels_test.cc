@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the kernel workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "trace/kernels.hh"
+#include "trace/trace_io.hh"
+
+namespace
+{
+
+using namespace c8t::trace;
+
+TEST(StreamCopy, AlternatesReadWrite)
+{
+    StreamCopyKernel k(16, 1);
+    const auto t = collect(k, 1000);
+    ASSERT_EQ(t.size(), 32u); // 16 loads + 16 stores
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (i % 2 == 0)
+            EXPECT_TRUE(t[i].isRead()) << i;
+        else
+            EXPECT_TRUE(t[i].isWrite()) << i;
+    }
+}
+
+TEST(StreamCopy, SourceAndDestinationDisjoint)
+{
+    StreamCopyKernel k(64, 1);
+    const auto t = collect(k, 1000);
+    for (std::size_t i = 0; i + 1 < t.size(); i += 2)
+        EXPECT_NE(t[i].addr, t[i + 1].addr);
+}
+
+TEST(StreamCopy, MultiplePassesRepeatAddresses)
+{
+    StreamCopyKernel k(8, 2);
+    const auto t = collect(k, 1000);
+    EXPECT_EQ(t.size(), 32u); // 2 passes * 16
+    EXPECT_EQ(t[0].addr, t[16].addr);
+}
+
+TEST(StreamCopy, WritesNeverSilent)
+{
+    StreamCopyKernel k(32, 3);
+    MemAccess a;
+    std::uint64_t prev_value = 0;
+    while (k.next(a)) {
+        if (a.isWrite()) {
+            EXPECT_NE(a.data, prev_value);
+            prev_value = a.data;
+        }
+    }
+}
+
+TEST(StreamCopy, ResetReplays)
+{
+    StreamCopyKernel k(16, 1);
+    const auto first = collect(k, 100);
+    k.reset();
+    const auto second = collect(k, 100);
+    EXPECT_EQ(first, second);
+}
+
+TEST(Stencil, ThreeLoadsPerStore)
+{
+    StencilKernel k(16, 1);
+    const auto t = collect(k, 1000);
+    std::size_t reads = 0, writes = 0;
+    for (const auto &a : t)
+        (a.isRead() ? reads : writes)++;
+    EXPECT_EQ(reads, writes * 3);
+}
+
+TEST(Stencil, LoadsAreNeighbours)
+{
+    StencilKernel k(16, 1);
+    const auto t = collect(k, 8);
+    ASSERT_GE(t.size(), 4u);
+    EXPECT_EQ(t[1].addr, t[0].addr + 8);
+    EXPECT_EQ(t[2].addr, t[1].addr + 8);
+    EXPECT_TRUE(t[3].isWrite());
+}
+
+TEST(PointerChase, ReadOnly)
+{
+    PointerChaseKernel k(64, 200);
+    const auto t = collect(k, 1000);
+    EXPECT_EQ(t.size(), 200u);
+    for (const auto &a : t)
+        EXPECT_TRUE(a.isRead());
+}
+
+TEST(PointerChase, VisitsAllNodes)
+{
+    PointerChaseKernel k(32, 32);
+    std::set<std::uint64_t> addrs;
+    MemAccess a;
+    while (k.next(a))
+        addrs.insert(a.addr);
+    EXPECT_EQ(addrs.size(), 32u);
+}
+
+TEST(HashUpdate, ReadThenWriteSameBucket)
+{
+    HashUpdateKernel k(64, 100, 0.0, 0.5);
+    const auto t = collect(k, 1000);
+    ASSERT_EQ(t.size(), 200u);
+    for (std::size_t i = 0; i + 1 < t.size(); i += 2) {
+        EXPECT_TRUE(t[i].isRead());
+        EXPECT_TRUE(t[i + 1].isWrite());
+        EXPECT_EQ(t[i].addr, t[i + 1].addr);
+    }
+}
+
+TEST(HashUpdate, SilentFractionApproximatelyRespected)
+{
+    HashUpdateKernel k(256, 20000, 0.4, 0.0, 9);
+    MemAccess a;
+    std::uint64_t silent = 0, writes = 0;
+    std::unordered_map<std::uint64_t, std::uint64_t> shadow;
+    while (k.next(a)) {
+        if (!a.isWrite())
+            continue;
+        ++writes;
+        auto it = shadow.find(a.addr);
+        const std::uint64_t cur = it == shadow.end() ? 0 : it->second;
+        if (a.data == cur)
+            ++silent;
+        shadow[a.addr] = a.data;
+    }
+    EXPECT_NEAR(static_cast<double>(silent) / writes, 0.4, 0.03);
+}
+
+TEST(HashUpdate, ZeroSilentFractionHasNoSilentStores)
+{
+    HashUpdateKernel k(64, 5000, 0.0, 0.0, 11);
+    MemAccess a;
+    std::unordered_map<std::uint64_t, std::uint64_t> shadow;
+    while (k.next(a)) {
+        if (!a.isWrite())
+            continue;
+        auto it = shadow.find(a.addr);
+        const std::uint64_t cur = it == shadow.end() ? 0 : it->second;
+        EXPECT_NE(a.data, cur);
+        shadow[a.addr] = a.data;
+    }
+}
+
+TEST(Transpose, ReadsRowMajorWritesColumnMajor)
+{
+    TransposeKernel k(8, 4);
+    const auto t = collect(k, 10000);
+    EXPECT_EQ(t.size(), 2u * 8 * 8);
+    // First pair: read (0,0), write (0,0) transposed == same index.
+    EXPECT_TRUE(t[0].isRead());
+    EXPECT_TRUE(t[1].isWrite());
+}
+
+TEST(Transpose, TouchesEveryElementOnce)
+{
+    TransposeKernel k(8, 4);
+    std::set<std::uint64_t> reads, writes;
+    MemAccess a;
+    while (k.next(a)) {
+        if (a.isRead())
+            EXPECT_TRUE(reads.insert(a.addr).second);
+        else
+            EXPECT_TRUE(writes.insert(a.addr).second);
+    }
+    EXPECT_EQ(reads.size(), 64u);
+    EXPECT_EQ(writes.size(), 64u);
+}
+
+TEST(Transpose, ResetReplays)
+{
+    TransposeKernel k(8, 4);
+    const auto first = collect(k, 50);
+    k.reset();
+    EXPECT_EQ(collect(k, 50), first);
+}
+
+TEST(Fill, FirstPassWritesSecondPassSilent)
+{
+    FillKernel k(64, 2, 0x42);
+    MemAccess a;
+    std::uint64_t writes = 0, silent = 0;
+    std::unordered_map<std::uint64_t, std::uint64_t> shadow;
+    while (k.next(a)) {
+        EXPECT_TRUE(a.isWrite());
+        ++writes;
+        auto it = shadow.find(a.addr);
+        if (it != shadow.end() && it->second == a.data)
+            ++silent;
+        shadow[a.addr] = a.data;
+        EXPECT_EQ(a.data, 0x42u);
+    }
+    EXPECT_EQ(writes, 128u);
+    EXPECT_EQ(silent, 64u); // the whole second pass
+}
+
+TEST(Fill, SinglePassNeverSilent)
+{
+    FillKernel k(32, 1, 7);
+    MemAccess a;
+    std::set<std::uint64_t> seen;
+    while (k.next(a))
+        EXPECT_TRUE(seen.insert(a.addr).second);
+}
+
+TEST(Fill, ResetReplays)
+{
+    FillKernel k(16, 2);
+    const auto first = collect(k, 10);
+    k.reset();
+    EXPECT_EQ(collect(k, 10), first);
+}
+
+TEST(Kernels, NamesAreStable)
+{
+    EXPECT_EQ(StreamCopyKernel(8, 1).name(), "stream_copy");
+    EXPECT_EQ(StencilKernel(8, 1).name(), "stencil3");
+    EXPECT_EQ(PointerChaseKernel(8, 8).name(), "pointer_chase");
+    EXPECT_EQ(HashUpdateKernel(8, 8).name(), "hash_update");
+    EXPECT_EQ(TransposeKernel(8, 4).name(), "transpose");
+    EXPECT_EQ(FillKernel(8, 1).name(), "fill");
+}
+
+} // anonymous namespace

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the optional tags-only L2: latency shaping, hit/miss
+ * accounting, and the guarantee that it never changes values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/controller.hh"
+#include "trace/markov_stream.hh"
+#include "trace/spec_profiles.hh"
+
+namespace
+{
+
+using namespace c8t;
+using core::CacheController;
+using core::ControllerConfig;
+using core::WriteScheme;
+
+trace::MemAccess
+readAcc(std::uint64_t addr, std::uint32_t gap = 0)
+{
+    trace::MemAccess a;
+    a.addr = addr;
+    a.gap = gap;
+    return a;
+}
+
+trace::MemAccess
+writeAcc(std::uint64_t addr, std::uint64_t data)
+{
+    trace::MemAccess a;
+    a.addr = addr;
+    a.type = trace::AccessType::Write;
+    a.data = data;
+    return a;
+}
+
+ControllerConfig
+l2Config()
+{
+    ControllerConfig cfg;
+    cfg.l2Enabled = true;
+    return cfg;
+}
+
+TEST(L2, DisabledByDefault)
+{
+    mem::FunctionalMemory memory;
+    CacheController c(ControllerConfig{}, memory);
+    EXPECT_EQ(c.l2(), nullptr);
+}
+
+TEST(L2, RejectsMismatchedBlockSize)
+{
+    mem::FunctionalMemory memory;
+    ControllerConfig cfg = l2Config();
+    cfg.l2.blockBytes = 64; // L1 uses 32
+    EXPECT_THROW(CacheController(cfg, memory), std::invalid_argument);
+}
+
+TEST(L2, ColdMissFillsBothLevels)
+{
+    mem::FunctionalMemory memory;
+    CacheController c(l2Config(), memory);
+    c.access(readAcc(0x1000));
+    ASSERT_NE(c.l2(), nullptr);
+    EXPECT_EQ(c.l2()->misses(), 1u);
+    EXPECT_EQ(c.l2()->hits(), 0u);
+    EXPECT_TRUE(c.l2()->probe(0x1000).hit);
+}
+
+TEST(L2, VictimRefetchHitsL2)
+{
+    // Evict a block from the small L1, then re-read it: the refetch
+    // must hit the L2 and pay the shorter penalty.
+    mem::FunctionalMemory memory;
+    ControllerConfig cfg = l2Config();
+    CacheController c(cfg, memory);
+
+    const std::uint64_t set_span = 32 * 512;
+    c.access(readAcc(0x1000));
+    for (std::uint64_t i = 1; i <= 4; ++i)
+        c.access(readAcc(0x1000 + i * set_span, 100));
+
+    const core::AccessOutcome out = c.access(readAcc(0x1000, 1000));
+    EXPECT_FALSE(out.hit);
+    EXPECT_EQ(c.l2()->hits(), 1u);
+    // Latency bounded by the L2 service, far below the memory penalty.
+    EXPECT_LT(out.latencyCycles, cfg.latency.missPenaltyCycles);
+    EXPECT_GE(out.latencyCycles, cfg.l2LatencyCycles);
+}
+
+TEST(L2, MemoryMissStillPaysFullPenalty)
+{
+    mem::FunctionalMemory memory;
+    ControllerConfig cfg = l2Config();
+    CacheController c(cfg, memory);
+    const core::AccessOutcome out = c.access(readAcc(0x9000));
+    EXPECT_GE(out.latencyCycles, cfg.latency.missPenaltyCycles);
+}
+
+TEST(L2, NeverChangesValues)
+{
+    // The same stream with and without the L2 returns identical data.
+    for (WriteScheme s :
+         {WriteScheme::Rmw, WriteScheme::WriteGroupingReadBypass}) {
+        trace::MarkovStream gen_a(trace::specProfile("mcf"));
+        trace::MarkovStream gen_b(trace::specProfile("mcf"));
+
+        mem::FunctionalMemory mem_a, mem_b;
+        ControllerConfig plain;
+        plain.scheme = s;
+        ControllerConfig with_l2 = l2Config();
+        with_l2.scheme = s;
+        CacheController a(plain, mem_a), b(with_l2, mem_b);
+
+        trace::MemAccess acc_a, acc_b;
+        for (int i = 0; i < 30'000; ++i) {
+            ASSERT_TRUE(gen_a.next(acc_a));
+            ASSERT_TRUE(gen_b.next(acc_b));
+            ASSERT_EQ(acc_a, acc_b);
+            const auto out_a = a.access(acc_a);
+            const auto out_b = b.access(acc_b);
+            if (acc_a.isRead())
+                ASSERT_EQ(out_a.data, out_b.data) << "access " << i;
+        }
+        // Demand accounting is also unaffected (L2 is timing-only).
+        EXPECT_EQ(a.demandAccesses(), b.demandAccesses());
+    }
+}
+
+TEST(L2, ReducesMeanReadLatencyOnRefetchHeavyStream)
+{
+    auto run = [](bool with_l2) {
+        trace::MarkovStream gen(trace::specProfile("mcf"));
+        mem::FunctionalMemory memory;
+        ControllerConfig cfg;
+        cfg.l2Enabled = with_l2;
+        CacheController c(cfg, memory);
+        trace::MemAccess a;
+        for (int i = 0; i < 50'000; ++i) {
+            gen.next(a);
+            c.access(a);
+        }
+        return c.readLatency().mean();
+    };
+    EXPECT_LT(run(true), run(false));
+}
+
+TEST(L2, DirtyVictimsAreInstalled)
+{
+    mem::FunctionalMemory memory;
+    CacheController c(l2Config(), memory);
+    const std::uint64_t set_span = 32 * 512;
+    c.access(writeAcc(0x2000, 0x77)); // dirty in L1 (and L2-filled)
+    for (std::uint64_t i = 1; i <= 4; ++i)
+        c.access(readAcc(0x2000 + i * set_span));
+    // The victim stays L2-resident and memory is architecturally
+    // current.
+    EXPECT_TRUE(c.l2()->probe(0x2000).hit);
+    EXPECT_EQ(memory.readWord(0x2000), 0x77u);
+}
+
+TEST(L2, ResetStatsClearsL2Counters)
+{
+    mem::FunctionalMemory memory;
+    CacheController c(l2Config(), memory);
+    c.access(readAcc(0x1000));
+    c.resetStats();
+    EXPECT_EQ(c.l2()->misses(), 0u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the address pattern library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/patterns.hh"
+
+namespace
+{
+
+using namespace c8t::trace;
+
+TEST(SequentialPattern, WalksAndWraps)
+{
+    Rng rng(1);
+    SequentialPattern p(0x1000, 32, 8);
+    EXPECT_EQ(p.nextAddr(rng), 0x1000u);
+    EXPECT_EQ(p.nextAddr(rng), 0x1008u);
+    EXPECT_EQ(p.nextAddr(rng), 0x1010u);
+    EXPECT_EQ(p.nextAddr(rng), 0x1018u);
+    EXPECT_EQ(p.nextAddr(rng), 0x1000u); // wrapped
+}
+
+TEST(SequentialPattern, ResetRestarts)
+{
+    Rng rng(1);
+    SequentialPattern p(0x1000, 64, 8);
+    p.nextAddr(rng);
+    p.nextAddr(rng);
+    p.reset();
+    EXPECT_EQ(p.nextAddr(rng), 0x1000u);
+}
+
+TEST(SequentialPattern, CustomStride)
+{
+    Rng rng(1);
+    SequentialPattern p(0, 256, 64);
+    EXPECT_EQ(p.nextAddr(rng), 0u);
+    EXPECT_EQ(p.nextAddr(rng), 64u);
+}
+
+TEST(RandomPattern, StaysInRegionAndAligned)
+{
+    Rng rng(2);
+    RandomPattern p(0x10000, 4096, 8);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t a = p.nextAddr(rng);
+        EXPECT_GE(a, 0x10000u);
+        EXPECT_LT(a, 0x11000u);
+        EXPECT_EQ(a % 8, 0u);
+    }
+}
+
+TEST(RandomPattern, CoversRegion)
+{
+    Rng rng(3);
+    RandomPattern p(0, 64, 8); // 8 slots
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(p.nextAddr(rng));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(HotspotPattern, SkewConcentratesHead)
+{
+    Rng rng(4);
+    HotspotPattern p(0, 8192, 2.0);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 10000; ++i)
+        ++counts[p.nextAddr(rng)];
+    // The hottest slot should absorb far more than uniform share.
+    int max_count = 0;
+    for (const auto &kv : counts)
+        max_count = std::max(max_count, kv.second);
+    EXPECT_GT(max_count, 10000 / 1024 * 20);
+}
+
+TEST(PointerChasePattern, FullPeriodPermutation)
+{
+    Rng rng(5);
+    PointerChasePattern p(0, 64, 64);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 64; ++i)
+        seen.insert(p.nextAddr(rng));
+    EXPECT_EQ(seen.size(), 64u); // visits every node exactly once
+}
+
+TEST(PointerChasePattern, NoSpatialLocality)
+{
+    Rng rng(6);
+    PointerChasePattern p(0, 1024, 64);
+    std::uint64_t prev = p.nextAddr(rng);
+    int adjacent = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t cur = p.nextAddr(rng);
+        const std::uint64_t dist =
+            cur > prev ? cur - prev : prev - cur;
+        if (dist <= 64)
+            ++adjacent;
+        prev = cur;
+    }
+    EXPECT_LT(adjacent, 20);
+}
+
+TEST(PointerChasePattern, ResetRestarts)
+{
+    Rng rng(7);
+    PointerChasePattern p(0, 16, 64);
+    const std::uint64_t first = p.nextAddr(rng);
+    p.nextAddr(rng);
+    p.reset();
+    EXPECT_EQ(p.nextAddr(rng), first);
+}
+
+TEST(MixturePattern, DrawsFromAllComponents)
+{
+    Rng rng(8);
+    MixturePattern mix;
+    mix.add(std::make_unique<SequentialPattern>(0x0, 64, 8), 1.0);
+    mix.add(std::make_unique<SequentialPattern>(0x100000, 64, 8), 1.0);
+    EXPECT_EQ(mix.components(), 2u);
+
+    int low = 0, high = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t a = mix.nextAddr(rng);
+        if (a < 0x1000)
+            ++low;
+        else
+            ++high;
+    }
+    EXPECT_GT(low, 300);
+    EXPECT_GT(high, 300);
+}
+
+TEST(MixturePattern, WeightsRespected)
+{
+    Rng rng(9);
+    MixturePattern mix;
+    mix.add(std::make_unique<SequentialPattern>(0x0, 64, 8), 9.0);
+    mix.add(std::make_unique<SequentialPattern>(0x100000, 64, 8), 1.0);
+
+    int low = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        low += mix.nextAddr(rng) < 0x1000;
+    EXPECT_NEAR(static_cast<double>(low) / n, 0.9, 0.03);
+}
+
+TEST(MixturePattern, ResetPropagates)
+{
+    Rng rng(10);
+    MixturePattern mix;
+    mix.add(std::make_unique<SequentialPattern>(0x0, 64, 8), 1.0);
+    mix.nextAddr(rng);
+    mix.nextAddr(rng);
+    mix.reset();
+    // After reset the sequential component starts from its base again;
+    // the next draw from it must be the base address.
+    EXPECT_EQ(mix.nextAddr(rng), 0x0u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the 1R/1W port scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sram/ports.hh"
+
+namespace
+{
+
+using namespace c8t::sram;
+
+TEST(Ports, IndependentPortsDoNotConflict)
+{
+    // The 8T selling point: one read and one write in the same cycle.
+    PortScheduler p;
+    EXPECT_EQ(p.schedule(PortUse::ReadPort, 0, 2), 0u);
+    EXPECT_EQ(p.schedule(PortUse::WritePort, 0, 2), 0u);
+    EXPECT_EQ(p.conflicts(), 0u);
+    EXPECT_EQ(p.stallCycles(), 0u);
+}
+
+TEST(Ports, SamePortSerializes)
+{
+    PortScheduler p;
+    EXPECT_EQ(p.schedule(PortUse::ReadPort, 0, 2), 0u);
+    EXPECT_EQ(p.schedule(PortUse::ReadPort, 0, 2), 2u);
+    EXPECT_EQ(p.conflicts(), 1u);
+    EXPECT_EQ(p.stallCycles(), 2u);
+}
+
+TEST(Ports, RmwBlocksBothPorts)
+{
+    // An RMW write occupies both ports: a subsequent read must wait —
+    // the §2 performance cost of RMW.
+    PortScheduler p;
+    EXPECT_EQ(p.schedule(PortUse::BothPorts, 0, 4), 0u);
+    EXPECT_EQ(p.schedule(PortUse::ReadPort, 0, 2), 4u);
+    EXPECT_EQ(p.schedule(PortUse::WritePort, 0, 2), 4u);
+}
+
+TEST(Ports, WriteOnlyWritebackLeavesReadPortFree)
+{
+    // A Set-Buffer write-back (row image already latched) holds only
+    // the write port, so reads proceed — the WG availability win.
+    PortScheduler p;
+    EXPECT_EQ(p.schedule(PortUse::WritePort, 0, 4), 0u);
+    EXPECT_EQ(p.schedule(PortUse::ReadPort, 0, 2), 0u);
+    EXPECT_EQ(p.conflicts(), 0u);
+}
+
+TEST(Ports, EarliestRespected)
+{
+    PortScheduler p;
+    EXPECT_EQ(p.schedule(PortUse::ReadPort, 10, 2), 10u);
+    EXPECT_EQ(p.readFreeAt(), 12u);
+}
+
+TEST(Ports, WaitsOnlyForTheNeededPort)
+{
+    PortScheduler p;
+    p.schedule(PortUse::WritePort, 0, 10);
+    // Read at cycle 1 unaffected by the busy write port.
+    EXPECT_EQ(p.schedule(PortUse::ReadPort, 1, 2), 1u);
+    // Another write must wait.
+    EXPECT_EQ(p.schedule(PortUse::WritePort, 1, 2), 10u);
+}
+
+TEST(Ports, BusyCycleAccounting)
+{
+    PortScheduler p;
+    p.schedule(PortUse::ReadPort, 0, 3);
+    p.schedule(PortUse::WritePort, 0, 5);
+    p.schedule(PortUse::BothPorts, 0, 2);
+    EXPECT_EQ(p.readBusyCycles(), 3u + 2u);
+    EXPECT_EQ(p.writeBusyCycles(), 5u + 2u);
+}
+
+TEST(Ports, BothPortsWaitsForLaterOfTheTwo)
+{
+    PortScheduler p;
+    p.schedule(PortUse::ReadPort, 0, 2);  // read free at 2
+    p.schedule(PortUse::WritePort, 0, 6); // write free at 6
+    EXPECT_EQ(p.schedule(PortUse::BothPorts, 0, 1), 6u);
+}
+
+TEST(Ports, ResetClearsScheduleAndCounters)
+{
+    PortScheduler p;
+    p.schedule(PortUse::BothPorts, 0, 4);
+    p.schedule(PortUse::ReadPort, 0, 1);
+    p.reset();
+    EXPECT_EQ(p.readFreeAt(), 0u);
+    EXPECT_EQ(p.writeFreeAt(), 0u);
+    EXPECT_EQ(p.conflicts(), 0u);
+    EXPECT_EQ(p.stallCycles(), 0u);
+    EXPECT_EQ(p.schedule(PortUse::ReadPort, 0, 1), 0u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Calibration property over ALL 25 SPEC profiles: the stream each
+ * profile generates must measure back to the profile's own targets
+ * (memory fraction, read/write mix, RR/RW/WW/WR shares, silent
+ * fraction) under the baseline set mapping. This is the regression
+ * guard for the whole Figure 3-5 reproduction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hh"
+#include "core/controller.hh"
+#include "mem/addr.hh"
+#include "trace/markov_stream.hh"
+#include "trace/spec_profiles.hh"
+
+namespace
+{
+
+using namespace c8t;
+
+class ProfileCalibration
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ProfileCalibration, StreamMeasuresBackToTargets)
+{
+    const trace::StreamParams &p = trace::specProfile(GetParam());
+    trace::MarkovStream gen(p);
+    mem::AddrLayout layout(32, 512);
+    core::StreamAnalyzer an(layout);
+
+    trace::MemAccess a;
+    constexpr std::uint64_t n = 150'000;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        ASSERT_TRUE(gen.next(a));
+        an.observe(a);
+    }
+
+    const double mem_frac =
+        static_cast<double>(an.accesses()) / an.instructions();
+    EXPECT_NEAR(mem_frac, p.memFraction, 0.012) << "memFraction";
+    EXPECT_NEAR(an.readInstrFraction() / mem_frac, p.readShare, 0.012)
+        << "readShare";
+    EXPECT_NEAR(an.rrShare(), p.rr, 0.012) << "rr";
+    EXPECT_NEAR(an.rwShare(), p.rw, 0.012) << "rw";
+    EXPECT_NEAR(an.wwShare(), p.ww, 0.012) << "ww";
+    EXPECT_NEAR(an.wrShare(), p.wr, 0.012) << "wr";
+    EXPECT_NEAR(an.silentWriteFraction(), p.silentFraction, 0.012)
+        << "silent";
+}
+
+TEST_P(ProfileCalibration, MissRateWithinSanityBounds)
+{
+    // Workload realism guard: no profile should produce a pathological
+    // L1 behaviour (near-0 % would mean no fills are exercised,
+    // near-100 % would mean no temporal locality at all). mcf is the
+    // intentional cache-hostile outlier.
+    const trace::StreamParams &p = trace::specProfile(GetParam());
+    trace::MarkovStream gen(p);
+
+    mem::FunctionalMemory memory;
+    core::ControllerConfig cfg;
+    core::CacheController c(cfg, memory);
+
+    trace::MemAccess a;
+    for (std::uint64_t i = 0; i < 100'000; ++i) {
+        ASSERT_TRUE(gen.next(a));
+        c.access(a);
+    }
+    const double miss_rate =
+        static_cast<double>(c.tags().misses()) /
+        (c.tags().hits() + c.tags().misses());
+    EXPECT_GT(miss_rate, 0.01);
+    if (GetParam() == "mcf")
+        EXPECT_GT(miss_rate, 0.4);
+    else
+        EXPECT_LT(miss_rate, 0.55);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, ProfileCalibration,
+    ::testing::ValuesIn(c8t::trace::specBenchmarkNames()),
+    [](const auto &info) { return info.param; });
+
+} // anonymous namespace

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "trace/rng.hh"
+
+namespace
+{
+
+using c8t::trace::Rng;
+using c8t::trace::splitmix64;
+
+TEST(SplitMix64, KnownVector)
+{
+    // Reference values for the canonical splitmix64 with seed 0.
+    std::uint64_t state = 0;
+    EXPECT_EQ(splitmix64(state), 0xe220a8397b1dcdafull);
+    EXPECT_EQ(splitmix64(state), 0x6e789e6aa1b965f4ull);
+    EXPECT_EQ(splitmix64(state), 0x06c45d188009454full);
+}
+
+TEST(Rng, DeterministicGivenSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7);
+    const std::uint64_t first = a.next();
+    a.next();
+    a.seed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowOneAlwaysZero)
+{
+    Rng r(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng r(11);
+    std::vector<int> histo(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++histo[r.below(10)];
+    for (int count : histo) {
+        EXPECT_GT(count, n / 10 * 0.9);
+        EXPECT_LT(count, n / 10 * 1.1);
+    }
+}
+
+TEST(Rng, BetweenInclusiveBounds)
+{
+    Rng r(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = r.between(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng r(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+        EXPECT_FALSE(r.chance(-0.5));
+        EXPECT_TRUE(r.chance(1.5));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMeanMatchesTheory)
+{
+    Rng r(17);
+    const double p = 0.4;
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(p));
+    // E[failures before success] = (1-p)/p = 1.5.
+    EXPECT_NEAR(sum / n, 1.5, 0.05);
+}
+
+TEST(Rng, GeometricRespectsCap)
+{
+    Rng r(19);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LE(r.geometric(0.001, 10), 10u);
+}
+
+TEST(Rng, GeometricOfOneIsZero)
+{
+    Rng r(19);
+    EXPECT_EQ(r.geometric(1.0), 0u);
+}
+
+TEST(Rng, ZipfInRange)
+{
+    Rng r(23);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.zipf(100, 1.0), 100u);
+}
+
+TEST(Rng, ZipfSkewsTowardHead)
+{
+    Rng r(29);
+    const int n = 100000;
+    int head = 0;
+    for (int i = 0; i < n; ++i)
+        head += r.zipf(100, 2.0) < 10;
+    // With skew 2 far more than the uniform 10 % land in the head.
+    EXPECT_GT(head, n / 4);
+}
+
+TEST(Rng, ZipfZeroSkewIsUniform)
+{
+    Rng r(31);
+    const int n = 100000;
+    int head = 0;
+    for (int i = 0; i < n; ++i)
+        head += r.zipf(100, 0.0) < 10;
+    EXPECT_NEAR(static_cast<double>(head) / n, 0.10, 0.01);
+}
+
+TEST(Rng, ZipfSingleElement)
+{
+    Rng r(37);
+    EXPECT_EQ(r.zipf(1, 2.0), 0u);
+}
+
+TEST(Rng, NoShortCycles)
+{
+    Rng r(41);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i)
+        seen.insert(r.next());
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the simulation drivers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/simulator.hh"
+#include "trace/kernels.hh"
+#include "trace/markov_stream.hh"
+#include "trace/spec_profiles.hh"
+
+namespace
+{
+
+using namespace c8t::core;
+
+std::vector<ControllerConfig>
+threeSchemes()
+{
+    std::vector<ControllerConfig> cfgs(3);
+    cfgs[0].scheme = WriteScheme::Rmw;
+    cfgs[1].scheme = WriteScheme::WriteGrouping;
+    cfgs[2].scheme = WriteScheme::WriteGroupingReadBypass;
+    return cfgs;
+}
+
+TEST(MultiSchemeRunner, RejectsEmptyConfigList)
+{
+    EXPECT_THROW(MultiSchemeRunner{std::vector<ControllerConfig>{}},
+                 std::invalid_argument);
+}
+
+TEST(MultiSchemeRunner, ProducesOneResultPerConfig)
+{
+    c8t::trace::HashUpdateKernel gen(1024, 20000, 0.3, 0.5);
+    MultiSchemeRunner runner(threeSchemes());
+    const auto results = runner.run(gen, {1000, 10000});
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].scheme, "RMW");
+    EXPECT_EQ(results[1].scheme, "WG");
+    EXPECT_EQ(results[2].scheme, "WG+RB");
+    for (const auto &r : results)
+        EXPECT_EQ(r.workload, "hash_update");
+}
+
+TEST(MultiSchemeRunner, WarmupExcludedFromMeasurement)
+{
+    c8t::trace::MarkovStream gen(c8t::trace::specProfile("sphinx3"));
+    MultiSchemeRunner runner(threeSchemes());
+    const auto results = runner.run(gen, {5000, 20000});
+    for (const auto &r : results)
+        EXPECT_EQ(r.requests, 20000u);
+}
+
+TEST(MultiSchemeRunner, BoundedGeneratorStopsEarly)
+{
+    c8t::trace::StreamCopyKernel gen(1000, 1); // 2000 accesses total
+    MultiSchemeRunner runner(threeSchemes());
+    const auto results = runner.run(gen, {500, 10000});
+    for (const auto &r : results)
+        EXPECT_EQ(r.requests, 1500u);
+}
+
+TEST(MultiSchemeRunner, ResultFieldsConsistent)
+{
+    c8t::trace::MarkovStream gen(c8t::trace::specProfile("gcc"));
+    MultiSchemeRunner runner(threeSchemes());
+    const auto results = runner.run(gen, {2000, 30000});
+    for (const auto &r : results) {
+        EXPECT_EQ(r.requests, r.reads + r.writes);
+        EXPECT_EQ(r.demandAccesses,
+                  r.demandRowReads + r.demandRowWrites);
+        EXPECT_EQ(r.requests, r.hits + r.misses);
+        EXPECT_GT(r.dynamicEnergy, 0.0);
+        EXPECT_GT(r.cycles, 0u);
+        EXPECT_GT(r.meanReadLatency, 0.0);
+    }
+}
+
+TEST(MultiSchemeRunner, ReductionShapeOnFriendlyWorkload)
+{
+    // A store-heavy, reuse-heavy kernel must reproduce the paper's
+    // ordering: WG+RB <= WG < RMW.
+    c8t::trace::HashUpdateKernel gen(512, 50000, 0.4, 1.0);
+    MultiSchemeRunner runner(threeSchemes());
+    const auto results = runner.run(gen, {2000, 80000});
+    EXPECT_LT(results[1].demandAccesses, results[0].demandAccesses);
+    EXPECT_LE(results[2].demandAccesses, results[1].demandAccesses);
+}
+
+TEST(MultiSchemeRunner, SameStreamForEveryScheme)
+{
+    c8t::trace::MarkovStream gen(c8t::trace::specProfile("namd"));
+    MultiSchemeRunner runner(threeSchemes());
+    const auto results = runner.run(gen, {1000, 10000});
+    for (const auto &r : results) {
+        EXPECT_EQ(r.reads, results[0].reads);
+        EXPECT_EQ(r.writes, results[0].writes);
+        EXPECT_EQ(r.misses, results[0].misses);
+    }
+}
+
+TEST(AnalyzeStream, MatchesKernelStructure)
+{
+    // stream_copy alternates R/W: 50 % writes, no silent stores.
+    c8t::trace::StreamCopyKernel gen(5000, 1);
+    c8t::mem::AddrLayout layout(32, 512);
+    const StreamStats s = analyzeStream(gen, layout, 10000);
+    EXPECT_EQ(s.accesses, 10000u);
+    EXPECT_NEAR(
+        s.writeInstrFraction / (s.readInstrFraction + s.writeInstrFraction),
+        0.5, 1e-9);
+    EXPECT_DOUBLE_EQ(s.silentWriteFraction, 0.0);
+    EXPECT_EQ(s.workload, "stream_copy");
+}
+
+TEST(AnalyzeStream, ResetsGeneratorFirst)
+{
+    c8t::trace::StreamCopyKernel gen(100, 1);
+    c8t::mem::AddrLayout layout(32, 512);
+    const StreamStats a = analyzeStream(gen, layout, 200);
+    const StreamStats b = analyzeStream(gen, layout, 200);
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_DOUBLE_EQ(a.wwShare, b.wwShare);
+}
+
+TEST(SnapshotResult, CopiesCounters)
+{
+    c8t::mem::FunctionalMemory mem;
+    ControllerConfig cfg;
+    cfg.scheme = WriteScheme::WriteGrouping;
+    CacheController c(cfg, mem);
+
+    c8t::trace::MemAccess w;
+    w.addr = 0x1000;
+    w.type = c8t::trace::AccessType::Write;
+    w.data = 5;
+    c.access(w);
+    c.access(w);
+
+    const SchemeRunResult r = snapshotResult("unit", c);
+    EXPECT_EQ(r.workload, "unit");
+    EXPECT_EQ(r.scheme, "WG");
+    EXPECT_EQ(r.requests, 2u);
+    EXPECT_EQ(r.writes, 2u);
+    EXPECT_EQ(r.groupedWrites, 1u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the SPEC CPU2006 profile table: the paper's anchors and
+ * averages must hold for the configured targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "trace/spec_profiles.hh"
+
+namespace
+{
+
+using namespace c8t::trace;
+
+TEST(SpecProfiles, TwentyFiveBenchmarks)
+{
+    EXPECT_EQ(specProfiles().size(), 25u);
+    EXPECT_EQ(specBenchmarkNames().size(), 25u);
+}
+
+TEST(SpecProfiles, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &p : specProfiles())
+        EXPECT_TRUE(names.insert(p.name).second) << p.name;
+}
+
+TEST(SpecProfiles, AllValidate)
+{
+    for (const auto &p : specProfiles())
+        EXPECT_NO_THROW(p.validate()) << p.name;
+}
+
+TEST(SpecProfiles, LookupByName)
+{
+    EXPECT_EQ(specProfile("bwaves").name, "bwaves");
+    EXPECT_EQ(specProfile("lbm").name, "lbm");
+    EXPECT_THROW(specProfile("dealII"), std::out_of_range);
+    EXPECT_THROW(specProfile("nonsense"), std::out_of_range);
+}
+
+TEST(SpecProfiles, SeedsAreDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &p : specProfiles())
+        EXPECT_TRUE(seeds.insert(p.seed).second) << p.name;
+}
+
+TEST(SpecProfiles, AverageMemoryMixMatchesFigure3)
+{
+    // Paper: on average 26 % reads + 14 % writes of instructions.
+    double rd = 0, wr = 0;
+    for (const auto &p : specProfiles()) {
+        rd += p.memFraction * p.readShare;
+        wr += p.memFraction * p.writeShare();
+    }
+    rd /= specProfiles().size();
+    wr /= specProfiles().size();
+    EXPECT_NEAR(rd, 0.26, 0.02);
+    EXPECT_NEAR(wr, 0.14, 0.02);
+}
+
+TEST(SpecProfiles, AverageSameSetShareMatchesFigure4)
+{
+    // Paper: on average 27 % of consecutive accesses share a set.
+    double same = 0;
+    for (const auto &p : specProfiles())
+        same += p.sameSetShare();
+    same /= specProfiles().size();
+    EXPECT_NEAR(same, 0.27, 0.03);
+}
+
+TEST(SpecProfiles, AverageSilentFractionMatchesFigure5)
+{
+    // Paper: more than 42 % of writes are silent on average.
+    double silent = 0;
+    for (const auto &p : specProfiles())
+        silent += p.silentFraction;
+    silent /= specProfiles().size();
+    EXPECT_NEAR(silent, 0.45, 0.04);
+    EXPECT_GT(silent, 0.42);
+}
+
+TEST(SpecProfiles, BwavesAnchors)
+{
+    // Paper text: bwaves writes exceed 22 % of instructions, WW share
+    // is the highest (24 %), silent fraction 77 %.
+    const StreamParams &b = specProfile("bwaves");
+    EXPECT_GE(b.memFraction * b.writeShare(), 0.22 - 1e-9);
+    EXPECT_NEAR(b.ww, 0.24, 1e-9);
+    EXPECT_NEAR(b.silentFraction, 0.77, 1e-9);
+    for (const auto &p : specProfiles())
+        EXPECT_LE(p.ww, b.ww) << p.name;
+}
+
+TEST(SpecProfiles, WrfAndLbmAreWriteGroupingFriendly)
+{
+    // Paper: "Similar conclusions can be made for wrf and lbm."
+    for (const char *name : {"wrf", "lbm"}) {
+        const StreamParams &p = specProfile(name);
+        EXPECT_GT(p.ww, 0.15) << name;
+        EXPECT_GT(p.silentFraction, 0.6) << name;
+    }
+}
+
+TEST(SpecProfiles, GamessAndCactusAreReadReuseHeavy)
+{
+    // Paper: gamess and cactusADM benefit more from RB because their
+    // RR share is higher than others'.
+    double avg_rr = 0;
+    for (const auto &p : specProfiles())
+        avg_rr += p.rr;
+    avg_rr /= specProfiles().size();
+    EXPECT_GT(specProfile("gamess").rr, avg_rr * 1.4);
+    EXPECT_GT(specProfile("cactusADM").rr, avg_rr * 1.4);
+}
+
+TEST(SpecProfiles, ExcludedBenchmarksAbsent)
+{
+    for (const char *name : {"dealII", "tonto", "omnetpp", "xalancbmk"})
+        EXPECT_THROW(specProfile(name), std::out_of_range) << name;
+}
+
+TEST(SpecProfiles, StreamsConstructible)
+{
+    for (const auto &p : specProfiles()) {
+        MarkovStream g(p);
+        MemAccess a;
+        EXPECT_TRUE(g.next(a)) << p.name;
+        EXPECT_EQ(g.name(), p.name);
+    }
+}
+
+} // anonymous namespace

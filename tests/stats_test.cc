@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Unit tests for the statistics substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/counter.hh"
+#include "stats/distribution.hh"
+#include "stats/registry.hh"
+#include "stats/table.hh"
+
+namespace
+{
+
+using namespace c8t::stats;
+
+TEST(Counter, StartsAtZero)
+{
+    Counter c("a", "desc");
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, IncrementsByOneAndN)
+{
+    Counter c("a", "desc");
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, OperatorSugar)
+{
+    Counter c("a", "desc");
+    ++c;
+    c += 9;
+    EXPECT_EQ(c.value(), 10u);
+}
+
+TEST(Counter, ResetClears)
+{
+    Counter c("a", "desc");
+    c.inc(5);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, KeepsNameAndDesc)
+{
+    Counter c("cache.hits", "demand hits");
+    EXPECT_EQ(c.name(), "cache.hits");
+    EXPECT_EQ(c.desc(), "demand hits");
+}
+
+TEST(Gauge, AddAndSet)
+{
+    Gauge g("g", "d");
+    g.add(1.5);
+    g.add(-0.5);
+    EXPECT_DOUBLE_EQ(g.value(), 1.0);
+    g.set(7.0);
+    EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(Formula, EvaluatesLazily)
+{
+    Counter c("c", "d");
+    Formula f("f", "d", [&] { return c.value() * 2.0; });
+    c.inc(3);
+    EXPECT_DOUBLE_EQ(f.value(), 6.0);
+    c.inc(1);
+    EXPECT_DOUBLE_EQ(f.value(), 8.0);
+}
+
+TEST(Formula, UnboundReturnsZero)
+{
+    Formula f;
+    EXPECT_DOUBLE_EQ(f.value(), 0.0);
+}
+
+TEST(SafeRatio, HandlesZeroDenominator)
+{
+    EXPECT_DOUBLE_EQ(safeRatio(5, 0), 0.0);
+    EXPECT_DOUBLE_EQ(safeRatio(5, 10), 0.5);
+    EXPECT_DOUBLE_EQ(safePercent(1, 4), 25.0);
+}
+
+TEST(Distribution, MeanMinMax)
+{
+    Distribution d("d", "desc", 0, 100, 10);
+    d.sample(10);
+    d.sample(20);
+    d.sample(30);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(d.min(), 10.0);
+    EXPECT_DOUBLE_EQ(d.max(), 30.0);
+}
+
+TEST(Distribution, WeightedSamples)
+{
+    Distribution d("d", "desc", 0, 10, 10);
+    d.sample(2.0, 3);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+}
+
+TEST(Distribution, VarianceOfConstantIsZero)
+{
+    Distribution d("d", "desc", 0, 10, 10);
+    for (int i = 0; i < 100; ++i)
+        d.sample(5.0);
+    EXPECT_NEAR(d.variance(), 0.0, 1e-9);
+}
+
+TEST(Distribution, VarianceMatchesKnownValues)
+{
+    Distribution d("d", "desc", 0, 10, 10);
+    d.sample(1.0);
+    d.sample(3.0);
+    // mean 2, population variance = ((1)^2+(1)^2)/2 = 1.
+    EXPECT_NEAR(d.variance(), 1.0, 1e-12);
+    EXPECT_NEAR(d.stddev(), 1.0, 1e-12);
+}
+
+TEST(Distribution, UnderflowOverflowBins)
+{
+    Distribution d("d", "desc", 0, 10, 5);
+    d.sample(-1.0);
+    d.sample(10.0);
+    d.sample(100.0);
+    d.sample(5.0);
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 2u);
+    EXPECT_EQ(d.count(), 4u);
+}
+
+TEST(Distribution, BucketBoundaries)
+{
+    Distribution d("d", "desc", 0, 10, 5);
+    EXPECT_DOUBLE_EQ(d.bucketLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(d.bucketHigh(0), 2.0);
+    EXPECT_DOUBLE_EQ(d.bucketLow(4), 8.0);
+    EXPECT_DOUBLE_EQ(d.bucketHigh(4), 10.0);
+}
+
+TEST(Distribution, PercentileApproximation)
+{
+    Distribution d("d", "desc", 0, 100, 100);
+    for (int i = 0; i < 100; ++i)
+        d.sample(i + 0.5);
+    const double p50 = d.percentile(50);
+    EXPECT_GT(p50, 40.0);
+    EXPECT_LT(p50, 60.0);
+    const double p95 = d.percentile(95);
+    EXPECT_GT(p95, 90.0);
+}
+
+TEST(Distribution, ResetClearsEverything)
+{
+    Distribution d("d", "desc", 0, 10, 5);
+    d.sample(5.0);
+    d.sample(100.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.overflow(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+}
+
+TEST(Registry, RegistersAndLooksUp)
+{
+    Registry reg;
+    Counter c("a.b", "d");
+    Gauge g("a.g", "d");
+    Distribution d("a.d", "d", 0, 1, 2);
+    reg.add(c);
+    reg.add(g);
+    reg.add(d);
+    EXPECT_EQ(reg.size(), 3u);
+    EXPECT_EQ(reg.counter("a.b"), &c);
+    EXPECT_EQ(reg.gauge("a.g"), &g);
+    EXPECT_EQ(reg.distribution("a.d"), &d);
+    EXPECT_EQ(reg.counter("missing"), nullptr);
+}
+
+TEST(Registry, ResetAllZeroesEverything)
+{
+    Registry reg;
+    Counter c("c", "d");
+    Gauge g("g", "d");
+    reg.add(c);
+    reg.add(g);
+    c.inc(10);
+    g.set(3.0);
+    reg.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Registry, DumpContainsNamesAndValues)
+{
+    Registry reg;
+    Counter c("cache.hits", "demand hits");
+    c.inc(7);
+    reg.add(c);
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("cache.hits"), std::string::npos);
+    EXPECT_NE(out.find("7"), std::string::npos);
+    EXPECT_NE(out.find("demand hits"), std::string::npos);
+}
+
+TEST(Registry, SortedIteration)
+{
+    Registry reg;
+    Counter c2("b", "d");
+    Counter c1("a", "d");
+    reg.add(c2);
+    reg.add(c1);
+    const auto all = reg.counters();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0]->name(), "a");
+    EXPECT_EQ(all[1]->name(), "b");
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t("caption");
+    t.setHeader({"bench", "value"});
+    t.addRow({std::string("bwaves"), 47.25});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("caption"), std::string::npos);
+    EXPECT_NE(out.find("bwaves"), std::string::npos);
+    EXPECT_NE(out.find("47.25"), std::string::npos);
+    EXPECT_NE(out.find("| bench"), std::string::npos);
+}
+
+TEST(Table, CsvQuotingRfc4180)
+{
+    Table t;
+    t.setHeader({"name", "note"});
+    t.addRow({std::string("a,b"), std::string("say \"hi\"")});
+    std::ostringstream os;
+    t.printCsv(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, PrecisionControl)
+{
+    Table t;
+    t.setHeader({"v"});
+    t.setPrecision(1);
+    t.addRow({3.14159});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("3.1"), std::string::npos);
+    EXPECT_EQ(os.str().find("3.14"), std::string::npos);
+}
+
+TEST(Table, ColumnMeanSkipsText)
+{
+    Table t;
+    t.setHeader({"name", "v"});
+    t.addRow({std::string("x"), 10.0});
+    t.addRow({std::string("y"), 20.0});
+    t.addRow({std::string("z"), std::int64_t{30}});
+    EXPECT_DOUBLE_EQ(columnMean(t, 1), 20.0);
+    EXPECT_DOUBLE_EQ(columnMean(t, 0), 0.0);
+}
+
+TEST(Table, IntegerCellsRenderWithoutDecimals)
+{
+    Table t;
+    t.setHeader({"n"});
+    t.addRow({std::int64_t{42}});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("42"), std::string::npos);
+    EXPECT_EQ(os.str().find("42.00"), std::string::npos);
+}
+
+} // anonymous namespace

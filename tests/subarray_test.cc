@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the sub-array conflict model (the Park et al.
+ * LocalRMW mechanism).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sram/subarray.hh"
+
+namespace
+{
+
+using namespace c8t::sram;
+
+TEST(Subarray, StyleNames)
+{
+    EXPECT_STREQ(toString(WriteStyle::GlobalRmw), "global_rmw");
+    EXPECT_STREQ(toString(WriteStyle::LocalRmw), "local_rmw");
+    EXPECT_STREQ(toString(WriteStyle::BufferedWriteback),
+                 "buffered_writeback");
+}
+
+TEST(Subarray, PartitionArithmetic)
+{
+    SubarrayModel m(512, 128, WriteStyle::LocalRmw);
+    EXPECT_EQ(m.subarrays(), 4u);
+    EXPECT_EQ(m.subarrayOf(0), 0u);
+    EXPECT_EQ(m.subarrayOf(127), 0u);
+    EXPECT_EQ(m.subarrayOf(128), 1u);
+    EXPECT_EQ(m.subarrayOf(511), 3u);
+}
+
+TEST(Subarray, RoundsUpPartitionCount)
+{
+    SubarrayModel m(100, 64, WriteStyle::LocalRmw);
+    EXPECT_EQ(m.subarrays(), 2u);
+}
+
+TEST(Subarray, GlobalRmwBlocksEveryRead)
+{
+    SubarrayModel m(512, 128, WriteStyle::GlobalRmw);
+    m.write(10, 0, 4);
+    // A read to a *different* sub-array is still blocked.
+    EXPECT_EQ(m.read(400, 1), 4u);
+    EXPECT_EQ(m.blockedReads(), 1u);
+    EXPECT_EQ(m.blockedCycles(), 3u);
+}
+
+TEST(Subarray, LocalRmwBlocksOnlyTheTargetSubarray)
+{
+    SubarrayModel m(512, 128, WriteStyle::LocalRmw);
+    m.write(10, 0, 4); // sub-array 0 busy until 4
+    EXPECT_EQ(m.read(400, 1), 1u); // sub-array 3: unblocked
+    EXPECT_EQ(m.read(20, 1), 4u);  // sub-array 0: blocked
+    EXPECT_EQ(m.blockedReads(), 1u);
+    EXPECT_EQ(m.reads(), 2u);
+}
+
+TEST(Subarray, BufferedWritebackNeverBlocks)
+{
+    SubarrayModel m(512, 128, WriteStyle::BufferedWriteback);
+    m.write(10, 0, 100);
+    EXPECT_EQ(m.read(10, 1), 1u); // even the same sub-array
+    EXPECT_EQ(m.blockedReads(), 0u);
+}
+
+TEST(Subarray, ReadAfterWriteWindowUnblocked)
+{
+    SubarrayModel m(512, 128, WriteStyle::GlobalRmw);
+    m.write(10, 0, 4);
+    EXPECT_EQ(m.read(10, 10), 10u);
+    EXPECT_EQ(m.blockedReads(), 0u);
+}
+
+TEST(Subarray, OverlappingWritesExtendTheWindow)
+{
+    SubarrayModel m(512, 128, WriteStyle::LocalRmw);
+    m.write(10, 0, 4);
+    m.write(20, 2, 4); // same sub-array, busy until 6
+    EXPECT_EQ(m.read(30, 1), 6u);
+}
+
+TEST(Subarray, ConflictOrderingAcrossStyles)
+{
+    // For any common write/read pattern: blocked(global) >=
+    // blocked(local) >= blocked(buffered).
+    SubarrayModel g(512, 128, WriteStyle::GlobalRmw);
+    SubarrayModel l(512, 128, WriteStyle::LocalRmw);
+    SubarrayModel b(512, 128, WriteStyle::BufferedWriteback);
+
+    std::uint64_t t = 0;
+    for (std::uint32_t i = 0; i < 1000; ++i) {
+        const std::uint32_t wrow = (i * 37) % 512;
+        const std::uint32_t rrow = (i * 151) % 512;
+        for (auto *m : {&g, &l, &b}) {
+            m->write(wrow, t, 4);
+            m->read(rrow, t + 1);
+        }
+        t += 3;
+    }
+    EXPECT_GE(g.blockedReads(), l.blockedReads());
+    EXPECT_GE(l.blockedReads(), b.blockedReads());
+    EXPECT_EQ(b.blockedReads(), 0u);
+    EXPECT_GT(g.blockedReads(), 0u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the Tag-Buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tag_buffer.hh"
+
+namespace
+{
+
+using namespace c8t::core;
+
+TEST(TagBuffer, StartsInvalid)
+{
+    TagBuffer tb(1, 4);
+    EXPECT_FALSE(tb.entryValid(0));
+    const TagProbe p = tb.probe(3, 0x77);
+    EXPECT_FALSE(p.setMatch);
+    EXPECT_FALSE(p.tagMatch);
+}
+
+TEST(TagBuffer, SetAndTagMatch)
+{
+    TagBuffer tb(1, 4);
+    tb.load(0, 9, {0xa, 0xb, 0xc, 0xd}, 0b1111);
+
+    TagProbe p = tb.probe(9, 0xc);
+    EXPECT_TRUE(p.setMatch);
+    EXPECT_TRUE(p.tagMatch);
+    EXPECT_EQ(p.entry, 0u);
+    EXPECT_EQ(p.way, 2u);
+
+    p = tb.probe(9, 0xf);
+    EXPECT_TRUE(p.setMatch);
+    EXPECT_FALSE(p.tagMatch);
+
+    p = tb.probe(8, 0xa);
+    EXPECT_FALSE(p.setMatch);
+}
+
+TEST(TagBuffer, InvalidWaysDoNotMatch)
+{
+    TagBuffer tb(1, 4);
+    tb.load(0, 9, {0xa, 0xb, 0xc, 0xd}, 0b0101); // ways 1, 3 invalid
+    EXPECT_TRUE(tb.probe(9, 0xa).tagMatch);
+    EXPECT_FALSE(tb.probe(9, 0xb).tagMatch);
+    EXPECT_TRUE(tb.probe(9, 0xc).tagMatch);
+    EXPECT_FALSE(tb.probe(9, 0xd).tagMatch);
+}
+
+TEST(TagBuffer, DirtyBitLifecycle)
+{
+    TagBuffer tb(1, 4);
+    tb.load(0, 1, {1, 2, 3, 4}, 0b1111);
+    EXPECT_FALSE(tb.dirty(0)); // load clears dirty
+    tb.setDirty(0, true);
+    EXPECT_TRUE(tb.dirty(0));
+    tb.setDirty(0, false);
+    EXPECT_FALSE(tb.dirty(0));
+}
+
+TEST(TagBuffer, InvalidateDropsEntry)
+{
+    TagBuffer tb(1, 4);
+    tb.load(0, 1, {1, 2, 3, 4}, 0b1111);
+    tb.setDirty(0, true);
+    tb.invalidate(0);
+    EXPECT_FALSE(tb.entryValid(0));
+    EXPECT_FALSE(tb.dirty(0));
+    EXPECT_FALSE(tb.probe(1, 1).setMatch);
+}
+
+TEST(TagBuffer, ProbeStatistics)
+{
+    TagBuffer tb(1, 4);
+    tb.load(0, 5, {1, 2, 3, 4}, 0b1111);
+    tb.probe(5, 1); // set+tag hit
+    tb.probe(5, 9); // set hit only
+    tb.probe(6, 1); // miss
+    EXPECT_EQ(tb.probes(), 3u);
+    EXPECT_EQ(tb.setHits(), 2u);
+    EXPECT_EQ(tb.tagHits(), 1u);
+}
+
+TEST(TagBuffer, PeekHasNoStatisticsSideEffects)
+{
+    TagBuffer tb(1, 4);
+    tb.load(0, 5, {1, 2, 3, 4}, 0b1111);
+    (void)tb.peek(5, 1);
+    EXPECT_EQ(tb.probes(), 0u);
+}
+
+TEST(TagBuffer, MultiEntryHoldsSeveralSets)
+{
+    TagBuffer tb(4, 4);
+    tb.load(0, 10, {1, 0, 0, 0}, 0b0001);
+    tb.load(1, 20, {2, 0, 0, 0}, 0b0001);
+    tb.load(2, 30, {3, 0, 0, 0}, 0b0001);
+    EXPECT_TRUE(tb.probe(10, 1).tagMatch);
+    EXPECT_TRUE(tb.probe(20, 2).tagMatch);
+    EXPECT_TRUE(tb.probe(30, 3).tagMatch);
+    EXPECT_FALSE(tb.probe(40, 4).setMatch);
+}
+
+TEST(TagBuffer, VictimPrefersInvalidEntries)
+{
+    TagBuffer tb(3, 4);
+    tb.load(0, 1, {1, 0, 0, 0}, 0b0001);
+    EXPECT_GE(tb.victim(), 1u); // entries 1 and 2 still invalid
+}
+
+TEST(TagBuffer, VictimIsLruAmongValid)
+{
+    TagBuffer tb(2, 4);
+    tb.load(0, 1, {1, 0, 0, 0}, 0b0001);
+    tb.load(1, 2, {2, 0, 0, 0}, 0b0001);
+    tb.touch(0); // entry 1 becomes LRU
+    EXPECT_EQ(tb.victim(), 1u);
+    tb.touch(1);
+    EXPECT_EQ(tb.victim(), 0u);
+}
+
+TEST(TagBuffer, InvalidateAll)
+{
+    TagBuffer tb(2, 4);
+    tb.load(0, 1, {1, 0, 0, 0}, 0b0001);
+    tb.load(1, 2, {2, 0, 0, 0}, 0b0001);
+    tb.invalidateAll();
+    EXPECT_FALSE(tb.entryValid(0));
+    EXPECT_FALSE(tb.entryValid(1));
+}
+
+TEST(TagBuffer, StorageBitsMatchPaperBound)
+{
+    // Paper §5.4: < 150 bits for the baseline (9 set bits, 34-bit tags,
+    // 4 ways). Our entry adds per-way valid bits.
+    TagBuffer tb(1, 4);
+    const std::uint64_t bits = tb.storageBits(9, 34);
+    EXPECT_LT(bits, 150u + 4u); // paper bound + the 4 valid bits
+    EXPECT_EQ(bits, 9u + 4u * 35u + 1u);
+}
+
+TEST(TagBuffer, ResetCountersKeepsEntries)
+{
+    TagBuffer tb(1, 4);
+    tb.load(0, 5, {1, 2, 3, 4}, 0b1111);
+    tb.probe(5, 1);
+    tb.resetCounters();
+    EXPECT_EQ(tb.probes(), 0u);
+    EXPECT_TRUE(tb.entryValid(0));
+}
+
+} // anonymous namespace

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for trace I/O: binary round trips, truncation detection,
+ * text format parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "trace/kernels.hh"
+#include "trace/trace_io.hh"
+
+namespace
+{
+
+using namespace c8t::trace;
+
+class TraceIoTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        _path = std::filesystem::temp_directory_path() /
+                ("c8t_trace_test_" +
+                 std::to_string(::getpid()) + ".trc");
+    }
+
+    void TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove(_path, ec);
+    }
+
+    std::string path() const { return _path.string(); }
+
+  private:
+    std::filesystem::path _path;
+};
+
+std::vector<MemAccess>
+sampleTrace()
+{
+    std::vector<MemAccess> t;
+    MemAccess a;
+    a.addr = 0x1000;
+    a.gap = 3;
+    a.size = 8;
+    t.push_back(a);
+
+    a.addr = 0x2020;
+    a.type = AccessType::Write;
+    a.data = 0xdeadbeefcafef00dull;
+    a.gap = 0;
+    a.size = 4;
+    t.push_back(a);
+
+    a.addr = 0xffffffffff8ull;
+    a.type = AccessType::Read;
+    a.data = 0; // reads carry no payload
+    a.gap = 1000;
+    a.size = 8;
+    t.push_back(a);
+    return t;
+}
+
+TEST_F(TraceIoTest, BinaryRoundTrip)
+{
+    const auto original = sampleTrace();
+    {
+        TraceWriter w(path());
+        for (const auto &a : original)
+            w.write(a);
+        w.finish();
+        EXPECT_EQ(w.count(), original.size());
+    }
+
+    TraceReader r(path());
+    EXPECT_EQ(r.count(), original.size());
+    MemAccess a;
+    for (const auto &expect : original) {
+        ASSERT_TRUE(r.next(a));
+        EXPECT_EQ(a, expect);
+    }
+    EXPECT_FALSE(r.next(a));
+}
+
+TEST_F(TraceIoTest, ReaderResetReplays)
+{
+    {
+        TraceWriter w(path());
+        for (const auto &a : sampleTrace())
+            w.write(a);
+        w.finish();
+    }
+    TraceReader r(path());
+    MemAccess first, again;
+    ASSERT_TRUE(r.next(first));
+    r.reset();
+    ASSERT_TRUE(r.next(again));
+    EXPECT_EQ(first, again);
+}
+
+TEST_F(TraceIoTest, UnfinishedTraceRejected)
+{
+    {
+        TraceWriter w(path());
+        w.write(MemAccess{});
+        // no finish(): header count stays zero
+    }
+    EXPECT_THROW(TraceReader{path()}, std::runtime_error);
+}
+
+TEST_F(TraceIoTest, MissingFileRejected)
+{
+    EXPECT_THROW(TraceReader{"/nonexistent/path/x.trc"},
+                 std::runtime_error);
+}
+
+TEST_F(TraceIoTest, BadMagicRejected)
+{
+    {
+        std::ofstream f(path(), std::ios::binary);
+        f << "NOTATRACE_AND_SOME_PADDING_BYTES";
+    }
+    EXPECT_THROW(TraceReader{path()}, std::runtime_error);
+}
+
+TEST_F(TraceIoTest, FinishIsIdempotent)
+{
+    TraceWriter w(path());
+    w.write(MemAccess{});
+    w.finish();
+    w.finish();
+    TraceReader r(path());
+    EXPECT_EQ(r.count(), 1u);
+}
+
+TEST_F(TraceIoTest, ReaderIsAnAccessGenerator)
+{
+    {
+        TraceWriter w(path());
+        for (const auto &a : sampleTrace())
+            w.write(a);
+        w.finish();
+    }
+    TraceReader r(path());
+    AccessGenerator &gen = r;
+    const auto collected = collect(gen, 100);
+    EXPECT_EQ(collected.size(), 3u);
+    EXPECT_NE(gen.name().find("trace:"), std::string::npos);
+}
+
+TEST_F(TraceIoTest, KernelTraceRoundTrip)
+{
+    // Write a real kernel's stream and read it back identically.
+    StreamCopyKernel kernel(64, 2);
+    const auto original = collect(kernel, 1000);
+    {
+        TraceWriter w(path());
+        for (const auto &a : original)
+            w.write(a);
+        w.finish();
+    }
+    TraceReader r(path());
+    const auto replayed = collect(r, 1000);
+    EXPECT_EQ(replayed, original);
+}
+
+TEST(TextTrace, RoundTrip)
+{
+    const auto original = sampleTrace();
+    std::stringstream ss;
+    writeTextTrace(ss, original);
+    const auto parsed = readTextTrace(ss);
+    ASSERT_EQ(parsed.size(), original.size());
+    for (std::size_t i = 0; i < parsed.size(); ++i)
+        EXPECT_EQ(parsed[i], original[i]);
+}
+
+TEST(TextTrace, SkipsEmptyLines)
+{
+    std::stringstream ss("R 0x10 sz=8 gap=0\n\nR 0x20 sz=8 gap=1\n");
+    const auto parsed = readTextTrace(ss);
+    EXPECT_EQ(parsed.size(), 2u);
+}
+
+TEST(TextTrace, RejectsMalformedType)
+{
+    std::stringstream ss("X 0x10 sz=8 gap=0\n");
+    EXPECT_THROW(readTextTrace(ss), std::runtime_error);
+}
+
+TEST(TextTrace, RejectsBadAddress)
+{
+    std::stringstream ss("R 16 sz=8 gap=0\n");
+    EXPECT_THROW(readTextTrace(ss), std::runtime_error);
+}
+
+TEST(Collect, RespectsLimit)
+{
+    StreamCopyKernel kernel(1000, 1);
+    const auto v = collect(kernel, 10);
+    EXPECT_EQ(v.size(), 10u);
+}
+
+} // anonymous namespace

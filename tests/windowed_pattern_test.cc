@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the drifting working-set (windowed random) pattern.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/patterns.hh"
+
+namespace
+{
+
+using namespace c8t::trace;
+
+TEST(WindowedRandom, StaysInsideRegion)
+{
+    Rng rng(1);
+    WindowedRandomPattern p(0x100000, 1 << 20, 64 * 1024, 100);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t a = p.nextAddr(rng);
+        EXPECT_GE(a, 0x100000u);
+        EXPECT_LT(a, 0x100000u + (1 << 20));
+        EXPECT_EQ(a % 8, 0u);
+    }
+}
+
+TEST(WindowedRandom, DrawsClusterWithinAPhase)
+{
+    Rng rng(2);
+    const std::uint64_t window = 4096;
+    WindowedRandomPattern p(0, 1 << 24, window, 1000);
+    // Within one phase, all draws span at most the window.
+    std::uint64_t lo = ~0ull, hi = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t a = p.nextAddr(rng);
+        lo = std::min(lo, a);
+        hi = std::max(hi, a);
+    }
+    EXPECT_LE(hi - lo, window);
+}
+
+TEST(WindowedRandom, PhasesJumpAcrossTheRegion)
+{
+    Rng rng(3);
+    const std::uint64_t window = 4096;
+    WindowedRandomPattern p(0, 1 << 24, window, 64);
+    // Across many phases the pattern covers far more than one window.
+    std::uint64_t lo = ~0ull, hi = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const std::uint64_t a = p.nextAddr(rng);
+        lo = std::min(lo, a);
+        hi = std::max(hi, a);
+    }
+    EXPECT_GT(hi - lo, window * 100);
+}
+
+TEST(WindowedRandom, TemporalReuseWithinPhase)
+{
+    // A window much smaller than the draw budget revisits addresses —
+    // the locality property the plain RandomPattern lacks.
+    Rng rng(4);
+    WindowedRandomPattern p(0, 1 << 24, 1024, 2000);
+    std::set<std::uint64_t> unique;
+    for (int i = 0; i < 2000; ++i)
+        unique.insert(p.nextAddr(rng));
+    EXPECT_LE(unique.size(), 128u); // 1024 B / 8 B = 128 slots
+    EXPECT_GT(unique.size(), 100u); // and most slots were touched
+}
+
+TEST(WindowedRandom, ResetRestartsPhaseSchedule)
+{
+    Rng rng_a(5), rng_b(5);
+    WindowedRandomPattern a(0, 1 << 20, 4096, 10);
+    WindowedRandomPattern b(0, 1 << 20, 4096, 10);
+    for (int i = 0; i < 100; ++i)
+        a.nextAddr(rng_a);
+    a.reset();
+    rng_a.seed(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextAddr(rng_a), b.nextAddr(rng_b));
+}
+
+TEST(WindowedRandom, Name)
+{
+    WindowedRandomPattern p(0, 1 << 20, 4096);
+    EXPECT_EQ(p.name(), "windowed_random");
+}
+
+} // anonymous namespace

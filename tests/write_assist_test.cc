@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the adaptive write-assist model (Kim et al.).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sram/write_assist.hh"
+
+namespace
+{
+
+using namespace c8t::sram;
+
+TEST(WriteAssist, LevelNames)
+{
+    EXPECT_STREQ(toString(AssistLevel::Nominal), "nominal");
+    EXPECT_STREQ(toString(AssistLevel::WidePulse), "wide_pulse");
+    EXPECT_STREQ(toString(AssistLevel::BoostedVoltage), "boosted");
+}
+
+TEST(WriteAssist, NoWeakRowsMeansAllNominal)
+{
+    WriteAssistParams p;
+    p.weakRowFraction = 0.0;
+    WriteAssist wa(512, p);
+    for (std::uint32_t r = 0; r < 512; ++r)
+        EXPECT_EQ(wa.write(r), AssistLevel::Nominal);
+    EXPECT_EQ(wa.nominalWrites(), 512u);
+    EXPECT_DOUBLE_EQ(wa.meanLatencyFactor(), 1.0);
+    EXPECT_DOUBLE_EQ(wa.meanEnergyFactor(), 1.0);
+}
+
+TEST(WriteAssist, WeakMapIsDeterministic)
+{
+    WriteAssistParams p;
+    p.weakRowFraction = 0.1;
+    WriteAssist a(1024, p), b(1024, p);
+    for (std::uint32_t r = 0; r < 1024; ++r)
+        EXPECT_EQ(a.rowIsWeak(r), b.rowIsWeak(r));
+}
+
+TEST(WriteAssist, WeakRowFractionApproximatelyRespected)
+{
+    WriteAssistParams p;
+    p.weakRowFraction = 0.10;
+    WriteAssist wa(20000, p);
+    std::uint32_t weak = 0;
+    for (std::uint32_t r = 0; r < 20000; ++r)
+        weak += wa.rowIsWeak(r);
+    EXPECT_NEAR(static_cast<double>(weak) / 20000, 0.10, 0.01);
+}
+
+TEST(WriteAssist, EscalationIsConsistentPerRow)
+{
+    WriteAssistParams p;
+    p.weakRowFraction = 0.3;
+    WriteAssist wa(256, p);
+    for (std::uint32_t r = 0; r < 256; ++r) {
+        const AssistLevel first = wa.write(r);
+        EXPECT_EQ(wa.write(r), first) << "row " << r;
+        EXPECT_EQ(wa.rowIsWeak(r), first != AssistLevel::Nominal);
+    }
+}
+
+TEST(WriteAssist, MeanFactorsBetweenNominalAndMargined)
+{
+    WriteAssistParams p;
+    p.weakRowFraction = 0.05;
+    WriteAssist wa(4096, p);
+    for (std::uint32_t i = 0; i < 40960; ++i)
+        wa.write(i % 4096);
+
+    EXPECT_GE(wa.meanLatencyFactor(), 1.0);
+    EXPECT_LT(wa.meanLatencyFactor(), wa.marginedLatencyFactor());
+    EXPECT_GE(wa.meanEnergyFactor(), 1.0);
+    EXPECT_LT(wa.meanEnergyFactor(), wa.marginedEnergyFactor());
+    // The adaptive point should sit close to nominal when weak rows
+    // are rare — the scheme's whole selling point.
+    EXPECT_LT(wa.meanEnergyFactor(), 1.1);
+}
+
+TEST(WriteAssist, CountsPartitionTotalWrites)
+{
+    WriteAssistParams p;
+    p.weakRowFraction = 0.2;
+    p.boostNeedingFraction = 0.5;
+    WriteAssist wa(1000, p);
+    for (std::uint32_t r = 0; r < 1000; ++r)
+        wa.write(r);
+    EXPECT_EQ(wa.nominalWrites() + wa.widePulseWrites() +
+                  wa.boostedWrites(),
+              1000u);
+    EXPECT_GT(wa.widePulseWrites(), 0u);
+    EXPECT_GT(wa.boostedWrites(), 0u);
+}
+
+TEST(WriteAssist, EmptyHistoryFactorsAreOne)
+{
+    WriteAssist wa(16);
+    EXPECT_DOUBLE_EQ(wa.meanLatencyFactor(), 1.0);
+    EXPECT_DOUBLE_EQ(wa.meanEnergyFactor(), 1.0);
+}
+
+} // anonymous namespace

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * c8tsim — the command-line simulator driver.
+ *
+ * Examples:
+ *   c8tsim --workload spec:bwaves --all
+ *   c8tsim --workload kernel:hash_update --scheme WG --scheme WG+RB \
+ *          --size 32 --block 64 --stats
+ *   c8tsim --workload trace:/tmp/app.trc --scheme RMW --csv
+ */
+
+#include <iostream>
+#include <stdexcept>
+#include <vector>
+
+#include "app/options.hh"
+#include "core/simulator.hh"
+#include "stats/table.hh"
+#include "trace/trace_io.hh"
+
+namespace
+{
+
+using namespace c8t;
+
+int
+run(const app::SimOptions &opt)
+{
+    auto workload = app::makeWorkload(opt.workload);
+
+    // Optionally record the exact stream being simulated.
+    if (!opt.recordTrace.empty()) {
+        trace::TraceWriter writer(opt.recordTrace);
+        trace::MemAccess a;
+        const std::uint64_t total =
+            opt.effectiveWarmup() + opt.accesses;
+        for (std::uint64_t i = 0; i < total && workload->next(a); ++i)
+            writer.write(a);
+        writer.finish();
+        std::cerr << "recorded " << writer.count() << " accesses to "
+                  << opt.recordTrace << "\n";
+        workload->reset();
+    }
+
+    std::vector<core::ControllerConfig> cfgs;
+    for (core::WriteScheme s : opt.schemes) {
+        core::ControllerConfig c;
+        c.cache = opt.cache;
+        c.scheme = s;
+        c.bufferEntries = opt.bufferEntries;
+        c.silentDetection = opt.silentDetection;
+        if (opt.l2SizeKb) {
+            c.l2Enabled = true;
+            c.l2.sizeBytes = opt.l2SizeKb * 1024;
+            c.l2.blockBytes = opt.cache.blockBytes;
+        }
+        cfgs.push_back(c);
+    }
+
+    core::MultiSchemeRunner runner(cfgs);
+    const auto results =
+        runner.run(*workload, {opt.effectiveWarmup(), opt.accesses});
+
+    stats::Table t("c8tsim: " + opt.workload + " on " +
+                   opt.cache.toString());
+    t.setHeader({"scheme", "requests", "hits", "demand ops",
+                 "fill ops", "grouped", "bypassed", "silent",
+                 "read lat", "energy (uJ)"});
+    t.setPrecision(2);
+    for (const auto &r : results) {
+        t.addRow({r.scheme, static_cast<std::int64_t>(r.requests),
+                  static_cast<std::int64_t>(r.hits),
+                  static_cast<std::int64_t>(r.demandAccesses),
+                  static_cast<std::int64_t>(r.fillAccesses),
+                  static_cast<std::int64_t>(r.groupedWrites),
+                  static_cast<std::int64_t>(r.bypassedReads),
+                  static_cast<std::int64_t>(r.silentWritesDetected),
+                  r.meanReadLatency, r.dynamicEnergy * 1e6});
+    }
+
+    if (opt.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+
+    // Relative view when a baseline RMW run is present.
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].scheme != "RMW")
+            continue;
+        std::cout << "\nreduction vs RMW:";
+        for (const auto &r : results) {
+            if (r.scheme == "RMW")
+                continue;
+            std::cout << "  " << r.scheme << " "
+                      << 100.0 * (1.0 -
+                                  static_cast<double>(r.demandAccesses) /
+                                      results[i].demandAccesses)
+                      << "%";
+        }
+        std::cout << "\n";
+        break;
+    }
+
+    if (opt.dumpStats) {
+        for (std::size_t i = 0; i < runner.controllers(); ++i) {
+            std::cout << "\n---- stats: "
+                      << toString(
+                             runner.controller(i).config().scheme)
+                      << " ----\n";
+            runner.controller(i).dumpStats(std::cout);
+        }
+    }
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        const app::SimOptions opt = app::parseOptions(args);
+        if (opt.help) {
+            std::cout << app::usageText();
+            return 0;
+        }
+        return run(opt);
+    } catch (const std::exception &e) {
+        std::cerr << "c8tsim: " << e.what() << "\n";
+        return 1;
+    }
+}
