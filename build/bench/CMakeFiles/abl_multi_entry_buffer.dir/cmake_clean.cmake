@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_multi_entry_buffer.dir/abl_multi_entry_buffer.cc.o"
+  "CMakeFiles/abl_multi_entry_buffer.dir/abl_multi_entry_buffer.cc.o.d"
+  "abl_multi_entry_buffer"
+  "abl_multi_entry_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multi_entry_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_schemes_kernels.dir/abl_schemes_kernels.cc.o"
+  "CMakeFiles/abl_schemes_kernels.dir/abl_schemes_kernels.cc.o.d"
+  "abl_schemes_kernels"
+  "abl_schemes_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_schemes_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_silent_detection.dir/abl_silent_detection.cc.o"
+  "CMakeFiles/abl_silent_detection.dir/abl_silent_detection.cc.o.d"
+  "abl_silent_detection"
+  "abl_silent_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_silent_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_subarray_conflicts.dir/abl_subarray_conflicts.cc.o"
+  "CMakeFiles/abl_subarray_conflicts.dir/abl_subarray_conflicts.cc.o.d"
+  "abl_subarray_conflicts"
+  "abl_subarray_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_subarray_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

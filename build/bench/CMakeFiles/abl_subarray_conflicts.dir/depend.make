@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_subarray_conflicts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_write_assist.dir/abl_write_assist.cc.o"
+  "CMakeFiles/abl_write_assist.dir/abl_write_assist.cc.o.d"
+  "abl_write_assist"
+  "abl_write_assist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_write_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_access_frequency.dir/fig03_access_frequency.cc.o"
+  "CMakeFiles/fig03_access_frequency.dir/fig03_access_frequency.cc.o.d"
+  "fig03_access_frequency"
+  "fig03_access_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_access_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_consecutive_scenarios.dir/fig04_consecutive_scenarios.cc.o"
+  "CMakeFiles/fig04_consecutive_scenarios.dir/fig04_consecutive_scenarios.cc.o.d"
+  "fig04_consecutive_scenarios"
+  "fig04_consecutive_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_consecutive_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_example_stream.dir/fig08_example_stream.cc.o"
+  "CMakeFiles/fig08_example_stream.dir/fig08_example_stream.cc.o.d"
+  "fig08_example_stream"
+  "fig08_example_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_example_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_access_reduction.dir/fig09_access_reduction.cc.o"
+  "CMakeFiles/fig09_access_reduction.dir/fig09_access_reduction.cc.o.d"
+  "fig09_access_reduction"
+  "fig09_access_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_access_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_blocksize.dir/fig10_blocksize.cc.o"
+  "CMakeFiles/fig10_blocksize.dir/fig10_blocksize.cc.o.d"
+  "fig10_blocksize"
+  "fig10_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

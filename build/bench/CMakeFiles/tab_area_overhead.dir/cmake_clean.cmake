@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_area_overhead.dir/tab_area_overhead.cc.o"
+  "CMakeFiles/tab_area_overhead.dir/tab_area_overhead.cc.o.d"
+  "tab_area_overhead"
+  "tab_area_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_area_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

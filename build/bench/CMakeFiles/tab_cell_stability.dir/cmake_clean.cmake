@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_cell_stability.dir/tab_cell_stability.cc.o"
+  "CMakeFiles/tab_cell_stability.dir/tab_cell_stability.cc.o.d"
+  "tab_cell_stability"
+  "tab_cell_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_cell_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

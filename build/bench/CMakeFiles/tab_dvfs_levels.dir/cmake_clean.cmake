@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_dvfs_levels.dir/tab_dvfs_levels.cc.o"
+  "CMakeFiles/tab_dvfs_levels.dir/tab_dvfs_levels.cc.o.d"
+  "tab_dvfs_levels"
+  "tab_dvfs_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_dvfs_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_ecc_interleaving.dir/tab_ecc_interleaving.cc.o"
+  "CMakeFiles/tab_ecc_interleaving.dir/tab_ecc_interleaving.cc.o.d"
+  "tab_ecc_interleaving"
+  "tab_ecc_interleaving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_ecc_interleaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

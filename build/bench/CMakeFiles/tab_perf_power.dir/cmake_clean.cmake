@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_perf_power.dir/tab_perf_power.cc.o"
+  "CMakeFiles/tab_perf_power.dir/tab_perf_power.cc.o.d"
+  "tab_perf_power"
+  "tab_perf_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_perf_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab_perf_power.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_rmw_overhead.dir/tab_rmw_overhead.cc.o"
+  "CMakeFiles/tab_rmw_overhead.dir/tab_rmw_overhead.cc.o.d"
+  "tab_rmw_overhead"
+  "tab_rmw_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_rmw_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/options.cc" "src/CMakeFiles/c8t.dir/app/options.cc.o" "gcc" "src/CMakeFiles/c8t.dir/app/options.cc.o.d"
+  "/root/repo/src/core/analyzer.cc" "src/CMakeFiles/c8t.dir/core/analyzer.cc.o" "gcc" "src/CMakeFiles/c8t.dir/core/analyzer.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/CMakeFiles/c8t.dir/core/controller.cc.o" "gcc" "src/CMakeFiles/c8t.dir/core/controller.cc.o.d"
+  "/root/repo/src/core/policies.cc" "src/CMakeFiles/c8t.dir/core/policies.cc.o" "gcc" "src/CMakeFiles/c8t.dir/core/policies.cc.o.d"
+  "/root/repo/src/core/set_buffer.cc" "src/CMakeFiles/c8t.dir/core/set_buffer.cc.o" "gcc" "src/CMakeFiles/c8t.dir/core/set_buffer.cc.o.d"
+  "/root/repo/src/core/simulator.cc" "src/CMakeFiles/c8t.dir/core/simulator.cc.o" "gcc" "src/CMakeFiles/c8t.dir/core/simulator.cc.o.d"
+  "/root/repo/src/core/tag_buffer.cc" "src/CMakeFiles/c8t.dir/core/tag_buffer.cc.o" "gcc" "src/CMakeFiles/c8t.dir/core/tag_buffer.cc.o.d"
+  "/root/repo/src/core/write_scheme.cc" "src/CMakeFiles/c8t.dir/core/write_scheme.cc.o" "gcc" "src/CMakeFiles/c8t.dir/core/write_scheme.cc.o.d"
+  "/root/repo/src/cpu/dvfs.cc" "src/CMakeFiles/c8t.dir/cpu/dvfs.cc.o" "gcc" "src/CMakeFiles/c8t.dir/cpu/dvfs.cc.o.d"
+  "/root/repo/src/cpu/timing_core.cc" "src/CMakeFiles/c8t.dir/cpu/timing_core.cc.o" "gcc" "src/CMakeFiles/c8t.dir/cpu/timing_core.cc.o.d"
+  "/root/repo/src/mem/addr.cc" "src/CMakeFiles/c8t.dir/mem/addr.cc.o" "gcc" "src/CMakeFiles/c8t.dir/mem/addr.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/c8t.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/c8t.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/functional_mem.cc" "src/CMakeFiles/c8t.dir/mem/functional_mem.cc.o" "gcc" "src/CMakeFiles/c8t.dir/mem/functional_mem.cc.o.d"
+  "/root/repo/src/mem/replacement.cc" "src/CMakeFiles/c8t.dir/mem/replacement.cc.o" "gcc" "src/CMakeFiles/c8t.dir/mem/replacement.cc.o.d"
+  "/root/repo/src/sram/array.cc" "src/CMakeFiles/c8t.dir/sram/array.cc.o" "gcc" "src/CMakeFiles/c8t.dir/sram/array.cc.o.d"
+  "/root/repo/src/sram/cell.cc" "src/CMakeFiles/c8t.dir/sram/cell.cc.o" "gcc" "src/CMakeFiles/c8t.dir/sram/cell.cc.o.d"
+  "/root/repo/src/sram/ecc.cc" "src/CMakeFiles/c8t.dir/sram/ecc.cc.o" "gcc" "src/CMakeFiles/c8t.dir/sram/ecc.cc.o.d"
+  "/root/repo/src/sram/energy.cc" "src/CMakeFiles/c8t.dir/sram/energy.cc.o" "gcc" "src/CMakeFiles/c8t.dir/sram/energy.cc.o.d"
+  "/root/repo/src/sram/fault_injection.cc" "src/CMakeFiles/c8t.dir/sram/fault_injection.cc.o" "gcc" "src/CMakeFiles/c8t.dir/sram/fault_injection.cc.o.d"
+  "/root/repo/src/sram/interleave.cc" "src/CMakeFiles/c8t.dir/sram/interleave.cc.o" "gcc" "src/CMakeFiles/c8t.dir/sram/interleave.cc.o.d"
+  "/root/repo/src/sram/ports.cc" "src/CMakeFiles/c8t.dir/sram/ports.cc.o" "gcc" "src/CMakeFiles/c8t.dir/sram/ports.cc.o.d"
+  "/root/repo/src/sram/subarray.cc" "src/CMakeFiles/c8t.dir/sram/subarray.cc.o" "gcc" "src/CMakeFiles/c8t.dir/sram/subarray.cc.o.d"
+  "/root/repo/src/sram/write_assist.cc" "src/CMakeFiles/c8t.dir/sram/write_assist.cc.o" "gcc" "src/CMakeFiles/c8t.dir/sram/write_assist.cc.o.d"
+  "/root/repo/src/stats/counter.cc" "src/CMakeFiles/c8t.dir/stats/counter.cc.o" "gcc" "src/CMakeFiles/c8t.dir/stats/counter.cc.o.d"
+  "/root/repo/src/stats/distribution.cc" "src/CMakeFiles/c8t.dir/stats/distribution.cc.o" "gcc" "src/CMakeFiles/c8t.dir/stats/distribution.cc.o.d"
+  "/root/repo/src/stats/registry.cc" "src/CMakeFiles/c8t.dir/stats/registry.cc.o" "gcc" "src/CMakeFiles/c8t.dir/stats/registry.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/c8t.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/c8t.dir/stats/table.cc.o.d"
+  "/root/repo/src/trace/access.cc" "src/CMakeFiles/c8t.dir/trace/access.cc.o" "gcc" "src/CMakeFiles/c8t.dir/trace/access.cc.o.d"
+  "/root/repo/src/trace/kernels.cc" "src/CMakeFiles/c8t.dir/trace/kernels.cc.o" "gcc" "src/CMakeFiles/c8t.dir/trace/kernels.cc.o.d"
+  "/root/repo/src/trace/markov_stream.cc" "src/CMakeFiles/c8t.dir/trace/markov_stream.cc.o" "gcc" "src/CMakeFiles/c8t.dir/trace/markov_stream.cc.o.d"
+  "/root/repo/src/trace/patterns.cc" "src/CMakeFiles/c8t.dir/trace/patterns.cc.o" "gcc" "src/CMakeFiles/c8t.dir/trace/patterns.cc.o.d"
+  "/root/repo/src/trace/rng.cc" "src/CMakeFiles/c8t.dir/trace/rng.cc.o" "gcc" "src/CMakeFiles/c8t.dir/trace/rng.cc.o.d"
+  "/root/repo/src/trace/spec_profiles.cc" "src/CMakeFiles/c8t.dir/trace/spec_profiles.cc.o" "gcc" "src/CMakeFiles/c8t.dir/trace/spec_profiles.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/c8t.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/c8t.dir/trace/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stream_test.dir/example_stream_test.cc.o"
+  "CMakeFiles/example_stream_test.dir/example_stream_test.cc.o.d"
+  "example_stream_test"
+  "example_stream_test.pdb"
+  "example_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

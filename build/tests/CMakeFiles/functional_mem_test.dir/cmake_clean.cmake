@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functional_mem_test.dir/functional_mem_test.cc.o"
+  "CMakeFiles/functional_mem_test.dir/functional_mem_test.cc.o.d"
+  "functional_mem_test"
+  "functional_mem_test.pdb"
+  "functional_mem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interleave_test.dir/interleave_test.cc.o"
+  "CMakeFiles/interleave_test.dir/interleave_test.cc.o.d"
+  "interleave_test"
+  "interleave_test.pdb"
+  "interleave_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interleave_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_stream_test.dir/markov_stream_test.cc.o"
+  "CMakeFiles/markov_stream_test.dir/markov_stream_test.cc.o.d"
+  "markov_stream_test"
+  "markov_stream_test.pdb"
+  "markov_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ports_test.dir/ports_test.cc.o"
+  "CMakeFiles/ports_test.dir/ports_test.cc.o.d"
+  "ports_test"
+  "ports_test.pdb"
+  "ports_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ports_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_calibration_test.dir/profile_calibration_test.cc.o"
+  "CMakeFiles/profile_calibration_test.dir/profile_calibration_test.cc.o.d"
+  "profile_calibration_test"
+  "profile_calibration_test.pdb"
+  "profile_calibration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_buffer_test.dir/set_buffer_test.cc.o"
+  "CMakeFiles/set_buffer_test.dir/set_buffer_test.cc.o.d"
+  "set_buffer_test"
+  "set_buffer_test.pdb"
+  "set_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_profiles_test.dir/spec_profiles_test.cc.o"
+  "CMakeFiles/spec_profiles_test.dir/spec_profiles_test.cc.o.d"
+  "spec_profiles_test"
+  "spec_profiles_test.pdb"
+  "spec_profiles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_profiles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

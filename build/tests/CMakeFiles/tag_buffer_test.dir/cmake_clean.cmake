@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_buffer_test.dir/tag_buffer_test.cc.o"
+  "CMakeFiles/tag_buffer_test.dir/tag_buffer_test.cc.o.d"
+  "tag_buffer_test"
+  "tag_buffer_test.pdb"
+  "tag_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

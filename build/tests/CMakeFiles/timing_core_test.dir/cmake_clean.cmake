@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_core_test.dir/timing_core_test.cc.o"
+  "CMakeFiles/timing_core_test.dir/timing_core_test.cc.o.d"
+  "timing_core_test"
+  "timing_core_test.pdb"
+  "timing_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

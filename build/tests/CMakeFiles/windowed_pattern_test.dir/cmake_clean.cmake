@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windowed_pattern_test.dir/windowed_pattern_test.cc.o"
+  "CMakeFiles/windowed_pattern_test.dir/windowed_pattern_test.cc.o.d"
+  "windowed_pattern_test"
+  "windowed_pattern_test.pdb"
+  "windowed_pattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windowed_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_assist_test.dir/write_assist_test.cc.o"
+  "CMakeFiles/write_assist_test.dir/write_assist_test.cc.o.d"
+  "write_assist_test"
+  "write_assist_test.pdb"
+  "write_assist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_assist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_scheme_test.dir/write_scheme_test.cc.o"
+  "CMakeFiles/write_scheme_test.dir/write_scheme_test.cc.o.d"
+  "write_scheme_test"
+  "write_scheme_test.pdb"
+  "write_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c8tsim.dir/c8tsim.cc.o"
+  "CMakeFiles/c8tsim.dir/c8tsim.cc.o.d"
+  "c8tsim"
+  "c8tsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c8tsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c8ttrace.dir/c8ttrace.cc.o"
+  "CMakeFiles/c8ttrace.dir/c8ttrace.cc.o.d"
+  "c8ttrace"
+  "c8ttrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c8ttrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

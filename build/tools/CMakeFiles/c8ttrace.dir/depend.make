@@ -1,0 +1,2 @@
+# Empty dependencies file for c8ttrace.
+# This may be replaced when dependencies are built.
