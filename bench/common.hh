@@ -12,12 +12,15 @@
 #ifndef C8T_BENCH_COMMON_HH
 #define C8T_BENCH_COMMON_HH
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdlib>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/simulator.hh"
+#include "core/sweep.hh"
 #include "core/write_scheme.hh"
 #include "mem/cache.hh"
 #include "trace/markov_stream.hh"
@@ -26,16 +29,39 @@
 namespace c8t::bench
 {
 
-/** Measurement window length (overridable via C8T_BENCH_ACCESSES). */
+/**
+ * Measurement window length (overridable via C8T_BENCH_ACCESSES).
+ *
+ * The override must be a whole positive decimal number; anything else
+ * (trailing garbage like "10x", negatives, overflow, empty) is
+ * rejected with a warning rather than silently truncated. The
+ * effective run length is printed to stderr once per binary.
+ */
 inline std::uint64_t
 measureAccesses()
 {
-    if (const char *env = std::getenv("C8T_BENCH_ACCESSES")) {
-        const std::uint64_t v = std::strtoull(env, nullptr, 10);
-        if (v > 0)
-            return v;
-    }
-    return 300'000;
+    static const std::uint64_t chosen = [] {
+        std::uint64_t v = 300'000;
+        if (const char *env = std::getenv("C8T_BENCH_ACCESSES")) {
+            char *end = nullptr;
+            errno = 0;
+            const unsigned long long parsed =
+                std::strtoull(env, &end, 10);
+            if (end == env || *end != '\0' || errno == ERANGE ||
+                parsed == 0) {
+                std::cerr << "bench: ignoring invalid "
+                             "C8T_BENCH_ACCESSES=\""
+                          << env << "\" (want a positive integer)\n";
+            } else {
+                v = parsed;
+            }
+        }
+        std::cerr << "bench: measuring " << v
+                  << " accesses per run (set C8T_BENCH_ACCESSES to "
+                     "override)\n";
+        return v;
+    }();
+    return chosen;
 }
 
 /** Warm-up window: 10 % of the measurement window. */
@@ -76,19 +102,19 @@ reductionPct(const core::SchemeRunResult &rmw,
 /**
  * Run every SPEC profile through the given schemes on @p cache and
  * return per-benchmark results (outer index: benchmark, inner: scheme).
+ *
+ * Runs through the parallel sweep engine: one job per profile, fanned
+ * across C8T_JOBS (default: hardware_concurrency) worker threads.
+ * Results are byte-identical to the historical serial loop for any
+ * worker count (every job owns its generator, memories and runner).
  */
 inline std::vector<std::vector<core::SchemeRunResult>>
 sweepSpec(const mem::CacheConfig &cache,
           const std::vector<core::WriteScheme> &schemes)
 {
-    std::vector<std::vector<core::SchemeRunResult>> all;
-    const core::RunConfig rc = runConfig();
-    for (const auto &p : trace::specProfiles()) {
-        trace::MarkovStream gen(p);
-        core::MultiSchemeRunner runner(schemeConfigs(cache, schemes));
-        all.push_back(runner.run(gen, rc));
-    }
-    return all;
+    const core::ParallelSweeper sweeper;
+    return sweeper.run(core::specSweepJobs(cache, schemes), runConfig(),
+                       "spec_sweep:" + cache.toString());
 }
 
 } // namespace c8t::bench

@@ -9,6 +9,9 @@
 #include <benchmark/benchmark.h>
 
 #include "core/controller.hh"
+#include "core/simulator.hh"
+#include "core/sweep.hh"
+#include "mem/cache.hh"
 #include "sram/ecc.hh"
 #include "trace/markov_stream.hh"
 #include "trace/spec_profiles.hh"
@@ -52,6 +55,42 @@ BENCHMARK(BM_ControllerAccess)
     ->Arg(static_cast<int>(core::WriteScheme::Rmw))
     ->Arg(static_cast<int>(core::WriteScheme::WriteGrouping))
     ->Arg(static_cast<int>(core::WriteScheme::WriteGroupingReadBypass));
+
+/**
+ * End-to-end sweep throughput: every SPEC profile through RMW and
+ * WG+RB on the default cache, fanned across state.range(0) workers.
+ * items/s is simulated accesses per wall-clock second, so the ratio
+ * between the /1 row and the /N rows is the sweep engine's speedup.
+ */
+void
+BM_SweepThroughput(benchmark::State &state)
+{
+    const unsigned workers = static_cast<unsigned>(state.range(0));
+    const mem::CacheConfig cache;
+    const std::vector<core::WriteScheme> schemes = {
+        core::WriteScheme::Rmw,
+        core::WriteScheme::WriteGroupingReadBypass};
+    const auto jobs = core::specSweepJobs(cache, schemes);
+    const core::RunConfig rc{2'000, 20'000};
+    const core::ParallelSweeper sweeper(workers);
+
+    for (auto _ : state) {
+        const auto results = sweeper.run(jobs, rc, "bench_sweep");
+        benchmark::DoNotOptimize(results.front().front().demandAccesses);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(jobs.size()) *
+        static_cast<std::int64_t>(schemes.size()) *
+        static_cast<std::int64_t>(rc.warmupAccesses + rc.measureAccesses));
+    state.SetLabel("workers=" + std::to_string(sweeper.workers()));
+}
+BENCHMARK(BM_SweepThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void
 BM_SecDedEncode(benchmark::State &state)

@@ -65,6 +65,10 @@ usageText()
           "  --no-silent-detection\n"
           "  --l2 KB             enable a tags-only L2 of KB KiB\n"
           "\n"
+          "execution\n"
+          "  --jobs N            worker threads for multi-scheme runs "
+          "(default: C8T_JOBS or hardware concurrency)\n"
+          "\n"
           "output\n"
           "  --stats             dump the full statistics registry\n"
           "  --csv               print the result table as CSV\n"
@@ -141,6 +145,11 @@ parseOptions(const std::vector<std::string> &args)
                     "--buffer-entries: must be >= 1");
         } else if (a == "--l2") {
             opt.l2SizeKb = parseU64(a, need_value(i++, a));
+        } else if (a == "--jobs") {
+            opt.jobs =
+                static_cast<unsigned>(parseU64(a, need_value(i++, a)));
+            if (opt.jobs == 0)
+                throw std::invalid_argument("--jobs: must be >= 1");
         } else if (a == "--no-silent-detection") {
             opt.silentDetection = false;
         } else if (a == "--stats") {

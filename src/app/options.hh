@@ -56,6 +56,10 @@ struct SimOptions
      *  0 = disabled). */
     std::uint64_t l2SizeKb = 0;
 
+    /** Worker threads for multi-scheme runs (--jobs N; 0 = auto:
+     *  C8T_JOBS env var, else hardware_concurrency). */
+    unsigned jobs = 0;
+
     /** Dump the full statistics registry after the run (--stats). */
     bool dumpStats = false;
 

@@ -17,14 +17,13 @@ namespace c8t::core
 namespace
 {
 
-/** Serialise a little-endian value into a byte vector. */
-std::vector<std::uint8_t>
-toBytes(std::uint64_t value, std::uint8_t size)
+/** Serialise a little-endian value into caller-provided storage (the
+ *  access hot path never touches the heap). */
+void
+storeLe(std::uint8_t *dst, std::uint64_t value, std::uint8_t size)
 {
-    std::vector<std::uint8_t> bytes(size);
     for (std::uint8_t i = 0; i < size; ++i)
-        bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
-    return bytes;
+        dst[i] = static_cast<std::uint8_t>(value >> (8 * i));
 }
 
 } // anonymous namespace
@@ -59,6 +58,7 @@ CacheController::CacheController(const ControllerConfig &config,
         _entryGroupSize.assign(_config.bufferEntries, 0);
     }
     _scratch.resize(_config.cache.setBytes());
+    _tagScratch.assign(_config.cache.ways, 0);
 }
 
 std::uint32_t
@@ -113,12 +113,11 @@ CacheController::demandWrite(std::uint32_t row, const sram::RowData &data,
 
 void
 CacheController::demandMerge(std::uint32_t row, std::uint32_t offset,
-                             const std::vector<std::uint8_t> &bytes)
+                             const std::uint8_t *bytes, std::uint32_t len)
 {
-    _array.mergeBytes(row, offset, bytes);
+    _array.mergeBytes(row, offset, bytes, len);
     ++_demandRowWrites;
-    _dynamicEnergy += _energy.partialWriteEnergy(
-        static_cast<std::uint32_t>(bytes.size()));
+    _dynamicEnergy += _energy.partialWriteEnergy(len);
     scheduleOp(sram::PortUse::WritePort, _cycle,
                _config.latency.rowWriteCycles);
 }
@@ -233,10 +232,8 @@ CacheController::handleMiss(mem::Addr block_addr)
         _l2->fill(fill.evictedBlockAddr);
     }
 
-    const std::vector<std::uint8_t> data =
-        _mem.readBytes(block_addr, block_bytes);
-    std::memcpy(_scratch.data() + fill.way * block_bytes, data.data(),
-                block_bytes);
+    _mem.readBytes(block_addr, _scratch.data() + fill.way * block_bytes,
+                   block_bytes);
 
     _array.writeRow(set, _scratch);
     ++_fillRowWrites;
@@ -295,7 +292,9 @@ CacheController::accessDirect(const trace::MemAccess &a)
             start + _config.latency.rowReadCycles - _requestCycle;
         _readLatency.sample(static_cast<double>(out.latencyCycles));
     } else {
-        demandMerge(set, offset, toBytes(a.data, a.size));
+        std::uint8_t bytes[8];
+        storeLe(bytes, a.data, a.size);
+        demandMerge(set, offset, bytes, a.size);
         _tags.markDirty(block_addr);
         out.latencyCycles = extra + _config.latency.rowWriteCycles;
     }
@@ -334,8 +333,7 @@ CacheController::accessRmw(const trace::MemAccess &a)
         scheduleOp(traits.writePortUse, _cycle + extra, duration);
 
         demandRead(set, _scratch);
-        const std::vector<std::uint8_t> bytes = toBytes(a.data, a.size);
-        std::memcpy(_scratch.data() + offset, bytes.data(), bytes.size());
+        storeLe(_scratch.data() + offset, a.data, a.size);
         _array.writeRow(set, _scratch);
         ++_demandRowWrites;
         _dynamicEnergy += _energy.rowWriteEnergy();
@@ -424,14 +422,15 @@ CacheController::accessGrouped(const trace::MemAccess &a)
     }
 
     // Write request.
-    const std::vector<std::uint8_t> bytes = toBytes(a.data, a.size);
+    std::uint8_t bytes[8];
+    storeLe(bytes, a.data, a.size);
 
     if (probe.tagMatch) {
         // Grouped: merge into the Set-Buffer, zero array operations.
         const std::uint32_t e = probe.entry;
         _tagBuffer->touch(e);
         const bool changed =
-            _setBuffer->updateBytes(e, offset, bytes.data(), bytes.size());
+            _setBuffer->updateBytes(e, offset, bytes, a.size);
         if (changed || !_config.silentDetection)
             _tagBuffer->setDirty(e, true);
         if (!changed && _config.silentDetection)
@@ -461,11 +460,12 @@ CacheController::accessGrouped(const trace::MemAccess &a)
     demandRead(set, _scratch);
     _setBuffer->fill(e, _scratch);
     _dynamicEnergy += _energy.setBufferWriteEnergy(_setBuffer->rowBytes());
-    _tagBuffer->load(e, set, _tags.tagsOfSet(set), _tags.validMask(set));
+    _tags.copyTagsOfSet(set, _tagScratch.data());
+    _tagBuffer->load(e, set, _tagScratch.data(), _tags.validMask(set));
     _tagBuffer->touch(e);
 
     const bool changed =
-        _setBuffer->updateBytes(e, offset, bytes.data(), bytes.size());
+        _setBuffer->updateBytes(e, offset, bytes, a.size);
     if (changed || !_config.silentDetection)
         _tagBuffer->setDirty(e, true);
     if (!changed && _config.silentDetection)

@@ -312,7 +312,7 @@ class CacheController
     void demandWrite(std::uint32_t row, const sram::RowData &data,
                      sram::PortUse use);
     void demandMerge(std::uint32_t row, std::uint32_t offset,
-                     const std::vector<std::uint8_t> &bytes);
+                     const std::uint8_t *bytes, std::uint32_t len);
 
     ControllerConfig _config;
     mem::FunctionalMemory &_mem;
@@ -331,6 +331,10 @@ class CacheController
     std::uint32_t _lastMissPenalty = 0;
     double _dynamicEnergy = 0.0;
     sram::RowData _scratch;
+
+    /** Tag scratch for Tag-Buffer loads (pre-sized to the
+     *  associativity; avoids a per-group-open heap allocation). */
+    std::vector<mem::Addr> _tagScratch;
 
     /** Per-entry writes merged since the last write-back (silent-group
      *  elision accounting). */

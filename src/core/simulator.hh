@@ -85,6 +85,10 @@ struct SchemeRunResult
 
     /** Elapsed cycles. */
     std::uint64_t cycles = 0;
+
+    /** Field-wise (bit-exact) equality — the sweep engine's
+     *  determinism guarantee is tested through this. */
+    bool operator==(const SchemeRunResult &other) const = default;
 };
 
 /**

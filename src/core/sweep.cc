@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Parallel sweep engine implementation.
+ */
+
+#include "core/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "trace/markov_stream.hh"
+#include "trace/spec_profiles.hh"
+
+namespace c8t::core
+{
+
+namespace
+{
+
+/** Execute one job start to finish (worker-thread body). */
+std::vector<SchemeRunResult>
+executeJob(const SweepJob &job, const RunConfig &rc)
+{
+    if (!job.makeGenerator)
+        throw std::invalid_argument("SweepJob: no generator factory");
+    if (job.configs.empty())
+        throw std::invalid_argument("SweepJob: no configs");
+
+    const std::unique_ptr<trace::AccessGenerator> gen = job.makeGenerator();
+    MultiSchemeRunner runner(job.configs);
+    std::vector<SchemeRunResult> results = runner.run(*gen, rc);
+    if (job.inspect)
+        job.inspect(runner);
+    return results;
+}
+
+/** Append one JSON-lines perf record when C8T_BENCH_JSON is set. */
+void
+emitBenchJson(const std::string &label,
+              const std::vector<std::vector<SchemeRunResult>> &results,
+              const RunConfig &rc, unsigned workers, double wall_seconds)
+{
+    const char *path = std::getenv("C8T_BENCH_JSON");
+    if (!path || !*path)
+        return;
+
+    std::uint64_t config_runs = 0;
+    for (const auto &job : results)
+        config_runs += job.size();
+    const double simulated =
+        static_cast<double>(config_runs) *
+        static_cast<double>(rc.warmupAccesses + rc.measureAccesses);
+
+    std::ofstream os(path, std::ios::app);
+    if (!os)
+        return;
+    os << "{\"kind\":\"sweep\",\"label\":\"" << label << "\""
+       << ",\"jobs\":" << results.size()
+       << ",\"workers\":" << workers
+       << ",\"config_runs\":" << config_runs
+       << ",\"warmup_accesses\":" << rc.warmupAccesses
+       << ",\"measure_accesses\":" << rc.measureAccesses
+       << ",\"simulated_accesses\":" << static_cast<std::uint64_t>(simulated)
+       << ",\"wall_seconds\":" << wall_seconds
+       << ",\"accesses_per_sec\":"
+       << (wall_seconds > 0.0 ? simulated / wall_seconds : 0.0)
+       << "}\n";
+}
+
+} // anonymous namespace
+
+unsigned
+ParallelSweeper::defaultWorkers()
+{
+    if (const char *env = std::getenv("C8T_JOBS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1 && v <= 4096)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ParallelSweeper::ParallelSweeper(unsigned workers)
+    : _workers(workers ? workers : defaultWorkers())
+{
+}
+
+std::vector<std::vector<SchemeRunResult>>
+ParallelSweeper::run(const std::vector<SweepJob> &jobs, const RunConfig &rc,
+                     const std::string &label) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::vector<SchemeRunResult>> results(jobs.size());
+
+    const unsigned pool =
+        static_cast<unsigned>(std::min<std::size_t>(_workers, jobs.size()));
+
+    if (pool <= 1) {
+        // Inline serial path: reference order, no thread overhead.
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            results[i] = executeJob(jobs[i], rc);
+    } else {
+        std::atomic<std::size_t> cursor{0};
+        std::mutex error_mutex;
+        std::exception_ptr first_error;
+
+        const auto worker = [&]() {
+            for (;;) {
+                const std::size_t i =
+                    cursor.fetch_add(1, std::memory_order_relaxed);
+                if (i >= jobs.size())
+                    return;
+                try {
+                    results[i] = executeJob(jobs[i], rc);
+                } catch (...) {
+                    const std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
+            }
+        };
+
+        std::vector<std::thread> threads;
+        threads.reserve(pool);
+        for (unsigned t = 0; t < pool; ++t)
+            threads.emplace_back(worker);
+        for (std::thread &t : threads)
+            t.join();
+
+        if (first_error)
+            std::rethrow_exception(first_error);
+    }
+
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    emitBenchJson(label, results, rc, pool ? pool : 1, wall);
+    return results;
+}
+
+std::vector<SweepJob>
+specSweepJobs(const mem::CacheConfig &cache,
+              const std::vector<WriteScheme> &schemes)
+{
+    std::vector<SweepJob> jobs;
+    const auto &profiles = trace::specProfiles();
+    jobs.reserve(profiles.size());
+    for (const trace::StreamParams &p : profiles) {
+        SweepJob job;
+        job.makeGenerator = [p]() -> std::unique_ptr<trace::AccessGenerator> {
+            return std::make_unique<trace::MarkovStream>(p);
+        };
+        job.configs.reserve(schemes.size());
+        for (WriteScheme s : schemes) {
+            ControllerConfig c;
+            c.cache = cache;
+            c.scheme = s;
+            job.configs.push_back(c);
+        }
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+} // namespace c8t::core

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The parallel sweep engine.
+ *
+ * Every figure/table binary replays many independent (workload,
+ * cache-config, scheme-set) runs; historically they ran serially
+ * through one loop. ParallelSweeper fans those runs across a pool of
+ * worker threads. Each job is fully self-contained — it constructs its
+ * own AccessGenerator (seeded deterministically from the workload
+ * parameters), its own FunctionalMemory instances and its own
+ * MultiSchemeRunner — so no simulation state is shared between threads
+ * and the results are byte-identical to the serial order for any
+ * worker count (including 1, which runs inline without spawning
+ * threads).
+ *
+ * Worker count resolution: an explicit constructor argument wins, then
+ * the C8T_JOBS environment variable, then hardware_concurrency().
+ *
+ * When the C8T_BENCH_JSON environment variable names a file, every
+ * run() appends one JSON record (JSON-lines) with wall-clock time and
+ * simulated accesses/second, so sweep performance can be tracked
+ * across commits (tools/bench_report.sh collects these into
+ * BENCH_<date>.json).
+ */
+
+#ifndef C8T_CORE_SWEEP_HH
+#define C8T_CORE_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hh"
+#include "mem/cache.hh"
+#include "trace/access.hh"
+
+namespace c8t::core
+{
+
+/**
+ * One independent unit of sweep work: a workload factory plus the
+ * controller configurations to run it through.
+ *
+ * The factory (not a live generator) is what makes the job safely
+ * parallel AND deterministic: each execution builds a fresh generator,
+ * so repeated runs and different thread counts see the identical
+ * stream.
+ */
+struct SweepJob
+{
+    /** Build the job's workload. Called once, on the worker thread. */
+    std::function<std::unique_ptr<trace::AccessGenerator>()> makeGenerator;
+
+    /** Controller configurations (one result per config). */
+    std::vector<ControllerConfig> configs;
+
+    /**
+     * Optional post-run hook, invoked on the worker thread after the
+     * runner has completed (and drained). Use it to inspect controller
+     * or memory state that the SchemeRunResult snapshot does not carry
+     * (e.g. the memory-equivalence property tests). It must only touch
+     * job-local state or appropriately synchronised captures.
+     */
+    std::function<void(MultiSchemeRunner &)> inspect;
+};
+
+/**
+ * Thread-pool executor for independent sweep jobs.
+ */
+class ParallelSweeper
+{
+  public:
+    /**
+     * @param workers Worker threads; 0 = resolve from C8T_JOBS or
+     *                hardware_concurrency().
+     */
+    explicit ParallelSweeper(unsigned workers = 0);
+
+    /** Worker threads this sweeper will use. */
+    unsigned workers() const { return _workers; }
+
+    /** Resolved default worker count (C8T_JOBS env var if set and
+     *  valid, else hardware_concurrency(), at least 1). */
+    static unsigned defaultWorkers();
+
+    /**
+     * Run every job and collect the per-job result vectors in
+     * submission order.
+     *
+     * Jobs are claimed from an atomic cursor by the workers; because
+     * every job owns all of its state, the schedule cannot influence
+     * the numbers — results are bit-identical for any worker count.
+     * The first exception thrown by a job is rethrown here after all
+     * workers have stopped.
+     *
+     * @param jobs  The work list.
+     * @param rc    Warm-up/measure window (shared by all jobs).
+     * @param label Tag for the C8T_BENCH_JSON perf record.
+     */
+    std::vector<std::vector<SchemeRunResult>>
+    run(const std::vector<SweepJob> &jobs, const RunConfig &rc,
+        const std::string &label = "sweep") const;
+
+  private:
+    unsigned _workers;
+};
+
+/**
+ * One SweepJob per calibrated SPEC profile: the workload is the
+ * profile's MarkovStream, run through one controller per scheme on
+ * @p cache. This is the shape every figure/table sweep uses.
+ */
+std::vector<SweepJob>
+specSweepJobs(const mem::CacheConfig &cache,
+              const std::vector<WriteScheme> &schemes);
+
+} // namespace c8t::core
+
+#endif // C8T_CORE_SWEEP_HH

@@ -54,17 +54,17 @@ TagBuffer::probe(std::uint32_t set, mem::Addr tag)
 
 void
 TagBuffer::load(std::uint32_t e, std::uint32_t set,
-                const std::vector<mem::Addr> &tags,
-                std::uint64_t valid_mask)
+                const mem::Addr *tags, std::uint64_t valid_mask)
 {
     assert(e < _entries);
-    assert(tags.size() == _ways);
     Entry &entry = _store[e];
     entry.set = set;
     entry.valid = true;
     entry.dirty = false;
     entry.validMask = valid_mask;
-    entry.tags = tags;
+    // Entry tag storage is pre-sized to the associativity at
+    // construction; copying in place keeps load() allocation-free.
+    entry.tags.assign(tags, tags + _ways);
     entry.lruStamp = ++_clock;
 }
 

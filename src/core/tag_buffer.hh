@@ -13,6 +13,7 @@
 #ifndef C8T_CORE_TAG_BUFFER_HH
 #define C8T_CORE_TAG_BUFFER_HH
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -66,12 +67,22 @@ class TagBuffer
      *
      * @param e          Entry index.
      * @param set        Cache set index.
-     * @param tags       Tag of each way (from TagArray::tagsOfSet()).
+     * @param tags       Tag of each way (at least @c ways entries, e.g.
+     *                   from TagArray::copyTagsOfSet()).
      * @param valid_mask Which ways hold valid blocks.
      */
+    void load(std::uint32_t e, std::uint32_t set, const mem::Addr *tags,
+              std::uint64_t valid_mask);
+
+    /** Convenience overload taking a tag vector (must hold @c ways
+     *  entries). */
     void load(std::uint32_t e, std::uint32_t set,
               const std::vector<mem::Addr> &tags,
-              std::uint64_t valid_mask);
+              std::uint64_t valid_mask)
+    {
+        assert(tags.size() == _ways);
+        load(e, set, tags.data(), valid_mask);
+    }
 
     /** Drop entry @p e. */
     void invalidate(std::uint32_t e);

@@ -159,12 +159,17 @@ std::vector<Addr>
 TagArray::tagsOfSet(std::uint32_t set) const
 {
     std::vector<Addr> tags(_config.ways, 0);
+    copyTagsOfSet(set, tags.data());
+    return tags;
+}
+
+void
+TagArray::copyTagsOfSet(std::uint32_t set, Addr *out) const
+{
     for (std::uint32_t w = 0; w < _config.ways; ++w) {
         const Line &line = lineAt(set, w);
-        if (line.valid)
-            tags[w] = line.tag;
+        out[w] = line.valid ? line.tag : 0;
     }
-    return tags;
 }
 
 std::uint64_t

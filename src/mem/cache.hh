@@ -146,6 +146,10 @@ class TagArray
      *  the Tag-Buffer, which mirrors a whole set. */
     std::vector<Addr> tagsOfSet(std::uint32_t set) const;
 
+    /** Allocation-free variant: write the @c ways tags of @p set into
+     *  @p out (caller-provided, at least @c ways entries). */
+    void copyTagsOfSet(std::uint32_t set, Addr *out) const;
+
     /** Valid-way bitmask of @p set. */
     std::uint64_t validMask(std::uint32_t set) const;
 

@@ -14,8 +14,7 @@ namespace c8t::mem
 std::uint64_t
 FunctionalMemory::readWord(Addr addr) const
 {
-    auto it = _words.find(addr & ~7ull);
-    return it == _words.end() ? 0 : it->second;
+    return _words.get(addr & ~7ull);
 }
 
 void
@@ -26,7 +25,7 @@ FunctionalMemory::writeWord(Addr addr, std::uint64_t value)
         // Keep the map sparse: zero is the default.
         _words.erase(word);
     } else {
-        _words[word] = value;
+        _words.set(word, value);
     }
 }
 

@@ -4,17 +4,20 @@
  *
  * Holds the architectural state below the cache. Storage is a sparse
  * map of 64-bit words; untouched memory reads as zero. Byte-granular
- * accessors let the cache move arbitrary block sizes.
+ * accessors let the cache move arbitrary block sizes. The map is a
+ * flat open-addressing table (mem/word_map.hh), so servicing a miss
+ * never allocates once the table has grown to the working set — the
+ * controller hot path stays heap-quiet.
  */
 
 #ifndef C8T_MEM_FUNCTIONAL_MEM_HH
 #define C8T_MEM_FUNCTIONAL_MEM_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/addr.hh"
+#include "mem/word_map.hh"
 
 namespace c8t::mem
 {
@@ -40,14 +43,18 @@ class FunctionalMemory
     /** Write @p len bytes starting at @p addr. */
     void writeBytes(Addr addr, const std::uint8_t *data, std::size_t len);
 
-    /** Number of distinct words ever written. */
+    /** Number of distinct words currently holding non-zero data. */
     std::size_t touchedWords() const { return _words.size(); }
 
     /** Drop all contents (memory reads as zero again). */
     void clear() { _words.clear(); }
 
+    /** Pre-size the word table so @p words fit without rehashing
+     *  (makes subsequent writes strictly allocation-free). */
+    void reserve(std::size_t words) { _words.reserve(words); }
+
   private:
-    std::unordered_map<Addr, std::uint64_t> _words;
+    WordMap _words;
 };
 
 } // namespace c8t::mem

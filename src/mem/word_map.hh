@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Open-addressing hash map from word-aligned addresses to 64-bit
+ * values, built for the simulation hot paths.
+ *
+ * std::unordered_map allocates one node per insertion, which put a heap
+ * allocation on every first-touch store of the functional memory and of
+ * the Markov stream's shadow state. WordMap stores its slots in one
+ * flat array (linear probing, power-of-two capacity), so the only
+ * allocations are the geometric capacity doublings — amortized zero per
+ * insertion, and exactly zero after reserve().
+ *
+ * Erasure uses backward-shift deletion (no tombstones), so lookup cost
+ * stays bounded under the functional memory's write-zero-erases-word
+ * sparsity rule.
+ */
+
+#ifndef C8T_MEM_WORD_MAP_HH
+#define C8T_MEM_WORD_MAP_HH
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace c8t::mem
+{
+
+/**
+ * Flat hash map: word-aligned 64-bit key -> 64-bit value.
+ *
+ * Keys must have their low three bits clear (word alignment); the
+ * all-ones pattern is reserved as the empty-slot sentinel.
+ */
+class WordMap
+{
+  public:
+    /** Initial capacity is allocated lazily on the first insertion. */
+    WordMap() = default;
+
+    /** Value stored under @p key, or 0 when absent. */
+    std::uint64_t get(std::uint64_t key) const
+    {
+        assert((key & 7ull) == 0 && "WordMap keys are word aligned");
+        if (_slots.empty())
+            return 0;
+        for (std::size_t i = indexOf(key);; i = (i + 1) & _mask) {
+            if (_slots[i].key == key)
+                return _slots[i].value;
+            if (_slots[i].key == kEmpty)
+                return 0;
+        }
+    }
+
+    /** True when @p key holds an entry (even a zero value). */
+    bool contains(std::uint64_t key) const
+    {
+        assert((key & 7ull) == 0);
+        if (_slots.empty())
+            return false;
+        for (std::size_t i = indexOf(key);; i = (i + 1) & _mask) {
+            if (_slots[i].key == key)
+                return true;
+            if (_slots[i].key == kEmpty)
+                return false;
+        }
+    }
+
+    /** Insert or overwrite @p key -> @p value. */
+    void set(std::uint64_t key, std::uint64_t value)
+    {
+        assert((key & 7ull) == 0);
+        if (_slots.empty() || (_size + 1) * 4 > capacity() * 3)
+            grow();
+        for (std::size_t i = indexOf(key);; i = (i + 1) & _mask) {
+            if (_slots[i].key == key) {
+                _slots[i].value = value;
+                return;
+            }
+            if (_slots[i].key == kEmpty) {
+                _slots[i] = {key, value};
+                ++_size;
+                return;
+            }
+        }
+    }
+
+    /** Remove @p key's entry; no-op when absent. */
+    void erase(std::uint64_t key)
+    {
+        assert((key & 7ull) == 0);
+        if (_slots.empty())
+            return;
+        std::size_t i = indexOf(key);
+        for (;; i = (i + 1) & _mask) {
+            if (_slots[i].key == kEmpty)
+                return;
+            if (_slots[i].key == key)
+                break;
+        }
+        --_size;
+        // Backward-shift deletion: close the probe chain so later keys
+        // that probed past the vacated slot remain reachable.
+        std::size_t hole = i;
+        for (std::size_t j = (hole + 1) & _mask; _slots[j].key != kEmpty;
+             j = (j + 1) & _mask) {
+            const std::size_t home = indexOf(_slots[j].key);
+            // Keep the entry when its home lies cyclically in (hole, j].
+            const bool in_place = hole <= j ? (home > hole && home <= j)
+                                            : (home > hole || home <= j);
+            if (in_place)
+                continue;
+            _slots[hole] = _slots[j];
+            hole = j;
+        }
+        _slots[hole].key = kEmpty;
+    }
+
+    /** Entries stored. */
+    std::size_t size() const { return _size; }
+
+    /** Drop every entry; capacity is kept (no deallocation). */
+    void clear()
+    {
+        for (Slot &s : _slots)
+            s.key = kEmpty;
+        _size = 0;
+    }
+
+    /**
+     * Grow the table so @p entries fit without further allocation.
+     * Existing contents are preserved.
+     */
+    void reserve(std::size_t entries)
+    {
+        std::size_t cap = kMinCapacity;
+        while (entries * 4 > cap * 3)
+            cap *= 2;
+        if (cap > capacity())
+            rehash(cap);
+    }
+
+    /** Visit every (key, value) pair in unspecified order. */
+    template <typename Fn>
+    void forEach(Fn &&fn) const
+    {
+        for (const Slot &s : _slots) {
+            if (s.key != kEmpty)
+                fn(s.key, s.value);
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t key = kEmpty;
+        std::uint64_t value = 0;
+    };
+
+    static constexpr std::uint64_t kEmpty = ~0ull;
+    static constexpr std::size_t kMinCapacity = 64;
+
+    std::size_t capacity() const { return _slots.size(); }
+
+    /** Home slot of @p key (splitmix64 finaliser as the hash). */
+    std::size_t indexOf(std::uint64_t key) const
+    {
+        std::uint64_t h = key;
+        h ^= h >> 30;
+        h *= 0xbf58476d1ce4e5b9ull;
+        h ^= h >> 27;
+        h *= 0x94d049bb133111ebull;
+        h ^= h >> 31;
+        return static_cast<std::size_t>(h) & _mask;
+    }
+
+    void grow()
+    {
+        rehash(_slots.empty() ? kMinCapacity : capacity() * 2);
+    }
+
+    void rehash(std::size_t new_capacity)
+    {
+        std::vector<Slot> old;
+        old.swap(_slots);
+        _slots.assign(new_capacity, Slot{});
+        _mask = new_capacity - 1;
+        _size = 0;
+        for (const Slot &s : old) {
+            if (s.key != kEmpty)
+                set(s.key, s.value);
+        }
+    }
+
+    std::vector<Slot> _slots;
+    std::size_t _mask = 0;
+    std::size_t _size = 0;
+};
+
+} // namespace c8t::mem
+
+#endif // C8T_MEM_WORD_MAP_HH

@@ -59,31 +59,30 @@ SRAMArray::writeRow(std::uint32_t row, const RowData &data)
 
 void
 SRAMArray::mergeBytes(std::uint32_t row, std::uint32_t offset,
-                      const std::vector<std::uint8_t> &bytes)
+                      const std::uint8_t *bytes, std::size_t len)
 {
     assert(row < _geom.rows);
-    assert(offset + bytes.size() <= _geom.bytesPerRow);
+    assert(offset + len <= _geom.bytesPerRow);
     ++_rowWrites;
-    std::copy(bytes.begin(), bytes.end(), _rows[row].begin() + offset);
+    std::copy(bytes, bytes + len, _rows[row].begin() + offset);
 }
 
 void
 SRAMArray::writePartialUnsafe(std::uint32_t row, std::uint32_t offset,
-                              const std::vector<std::uint8_t> &bytes)
+                              const std::uint8_t *bytes, std::size_t len)
 {
     assert(row < _geom.rows);
-    assert(offset + bytes.size() <= _geom.bytesPerRow);
+    assert(offset + len <= _geom.bytesPerRow);
     ++_rowWrites;
     ++_opCounter;
 
     RowData &r = _rows[row];
 
-    const bool word_aligned =
-        offset % 8 == 0 && bytes.size() % 8 == 0;
+    const bool word_aligned = offset % 8 == 0 && len % 8 == 0;
     if (_geom.wordGranularWwl && word_aligned) {
         // Segmented WWL: only the addressed words' word-line segments
         // rise, so the unselected columns are never biased.
-        std::copy(bytes.begin(), bytes.end(), r.begin() + offset);
+        std::copy(bytes, bytes + len, r.begin() + offset);
         return;
     }
 
@@ -94,7 +93,7 @@ SRAMArray::writePartialUnsafe(std::uint32_t row, std::uint32_t offset,
     std::uint64_t noise_state =
         (static_cast<std::uint64_t>(row) << 32) ^ _opCounter;
     for (std::uint32_t i = 0; i < _geom.bytesPerRow; ++i) {
-        if (i >= offset && i < offset + bytes.size()) {
+        if (i >= offset && i < offset + len) {
             r[i] = bytes[i - offset];
         } else {
             const auto garbage = static_cast<std::uint8_t>(

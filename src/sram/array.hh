@@ -117,10 +117,18 @@ class SRAMArray
      *
      * @param row    Row index.
      * @param offset Byte offset of the written range within the row.
-     * @param bytes  Bytes to write (offset + size <= bytesPerRow).
+     * @param bytes  Bytes to write (offset + len <= bytesPerRow).
+     * @param len    Number of bytes.
      */
     void mergeBytes(std::uint32_t row, std::uint32_t offset,
-                    const std::vector<std::uint8_t> &bytes);
+                    const std::uint8_t *bytes, std::size_t len);
+
+    /** Convenience overload taking a byte vector. */
+    void mergeBytes(std::uint32_t row, std::uint32_t offset,
+                    const std::vector<std::uint8_t> &bytes)
+    {
+        mergeBytes(row, offset, bytes.data(), bytes.size());
+    }
 
     /**
      * Partial write WITHOUT read-modify-write. The written byte range
@@ -136,10 +144,18 @@ class SRAMArray
      *
      * @param row    Row index.
      * @param offset Byte offset of the written range within the row.
-     * @param bytes  Bytes to write (offset + size <= bytesPerRow).
+     * @param bytes  Bytes to write (offset + len <= bytesPerRow).
+     * @param len    Number of bytes.
      */
     void writePartialUnsafe(std::uint32_t row, std::uint32_t offset,
-                            const std::vector<std::uint8_t> &bytes);
+                            const std::uint8_t *bytes, std::size_t len);
+
+    /** Convenience overload taking a byte vector. */
+    void writePartialUnsafe(std::uint32_t row, std::uint32_t offset,
+                            const std::vector<std::uint8_t> &bytes)
+    {
+        writePartialUnsafe(row, offset, bytes.data(), bytes.size());
+    }
 
     // --- backdoor (uncounted) access -----------------------------------
 

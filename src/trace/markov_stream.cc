@@ -185,8 +185,7 @@ MarkovStream::reset()
 std::uint64_t
 MarkovStream::shadowValue(std::uint64_t addr) const
 {
-    auto it = _shadow.find(addr & ~7ull);
-    return it == _shadow.end() ? 0 : it->second;
+    return _shadow.get(addr & ~7ull);
 }
 
 std::uint64_t
@@ -242,9 +241,7 @@ MarkovStream::freshValue(std::uint64_t addr)
     // accidentally silent.
     std::uint64_t state = ++_valueCounter;
     std::uint64_t v = splitmix64(state);
-    const std::uint64_t word = addr & ~7ull;
-    auto it = _shadow.find(word);
-    const std::uint64_t current = it == _shadow.end() ? 0 : it->second;
+    const std::uint64_t current = _shadow.get(addr & ~7ull);
     if (v == current)
         ++v;
     return v;
@@ -305,11 +302,10 @@ MarkovStream::next(MemAccess &out)
     if (cur == AccessType::Write) {
         const std::uint64_t word = addr & ~7ull;
         if (_rng.chance(_params.silentFraction)) {
-            auto it = _shadow.find(word);
-            out.data = it == _shadow.end() ? 0 : it->second;
+            out.data = _shadow.get(word);
         } else {
             out.data = freshValue(addr);
-            _shadow[word] = out.data;
+            _shadow.set(word, out.data);
         }
         _lastWriteAddr = addr;
         _haveLastWrite = true;

@@ -35,8 +35,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 
+#include "mem/word_map.hh"
 #include "trace/access.hh"
 #include "trace/patterns.hh"
 #include "trace/rng.hh"
@@ -195,8 +195,10 @@ class MarkovStream : public AccessGenerator
     std::uint64_t _lastWriteAddr = 0;
     bool _haveLastWrite = false;
 
-    /** Architectural word values; absent means zero. */
-    std::unordered_map<std::uint64_t, std::uint64_t> _shadow;
+    /** Architectural word values; absent means zero. Flat map so
+     *  next() never allocates per first-touch write (only amortized
+     *  capacity doublings). */
+    mem::WordMap _shadow;
     std::uint64_t _valueCounter = 0;
 
     std::uint64_t _base;

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Build a Release tree and collect a machine-readable performance
+# snapshot of the simulator:
+#
+#   * bench/micro_perf in google-benchmark JSON format (per-access
+#     controller/generator costs and the whole-sweep throughput rows),
+#   * one parallel Fig. 9 sweep, timed by the sweep engine itself via
+#     C8T_BENCH_JSON (JSON-lines: workers, simulated accesses,
+#     accesses/sec).
+#
+# Both are bundled into BENCH_<date>.json in the repository root so
+# successive commits can be compared.
+#
+# Usage: tools/bench_report.sh [build-dir]   (default: build-bench)
+
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-bench"}
+out="$repo_root/BENCH_$(date +%Y%m%d).json"
+
+micro_json=$(mktemp)
+sweep_jsonl=$(mktemp)
+trap 'rm -f "$micro_json" "$sweep_jsonl"' EXIT
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" --target micro_perf fig09_access_reduction -j "$(nproc)"
+
+"$build_dir/bench/micro_perf" \
+    --benchmark_format=json --benchmark_out="$micro_json" \
+    --benchmark_out_format=json
+
+# A short parallel sweep; the engine appends its own perf record.
+C8T_BENCH_JSON="$sweep_jsonl" C8T_BENCH_ACCESSES=100000 \
+    "$build_dir/bench/fig09_access_reduction" > /dev/null
+
+# Compose the report: {"date": ..., "sweeps": [<jsonl>], "micro": <json>}
+{
+    printf '{"date":"%s","jobs_default":%s,"sweeps":[' \
+        "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$(nproc)"
+    first=1
+    while IFS= read -r line; do
+        [ -n "$line" ] || continue
+        [ "$first" = 1 ] || printf ','
+        printf '%s' "$line"
+        first=0
+    done < "$sweep_jsonl"
+    printf '],"micro":'
+    cat "$micro_json"
+    printf '}\n'
+} > "$out"
+
+echo "wrote $out"

@@ -10,11 +10,13 @@
  */
 
 #include <iostream>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
 #include "app/options.hh"
 #include "core/simulator.hh"
+#include "core/sweep.hh"
 #include "stats/table.hh"
 #include "trace/trace_io.hh"
 
@@ -26,10 +28,9 @@ using namespace c8t;
 int
 run(const app::SimOptions &opt)
 {
-    auto workload = app::makeWorkload(opt.workload);
-
     // Optionally record the exact stream being simulated.
     if (!opt.recordTrace.empty()) {
+        auto workload = app::makeWorkload(opt.workload);
         trace::TraceWriter writer(opt.recordTrace);
         trace::MemAccess a;
         const std::uint64_t total =
@@ -39,7 +40,6 @@ run(const app::SimOptions &opt)
         writer.finish();
         std::cerr << "recorded " << writer.count() << " accesses to "
                   << opt.recordTrace << "\n";
-        workload->reset();
     }
 
     std::vector<core::ControllerConfig> cfgs;
@@ -57,9 +57,46 @@ run(const app::SimOptions &opt)
         cfgs.push_back(c);
     }
 
-    core::MultiSchemeRunner runner(cfgs);
-    const auto results =
-        runner.run(*workload, {opt.effectiveWarmup(), opt.accesses});
+    const core::RunConfig rc{opt.effectiveWarmup(), opt.accesses};
+
+    // Multi-scheme runs fan one job per scheme across the sweep
+    // engine's worker threads. Each job replays the workload from its
+    // own generator (deterministic: same spec, same stream), so the
+    // results are identical to the serial single-runner path. The
+    // --stats dumps are captured per job and printed in order below.
+    std::vector<core::SchemeRunResult> results;
+    std::vector<std::string> statsDumps(cfgs.size());
+    if (cfgs.size() > 1) {
+        std::vector<core::SweepJob> jobs(cfgs.size());
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            jobs[i].makeGenerator = [&opt] {
+                return app::makeWorkload(opt.workload);
+            };
+            jobs[i].configs = {cfgs[i]};
+            if (opt.dumpStats) {
+                jobs[i].inspect =
+                    [&statsDumps, i](core::MultiSchemeRunner &r) {
+                        std::ostringstream os;
+                        r.controller(0).dumpStats(os);
+                        statsDumps[i] = os.str();
+                    };
+            }
+        }
+        const core::ParallelSweeper sweeper(opt.jobs);
+        const auto per_scheme =
+            sweeper.run(jobs, rc, "c8tsim:" + opt.workload);
+        for (const auto &r : per_scheme)
+            results.push_back(r.at(0));
+    } else {
+        auto workload = app::makeWorkload(opt.workload);
+        core::MultiSchemeRunner runner(cfgs);
+        results = runner.run(*workload, rc);
+        if (opt.dumpStats) {
+            std::ostringstream os;
+            runner.controller(0).dumpStats(os);
+            statsDumps[0] = os.str();
+        }
+    }
 
     stats::Table t("c8tsim: " + opt.workload + " on " +
                    opt.cache.toString());
@@ -102,12 +139,10 @@ run(const app::SimOptions &opt)
     }
 
     if (opt.dumpStats) {
-        for (std::size_t i = 0; i < runner.controllers(); ++i) {
-            std::cout << "\n---- stats: "
-                      << toString(
-                             runner.controller(i).config().scheme)
-                      << " ----\n";
-            runner.controller(i).dumpStats(std::cout);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            std::cout << "\n---- stats: " << results[i].scheme
+                      << " ----\n"
+                      << statsDumps[i];
         }
     }
     return 0;
