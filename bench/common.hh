@@ -7,6 +7,12 @@
  * scaled through the C8T_BENCH_ACCESSES environment variable; the
  * defaults are large enough for all reported statistics to be stable to
  * well under one percentage point.
+ *
+ * Observability (DESIGN.md §6) works on every bench with no code
+ * changes: C8T_PROGRESS=1 heartbeats sweep progress to stderr and
+ * C8T_CHROME_TRACE=<file> records a Perfetto-loadable trace of the
+ * sweep schedule; C8T_BENCH_JSON (above the sweep engine) appends
+ * perf records for tools/bench_report.sh.
  */
 
 #ifndef C8T_BENCH_COMMON_HH

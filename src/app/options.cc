@@ -71,7 +71,22 @@ usageText()
           "\n"
           "output\n"
           "  --stats             dump the full statistics registry\n"
+          "  --stats-json FILE   write per-scheme stats as JSON "
+          "(schema-versioned, full histograms)\n"
           "  --csv               print the result table as CSV\n"
+          "\n"
+          "observability\n"
+          "  --chrome-trace FILE write a Perfetto-loadable Chrome trace "
+          "(sweep spans; C8T_CHROME_TRACE equivalent)\n"
+          "  --trace-events N    also record the last N per-access events "
+          "per scheme into the trace (0 = off)\n"
+          "  --interval-stats FILE\n"
+          "                      append counter-delta snapshots every "
+          "--interval accesses (JSON-lines)\n"
+          "  --interval N        snapshot period in accesses "
+          "(default 100000)\n"
+          "  --progress          heartbeat sweep progress to stderr "
+          "(C8T_PROGRESS equivalent)\n"
           "  --help\n"
           "\n"
           "kernels: ";
@@ -154,6 +169,20 @@ parseOptions(const std::vector<std::string> &args)
             opt.silentDetection = false;
         } else if (a == "--stats") {
             opt.dumpStats = true;
+        } else if (a == "--stats-json") {
+            opt.statsJsonFile = need_value(i++, a);
+        } else if (a == "--chrome-trace") {
+            opt.chromeTraceFile = need_value(i++, a);
+        } else if (a == "--trace-events") {
+            opt.traceEvents = parseU64(a, need_value(i++, a));
+        } else if (a == "--interval-stats") {
+            opt.intervalStatsFile = need_value(i++, a);
+        } else if (a == "--interval") {
+            opt.intervalAccesses = parseU64(a, need_value(i++, a));
+            if (opt.intervalAccesses == 0)
+                throw std::invalid_argument("--interval: must be > 0");
+        } else if (a == "--progress") {
+            opt.progress = true;
         } else if (a == "--csv") {
             opt.csv = true;
         } else {

@@ -63,6 +63,29 @@ struct SimOptions
     /** Dump the full statistics registry after the run (--stats). */
     bool dumpStats = false;
 
+    /** Write machine-readable per-scheme stats JSON here
+     *  (--stats-json FILE; empty = off). */
+    std::string statsJsonFile;
+
+    /** Write a Perfetto-loadable Chrome trace here (--chrome-trace
+     *  FILE; empty = C8T_CHROME_TRACE or off). */
+    std::string chromeTraceFile;
+
+    /** Per-controller event-ring capacity for per-access slices in
+     *  the Chrome trace (--trace-events N; 0 = spans only). */
+    std::uint64_t traceEvents = 0;
+
+    /** Append interval counter-delta snapshots (JSON-lines) here
+     *  (--interval-stats FILE; empty = off). */
+    std::string intervalStatsFile;
+
+    /** Interval snapshot period in accesses (--interval N). */
+    std::uint64_t intervalAccesses = 100'000;
+
+    /** Heartbeat sweep progress to stderr (--progress; C8T_PROGRESS
+     *  also enables it). */
+    bool progress = false;
+
     /** Emit the result table as CSV (--csv). */
     bool csv = false;
 

@@ -99,6 +99,7 @@ CacheController::demandRead(std::uint32_t row, sram::RowData &out)
     _array.readRowInto(row, out);
     ++_demandRowReads;
     _dynamicEnergy += _energy.rowReadEnergy();
+    note(obs::EventType::ArrayRead, 0, row);
 }
 
 void
@@ -109,6 +110,7 @@ CacheController::demandWrite(std::uint32_t row, const sram::RowData &data,
     ++_demandRowWrites;
     _dynamicEnergy += _energy.rowWriteEnergy();
     scheduleOp(use, _cycle, _config.latency.rowWriteCycles);
+    note(obs::EventType::ArrayWrite, 0, row);
 }
 
 void
@@ -120,6 +122,7 @@ CacheController::demandMerge(std::uint32_t row, std::uint32_t offset,
     _dynamicEnergy += _energy.partialWriteEnergy(len);
     scheduleOp(sram::PortUse::WritePort, _cycle,
                _config.latency.rowWriteCycles);
+    note(obs::EventType::ArrayWrite, 0, row);
 }
 
 std::uint32_t
@@ -143,6 +146,7 @@ CacheController::writebackEntry(std::uint32_t e, stats::Counter &cause)
     _array.writeRow(set, _setBuffer->row(e));
     ++_demandRowWrites;
     ++cause;
+    note(obs::EventType::ArrayWrite, 0, set);
     _dynamicEnergy += _energy.rowWriteEnergy() +
                       _energy.setBufferReadEnergy(_setBuffer->rowBytes());
     // The row image is already latched, so the write-back needs the
@@ -220,6 +224,8 @@ CacheController::handleMiss(mem::Addr block_addr)
     ++_fillRowReads;
     _dynamicEnergy += _energy.rowReadEnergy();
 
+    if (fill.evictedValid)
+        note(obs::EventType::Eviction, fill.evictedBlockAddr, set);
     if (fill.evictedValid && fill.evictedDirty) {
         // Architectural state always lands in the functional memory;
         // the L2 additionally remembers the victim (timing only).
@@ -327,6 +333,7 @@ CacheController::accessRmw(const trace::MemAccess &a)
         // row back. Under plain RMW both ports are held for the whole
         // sequence (§2); LocalRMW confines the read phase to the
         // sub-array and holds only the write port.
+        note(obs::EventType::RmwTrigger, a.addr, set);
         const SchemeTraits traits = schemeTraits(_config.scheme);
         const std::uint32_t duration = _config.latency.rowReadCycles +
                                        _config.latency.rowWriteCycles;
@@ -337,6 +344,7 @@ CacheController::accessRmw(const trace::MemAccess &a)
         _array.writeRow(set, _scratch);
         ++_demandRowWrites;
         _dynamicEnergy += _energy.rowWriteEnergy();
+        note(obs::EventType::ArrayWrite, a.addr, set);
 
         _tags.markDirty(block_addr);
         out.latencyCycles = extra + duration;
@@ -382,6 +390,7 @@ CacheController::accessGrouped(const trace::MemAccess &a)
                 out.data = v;
                 out.bypassed = true;
                 ++_bypassedReads;
+                note(obs::EventType::ReadBypass, a.addr, set);
                 _dynamicEnergy +=
                     _energy.setBufferReadEnergy(a.size);
                 out.latencyCycles = _config.latency.setBufferCycles;
@@ -393,6 +402,7 @@ CacheController::accessGrouped(const trace::MemAccess &a)
             // read from the array as usual.
             std::uint64_t earliest = _cycle;
             if (_tagBuffer->dirty(e)) {
+                note(obs::EventType::PrematureWriteback, a.addr, set);
                 writebackEntry(e, _prematureWritebacks);
                 earliest += _config.latency.rowWriteCycles;
             }
@@ -433,9 +443,12 @@ CacheController::accessGrouped(const trace::MemAccess &a)
             _setBuffer->updateBytes(e, offset, bytes, a.size);
         if (changed || !_config.silentDetection)
             _tagBuffer->setDirty(e, true);
-        if (!changed && _config.silentDetection)
+        if (!changed && _config.silentDetection) {
             ++_silentWritesDetected;
+            note(obs::EventType::SilentWriteDrop, a.addr, set);
+        }
         ++_groupedWrites;
+        note(obs::EventType::SetBufferMerge, a.addr, set);
         ++_entryGroupSize[e];
         ++_entryWritesSinceWb[e];
         _tags.markDirty(block_addr);
@@ -468,8 +481,10 @@ CacheController::accessGrouped(const trace::MemAccess &a)
         _setBuffer->updateBytes(e, offset, bytes, a.size);
     if (changed || !_config.silentDetection)
         _tagBuffer->setDirty(e, true);
-    if (!changed && _config.silentDetection)
+    if (!changed && _config.silentDetection) {
         ++_silentWritesDetected;
+        note(obs::EventType::SilentWriteDrop, a.addr, set);
+    }
     _entryGroupSize[e] = 1;
     _entryWritesSinceWb[e] = 1;
     _tags.markDirty(block_addr);
@@ -585,6 +600,8 @@ CacheController::resetStats()
     _cycle = 0;
     _requestCycle = 0;
     _dynamicEnergy = 0.0;
+    if (_events)
+        _events->clear();
 
     _requests.reset();
     _readRequests.reset();

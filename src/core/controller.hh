@@ -31,6 +31,7 @@
 #include "core/write_scheme.hh"
 #include "mem/cache.hh"
 #include "mem/functional_mem.hh"
+#include "obs/event_ring.hh"
 #include "sram/array.hh"
 #include "sram/energy.hh"
 #include "sram/ports.hh"
@@ -258,8 +259,25 @@ class CacheController
     std::uint64_t cycle() const { return _cycle; }
 
     /** Reset all statistics and the cycle clock; contents, tags and
-     *  buffer state are untouched. */
+     *  buffer state are untouched. An attached event ring is cleared
+     *  too, so event totals always cover the same window as the
+     *  counters. */
     void resetStats();
+
+    // --- observability ----------------------------------------------------
+
+    /**
+     * Attach (or detach, with nullptr) an event ring. The controller
+     * records one obs::Event per microarchitectural decision (see
+     * obs::EventType); recording is allocation-free and changes no
+     * simulation statistic. The ring must outlive the controller or
+     * be detached first. Default: no ring — every hook is a single
+     * predictable branch.
+     */
+    void attachEventRing(obs::EventRing *ring) { _events = ring; }
+
+    /** The attached event ring; nullptr when tracing is off. */
+    const obs::EventRing *eventRing() const { return _events; }
 
     /**
      * Register every statistic of the controller and its components
@@ -307,6 +325,13 @@ class CacheController
     std::uint64_t scheduleOp(sram::PortUse use, std::uint64_t earliest,
                              std::uint32_t duration);
 
+    /** Record @p type on the attached event ring (no-op when none). */
+    void note(obs::EventType type, std::uint64_t addr, std::uint32_t set)
+    {
+        if (_events)
+            _events->record(type, _requests.value(), _cycle, addr, set);
+    }
+
     // Counted/energy-accounted array operations.
     void demandRead(std::uint32_t row, sram::RowData &out);
     void demandWrite(std::uint32_t row, const sram::RowData &data,
@@ -326,6 +351,9 @@ class CacheController
 
     std::uint64_t _cycle = 0;
     std::uint64_t _requestCycle = 0;
+
+    /** Attached event ring; nullptr when tracing is off. */
+    obs::EventRing *_events = nullptr;
 
     /** Service latency of the most recent miss (L2 hit vs memory). */
     std::uint32_t _lastMissPenalty = 0;

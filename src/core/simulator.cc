@@ -51,6 +51,10 @@ MultiSchemeRunner::run(trace::AccessGenerator &gen, const RunConfig &run)
             break;
         for (auto &ctrl : _controllers)
             ctrl->access(a);
+        if (_intervalAccesses && (i + 1) % _intervalAccesses == 0 &&
+            _intervalHook) {
+            _intervalHook(i + 1);
+        }
     }
     for (auto &ctrl : _controllers)
         ctrl->drain();

@@ -9,6 +9,7 @@
 #define C8T_CORE_SIMULATOR_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -125,10 +126,29 @@ class MultiSchemeRunner
     /** Number of controllers. */
     std::size_t controllers() const { return _controllers.size(); }
 
+    /**
+     * Install an interval hook: during run()'s measurement window the
+     * hook fires after every @p interval_accesses accesses (with the
+     * 1-based access count), so callers can sample counter deltas
+     * into a time series (obs::IntervalSnapshotter). Interval 0 or a
+     * null hook disables sampling (the default — the measure loop
+     * then pays one predictable branch per access). The hook runs on
+     * the thread executing run() and must not touch the generator or
+     * the controllers' request path.
+     */
+    void setIntervalHook(std::uint64_t interval_accesses,
+                         std::function<void(std::uint64_t)> hook)
+    {
+        _intervalAccesses = interval_accesses;
+        _intervalHook = std::move(hook);
+    }
+
   private:
     std::vector<ControllerConfig> _configs;
     std::vector<std::unique_ptr<mem::FunctionalMemory>> _memories;
     std::vector<std::unique_ptr<CacheController>> _controllers;
+    std::uint64_t _intervalAccesses = 0;
+    std::function<void(std::uint64_t)> _intervalHook;
 };
 
 /** Snapshot of StreamAnalyzer results (Figures 3-5 quantities). */

@@ -8,13 +8,18 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <fstream>
+#include <iostream>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
+#include "obs/chrome_trace.hh"
+#include "stats/json.hh"
 #include "trace/markov_stream.hh"
 #include "trace/spec_profiles.hh"
 
@@ -23,6 +28,15 @@ namespace c8t::core
 
 namespace
 {
+
+using Clock = std::chrono::steady_clock;
+
+/** Microseconds from @p t0 to @p t. */
+double
+usSince(Clock::time_point t0, Clock::time_point t)
+{
+    return std::chrono::duration<double, std::micro>(t - t0).count();
+}
 
 /** Execute one job start to finish (worker-thread body). */
 std::vector<SchemeRunResult>
@@ -35,11 +49,84 @@ executeJob(const SweepJob &job, const RunConfig &rc)
 
     const std::unique_ptr<trace::AccessGenerator> gen = job.makeGenerator();
     MultiSchemeRunner runner(job.configs);
+    if (job.prepare)
+        job.prepare(runner);
     std::vector<SchemeRunResult> results = runner.run(*gen, rc);
     if (job.inspect)
         job.inspect(runner);
     return results;
 }
+
+/** One job's wall-clock span, for the Chrome trace. */
+struct JobSpan
+{
+    double startUs = 0.0;
+    double endUs = 0.0;
+    unsigned worker = 0;
+    std::size_t configRuns = 0;
+};
+
+/**
+ * Shared heartbeat state. Workers call noteJobDone() after every job;
+ * a throttled progress line (and always the final one) goes to
+ * stderr.
+ */
+class Heartbeat
+{
+  public:
+    Heartbeat(bool enabled, const std::string &label, std::size_t jobs,
+              std::uint64_t accesses_per_job, Clock::time_point t0)
+        : _enabled(enabled), _label(label), _jobs(jobs),
+          _accessesPerJob(accesses_per_job), _t0(t0)
+    {
+    }
+
+    void noteJobDone()
+    {
+        const std::size_t done =
+            _done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (!_enabled)
+            return;
+
+        const auto now = Clock::now();
+        {
+            const std::lock_guard<std::mutex> lock(_mutex);
+            // Throttle to ~2 lines/s, but always print the last job.
+            if (done != _jobs && now - _lastPrint < _minGap)
+                return;
+            _lastPrint = now;
+        }
+
+        const double elapsed =
+            std::chrono::duration<double>(now - _t0).count();
+        const double simulated = static_cast<double>(done) *
+                                 static_cast<double>(_accessesPerJob);
+        const double rate = elapsed > 0.0 ? simulated / elapsed : 0.0;
+        const double eta =
+            done ? elapsed * static_cast<double>(_jobs - done) /
+                       static_cast<double>(done)
+                 : 0.0;
+
+        char line[192];
+        std::snprintf(line, sizeof(line),
+                      "[sweep %s] %zu/%zu jobs  %.2fs elapsed  "
+                      "%.2fM acc/s  ETA %.0fs\n",
+                      _label.c_str(), done, _jobs, elapsed, rate / 1e6,
+                      eta);
+        std::cerr << line;
+    }
+
+  private:
+    const bool _enabled;
+    const std::string &_label;
+    const std::size_t _jobs;
+    const std::uint64_t _accessesPerJob;
+    const Clock::time_point _t0;
+    std::atomic<std::size_t> _done{0};
+    std::mutex _mutex;
+    Clock::time_point _lastPrint{};
+    static constexpr std::chrono::milliseconds _minGap{500};
+};
 
 /** Append one JSON-lines perf record when C8T_BENCH_JSON is set. */
 void
@@ -59,9 +146,18 @@ emitBenchJson(const std::string &label,
         static_cast<double>(rc.warmupAccesses + rc.measureAccesses);
 
     std::ofstream os(path, std::ios::app);
-    if (!os)
+    if (!os) {
+        // Mirror the bench C8T_BENCH_ACCESSES notice style: warn once
+        // instead of dropping every perf record silently.
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+            std::cerr << "sweep: cannot open C8T_BENCH_JSON=\"" << path
+                      << "\" for append; perf records disabled\n";
+        }
         return;
-    os << "{\"kind\":\"sweep\",\"label\":\"" << label << "\""
+    }
+    os << "{\"kind\":\"sweep\",\"label\":\"" << stats::jsonEscape(label)
+       << "\""
        << ",\"jobs\":" << results.size()
        << ",\"workers\":" << workers
        << ",\"config_runs\":" << config_runs
@@ -72,6 +168,35 @@ emitBenchJson(const std::string &label,
        << ",\"accesses_per_sec\":"
        << (wall_seconds > 0.0 ? simulated / wall_seconds : 0.0)
        << "}\n";
+}
+
+/**
+ * Emit one complete span per job onto the worker's track of the
+ * process-global Chrome trace (no-op when tracing is off).
+ */
+void
+emitTraceSpans(const std::string &label,
+               const std::vector<JobSpan> &spans, unsigned pool)
+{
+    obs::ChromeTraceWriter *trace = obs::globalTrace();
+    if (!trace)
+        return;
+
+    constexpr int pid = 1; // the sweep's process track
+    trace->processName(pid, "sweep");
+    for (unsigned w = 0; w < pool; ++w) {
+        trace->threadName(pid, static_cast<int>(w) + 1,
+                          "worker " + std::to_string(w));
+    }
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        const JobSpan &s = spans[i];
+        std::ostringstream args;
+        args << "{\"job\":" << i << ",\"config_runs\":" << s.configRuns
+             << '}';
+        trace->completeEvent(label + "/job" + std::to_string(i), "sweep",
+                             pid, static_cast<int>(s.worker) + 1,
+                             s.startUs, s.endUs - s.startUs, args.str());
+    }
 }
 
 } // anonymous namespace
@@ -89,6 +214,13 @@ ParallelSweeper::defaultWorkers()
     return hw ? hw : 1;
 }
 
+bool
+ParallelSweeper::defaultProgress()
+{
+    const char *env = std::getenv("C8T_PROGRESS");
+    return env && *env && std::string(env) != "0";
+}
+
 ParallelSweeper::ParallelSweeper(unsigned workers)
     : _workers(workers ? workers : defaultWorkers())
 {
@@ -98,29 +230,48 @@ std::vector<std::vector<SchemeRunResult>>
 ParallelSweeper::run(const std::vector<SweepJob> &jobs, const RunConfig &rc,
                      const std::string &label) const
 {
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = Clock::now();
     std::vector<std::vector<SchemeRunResult>> results(jobs.size());
+    std::vector<JobSpan> spans(jobs.size());
+
+    std::uint64_t accesses_per_job = 0;
+    for (const SweepJob &job : jobs) {
+        accesses_per_job = std::max<std::uint64_t>(
+            accesses_per_job,
+            job.configs.size() * (rc.warmupAccesses + rc.measureAccesses));
+    }
+    Heartbeat heartbeat(_progress, label, jobs.size(), accesses_per_job,
+                        t0);
 
     const unsigned pool =
         static_cast<unsigned>(std::min<std::size_t>(_workers, jobs.size()));
 
+    const auto run_one = [&](std::size_t i, unsigned worker) {
+        spans[i].worker = worker;
+        spans[i].startUs = usSince(t0, Clock::now());
+        results[i] = executeJob(jobs[i], rc);
+        spans[i].endUs = usSince(t0, Clock::now());
+        spans[i].configRuns = results[i].size();
+        heartbeat.noteJobDone();
+    };
+
     if (pool <= 1) {
         // Inline serial path: reference order, no thread overhead.
         for (std::size_t i = 0; i < jobs.size(); ++i)
-            results[i] = executeJob(jobs[i], rc);
+            run_one(i, 0);
     } else {
         std::atomic<std::size_t> cursor{0};
         std::mutex error_mutex;
         std::exception_ptr first_error;
 
-        const auto worker = [&]() {
+        const auto worker = [&](unsigned w) {
             for (;;) {
                 const std::size_t i =
                     cursor.fetch_add(1, std::memory_order_relaxed);
                 if (i >= jobs.size())
                     return;
                 try {
-                    results[i] = executeJob(jobs[i], rc);
+                    run_one(i, w);
                 } catch (...) {
                     const std::lock_guard<std::mutex> lock(error_mutex);
                     if (!first_error)
@@ -132,7 +283,7 @@ ParallelSweeper::run(const std::vector<SweepJob> &jobs, const RunConfig &rc,
         std::vector<std::thread> threads;
         threads.reserve(pool);
         for (unsigned t = 0; t < pool; ++t)
-            threads.emplace_back(worker);
+            threads.emplace_back(worker, t);
         for (std::thread &t : threads)
             t.join();
 
@@ -141,9 +292,9 @@ ParallelSweeper::run(const std::vector<SweepJob> &jobs, const RunConfig &rc,
     }
 
     const double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+        std::chrono::duration<double>(Clock::now() - t0).count();
     emitBenchJson(label, results, rc, pool ? pool : 1, wall);
+    emitTraceSpans(label, spans, pool ? pool : 1);
     return results;
 }
 

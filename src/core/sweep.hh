@@ -21,6 +21,13 @@
  * simulated accesses/second, so sweep performance can be tracked
  * across commits (tools/bench_report.sh collects these into
  * BENCH_<date>.json).
+ *
+ * Observability (DESIGN.md §6): with C8T_PROGRESS set (or
+ * setProgress(true), c8tsim --progress) run() heartbeats a throttled
+ * progress line to stderr — jobs done/total, aggregate simulated
+ * accesses/s, ETA. With C8T_CHROME_TRACE naming a file (or c8tsim
+ * --chrome-trace) every job contributes one span to a Perfetto-
+ * loadable Chrome trace, on its worker's track.
  */
 
 #ifndef C8T_CORE_SWEEP_HH
@@ -57,6 +64,16 @@ struct SweepJob
     std::vector<ControllerConfig> configs;
 
     /**
+     * Optional pre-run hook, invoked on the worker thread after the
+     * runner is constructed but before any access is replayed. This
+     * is the attachment point for observability: event rings
+     * (CacheController::attachEventRing) and interval snapshotters
+     * (MultiSchemeRunner::setIntervalHook). Same synchronisation
+     * rules as inspect.
+     */
+    std::function<void(MultiSchemeRunner &)> prepare;
+
+    /**
      * Optional post-run hook, invoked on the worker thread after the
      * runner has completed (and drained). Use it to inspect controller
      * or memory state that the SchemeRunResult snapshot does not carry
@@ -86,6 +103,20 @@ class ParallelSweeper
     static unsigned defaultWorkers();
 
     /**
+     * Enable/disable the stderr heartbeat: a throttled progress line
+     * (jobs done/total, aggregate simulated accesses/s, ETA) printed
+     * as jobs complete, plus a final summary. Default: the
+     * C8T_PROGRESS environment variable (set and not "0" = on).
+     */
+    void setProgress(bool on) { _progress = on; }
+
+    /** Whether the heartbeat is enabled. */
+    bool progress() const { return _progress; }
+
+    /** Heartbeat default: C8T_PROGRESS set and not "0". */
+    static bool defaultProgress();
+
+    /**
      * Run every job and collect the per-job result vectors in
      * submission order.
      *
@@ -105,6 +136,7 @@ class ParallelSweeper
 
   private:
     unsigned _workers;
+    bool _progress = defaultProgress();
 };
 
 /**

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Chrome trace-event JSON exporter implementation.
+ */
+
+#include "obs/chrome_trace.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/json.hh"
+
+namespace c8t::obs
+{
+
+ChromeTraceWriter::ChromeTraceWriter(const std::string &path)
+    : _path(path), _os(path, std::ios::trunc)
+{
+    if (!_os) {
+        throw std::runtime_error("chrome trace: cannot open \"" + path +
+                                 "\" for writing");
+    }
+    _os << "{\"traceEvents\":[";
+}
+
+ChromeTraceWriter::~ChromeTraceWriter()
+{
+    close();
+}
+
+void
+ChromeTraceWriter::emit(const std::string &body)
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    if (_closed)
+        return;
+    if (!_first)
+        _os << ',';
+    _os << '\n' << body;
+    _first = false;
+}
+
+void
+ChromeTraceWriter::threadName(int pid, int tid, const std::string &name)
+{
+    std::ostringstream os;
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+       << stats::jsonEscape(name) << "\"}}";
+    emit(os.str());
+}
+
+void
+ChromeTraceWriter::processName(int pid, const std::string &name)
+{
+    std::ostringstream os;
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << stats::jsonEscape(name)
+       << "\"}}";
+    emit(os.str());
+}
+
+void
+ChromeTraceWriter::completeEvent(const std::string &name,
+                                 const std::string &cat, int pid, int tid,
+                                 double ts_us, double dur_us,
+                                 const std::string &args_json)
+{
+    std::ostringstream os;
+    os << "{\"ph\":\"X\",\"name\":\"" << stats::jsonEscape(name)
+       << "\",\"cat\":\"" << stats::jsonEscape(cat) << "\",\"pid\":" << pid
+       << ",\"tid\":" << tid << ",\"ts\":";
+    stats::jsonNumber(os, ts_us);
+    os << ",\"dur\":";
+    stats::jsonNumber(os, dur_us);
+    if (!args_json.empty())
+        os << ",\"args\":" << args_json;
+    os << '}';
+    emit(os.str());
+}
+
+void
+ChromeTraceWriter::instantEvent(const std::string &name,
+                                const std::string &cat, int pid, int tid,
+                                double ts_us, const std::string &args_json)
+{
+    std::ostringstream os;
+    os << "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" << stats::jsonEscape(name)
+       << "\",\"cat\":\"" << stats::jsonEscape(cat) << "\",\"pid\":" << pid
+       << ",\"tid\":" << tid << ",\"ts\":";
+    stats::jsonNumber(os, ts_us);
+    if (!args_json.empty())
+        os << ",\"args\":" << args_json;
+    os << '}';
+    emit(os.str());
+}
+
+void
+ChromeTraceWriter::close()
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    if (_closed)
+        return;
+    _os << "\n]}\n";
+    _os.flush();
+    _closed = true;
+}
+
+void
+appendEventRing(ChromeTraceWriter &w, const EventRing &ring,
+                const std::string &track, int pid, int tid)
+{
+    w.threadName(pid, tid, track);
+
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+        const Event &e = ring.at(i);
+        std::ostringstream args;
+        args << "{\"seq\":" << e.seq << ",\"access\":" << e.accessIndex
+             << ",\"addr\":" << e.addr << ",\"set\":" << e.set << '}';
+        w.instantEvent(toString(e.type), "access",
+                       pid, tid, static_cast<double>(e.cycle),
+                       args.str());
+    }
+
+    // Wrap-proof per-type totals: this record — not the (possibly
+    // truncated) instant list — is what reconciles against the
+    // Registry counter totals.
+    std::ostringstream args;
+    args << "{\"recorded\":" << ring.recorded()
+         << ",\"dropped\":" << ring.dropped();
+    for (std::size_t t = 0; t < kEventTypes; ++t) {
+        args << ",\"" << toString(static_cast<EventType>(t))
+             << "\":" << ring.typeCounts()[t];
+    }
+    args << '}';
+    const double ts =
+        ring.size() ? static_cast<double>(ring.at(ring.size() - 1).cycle)
+                    : 0.0;
+    w.instantEvent("event_totals", "summary", pid, tid, ts, args.str());
+}
+
+namespace
+{
+
+/** Single slot behind globalTrace()/setGlobalTracePath(). */
+std::unique_ptr<ChromeTraceWriter> &
+globalSlot()
+{
+    // Thread-safe first-use initialisation from the environment; the
+    // unique_ptr's destructor finalises the JSON at process exit.
+    static std::unique_ptr<ChromeTraceWriter> writer = [] {
+        std::unique_ptr<ChromeTraceWriter> w;
+        if (const char *env = std::getenv("C8T_CHROME_TRACE");
+            env && *env) {
+            try {
+                w = std::make_unique<ChromeTraceWriter>(env);
+            } catch (const std::exception &e) {
+                std::cerr << "obs: ignoring C8T_CHROME_TRACE: " << e.what()
+                          << "\n";
+            }
+        }
+        return w;
+    }();
+    return writer;
+}
+
+} // anonymous namespace
+
+ChromeTraceWriter *
+globalTrace()
+{
+    return globalSlot().get();
+}
+
+void
+setGlobalTracePath(const std::string &path)
+{
+    globalSlot() = std::make_unique<ChromeTraceWriter>(path);
+}
+
+} // namespace c8t::obs

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Event taxonomy names.
+ */
+
+#include "obs/event_ring.hh"
+
+namespace c8t::obs
+{
+
+const char *
+toString(EventType t)
+{
+    switch (t) {
+      case EventType::ArrayRead:
+        return "array_read";
+      case EventType::ArrayWrite:
+        return "array_write";
+      case EventType::RmwTrigger:
+        return "rmw_trigger";
+      case EventType::SetBufferMerge:
+        return "set_buffer_merge";
+      case EventType::SilentWriteDrop:
+        return "silent_write_drop";
+      case EventType::PrematureWriteback:
+        return "premature_writeback";
+      case EventType::ReadBypass:
+        return "read_bypass";
+      case EventType::Eviction:
+        return "eviction";
+    }
+    return "unknown";
+}
+
+} // namespace c8t::obs

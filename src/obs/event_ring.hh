@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Fixed-capacity, allocation-free per-controller event ring.
+ *
+ * The paper's claims live in per-access microarchitectural decisions
+ * (RMW reads, Set-Buffer merges, silent-write drops, premature
+ * write-backs, Read Bypassing hits); the counters in stats:: record
+ * *how often* they happen, this ring records *when* and *in which
+ * order*. A controller records one Event per decision; the ring keeps
+ * the most recent `capacity` of them plus cumulative per-type totals
+ * that survive wrap-around, so event counts always reconcile exactly
+ * with the Registry counter totals for the same run.
+ *
+ * Hot-path contract (enforced by tests/hot_path_alloc_test.cc): the
+ * ring's storage is sized once at construction and record() never
+ * touches the heap; a disabled ring (capacity 0, or simply not
+ * attached to the controller) reduces every hook to a single branch.
+ */
+
+#ifndef C8T_OBS_EVENT_RING_HH
+#define C8T_OBS_EVENT_RING_HH
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace c8t::obs
+{
+
+/** The controller's event taxonomy (DESIGN.md §6). */
+enum class EventType : std::uint8_t
+{
+    /** Demand data-array row read (group opens, RMW read phases,
+     *  reads served from the array). */
+    ArrayRead,
+
+    /** Demand data-array row write (RMW write-backs, group
+     *  write-backs, premature write-backs, direct/partial writes). */
+    ArrayWrite,
+
+    /** A write request entered an RMW sequence (read-merge-write). */
+    RmwTrigger,
+
+    /** A write merged into the Set-Buffer with zero array operations. */
+    SetBufferMerge,
+
+    /** A silent store was detected and the Dirty bit left clear. */
+    SilentWriteDrop,
+
+    /** A write-back forced by a read hitting the Tag-Buffer (WG). */
+    PrematureWriteback,
+
+    /** A read served from the Set-Buffer (WG+RB). */
+    ReadBypass,
+
+    /** A valid block was evicted by miss handling. */
+    Eviction,
+};
+
+/** Number of event types (size of the per-type total array). */
+constexpr std::size_t kEventTypes = 8;
+
+/** Short stable name of @p t ("array_read", "set_buffer_merge", ...). */
+const char *toString(EventType t);
+
+/** One recorded event. */
+struct Event
+{
+    /** Sequence number: position in the controller's event stream
+     *  (0-based, never resets except through clear()). */
+    std::uint64_t seq = 0;
+
+    /** Ordinal of the request being serviced when the event fired
+     *  (the controller's 1-based request count). */
+    std::uint64_t accessIndex = 0;
+
+    /** Controller cycle at which the event fired. */
+    std::uint64_t cycle = 0;
+
+    /** Address context: request address, row/set base or victim block
+     *  address depending on the type; 0 when not meaningful. */
+    std::uint64_t addr = 0;
+
+    /** Set (= physical row) the event concerns. */
+    std::uint32_t set = 0;
+
+    /** What happened. */
+    EventType type = EventType::ArrayRead;
+};
+
+/**
+ * The ring. Capacity 0 (the default constructor) means disabled:
+ * record() is a no-op and nothing is ever counted, so a
+ * default-constructed ring is safe to pass around unconditionally.
+ */
+class EventRing
+{
+  public:
+    /** A disabled ring (capacity 0). */
+    EventRing() = default;
+
+    /** A ring retaining the last @p capacity events. */
+    explicit EventRing(std::size_t capacity) : _slots(capacity) {}
+
+    /** True when the ring records events (capacity > 0). */
+    bool enabled() const { return !_slots.empty(); }
+
+    /** Maximum retained events. */
+    std::size_t capacity() const { return _slots.size(); }
+
+    /** Events currently retained (<= capacity()). */
+    std::size_t size() const
+    {
+        return _recorded < _slots.size()
+                   ? static_cast<std::size_t>(_recorded)
+                   : _slots.size();
+    }
+
+    /** Total events recorded since construction/clear() (including
+     *  those overwritten by wrap-around). */
+    std::uint64_t recorded() const { return _recorded; }
+
+    /** Events lost to wrap-around. */
+    std::uint64_t dropped() const { return _recorded - size(); }
+
+    /** Cumulative number of @p t events recorded (wrap-proof). */
+    std::uint64_t typeCount(EventType t) const
+    {
+        return _typeCounts[static_cast<std::size_t>(t)];
+    }
+
+    /** All cumulative per-type totals, indexed by EventType value. */
+    const std::array<std::uint64_t, kEventTypes> &typeCounts() const
+    {
+        return _typeCounts;
+    }
+
+    /**
+     * Record one event. Allocation-free; overwrites the oldest
+     * retained event once full. No-op when disabled.
+     */
+    void record(EventType type, std::uint64_t access_index,
+                std::uint64_t cycle, std::uint64_t addr,
+                std::uint32_t set)
+    {
+        if (_slots.empty())
+            return;
+        Event &e = _slots[static_cast<std::size_t>(_recorded %
+                                                   _slots.size())];
+        e.seq = _recorded;
+        e.accessIndex = access_index;
+        e.cycle = cycle;
+        e.addr = addr;
+        e.set = set;
+        e.type = type;
+        ++_typeCounts[static_cast<std::size_t>(type)];
+        ++_recorded;
+    }
+
+    /**
+     * The @p i-th oldest retained event (0 = oldest, size()-1 =
+     * newest). Sequence numbers of the retained window are contiguous.
+     */
+    const Event &at(std::size_t i) const
+    {
+        assert(i < size());
+        const std::uint64_t oldest = _recorded - size();
+        return _slots[static_cast<std::size_t>((oldest + i) %
+                                               _slots.size())];
+    }
+
+    /** Forget every event and zero the totals; capacity unchanged. */
+    void clear()
+    {
+        _recorded = 0;
+        _typeCounts.fill(0);
+    }
+
+  private:
+    std::vector<Event> _slots;
+    std::uint64_t _recorded = 0;
+    std::array<std::uint64_t, kEventTypes> _typeCounts{};
+};
+
+} // namespace c8t::obs
+
+#endif // C8T_OBS_EVENT_RING_HH

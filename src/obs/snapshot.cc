@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Interval snapshot implementation.
+ */
+
+#include "obs/snapshot.hh"
+
+#include <sstream>
+
+#include "stats/json.hh"
+
+namespace c8t::obs
+{
+
+IntervalSnapshotter::IntervalSnapshotter(const stats::Registry &reg,
+                                         std::ostream &os,
+                                         std::string label,
+                                         std::mutex *os_mutex)
+    : _os(os), _label(std::move(label)), _osMutex(os_mutex),
+      _counters(reg.counters()), _last(_counters.size(), 0)
+{
+}
+
+void
+IntervalSnapshotter::sample(std::uint64_t access_index)
+{
+    // Render outside the stream lock so contention stays on the
+    // write, not the formatting.
+    std::ostringstream line;
+    line << "{\"kind\":\"interval\",\"label\":\""
+         << stats::jsonEscape(_label) << "\",\"sample\":" << _samples
+         << ",\"access\":" << access_index << ",\"deltas\":{";
+    bool first = true;
+    for (std::size_t i = 0; i < _counters.size(); ++i) {
+        const std::uint64_t now = _counters[i]->value();
+        const std::uint64_t delta = now - _last[i];
+        _last[i] = now;
+        if (delta == 0)
+            continue;
+        line << (first ? "" : ",") << '"'
+             << stats::jsonEscape(_counters[i]->name()) << "\":" << delta;
+        first = false;
+    }
+    line << "}}\n";
+    ++_samples;
+
+    if (_osMutex) {
+        const std::lock_guard<std::mutex> lock(*_osMutex);
+        _os << line.str();
+    } else {
+        _os << line.str();
+    }
+}
+
+} // namespace c8t::obs

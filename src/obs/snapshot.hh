@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Interval snapshots: periodic counter-delta sampling.
+ *
+ * End-of-run totals hide phase behaviour — a Set-Buffer merge rate
+ * that collapses mid-run averages out to an unremarkable mean. An
+ * IntervalSnapshotter is bound to a stats::Registry once, then
+ * sample()d every N accesses (MultiSchemeRunner::setIntervalHook
+ * drives this); each call appends one JSON line holding the *deltas*
+ * of every counter that moved since the previous sample, producing a
+ * time series over the measurement window:
+ *
+ *   {"kind":"interval","label":"WG+RB","access":100000,
+ *    "deltas":{"ctrl.grouped_writes":3121,...}}
+ *
+ * Counters that did not move are omitted so the lines stay compact;
+ * gauges and distributions are not sampled (counters carry every
+ * per-access decision in this codebase). An optional mutex serialises
+ * lines when several sweep jobs share one output stream.
+ */
+
+#ifndef C8T_OBS_SNAPSHOT_HH
+#define C8T_OBS_SNAPSHOT_HH
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats/registry.hh"
+
+namespace c8t::obs
+{
+
+/** JSON-lines counter-delta sampler over one Registry. */
+class IntervalSnapshotter
+{
+  public:
+    /**
+     * @param reg      Registry to sample; its registration set must
+     *                 not change afterwards, and it must outlive the
+     *                 snapshotter.
+     * @param os       Destination stream (one JSON object per line).
+     * @param label    Free-form tag carried on every line (e.g. the
+     *                 scheme or workload name).
+     * @param os_mutex Optional lock taken around each line when the
+     *                 stream is shared between threads.
+     */
+    IntervalSnapshotter(const stats::Registry &reg, std::ostream &os,
+                        std::string label = "",
+                        std::mutex *os_mutex = nullptr);
+
+    /**
+     * Append one sample line: deltas of every counter relative to the
+     * previous sample() (or zero, for the first call — the registry
+     * is assumed freshly reset at the start of the window).
+     *
+     * @param access_index Accesses completed so far in the window.
+     */
+    void sample(std::uint64_t access_index);
+
+    /** Samples emitted so far. */
+    std::uint64_t samples() const { return _samples; }
+
+  private:
+    std::ostream &_os;
+    std::string _label;
+    std::mutex *_osMutex;
+    std::vector<const stats::Counter *> _counters;
+    std::vector<std::uint64_t> _last;
+    std::uint64_t _samples = 0;
+};
+
+} // namespace c8t::obs
+
+#endif // C8T_OBS_SNAPSHOT_HH

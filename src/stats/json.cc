@@ -1,0 +1,72 @@
+/**
+ * @file
+ * JSON rendering helper implementation.
+ */
+
+#include "stats/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace c8t::stats
+{
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << 0;
+        return;
+    }
+    // Integral values print without an exponent or trailing ".0" so
+    // counters embedded in formulas stay visually integral.
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        std::abs(v) < 1e15) {
+        os << static_cast<long long>(v);
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*g",
+                  std::numeric_limits<double>::max_digits10, v);
+    os << buf;
+}
+
+} // namespace c8t::stats

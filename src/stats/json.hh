@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Minimal JSON rendering helpers shared by the machine-readable
+ * exporters (stats::Registry::dumpJson, the obs:: Chrome trace and
+ * interval-snapshot writers). Only what those writers need: string
+ * escaping and finite-number formatting — not a JSON library.
+ */
+
+#ifndef C8T_STATS_JSON_HH
+#define C8T_STATS_JSON_HH
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace c8t::stats
+{
+
+/**
+ * Escape @p s for use inside a double-quoted JSON string (quotes,
+ * backslashes, control characters; everything else passes through).
+ */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * Write @p v to @p os as a valid JSON number: round-trippable
+ * precision for finite values, and 0 for NaN/infinity (JSON has no
+ * representation for either, and our statistics treat "no samples"
+ * as zero everywhere else).
+ */
+void jsonNumber(std::ostream &os, double v);
+
+} // namespace c8t::stats
+
+#endif // C8T_STATS_JSON_HH

@@ -8,6 +8,8 @@
 #include <cassert>
 #include <iomanip>
 
+#include "stats/json.hh"
+
 namespace c8t::stats
 {
 
@@ -166,6 +168,73 @@ Registry::dump(std::ostream &os) const
     }
 
     os.flags(flags);
+}
+
+void
+Registry::dumpJson(std::ostream &os) const
+{
+    os << "{\"schema_version\":" << kJsonSchemaVersion;
+
+    os << ",\"counters\":{";
+    bool first = true;
+    for (const auto &kv : _counters) {
+        os << (first ? "" : ",") << '"' << jsonEscape(kv.first)
+           << "\":{\"desc\":\"" << jsonEscape(kv.second->desc())
+           << "\",\"value\":" << kv.second->value() << '}';
+        first = false;
+    }
+
+    os << "},\"gauges\":{";
+    first = true;
+    for (const auto &kv : _gauges) {
+        os << (first ? "" : ",") << '"' << jsonEscape(kv.first)
+           << "\":{\"desc\":\"" << jsonEscape(kv.second->desc())
+           << "\",\"value\":";
+        jsonNumber(os, kv.second->value());
+        os << '}';
+        first = false;
+    }
+
+    os << "},\"formulas\":{";
+    first = true;
+    for (const auto &kv : _formulas) {
+        os << (first ? "" : ",") << '"' << jsonEscape(kv.first)
+           << "\":{\"desc\":\"" << jsonEscape(kv.second->desc())
+           << "\",\"value\":";
+        jsonNumber(os, kv.second->value());
+        os << '}';
+        first = false;
+    }
+
+    os << "},\"distributions\":{";
+    first = true;
+    for (const auto &kv : _distributions) {
+        const Distribution *d = kv.second;
+        os << (first ? "" : ",") << '"' << jsonEscape(kv.first)
+           << "\":{\"desc\":\"" << jsonEscape(d->desc())
+           << "\",\"count\":" << d->count() << ",\"mean\":";
+        jsonNumber(os, d->mean());
+        os << ",\"stddev\":";
+        jsonNumber(os, d->stddev());
+        os << ",\"min\":";
+        jsonNumber(os, d->min());
+        os << ",\"max\":";
+        jsonNumber(os, d->max());
+        os << ",\"underflow\":" << d->underflow()
+           << ",\"overflow\":" << d->overflow() << ",\"range_min\":";
+        jsonNumber(os, d->buckets().empty() ? 0.0 : d->bucketLow(0));
+        os << ",\"range_max\":";
+        jsonNumber(os, d->buckets().empty()
+                           ? 0.0
+                           : d->bucketHigh(d->buckets().size() - 1));
+        os << ",\"buckets\":[";
+        for (std::size_t i = 0; i < d->buckets().size(); ++i)
+            os << (i ? "," : "") << d->buckets()[i];
+        os << "]}";
+        first = false;
+    }
+
+    os << "}}";
 }
 
 std::size_t

@@ -79,6 +79,33 @@ class Registry
      */
     void dump(std::ostream &os) const;
 
+    /**
+     * Version of the dumpJson() schema. Bump whenever a key is
+     * renamed, removed or its meaning changes; adding keys is
+     * backwards compatible and does not require a bump.
+     */
+    static constexpr int kJsonSchemaVersion = 1;
+
+    /**
+     * Dump every statistic as one machine-readable JSON object:
+     *
+     *   { "schema_version": 1,
+     *     "counters":      { name: {"desc": ..., "value": N},  ... },
+     *     "gauges":        { name: {"desc": ..., "value": x},  ... },
+     *     "formulas":      { name: {"desc": ..., "value": x},  ... },
+     *     "distributions": { name: {"desc": ..., "count": N,
+     *                               "mean": x, "stddev": x,
+     *                               "min": x, "max": x,
+     *                               "underflow": N, "overflow": N,
+     *                               "range_min": x, "range_max": x,
+     *                               "buckets": [N, ...]}, ... } }
+     *
+     * Unlike dump(), distributions carry their full bucket vector so
+     * downstream tooling can re-plot histograms. Keys appear in name
+     * order (map iteration), so the output is deterministic.
+     */
+    void dumpJson(std::ostream &os) const;
+
     /** Number of registered statistics of all kinds. */
     std::size_t size() const;
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/controller.hh"
+#include "obs/event_ring.hh"
 #include "trace/markov_stream.hh"
 #include "trace/spec_profiles.hh"
 
@@ -122,6 +123,45 @@ TEST(HotPathAllocations, ControllerAccessPathIsAllocationFree)
         EXPECT_EQ(delta, 0u)
             << toString(scheme) << ": " << delta
             << " heap allocations in " << kMeasure << " accesses";
+    }
+}
+
+TEST(HotPathAllocations, EventRingRecordingIsAllocationFree)
+{
+    const auto stream = pregenerate(kWarmup + kMeasure);
+
+    for (WriteScheme scheme :
+         {WriteScheme::SixTDirect, WriteScheme::Rmw, WriteScheme::LocalRmw,
+          WriteScheme::WordGranular, WriteScheme::WriteGrouping,
+          WriteScheme::WriteGroupingReadBypass}) {
+        mem::FunctionalMemory memory;
+        memory.reserve(1u << 20);
+
+        ControllerConfig cfg;
+        cfg.scheme = scheme;
+        CacheController ctrl(cfg, memory);
+
+        // Small capacity on purpose: the measurement window wraps the
+        // ring thousands of times, so wrap-around handling is also
+        // covered by the zero-allocation assertion.
+        obs::EventRing ring(1024);
+        ctrl.attachEventRing(&ring);
+
+        for (std::uint64_t i = 0; i < kWarmup; ++i)
+            ctrl.access(stream[i]);
+
+        const std::uint64_t before =
+            g_allocations.load(std::memory_order_relaxed);
+        for (std::uint64_t i = kWarmup; i < stream.size(); ++i)
+            ctrl.access(stream[i]);
+        const std::uint64_t delta =
+            g_allocations.load(std::memory_order_relaxed) - before;
+
+        EXPECT_EQ(delta, 0u)
+            << toString(scheme) << ": " << delta
+            << " heap allocations in " << kMeasure
+            << " accesses with the event ring attached";
+        EXPECT_GT(ring.recorded(), 0u) << toString(scheme);
     }
 }
 

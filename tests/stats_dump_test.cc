@@ -1,15 +1,28 @@
 /**
  * @file
- * Tests for the statistics registry wiring: every component registers
- * its counters and the controller's dump contains the whole hierarchy.
+ * Tests for the statistics registry wiring and the observability
+ * layer: every component registers its counters, the controller's
+ * dump contains the whole hierarchy, dumpJson() is schema-stable, the
+ * event ring reconciles exactly with the counters, and the trace /
+ * snapshot exporters produce well-formed output.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "core/controller.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/event_ring.hh"
+#include "obs/snapshot.hh"
+#include "stats/json.hh"
 #include "stats/registry.hh"
+#include "trace/markov_stream.hh"
+#include "trace/spec_profiles.hh"
 
 namespace
 {
@@ -121,6 +134,393 @@ TEST(StatsWiring, RegistryResetAllClearsControllerCounters)
     reg.resetAll();
     EXPECT_EQ(c.requests(), 0u);
     EXPECT_EQ(c.demandAccesses(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// dumpJson(): golden output.
+//
+// The full string is pinned on purpose: the JSON is a versioned,
+// machine-readable interface (ISSUE: schema_version gates consumers),
+// so any formatting or key change must show up here and force a
+// conscious kJsonSchemaVersion decision.
+// ---------------------------------------------------------------------
+
+TEST(JsonDump, GoldenHandBuiltRegistry)
+{
+    stats::Counter c("a.count", "events");
+    c.inc(3);
+    stats::Gauge g("b.gauge", "volts");
+    g.set(1.5);
+    stats::Formula f("c.ratio", "a ratio", [] { return 0.5; });
+    stats::Distribution d("d.lat", "latency", 0.0, 4.0, 2);
+    d.sample(1.0);
+    d.sample(3.0);
+
+    stats::Registry reg;
+    reg.add(c);
+    reg.add(g);
+    reg.add(f);
+    reg.add(d);
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    EXPECT_EQ(
+        os.str(),
+        "{\"schema_version\":1,"
+        "\"counters\":{\"a.count\":{\"desc\":\"events\",\"value\":3}},"
+        "\"gauges\":{\"b.gauge\":{\"desc\":\"volts\",\"value\":1.5}},"
+        "\"formulas\":{\"c.ratio\":{\"desc\":\"a ratio\",\"value\":0.5}},"
+        "\"distributions\":{\"d.lat\":{\"desc\":\"latency\",\"count\":2,"
+        "\"mean\":2,\"stddev\":1,\"min\":1,\"max\":3,"
+        "\"underflow\":0,\"overflow\":0,"
+        "\"range_min\":0,\"range_max\":4,\"buckets\":[1,1]}}}");
+}
+
+TEST(JsonDump, EscapesDescriptionsAndEmptyRegistry)
+{
+    stats::Counter c("q", "say \"hi\"\tthen\nstop");
+    stats::Registry reg;
+    reg.add(c);
+    std::ostringstream os;
+    reg.dumpJson(os);
+    EXPECT_NE(os.str().find("say \\\"hi\\\"\\tthen\\nstop"),
+              std::string::npos);
+
+    const stats::Registry empty;
+    std::ostringstream os2;
+    empty.dumpJson(os2);
+    EXPECT_EQ(os2.str(),
+              "{\"schema_version\":1,\"counters\":{},\"gauges\":{},"
+              "\"formulas\":{},\"distributions\":{}}");
+}
+
+TEST(JsonDump, ControllerRegistryCarriesEveryStatKind)
+{
+    mem::FunctionalMemory memory;
+    ControllerConfig cfg;
+    cfg.scheme = WriteScheme::WriteGroupingReadBypass;
+    CacheController c(cfg, memory);
+    c.access(writeAcc(0x2000, 7));
+
+    stats::Registry reg;
+    c.registerStats(reg);
+    std::ostringstream os;
+    reg.dumpJson(os);
+    const std::string out = os.str();
+
+    EXPECT_EQ(out.find("{\"schema_version\":1,"), 0u);
+    for (const char *key :
+         {"\"ctrl.requests\"", "\"cache.misses\"", "\"array.row_reads\"",
+          "\"ctrl.group_sizes\"", "\"ctrl.read_latency\"",
+          "\"buckets\":["}) {
+        EXPECT_NE(out.find(key), std::string::npos) << key;
+    }
+    // Crude well-formedness: balanced braces/brackets, no trailing
+    // comma before a closing token.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+              std::count(out.begin(), out.end(), '}'));
+    EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+              std::count(out.begin(), out.end(), ']'));
+    EXPECT_EQ(out.find(",}"), std::string::npos);
+    EXPECT_EQ(out.find(",]"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// EventRing unit behaviour.
+// ---------------------------------------------------------------------
+
+TEST(EventRing, DisabledRingIsANoOp)
+{
+    obs::EventRing ring;
+    EXPECT_FALSE(ring.enabled());
+    ring.record(obs::EventType::ArrayRead, 1, 2, 3, 4);
+    EXPECT_EQ(ring.recorded(), 0u);
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.typeCount(obs::EventType::ArrayRead), 0u);
+}
+
+TEST(EventRing, RecordsInOrderBelowCapacity)
+{
+    obs::EventRing ring(8);
+    ring.record(obs::EventType::ArrayRead, 1, 10, 0x100, 1);
+    ring.record(obs::EventType::ArrayWrite, 2, 20, 0x200, 2);
+    ring.record(obs::EventType::ReadBypass, 3, 30, 0x300, 3);
+
+    ASSERT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.dropped(), 0u);
+    EXPECT_EQ(ring.at(0).type, obs::EventType::ArrayRead);
+    EXPECT_EQ(ring.at(1).type, obs::EventType::ArrayWrite);
+    EXPECT_EQ(ring.at(2).type, obs::EventType::ReadBypass);
+    EXPECT_EQ(ring.at(0).seq, 0u);
+    EXPECT_EQ(ring.at(2).seq, 2u);
+    EXPECT_EQ(ring.at(1).accessIndex, 2u);
+    EXPECT_EQ(ring.at(1).cycle, 20u);
+    EXPECT_EQ(ring.at(1).addr, 0x200u);
+    EXPECT_EQ(ring.at(1).set, 2u);
+}
+
+TEST(EventRing, WrapAroundKeepsNewestAndCumulativeTotals)
+{
+    obs::EventRing ring(4);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        ring.record(obs::EventType::ArrayWrite, i, i, i, 0);
+
+    EXPECT_EQ(ring.capacity(), 4u);
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.recorded(), 10u);
+    EXPECT_EQ(ring.dropped(), 6u);
+    // Wrap-proof totals are the reconciliation contract.
+    EXPECT_EQ(ring.typeCount(obs::EventType::ArrayWrite), 10u);
+    // The retained window is the newest four, oldest first.
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(ring.at(i).seq, 6u + i);
+}
+
+TEST(EventRing, ClearForgetsEventsButKeepsCapacity)
+{
+    obs::EventRing ring(4);
+    for (int i = 0; i < 6; ++i)
+        ring.record(obs::EventType::Eviction, 0, 0, 0, 0);
+    ring.clear();
+    EXPECT_EQ(ring.recorded(), 0u);
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.typeCount(obs::EventType::Eviction), 0u);
+    EXPECT_TRUE(ring.enabled());
+    ring.record(obs::EventType::Eviction, 0, 0, 0, 0);
+    EXPECT_EQ(ring.at(0).seq, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Controller instrumentation: events reconcile exactly with counters,
+// and tracing never changes a simulation statistic.
+// ---------------------------------------------------------------------
+
+std::vector<trace::MemAccess>
+gccStream(std::uint64_t n)
+{
+    trace::MarkovStream gen(trace::specProfile("gcc"));
+    std::vector<trace::MemAccess> out(n);
+    for (auto &a : out)
+        gen.next(a);
+    return out;
+}
+
+TEST(EventReconciliation, TypeTotalsMatchRegistryCounters)
+{
+    const auto stream = gccStream(50'000);
+
+    for (WriteScheme scheme :
+         {WriteScheme::SixTDirect, WriteScheme::Rmw,
+          WriteScheme::LocalRmw, WriteScheme::WordGranular,
+          WriteScheme::WriteGrouping,
+          WriteScheme::WriteGroupingReadBypass}) {
+        mem::FunctionalMemory memory;
+        ControllerConfig cfg;
+        cfg.scheme = scheme;
+        CacheController ctrl(cfg, memory);
+
+        stats::Registry reg;
+        ctrl.registerStats(reg);
+
+        // Deliberately tiny: the run wraps the ring thousands of
+        // times, proving the totals are wrap-proof.
+        obs::EventRing ring(256);
+        ctrl.attachEventRing(&ring);
+        for (const auto &a : stream)
+            ctrl.access(a);
+
+        const auto counter = [&](const char *name) {
+            const stats::Counter *c = reg.counter(name);
+            return c ? c->value() : 0u;
+        };
+        const auto events = [&](obs::EventType t) {
+            return ring.typeCount(t);
+        };
+        using obs::EventType;
+        EXPECT_EQ(events(EventType::ArrayRead),
+                  counter("ctrl.demand_row_reads"))
+            << toString(scheme);
+        EXPECT_EQ(events(EventType::ArrayWrite),
+                  counter("ctrl.demand_row_writes"))
+            << toString(scheme);
+        EXPECT_EQ(events(EventType::SetBufferMerge),
+                  counter("ctrl.grouped_writes"))
+            << toString(scheme);
+        EXPECT_EQ(events(EventType::SilentWriteDrop),
+                  counter("ctrl.silent_writes_detected"))
+            << toString(scheme);
+        EXPECT_EQ(events(EventType::PrematureWriteback),
+                  counter("ctrl.premature_writebacks"))
+            << toString(scheme);
+        EXPECT_EQ(events(EventType::ReadBypass),
+                  counter("ctrl.bypassed_reads"))
+            << toString(scheme);
+        EXPECT_EQ(events(EventType::Eviction),
+                  counter("cache.evictions"))
+            << toString(scheme);
+        const bool rmw = scheme == WriteScheme::Rmw ||
+                         scheme == WriteScheme::LocalRmw;
+        EXPECT_EQ(events(EventType::RmwTrigger),
+                  rmw ? counter("ctrl.writes") : 0u)
+            << toString(scheme);
+
+        // The ring saw real traffic and its bookkeeping is coherent.
+        std::uint64_t total = 0;
+        for (const std::uint64_t n : ring.typeCounts())
+            total += n;
+        EXPECT_EQ(total, ring.recorded()) << toString(scheme);
+        EXPECT_GT(total, 0u) << toString(scheme);
+    }
+}
+
+TEST(EventReconciliation, TracingChangesNoSimulationStatistic)
+{
+    const auto stream = gccStream(30'000);
+
+    for (WriteScheme scheme :
+         {WriteScheme::Rmw, WriteScheme::WriteGroupingReadBypass}) {
+        ControllerConfig cfg;
+        cfg.scheme = scheme;
+
+        mem::FunctionalMemory mem_plain;
+        CacheController plain(cfg, mem_plain);
+        for (const auto &a : stream)
+            plain.access(a);
+
+        mem::FunctionalMemory mem_traced;
+        CacheController traced(cfg, mem_traced);
+        obs::EventRing ring(4096);
+        traced.attachEventRing(&ring);
+        for (const auto &a : stream)
+            traced.access(a);
+
+        std::ostringstream a, b;
+        plain.dumpStats(a);
+        traced.dumpStats(b);
+        EXPECT_EQ(a.str(), b.str()) << toString(scheme);
+    }
+}
+
+TEST(EventReconciliation, ResetStatsClearsTheAttachedRing)
+{
+    mem::FunctionalMemory memory;
+    ControllerConfig cfg;
+    cfg.scheme = WriteScheme::WriteGrouping;
+    CacheController ctrl(cfg, memory);
+    obs::EventRing ring(64);
+    ctrl.attachEventRing(&ring);
+
+    ctrl.access(writeAcc(0x40, 1));
+    ASSERT_GT(ring.recorded(), 0u);
+    ctrl.resetStats();
+    EXPECT_EQ(ring.recorded(), 0u);
+    // Post-reset traffic reconciles over the new window alone.
+    ctrl.access(writeAcc(0x40, 2));
+    EXPECT_GT(ring.recorded(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace writer and interval snapshotter output.
+// ---------------------------------------------------------------------
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+TEST(ChromeTrace, WriterProducesAWellFormedDocument)
+{
+    const std::string path =
+        testing::TempDir() + "c8t_chrome_trace_test.json";
+    {
+        obs::ChromeTraceWriter w(path);
+        w.processName(1, "sweep");
+        w.threadName(1, 1, "worker 0");
+        w.completeEvent("job0", "sweep", 1, 1, 10.0, 25.5,
+                        "{\"job\":0}");
+        w.instantEvent("evt", "access", 1, 1, 12.0);
+        w.close();
+        // close() is idempotent and post-close events are dropped.
+        w.completeEvent("late", "sweep", 1, 1, 0.0, 1.0);
+        w.close();
+    }
+    const std::string out = slurp(path);
+    EXPECT_EQ(out.find("{\"traceEvents\":["), 0u);
+    EXPECT_NE(out.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(out.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(out.find("\"worker 0\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(out.find("\"dur\":25.5"), std::string::npos);
+    EXPECT_NE(out.find("\"args\":{\"job\":0}"), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_EQ(out.find("\"late\""), std::string::npos);
+    EXPECT_EQ(out.rfind("]}\n"), out.size() - 3);
+    EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+              std::count(out.begin(), out.end(), '}'));
+    std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, AppendEventRingEmitsSlicesAndTotals)
+{
+    const std::string path =
+        testing::TempDir() + "c8t_chrome_ring_test.json";
+    obs::EventRing ring(2);
+    ring.record(obs::EventType::ArrayRead, 1, 100, 0x10, 3);
+    ring.record(obs::EventType::ReadBypass, 2, 200, 0x20, 4);
+    ring.record(obs::EventType::ReadBypass, 3, 300, 0x30, 5);
+    {
+        obs::ChromeTraceWriter w(path);
+        obs::appendEventRing(w, ring, "WG+RB", 2, 1);
+    }
+    const std::string out = slurp(path);
+    // The wrapped-out first event is gone; the retained two and the
+    // wrap-proof totals record are present.
+    EXPECT_EQ(out.find("\"ts\":100"), std::string::npos);
+    EXPECT_NE(out.find("\"ts\":200"), std::string::npos);
+    EXPECT_NE(out.find("\"ts\":300"), std::string::npos);
+    EXPECT_NE(out.find("\"WG+RB\""), std::string::npos);
+    EXPECT_NE(out.find("\"event_totals\""), std::string::npos);
+    EXPECT_NE(out.find("\"recorded\":3"), std::string::npos);
+    EXPECT_NE(out.find("\"dropped\":1"), std::string::npos);
+    EXPECT_NE(out.find("\"array_read\":1"), std::string::npos);
+    EXPECT_NE(out.find("\"read_bypass\":2"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(IntervalSnapshot, EmitsOnlyMovedCounterDeltas)
+{
+    stats::Counter a("a.moves", "moves every interval");
+    stats::Counter b("b.still", "never moves");
+    stats::Registry reg;
+    reg.add(a);
+    reg.add(b);
+
+    std::ostringstream os;
+    obs::IntervalSnapshotter snap(reg, os, "WG");
+
+    a.inc(5);
+    snap.sample(100);
+    a.inc(2);
+    snap.sample(200);
+    snap.sample(300); // nothing moved: deltas object is empty
+
+    EXPECT_EQ(snap.samples(), 3u);
+    std::istringstream lines(os.str());
+    std::string l1, l2, l3;
+    ASSERT_TRUE(std::getline(lines, l1));
+    ASSERT_TRUE(std::getline(lines, l2));
+    ASSERT_TRUE(std::getline(lines, l3));
+    EXPECT_NE(l1.find("\"kind\":\"interval\""), std::string::npos);
+    EXPECT_NE(l1.find("\"label\":\"WG\""), std::string::npos);
+    EXPECT_NE(l1.find("\"access\":100"), std::string::npos);
+    EXPECT_NE(l1.find("\"a.moves\":5"), std::string::npos);
+    EXPECT_EQ(l1.find("b.still"), std::string::npos);
+    EXPECT_NE(l2.find("\"a.moves\":2"), std::string::npos);
+    EXPECT_NE(l3.find("\"deltas\":{}"), std::string::npos);
 }
 
 } // anonymous namespace

@@ -149,6 +149,63 @@ TEST(ParallelSweeper, WorkerCountResolutionHonoursEnv)
     ::unsetenv("C8T_JOBS");
 }
 
+TEST(ParallelSweeper, ProgressResolutionHonoursEnv)
+{
+    ::unsetenv("C8T_PROGRESS");
+    EXPECT_FALSE(ParallelSweeper::defaultProgress());
+    EXPECT_FALSE(ParallelSweeper(1).progress());
+
+    ::setenv("C8T_PROGRESS", "1", 1);
+    EXPECT_TRUE(ParallelSweeper::defaultProgress());
+    EXPECT_TRUE(ParallelSweeper(1).progress());
+
+    ::setenv("C8T_PROGRESS", "0", 1);
+    EXPECT_FALSE(ParallelSweeper::defaultProgress());
+    ::unsetenv("C8T_PROGRESS");
+
+    ParallelSweeper s(1);
+    s.setProgress(true);
+    EXPECT_TRUE(s.progress());
+}
+
+TEST(ParallelSweeper, HeartbeatReportsCompletedJobs)
+{
+    ::unsetenv("C8T_PROGRESS");
+    ParallelSweeper sweeper(2);
+    sweeper.setProgress(true);
+
+    testing::internal::CaptureStderr();
+    sweeper.run(makeJobs(), kRc, "hb");
+    const std::string err = testing::internal::GetCapturedStderr();
+
+    // The final (never-throttled) line reports all jobs done.
+    const std::string want = "[sweep hb] " +
+                             std::to_string(kProfiles.size()) + "/" +
+                             std::to_string(kProfiles.size()) + " jobs";
+    EXPECT_NE(err.find(want), std::string::npos) << err;
+    EXPECT_NE(err.find("acc/s"), std::string::npos) << err;
+
+    // Off by default: a plain run stays silent.
+    testing::internal::CaptureStderr();
+    ParallelSweeper(2).run(makeJobs(), kRc, "quiet");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(ParallelSweeper, PrepareHookRunsBeforeTheRun)
+{
+    std::vector<SweepJob> jobs = makeJobs();
+    std::vector<std::uint64_t> requests_at_prepare(jobs.size(), 1);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        jobs[i].prepare = [&requests_at_prepare,
+                           i](core::MultiSchemeRunner &r) {
+            requests_at_prepare[i] = r.controller(0).requests();
+        };
+    }
+    ParallelSweeper(2).run(jobs, kRc, "prepare");
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(requests_at_prepare[i], 0u) << i;
+}
+
 TEST(ParallelSweeper, SpecSweepJobsCoverEveryProfile)
 {
     const auto jobs = core::specSweepJobs(mem::CacheConfig{}, kSchemes);

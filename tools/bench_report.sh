@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Build a Release tree and collect a machine-readable performance
 # snapshot of the simulator:
 #
@@ -13,7 +13,7 @@
 #
 # Usage: tools/bench_report.sh [build-dir]   (default: build-bench)
 
-set -eu
+set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build-bench"}
@@ -33,6 +33,20 @@ cmake --build "$build_dir" --target micro_perf fig09_access_reduction -j "$(npro
 # A short parallel sweep; the engine appends its own perf record.
 C8T_BENCH_JSON="$sweep_jsonl" C8T_BENCH_ACCESSES=100000 \
     "$build_dir/bench/fig09_access_reduction" > /dev/null
+
+# Both producers must actually have written something; an empty file
+# here means a benchmark silently produced no records (e.g. the sweep
+# engine could not append to C8T_BENCH_JSON) and the report would be
+# misleading.
+if [ ! -s "$micro_json" ]; then
+    echo "bench_report: micro_perf produced no benchmark JSON" >&2
+    exit 1
+fi
+if [ ! -s "$sweep_jsonl" ]; then
+    echo "bench_report: no sweep perf records in C8T_BENCH_JSON" \
+         "(check the warning from the sweep engine above)" >&2
+    exit 1
+fi
 
 # Compose the report: {"date": ..., "sweeps": [<jsonl>], "micro": <json>}
 {

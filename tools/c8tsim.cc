@@ -7,9 +7,14 @@
  *   c8tsim --workload kernel:hash_update --scheme WG --scheme WG+RB \
  *          --size 32 --block 64 --stats
  *   c8tsim --workload trace:/tmp/app.trc --scheme RMW --csv
+ *   c8tsim --workload spec:gcc --all --stats-json stats.json \
+ *          --chrome-trace trace.json --trace-events 65536 --progress
  */
 
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -17,6 +22,10 @@
 #include "app/options.hh"
 #include "core/simulator.hh"
 #include "core/sweep.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/event_ring.hh"
+#include "obs/snapshot.hh"
+#include "stats/json.hh"
 #include "stats/table.hh"
 #include "trace/trace_io.hh"
 
@@ -25,9 +34,119 @@ namespace
 
 using namespace c8t;
 
+/**
+ * Per-scheme observability plumbing, shared between the single-run
+ * and sweep paths. Slots are written by at most one worker each;
+ * the sweep join provides the happens-before for the main-thread
+ * reads below.
+ */
+struct ObsPlumbing
+{
+    std::uint64_t ringCapacity = 0;
+    std::vector<std::unique_ptr<obs::EventRing>> rings;
+    std::vector<std::unique_ptr<stats::Registry>> registries;
+    std::vector<std::unique_ptr<obs::IntervalSnapshotter>> snapshotters;
+    std::vector<std::string> statsText;
+    std::vector<std::string> statsJson;
+    std::unique_ptr<std::ofstream> intervalOs;
+    std::mutex intervalMutex;
+    std::uint64_t intervalAccesses = 0;
+};
+
+/** Attach rings / interval sampling to a just-constructed runner. */
+void
+prepareRunner(const app::SimOptions &opt, ObsPlumbing &obs_state,
+              std::size_t i, const std::string &scheme,
+              core::MultiSchemeRunner &runner)
+{
+    core::CacheController &ctrl = runner.controller(0);
+    if (obs_state.ringCapacity) {
+        obs_state.rings[i] = std::make_unique<obs::EventRing>(
+            static_cast<std::size_t>(obs_state.ringCapacity));
+        ctrl.attachEventRing(obs_state.rings[i].get());
+    }
+    if (obs_state.intervalOs) {
+        obs_state.registries[i] = std::make_unique<stats::Registry>();
+        ctrl.registerStats(*obs_state.registries[i]);
+        obs_state.snapshotters[i] =
+            std::make_unique<obs::IntervalSnapshotter>(
+                *obs_state.registries[i], *obs_state.intervalOs, scheme,
+                &obs_state.intervalMutex);
+        obs::IntervalSnapshotter *snap = obs_state.snapshotters[i].get();
+        runner.setIntervalHook(
+            opt.intervalAccesses,
+            [snap](std::uint64_t access) { snap->sample(access); });
+    }
+}
+
+/** Collect stats dumps / trace slices after a runner has completed. */
+void
+inspectRunner(const app::SimOptions &opt, ObsPlumbing &obs_state,
+              std::size_t i, const std::string &scheme,
+              core::MultiSchemeRunner &runner)
+{
+    core::CacheController &ctrl = runner.controller(0);
+    if (opt.dumpStats) {
+        std::ostringstream os;
+        ctrl.dumpStats(os);
+        obs_state.statsText[i] = os.str();
+    }
+    if (!opt.statsJsonFile.empty()) {
+        stats::Registry reg;
+        ctrl.registerStats(reg);
+        std::ostringstream os;
+        reg.dumpJson(os);
+        obs_state.statsJson[i] = os.str();
+    }
+    if (obs_state.rings[i]) {
+        // pid 2 is the per-access track family (pid 1 holds the sweep
+        // worker spans); one tid per scheme.
+        if (obs::ChromeTraceWriter *trace = obs::globalTrace()) {
+            trace->processName(2, "accesses");
+            obs::appendEventRing(*trace, *obs_state.rings[i], scheme, 2,
+                                 static_cast<int>(i) + 1);
+        }
+        ctrl.attachEventRing(nullptr);
+    }
+}
+
+/** Write the combined --stats-json document. */
+void
+writeStatsJson(const app::SimOptions &opt,
+               const std::vector<core::SchemeRunResult> &results,
+               const ObsPlumbing &obs_state)
+{
+    std::ofstream os(opt.statsJsonFile, std::ios::trunc);
+    if (!os) {
+        throw std::runtime_error("--stats-json: cannot open \"" +
+                                 opt.statsJsonFile + "\" for writing");
+    }
+    os << "{\"schema_version\":" << stats::Registry::kJsonSchemaVersion
+       << ",\"workload\":\"" << stats::jsonEscape(opt.workload)
+       << "\",\"cache\":\"" << stats::jsonEscape(opt.cache.toString())
+       << "\",\"measure_accesses\":" << opt.accesses
+       << ",\"warmup_accesses\":" << opt.effectiveWarmup()
+       << ",\"runs\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        os << (i ? "," : "") << "\n{\"scheme\":\""
+           << stats::jsonEscape(results[i].scheme)
+           << "\",\"stats\":" << obs_state.statsJson[i] << '}';
+    }
+    os << "\n]}\n";
+    if (!os.flush()) {
+        throw std::runtime_error("--stats-json: write to \"" +
+                                 opt.statsJsonFile + "\" failed");
+    }
+}
+
 int
 run(const app::SimOptions &opt)
 {
+    // Observability sinks resolve before any simulation starts so a
+    // bad path fails fast, not after a minutes-long sweep.
+    if (!opt.chromeTraceFile.empty())
+        obs::setGlobalTracePath(opt.chromeTraceFile);
+
     // Optionally record the exact stream being simulated.
     if (!opt.recordTrace.empty()) {
         auto workload = app::makeWorkload(opt.workload);
@@ -59,30 +178,51 @@ run(const app::SimOptions &opt)
 
     const core::RunConfig rc{opt.effectiveWarmup(), opt.accesses};
 
+    ObsPlumbing obs_state;
+    obs_state.ringCapacity = opt.traceEvents;
+    obs_state.rings.resize(cfgs.size());
+    obs_state.registries.resize(cfgs.size());
+    obs_state.snapshotters.resize(cfgs.size());
+    obs_state.statsText.resize(cfgs.size());
+    obs_state.statsJson.resize(cfgs.size());
+    if (!opt.intervalStatsFile.empty()) {
+        obs_state.intervalOs = std::make_unique<std::ofstream>(
+            opt.intervalStatsFile, std::ios::app);
+        if (!*obs_state.intervalOs) {
+            throw std::runtime_error("--interval-stats: cannot open \"" +
+                                     opt.intervalStatsFile +
+                                     "\" for append");
+        }
+        obs_state.intervalAccesses = opt.intervalAccesses;
+    }
+
     // Multi-scheme runs fan one job per scheme across the sweep
     // engine's worker threads. Each job replays the workload from its
     // own generator (deterministic: same spec, same stream), so the
     // results are identical to the serial single-runner path. The
-    // --stats dumps are captured per job and printed in order below.
+    // observability hooks attach per job; dumps are captured per job
+    // and printed in order below.
     std::vector<core::SchemeRunResult> results;
-    std::vector<std::string> statsDumps(cfgs.size());
     if (cfgs.size() > 1) {
         std::vector<core::SweepJob> jobs(cfgs.size());
         for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            const std::string scheme = core::toString(cfgs[i].scheme);
             jobs[i].makeGenerator = [&opt] {
                 return app::makeWorkload(opt.workload);
             };
             jobs[i].configs = {cfgs[i]};
-            if (opt.dumpStats) {
-                jobs[i].inspect =
-                    [&statsDumps, i](core::MultiSchemeRunner &r) {
-                        std::ostringstream os;
-                        r.controller(0).dumpStats(os);
-                        statsDumps[i] = os.str();
-                    };
-            }
+            jobs[i].prepare = [&opt, &obs_state, i,
+                               scheme](core::MultiSchemeRunner &r) {
+                prepareRunner(opt, obs_state, i, scheme, r);
+            };
+            jobs[i].inspect = [&opt, &obs_state, i,
+                               scheme](core::MultiSchemeRunner &r) {
+                inspectRunner(opt, obs_state, i, scheme, r);
+            };
         }
-        const core::ParallelSweeper sweeper(opt.jobs);
+        core::ParallelSweeper sweeper(opt.jobs);
+        if (opt.progress)
+            sweeper.setProgress(true);
         const auto per_scheme =
             sweeper.run(jobs, rc, "c8tsim:" + opt.workload);
         for (const auto &r : per_scheme)
@@ -90,12 +230,10 @@ run(const app::SimOptions &opt)
     } else {
         auto workload = app::makeWorkload(opt.workload);
         core::MultiSchemeRunner runner(cfgs);
+        const std::string scheme = core::toString(cfgs[0].scheme);
+        prepareRunner(opt, obs_state, 0, scheme, runner);
         results = runner.run(*workload, rc);
-        if (opt.dumpStats) {
-            std::ostringstream os;
-            runner.controller(0).dumpStats(os);
-            statsDumps[0] = os.str();
-        }
+        inspectRunner(opt, obs_state, 0, scheme, runner);
     }
 
     stats::Table t("c8tsim: " + opt.workload + " on " +
@@ -142,8 +280,18 @@ run(const app::SimOptions &opt)
         for (std::size_t i = 0; i < results.size(); ++i) {
             std::cout << "\n---- stats: " << results[i].scheme
                       << " ----\n"
-                      << statsDumps[i];
+                      << obs_state.statsText[i];
         }
+    }
+
+    if (!opt.statsJsonFile.empty()) {
+        writeStatsJson(opt, results, obs_state);
+        std::cerr << "wrote stats JSON to " << opt.statsJsonFile << "\n";
+    }
+    if (obs::ChromeTraceWriter *trace = obs::globalTrace()) {
+        trace->close();
+        std::cerr << "wrote Chrome trace to " << trace->path()
+                  << " (load in https://ui.perfetto.dev)\n";
     }
     return 0;
 }
