@@ -8,12 +8,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "core/controller.hh"
 #include "core/simulator.hh"
 #include "core/sweep.hh"
 #include "mem/cache.hh"
 #include "sram/ecc.hh"
 #include "trace/markov_stream.hh"
+#include "trace/replay.hh"
 #include "trace/spec_profiles.hh"
 
 namespace
@@ -32,6 +36,70 @@ BM_MarkovStreamGeneration(benchmark::State &state)
     }
 }
 BENCHMARK(BM_MarkovStreamGeneration);
+
+/**
+ * Generator-only throughput of the batched path: one fillChunk() call
+ * per state.range(0)-access chunk, no controller attached. items/s is
+ * generated accesses per second; compare against
+ * BM_MarkovStreamNextLoop (the identical work through per-access
+ * next()) to read off the batching speedup alone.
+ */
+void
+BM_MarkovStreamFillChunk(benchmark::State &state)
+{
+    trace::MarkovStream gen(trace::specProfile("gcc"));
+    std::vector<trace::MemAccess> chunk(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        gen.fillChunk(chunk.data(), chunk.size());
+        benchmark::DoNotOptimize(chunk.front().addr);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_MarkovStreamFillChunk)->Arg(64)->Arg(1024)->Arg(4096);
+
+/** Per-access next() over the same chunk sizes, for a like-for-like
+ *  items/s comparison with BM_MarkovStreamFillChunk. */
+void
+BM_MarkovStreamNextLoop(benchmark::State &state)
+{
+    trace::MarkovStream gen(trace::specProfile("gcc"));
+    std::vector<trace::MemAccess> chunk(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        for (auto &a : chunk)
+            gen.next(a);
+        benchmark::DoNotOptimize(chunk.front().addr);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_MarkovStreamNextLoop)->Arg(64)->Arg(1024)->Arg(4096);
+
+/** Zero-copy replay of a cached stream (the StreamCache hit path). */
+void
+BM_ReplayFillChunk(benchmark::State &state)
+{
+    constexpr std::size_t kStream = 1u << 20;
+    auto buffer =
+        std::make_shared<std::vector<trace::MemAccess>>(kStream);
+    {
+        trace::MarkovStream gen(trace::specProfile("gcc"));
+        gen.fillChunk(buffer->data(), kStream);
+    }
+    trace::ReplayGenerator replay("gcc", buffer);
+    std::vector<trace::MemAccess> chunk(4096);
+    for (auto _ : state) {
+        if (replay.fillChunk(chunk.data(), chunk.size()) < chunk.size())
+            replay.reset();
+        benchmark::DoNotOptimize(chunk.front().addr);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(chunk.size()));
+}
+BENCHMARK(BM_ReplayFillChunk);
 
 void
 BM_ControllerAccess(benchmark::State &state)

@@ -68,6 +68,8 @@ usageText()
           "execution\n"
           "  --jobs N            worker threads for multi-scheme runs "
           "(default: C8T_JOBS or hardware concurrency)\n"
+          "  --stream-cache MB   stream memoization budget in MiB; 0 "
+          "disables (default: C8T_STREAM_CACHE_MB or 512)\n"
           "\n"
           "output\n"
           "  --stats             dump the full statistics registry\n"
@@ -165,6 +167,9 @@ parseOptions(const std::vector<std::string> &args)
                 static_cast<unsigned>(parseU64(a, need_value(i++, a)));
             if (opt.jobs == 0)
                 throw std::invalid_argument("--jobs: must be >= 1");
+        } else if (a == "--stream-cache") {
+            opt.streamCacheMb = static_cast<std::int64_t>(
+                parseU64(a, need_value(i++, a)));
         } else if (a == "--no-silent-detection") {
             opt.silentDetection = false;
         } else if (a == "--stats") {

@@ -60,6 +60,11 @@ struct SimOptions
      *  C8T_JOBS env var, else hardware_concurrency). */
     unsigned jobs = 0;
 
+    /** Stream-cache budget in MiB (--stream-cache MB; 0 disables
+     *  memoization, -1 = keep the C8T_STREAM_CACHE_MB / built-in
+     *  default). */
+    std::int64_t streamCacheMb = -1;
+
     /** Dump the full statistics registry after the run (--stats). */
     bool dumpStats = false;
 

@@ -5,6 +5,7 @@
 
 #include "core/simulator.hh"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace c8t::core
@@ -31,31 +32,57 @@ MultiSchemeRunner::controller(std::size_t i)
     return *_controllers.at(i);
 }
 
+std::uint64_t
+MultiSchemeRunner::replayWindow(trace::AccessGenerator &gen,
+                                std::uint64_t accesses, bool measured)
+{
+    const bool hooked = measured && _intervalAccesses && _intervalHook;
+
+    std::uint64_t done = 0;
+    while (done < accesses) {
+        std::uint64_t want =
+            std::min<std::uint64_t>(kChunkAccesses, accesses - done);
+        if (hooked) {
+            // Never let a chunk straddle an interval boundary: the
+            // hook must observe the controllers exactly at multiples
+            // of the interval, as the per-access loop did.
+            want = std::min(want,
+                            _intervalAccesses - done % _intervalAccesses);
+        }
+        const std::size_t got =
+            gen.fillChunk(_chunk.data(), static_cast<std::size_t>(want));
+        if (got == 0)
+            break;
+
+        // Controllers are fully independent (each owns its memory), so
+        // feeding them one after the other from the flat chunk is
+        // result-identical to interleaving them per access.
+        const trace::MemAccess *chunk = _chunk.data();
+        for (auto &ctrl : _controllers) {
+            CacheController &c = *ctrl;
+            for (std::size_t i = 0; i < got; ++i)
+                c.access(chunk[i]);
+        }
+
+        done += got;
+        if (hooked && done % _intervalAccesses == 0)
+            _intervalHook(done);
+    }
+    return done;
+}
+
 std::vector<SchemeRunResult>
 MultiSchemeRunner::run(trace::AccessGenerator &gen, const RunConfig &run)
 {
     gen.reset();
+    if (_chunk.size() < kChunkAccesses)
+        _chunk.resize(kChunkAccesses);
 
-    trace::MemAccess a;
-    for (std::uint64_t i = 0; i < run.warmupAccesses; ++i) {
-        if (!gen.next(a))
-            break;
-        for (auto &ctrl : _controllers)
-            ctrl->access(a);
-    }
+    replayWindow(gen, run.warmupAccesses, false);
     for (auto &ctrl : _controllers)
         ctrl->resetStats();
 
-    for (std::uint64_t i = 0; i < run.measureAccesses; ++i) {
-        if (!gen.next(a))
-            break;
-        for (auto &ctrl : _controllers)
-            ctrl->access(a);
-        if (_intervalAccesses && (i + 1) % _intervalAccesses == 0 &&
-            _intervalHook) {
-            _intervalHook(i + 1);
-        }
-    }
+    replayWindow(gen, run.measureAccesses, true);
     for (auto &ctrl : _controllers)
         ctrl->drain();
 

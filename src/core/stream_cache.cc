@@ -1,0 +1,204 @@
+/**
+ * @file
+ * StreamCache implementation.
+ */
+
+#include "core/stream_cache.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace c8t::core
+{
+
+namespace
+{
+
+/** Fallback budget: 512 MiB holds every default-length figure sweep
+ *  (25 profiles × 330 k accesses × 24 B ≈ 198 MiB) with headroom. */
+constexpr std::size_t kDefaultBudgetBytes = 512ull << 20;
+
+} // anonymous namespace
+
+std::size_t
+StreamCache::defaultByteBudget()
+{
+    static const std::size_t chosen = [] {
+        const char *env = std::getenv("C8T_STREAM_CACHE_MB");
+        if (!env)
+            return kDefaultBudgetBytes;
+        char *end = nullptr;
+        errno = 0;
+        const unsigned long long mb = std::strtoull(env, &end, 10);
+        if (end == env || *end != '\0' || errno == ERANGE) {
+            std::cerr << "stream-cache: ignoring invalid "
+                         "C8T_STREAM_CACHE_MB=\""
+                      << env << "\" (want a non-negative integer)\n";
+            return kDefaultBudgetBytes;
+        }
+        return static_cast<std::size_t>(mb) << 20;
+    }();
+    return chosen;
+}
+
+StreamCache::StreamCache(std::size_t byte_budget)
+    : _byteBudget(byte_budget)
+{
+}
+
+std::size_t
+StreamCache::byteBudget() const
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    return _byteBudget;
+}
+
+StreamCache::Stats
+StreamCache::stats() const
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    Stats s = _stats;
+    s.entries = _entries.size();
+    s.bytes = _bytes;
+    return s;
+}
+
+void
+StreamCache::clear()
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    _entries.clear();
+    _bytes = 0;
+}
+
+void
+StreamCache::setByteBudget(std::size_t bytes)
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    _byteBudget = bytes;
+    if (_byteBudget == 0) {
+        _entries.clear();
+        _bytes = 0;
+    } else {
+        evictToFitLocked();
+    }
+}
+
+void
+StreamCache::evictToFitLocked()
+{
+    // Recompute instead of tracking deltas: the map is tiny (one entry
+    // per distinct workload) and recomputing makes the accounting
+    // immune to entries that were cleared while a generation was in
+    // flight.
+    _bytes = 0;
+    for (const auto &[key, entry] : _entries) {
+        if (entry->buffer)
+            _bytes += entry->buffer->size() * sizeof(trace::MemAccess);
+    }
+
+    while (_bytes > _byteBudget) {
+        // Evict the least-recently-used filled entry. Unfilled entries
+        // (generation in progress elsewhere) hold no bytes.
+        auto victim = _entries.end();
+        for (auto it = _entries.begin(); it != _entries.end(); ++it) {
+            if (!it->second->buffer)
+                continue;
+            if (victim == _entries.end() ||
+                it->second->lastUse < victim->second->lastUse) {
+                victim = it;
+            }
+        }
+        if (victim == _entries.end())
+            break;
+        _bytes -=
+            victim->second->buffer->size() * sizeof(trace::MemAccess);
+        _entries.erase(victim);
+        ++_stats.evictions;
+    }
+}
+
+std::unique_ptr<trace::AccessGenerator>
+StreamCache::acquire(const std::string &key, std::uint64_t accesses,
+                     const GeneratorFactory &make)
+{
+    if (key.empty())
+        throw std::invalid_argument("StreamCache: empty key");
+    if (!make)
+        throw std::invalid_argument("StreamCache: null factory");
+
+    std::shared_ptr<Entry> entry;
+    {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        // Streams that alone exceed the budget are never buffered, so
+        // the cap bounds transient memory too, not just residency.
+        if (_byteBudget == 0 ||
+            accesses > _byteBudget / sizeof(trace::MemAccess)) {
+            ++_stats.bypasses;
+        } else {
+            auto &slot = _entries[key];
+            if (!slot)
+                slot = std::make_shared<Entry>();
+            entry = slot;
+            entry->lastUse = ++_useCounter;
+        }
+    }
+    if (!entry)
+        return make();
+
+    // Per-entry lock: concurrent first requests for one workload
+    // generate it exactly once; requests for other keys proceed in
+    // parallel.
+    std::unique_lock<std::mutex> fill(entry->fillMutex);
+    if (entry->buffer &&
+        (entry->buffer->size() >= accesses || entry->exhausted)) {
+        trace::ReplayGenerator::Buffer buffer = entry->buffer;
+        std::string name = entry->name;
+        fill.unlock();
+        const std::lock_guard<std::mutex> lock(_mutex);
+        ++_stats.hits;
+        return std::make_unique<trace::ReplayGenerator>(std::move(name),
+                                                        std::move(buffer));
+    }
+
+    // Miss (or a shorter buffer than this request needs): build the
+    // workload and capture the whole requested window in one pass.
+    const std::unique_ptr<trace::AccessGenerator> gen = make();
+    if (!gen)
+        throw std::invalid_argument("StreamCache: factory returned null");
+    gen->reset();
+
+    auto buf = std::make_shared<std::vector<trace::MemAccess>>(
+        static_cast<std::size_t>(accesses));
+    const std::size_t filled =
+        gen->fillChunk(buf->data(), static_cast<std::size_t>(accesses));
+    const bool exhausted = filled < accesses;
+    buf->resize(filled);
+    buf->shrink_to_fit();
+
+    entry->buffer = std::move(buf);
+    entry->name = gen->name();
+    entry->exhausted = exhausted;
+    trace::ReplayGenerator::Buffer buffer = entry->buffer;
+    std::string name = entry->name;
+    fill.unlock();
+
+    {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        ++_stats.misses;
+        evictToFitLocked();
+    }
+    return std::make_unique<trace::ReplayGenerator>(std::move(name),
+                                                    std::move(buffer));
+}
+
+StreamCache &
+globalStreamCache()
+{
+    static StreamCache cache;
+    return cache;
+}
+
+} // namespace c8t::core

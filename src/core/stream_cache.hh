@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Cross-job memoization of generated access streams.
+ *
+ * Figure sweeps replay the identical calibrated stream through many
+ * (cache config × scheme) combinations: every job regenerating its
+ * MarkovStream from scratch is redundant work whose outcome is known
+ * in advance. StreamCache generates each distinct workload once into
+ * an immutable ref-counted buffer and hands every subsequent job a
+ * zero-copy trace::ReplayGenerator over it.
+ *
+ * Keying: a deterministic workload signature string (for SPEC profiles
+ * trace::streamSignature, which serialises every generation-relevant
+ * StreamParams field exactly). Equal keys therefore guarantee
+ * byte-identical streams, so replays cannot perturb results — the
+ * sweep engine's bit-identical determinism contract holds with the
+ * cache on or off (tests/stream_identity_test.cc).
+ *
+ * Memory cap: a byte budget resolved from C8T_STREAM_CACHE_MB (default
+ * 512 MiB, "0" disables caching) or c8tsim --stream-cache. Entries are
+ * evicted least-recently-used; a stream whose requested length alone
+ * exceeds the budget is generated per job as before (never buffered,
+ * so the cap also bounds transient memory). In-flight replays keep
+ * their buffer alive through the shared_ptr even after eviction.
+ *
+ * Thread safety: acquire() may be called concurrently from sweep
+ * workers. The index is guarded by one mutex; generation of a given
+ * entry is serialised by a per-entry mutex so concurrent first
+ * requests for the same key generate the stream exactly once.
+ */
+
+#ifndef C8T_CORE_STREAM_CACHE_HH
+#define C8T_CORE_STREAM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/access.hh"
+#include "trace/replay.hh"
+
+namespace c8t::core
+{
+
+/**
+ * Process-wide cache of generated access streams.
+ */
+class StreamCache
+{
+  public:
+    /** Builds the workload on a miss (a SweepJob::makeGenerator). */
+    using GeneratorFactory =
+        std::function<std::unique_ptr<trace::AccessGenerator>()>;
+
+    /** Observable cache behaviour (tests, diagnostics). */
+    struct Stats
+    {
+        /** acquire() calls served from a cached buffer. */
+        std::uint64_t hits = 0;
+
+        /** acquire() calls that generated (or regenerated) a buffer. */
+        std::uint64_t misses = 0;
+
+        /** acquire() calls bypassed: caching disabled or the stream
+         *  alone would not fit in the budget. */
+        std::uint64_t bypasses = 0;
+
+        /** Entries evicted to stay within the budget. */
+        std::uint64_t evictions = 0;
+
+        /** Resident entries / bytes right now. */
+        std::size_t entries = 0;
+        std::size_t bytes = 0;
+    };
+
+    /** @param byte_budget Cap on resident buffer bytes; 0 disables. */
+    explicit StreamCache(std::size_t byte_budget = defaultByteBudget());
+
+    /**
+     * Return a generator for the stream identified by @p key.
+     *
+     * On a hit the result is a ReplayGenerator over the cached buffer.
+     * On a miss @p make builds the workload, the first
+     * @p accesses accesses are generated into a new buffer (fewer if
+     * the stream ends early) and cached, and a ReplayGenerator over it
+     * is returned. When caching is off or @p accesses alone exceeds
+     * the budget, the freshly built generator is returned unwrapped.
+     *
+     * A cached buffer satisfies a request when it holds at least
+     * @p accesses accesses or the generator was exhausted when it was
+     * filled (the replay then ends exactly where a live generator
+     * would); otherwise the stream is regenerated at the longer
+     * length.
+     *
+     * @param key      Deterministic workload signature; must be
+     *                 non-empty.
+     * @param accesses Accesses the caller will consume (warm-up +
+     *                 measure).
+     * @param make     Factory invoked on a miss.
+     * @throws std::invalid_argument on an empty key or null factory.
+     */
+    std::unique_ptr<trace::AccessGenerator>
+    acquire(const std::string &key, std::uint64_t accesses,
+            const GeneratorFactory &make);
+
+    /** Change the budget (evicts immediately if now over). 0 disables
+     *  caching for subsequent acquire() calls and drops all entries. */
+    void setByteBudget(std::size_t bytes);
+
+    /** Current byte budget. */
+    std::size_t byteBudget() const;
+
+    /** Whether acquire() may cache at all. */
+    bool enabled() const { return byteBudget() > 0; }
+
+    /** Snapshot of the counters. */
+    Stats stats() const;
+
+    /** Drop every entry (counters keep accumulating). */
+    void clear();
+
+    /** Budget from C8T_STREAM_CACHE_MB (default 512 MiB; "0"
+     *  disables; invalid values warn once and use the default). */
+    static std::size_t defaultByteBudget();
+
+  private:
+    struct Entry
+    {
+        std::mutex fillMutex;
+        trace::ReplayGenerator::Buffer buffer;
+        std::string name;
+        bool exhausted = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    void evictToFitLocked();
+
+    mutable std::mutex _mutex;
+    std::unordered_map<std::string, std::shared_ptr<Entry>> _entries;
+    std::size_t _byteBudget;
+    std::size_t _bytes = 0;
+    std::uint64_t _useCounter = 0;
+    Stats _stats;
+};
+
+/** The process-global stream cache every sweep shares. */
+StreamCache &globalStreamCache();
+
+} // namespace c8t::core
+
+#endif // C8T_CORE_STREAM_CACHE_HH

@@ -18,6 +18,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/stream_cache.hh"
 #include "obs/chrome_trace.hh"
 #include "stats/json.hh"
 #include "trace/markov_stream.hh"
@@ -47,7 +48,14 @@ executeJob(const SweepJob &job, const RunConfig &rc)
     if (job.configs.empty())
         throw std::invalid_argument("SweepJob: no configs");
 
-    const std::unique_ptr<trace::AccessGenerator> gen = job.makeGenerator();
+    std::unique_ptr<trace::AccessGenerator> gen;
+    if (!job.streamKey.empty()) {
+        gen = globalStreamCache().acquire(
+            job.streamKey, rc.warmupAccesses + rc.measureAccesses,
+            job.makeGenerator);
+    } else {
+        gen = job.makeGenerator();
+    }
     MultiSchemeRunner runner(job.configs);
     if (job.prepare)
         job.prepare(runner);
@@ -310,6 +318,10 @@ specSweepJobs(const mem::CacheConfig &cache,
         job.makeGenerator = [p]() -> std::unique_ptr<trace::AccessGenerator> {
             return std::make_unique<trace::MarkovStream>(p);
         };
+        // The signature ignores the cache/scheme configuration, so the
+        // same profile swept over several geometries (fig11) replays
+        // one shared buffer instead of regenerating per sweep.
+        job.streamKey = trace::streamSignature(p);
         job.configs.reserve(schemes.size());
         for (WriteScheme s : schemes) {
             ControllerConfig c;

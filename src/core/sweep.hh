@@ -60,6 +60,18 @@ struct SweepJob
     /** Build the job's workload. Called once, on the worker thread. */
     std::function<std::unique_ptr<trace::AccessGenerator>()> makeGenerator;
 
+    /**
+     * Deterministic workload signature for cross-job stream
+     * memoization (core::StreamCache). Empty (the default) opts the
+     * job out: every execution builds a fresh generator. When set, it
+     * MUST uniquely identify the byte stream makeGenerator produces —
+     * equal keys promise byte-identical streams (use
+     * trace::streamSignature for SPEC profiles). The first job with a
+     * given key generates the stream once; later jobs replay the
+     * shared buffer zero-copy, which cannot change any result.
+     */
+    std::string streamKey;
+
     /** Controller configurations (one result per config). */
     std::vector<ControllerConfig> configs;
 

@@ -11,21 +11,133 @@
 namespace c8t::mem
 {
 
+namespace
+{
+
+/** Finalizer-quality mixer (splitmix64) over the page base. */
+inline std::size_t
+hashPage(Addr page_base)
+{
+    std::uint64_t x = page_base;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+}
+
+/** Smallest power of two >= @p n (and >= 64). */
+std::size_t
+tableCapacityFor(std::size_t n)
+{
+    std::size_t cap = 64;
+    while (cap < n)
+        cap <<= 1;
+    return cap;
+}
+
+} // anonymous namespace
+
+const std::uint8_t *
+FunctionalMemory::findPage(Addr page_base) const
+{
+    if (_keys.empty())
+        return nullptr;
+    const std::size_t mask = _keys.size() - 1;
+    std::size_t i = hashPage(page_base) & mask;
+    while (_keys[i] != kNoPage) {
+        if (_keys[i] == page_base)
+            return _pages[_pageOf[i]].get();
+        i = (i + 1) & mask;
+    }
+    return nullptr;
+}
+
+std::uint32_t
+FunctionalMemory::takePage()
+{
+    if (!_freePages.empty()) {
+        const std::uint32_t p = _freePages.back();
+        _freePages.pop_back();
+        return p;
+    }
+    // make_unique value-initialises the array, so new pages are zero.
+    _pages.push_back(std::make_unique<std::uint8_t[]>(pageBytes));
+    return static_cast<std::uint32_t>(_pages.size() - 1);
+}
+
+void
+FunctionalMemory::growTable(std::size_t min_capacity)
+{
+    const std::size_t cap = tableCapacityFor(min_capacity);
+    if (cap <= _keys.size())
+        return;
+
+    std::vector<Addr> old_keys = std::move(_keys);
+    std::vector<std::uint32_t> old_pages = std::move(_pageOf);
+    _keys.assign(cap, kNoPage);
+    _pageOf.assign(cap, 0);
+
+    const std::size_t mask = cap - 1;
+    for (std::size_t s = 0; s < old_keys.size(); ++s) {
+        if (old_keys[s] == kNoPage)
+            continue;
+        std::size_t i = hashPage(old_keys[s]) & mask;
+        while (_keys[i] != kNoPage)
+            i = (i + 1) & mask;
+        _keys[i] = old_keys[s];
+        _pageOf[i] = old_pages[s];
+    }
+}
+
+std::uint8_t *
+FunctionalMemory::ensurePage(Addr page_base)
+{
+    // Keep the load factor below 3/4 (counting the slot about to be
+    // claimed).
+    if (_keys.empty() || (_used + 1) * 4 > _keys.size() * 3)
+        growTable(_keys.empty() ? 64 : _keys.size() * 2);
+
+    const std::size_t mask = _keys.size() - 1;
+    std::size_t i = hashPage(page_base) & mask;
+    while (_keys[i] != kNoPage) {
+        if (_keys[i] == page_base)
+            return _pages[_pageOf[i]].get();
+        i = (i + 1) & mask;
+    }
+    _keys[i] = page_base;
+    _pageOf[i] = takePage();
+    ++_used;
+    return _pages[_pageOf[i]].get();
+}
+
 std::uint64_t
 FunctionalMemory::readWord(Addr addr) const
 {
-    return _words.get(addr & ~7ull);
+    const Addr word = addr & ~7ull;
+    const std::uint8_t *page = findPage(pageBase(word));
+    if (!page)
+        return 0;
+    // Aligned words never straddle a page. Assemble little-endian so
+    // the word view and the byte view agree on every host.
+    const std::uint8_t *p = page + (word & (pageBytes - 1));
+    std::uint64_t v = 0;
+    for (int b = 7; b >= 0; --b)
+        v = (v << 8) | p[b];
+    return v;
 }
 
 void
 FunctionalMemory::writeWord(Addr addr, std::uint64_t value)
 {
     const Addr word = addr & ~7ull;
-    if (value == 0) {
-        // Keep the map sparse: zero is the default.
-        _words.erase(word);
-    } else {
-        _words.set(word, value);
+    if (value == 0 && !findPage(pageBase(word)))
+        return; // zero store to untouched memory: nothing to record
+    std::uint8_t *p = ensurePage(pageBase(word)) + (word & (pageBytes - 1));
+    for (int b = 0; b < 8; ++b) {
+        p[b] = static_cast<std::uint8_t>(value);
+        value >>= 8;
     }
 }
 
@@ -36,12 +148,14 @@ FunctionalMemory::readBytes(Addr addr, std::uint8_t *out,
     std::size_t i = 0;
     while (i < len) {
         const Addr a = addr + i;
-        const Addr word_base = a & ~7ull;
-        const std::uint64_t w = readWord(word_base);
-        const std::size_t off = static_cast<std::size_t>(a - word_base);
-        const std::size_t n = std::min<std::size_t>(8 - off, len - i);
-        for (std::size_t b = 0; b < n; ++b)
-            out[i + b] = static_cast<std::uint8_t>(w >> (8 * (off + b)));
+        const Addr base = pageBase(a);
+        const std::size_t off = static_cast<std::size_t>(a - base);
+        const std::size_t n = std::min<std::size_t>(pageBytes - off,
+                                                    len - i);
+        if (const std::uint8_t *page = findPage(base))
+            std::memcpy(out + i, page + off, n);
+        else
+            std::memset(out + i, 0, n);
         i += n;
     }
 }
@@ -61,17 +175,63 @@ FunctionalMemory::writeBytes(Addr addr, const std::uint8_t *data,
     std::size_t i = 0;
     while (i < len) {
         const Addr a = addr + i;
-        const Addr word_base = a & ~7ull;
-        std::uint64_t w = readWord(word_base);
-        const std::size_t off = static_cast<std::size_t>(a - word_base);
-        const std::size_t n = std::min<std::size_t>(8 - off, len - i);
-        for (std::size_t b = 0; b < n; ++b) {
-            const std::size_t shift = 8 * (off + b);
-            w &= ~(0xffull << shift);
-            w |= static_cast<std::uint64_t>(data[i + b]) << shift;
-        }
-        writeWord(word_base, w);
+        const Addr base = pageBase(a);
+        const std::size_t off = static_cast<std::size_t>(a - base);
+        const std::size_t n = std::min<std::size_t>(pageBytes - off,
+                                                    len - i);
+        std::memcpy(ensurePage(base) + off, data + i, n);
         i += n;
+    }
+}
+
+std::size_t
+FunctionalMemory::touchedWords() const
+{
+    // Diagnostic accessor (tests, invariant checks): scan the live
+    // pages for words holding non-zero data, which preserves the
+    // historical "zero is not stored" semantics without the hot path
+    // having to chase zero writes.
+    std::size_t count = 0;
+    for (std::size_t s = 0; s < _keys.size(); ++s) {
+        if (_keys[s] == kNoPage)
+            continue;
+        const std::uint8_t *page = _pages[_pageOf[s]].get();
+        for (std::size_t w = 0; w < pageBytes; w += 8) {
+            std::uint64_t v;
+            std::memcpy(&v, page + w, 8);
+            if (v != 0)
+                ++count;
+        }
+    }
+    return count;
+}
+
+void
+FunctionalMemory::clear()
+{
+    for (std::size_t s = 0; s < _keys.size(); ++s) {
+        if (_keys[s] == kNoPage)
+            continue;
+        std::memset(_pages[_pageOf[s]].get(), 0, pageBytes);
+        _freePages.push_back(_pageOf[s]);
+        _keys[s] = kNoPage;
+    }
+    _used = 0;
+}
+
+void
+FunctionalMemory::reserve(std::size_t words)
+{
+    const std::size_t pages = (words * 8 + pageBytes - 1) / pageBytes;
+    // Table sized so `pages` live entries stay under the 3/4 load
+    // factor.
+    growTable(pages * 4 / 3 + 1);
+    _pages.reserve(std::max(_pages.size(), pages));
+    _freePages.reserve(std::max(_freePages.size(), pages));
+    while (_used + _freePages.size() < pages) {
+        _pages.push_back(std::make_unique<std::uint8_t[]>(pageBytes));
+        _freePages.push_back(
+            static_cast<std::uint32_t>(_pages.size() - 1));
     }
 }
 

@@ -3,31 +3,44 @@
  * Sparse functional backing memory.
  *
  * Holds the architectural state below the cache. Storage is a sparse
- * map of 64-bit words; untouched memory reads as zero. Byte-granular
- * accessors let the cache move arbitrary block sizes. The map is a
- * flat open-addressing table (mem/word_map.hh), so servicing a miss
- * never allocates once the table has grown to the working set — the
- * controller hot path stays heap-quiet.
+ * set of zero-filled 4 KiB pages indexed by an open-addressing page
+ * table: untouched memory reads as zero, and the block-granular
+ * transfers on the miss path (readBytes/writeBytes of a whole cache
+ * block) cost one page-table probe plus one memcpy instead of the old
+ * per-word hash probe with per-byte shifting — the dominant cost of
+ * servicing a miss in the sweep profile.
+ *
+ * Allocation discipline: pages are allocated once on first touch and
+ * recycled by clear(); reserve() pre-sizes both the page table and the
+ * page pool, after which every access path is strictly allocation-free
+ * (tests/hot_path_alloc_test.cc enforces this through a counting
+ * global allocator).
  */
 
 #ifndef C8T_MEM_FUNCTIONAL_MEM_HH
 #define C8T_MEM_FUNCTIONAL_MEM_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "mem/addr.hh"
-#include "mem/word_map.hh"
 
 namespace c8t::mem
 {
 
 /**
- * Sparse, word-granular functional memory.
+ * Sparse, page-backed functional memory with word semantics identical
+ * to the historical word-map version: reads of untouched memory yield
+ * zero, and touchedWords() counts words currently holding non-zero
+ * data.
  */
 class FunctionalMemory
 {
   public:
+    /** Backing page size in bytes (aligned power of two). */
+    static constexpr std::size_t pageBytes = 4096;
+
     /** Read the aligned 64-bit word containing @p addr. */
     std::uint64_t readWord(Addr addr) const;
 
@@ -44,17 +57,41 @@ class FunctionalMemory
     void writeBytes(Addr addr, const std::uint8_t *data, std::size_t len);
 
     /** Number of distinct words currently holding non-zero data. */
-    std::size_t touchedWords() const { return _words.size(); }
+    std::size_t touchedWords() const;
 
-    /** Drop all contents (memory reads as zero again). */
-    void clear() { _words.clear(); }
+    /** Drop all contents (memory reads as zero again). Pages are
+     *  recycled, not freed, so refilling does not allocate. */
+    void clear();
 
-    /** Pre-size the word table so @p words fit without rehashing
-     *  (makes subsequent writes strictly allocation-free). */
-    void reserve(std::size_t words) { _words.reserve(words); }
+    /** Pre-size the page table and page pool so @p words words fit
+     *  without allocating (makes subsequent accesses strictly
+     *  allocation-free). */
+    void reserve(std::size_t words);
 
   private:
-    WordMap _words;
+    /** Sentinel for an empty page-table slot (page bases are aligned,
+     *  so an all-ones key can never collide with one). */
+    static constexpr Addr kNoPage = ~Addr(0);
+
+    /** Base address of the page containing @p addr. */
+    static constexpr Addr pageBase(Addr addr)
+    {
+        return addr & ~static_cast<Addr>(pageBytes - 1);
+    }
+
+    const std::uint8_t *findPage(Addr page_base) const;
+    std::uint8_t *ensurePage(Addr page_base);
+    void growTable(std::size_t min_capacity);
+    std::uint32_t takePage();
+
+    /** Open-addressing page table: _keys/_pageOf are parallel. */
+    std::vector<Addr> _keys;
+    std::vector<std::uint32_t> _pageOf;
+    std::size_t _used = 0;
+
+    /** Page pool; indices in _freePages are zeroed and reusable. */
+    std::vector<std::unique_ptr<std::uint8_t[]>> _pages;
+    std::vector<std::uint32_t> _freePages;
 };
 
 } // namespace c8t::mem

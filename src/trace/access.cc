@@ -16,6 +16,15 @@ toString(AccessType t)
     return t == AccessType::Read ? "R" : "W";
 }
 
+std::size_t
+AccessGenerator::fillChunk(MemAccess *dst, std::size_t n)
+{
+    std::size_t i = 0;
+    while (i < n && next(dst[i]))
+        ++i;
+    return i;
+}
+
 std::string
 MemAccess::toString() const
 {

@@ -7,6 +7,7 @@
 #ifndef C8T_TRACE_ACCESS_HH
 #define C8T_TRACE_ACCESS_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -86,6 +87,25 @@ class AccessGenerator
      * @retval false The stream has ended; @p out is unchanged.
      */
     virtual bool next(MemAccess &out) = 0;
+
+    /**
+     * Produce up to @p n accesses into @p dst.
+     *
+     * Semantically equivalent to calling next() repeatedly: the
+     * concatenation of all fillChunk() results is byte-identical to
+     * the next() stream (tests/stream_identity_test.cc pins this for
+     * every generator). The base implementation loops over next();
+     * hot generators (MarkovStream, the kernels, ReplayGenerator)
+     * override it with a tight non-virtual inner loop so the sweep
+     * engine pays one virtual dispatch per chunk instead of one per
+     * access.
+     *
+     * @param dst Destination array with room for @p n records.
+     * @param n   Maximum number of accesses to produce.
+     * @return Number of accesses produced; less than @p n only when
+     *         the stream ended.
+     */
+    virtual std::size_t fillChunk(MemAccess *dst, std::size_t n);
 
     /** Restart the stream from the beginning (same seed, same content). */
     virtual void reset() = 0;

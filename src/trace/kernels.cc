@@ -18,6 +18,21 @@ namespace
 constexpr std::uint64_t srcBase = 0x200000000ull;
 constexpr std::uint64_t dstBase = 0x240000000ull;
 
+/**
+ * Shared fillChunk body: the explicitly qualified K::next call binds
+ * statically, so the per-access loop pays no virtual dispatch while
+ * staying byte-identical to repeated next().
+ */
+template <typename K>
+std::size_t
+fillDirect(K &k, MemAccess *dst, std::size_t n)
+{
+    std::size_t i = 0;
+    while (i < n && k.K::next(dst[i]))
+        ++i;
+    return i;
+}
+
 } // anonymous namespace
 
 std::uint64_t
@@ -115,6 +130,12 @@ StreamCopyKernel::next(MemAccess &out)
     return true;
 }
 
+std::size_t
+StreamCopyKernel::fillChunk(MemAccess *dst, std::size_t n)
+{
+    return fillDirect(*this, dst, n);
+}
+
 void
 StreamCopyKernel::reset()
 {
@@ -156,6 +177,12 @@ StencilKernel::next(MemAccess &out)
     return true;
 }
 
+std::size_t
+StencilKernel::fillChunk(MemAccess *dst, std::size_t n)
+{
+    return fillDirect(*this, dst, n);
+}
+
 void
 StencilKernel::reset()
 {
@@ -189,6 +216,12 @@ PointerChaseKernel::next(MemAccess &out)
     out = makeRead(srcBase + _pos * 64, 3);
     ++_done;
     return true;
+}
+
+std::size_t
+PointerChaseKernel::fillChunk(MemAccess *dst, std::size_t n)
+{
+    return fillDirect(*this, dst, n);
 }
 
 void
@@ -233,6 +266,12 @@ HashUpdateKernel::next(MemAccess &out)
     return true;
 }
 
+std::size_t
+HashUpdateKernel::fillChunk(MemAccess *dst, std::size_t n)
+{
+    return fillDirect(*this, dst, n);
+}
+
 void
 HashUpdateKernel::reset()
 {
@@ -272,6 +311,12 @@ FillKernel::next(MemAccess &out)
         ++_pass;
     }
     return true;
+}
+
+std::size_t
+FillKernel::fillChunk(MemAccess *dst, std::size_t n)
+{
+    return fillDirect(*this, dst, n);
 }
 
 void
@@ -334,6 +379,12 @@ TransposeKernel::next(MemAccess &out)
         advance();
     }
     return true;
+}
+
+std::size_t
+TransposeKernel::fillChunk(MemAccess *dst, std::size_t n)
+{
+    return fillDirect(*this, dst, n);
 }
 
 void

@@ -75,6 +75,7 @@ class StreamCopyKernel : public KernelBase
                      std::uint64_t seed = 42);
 
     bool next(MemAccess &out) override;
+    std::size_t fillChunk(MemAccess *dst, std::size_t n) override;
     void reset() override;
     std::string name() const override { return "stream_copy"; }
 
@@ -98,6 +99,7 @@ class StencilKernel : public KernelBase
                   std::uint64_t seed = 43);
 
     bool next(MemAccess &out) override;
+    std::size_t fillChunk(MemAccess *dst, std::size_t n) override;
     void reset() override;
     std::string name() const override { return "stencil3"; }
 
@@ -121,6 +123,7 @@ class PointerChaseKernel : public KernelBase
                        std::uint64_t seed = 44);
 
     bool next(MemAccess &out) override;
+    std::size_t fillChunk(MemAccess *dst, std::size_t n) override;
     void reset() override;
     std::string name() const override { return "pointer_chase"; }
 
@@ -154,6 +157,7 @@ class HashUpdateKernel : public KernelBase
                      std::uint64_t seed = 45);
 
     bool next(MemAccess &out) override;
+    std::size_t fillChunk(MemAccess *dst, std::size_t n) override;
     void reset() override;
     std::string name() const override { return "hash_update"; }
 
@@ -188,6 +192,7 @@ class FillKernel : public KernelBase
                std::uint64_t seed = 47);
 
     bool next(MemAccess &out) override;
+    std::size_t fillChunk(MemAccess *dst, std::size_t n) override;
     void reset() override;
     std::string name() const override { return "fill"; }
 
@@ -215,6 +220,7 @@ class TransposeKernel : public KernelBase
                     std::uint64_t seed = 46);
 
     bool next(MemAccess &out) override;
+    std::size_t fillChunk(MemAccess *dst, std::size_t n) override;
     void reset() override;
     std::string name() const override { return "transpose"; }
 

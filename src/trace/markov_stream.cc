@@ -24,6 +24,7 @@
 #include "trace/markov_stream.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
@@ -250,6 +251,24 @@ MarkovStream::freshValue(std::uint64_t addr)
 bool
 MarkovStream::next(MemAccess &out)
 {
+    generate(out);
+    return true;
+}
+
+std::size_t
+MarkovStream::fillChunk(MemAccess *dst, std::size_t n)
+{
+    // Unbounded stream: always produces n accesses. The non-virtual
+    // inner loop is what the chunked runner buys over per-access
+    // next() dispatch.
+    for (std::size_t i = 0; i < n; ++i)
+        generate(dst[i]);
+    return n;
+}
+
+void
+MarkovStream::generate(MemAccess &out)
+{
     out.gap = static_cast<std::uint32_t>(
         _rng.geometric(_params.memFraction));
     out.size = 8;
@@ -314,7 +333,41 @@ MarkovStream::next(MemAccess &out)
     _prevType = cur;
     _prevAddr = addr;
     _first = false;
-    return true;
+}
+
+std::string
+streamSignature(const StreamParams &p)
+{
+    // Hexfloat rendering is exact: distinct doubles can never collide,
+    // and equal doubles always render identically.
+    const auto put_f = [](std::ostringstream &os, const char *field,
+                          double v) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%a", v);
+        os << '|' << field << '=' << buf;
+    };
+
+    std::ostringstream os;
+    os << "markov:v1|name=" << p.name;
+    put_f(os, "mem", p.memFraction);
+    put_f(os, "read", p.readShare);
+    put_f(os, "rr", p.rr);
+    put_f(os, "rw", p.rw);
+    put_f(os, "ww", p.ww);
+    put_f(os, "wr", p.wr);
+    put_f(os, "silent", p.silentFraction);
+    put_f(os, "blockbias", p.sameBlockBias);
+    put_f(os, "wret", p.pWriteReturn);
+    put_f(os, "rret", p.pReadReturn);
+    os << "|foot=" << p.footprintBytes
+       << "|window=" << p.randWindowBytes;
+    put_f(os, "seq", p.seqWeight);
+    put_f(os, "rand", p.randWeight);
+    put_f(os, "hot", p.hotWeight);
+    put_f(os, "chase", p.chaseWeight);
+    put_f(os, "skew", p.hotSkew);
+    os << "|seed=" << p.seed;
+    return os.str();
 }
 
 } // namespace c8t::trace

@@ -166,6 +166,7 @@ class MarkovStream : public AccessGenerator
     explicit MarkovStream(StreamParams params);
 
     bool next(MemAccess &out) override;
+    std::size_t fillChunk(MemAccess *dst, std::size_t n) override;
     void reset() override;
     std::string name() const override { return _params.name; }
 
@@ -180,6 +181,7 @@ class MarkovStream : public AccessGenerator
     std::uint64_t shadowValue(std::uint64_t addr) const;
 
   private:
+    void generate(MemAccess &out);
     std::uint64_t sameSetAddr(std::uint64_t prev);
     std::uint64_t diffSetAddr(std::uint64_t prev, AccessType cur);
     std::uint64_t freshValue(std::uint64_t addr);
@@ -204,6 +206,18 @@ class MarkovStream : public AccessGenerator
     std::uint64_t _base;
     std::uint64_t _footprint;
 };
+
+/**
+ * Deterministic identity of the stream a StreamParams value generates.
+ *
+ * Two parameter sets produce byte-identical streams if and only if
+ * their signatures compare equal: every generation-relevant field
+ * (including the seed and the name the results are reported under)
+ * is serialised exactly — doubles in hexfloat form, so no rounding can
+ * alias distinct parameters. This is the core::StreamCache key for
+ * SPEC-profile sweep jobs.
+ */
+std::string streamSignature(const StreamParams &params);
 
 } // namespace c8t::trace
 

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * ReplayGenerator implementation.
+ */
+
+#include "trace/replay.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace c8t::trace
+{
+
+ReplayGenerator::ReplayGenerator(std::string name, Buffer buffer)
+    : _name(std::move(name)), _buffer(std::move(buffer))
+{
+    if (!_buffer)
+        throw std::invalid_argument("ReplayGenerator: null buffer");
+}
+
+bool
+ReplayGenerator::next(MemAccess &out)
+{
+    if (_pos >= _buffer->size())
+        return false;
+    out = (*_buffer)[_pos++];
+    return true;
+}
+
+std::size_t
+ReplayGenerator::fillChunk(MemAccess *dst, std::size_t n)
+{
+    const std::size_t got = std::min(n, _buffer->size() - _pos);
+    std::copy_n(_buffer->data() + _pos, got, dst);
+    _pos += got;
+    return got;
+}
+
+} // namespace c8t::trace

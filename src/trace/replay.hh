@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Zero-copy replay of a pre-generated access stream.
+ *
+ * ReplayGenerator adapts an immutable, ref-counted MemAccess buffer to
+ * the AccessGenerator interface. The core::StreamCache hands the same
+ * buffer to every sweep job that requests the same workload signature,
+ * so the stream is generated once per process and replayed by plain
+ * memcpy afterwards — the accesses are byte-identical to what the
+ * original generator would have produced, and concurrent replays never
+ * contend (each generator only advances its own cursor).
+ */
+
+#ifndef C8T_TRACE_REPLAY_HH
+#define C8T_TRACE_REPLAY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/access.hh"
+
+namespace c8t::trace
+{
+
+/**
+ * Replays a shared immutable buffer of accesses.
+ */
+class ReplayGenerator : public AccessGenerator
+{
+  public:
+    /** The shared stream storage; never mutated after construction. */
+    using Buffer = std::shared_ptr<const std::vector<MemAccess>>;
+
+    /**
+     * @param name   Name the originating generator reported (results
+     *               must be indistinguishable from a live run).
+     * @param buffer The pre-generated stream; must not be null.
+     * @throws std::invalid_argument when @p buffer is null.
+     */
+    ReplayGenerator(std::string name, Buffer buffer);
+
+    bool next(MemAccess &out) override;
+    std::size_t fillChunk(MemAccess *dst, std::size_t n) override;
+    void reset() override { _pos = 0; }
+    std::string name() const override { return _name; }
+
+    /** Total accesses in the underlying buffer. */
+    std::size_t size() const { return _buffer->size(); }
+
+    /** Accesses remaining before the stream ends. */
+    std::size_t remaining() const { return _buffer->size() - _pos; }
+
+  private:
+    std::string _name;
+    Buffer _buffer;
+    std::size_t _pos = 0;
+};
+
+} // namespace c8t::trace
+
+#endif // C8T_TRACE_REPLAY_HH

@@ -114,6 +114,19 @@ TEST(Options, L2DisabledByDefault)
     EXPECT_EQ(parse({}).l2SizeKb, 0u);
 }
 
+TEST(Options, StreamCacheBudget)
+{
+    // -1 = "not given": keep the C8T_STREAM_CACHE_MB / built-in
+    // default resolution in StreamCache.
+    EXPECT_EQ(parse({}).streamCacheMb, -1);
+    EXPECT_EQ(parse({"--stream-cache", "256"}).streamCacheMb, 256);
+    // 0 is valid and means "disable caching".
+    EXPECT_EQ(parse({"--stream-cache", "0"}).streamCacheMb, 0);
+    EXPECT_THROW(parse({"--stream-cache"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--stream-cache", "lots"}),
+                 std::invalid_argument);
+}
+
 TEST(Options, HelpShortCircuitsValidation)
 {
     // --help with a nonsense shape must not throw.
@@ -144,7 +157,7 @@ TEST(Options, UsageMentionsEveryFlag)
           "--buffer-entries", "--no-silent-detection", "--l2",
           "--stats", "--stats-json", "--csv", "--chrome-trace",
           "--trace-events", "--interval-stats", "--interval",
-          "--progress", "--jobs"}) {
+          "--progress", "--jobs", "--stream-cache"}) {
         EXPECT_NE(u.find(flag), std::string::npos) << flag;
     }
 }

@@ -14,12 +14,14 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <vector>
 
 #include "core/controller.hh"
 #include "obs/event_ring.hh"
 #include "trace/markov_stream.hh"
+#include "trace/replay.hh"
 #include "trace/spec_profiles.hh"
 
 namespace
@@ -203,6 +205,51 @@ TEST(HotPathAllocations, MarkovStreamNextIsAmortizedAllocationFree)
     // as tens of thousands.
     EXPECT_LE(delta, 8u) << delta << " allocations in " << kMeasure
                          << " generated accesses";
+}
+
+TEST(HotPathAllocations, MarkovStreamFillChunkIsAmortizedAllocationFree)
+{
+    trace::MarkovStream gen(trace::specProfile("gcc"));
+    std::vector<trace::MemAccess> chunk(4096);
+    // Warm the shadow map to the steady-state working set first.
+    for (std::uint64_t i = 0; i < 200'000; i += chunk.size())
+        gen.fillChunk(chunk.data(), chunk.size());
+
+    const std::uint64_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    for (std::uint64_t i = 0; i < kMeasure; i += chunk.size())
+        gen.fillChunk(chunk.data(), chunk.size());
+    const std::uint64_t delta =
+        g_allocations.load(std::memory_order_relaxed) - before;
+
+    // Same budget as next(): only the shadow map's amortized capacity
+    // doublings may allocate; the chunked path adds nothing.
+    EXPECT_LE(delta, 8u) << delta << " allocations in " << kMeasure
+                         << " chunk-generated accesses";
+}
+
+TEST(HotPathAllocations, ReplayGeneratorChunkedReplayIsAllocationFree)
+{
+    auto buffer = std::make_shared<std::vector<trace::MemAccess>>(
+        pregenerate(kMeasure));
+    trace::ReplayGenerator replay("gcc", buffer);
+    std::vector<trace::MemAccess> chunk(4096);
+
+    const std::uint64_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    // Replaying a cached stream is a pure copy loop: strictly zero
+    // heap traffic, including the reset between passes.
+    for (int pass = 0; pass < 3; ++pass) {
+        while (replay.fillChunk(chunk.data(), chunk.size()) > 0) {
+        }
+        replay.reset();
+    }
+    const std::uint64_t delta =
+        g_allocations.load(std::memory_order_relaxed) - before;
+
+    EXPECT_EQ(delta, 0u)
+        << delta << " heap allocations replaying " << kMeasure
+        << " cached accesses three times";
 }
 
 } // anonymous namespace

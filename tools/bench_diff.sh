@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Compare two BENCH_<date>.json performance snapshots (as written by
+# tools/bench_report.sh) record-by-record and fail when throughput
+# regressed.
+#
+#   * sweep records are matched on (label, workers) and compared on
+#     accesses_per_sec,
+#   * micro-benchmark entries are matched on name and compared on
+#     items_per_second (entries without an items/s rate, e.g. the
+#     SEC-DED codec rows, are compared on 1/real_time).
+#
+# A record counts as a regression when the new rate falls below the old
+# rate by more than the threshold (default 10 %). Records present in
+# only one snapshot are reported but do not fail the diff (benchmarks
+# come and go across commits).
+#
+# Usage: tools/bench_diff.sh OLD.json NEW.json [threshold-percent]
+# Exit status: 0 = no regression, 1 = regression, 2 = usage/parse error.
+
+set -euo pipefail
+
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+    echo "usage: $0 OLD.json NEW.json [threshold-percent]" >&2
+    exit 2
+fi
+
+old_json=$1
+new_json=$2
+threshold=${3:-10}
+
+for f in "$old_json" "$new_json"; do
+    if [ ! -r "$f" ]; then
+        echo "bench_diff: cannot read $f" >&2
+        exit 2
+    fi
+done
+
+python3 - "$old_json" "$new_json" "$threshold" <<'PY'
+import json
+import sys
+
+old_path, new_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def rates(doc, path):
+    """Map record key -> (rate, unit) for every comparable record."""
+    out = {}
+    for rec in doc.get("sweeps", []):
+        key = f"sweep:{rec.get('label', '?')}/workers={rec.get('workers', '?')}"
+        rate = rec.get("accesses_per_sec")
+        if isinstance(rate, (int, float)) and rate > 0:
+            out[key] = (float(rate), "acc/s")
+    for rec in doc.get("micro", {}).get("benchmarks", []):
+        if rec.get("run_type") == "aggregate":
+            continue
+        key = f"micro:{rec.get('name', '?')}"
+        rate = rec.get("items_per_second")
+        if isinstance(rate, (int, float)) and rate > 0:
+            out[key] = (float(rate), "items/s")
+        elif isinstance(rec.get("real_time"), (int, float)) \
+                and rec["real_time"] > 0:
+            out[key] = (1.0 / rec["real_time"], "1/t")
+    if not out:
+        print(f"bench_diff: {path}: no comparable records", file=sys.stderr)
+        sys.exit(2)
+    return out
+
+
+old = rates(load(old_path), old_path)
+new = rates(load(new_path), new_path)
+
+regressions = 0
+compared = 0
+for key in sorted(old):
+    if key not in new:
+        print(f"  only-old   {key}")
+        continue
+    old_rate, unit = old[key]
+    new_rate, _ = new[key]
+    compared += 1
+    delta = 100.0 * (new_rate - old_rate) / old_rate
+    mark = "ok        "
+    if delta < -threshold:
+        mark = "REGRESSED "
+        regressions += 1
+    print(f"  {mark} {key}: {old_rate:.3g} -> {new_rate:.3g} {unit} "
+          f"({delta:+.1f}%)")
+for key in sorted(set(new) - set(old)):
+    print(f"  only-new   {key}")
+
+if compared == 0:
+    print("bench_diff: no records in common", file=sys.stderr)
+    sys.exit(2)
+if regressions:
+    print(f"bench_diff: {regressions} record(s) regressed more than "
+          f"{threshold:g}% ({compared} compared)")
+    sys.exit(1)
+print(f"bench_diff: no regression beyond {threshold:g}% "
+      f"({compared} records compared)")
+PY

@@ -21,6 +21,7 @@
 
 #include "app/options.hh"
 #include "core/simulator.hh"
+#include "core/stream_cache.hh"
 #include "core/sweep.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/event_ring.hh"
@@ -147,6 +148,11 @@ run(const app::SimOptions &opt)
     if (!opt.chromeTraceFile.empty())
         obs::setGlobalTracePath(opt.chromeTraceFile);
 
+    if (opt.streamCacheMb >= 0) {
+        core::globalStreamCache().setByteBudget(
+            static_cast<std::size_t>(opt.streamCacheMb) << 20);
+    }
+
     // Optionally record the exact stream being simulated.
     if (!opt.recordTrace.empty()) {
         auto workload = app::makeWorkload(opt.workload);
@@ -210,6 +216,11 @@ run(const app::SimOptions &opt)
             jobs[i].makeGenerator = [&opt] {
                 return app::makeWorkload(opt.workload);
             };
+            // One generation shared by every scheme job: the workload
+            // specifier names a deterministic stream within this
+            // process (spec/kernel parameters are fixed; a trace file
+            // does not change mid-run).
+            jobs[i].streamKey = "c8tsim:" + opt.workload;
             jobs[i].configs = {cfgs[i]};
             jobs[i].prepare = [&opt, &obs_state, i,
                                scheme](core::MultiSchemeRunner &r) {

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# One-command verification gate: the tier-1 suite plus an
+# AddressSanitizer+UBSan build running the stream-identity and
+# hot-path tests (the determinism and memory-safety surface of the
+# batched/memoized stream engine).
+#
+#   1. Configure + build the default tree and run the full ctest suite
+#      (this is the roadmap's tier-1 definition of "not broken").
+#   2. Configure + build an ASan/UBSan tree (-DC8T_ASAN=ON) and run the
+#      stream/cache/sweep/alloc tests under it. halt_on_error is the
+#      sanitizer default, so any heap misuse fails the script.
+#
+# Usage: tools/ci.sh [jobs]        (default: nproc)
+# Exit status: non-zero if any build or test fails.
+
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+jobs=${1:-$(nproc)}
+
+echo "==== tier-1: build + full test suite ===="
+cmake -B "$repo_root/build" -S "$repo_root"
+cmake --build "$repo_root/build" -j "$jobs"
+ctest --test-dir "$repo_root/build" --output-on-failure -j "$jobs"
+
+echo "==== asan: build + stream/sweep/alloc tests ===="
+cmake -B "$repo_root/build-asan" -S "$repo_root" -DC8T_ASAN=ON
+cmake --build "$repo_root/build-asan" -j "$jobs" --target \
+    stream_identity_test sweep_test hot_path_alloc_test \
+    functional_mem_test
+for t in stream_identity_test sweep_test hot_path_alloc_test \
+         functional_mem_test; do
+    echo "---- asan: $t ----"
+    "$repo_root/build-asan/tests/$t"
+done
+
+echo "ci: all green"
