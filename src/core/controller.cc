@@ -30,11 +30,11 @@ storeLe(std::uint8_t *dst, std::uint64_t value, std::uint8_t size)
 
 CacheController::CacheController(const ControllerConfig &config,
                                  mem::FunctionalMemory &memory)
-    : _config(config), _mem(memory), _tags(config.cache),
+    : _config(config), _traits(schemeTraits(config.scheme)),
+      _mem(memory), _tags(config.cache),
       _array(sram::ArrayGeometry{
           config.cache.numSets(), config.cache.setBytes(),
-          schemeTraits(config.scheme).requiresNonInterleaved
-              ? 1u : config.interleaveDegree,
+          _traits.requiresNonInterleaved ? 1u : config.interleaveDegree,
           config.scheme == WriteScheme::WordGranular}),
       _energy(_array.geometry(), config.tech)
 {
@@ -49,6 +49,13 @@ CacheController::CacheController(const ControllerConfig &config,
         _l2 = std::make_unique<mem::TagArray>(_config.l2);
     }
 
+    // Deferred energy accounting: precompute every per-event energy
+    // once (the exact addends the per-access accumulation used), so
+    // the hot path only bumps integer counters.
+    _rates = _energy.eventRates(_tags.layout().tagBits(),
+                                _config.cache.ways,
+                                _config.cache.setBytes());
+
     if (usesGroupingBuffer(_config.scheme)) {
         _tagBuffer = std::make_unique<TagBuffer>(_config.bufferEntries,
                                                  _config.cache.ways);
@@ -57,7 +64,6 @@ CacheController::CacheController(const ControllerConfig &config,
         _entryWritesSinceWb.assign(_config.bufferEntries, 0);
         _entryGroupSize.assign(_config.bufferEntries, 0);
     }
-    _scratch.resize(_config.cache.setBytes());
     _tagScratch.assign(_config.cache.ways, 0);
 }
 
@@ -93,33 +99,26 @@ CacheController::scheduleOp(sram::PortUse use, std::uint64_t earliest,
     return start;
 }
 
-void
-CacheController::demandRead(std::uint32_t row, sram::RowData &out)
+const sram::RowData &
+CacheController::demandReadRef(std::uint32_t row)
 {
-    _array.readRowInto(row, out);
+    const sram::RowData &out = _array.readRowRef(row);
     ++_demandRowReads;
-    _dynamicEnergy += _energy.rowReadEnergy();
+    ++_ecounts.rowReads;
+    auditEnergy(EnergyEvent::RowRead, 0);
     note(obs::EventType::ArrayRead, 0, row);
-}
-
-void
-CacheController::demandWrite(std::uint32_t row, const sram::RowData &data,
-                             sram::PortUse use)
-{
-    _array.writeRow(row, data);
-    ++_demandRowWrites;
-    _dynamicEnergy += _energy.rowWriteEnergy();
-    scheduleOp(use, _cycle, _config.latency.rowWriteCycles);
-    note(obs::EventType::ArrayWrite, 0, row);
+    return out;
 }
 
 void
 CacheController::demandMerge(std::uint32_t row, std::uint32_t offset,
                              const std::uint8_t *bytes, std::uint32_t len)
 {
+    assert(len >= 1 && len <= sram::EnergyEventRates::kMaxRequestBytes);
     _array.mergeBytes(row, offset, bytes, len);
     ++_demandRowWrites;
-    _dynamicEnergy += _energy.partialWriteEnergy(len);
+    ++_ecounts.partialWrites[len];
+    auditEnergy(EnergyEvent::PartialWrite, len);
     scheduleOp(sram::PortUse::WritePort, _cycle,
                _config.latency.rowWriteCycles);
     note(obs::EventType::ArrayWrite, 0, row);
@@ -147,12 +146,14 @@ CacheController::writebackEntry(std::uint32_t e, stats::Counter &cause)
     ++_demandRowWrites;
     ++cause;
     note(obs::EventType::ArrayWrite, 0, set);
-    _dynamicEnergy += _energy.rowWriteEnergy() +
-                      _energy.setBufferReadEnergy(_setBuffer->rowBytes());
+    ++_ecounts.rowWrites;
+    auditEnergy(EnergyEvent::RowWrite, 0);
+    ++_ecounts.setBufferReadRows;
+    auditEnergy(EnergyEvent::SetBufferRead, _setBuffer->rowBytes());
     // The row image is already latched, so the write-back needs the
     // write port only (the grouping schemes' port-availability win);
     // the traits table is the single source of that fact.
-    scheduleOp(schemeTraits(_config.scheme).writebackPortUse, _cycle,
+    scheduleOp(_traits.writebackPortUse, _cycle,
                _config.latency.rowWriteCycles);
 
     _tagBuffer->setDirty(e, false);
@@ -177,17 +178,16 @@ CacheController::endGroup(std::uint32_t e, stats::Counter &cause)
     _entryWritesSinceWb[e] = 0;
 }
 
-bool
+CacheController::ResidentRef
 CacheController::ensureResident(mem::Addr block_addr)
 {
     const mem::LookupResult r = _tags.access(block_addr);
     if (r.hit)
-        return true;
-    handleMiss(block_addr);
-    return false;
+        return {true, r.way};
+    return {false, handleMiss(block_addr)};
 }
 
-void
+std::uint32_t
 CacheController::handleMiss(mem::Addr block_addr)
 {
     const std::uint32_t set = _tags.layout().setOf(block_addr);
@@ -218,11 +218,14 @@ CacheController::handleMiss(mem::Addr block_addr)
     const mem::FillResult fill = _tags.fill(block_addr);
     const std::uint32_t block_bytes = _config.cache.blockBytes;
 
-    // Victim extraction + fill merge, as row operations (miss-handling
-    // accounting, kept separate from the paper's demand counters).
-    _array.readRowInto(set, _scratch);
+    // Victim extraction + fill merge, as row operations performed in
+    // place on the row image (miss-handling accounting, kept separate
+    // from the paper's demand counters). The victim block is drained
+    // to memory before the new block overwrites its bytes.
+    const sram::RowData &cur = _array.readRowRef(set);
     ++_fillRowReads;
-    _dynamicEnergy += _energy.rowReadEnergy();
+    ++_ecounts.rowReads;
+    auditEnergy(EnergyEvent::RowRead, 0);
 
     if (fill.evictedValid)
         note(obs::EventType::Eviction, fill.evictedBlockAddr, set);
@@ -230,7 +233,7 @@ CacheController::handleMiss(mem::Addr block_addr)
         // Architectural state always lands in the functional memory;
         // the L2 additionally remembers the victim (timing only).
         _mem.writeBytes(fill.evictedBlockAddr,
-                        _scratch.data() + fill.way * block_bytes,
+                        cur.data() + fill.way * block_bytes,
                         block_bytes);
     }
     if (_l2 && fill.evictedValid &&
@@ -238,30 +241,20 @@ CacheController::handleMiss(mem::Addr block_addr)
         _l2->fill(fill.evictedBlockAddr);
     }
 
-    _mem.readBytes(block_addr, _scratch.data() + fill.way * block_bytes,
+    sram::RowData &row = _array.updateRow(set);
+    _mem.readBytes(block_addr, row.data() + fill.way * block_bytes,
                    block_bytes);
 
-    _array.writeRow(set, _scratch);
     ++_fillRowWrites;
-    _dynamicEnergy += _energy.rowWriteEnergy();
+    ++_ecounts.rowWrites;
+    auditEnergy(EnergyEvent::RowWrite, 0);
+    return fill.way;
 }
 
 AccessOutcome
 CacheController::access(const trace::MemAccess &request)
 {
-    assert(request.size >= 1 && request.size <= 8);
-    assert(_tags.layout().blockOffset(request.addr) + request.size <=
-           _config.cache.blockBytes);
-
-    ++_requests;
-    if (request.isRead())
-        ++_readRequests;
-    else
-        ++_writeRequests;
-
-    _cycle += request.gap + 1;
-    _requestCycle = _cycle;
-
+    beginAccess(request);
     switch (_config.scheme) {
       case WriteScheme::SixTDirect:
       case WriteScheme::WordGranular:
@@ -276,13 +269,46 @@ CacheController::access(const trace::MemAccess &request)
     return {};
 }
 
+void
+CacheController::accessChunk(const trace::MemAccess *chunk,
+                             std::size_t count)
+{
+    // One scheme-specialized loop per chunk: the dispatch runs once,
+    // the request paths stay hot in the branch predictor, and each
+    // iteration is statistics-identical to access().
+    switch (_config.scheme) {
+      case WriteScheme::SixTDirect:
+      case WriteScheme::WordGranular:
+        for (std::size_t i = 0; i < count; ++i) {
+            beginAccess(chunk[i]);
+            accessDirect(chunk[i]);
+        }
+        break;
+      case WriteScheme::Rmw:
+      case WriteScheme::LocalRmw:
+        for (std::size_t i = 0; i < count; ++i) {
+            beginAccess(chunk[i]);
+            accessRmw(chunk[i]);
+        }
+        break;
+      case WriteScheme::WriteGrouping:
+      case WriteScheme::WriteGroupingReadBypass:
+        for (std::size_t i = 0; i < count; ++i) {
+            beginAccess(chunk[i]);
+            accessGrouped(chunk[i]);
+        }
+        break;
+    }
+}
+
 AccessOutcome
 CacheController::accessDirect(const trace::MemAccess &a)
 {
     AccessOutcome out;
     const mem::Addr block_addr = _tags.layout().blockAlign(a.addr);
-    out.hit = ensureResident(block_addr);
-    const std::uint32_t way = _tags.probe(block_addr).way;
+    const ResidentRef res = ensureResident(block_addr);
+    out.hit = res.hit;
+    const std::uint32_t way = res.way;
     const std::uint32_t set = _tags.layout().setOf(a.addr);
     const std::uint32_t offset = rowOffsetOf(a.addr, way);
 
@@ -292,8 +318,7 @@ CacheController::accessDirect(const trace::MemAccess &a)
         const std::uint64_t start = scheduleOp(
             sram::PortUse::ReadPort, _cycle + extra,
             _config.latency.rowReadCycles);
-        demandRead(set, _scratch);
-        out.data = extractData(_scratch, offset, a.size);
+        out.data = extractData(demandReadRef(set), offset, a.size);
         out.latencyCycles =
             start + _config.latency.rowReadCycles - _requestCycle;
         _readLatency.sample(static_cast<double>(out.latencyCycles));
@@ -301,7 +326,7 @@ CacheController::accessDirect(const trace::MemAccess &a)
         std::uint8_t bytes[8];
         storeLe(bytes, a.data, a.size);
         demandMerge(set, offset, bytes, a.size);
-        _tags.markDirty(block_addr);
+        _tags.markDirtyWay(set, way);
         out.latencyCycles = extra + _config.latency.rowWriteCycles;
     }
     return out;
@@ -312,8 +337,9 @@ CacheController::accessRmw(const trace::MemAccess &a)
 {
     AccessOutcome out;
     const mem::Addr block_addr = _tags.layout().blockAlign(a.addr);
-    out.hit = ensureResident(block_addr);
-    const std::uint32_t way = _tags.probe(block_addr).way;
+    const ResidentRef res = ensureResident(block_addr);
+    out.hit = res.hit;
+    const std::uint32_t way = res.way;
     const std::uint32_t set = _tags.layout().setOf(a.addr);
     const std::uint32_t offset = rowOffsetOf(a.addr, way);
 
@@ -323,8 +349,7 @@ CacheController::accessRmw(const trace::MemAccess &a)
         const std::uint64_t start = scheduleOp(
             sram::PortUse::ReadPort, _cycle + extra,
             _config.latency.rowReadCycles);
-        demandRead(set, _scratch);
-        out.data = extractData(_scratch, offset, a.size);
+        out.data = extractData(demandReadRef(set), offset, a.size);
         out.latencyCycles =
             start + _config.latency.rowReadCycles - _requestCycle;
         _readLatency.sample(static_cast<double>(out.latencyCycles));
@@ -334,19 +359,19 @@ CacheController::accessRmw(const trace::MemAccess &a)
         // sequence (§2); LocalRMW confines the read phase to the
         // sub-array and holds only the write port.
         note(obs::EventType::RmwTrigger, a.addr, set);
-        const SchemeTraits traits = schemeTraits(_config.scheme);
         const std::uint32_t duration = _config.latency.rowReadCycles +
                                        _config.latency.rowWriteCycles;
-        scheduleOp(traits.writePortUse, _cycle + extra, duration);
+        scheduleOp(_traits.writePortUse, _cycle + extra, duration);
 
-        demandRead(set, _scratch);
-        storeLe(_scratch.data() + offset, a.data, a.size);
-        _array.writeRow(set, _scratch);
+        demandReadRef(set);
+        sram::RowData &row = _array.updateRow(set);
+        storeLe(row.data() + offset, a.data, a.size);
         ++_demandRowWrites;
-        _dynamicEnergy += _energy.rowWriteEnergy();
+        ++_ecounts.rowWrites;
+        auditEnergy(EnergyEvent::RowWrite, 0);
         note(obs::EventType::ArrayWrite, a.addr, set);
 
-        _tags.markDirty(block_addr);
+        _tags.markDirtyWay(set, way);
         out.latencyCycles = extra + duration;
     }
     return out;
@@ -363,15 +388,16 @@ CacheController::accessGrouped(const trace::MemAccess &a)
     // Algorithm 1 starts with the Tag-Buffer probe.
     const TagProbe probe = _tagBuffer->probe(set, tag);
     out.tagBufferHit = probe.tagMatch;
-    _dynamicEnergy += _energy.tagCompareEnergy(
-        _tags.layout().tagBits(), _config.cache.ways);
+    ++_ecounts.tagCompares;
+    auditEnergy(EnergyEvent::TagCompare, 0);
 
-    out.hit = ensureResident(block_addr);
+    const ResidentRef res = ensureResident(block_addr);
+    out.hit = res.hit;
     // A Tag-Buffer tag hit implies the block was resident (the buffer
     // mirrors the set's tag state), so the entry survived ensureResident.
     assert(!probe.tagMatch || out.hit);
 
-    const std::uint32_t way = _tags.probe(block_addr).way;
+    const std::uint32_t way = res.way;
     const std::uint32_t offset = rowOffsetOf(a.addr, way);
     const std::uint64_t extra = out.hit ? 0 : _lastMissPenalty;
 
@@ -391,8 +417,8 @@ CacheController::accessGrouped(const trace::MemAccess &a)
                 out.bypassed = true;
                 ++_bypassedReads;
                 note(obs::EventType::ReadBypass, a.addr, set);
-                _dynamicEnergy +=
-                    _energy.setBufferReadEnergy(a.size);
+                ++_ecounts.setBufferReads[a.size];
+                auditEnergy(EnergyEvent::SetBufferRead, a.size);
                 out.latencyCycles = _config.latency.setBufferCycles;
                 _readLatency.sample(
                     static_cast<double>(out.latencyCycles));
@@ -409,8 +435,7 @@ CacheController::accessGrouped(const trace::MemAccess &a)
             const std::uint64_t start = scheduleOp(
                 sram::PortUse::ReadPort, earliest,
                 _config.latency.rowReadCycles);
-            demandRead(set, _scratch);
-            out.data = extractData(_scratch, offset, a.size);
+            out.data = extractData(demandReadRef(set), offset, a.size);
             out.latencyCycles =
                 start + _config.latency.rowReadCycles - _requestCycle;
             _readLatency.sample(static_cast<double>(out.latencyCycles));
@@ -423,8 +448,7 @@ CacheController::accessGrouped(const trace::MemAccess &a)
         const std::uint64_t start = scheduleOp(
             sram::PortUse::ReadPort, _cycle + extra,
             _config.latency.rowReadCycles);
-        demandRead(set, _scratch);
-        out.data = extractData(_scratch, offset, a.size);
+        out.data = extractData(demandReadRef(set), offset, a.size);
         out.latencyCycles =
             start + _config.latency.rowReadCycles - _requestCycle;
         _readLatency.sample(static_cast<double>(out.latencyCycles));
@@ -451,8 +475,9 @@ CacheController::accessGrouped(const trace::MemAccess &a)
         note(obs::EventType::SetBufferMerge, a.addr, set);
         ++_entryGroupSize[e];
         ++_entryWritesSinceWb[e];
-        _tags.markDirty(block_addr);
-        _dynamicEnergy += _energy.setBufferWriteEnergy(a.size);
+        _tags.markDirtyWay(set, way);
+        ++_ecounts.setBufferWrites[a.size];
+        auditEnergy(EnergyEvent::SetBufferWrite, a.size);
         out.latencyCycles = _config.latency.setBufferCycles;
         return out;
     }
@@ -470,9 +495,9 @@ CacheController::accessGrouped(const trace::MemAccess &a)
     const std::uint64_t start = scheduleOp(
         sram::PortUse::ReadPort, _cycle + extra,
         _config.latency.rowReadCycles);
-    demandRead(set, _scratch);
-    _setBuffer->fill(e, _scratch);
-    _dynamicEnergy += _energy.setBufferWriteEnergy(_setBuffer->rowBytes());
+    _setBuffer->fill(e, demandReadRef(set));
+    ++_ecounts.setBufferWriteRows;
+    auditEnergy(EnergyEvent::SetBufferWrite, _setBuffer->rowBytes());
     _tags.copyTagsOfSet(set, _tagScratch.data());
     _tagBuffer->load(e, set, _tagScratch.data(), _tags.validMask(set));
     _tagBuffer->touch(e);
@@ -487,7 +512,7 @@ CacheController::accessGrouped(const trace::MemAccess &a)
     }
     _entryGroupSize[e] = 1;
     _entryWritesSinceWb[e] = 1;
-    _tags.markDirty(block_addr);
+    _tags.markDirtyWay(set, way);
 
     out.latencyCycles = start + _config.latency.rowReadCycles +
                         _config.latency.setBufferCycles - _requestCycle;
@@ -556,6 +581,33 @@ CacheController::peekWord(mem::Addr addr) const
     return extractData(row, offset, 8);
 }
 
+double
+CacheController::dynamicEnergy() const
+{
+    // Count-then-multiply materialization: each addend below is the
+    // product of an integer event count (exact) and the per-event
+    // constant the per-access accumulation would have added, so the
+    // total differs from a sequential accumulation only in summation
+    // order (ULP-level rounding; the deferred-energy test pins this).
+    double e = static_cast<double>(_ecounts.rowReads) * _rates.rowRead +
+               static_cast<double>(_ecounts.rowWrites) * _rates.rowWrite;
+    for (std::uint32_t b = 1;
+         b <= sram::EnergyEventRates::kMaxRequestBytes; ++b) {
+        e += static_cast<double>(_ecounts.partialWrites[b]) *
+                 _rates.partialWrite[b] +
+             static_cast<double>(_ecounts.setBufferReads[b]) *
+                 _rates.setBufferRead[b] +
+             static_cast<double>(_ecounts.setBufferWrites[b]) *
+                 _rates.setBufferWrite[b];
+    }
+    e += static_cast<double>(_ecounts.setBufferReadRows) *
+             _rates.setBufferReadRow +
+         static_cast<double>(_ecounts.setBufferWriteRows) *
+             _rates.setBufferWriteRow +
+         static_cast<double>(_ecounts.tagCompares) * _rates.tagCompare;
+    return e;
+}
+
 void
 CacheController::registerStats(stats::Registry &reg)
 {
@@ -599,7 +651,7 @@ CacheController::resetStats()
 {
     _cycle = 0;
     _requestCycle = 0;
-    _dynamicEnergy = 0.0;
+    _ecounts = EnergyCounts{};
     if (_events)
         _events->clear();
 

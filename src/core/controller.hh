@@ -21,11 +21,14 @@
 #ifndef C8T_CORE_CONTROLLER_HH
 #define C8T_CORE_CONTROLLER_HH
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <ostream>
 #include <string>
 
+#include "core/policies.hh"
 #include "core/set_buffer.hh"
 #include "core/tag_buffer.hh"
 #include "core/write_scheme.hh"
@@ -120,6 +123,14 @@ class CacheController
 
     /** Service one request (Algorithm 1 for the grouping schemes). */
     AccessOutcome access(const trace::MemAccess &request);
+
+    /**
+     * Service @p count requests from @p chunk back to back. Result- and
+     * statistics-identical to calling access() per element; the scheme
+     * dispatch is hoisted out of the loop so each chunk runs one
+     * scheme-specialized loop (MultiSchemeRunner's replay path).
+     */
+    void accessChunk(const trace::MemAccess *chunk, std::size_t count);
 
     /**
      * Write back every dirty Set-Buffer entry to the array (counted
@@ -243,8 +254,68 @@ class CacheController
         return _silentWritesDetected.value();
     }
 
-    /** Accumulated dynamic energy (J) of the data path. */
-    double dynamicEnergy() const { return _dynamicEnergy; }
+    /**
+     * Deferred energy accounting (DESIGN.md §7): the access hot path
+     * increments these integer event counts only; dynamicEnergy()
+     * materializes joules on demand by multiplying them against the
+     * constant per-event energies (sram::EnergyEventRates). Size-
+     * dependent terms are bucketed by request size so every addend is
+     * the exact value the historical per-access accumulation used.
+     */
+    struct EnergyCounts
+    {
+        /** Full row operations (demand and miss handling alike). */
+        std::uint64_t rowReads = 0;
+        std::uint64_t rowWrites = 0;
+
+        /** Partial writes bucketed by request bytes (index 1..8). */
+        std::uint64_t partialWrites[9] = {};
+
+        /** Request-sized Set-Buffer accesses bucketed by bytes. */
+        std::uint64_t setBufferReads[9] = {};
+        std::uint64_t setBufferWrites[9] = {};
+
+        /** Row-sized Set-Buffer accesses (write-back read, fill). */
+        std::uint64_t setBufferReadRows = 0;
+        std::uint64_t setBufferWriteRows = 0;
+
+        /** Tag-Buffer probes. */
+        std::uint64_t tagCompares = 0;
+    };
+
+    /** Energy event kinds reported to the audit hook. */
+    enum class EnergyEvent : std::uint8_t {
+        RowRead,
+        RowWrite,
+        PartialWrite,
+        SetBufferRead,
+        SetBufferWrite,
+        TagCompare,
+    };
+
+    /** Audit callback: (context, kind, bytes). Bytes is 0 for the
+     *  size-independent kinds. */
+    using EnergyAuditFn = void (*)(void *, EnergyEvent, std::uint32_t);
+
+    /**
+     * Install a per-event energy audit hook (nullptr to remove). The
+     * hook fires at every point the historical implementation added to
+     * its running energy total, in the same order, so tests can verify
+     * the deferred materialization against a sequential per-access
+     * accumulation. Costs one predictable branch per energy event.
+     */
+    void setEnergyAudit(EnergyAuditFn fn, void *ctx)
+    {
+        _energyAuditFn = fn;
+        _energyAuditCtx = ctx;
+    }
+
+    /** The raw deferred energy event counts. */
+    const EnergyCounts &energyCounts() const { return _ecounts; }
+
+    /** Accumulated dynamic energy (J) of the data path, materialized
+     *  from the deferred event counts. */
+    double dynamicEnergy() const;
 
     /** Distribution of write-group sizes (writes per group). */
     const stats::Distribution &groupSizes() const { return _groupSizes; }
@@ -296,11 +367,46 @@ class CacheController
     AccessOutcome accessRmw(const trace::MemAccess &a);
     AccessOutcome accessGrouped(const trace::MemAccess &a);
 
-    /** Ensure the block is resident; returns true when it already was. */
-    bool ensureResident(mem::Addr block_addr);
+    /** Outcome of ensureResident(): hit state plus the resident way,
+     *  so the request paths never pay a second tag lookup. */
+    struct ResidentRef
+    {
+        bool hit = false;
+        std::uint32_t way = 0;
+    };
 
-    /** Miss handling: victim write-back + fill. */
-    void handleMiss(mem::Addr block_addr);
+    /** Ensure the block is resident; reports whether it already was
+     *  and the way now holding it. */
+    ResidentRef ensureResident(mem::Addr block_addr);
+
+    /** Miss handling: victim write-back + fill; returns the filled
+     *  way. */
+    std::uint32_t handleMiss(mem::Addr block_addr);
+
+    /** Per-request prologue shared by access() and accessChunk():
+     *  request counters and the inter-request clock advance. */
+    void beginAccess(const trace::MemAccess &request)
+    {
+        assert(request.size >= 1 && request.size <= 8);
+        assert(_tags.layout().blockOffset(request.addr) + request.size <=
+               _config.cache.blockBytes);
+
+        ++_requests;
+        if (request.isRead())
+            ++_readRequests;
+        else
+            ++_writeRequests;
+
+        _cycle += request.gap + 1;
+        _requestCycle = _cycle;
+    }
+
+    /** Report an energy event to the audit hook (no-op when unset). */
+    void auditEnergy(EnergyEvent ev, std::uint32_t bytes)
+    {
+        if (_energyAuditFn)
+            _energyAuditFn(_energyAuditCtx, ev, bytes);
+    }
 
     /** Write entry @p e's row image back to the array. */
     void writebackEntry(std::uint32_t e, stats::Counter &cause);
@@ -332,14 +438,17 @@ class CacheController
             _events->record(type, _requests.value(), _cycle, addr, set);
     }
 
-    // Counted/energy-accounted array operations.
-    void demandRead(std::uint32_t row, sram::RowData &out);
-    void demandWrite(std::uint32_t row, const sram::RowData &data,
-                     sram::PortUse use);
+    // Counted/energy-accounted array operations. Reads hand back a
+    // reference to the row image in place (DESIGN.md §7) — no copy.
+    const sram::RowData &demandReadRef(std::uint32_t row);
     void demandMerge(std::uint32_t row, std::uint32_t offset,
                      const std::uint8_t *bytes, std::uint32_t len);
 
     ControllerConfig _config;
+
+    /** Static traits of the configured scheme, resolved once. */
+    SchemeTraits _traits;
+
     mem::FunctionalMemory &_mem;
     mem::TagArray _tags;
     std::unique_ptr<mem::TagArray> _l2;
@@ -357,8 +466,12 @@ class CacheController
 
     /** Service latency of the most recent miss (L2 hit vs memory). */
     std::uint32_t _lastMissPenalty = 0;
-    double _dynamicEnergy = 0.0;
-    sram::RowData _scratch;
+
+    /** Deferred energy accounting state (see dynamicEnergy()). */
+    EnergyCounts _ecounts;
+    sram::EnergyEventRates _rates;
+    EnergyAuditFn _energyAuditFn = nullptr;
+    void *_energyAuditCtx = nullptr;
 
     /** Tag scratch for Tag-Buffer loads (pre-sized to the
      *  associativity; avoids a per-group-open heap allocation). */

@@ -56,13 +56,11 @@ MultiSchemeRunner::replayWindow(trace::AccessGenerator &gen,
 
         // Controllers are fully independent (each owns its memory), so
         // feeding them one after the other from the flat chunk is
-        // result-identical to interleaving them per access.
+        // result-identical to interleaving them per access. accessChunk
+        // hoists the write-scheme dispatch out of the per-access loop.
         const trace::MemAccess *chunk = _chunk.data();
-        for (auto &ctrl : _controllers) {
-            CacheController &c = *ctrl;
-            for (std::size_t i = 0; i < got; ++i)
-                c.access(chunk[i]);
-        }
+        for (auto &ctrl : _controllers)
+            ctrl->accessChunk(chunk, got);
 
         done += got;
         if (hooked && done % _intervalAccesses == 0)

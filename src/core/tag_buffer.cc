@@ -1,55 +1,23 @@
 /**
  * @file
- * Tag-Buffer implementation.
+ * Tag-Buffer implementation (cold paths; the probe is in the header).
  */
 
 #include "core/tag_buffer.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace c8t::core
 {
 
 TagBuffer::TagBuffer(std::uint32_t entries, std::uint32_t ways)
-    : _entries(entries), _ways(ways), _store(entries)
+    : _entries(entries), _ways(ways),
+      _tags(static_cast<std::size_t>(entries) * ways, 0),
+      _set(entries, 0), _valid(entries, 0), _dirty(entries, 0),
+      _validMask(entries, 0), _lruStamp(entries, 0)
 {
     assert(entries >= 1 && ways >= 1);
-    for (auto &e : _store)
-        e.tags.assign(ways, 0);
-}
-
-TagProbe
-TagBuffer::peek(std::uint32_t set, mem::Addr tag) const
-{
-    TagProbe r;
-    for (std::uint32_t i = 0; i < _entries; ++i) {
-        const Entry &e = _store[i];
-        if (!e.valid || e.set != set)
-            continue;
-        r.setMatch = true;
-        r.entry = i;
-        for (std::uint32_t w = 0; w < _ways; ++w) {
-            if (((e.validMask >> w) & 1) && e.tags[w] == tag) {
-                r.tagMatch = true;
-                r.way = w;
-                break;
-            }
-        }
-        break; // a set is buffered by at most one entry
-    }
-    return r;
-}
-
-TagProbe
-TagBuffer::probe(std::uint32_t set, mem::Addr tag)
-{
-    ++_probes;
-    const TagProbe r = peek(set, tag);
-    if (r.setMatch)
-        ++_setHits;
-    if (r.tagMatch)
-        ++_tagHits;
-    return r;
 }
 
 void
@@ -57,23 +25,15 @@ TagBuffer::load(std::uint32_t e, std::uint32_t set,
                 const mem::Addr *tags, std::uint64_t valid_mask)
 {
     assert(e < _entries);
-    Entry &entry = _store[e];
-    entry.set = set;
-    entry.valid = true;
-    entry.dirty = false;
-    entry.validMask = valid_mask;
+    _set[e] = set;
+    _valid[e] = 1;
+    _dirty[e] = 0;
+    _validMask[e] = valid_mask;
     // Entry tag storage is pre-sized to the associativity at
     // construction; copying in place keeps load() allocation-free.
-    entry.tags.assign(tags, tags + _ways);
-    entry.lruStamp = ++_clock;
-}
-
-void
-TagBuffer::invalidate(std::uint32_t e)
-{
-    assert(e < _entries);
-    _store[e].valid = false;
-    _store[e].dirty = false;
+    std::copy(tags, tags + _ways,
+              _tags.begin() + static_cast<std::size_t>(e) * _ways);
+    _lruStamp[e] = ++_clock;
 }
 
 void
@@ -81,60 +41,6 @@ TagBuffer::invalidateAll()
 {
     for (std::uint32_t e = 0; e < _entries; ++e)
         invalidate(e);
-}
-
-void
-TagBuffer::touch(std::uint32_t e)
-{
-    assert(e < _entries);
-    _store[e].lruStamp = ++_clock;
-}
-
-std::uint32_t
-TagBuffer::victim() const
-{
-    std::uint32_t best = 0;
-    bool found_valid = false;
-    std::uint64_t oldest = 0;
-    for (std::uint32_t i = 0; i < _entries; ++i) {
-        const Entry &e = _store[i];
-        if (!e.valid)
-            return i;
-        if (!found_valid || e.lruStamp < oldest) {
-            best = i;
-            oldest = e.lruStamp;
-            found_valid = true;
-        }
-    }
-    return best;
-}
-
-bool
-TagBuffer::entryValid(std::uint32_t e) const
-{
-    assert(e < _entries);
-    return _store[e].valid;
-}
-
-std::uint32_t
-TagBuffer::entrySet(std::uint32_t e) const
-{
-    assert(e < _entries && _store[e].valid);
-    return _store[e].set;
-}
-
-bool
-TagBuffer::dirty(std::uint32_t e) const
-{
-    assert(e < _entries);
-    return _store[e].dirty;
-}
-
-void
-TagBuffer::setDirty(std::uint32_t e, bool d)
-{
-    assert(e < _entries);
-    _store[e].dirty = d;
 }
 
 std::uint64_t

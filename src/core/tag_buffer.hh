@@ -8,11 +8,18 @@
  * holds data newer than the array. The paper's design is a single
  * entry; the multi-entry generalisation is the natural future-work
  * extension evaluated in bench/abl_multi_entry_buffer.
+ *
+ * Hot-path layout (DESIGN.md §7): like the TagArray, entry state is
+ * stored structure-of-arrays — one flat tag vector plus per-entry
+ * scalar vectors — and the probe is a branchless way-compare over the
+ * matching entry. probe() runs once per access under the grouping
+ * schemes, so it is fully inline.
  */
 
 #ifndef C8T_CORE_TAG_BUFFER_HH
 #define C8T_CORE_TAG_BUFFER_HH
 
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -53,14 +60,45 @@ class TagBuffer
      */
     TagBuffer(std::uint32_t entries, std::uint32_t ways);
 
+    /** Like probe() but without statistics side effects. */
+    TagProbe peek(std::uint32_t set, mem::Addr tag) const
+    {
+        TagProbe r;
+        for (std::uint32_t i = 0; i < _entries; ++i) {
+            if (!_valid[i] || _set[i] != set)
+                continue;
+            r.setMatch = true;
+            r.entry = i;
+            const mem::Addr *tags =
+                &_tags[static_cast<std::size_t>(i) * _ways];
+            std::uint64_t m = 0;
+            for (std::uint32_t w = 0; w < _ways; ++w)
+                m |= static_cast<std::uint64_t>(tags[w] == tag) << w;
+            m &= _validMask[i];
+            if (m) {
+                r.tagMatch = true;
+                r.way =
+                    static_cast<std::uint32_t>(std::countr_zero(m));
+            }
+            break; // a set is buffered by at most one entry
+        }
+        return r;
+    }
+
     /**
      * Probe for (set, tag). Counts one probe plus set/tag hit
      * statistics; does not modify entry state.
      */
-    TagProbe probe(std::uint32_t set, mem::Addr tag);
-
-    /** Like probe() but without statistics side effects. */
-    TagProbe peek(std::uint32_t set, mem::Addr tag) const;
+    TagProbe probe(std::uint32_t set, mem::Addr tag)
+    {
+        ++_probes;
+        const TagProbe r = peek(set, tag);
+        if (r.setMatch)
+            ++_setHits;
+        if (r.tagMatch)
+            ++_tagHits;
+        return r;
+    }
 
     /**
      * Load entry @p e with a new set descriptor.
@@ -85,28 +123,68 @@ class TagBuffer
     }
 
     /** Drop entry @p e. */
-    void invalidate(std::uint32_t e);
+    void invalidate(std::uint32_t e)
+    {
+        assert(e < _entries);
+        _valid[e] = 0;
+        _dirty[e] = 0;
+    }
 
     /** Drop every entry. */
     void invalidateAll();
 
     /** Mark entry @p e most recently used. */
-    void touch(std::uint32_t e);
+    void touch(std::uint32_t e)
+    {
+        assert(e < _entries);
+        _lruStamp[e] = ++_clock;
+    }
 
     /** Entry to evict next (invalid entries first, then LRU). */
-    std::uint32_t victim() const;
+    std::uint32_t victim() const
+    {
+        std::uint32_t best = 0;
+        bool found_valid = false;
+        std::uint64_t oldest = 0;
+        for (std::uint32_t i = 0; i < _entries; ++i) {
+            if (!_valid[i])
+                return i;
+            if (!found_valid || _lruStamp[i] < oldest) {
+                best = i;
+                oldest = _lruStamp[i];
+                found_valid = true;
+            }
+        }
+        return best;
+    }
 
     /** True when entry @p e holds a set. */
-    bool entryValid(std::uint32_t e) const;
+    bool entryValid(std::uint32_t e) const
+    {
+        assert(e < _entries);
+        return _valid[e] != 0;
+    }
 
     /** Set index held by entry @p e (requires valid). */
-    std::uint32_t entrySet(std::uint32_t e) const;
+    std::uint32_t entrySet(std::uint32_t e) const
+    {
+        assert(e < _entries && _valid[e]);
+        return _set[e];
+    }
 
     /** Dirty bit of entry @p e. */
-    bool dirty(std::uint32_t e) const;
+    bool dirty(std::uint32_t e) const
+    {
+        assert(e < _entries);
+        return _dirty[e] != 0;
+    }
 
     /** Set/clear the Dirty bit of entry @p e. */
-    void setDirty(std::uint32_t e, bool d);
+    void setDirty(std::uint32_t e, bool d)
+    {
+        assert(e < _entries);
+        _dirty[e] = d ? 1 : 0;
+    }
 
     /** Number of entries. */
     std::uint32_t entries() const { return _entries; }
@@ -132,19 +210,16 @@ class TagBuffer
     void registerStats(stats::Registry &reg);
 
   private:
-    struct Entry
-    {
-        std::uint32_t set = 0;
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t validMask = 0;
-        std::vector<mem::Addr> tags;
-        std::uint64_t lruStamp = 0;
-    };
-
     std::uint32_t _entries;
     std::uint32_t _ways;
-    std::vector<Entry> _store;
+
+    // Structure-of-arrays entry state.
+    std::vector<mem::Addr> _tags;          //!< [entry * ways + way]
+    std::vector<std::uint32_t> _set;       //!< buffered set index
+    std::vector<std::uint8_t> _valid;      //!< entry holds a set
+    std::vector<std::uint8_t> _dirty;      //!< Set-Buffer newer
+    std::vector<std::uint64_t> _validMask; //!< valid ways of the set
+    std::vector<std::uint64_t> _lruStamp;  //!< entry recency
     std::uint64_t _clock = 0;
 
     stats::Counter _probes{"tagbuf.probes", "Tag-Buffer probes"};

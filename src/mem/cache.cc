@@ -5,12 +5,21 @@
 
 #include "mem/cache.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
 #include <stdexcept>
 
 namespace c8t::mem
 {
+
+namespace
+{
+
+/** Largest associativity the byte-per-way LRU recency word covers. */
+constexpr std::uint32_t kPackedLruMaxWays = 8;
+
+} // anonymous namespace
 
 void
 CacheConfig::validate() const
@@ -42,77 +51,46 @@ CacheConfig::toString() const
 TagArray::TagArray(const CacheConfig &config)
     : _config(config),
       _layout((config.validate(), config.blockBytes), config.numSets()),
-      _lines(static_cast<std::size_t>(config.numSets()) * config.ways),
-      _repl(makeReplacementPolicy(config.replacement, config.numSets(),
-                                  config.ways))
-{}
-
-TagArray::Line &
-TagArray::lineAt(std::uint32_t set, std::uint32_t way)
+      _ways(config.ways),
+      _tagStore(static_cast<std::size_t>(config.numSets()) * config.ways,
+                0),
+      _valid(config.numSets(), 0),
+      _dirty(config.numSets(), 0),
+      _replWord(config.numSets(), 0)
 {
-    assert(set < _config.numSets() && way < _config.ways);
-    return _lines[static_cast<std::size_t>(set) * _config.ways + way];
-}
-
-const TagArray::Line &
-TagArray::lineAt(std::uint32_t set, std::uint32_t way) const
-{
-    assert(set < _config.numSets() && way < _config.ways);
-    return _lines[static_cast<std::size_t>(set) * _config.ways + way];
-}
-
-LookupResult
-TagArray::probe(Addr addr) const
-{
-    const std::uint32_t set = _layout.setOf(addr);
-    const Addr tag = _layout.tagOf(addr);
-    for (std::uint32_t w = 0; w < _config.ways; ++w) {
-        const Line &line = lineAt(set, w);
-        if (line.valid && line.tag == tag)
-            return {true, w};
+    switch (config.replacement) {
+      case ReplKind::Lru:
+        if (_ways <= kPackedLruMaxWays) {
+            _mode = ReplMode::PackedLru;
+            // Identity recency order (byte i = way i, MRU at byte 0).
+            // The initial order is never consulted: victims prefer
+            // invalid ways, and every way is touched by its fill
+            // before the set can be full.
+            std::uint64_t init = 0;
+            for (std::uint32_t w = 0; w < _ways; ++w)
+                init |= static_cast<std::uint64_t>(w) << (8 * w);
+            std::fill(_replWord.begin(), _replWord.end(), init);
+        } else {
+            _mode = ReplMode::Oracle;
+        }
+        break;
+      case ReplKind::TreePlru:
+        assert(_ways >= 2 && isPowerOfTwo(_ways));
+        _mode = ReplMode::PackedPlru;
+        break;
+      case ReplKind::Fifo:
+        _mode = ReplMode::PackedFifo;
+        break;
+      case ReplKind::Random:
+        _mode = ReplMode::PackedRandom;
+        break;
+      default:
+        _mode = ReplMode::Oracle;
+        break;
     }
-    return {false, 0};
-}
-
-LookupResult
-TagArray::access(Addr addr)
-{
-    const LookupResult r = probe(addr);
-    if (r.hit) {
-        ++_hits;
-        _repl->touch(_layout.setOf(addr), r.way);
-    } else {
-        ++_misses;
-    }
-    return r;
-}
-
-FillResult
-TagArray::fill(Addr addr)
-{
-    assert(!probe(addr).hit && "fill of a resident block");
-
-    const std::uint32_t set = _layout.setOf(addr);
-    const std::uint32_t way = _repl->victim(set, validMask(set));
-
-    FillResult result;
-    result.way = way;
-
-    Line &line = lineAt(set, way);
-    if (line.valid) {
-        result.evictedValid = true;
-        result.evictedDirty = line.dirty;
-        result.evictedBlockAddr = _layout.blockAddr(line.tag, set);
-        ++_evictions;
-        if (line.dirty)
-            ++_dirtyEvictions;
-    }
-
-    line.tag = _layout.tagOf(addr);
-    line.valid = true;
-    line.dirty = false;
-    _repl->insert(set, way);
-    return result;
+    if (_mode == ReplMode::Oracle)
+        _repl = makeReplacementPolicy(config.replacement,
+                                      config.numSets(), config.ways);
 }
 
 void
@@ -120,39 +98,14 @@ TagArray::markDirty(Addr addr)
 {
     const LookupResult r = probe(addr);
     assert(r.hit && "markDirty on a non-resident block");
-    lineAt(_layout.setOf(addr), r.way).dirty = true;
-}
-
-bool
-TagArray::isDirty(std::uint32_t set, std::uint32_t way) const
-{
-    return lineAt(set, way).dirty;
-}
-
-void
-TagArray::clearDirty(std::uint32_t set, std::uint32_t way)
-{
-    lineAt(set, way).dirty = false;
-}
-
-bool
-TagArray::isValid(std::uint32_t set, std::uint32_t way) const
-{
-    return lineAt(set, way).valid;
-}
-
-Addr
-TagArray::tagAt(std::uint32_t set, std::uint32_t way) const
-{
-    return lineAt(set, way).tag;
+    markDirtyWay(_layout.setOf(addr), r.way);
 }
 
 Addr
 TagArray::blockAddrAt(std::uint32_t set, std::uint32_t way) const
 {
-    const Line &line = lineAt(set, way);
-    assert(line.valid);
-    return _layout.blockAddr(line.tag, set);
+    assert(isValid(set, way));
+    return _layout.blockAddr(tagAt(set, way), set);
 }
 
 std::vector<Addr>
@@ -166,21 +119,10 @@ TagArray::tagsOfSet(std::uint32_t set) const
 void
 TagArray::copyTagsOfSet(std::uint32_t set, Addr *out) const
 {
-    for (std::uint32_t w = 0; w < _config.ways; ++w) {
-        const Line &line = lineAt(set, w);
-        out[w] = line.valid ? line.tag : 0;
-    }
-}
-
-std::uint64_t
-TagArray::validMask(std::uint32_t set) const
-{
-    std::uint64_t mask = 0;
-    for (std::uint32_t w = 0; w < _config.ways; ++w) {
-        if (lineAt(set, w).valid)
-            mask |= 1ull << w;
-    }
-    return mask;
+    const Addr *tags = &_tagStore[static_cast<std::size_t>(set) * _ways];
+    const std::uint64_t valid = _valid[set];
+    for (std::uint32_t w = 0; w < _ways; ++w)
+        out[w] = ((valid >> w) & 1) ? tags[w] : 0;
 }
 
 void

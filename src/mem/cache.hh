@@ -8,11 +8,24 @@
  * the proposed schemes, temporarily in the Set-Buffer — placement is
  * the controller's job (src/core/controller.hh). Keeping tags separate
  * guarantees every write scheme sees the identical hit/miss sequence.
+ *
+ * Hot-path layout (DESIGN.md §7): tag words, valid bits and dirty bits
+ * are stored structure-of-arrays — a flat tag vector plus one 64-bit
+ * valid and one 64-bit dirty bitmask per set — so a lookup is a
+ * branchless way-compare producing a match mask, and dirty/valid
+ * updates are single bit operations. Replacement is devirtualized:
+ * LRU (ways <= 8), Tree-PLRU, FIFO and Random get compact per-set
+ * integer encodings updated inline with zero virtual calls; shapes
+ * outside the packed encodings (LRU with ways > 8) fall back to the
+ * virtual ReplacementPolicy oracle, which also remains the reference
+ * model for the packed encodings' property tests.
  */
 
 #ifndef C8T_MEM_CACHE_HH
 #define C8T_MEM_CACHE_HH
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -22,6 +35,7 @@
 #include "mem/replacement.hh"
 #include "stats/counter.hh"
 #include "stats/registry.hh"
+#include "trace/rng.hh"
 
 namespace c8t::mem
 {
@@ -109,35 +123,105 @@ class TagArray
      * Probe for @p addr without changing any state (no LRU update,
      * no statistics).
      */
-    LookupResult probe(Addr addr) const;
+    LookupResult probe(Addr addr) const
+    {
+        const std::uint32_t set = _layout.setOf(addr);
+        const std::uint64_t m = matchMask(set, _layout.tagOf(addr));
+        if (m)
+            return {true,
+                    static_cast<std::uint32_t>(std::countr_zero(m))};
+        return {false, 0};
+    }
 
     /**
      * Look up @p addr, updating replacement state and hit/miss
-     * statistics. Does not allocate on miss.
+     * statistics. Does not allocate on miss. On a hit the returned
+     * way identifies the resident block.
      */
-    LookupResult access(Addr addr);
+    LookupResult access(Addr addr)
+    {
+        const std::uint32_t set = _layout.setOf(addr);
+        const std::uint64_t m = matchMask(set, _layout.tagOf(addr));
+        if (m) {
+            const auto way =
+                static_cast<std::uint32_t>(std::countr_zero(m));
+            ++_hits;
+            touchRepl(set, way);
+            return {true, way};
+        }
+        ++_misses;
+        return {false, 0};
+    }
 
     /**
      * Allocate a block for @p addr (which must currently miss):
      * chooses a victim, installs the tag, marks it valid and clean,
-     * and updates replacement state.
+     * and updates replacement state. Inline: runs once per miss
+     * (DESIGN.md §7).
      */
-    FillResult fill(Addr addr);
+    FillResult fill(Addr addr)
+    {
+        assert(!probe(addr).hit && "fill of a resident block");
+
+        const std::uint32_t set = _layout.setOf(addr);
+        const std::uint32_t way = victimRepl(set);
+
+        FillResult result;
+        result.way = way;
+
+        const std::uint64_t bit = 1ull << way;
+        const std::size_t idx =
+            static_cast<std::size_t>(set) * _ways + way;
+        if (_valid[set] & bit) {
+            result.evictedValid = true;
+            result.evictedDirty = (_dirty[set] & bit) != 0;
+            result.evictedBlockAddr =
+                _layout.blockAddr(_tagStore[idx], set);
+            ++_evictions;
+            if (result.evictedDirty)
+                ++_dirtyEvictions;
+        }
+
+        _tagStore[idx] = _layout.tagOf(addr);
+        _valid[set] |= bit;
+        _dirty[set] &= ~bit;
+        insertRepl(set, way);
+        return result;
+    }
 
     /** Mark the block holding @p addr dirty (must be resident). */
     void markDirty(Addr addr);
 
+    /** Mark (set, way) dirty directly — the hot path uses this when
+     *  the way is already known from the lookup. */
+    void markDirtyWay(std::uint32_t set, std::uint32_t way)
+    {
+        _dirty[set] |= 1ull << way;
+    }
+
     /** Dirty state of way @p way in set @p set. */
-    bool isDirty(std::uint32_t set, std::uint32_t way) const;
+    bool isDirty(std::uint32_t set, std::uint32_t way) const
+    {
+        return (_dirty[set] >> way) & 1;
+    }
 
     /** Clear the dirty bit of (set, way). */
-    void clearDirty(std::uint32_t set, std::uint32_t way);
+    void clearDirty(std::uint32_t set, std::uint32_t way)
+    {
+        _dirty[set] &= ~(1ull << way);
+    }
 
     /** Valid state of way @p way in set @p set. */
-    bool isValid(std::uint32_t set, std::uint32_t way) const;
+    bool isValid(std::uint32_t set, std::uint32_t way) const
+    {
+        return (_valid[set] >> way) & 1;
+    }
 
     /** Tag stored in (set, way); meaningful only when valid. */
-    Addr tagAt(std::uint32_t set, std::uint32_t way) const;
+    Addr tagAt(std::uint32_t set, std::uint32_t way) const
+    {
+        return _tagStore[static_cast<std::size_t>(set) * _ways + way];
+    }
 
     /** Block base address stored in (set, way); requires valid. */
     Addr blockAddrAt(std::uint32_t set, std::uint32_t way) const;
@@ -151,7 +235,10 @@ class TagArray
     void copyTagsOfSet(std::uint32_t set, Addr *out) const;
 
     /** Valid-way bitmask of @p set. */
-    std::uint64_t validMask(std::uint32_t set) const;
+    std::uint64_t validMask(std::uint32_t set) const
+    {
+        return _valid[set];
+    }
 
     /** Demand lookups that hit. */
     std::uint64_t hits() const { return _hits.value(); }
@@ -168,6 +255,13 @@ class TagArray
         return _dirtyEvictions.value();
     }
 
+    /** True when this shape runs on a packed (devirtualized)
+     *  replacement encoding rather than the virtual oracle. */
+    bool usesPackedReplacement() const
+    {
+        return _mode != ReplMode::Oracle;
+    }
+
     /** Reset statistics (contents untouched). */
     void resetCounters();
 
@@ -175,20 +269,162 @@ class TagArray
     void registerStats(stats::Registry &reg);
 
   private:
-    struct Line
-    {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
+    /** Per-run replacement dispatch, selected once in the constructor
+     *  so the access loop never takes a virtual call. */
+    enum class ReplMode : std::uint8_t {
+        PackedLru,    //!< 64-bit recency word, one byte per way (<= 8)
+        PackedPlru,   //!< tree bits of the PLRU decision tree
+        PackedFifo,   //!< per-set fill counter (round-robin)
+        PackedRandom, //!< stateless; shared deterministic RNG
+        Oracle,       //!< virtual ReplacementPolicy fallback
     };
 
-    Line &lineAt(std::uint32_t set, std::uint32_t way);
-    const Line &lineAt(std::uint32_t set, std::uint32_t way) const;
+    /** Valid-way match mask of @p tag in @p set (bit w set when way w
+     *  is valid and holds the tag). Branch-free over the ways. */
+    std::uint64_t matchMask(std::uint32_t set, Addr tag) const
+    {
+        const Addr *tags =
+            &_tagStore[static_cast<std::size_t>(set) * _ways];
+        std::uint64_t m = 0;
+        for (std::uint32_t w = 0; w < _ways; ++w)
+            m |= static_cast<std::uint64_t>(tags[w] == tag) << w;
+        return m & _valid[set];
+    }
+
+    /** Record a use of (set, way) in the packed replacement state. */
+    void touchRepl(std::uint32_t set, std::uint32_t way)
+    {
+        switch (_mode) {
+          case ReplMode::PackedLru:
+            lruMoveToFront(set, way);
+            break;
+          case ReplMode::PackedPlru:
+            plruPointAway(set, way);
+            break;
+          case ReplMode::PackedFifo:
+          case ReplMode::PackedRandom:
+            break; // hits do not move FIFO/Random state
+          case ReplMode::Oracle:
+            _repl->touch(set, way);
+            break;
+        }
+    }
+
+    /** Record a fill of (set, way). */
+    void insertRepl(std::uint32_t set, std::uint32_t way)
+    {
+        switch (_mode) {
+          case ReplMode::PackedLru:
+            lruMoveToFront(set, way);
+            break;
+          case ReplMode::PackedPlru:
+            plruPointAway(set, way);
+            break;
+          case ReplMode::PackedFifo:
+            ++_replWord[set];
+            break;
+          case ReplMode::PackedRandom:
+            break;
+          case ReplMode::Oracle:
+            _repl->insert(set, way);
+            break;
+        }
+    }
+
+    /** Choose the victim way of @p set (invalid ways first). */
+    std::uint32_t victimRepl(std::uint32_t set)
+    {
+        const std::uint64_t valid = _valid[set];
+
+        // Invalid ways are preferred before any replacement
+        // heuristic, in ascending way order (matching
+        // ReplacementPolicy semantics).
+        const auto first_invalid =
+            static_cast<std::uint32_t>(std::countr_one(valid));
+        if (first_invalid < _ways)
+            return first_invalid;
+
+        switch (_mode) {
+          case ReplMode::PackedLru:
+            return static_cast<std::uint32_t>(
+                (_replWord[set] >> (8 * (_ways - 1))) & 0xffu);
+          case ReplMode::PackedPlru: {
+            const std::uint64_t t = _replWord[set];
+            std::uint32_t node = 0;
+            std::uint32_t span = _ways;
+            std::uint32_t base = 0;
+            while (span > 1) {
+                const std::uint32_t half = span / 2;
+                const bool right = (t >> node) & 1;
+                node = 2 * node + (right ? 2 : 1);
+                if (right)
+                    base += half;
+                span = half;
+            }
+            return base;
+          }
+          case ReplMode::PackedFifo:
+            // Fills land on invalid ways in ascending order and the
+            // only path to valid is fill(), so fill order is
+            // round-robin: the oldest fill is the fill counter modulo
+            // the associativity.
+            return static_cast<std::uint32_t>(_replWord[set] % _ways);
+          case ReplMode::PackedRandom:
+            return static_cast<std::uint32_t>(_victimRng.below(_ways));
+          case ReplMode::Oracle:
+            return _repl->victim(set, valid);
+        }
+        return 0;
+    }
+
+    /** Move @p way to the MRU byte of the set's recency word. */
+    void lruMoveToFront(std::uint32_t set, std::uint32_t way)
+    {
+        std::uint64_t w = _replWord[set];
+        std::uint32_t p = 0;
+        while (((w >> (8 * p)) & 0xffu) != way)
+            ++p;
+        const std::uint64_t below =
+            p ? (w & ((1ull << (8 * p)) - 1)) : 0;
+        const std::uint64_t above =
+            p < 7 ? (w & ~((1ull << (8 * (p + 1))) - 1)) : 0;
+        _replWord[set] = above | (below << 8) | way;
+    }
+
+    /** Point every PLRU tree node on @p way's path away from it. */
+    void plruPointAway(std::uint32_t set, std::uint32_t way)
+    {
+        std::uint64_t t = _replWord[set];
+        std::uint32_t node = 0;
+        std::uint32_t span = _ways;
+        std::uint32_t base = 0;
+        while (span > 1) {
+            const std::uint32_t half = span / 2;
+            const bool right = way >= base + half;
+            const std::uint64_t bit = 1ull << node;
+            t = right ? (t & ~bit) : (t | bit);
+            node = 2 * node + (right ? 2 : 1);
+            if (right)
+                base += half;
+            span = half;
+        }
+        _replWord[set] = t;
+    }
 
     CacheConfig _config;
     AddrLayout _layout;
-    std::vector<Line> _lines;
-    std::unique_ptr<ReplacementPolicy> _repl;
+    std::uint32_t _ways;
+
+    // Structure-of-arrays tag state.
+    std::vector<Addr> _tagStore;        //!< [set * ways + way]
+    std::vector<std::uint64_t> _valid;  //!< per-set valid bitmask
+    std::vector<std::uint64_t> _dirty;  //!< per-set dirty bitmask
+
+    // Packed replacement state.
+    ReplMode _mode;
+    std::vector<std::uint64_t> _replWord; //!< per-set encoding
+    trace::Rng _victimRng{12345};         //!< PackedRandom draws
+    std::unique_ptr<ReplacementPolicy> _repl; //!< Oracle fallback only
 
     stats::Counter _hits{"cache.hits", "demand hits"};
     stats::Counter _misses{"cache.misses", "demand misses"};

@@ -42,13 +42,18 @@ tableCapacityFor(std::size_t n)
 const std::uint8_t *
 FunctionalMemory::findPage(Addr page_base) const
 {
+    if (page_base == _lastBase)
+        return _lastPage;
     if (_keys.empty())
         return nullptr;
     const std::size_t mask = _keys.size() - 1;
     std::size_t i = hashPage(page_base) & mask;
     while (_keys[i] != kNoPage) {
-        if (_keys[i] == page_base)
-            return _pages[_pageOf[i]].get();
+        if (_keys[i] == page_base) {
+            _lastBase = page_base;
+            _lastPage = _pages[_pageOf[i]].get();
+            return _lastPage;
+        }
         i = (i + 1) & mask;
     }
     return nullptr;
@@ -94,6 +99,9 @@ FunctionalMemory::growTable(std::size_t min_capacity)
 std::uint8_t *
 FunctionalMemory::ensurePage(Addr page_base)
 {
+    if (page_base == _lastBase)
+        return _lastPage;
+
     // Keep the load factor below 3/4 (counting the slot about to be
     // claimed).
     if (_keys.empty() || (_used + 1) * 4 > _keys.size() * 3)
@@ -102,14 +110,19 @@ FunctionalMemory::ensurePage(Addr page_base)
     const std::size_t mask = _keys.size() - 1;
     std::size_t i = hashPage(page_base) & mask;
     while (_keys[i] != kNoPage) {
-        if (_keys[i] == page_base)
-            return _pages[_pageOf[i]].get();
+        if (_keys[i] == page_base) {
+            _lastBase = page_base;
+            _lastPage = _pages[_pageOf[i]].get();
+            return _lastPage;
+        }
         i = (i + 1) & mask;
     }
     _keys[i] = page_base;
     _pageOf[i] = takePage();
     ++_used;
-    return _pages[_pageOf[i]].get();
+    _lastBase = page_base;
+    _lastPage = _pages[_pageOf[i]].get();
+    return _lastPage;
 }
 
 std::uint64_t
@@ -217,6 +230,8 @@ FunctionalMemory::clear()
         _keys[s] = kNoPage;
     }
     _used = 0;
+    _lastBase = kNoPage;
+    _lastPage = nullptr;
 }
 
 void

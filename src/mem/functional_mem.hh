@@ -84,6 +84,16 @@ class FunctionalMemory
     void growTable(std::size_t min_capacity);
     std::uint32_t takePage();
 
+    /**
+     * One-entry most-recently-used page cache in front of the page
+     * table. Block transfers on the miss path exhibit strong page
+     * locality, so this short-circuits most hash probes. Page storage
+     * is per-page heap arrays whose addresses are stable across table
+     * growth; only clear() invalidates the cached pointer.
+     */
+    mutable Addr _lastBase = kNoPage;
+    mutable std::uint8_t *_lastPage = nullptr;
+
     /** Open-addressing page table: _keys/_pageOf are parallel. */
     std::vector<Addr> _keys;
     std::vector<std::uint32_t> _pageOf;

@@ -98,6 +98,31 @@ class SRAMArray
      */
     void readRowInto(std::uint32_t row, RowData &out);
 
+    /**
+     * Counted row read returning a reference to the stored image
+     * instead of copying it out (DESIGN.md §7). Same precharge/read
+     * accounting as readRowInto(); the reference is invalidated by the
+     * next write to the row.
+     */
+    const RowData &readRowRef(std::uint32_t row)
+    {
+        ++_precharges;
+        ++_rowReads;
+        return _rows[row];
+    }
+
+    /**
+     * Counted full-row write performed in place: counts one row write
+     * and hands the caller the row image to overwrite. Equivalent to
+     * composing the new image elsewhere and calling writeRow() — every
+     * column's write driver carries a defined value either way.
+     */
+    RowData &updateRow(std::uint32_t row)
+    {
+        ++_rowWrites;
+        return _rows[row];
+    }
+
     /** Convenience wrapper returning a fresh vector. */
     RowData readRow(std::uint32_t row);
 

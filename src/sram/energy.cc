@@ -92,6 +92,25 @@ EnergyModel::tagCompareEnergy(std::uint32_t tag_bits,
     return static_cast<double>(tag_bits) * ways * _tech.cCompareBit * v2;
 }
 
+EnergyEventRates
+EnergyModel::eventRates(std::uint32_t tag_bits, std::uint32_t ways,
+                        std::uint32_t row_bytes) const
+{
+    EnergyEventRates r;
+    r.rowRead = rowReadEnergy();
+    r.rowWrite = rowWriteEnergy();
+    for (std::uint32_t b = 1; b <= EnergyEventRates::kMaxRequestBytes;
+         ++b) {
+        r.partialWrite[b] = partialWriteEnergy(b);
+        r.setBufferRead[b] = setBufferReadEnergy(b);
+        r.setBufferWrite[b] = setBufferWriteEnergy(b);
+    }
+    r.setBufferReadRow = setBufferReadEnergy(row_bytes);
+    r.setBufferWriteRow = setBufferWriteEnergy(row_bytes);
+    r.tagCompare = tagCompareEnergy(tag_bits, ways);
+    return r;
+}
+
 double
 EnergyModel::rowReadLatency() const
 {

@@ -71,6 +71,39 @@ struct TechParams
 };
 
 /**
+ * Per-event energy constants for deferred (count-then-multiply)
+ * accounting. The controller's hot path increments integer event
+ * counters only; the accumulated dynamic energy is materialized on
+ * demand by multiplying each count against the constant below — every
+ * constant is produced by the exact EnergyModel call the historical
+ * per-access accumulation made, so the materialized total matches the
+ * per-access sum to summation-order rounding (ULPs).
+ */
+struct EnergyEventRates
+{
+    /** Largest request size with its own bucket (bytes). */
+    static constexpr std::uint32_t kMaxRequestBytes = 8;
+
+    /** Full row read / write. */
+    double rowRead = 0.0;
+    double rowWrite = 0.0;
+
+    /** Partial (6T / word-granular) writes, indexed by bytes 1..8. */
+    double partialWrite[kMaxRequestBytes + 1] = {};
+
+    /** Request-sized Set-Buffer accesses, indexed by bytes 1..8. */
+    double setBufferRead[kMaxRequestBytes + 1] = {};
+    double setBufferWrite[kMaxRequestBytes + 1] = {};
+
+    /** Row-sized Set-Buffer accesses (write-back latch read, fill). */
+    double setBufferReadRow = 0.0;
+    double setBufferWriteRow = 0.0;
+
+    /** One Tag-Buffer probe of the configured geometry. */
+    double tagCompare = 0.0;
+};
+
+/**
  * Energy / latency / area model for one data array plus the WG/WG+RB
  * buffers attached to it.
  */
@@ -108,6 +141,18 @@ class EnergyModel
     /** One Tag-Buffer probe (@p tag_bits wide, @p ways comparators). */
     double tagCompareEnergy(std::uint32_t tag_bits,
                             std::uint32_t ways) const;
+
+    /**
+     * Precompute the per-event constants for deferred accounting.
+     *
+     * @param tag_bits  Tag width of the attached Tag-Buffer probes.
+     * @param ways      Comparators per probe.
+     * @param row_bytes Row image size (= set bytes) for the row-sized
+     *                  Set-Buffer transfers.
+     */
+    EnergyEventRates eventRates(std::uint32_t tag_bits,
+                                std::uint32_t ways,
+                                std::uint32_t row_bytes) const;
 
     // --- latencies (s) ---------------------------------------------------
 

@@ -10,36 +10,6 @@
 namespace c8t::sram
 {
 
-std::uint64_t
-PortScheduler::schedule(PortUse use, std::uint64_t earliest,
-                        std::uint32_t duration)
-{
-    const bool needs_read = use != PortUse::WritePort;
-    const bool needs_write = use != PortUse::ReadPort;
-
-    std::uint64_t start = earliest;
-    if (needs_read)
-        start = std::max(start, _readFreeAt);
-    if (needs_write)
-        start = std::max(start, _writeFreeAt);
-
-    if (start > earliest) {
-        ++_conflicts;
-        _stallCycles += start - earliest;
-    }
-
-    const std::uint64_t end = start + duration;
-    if (needs_read) {
-        _readFreeAt = end;
-        _readBusy += duration;
-    }
-    if (needs_write) {
-        _writeFreeAt = end;
-        _writeBusy += duration;
-    }
-    return start;
-}
-
 void
 PortScheduler::registerStats(stats::Registry &reg)
 {

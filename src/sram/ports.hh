@@ -12,6 +12,7 @@
 #ifndef C8T_SRAM_PORTS_HH
 #define C8T_SRAM_PORTS_HH
 
+#include <algorithm>
 #include <cstdint>
 
 #include "stats/counter.hh"
@@ -44,13 +45,42 @@ class PortScheduler
     /**
      * Schedule an operation.
      *
+     * Inline: this runs once or twice per simulated access
+     * (DESIGN.md §7).
+     *
      * @param use      Ports occupied.
      * @param earliest First cycle the operation could start.
      * @param duration Cycles the ports stay busy.
      * @return The cycle the operation actually starts.
      */
     std::uint64_t schedule(PortUse use, std::uint64_t earliest,
-                           std::uint32_t duration);
+                           std::uint32_t duration)
+    {
+        const bool needs_read = use != PortUse::WritePort;
+        const bool needs_write = use != PortUse::ReadPort;
+
+        std::uint64_t start = earliest;
+        if (needs_read)
+            start = std::max(start, _readFreeAt);
+        if (needs_write)
+            start = std::max(start, _writeFreeAt);
+
+        if (start > earliest) {
+            ++_conflicts;
+            _stallCycles += start - earliest;
+        }
+
+        const std::uint64_t end = start + duration;
+        if (needs_read) {
+            _readFreeAt = end;
+            _readBusy += duration;
+        }
+        if (needs_write) {
+            _writeFreeAt = end;
+            _writeBusy += duration;
+        }
+        return start;
+    }
 
     /** Cycle at which the read port becomes free. */
     std::uint64_t readFreeAt() const { return _readFreeAt; }

@@ -19,42 +19,9 @@ Distribution::Distribution(std::string name, std::string desc,
       _buckets(std::max<std::size_t>(buckets, 1), 0)
 {
     assert(max > min && "distribution range must be non-empty");
-}
-
-void
-Distribution::sample(double v)
-{
-    sample(v, 1);
-}
-
-void
-Distribution::sample(double v, std::uint64_t n)
-{
-    if (n == 0)
-        return;
-
-    if (_count == 0) {
-        _minSeen = v;
-        _maxSeen = v;
-    } else {
-        _minSeen = std::min(_minSeen, v);
-        _maxSeen = std::max(_maxSeen, v);
-    }
-
-    _count += n;
-    _sum += v * static_cast<double>(n);
-    _sumSq += v * v * static_cast<double>(n);
-
-    if (v < _min) {
-        _underflow += n;
-    } else if (v >= _max) {
-        _overflow += n;
-    } else {
-        const double width = (_max - _min) / _buckets.size();
-        auto idx = static_cast<std::size_t>((v - _min) / width);
-        idx = std::min(idx, _buckets.size() - 1);
-        _buckets[idx] += n;
-    }
+    // Same division sample() historically performed per call; doing it
+    // once here keeps bucket boundaries bit-identical.
+    _width = (_max - _min) / static_cast<double>(_buckets.size());
 }
 
 double

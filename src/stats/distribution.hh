@@ -10,6 +10,7 @@
 #ifndef C8T_STATS_DISTRIBUTION_HH
 #define C8T_STATS_DISTRIBUTION_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -41,11 +42,38 @@ class Distribution
     Distribution(std::string name, std::string desc,
                  double min, double max, std::size_t buckets);
 
-    /** Record one sample. */
-    void sample(double v);
+    /** Record one sample. Inline: this runs once per read request
+     *  (latency) and once per write group (size) on the hot path. */
+    void sample(double v) { sample(v, 1); }
 
     /** Record @p n identical samples. */
-    void sample(double v, std::uint64_t n);
+    void sample(double v, std::uint64_t n)
+    {
+        if (n == 0)
+            return;
+
+        if (_count == 0) {
+            _minSeen = v;
+            _maxSeen = v;
+        } else {
+            _minSeen = std::min(_minSeen, v);
+            _maxSeen = std::max(_maxSeen, v);
+        }
+
+        _count += n;
+        _sum += v * static_cast<double>(n);
+        _sumSq += v * v * static_cast<double>(n);
+
+        if (v < _min) {
+            _underflow += n;
+        } else if (v >= _max) {
+            _overflow += n;
+        } else {
+            auto idx = static_cast<std::size_t>((v - _min) / _width);
+            idx = std::min(idx, _buckets.size() - 1);
+            _buckets[idx] += n;
+        }
+    }
 
     /** Number of samples recorded. */
     std::uint64_t count() const { return _count; }
@@ -101,6 +129,7 @@ class Distribution
     std::string _desc;
     double _min = 0.0;
     double _max = 1.0;
+    double _width = 1.0; //!< bucket width, fixed at construction
     std::vector<std::uint64_t> _buckets;
     std::uint64_t _underflow = 0;
     std::uint64_t _overflow = 0;

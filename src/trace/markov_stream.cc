@@ -24,6 +24,7 @@
 #include "trace/markov_stream.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
@@ -124,6 +125,11 @@ MarkovStream::MarkovStream(StreamParams params)
     _footprint =
         (_params.footprintBytes + refSetSpan - 1) / refSetSpan * refSetSpan;
     _base = regionBase;
+    // The gap draw runs once per generated access; hoist the constant
+    // ln(1-p) term with the same clamping Rng::geometric applies.
+    _gapZero = _params.memFraction >= 1.0;
+    if (!_gapZero)
+        _gapLogQ = std::log1p(-std::max(_params.memFraction, 1e-9));
     buildPatterns();
 }
 
@@ -269,8 +275,9 @@ MarkovStream::fillChunk(MemAccess *dst, std::size_t n)
 void
 MarkovStream::generate(MemAccess &out)
 {
-    out.gap = static_cast<std::uint32_t>(
-        _rng.geometric(_params.memFraction));
+    out.gap = _gapZero ? 0u
+                       : static_cast<std::uint32_t>(
+                             _rng.geometricFromLog(_gapLogQ));
     out.size = 8;
 
     AccessType cur;

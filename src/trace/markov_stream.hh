@@ -205,6 +205,11 @@ class MarkovStream : public AccessGenerator
 
     std::uint64_t _base;
     std::uint64_t _footprint;
+
+    /** Hoisted ln(1-memFraction) for the per-access gap draw (see
+     *  Rng::geometricFromLog); _gapZero covers memFraction >= 1. */
+    double _gapLogQ = 0.0;
+    bool _gapZero = false;
 };
 
 /**

@@ -21,17 +21,6 @@ splitmix64(std::uint64_t &state)
     return z ^ (z >> 31);
 }
 
-namespace
-{
-
-inline std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-} // anonymous namespace
-
 Rng::Rng(std::uint64_t seed_value)
 {
     seed(seed_value);
@@ -43,22 +32,6 @@ Rng::seed(std::uint64_t seed_value)
     std::uint64_t sm = seed_value;
     for (auto &word : _s)
         word = splitmix64(sm);
-}
-
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
-    const std::uint64_t t = _s[1] << 17;
-
-    _s[2] ^= _s[0];
-    _s[3] ^= _s[1];
-    _s[1] ^= _s[2];
-    _s[0] ^= _s[3];
-    _s[2] ^= t;
-    _s[3] = rotl(_s[3], 45);
-
-    return result;
 }
 
 std::uint64_t
@@ -87,33 +60,13 @@ Rng::between(std::uint64_t lo, std::uint64_t hi)
     return lo + below(hi - lo + 1);
 }
 
-double
-Rng::uniform()
-{
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::chance(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return uniform() < p;
-}
-
 std::uint64_t
 Rng::geometric(double p, std::uint64_t cap)
 {
     if (p >= 1.0)
         return 0;
     p = std::max(p, 1e-9);
-    // Inverse transform: floor(ln(U) / ln(1-p)).
-    const double u = std::max(uniform(), 1e-18);
-    const double v = std::floor(std::log(u) / std::log1p(-p));
-    const auto k = static_cast<std::uint64_t>(v);
-    return std::min(k, cap);
+    return geometricFromLog(std::log1p(-p), cap);
 }
 
 std::uint64_t

@@ -13,6 +13,8 @@
 #ifndef C8T_TRACE_RNG_HH
 #define C8T_TRACE_RNG_HH
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 namespace c8t::trace
@@ -35,8 +37,22 @@ class Rng
     /** Construct from a 64-bit seed (expanded via splitmix64). */
     explicit Rng(std::uint64_t seed = 0x8f0c31415926535bull);
 
-    /** Next raw 64-bit value. */
-    std::uint64_t next();
+    /** Next raw 64-bit value. Inline: every stream-generation draw
+     *  funnels through here (DESIGN.md §7). */
+    std::uint64_t next()
+    {
+        const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+        const std::uint64_t t = _s[1] << 17;
+
+        _s[2] ^= _s[0];
+        _s[3] ^= _s[1];
+        _s[1] ^= _s[2];
+        _s[0] ^= _s[3];
+        _s[2] ^= t;
+        _s[3] = rotl(_s[3], 45);
+
+        return result;
+    }
 
     /** Uniform in [0, bound); bound must be non-zero. Unbiased
      *  (Lemire's multiply-shift with rejection). */
@@ -46,10 +62,20 @@ class Rng
     std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
 
     /** Uniform double in [0, 1) with 53 bits of randomness. */
-    double uniform();
+    double uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli trial: true with probability @p p (clamped to [0,1]). */
-    bool chance(double p);
+    bool chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
 
     /**
      * Geometric number of failures before the first success with success
@@ -57,6 +83,22 @@ class Rng
      * draws. Used for instruction-gap generation.
      */
     std::uint64_t geometric(double p, std::uint64_t cap = 1000);
+
+    /**
+     * geometric() with the constant factor ln(1-p) precomputed by the
+     * caller (@p log1mp must be std::log1p(-p) for the clamped p the
+     * plain overload would use, and p must be < 1). Draws the exact
+     * same sequence as geometric(); hoisting the logarithm matters
+     * because gap generation performs this draw once per access.
+     */
+    std::uint64_t geometricFromLog(double log1mp, std::uint64_t cap = 1000)
+    {
+        // Inverse transform: floor(ln(U) / ln(1-p)).
+        const double u = std::max(uniform(), 1e-18);
+        const double v = std::floor(std::log(u) / log1mp);
+        const auto k = static_cast<std::uint64_t>(v);
+        return std::min(k, cap);
+    }
 
     /**
      * Zipf-distributed value in [0, n) with exponent @p s, favouring
@@ -71,6 +113,11 @@ class Rng
     void seed(std::uint64_t seed);
 
   private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t _s[4];
 };
 

@@ -14,8 +14,17 @@
 # only one snapshot are reported but do not fail the diff (benchmarks
 # come and go across commits).
 #
+# Both snapshots must come from optimized builds: the comparison reads
+# each record's top-level "build_type"/"optimized" fields (written by
+# bench_report.sh) and refuses unoptimized snapshots — a debug-built
+# number on either side makes the percentage meaningless. Legacy
+# records without those fields are judged by the benchmark library's
+# context.library_build_type, the only clue they carry. Set
+# C8T_BENCH_ALLOW_DEBUG=1 to compare anyway (loud warning).
+#
 # Usage: tools/bench_diff.sh OLD.json NEW.json [threshold-percent]
-# Exit status: 0 = no regression, 1 = regression, 2 = usage/parse error.
+# Exit status: 0 = no regression, 1 = regression, 2 = usage/parse error
+# or unoptimized snapshot.
 
 set -euo pipefail
 
@@ -37,6 +46,7 @@ done
 
 python3 - "$old_json" "$new_json" "$threshold" <<'PY'
 import json
+import os
 import sys
 
 old_path, new_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
@@ -49,6 +59,32 @@ def load(path):
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_diff: {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def check_optimized(doc, path):
+    """Refuse snapshots from unoptimized trees (see file header)."""
+    if "optimized" in doc:
+        ok = bool(doc["optimized"])
+        how = f"build_type={doc.get('build_type', '?')!r}"
+    else:
+        # Legacy record predating the build_type field: the benchmark
+        # library's build flavour is the only clue it carries.
+        lib = doc.get("micro", {}).get("context", {}) \
+                 .get("library_build_type", "unknown")
+        ok = lib.lower() == "release"
+        how = f"legacy record, library_build_type={lib!r}"
+    if ok:
+        return
+    if os.environ.get("C8T_BENCH_ALLOW_DEBUG") == "1":
+        print(f"bench_diff: WARNING: {path} is not from an optimized "
+              f"build ({how}); comparing anyway because "
+              f"C8T_BENCH_ALLOW_DEBUG=1", file=sys.stderr)
+        return
+    print(f"bench_diff: {path} is not from an optimized build ({how}); "
+          f"percentages against it are meaningless. Re-record with "
+          f"tools/bench_report.sh on a Release tree, or set "
+          f"C8T_BENCH_ALLOW_DEBUG=1 to compare anyway.", file=sys.stderr)
+    sys.exit(2)
 
 
 def rates(doc, path):
@@ -65,18 +101,28 @@ def rates(doc, path):
         key = f"micro:{rec.get('name', '?')}"
         rate = rec.get("items_per_second")
         if isinstance(rate, (int, float)) and rate > 0:
-            out[key] = (float(rate), "items/s")
+            rate_unit = (float(rate), "items/s")
         elif isinstance(rec.get("real_time"), (int, float)) \
                 and rec["real_time"] > 0:
-            out[key] = (1.0 / rec["real_time"], "1/t")
+            rate_unit = (1.0 / rec["real_time"], "1/t")
+        else:
+            continue
+        # Repeated runs share a name; keep the best repetition (the
+        # least-disturbed one on a noisy machine).
+        if key not in out or rate_unit[0] > out[key][0]:
+            out[key] = rate_unit
     if not out:
         print(f"bench_diff: {path}: no comparable records", file=sys.stderr)
         sys.exit(2)
     return out
 
 
-old = rates(load(old_path), old_path)
-new = rates(load(new_path), new_path)
+old_doc = load(old_path)
+new_doc = load(new_path)
+check_optimized(old_doc, old_path)
+check_optimized(new_doc, new_path)
+old = rates(old_doc, old_path)
+new = rates(new_doc, new_path)
 
 regressions = 0
 compared = 0

@@ -11,13 +11,24 @@
 # Both are bundled into BENCH_<date>.json in the repository root so
 # successive commits can be compared.
 #
-# Usage: tools/bench_report.sh [build-dir]   (default: build-bench)
+# The snapshot records the tree's CMAKE_BUILD_TYPE as "build_type" and
+# refuses to write a record from a non-optimized tree (Debug or
+# unset): an unoptimized snapshot silently poisons every later
+# bench_diff. Set C8T_BENCH_ALLOW_DEBUG=1 to override; the record is
+# then loudly tagged "optimized": false. Note that google-benchmark's
+# own context.library_build_type reflects the *benchmark library's*
+# build, not ours, and can read "debug" even for a Release tree — only
+# the build_type field written here is authoritative.
+#
+# Usage: tools/bench_report.sh [build-dir] [out-file]
+#   build-dir defaults to build-bench, out-file to BENCH_<date>.json
+#   in the repository root.
 
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build-bench"}
-out="$repo_root/BENCH_$(date +%Y%m%d).json"
+out=${2:-"$repo_root/BENCH_$(date +%Y%m%d).json"}
 
 micro_json=$(mktemp)
 sweep_jsonl=$(mktemp)
@@ -26,7 +37,33 @@ trap 'rm -f "$micro_json" "$sweep_jsonl"' EXIT
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" --target micro_perf fig09_access_reduction -j "$(nproc)"
 
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+    "$build_dir/CMakeCache.txt")
+optimized=false
+case "$build_type" in
+    Release|RelWithDebInfo|MinSizeRel) optimized=true ;;
+esac
+if [ "$optimized" != true ]; then
+    if [ "${C8T_BENCH_ALLOW_DEBUG:-0}" = 1 ]; then
+        echo "bench_report: WARNING: recording from a" \
+             "'${build_type:-<unset>}' tree (C8T_BENCH_ALLOW_DEBUG=1);" \
+             "the record will be tagged optimized=false and" \
+             "bench_diff will refuse it by default" >&2
+    else
+        echo "bench_report: refusing to record from a" \
+             "'${build_type:-<unset>}' tree: benchmark numbers from an" \
+             "unoptimized build are meaningless as a baseline." \
+             "Use a Release/RelWithDebInfo build dir, or set" \
+             "C8T_BENCH_ALLOW_DEBUG=1 to tag-and-record anyway." >&2
+        exit 1
+    fi
+fi
+
+# Five repetitions per benchmark: the short per-access rows are noisy
+# on small/shared machines, and bench_diff compares best-of-reps so
+# one quiet repetition is enough for a stable record.
 "$build_dir/bench/micro_perf" \
+    --benchmark_repetitions=5 \
     --benchmark_format=json --benchmark_out="$micro_json" \
     --benchmark_out_format=json
 
@@ -48,10 +85,12 @@ if [ ! -s "$sweep_jsonl" ]; then
     exit 1
 fi
 
-# Compose the report: {"date": ..., "sweeps": [<jsonl>], "micro": <json>}
+# Compose the report: {"date": ..., "build_type": ..., "optimized": ...,
+#                      "sweeps": [<jsonl>], "micro": <json>}
 {
-    printf '{"date":"%s","jobs_default":%s,"sweeps":[' \
-        "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$(nproc)"
+    printf '{"date":"%s","build_type":"%s","optimized":%s,"jobs_default":%s,"sweeps":[' \
+        "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$build_type" "$optimized" \
+        "$(nproc)"
     first=1
     while IFS= read -r line; do
         [ -n "$line" ] || continue
@@ -64,4 +103,4 @@ fi
     printf '}\n'
 } > "$out"
 
-echo "wrote $out"
+echo "wrote $out (build_type=$build_type)"
