@@ -34,6 +34,21 @@ parseU64(const std::string &flag, const std::string &value)
     }
 }
 
+double
+parseDouble(const std::string &flag, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument("trailing characters");
+        return v;
+    } catch (const std::exception &) {
+        throw std::invalid_argument(flag + ": expected a number, got '" +
+                                    value + "'");
+    }
+}
+
 } // anonymous namespace
 
 std::string
@@ -64,6 +79,13 @@ usageText()
           "  --buffer-entries N  Set-Buffer entries (default 1)\n"
           "  --no-silent-detection\n"
           "  --l2 KB             enable a tags-only L2 of KB KiB\n"
+          "\n"
+          "voltage (DESIGN.md §10)\n"
+          "  --vdd V             run at supply voltage V volts "
+          "(default: nominal 1.0, model detached)\n"
+          "  --vdd-sweep         sweep every scheme over the default "
+          "Vdd grid (1.00..0.50 V); prints per-scheme min-Vdd and "
+          "energy/EDP curves\n"
           "\n"
           "execution\n"
           "  --jobs N            worker threads for multi-scheme runs "
@@ -108,7 +130,7 @@ SimOptions
 parseOptions(const std::vector<std::string> &args)
 {
     SimOptions opt;
-    bool schemes_given = false;
+    bool &schemes_given = opt.schemesGiven;
 
     auto need_value = [&](std::size_t i, const std::string &flag) {
         if (i + 1 >= args.size())
@@ -162,6 +184,12 @@ parseOptions(const std::vector<std::string> &args)
                     "--buffer-entries: must be >= 1");
         } else if (a == "--l2") {
             opt.l2SizeKb = parseU64(a, need_value(i++, a));
+        } else if (a == "--vdd") {
+            opt.vdd = parseDouble(a, need_value(i++, a));
+            if (opt.vdd <= 0.0)
+                throw std::invalid_argument("--vdd: must be > 0");
+        } else if (a == "--vdd-sweep") {
+            opt.vddSweep = true;
         } else if (a == "--jobs") {
             opt.jobs =
                 static_cast<unsigned>(parseU64(a, need_value(i++, a)));

@@ -37,6 +37,11 @@ struct SimOptions
         core::WriteScheme::Rmw,
         core::WriteScheme::WriteGroupingReadBypass};
 
+    /** Schemes were chosen explicitly (--scheme/--all given). A
+     *  --vdd-sweep with the default selection upgrades to the full
+     *  voltage-story scheme set (6T, RMW, WG, WG+RB). */
+    bool schemesGiven = false;
+
     /** Measured accesses (--accesses). */
     std::uint64_t accesses = 1'000'000;
 
@@ -55,6 +60,14 @@ struct SimOptions
     /** Enable the tags-only L2 of the given KiB capacity (--l2 KB;
      *  0 = disabled). */
     std::uint64_t l2SizeKb = 0;
+
+    /** Supply voltage operating point in volts (--vdd V; 0 = nominal,
+     *  voltage model detached). */
+    double vdd = 0.0;
+
+    /** Sweep the default Vdd grid instead of a single run
+     *  (--vdd-sweep). */
+    bool vddSweep = false;
 
     /** Worker threads for multi-scheme runs (--jobs N; 0 = auto:
      *  C8T_JOBS env var, else hardware_concurrency). */

@@ -56,6 +56,30 @@ CacheController::CacheController(const ControllerConfig &config,
                                 _config.cache.ways,
                                 _config.cache.setBytes());
 
+    // Supply-voltage operating point (DESIGN.md §10): applied entirely
+    // here — the energy rates and the array latency cycle counts are
+    // rewritten once, so the hot path is identical whether a model is
+    // attached or not. The miss penalty and L2 latency model the next
+    // level of the hierarchy on its own supply and stay unscaled.
+    if (_config.vdd > 0.0 && _config.vdd != _config.vmodel.nominalVdd) {
+        const sram::VddModel vm(_config.vmodel);
+        _vddPoint = vm.at(_config.vdd, cellType());
+        _vddActive = true;
+        _rates = vm.scaleRates(_rates, _config.vdd);
+        _config.latency.rowReadCycles =
+            vm.scaleCycles(_config.latency.rowReadCycles, _config.vdd);
+        _config.latency.rowWriteCycles =
+            vm.scaleCycles(_config.latency.rowWriteCycles, _config.vdd);
+        _config.latency.setBufferCycles =
+            vm.scaleCycles(_config.latency.setBufferCycles, _config.vdd);
+        _vddSupply.set(_vddPoint.vdd);
+        _vddEnergyScale.set(_vddPoint.energyScale);
+        _vddLeakScale.set(_vddPoint.leakageScale);
+        _vddDelayFactor.set(_vddPoint.delayFactor);
+        _vddPfailRead.set(_vddPoint.pfailRead);
+        _vddPfailWrite.set(_vddPoint.pfailWrite);
+    }
+
     if (usesGroupingBuffer(_config.scheme)) {
         _tagBuffer = std::make_unique<TagBuffer>(_config.bufferEntries,
                                                  _config.cache.ways);
@@ -628,6 +652,25 @@ CacheController::registerStats(stats::Registry &reg)
     reg.add(_silentWritesDetected);
     reg.add(_groupSizes);
     reg.add(_readLatency);
+
+    // Registered only when a non-nominal supply is attached: a nominal
+    // (or detached) controller's dump must stay byte-identical to a
+    // pre-vmodel build. The values are constants of the operating
+    // point, re-asserted here in case a resetAll() zeroed them.
+    if (_vddActive) {
+        _vddSupply.set(_vddPoint.vdd);
+        _vddEnergyScale.set(_vddPoint.energyScale);
+        _vddLeakScale.set(_vddPoint.leakageScale);
+        _vddDelayFactor.set(_vddPoint.delayFactor);
+        _vddPfailRead.set(_vddPoint.pfailRead);
+        _vddPfailWrite.set(_vddPoint.pfailWrite);
+        reg.add(_vddSupply);
+        reg.add(_vddEnergyScale);
+        reg.add(_vddLeakScale);
+        reg.add(_vddDelayFactor);
+        reg.add(_vddPfailRead);
+        reg.add(_vddPfailWrite);
+    }
 
     _tags.registerStats(reg);
     _array.registerStats(reg);

@@ -38,6 +38,7 @@
 #include "sram/array.hh"
 #include "sram/energy.hh"
 #include "sram/ports.hh"
+#include "sram/vmodel.hh"
 #include "stats/distribution.hh"
 #include "stats/registry.hh"
 #include "trace/access.hh"
@@ -83,6 +84,18 @@ struct ControllerConfig
 
     /** L1-miss/L2-hit service latency (cycles). */
     std::uint32_t l2LatencyCycles = 12;
+
+    /**
+     * Supply-voltage operating point (V). 0 — the default — or exactly
+     * vmodel.nominalVdd means the voltage model is detached: energy
+     * rates and latency cycles are the nominal ones, bit for bit, and
+     * no vdd.* statistics are registered, so nominal runs are
+     * byte-identical to pre-vmodel builds (DESIGN.md §10).
+     */
+    double vdd = 0.0;
+
+    /** Voltage model constants (consulted only when vdd is attached). */
+    sram::VddModelParams vmodel;
 };
 
 /** Per-access result. */
@@ -179,6 +192,21 @@ class CacheController
 
     /** The energy model used for accounting. */
     const sram::EnergyModel &energyModel() const { return _energy; }
+
+    /** True when a non-nominal supply point is attached. */
+    bool vddActive() const { return _vddActive; }
+
+    /** The evaluated operating point; the nominal identity (all scale
+     *  factors 1.0, zero failure probabilities) when detached. */
+    const sram::VddPoint &vddPoint() const { return _vddPoint; }
+
+    /** The cell flavour the configured scheme runs on (6T only for the
+     *  direct-write baseline; everything else needs 8T). */
+    sram::CellType cellType() const
+    {
+        return _traits.requiresEightT ? sram::CellType::EightT
+                                      : sram::CellType::SixT;
+    }
 
     // --- the paper's accounting -------------------------------------------
 
@@ -470,6 +498,12 @@ class CacheController
     /** Deferred energy accounting state (see dynamicEnergy()). */
     EnergyCounts _ecounts;
     sram::EnergyEventRates _rates;
+
+    /** Supply operating point; identity while detached. Applied once
+     *  at construction (rates + latency cycles), never on the hot
+     *  path. */
+    sram::VddPoint _vddPoint;
+    bool _vddActive = false;
     EnergyAuditFn _energyAuditFn = nullptr;
     void *_energyAuditCtx = nullptr;
 
@@ -520,6 +554,20 @@ class CacheController
                                     "writes per write-group", 0, 64, 64};
     stats::Distribution _readLatency{"ctrl.read_latency",
                                      "read latency (cycles)", 0, 64, 64};
+
+    /** Operating-point gauges; registered only when a non-nominal
+     *  supply is attached, so nominal dumps stay byte-identical. */
+    stats::Gauge _vddSupply{"vdd.supply", "supply voltage (V)"};
+    stats::Gauge _vddEnergyScale{"vdd.energy_scale",
+                                 "dynamic energy multiplier vs nominal"};
+    stats::Gauge _vddLeakScale{"vdd.leakage_scale",
+                               "leakage power multiplier vs nominal"};
+    stats::Gauge _vddDelayFactor{"vdd.delay_factor",
+                                 "array delay multiplier vs nominal"};
+    stats::Gauge _vddPfailRead{"vdd.pfail_read",
+                               "per-cell read failure probability"};
+    stats::Gauge _vddPfailWrite{"vdd.pfail_write",
+                                "per-cell write failure probability"};
 };
 
 } // namespace c8t::core

@@ -72,6 +72,7 @@ struct JobSpan
     double endUs = 0.0;
     unsigned worker = 0;
     std::size_t configRuns = 0;
+    double vdd = 0.0;
 };
 
 /**
@@ -199,8 +200,10 @@ emitTraceSpans(const std::string &label,
     for (std::size_t i = 0; i < spans.size(); ++i) {
         const JobSpan &s = spans[i];
         std::ostringstream args;
-        args << "{\"job\":" << i << ",\"config_runs\":" << s.configRuns
-             << '}';
+        args << "{\"job\":" << i << ",\"config_runs\":" << s.configRuns;
+        if (s.vdd > 0.0)
+            args << ",\"vdd\":" << s.vdd;
+        args << '}';
         trace->completeEvent(label + "/job" + std::to_string(i), "sweep",
                              pid, static_cast<int>(s.worker) + 1,
                              s.startUs, s.endUs - s.startUs, args.str());
@@ -256,6 +259,7 @@ ParallelSweeper::run(const std::vector<SweepJob> &jobs, const RunConfig &rc,
 
     const auto run_one = [&](std::size_t i, unsigned worker) {
         spans[i].worker = worker;
+        spans[i].vdd = jobs[i].vdd;
         spans[i].startUs = usSince(t0, Clock::now());
         results[i] = executeJob(jobs[i], rc);
         spans[i].endUs = usSince(t0, Clock::now());

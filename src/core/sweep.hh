@@ -76,6 +76,16 @@ struct SweepJob
     std::vector<ControllerConfig> configs;
 
     /**
+     * Supply voltage this job evaluates, 0 when the job has no voltage
+     * dimension (every pre-vmodel sweep). Annotation only — the
+     * operating point that actually drives the simulation is
+     * configs[i].vdd — carried here so progress tooling and the Chrome
+     * trace can label jobs of a VddSweep without digging through
+     * configs.
+     */
+    double vdd = 0.0;
+
+    /**
      * Optional pre-run hook, invoked on the worker thread after the
      * runner is constructed but before any access is replayed. This
      * is the attachment point for observability: event rings

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Voltage sweep driver implementation.
+ */
+
+#include "core/vdd_sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "core/policies.hh"
+#include "sram/energy.hh"
+#include "stats/json.hh"
+
+namespace c8t::core
+{
+
+namespace
+{
+
+void
+validate(const VddSweepSpec &spec)
+{
+    if (spec.grid.empty())
+        throw std::invalid_argument("VddSweepSpec: empty grid");
+    for (std::size_t i = 1; i < spec.grid.size(); ++i) {
+        if (!(spec.grid[i] < spec.grid[i - 1]))
+            throw std::invalid_argument(
+                "VddSweepSpec: grid must be strictly descending");
+    }
+    if (spec.grid.back() <= 0.0)
+        throw std::invalid_argument("VddSweepSpec: grid voltages must be > 0");
+    if (spec.schemes.empty())
+        throw std::invalid_argument("VddSweepSpec: no schemes");
+    if (!spec.makeGenerator)
+        throw std::invalid_argument("VddSweepSpec: no workload factory");
+    if (spec.faultRows == 0)
+        throw std::invalid_argument("VddSweepSpec: faultRows must be >= 1");
+    spec.model.validate();
+}
+
+/** The data-array geometry the controller would build for @p scheme
+ *  (mirrors the CacheController constructor). */
+sram::ArrayGeometry
+geometryFor(const VddSweepSpec &spec, WriteScheme scheme)
+{
+    const SchemeTraits traits = schemeTraits(scheme);
+    const ControllerConfig defaults;
+    return sram::ArrayGeometry{
+        spec.cache.numSets(), spec.cache.setBytes(),
+        traits.requiresNonInterleaved ? 1u : defaults.interleaveDegree,
+        scheme == WriteScheme::WordGranular};
+}
+
+/** Append the kind:"vdd" perf record when C8T_BENCH_JSON is set. */
+void
+emitVddBenchJson(const std::string &label, const VddSweepResult &result,
+                 const RunConfig &rc, unsigned workers,
+                 double wall_seconds)
+{
+    const char *path = std::getenv("C8T_BENCH_JSON");
+    if (!path || !*path)
+        return;
+
+    std::uint64_t config_runs = 0;
+    for (const VddCurve &c : result.curves)
+        config_runs += c.points.size();
+    const double simulated =
+        static_cast<double>(config_runs) *
+        static_cast<double>(rc.warmupAccesses + rc.measureAccesses);
+
+    std::ofstream os(path, std::ios::app);
+    if (!os) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+            std::cerr << "vdd_sweep: cannot open C8T_BENCH_JSON=\"" << path
+                      << "\" for append; perf records disabled\n";
+        }
+        return;
+    }
+    os << "{\"kind\":\"vdd\",\"label\":\"" << stats::jsonEscape(label)
+       << "\""
+       << ",\"grid_points\":" << result.grid.size()
+       << ",\"schemes\":" << result.curves.size()
+       << ",\"workers\":" << workers
+       << ",\"config_runs\":" << config_runs
+       << ",\"warmup_accesses\":" << rc.warmupAccesses
+       << ",\"measure_accesses\":" << rc.measureAccesses
+       << ",\"simulated_accesses\":" << static_cast<std::uint64_t>(simulated)
+       << ",\"wall_seconds\":" << wall_seconds
+       << ",\"accesses_per_sec\":"
+       << (wall_seconds > 0.0 ? simulated / wall_seconds : 0.0)
+       << ",\"min_vdd\":{";
+    bool first = true;
+    for (const VddCurve &c : result.curves) {
+        os << (first ? "" : ",") << '"' << stats::jsonEscape(c.scheme)
+           << "\":";
+        stats::jsonNumber(os, c.minVdd);
+        first = false;
+    }
+    os << "}}\n";
+}
+
+} // anonymous namespace
+
+const VddCurve *
+VddSweepResult::curve(WriteScheme scheme) const
+{
+    const char *name = toString(scheme);
+    for (const VddCurve &c : curves) {
+        if (c.scheme == name)
+            return &c;
+    }
+    return nullptr;
+}
+
+void
+VddSweepResult::registerStats(stats::Registry &reg)
+{
+    for (const VddCurve &c : curves) {
+        auto min_vdd = std::make_unique<stats::Gauge>(
+            "vdd_sweep." + c.scheme + ".min_vdd",
+            "lowest operational supply voltage (V)");
+        min_vdd->set(c.minVdd);
+        reg.add(*min_vdd);
+        _gauges.push_back(std::move(min_vdd));
+
+        // Energy per access at the min-Vdd point (the paper's payoff
+        // number: what the low-voltage mode actually costs).
+        double energy_at_min = 0.0;
+        for (const VddPointResult &p : c.points) {
+            if (p.vdd == c.minVdd) {
+                energy_at_min = p.energyPerAccess;
+                break;
+            }
+        }
+        auto energy = std::make_unique<stats::Gauge>(
+            "vdd_sweep." + c.scheme + ".energy_per_access_at_min",
+            "total energy per access at min-Vdd (J)");
+        energy->set(energy_at_min);
+        reg.add(*energy);
+        _gauges.push_back(std::move(energy));
+    }
+}
+
+void
+VddSweepResult::dumpJson(std::ostream &os) const
+{
+    os << "{\"schema_version\":" << stats::Registry::kJsonSchemaVersion
+       << ",\"kind\":\"vdd_sweep\""
+       << ",\"workload\":\"" << stats::jsonEscape(workload) << "\""
+       << ",\"failure_threshold\":";
+    stats::jsonNumber(os, failureThreshold);
+    os << ",\"grid\":[";
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        os << (i ? "," : "");
+        stats::jsonNumber(os, grid[i]);
+    }
+    os << "],\"curves\":[";
+    for (std::size_t ci = 0; ci < curves.size(); ++ci) {
+        const VddCurve &c = curves[ci];
+        os << (ci ? "," : "") << "{\"scheme\":\""
+           << stats::jsonEscape(c.scheme) << "\""
+           << ",\"cell\":\"" << sram::toString(c.cell) << "\""
+           << ",\"min_vdd\":";
+        stats::jsonNumber(os, c.minVdd);
+        os << ",\"points\":[";
+        for (std::size_t pi = 0; pi < c.points.size(); ++pi) {
+            const VddPointResult &p = c.points[pi];
+            os << (pi ? "," : "") << "{\"vdd\":";
+            stats::jsonNumber(os, p.vdd);
+            os << ",\"energy_scale\":";
+            stats::jsonNumber(os, p.point.energyScale);
+            os << ",\"leakage_scale\":";
+            stats::jsonNumber(os, p.point.leakageScale);
+            os << ",\"delay_factor\":";
+            stats::jsonNumber(os, p.point.delayFactor);
+            os << ",\"pfail_cell\":";
+            stats::jsonNumber(os, p.point.pfailCell);
+            os << ",\"fault_words\":" << p.faults.words
+               << ",\"corrected\":" << p.faults.corrected
+               << ",\"detected_uncorrectable\":"
+               << p.faults.detectedUncorrectable
+               << ",\"silent_corruptions\":" << p.faults.silentCorruptions
+               << ",\"post_ecc_failure_rate\":";
+            stats::jsonNumber(os, p.faults.postEccFailureRate());
+            os << ",\"operational\":" << (p.operational ? "true" : "false")
+               << ",\"dynamic_energy_per_access\":";
+            stats::jsonNumber(os, p.dynamicEnergyPerAccess);
+            os << ",\"leakage_energy_per_access\":";
+            stats::jsonNumber(os, p.leakageEnergyPerAccess);
+            os << ",\"energy_per_access\":";
+            stats::jsonNumber(os, p.energyPerAccess);
+            os << ",\"cycles_per_access\":";
+            stats::jsonNumber(os, p.cyclesPerAccess);
+            os << ",\"edp_per_access\":";
+            stats::jsonNumber(os, p.edpPerAccess);
+            os << '}';
+        }
+        os << "]}";
+    }
+    os << "]}";
+}
+
+VddSweepResult
+runVddSweep(const VddSweepSpec &spec, const RunConfig &rc, unsigned workers)
+{
+    validate(spec);
+    const auto t0 = std::chrono::steady_clock::now();
+    const sram::VddModel model(spec.model);
+
+    // One job per grid point; every job replays the identical stream
+    // (shared through streamKey) with one controller per scheme, the
+    // model attached at that point's voltage.
+    std::vector<SweepJob> jobs;
+    jobs.reserve(spec.grid.size());
+    for (const double vdd : spec.grid) {
+        SweepJob job;
+        job.makeGenerator = spec.makeGenerator;
+        job.streamKey = spec.streamKey;
+        job.vdd = vdd;
+        job.configs.reserve(spec.schemes.size());
+        for (const WriteScheme s : spec.schemes) {
+            ControllerConfig cfg;
+            cfg.cache = spec.cache;
+            cfg.scheme = s;
+            cfg.vdd = vdd;
+            cfg.vmodel = spec.model;
+            job.configs.push_back(cfg);
+        }
+        jobs.push_back(std::move(job));
+    }
+
+    VddSweepResult result;
+    result.workload = spec.makeGenerator()->name();
+    result.failureThreshold = spec.failureThreshold;
+    result.grid = spec.grid;
+
+    const ParallelSweeper sweeper(workers);
+    const auto runs =
+        sweeper.run(jobs, rc, "vdd_sweep:" + result.workload);
+
+    // Fault maps depend on (seed, vdd, geometry, cell); schemes of the
+    // same cell flavour and interleave degree share one evaluation.
+    const std::uint32_t words_per_row =
+        std::max<std::uint32_t>(1, spec.cache.setBytes() / 8);
+    std::map<std::tuple<sram::CellType, std::uint32_t, std::size_t>,
+             sram::FaultMapStats>
+        fault_memo;
+    const auto faultsAt = [&](sram::CellType cell, std::uint32_t degree,
+                              std::size_t grid_index) {
+        const auto key = std::make_tuple(cell, degree, grid_index);
+        const auto it = fault_memo.find(key);
+        if (it != fault_memo.end())
+            return it->second;
+        sram::FaultMapConfig fmc;
+        fmc.runSeed = spec.runSeed;
+        fmc.vdd = spec.grid[grid_index];
+        fmc.cell = cell;
+        fmc.pfailCell = model.at(fmc.vdd, cell).pfailCell;
+        fmc.rows = spec.faultRows;
+        fmc.wordsPerRow = words_per_row;
+        fmc.degree = degree;
+        return fault_memo[key] = sram::runFaultMapCampaign(fmc);
+    };
+
+    result.curves.reserve(spec.schemes.size());
+    for (std::size_t si = 0; si < spec.schemes.size(); ++si) {
+        const WriteScheme scheme = spec.schemes[si];
+        const SchemeTraits traits = schemeTraits(scheme);
+        const sram::CellType cell = traits.requiresEightT
+                                        ? sram::CellType::EightT
+                                        : sram::CellType::SixT;
+        const sram::ArrayGeometry geom = geometryFor(spec, scheme);
+        const sram::EnergyModel em(geom, ControllerConfig{}.tech);
+        const double leak_nominal = em.leakagePower();
+        const double period = model.clockPeriod();
+
+        VddCurve curve;
+        curve.scheme = toString(scheme);
+        curve.cell = cell;
+        curve.points.reserve(spec.grid.size());
+
+        bool reachable = true;
+        for (std::size_t gi = 0; gi < spec.grid.size(); ++gi) {
+            VddPointResult pt;
+            pt.vdd = spec.grid[gi];
+            pt.point = model.at(pt.vdd, cell);
+            pt.faults = faultsAt(cell, geom.interleaveDegree, gi);
+            pt.operational =
+                pt.faults.postEccFailureRate() <= spec.failureThreshold;
+            pt.run = runs[gi][si];
+
+            const double requests =
+                static_cast<double>(pt.run.requests);
+            if (requests > 0.0) {
+                const double seconds =
+                    static_cast<double>(pt.run.cycles) * period;
+                pt.dynamicEnergyPerAccess =
+                    pt.run.dynamicEnergy / requests;
+                pt.leakageEnergyPerAccess = leak_nominal *
+                                            pt.point.leakageScale *
+                                            seconds / requests;
+                pt.energyPerAccess = pt.dynamicEnergyPerAccess +
+                                     pt.leakageEnergyPerAccess;
+                pt.cyclesPerAccess =
+                    static_cast<double>(pt.run.cycles) / requests;
+                pt.edpPerAccess =
+                    pt.energyPerAccess * pt.cyclesPerAccess * period;
+            }
+
+            // min-Vdd: the lowest voltage reachable from nominal
+            // through operational points only — an operational island
+            // below a failing point is unusable, DVFS descends the
+            // curve continuously.
+            if (reachable && pt.operational)
+                curve.minVdd = pt.vdd;
+            else
+                reachable = false;
+
+            curve.points.push_back(std::move(pt));
+        }
+        result.curves.push_back(std::move(curve));
+    }
+
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    emitVddBenchJson("vdd_sweep:" + result.workload, result, rc,
+                     sweeper.workers(), wall);
+    return result;
+}
+
+} // namespace c8t::core

@@ -5,7 +5,10 @@
 
 #include "sram/fault_injection.hh"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cmath>
 
 namespace c8t::sram
 {
@@ -93,6 +96,150 @@ runUpsetCampaign(const UpsetCampaign &cfg)
         ++out.trials;
     }
     return out;
+}
+
+namespace
+{
+
+/**
+ * Derive the fault-map draw seed. Each component is folded through one
+ * splitmix64 step so the seed changes completely when any component
+ * changes (in particular neighbouring Vdd grid points must not share
+ * fault patterns). The Vdd is folded by bit pattern, not value, so
+ * there is no epsilon question.
+ */
+std::uint64_t
+faultMapSeed(const FaultMapConfig &cfg)
+{
+    std::uint64_t state = cfg.runSeed;
+    trace::splitmix64(state);
+    state ^= std::bit_cast<std::uint64_t>(cfg.vdd);
+    trace::splitmix64(state);
+    state ^= static_cast<std::uint64_t>(cfg.rows);
+    trace::splitmix64(state);
+    state ^= static_cast<std::uint64_t>(cfg.wordsPerRow);
+    trace::splitmix64(state);
+    state ^= static_cast<std::uint64_t>(cfg.degree);
+    trace::splitmix64(state);
+    state ^= static_cast<std::uint64_t>(cfg.cell);
+    return trace::splitmix64(state);
+}
+
+} // namespace
+
+FaultMap
+buildFaultMap(const FaultMapConfig &cfg)
+{
+    assert(cfg.rows >= 1 && cfg.wordsPerRow >= 1 && cfg.degree >= 1);
+    FaultMap map;
+    map.config = cfg;
+
+    const std::uint64_t columns =
+        static_cast<std::uint64_t>(cfg.wordsPerRow) * Codeword72::bits;
+    map.totalCells = static_cast<std::uint64_t>(cfg.rows) * columns;
+
+    trace::Rng rng(faultMapSeed(cfg));
+    const double p = cfg.pfailCell;
+    if (p <= 0.0)
+        return map;
+
+    if (p >= 1.0) {
+        map.faultyCells.resize(map.totalCells);
+        for (std::uint64_t i = 0; i < map.totalCells; ++i)
+            map.faultyCells[i] = i;
+        return map;
+    }
+
+    // Skip-ahead sampling: instead of one Bernoulli draw per cell, draw
+    // the geometric gap to the next faulty cell. One RNG draw per
+    // *fault* keeps the build O(faults) — at the high-Vdd end of a
+    // sweep p is ~1e-12 and a per-cell loop would dominate the sweep.
+    const double log1mp = std::log1p(-p);
+    std::uint64_t cell = 0;
+    while (true) {
+        const double u = std::max(rng.uniform(), 1e-18);
+        const double gap = std::floor(std::log(u) / log1mp);
+        if (gap >= static_cast<double>(map.totalCells - cell))
+            break;
+        cell += static_cast<std::uint64_t>(gap);
+        map.faultyCells.push_back(cell);
+        if (++cell >= map.totalCells)
+            break;
+    }
+    return map;
+}
+
+FaultMapStats
+evaluateFaultMap(const FaultMap &map)
+{
+    const FaultMapConfig &cfg = map.config;
+    FaultMapStats out;
+    out.words = static_cast<std::uint64_t>(cfg.rows) * cfg.wordsPerRow;
+
+    const std::uint64_t columns =
+        static_cast<std::uint64_t>(cfg.wordsPerRow) * Codeword72::bits;
+
+    // Row fill data is deterministic but independent of the fault
+    // pattern, so the same logical contents are evaluated at every
+    // operating point.
+    std::uint64_t fill_state = faultMapSeed(cfg) ^ 0x9e3779b97f4a7c15ull;
+    trace::Rng fill_rng(trace::splitmix64(fill_state));
+
+    std::vector<std::uint64_t> original(cfg.wordsPerRow);
+    std::size_t next_fault = 0;
+
+    for (std::uint32_t r = 0; r < cfg.rows; ++r) {
+        const std::uint64_t row_base = static_cast<std::uint64_t>(r) * columns;
+        const std::uint64_t row_end = row_base + columns;
+
+        // Fault-free rows decode trivially; skip the codec work but
+        // keep the fill stream position independent of the fault map.
+        if (next_fault >= map.faultyCells.size() ||
+            map.faultyCells[next_fault] >= row_end) {
+            for (std::uint32_t w = 0; w < cfg.wordsPerRow; ++w)
+                fill_rng.next();
+            out.cleanWords += cfg.wordsPerRow;
+            continue;
+        }
+
+        EccProtectedRow row(cfg.wordsPerRow, cfg.degree);
+        for (std::uint32_t w = 0; w < cfg.wordsPerRow; ++w) {
+            original[w] = fill_rng.next();
+            row.writeWord(w, original[w]);
+        }
+
+        std::vector<std::uint32_t> hits_per_word(cfg.wordsPerRow, 0);
+        while (next_fault < map.faultyCells.size() &&
+               map.faultyCells[next_fault] < row_end) {
+            const auto col = static_cast<std::uint32_t>(
+                map.faultyCells[next_fault] - row_base);
+            row.strike(col);
+            ++hits_per_word[row.wordOfColumn(col)];
+            ++next_fault;
+        }
+
+        for (std::uint32_t w = 0; w < cfg.wordsPerRow; ++w) {
+            if (hits_per_word[w] == 0) {
+                ++out.cleanWords;
+                continue;
+            }
+            const EccDecodeResult res = row.readWord(w);
+            if (res.status == EccStatus::DetectedUncorrectable) {
+                ++out.detectedUncorrectable;
+            } else if (res.data != original[w]) {
+                ++out.silentCorruptions;
+            } else {
+                ++out.corrected;
+            }
+        }
+    }
+    return out;
+}
+
+FaultMapStats
+runFaultMapCampaign(const FaultMapConfig &cfg)
+{
+    return evaluateFaultMap(buildFaultMap(cfg));
 }
 
 } // namespace c8t::sram

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sram/cell.hh"
 #include "sram/ecc.hh"
 #include "sram/interleave.hh"
 #include "trace/rng.hh"
@@ -113,6 +114,122 @@ struct UpsetStats
  * classify the outcome.
  */
 UpsetStats runUpsetCampaign(const UpsetCampaign &cfg);
+
+// --- Monte-Carlo voltage-scaling fault maps (DESIGN.md §10) ------------
+//
+// Where the upset campaign above models *transient* particle strikes,
+// the fault map models *static* variation-induced cell failures at a
+// low supply voltage: every physical cell of an array independently
+// fails with the per-cell probability the VddModel assigns to the
+// operating point. The map is drawn once per (run seed, Vdd, geometry,
+// cell type) — deterministically, so every sweep worker that evaluates
+// the same operating point sees the same faulty cells.
+
+/** Geometry + operating point of one fault-map draw. */
+struct FaultMapConfig
+{
+    /** Campaign-level seed (the sweep's run seed). */
+    std::uint64_t runSeed = 1;
+
+    /** Supply voltage of the operating point (hashed into the draw
+     *  seed, so neighbouring grid points get independent maps). */
+    double vdd = 1.0;
+
+    /** Cell flavour (hashed into the draw seed). */
+    CellType cell = CellType::EightT;
+
+    /** Per-cell failure probability at the operating point (from
+     *  VddModel::at().pfailCell). */
+    double pfailCell = 0.0;
+
+    /** Rows in the modelled array. */
+    std::uint32_t rows = 1024;
+
+    /** Logical 64-bit words per row. */
+    std::uint32_t wordsPerRow = 16;
+
+    /** Interleave degree of the physical layout. */
+    std::uint32_t degree = 4;
+};
+
+/**
+ * A drawn fault map: the flattened physical-cell indices
+ * (row * columns + column) that are faulty, in ascending order.
+ */
+struct FaultMap
+{
+    /** The configuration the map was drawn from. */
+    FaultMapConfig config;
+
+    /** Faulty cells as flattened indices, ascending. */
+    std::vector<std::uint64_t> faultyCells;
+
+    /** Total physical cells in the array. */
+    std::uint64_t totalCells = 0;
+
+    /** Fraction of cells faulty in this draw. */
+    double faultFraction() const
+    {
+        return totalCells == 0
+                   ? 0.0
+                   : static_cast<double>(faultyCells.size()) /
+                         static_cast<double>(totalCells);
+    }
+};
+
+/** Per-word SEC-DED outcome counts over one evaluated fault map. */
+struct FaultMapStats
+{
+    /** Words decoded (rows * wordsPerRow). */
+    std::uint64_t words = 0;
+
+    /** Words with no faulty cell. */
+    std::uint64_t cleanWords = 0;
+
+    /** Words whose single faulty cell the code corrected. */
+    std::uint64_t corrected = 0;
+
+    /** Words flagged detected-uncorrectable (2 faulty cells). */
+    std::uint64_t detectedUncorrectable = 0;
+
+    /** Words that decoded Ok/Corrected but to WRONG data (3+ faulty
+     *  cells aliasing) — silent data corruption. */
+    std::uint64_t silentCorruptions = 0;
+
+    /** Words lost despite ECC (detected-uncorrectable + silent). */
+    std::uint64_t failedWords() const
+    {
+        return detectedUncorrectable + silentCorruptions;
+    }
+
+    /** Post-ECC word failure rate — the quantity the min-Vdd search
+     *  thresholds. */
+    double postEccFailureRate() const
+    {
+        return words == 0 ? 0.0
+                          : static_cast<double>(failedWords()) /
+                                static_cast<double>(words);
+    }
+};
+
+/**
+ * Draw the fault map for @p cfg: each of the rows * wordsPerRow * 72
+ * physical cells fails independently with probability cfg.pfailCell.
+ * The draw seed is derived from (runSeed, vdd, rows, wordsPerRow,
+ * degree, cell) via splitmix64, so the same operating point always
+ * yields the same map regardless of which sweep worker asks.
+ */
+FaultMap buildFaultMap(const FaultMapConfig &cfg);
+
+/**
+ * Evaluate @p map through the interleaved SEC-DED layout: fill every
+ * row with deterministic pseudo-random data, flip the mapped faulty
+ * cells, decode every word and classify the outcome.
+ */
+FaultMapStats evaluateFaultMap(const FaultMap &map);
+
+/** buildFaultMap + evaluateFaultMap in one step. */
+FaultMapStats runFaultMapCampaign(const FaultMapConfig &cfg);
 
 } // namespace c8t::sram
 

@@ -1,0 +1,139 @@
+#include "sram/vmodel.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace c8t::sram
+{
+
+namespace
+{
+
+/** Minimum overdrive (V) for the alpha-power law: below vth + this the
+ *  delay saturates instead of diverging. */
+constexpr double kMinOverdrive = 0.02;
+
+/** Unnormalised alpha-power-law delay d(v) = v / (v - vth)^alpha. */
+double rawDelay(double vdd, const VddModelParams &p)
+{
+    const double overdrive = std::max(vdd - p.stability.vth, kMinOverdrive);
+    return vdd / std::pow(overdrive, p.alpha);
+}
+
+} // namespace
+
+void VddModelParams::validate() const
+{
+    if (!(nominalVdd > 0.0))
+        throw std::invalid_argument("VddModelParams: nominalVdd must be > 0");
+    if (!(nominalVdd > stability.vth))
+        throw std::invalid_argument(
+            "VddModelParams: nominalVdd must exceed the threshold voltage");
+    if (!(alpha > 0.0))
+        throw std::invalid_argument("VddModelParams: alpha must be > 0");
+    if (!(leakDecayV > 0.0))
+        throw std::invalid_argument("VddModelParams: leakDecayV must be > 0");
+    if (!(clockGhz > 0.0))
+        throw std::invalid_argument("VddModelParams: clockGhz must be > 0");
+}
+
+VddModel::VddModel(VddModelParams params) : _p(params)
+{
+    _p.validate();
+}
+
+double VddModel::energyScale(double vdd) const
+{
+    if (vdd == _p.nominalVdd)
+        return 1.0;
+    const double ratio = vdd / _p.nominalVdd;
+    return ratio * ratio;
+}
+
+double VddModel::leakageScale(double vdd) const
+{
+    if (vdd == _p.nominalVdd)
+        return 1.0;
+    return std::exp((vdd - _p.nominalVdd) / _p.leakDecayV);
+}
+
+double VddModel::delayFactor(double vdd) const
+{
+    if (vdd == _p.nominalVdd)
+        return 1.0;
+    return rawDelay(vdd, _p) / rawDelay(_p.nominalVdd, _p);
+}
+
+std::uint32_t VddModel::scaleCycles(std::uint32_t cycles, double vdd) const
+{
+    const double factor = delayFactor(vdd);
+    if (factor == 1.0)
+        return cycles;
+    const double scaled = std::ceil(static_cast<double>(cycles) * factor);
+    return static_cast<std::uint32_t>(scaled);
+}
+
+EnergyEventRates VddModel::scaleRates(const EnergyEventRates &nominal,
+                                      double vdd) const
+{
+    const double s = energyScale(vdd);
+    if (s == 1.0)
+        return nominal;
+    EnergyEventRates out = nominal;
+    out.rowRead *= s;
+    out.rowWrite *= s;
+    for (std::uint32_t b = 0; b <= EnergyEventRates::kMaxRequestBytes; ++b) {
+        out.partialWrite[b] *= s;
+        out.setBufferRead[b] *= s;
+        out.setBufferWrite[b] *= s;
+    }
+    out.setBufferReadRow *= s;
+    out.setBufferWriteRow *= s;
+    out.tagCompare *= s;
+    return out;
+}
+
+VddPoint VddModel::at(double vdd, CellType cell) const
+{
+    VddPoint pt;
+    pt.vdd = vdd;
+    pt.energyScale = energyScale(vdd);
+    pt.leakageScale = leakageScale(vdd);
+    pt.delayFactor = delayFactor(vdd);
+    pt.pfailRead = failureProbability(cell, CellOp::Read, vdd, _p.stability);
+    pt.pfailWrite = failureProbability(cell, CellOp::Write, vdd, _p.stability);
+    const double hold =
+        failureProbability(cell, CellOp::Hold, vdd, _p.stability);
+    pt.pfailCell = std::max({hold, pt.pfailRead, pt.pfailWrite});
+    return pt;
+}
+
+double VddModel::wordFailureProbability(double vdd, CellType cell,
+                                        std::uint32_t word_bits) const
+{
+    const double p = at(vdd, cell).pfailCell;
+    if (p <= 0.0)
+        return 0.0;
+    if (p >= 1.0)
+        return 1.0;
+    const double n = static_cast<double>(word_bits);
+    // P(>= 2 failing cells) = 1 - (1-p)^n - n p (1-p)^(n-1); evaluated
+    // with log1p to stay accurate for the tiny p this model produces.
+    const double log_q = std::log1p(-p);
+    const double p_none = std::exp(n * log_q);
+    const double p_one = n * p * std::exp((n - 1.0) * log_q);
+    return std::max(0.0, 1.0 - p_none - p_one);
+}
+
+std::vector<double> VddModel::defaultGrid()
+{
+    std::vector<double> grid;
+    // 1.00, 0.95, ... 0.50 — generated from integer millivolts so the
+    // grid values are exact decimals, not accumulated-step drift.
+    for (int mv = 1000; mv >= 500; mv -= 50)
+        grid.push_back(static_cast<double>(mv) / 1000.0);
+    return grid;
+}
+
+} // namespace c8t::sram

@@ -83,8 +83,16 @@ class Registry
      * Version of the dumpJson() schema. Bump whenever a key is
      * renamed, removed or its meaning changes; adding keys is
      * backwards compatible and does not require a bump.
+     *
+     * History:
+     *  1  initial schema.
+     *  2  supply-voltage model (DESIGN.md §10): controllers running at
+     *     a non-nominal Vdd register vdd.* gauges, and the VddSweep
+     *     result document (kind "vdd_sweep") shares this version tag.
+     *     Nominal-Vdd dumps carry no new keys — only the version
+     *     number changes.
      */
-    static constexpr int kJsonSchemaVersion = 1;
+    static constexpr int kJsonSchemaVersion = 2;
 
     /**
      * Dump every statistic as one machine-readable JSON object:

@@ -134,6 +134,33 @@ TEST(Options, HelpShortCircuitsValidation)
     EXPECT_TRUE(parse({"-h"}).help);
 }
 
+TEST(Options, VoltageFlags)
+{
+    const SimOptions defaults = parse({});
+    EXPECT_EQ(defaults.vdd, 0.0);
+    EXPECT_FALSE(defaults.vddSweep);
+    EXPECT_FALSE(defaults.schemesGiven);
+
+    const SimOptions point = parse({"--vdd", "0.75"});
+    EXPECT_DOUBLE_EQ(point.vdd, 0.75);
+    EXPECT_FALSE(point.vddSweep);
+
+    const SimOptions sweep = parse({"--vdd-sweep"});
+    EXPECT_TRUE(sweep.vddSweep);
+    EXPECT_FALSE(sweep.schemesGiven);
+
+    // --scheme / --all mark the selection as explicit so a --vdd-sweep
+    // can tell a deliberate scheme list from the two-scheme default.
+    EXPECT_TRUE(parse({"--scheme", "WG"}).schemesGiven);
+    EXPECT_TRUE(parse({"--all"}).schemesGiven);
+
+    EXPECT_THROW(parse({"--vdd"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--vdd", "volts"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--vdd", "0.8x"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--vdd", "0"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--vdd", "-0.5"}), std::invalid_argument);
+}
+
 TEST(Options, Errors)
 {
     EXPECT_THROW(parse({"--bogus"}), std::invalid_argument);
@@ -157,7 +184,8 @@ TEST(Options, UsageMentionsEveryFlag)
           "--buffer-entries", "--no-silent-detection", "--l2",
           "--stats", "--stats-json", "--csv", "--chrome-trace",
           "--trace-events", "--interval-stats", "--interval",
-          "--progress", "--jobs", "--stream-cache"}) {
+          "--progress", "--jobs", "--stream-cache", "--vdd",
+          "--vdd-sweep"}) {
         EXPECT_NE(u.find(flag), std::string::npos) << flag;
     }
 }

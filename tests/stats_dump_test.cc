@@ -166,7 +166,7 @@ TEST(JsonDump, GoldenHandBuiltRegistry)
     reg.dumpJson(os);
     EXPECT_EQ(
         os.str(),
-        "{\"schema_version\":1,"
+        "{\"schema_version\":2,"
         "\"counters\":{\"a.count\":{\"desc\":\"events\",\"value\":3}},"
         "\"gauges\":{\"b.gauge\":{\"desc\":\"volts\",\"value\":1.5}},"
         "\"formulas\":{\"c.ratio\":{\"desc\":\"a ratio\",\"value\":0.5}},"
@@ -190,7 +190,7 @@ TEST(JsonDump, EscapesDescriptionsAndEmptyRegistry)
     std::ostringstream os2;
     empty.dumpJson(os2);
     EXPECT_EQ(os2.str(),
-              "{\"schema_version\":1,\"counters\":{},\"gauges\":{},"
+              "{\"schema_version\":2,\"counters\":{},\"gauges\":{},"
               "\"formulas\":{},\"distributions\":{}}");
 }
 
@@ -208,7 +208,7 @@ TEST(JsonDump, ControllerRegistryCarriesEveryStatKind)
     reg.dumpJson(os);
     const std::string out = os.str();
 
-    EXPECT_EQ(out.find("{\"schema_version\":1,"), 0u);
+    EXPECT_EQ(out.find("{\"schema_version\":2,"), 0u);
     for (const char *key :
          {"\"ctrl.requests\"", "\"cache.misses\"", "\"array.row_reads\"",
           "\"ctrl.group_sizes\"", "\"ctrl.read_latency\"",
@@ -223,6 +223,42 @@ TEST(JsonDump, ControllerRegistryCarriesEveryStatKind)
               std::count(out.begin(), out.end(), ']'));
     EXPECT_EQ(out.find(",}"), std::string::npos);
     EXPECT_EQ(out.find(",]"), std::string::npos);
+}
+
+TEST(JsonDump, VddGaugesOnlyPresentWhenModelActive)
+{
+    // Nominal (detached) controller: no vdd.* keys anywhere, so stats
+    // consumers see byte-identical documents with or without the model
+    // compiled in (DESIGN.md §10).
+    mem::FunctionalMemory mem_nom;
+    ControllerConfig nominal;
+    nominal.scheme = WriteScheme::Rmw;
+    CacheController cn(nominal, mem_nom);
+    stats::Registry rn;
+    cn.registerStats(rn);
+    std::ostringstream on;
+    rn.dumpJson(on);
+    EXPECT_EQ(on.str().find("vdd."), std::string::npos);
+
+    // Scaled controller: all six operating-point gauges appear and
+    // carry the model's values.
+    mem::FunctionalMemory mem_low;
+    ControllerConfig low = nominal;
+    low.vdd = 0.8;
+    CacheController cl(low, mem_low);
+    stats::Registry rl;
+    cl.registerStats(rl);
+    std::ostringstream ol;
+    rl.dumpJson(ol);
+    const std::string out = ol.str();
+    for (const char *key :
+         {"\"vdd.supply\"", "\"vdd.energy_scale\"",
+          "\"vdd.leakage_scale\"", "\"vdd.delay_factor\"",
+          "\"vdd.pfail_read\"", "\"vdd.pfail_write\""}) {
+        EXPECT_NE(out.find(key), std::string::npos) << key;
+    }
+    EXPECT_NE(rl.gauge("vdd.supply"), nullptr);
+    EXPECT_DOUBLE_EQ(rl.gauge("vdd.supply")->value(), 0.8);
 }
 
 // ---------------------------------------------------------------------

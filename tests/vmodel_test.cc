@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Property tests for the supply-voltage operating-point model
+ * (sram/vmodel.hh, DESIGN.md §10).
+ *
+ * The three properties the rest of the stack leans on:
+ *   - the nominal point is an *exact* identity (energy, leakage, delay
+ *     and event rates bit-identical), so a model attached at nominal
+ *     is indistinguishable from no model;
+ *   - energy is monotonically non-increasing and failure probability
+ *     monotonically non-decreasing as the supply drops;
+ *   - the 8T cell's decoupled read stack keeps its min operational
+ *     Vdd strictly below the 6T cell's for every array geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "sram/cell.hh"
+#include "sram/energy.hh"
+#include "sram/fault_injection.hh"
+#include "sram/vmodel.hh"
+
+namespace
+{
+
+using namespace c8t;
+using sram::CellType;
+using sram::FaultMapConfig;
+using sram::VddModel;
+using sram::VddModelParams;
+using sram::VddPoint;
+
+TEST(VddModel, NominalPointIsAnExactIdentity)
+{
+    const VddModel vm;
+    const double nominal = vm.params().nominalVdd;
+
+    EXPECT_EQ(vm.energyScale(nominal), 1.0);
+    EXPECT_EQ(vm.leakageScale(nominal), 1.0);
+    EXPECT_EQ(vm.delayFactor(nominal), 1.0);
+    for (std::uint32_t cycles : {0u, 1u, 2u, 3u, 7u, 100u})
+        EXPECT_EQ(vm.scaleCycles(cycles, nominal), cycles);
+
+    // scaleRates at nominal must return the input bit for bit; the
+    // controller's nominal-identity guarantee rests on this.
+    const sram::EnergyModel em(sram::ArrayGeometry{256, 128, 4});
+    const sram::EnergyEventRates in = em.eventRates(20, 4, 128);
+    const sram::EnergyEventRates out = vm.scaleRates(in, nominal);
+    EXPECT_EQ(std::memcmp(&in, &out, sizeof(in)), 0);
+}
+
+TEST(VddModel, GridIsDescendingFromNominal)
+{
+    const std::vector<double> grid = VddModel::defaultGrid();
+    ASSERT_GE(grid.size(), 8u);
+    EXPECT_EQ(grid.front(), VddModelParams{}.nominalVdd);
+    EXPECT_EQ(grid.back(), 0.5);
+    for (std::size_t i = 1; i < grid.size(); ++i)
+        EXPECT_LT(grid[i], grid[i - 1]);
+}
+
+TEST(VddModel, EnergyNonIncreasingAndDelayNonDecreasingDownTheGrid)
+{
+    const VddModel vm;
+    const std::vector<double> grid = VddModel::defaultGrid();
+    for (std::size_t i = 1; i < grid.size(); ++i) {
+        EXPECT_LT(vm.energyScale(grid[i]), vm.energyScale(grid[i - 1]))
+            << grid[i];
+        EXPECT_LT(vm.leakageScale(grid[i]),
+                  vm.leakageScale(grid[i - 1]))
+            << grid[i];
+        EXPECT_GE(vm.delayFactor(grid[i]), vm.delayFactor(grid[i - 1]))
+            << grid[i];
+        EXPECT_GE(vm.scaleCycles(4, grid[i]),
+                  vm.scaleCycles(4, grid[i - 1]))
+            << grid[i];
+    }
+    // CV^2: the multiplier is exactly (v/vnom)^2.
+    EXPECT_DOUBLE_EQ(vm.energyScale(0.5), 0.25);
+}
+
+TEST(VddModel, FailureProbabilityNonDecreasingDownTheGrid)
+{
+    const VddModel vm;
+    const std::vector<double> grid = VddModel::defaultGrid();
+    for (CellType cell : {CellType::SixT, CellType::EightT}) {
+        VddPoint prev = vm.at(grid.front(), cell);
+        for (std::size_t i = 1; i < grid.size(); ++i) {
+            const VddPoint p = vm.at(grid[i], cell);
+            EXPECT_GE(p.pfailRead, prev.pfailRead) << grid[i];
+            EXPECT_GE(p.pfailWrite, prev.pfailWrite) << grid[i];
+            EXPECT_GE(p.pfailCell, prev.pfailCell) << grid[i];
+            EXPECT_GE(vm.wordFailureProbability(grid[i], cell),
+                      vm.wordFailureProbability(grid[i - 1], cell))
+                << grid[i];
+            prev = p;
+        }
+    }
+}
+
+TEST(VddModel, EightTReadCurveIsFlatterThanSixT)
+{
+    const VddModel vm;
+    for (double v : VddModel::defaultGrid()) {
+        const VddPoint p6 = vm.at(v, CellType::SixT);
+        const VddPoint p8 = vm.at(v, CellType::EightT);
+        EXPECT_LE(p8.pfailRead, p6.pfailRead) << v;
+        EXPECT_LE(p8.pfailCell, p6.pfailCell) << v;
+    }
+    // Below nominal the separation is strict: 6T read margin collapses
+    // while the 8T read margin equals the hold margin.
+    EXPECT_LT(vm.at(0.7, CellType::EightT).pfailRead,
+              vm.at(0.7, CellType::SixT).pfailRead);
+}
+
+/**
+ * Min operational Vdd over the default grid via the Monte-Carlo fault
+ * maps: the lowest voltage whose post-SEC-DED word failure rate stays
+ * under the threshold, scanning down from nominal and stopping at the
+ * first non-operational point.
+ */
+double
+minVddFor(CellType cell, std::uint32_t rows, std::uint32_t words,
+          std::uint32_t degree, double threshold = 1e-3)
+{
+    const VddModel vm;
+    double min_vdd = 0.0;
+    for (double v : VddModel::defaultGrid()) {
+        FaultMapConfig cfg;
+        cfg.runSeed = 1;
+        cfg.vdd = v;
+        cfg.cell = cell;
+        cfg.pfailCell = vm.at(v, cell).pfailCell;
+        cfg.rows = rows;
+        cfg.wordsPerRow = words;
+        cfg.degree = degree;
+        if (sram::runFaultMapCampaign(cfg).postEccFailureRate() >
+            threshold)
+            break;
+        min_vdd = v;
+    }
+    return min_vdd;
+}
+
+TEST(VddModel, EightTMinVddStrictlyBelowSixTForEveryGeometry)
+{
+    // (rows, wordsPerRow, degree) matrix spanning the cache shapes the
+    // sweeps use: 16-64 KB, direct to wide interleaving.
+    struct Geometry { std::uint32_t rows, words, degree; };
+    const std::vector<Geometry> matrix = {
+        {256, 4, 1},  {512, 4, 4},   {1024, 16, 4},
+        {1024, 8, 8}, {2048, 16, 4}, {512, 32, 4},
+    };
+    for (const Geometry &g : matrix) {
+        const double v6 = minVddFor(CellType::SixT, g.rows, g.words,
+                                    g.degree);
+        const double v8 = minVddFor(CellType::EightT, g.rows, g.words,
+                                    g.degree);
+        EXPECT_GT(v6, 0.0) << g.rows << "x" << g.words;
+        EXPECT_GT(v8, 0.0) << g.rows << "x" << g.words;
+        EXPECT_LT(v8, v6) << g.rows << "x" << g.words << "/" << g.degree;
+    }
+}
+
+TEST(VddModel, FaultMapsAreDeterministicAndSeedSensitive)
+{
+    const VddModel vm;
+    FaultMapConfig cfg;
+    cfg.vdd = 0.65;
+    cfg.cell = CellType::EightT;
+    cfg.pfailCell = vm.at(cfg.vdd, CellType::EightT).pfailCell;
+
+    const sram::FaultMap a = sram::buildFaultMap(cfg);
+    const sram::FaultMap b = sram::buildFaultMap(cfg);
+    EXPECT_EQ(a.faultyCells, b.faultyCells);
+    EXPECT_GT(a.faultyCells.size(), 0u);
+    EXPECT_TRUE(
+        std::is_sorted(a.faultyCells.begin(), a.faultyCells.end()));
+
+    FaultMapConfig other = cfg;
+    other.runSeed = 2;
+    EXPECT_NE(sram::buildFaultMap(other).faultyCells, a.faultyCells);
+
+    FaultMapConfig neighbour = cfg;
+    neighbour.vdd = 0.60;
+    neighbour.pfailCell = cfg.pfailCell; // same rate, different point
+    EXPECT_NE(sram::buildFaultMap(neighbour).faultyCells,
+              a.faultyCells);
+}
+
+TEST(VddModel, MonteCarloTracksTheAnalyticWordFailureRate)
+{
+    // At a voltage with a meaningful per-cell rate the sampled
+    // post-ECC failure rate must land near the binomial prediction.
+    const VddModel vm;
+    const double v = 0.60;
+    FaultMapConfig cfg;
+    cfg.vdd = v;
+    cfg.cell = CellType::EightT;
+    cfg.pfailCell = vm.at(v, CellType::EightT).pfailCell;
+    cfg.rows = 4096;
+    cfg.wordsPerRow = 16;
+
+    const double sampled =
+        sram::runFaultMapCampaign(cfg).postEccFailureRate();
+    const double analytic = vm.wordFailureProbability(v, cfg.cell);
+    ASSERT_GT(analytic, 1e-4);
+    EXPECT_NEAR(sampled, analytic, analytic * 0.5);
+}
+
+TEST(VddModel, ValidateRejectsNonPhysicalConstants)
+{
+    VddModelParams bad;
+    bad.nominalVdd = 0.0;
+    EXPECT_THROW(VddModel{bad}, std::invalid_argument);
+    bad = VddModelParams{};
+    bad.alpha = -1.0;
+    EXPECT_THROW(VddModel{bad}, std::invalid_argument);
+    bad = VddModelParams{};
+    bad.leakDecayV = -1.0;
+    EXPECT_THROW(VddModel{bad}, std::invalid_argument);
+    bad = VddModelParams{};
+    bad.clockGhz = 0.0;
+    EXPECT_THROW(VddModel{bad}, std::invalid_argument);
+    EXPECT_NO_THROW(VddModel{VddModelParams{}});
+}
+
+} // anonymous namespace

@@ -3,8 +3,9 @@
 # tools/bench_report.sh) record-by-record and fail when throughput
 # regressed.
 #
-#   * sweep records are matched on (label, workers) and compared on
-#     accesses_per_sec,
+#   * sweep-engine records are matched on (kind, label, workers) and
+#     compared on accesses_per_sec — kind is "sweep" for plain sweeps
+#     and "vdd" for voltage-sweep records, so unlike kinds never pair,
 #   * micro-benchmark entries are matched on name and compared on
 #     items_per_second (entries without an items/s rate, e.g. the
 #     SEC-DED codec rows, are compared on 1/real_time).
@@ -91,7 +92,13 @@ def rates(doc, path):
     """Map record key -> (rate, unit) for every comparable record."""
     out = {}
     for rec in doc.get("sweeps", []):
-        key = f"sweep:{rec.get('label', '?')}/workers={rec.get('workers', '?')}"
+        # Records carry a "kind" ("sweep", "vdd", ...); keying on it
+        # keeps e.g. a vdd record from pairing with a sweep record
+        # that happens to share a label. Legacy records have no kind
+        # field and keep their historical "sweep:" keys.
+        kind = rec.get("kind", "sweep")
+        key = (f"{kind}:{rec.get('label', '?')}"
+               f"/workers={rec.get('workers', '?')}")
         rate = rec.get("accesses_per_sec")
         if isinstance(rate, (int, float)) and rate > 0:
             out[key] = (float(rate), "acc/s")

@@ -6,7 +6,9 @@
 #     controller/generator costs and the whole-sweep throughput rows),
 #   * one parallel Fig. 9 sweep, timed by the sweep engine itself via
 #     C8T_BENCH_JSON (JSON-lines: workers, simulated accesses,
-#     accesses/sec).
+#     accesses/sec),
+#   * one voltage sweep (bench/bench_vdd), which appends a kind:"vdd"
+#     record carrying the per-scheme min-Vdd alongside its throughput.
 #
 # Both are bundled into BENCH_<date>.json in the repository root so
 # successive commits can be compared.
@@ -35,7 +37,8 @@ sweep_jsonl=$(mktemp)
 trap 'rm -f "$micro_json" "$sweep_jsonl"' EXIT
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" --target micro_perf fig09_access_reduction -j "$(nproc)"
+cmake --build "$build_dir" --target micro_perf fig09_access_reduction \
+    bench_vdd -j "$(nproc)"
 
 build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
     "$build_dir/CMakeCache.txt")
@@ -70,6 +73,11 @@ fi
 # A short parallel sweep; the engine appends its own perf record.
 C8T_BENCH_JSON="$sweep_jsonl" C8T_BENCH_ACCESSES=100000 \
     "$build_dir/bench/fig09_access_reduction" > /dev/null
+
+# The voltage sweep appends a kind:"vdd" record (per-scheme min-Vdd
+# plus throughput) alongside the sweep engine's own kind:"sweep" row.
+C8T_BENCH_JSON="$sweep_jsonl" C8T_BENCH_ACCESSES=100000 \
+    "$build_dir/bench/bench_vdd" > /dev/null
 
 # Both producers must actually have written something; an empty file
 # here means a benchmark silently produced no records (e.g. the sweep

@@ -11,6 +11,7 @@
  *          --chrome-trace trace.json --trace-events 65536 --progress
  */
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -23,6 +24,7 @@
 #include "core/simulator.hh"
 #include "core/stream_cache.hh"
 #include "core/sweep.hh"
+#include "core/vdd_sweep.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/event_ring.hh"
 #include "obs/snapshot.hh"
@@ -140,9 +142,112 @@ writeStatsJson(const app::SimOptions &opt,
     }
 }
 
+/**
+ * --vdd-sweep: every scheme over the default Vdd grid. Prints the
+ * energy-per-access curve (pJ) with non-operational points marked, the
+ * per-scheme min-Vdd summary, and writes the full curve document to
+ * --stats-json when given.
+ */
+int
+runVddSweepCli(const app::SimOptions &opt)
+{
+    if (!opt.chromeTraceFile.empty())
+        obs::setGlobalTracePath(opt.chromeTraceFile);
+    if (opt.streamCacheMb >= 0) {
+        core::globalStreamCache().setByteBudget(
+            static_cast<std::size_t>(opt.streamCacheMb) << 20);
+    }
+    if (opt.progress) {
+        // runVddSweep owns its sweeper; the heartbeat is enabled the
+        // same way the env var would.
+        setenv("C8T_PROGRESS", "1", 1);
+    }
+
+    core::VddSweepSpec spec;
+    spec.cache = opt.cache;
+    if (opt.schemesGiven)
+        spec.schemes = opt.schemes;
+    if (opt.vdd > 0.0) {
+        // An explicit --vdd narrows the sweep to that single point
+        // (useful for drilling into one operating point's fault map).
+        spec.grid = {opt.vdd};
+    }
+    spec.makeGenerator = [workload = opt.workload] {
+        return app::makeWorkload(workload);
+    };
+    spec.streamKey = "c8tsim:" + opt.workload;
+
+    const core::RunConfig rc{opt.effectiveWarmup(), opt.accesses};
+    core::VddSweepResult result =
+        core::runVddSweep(spec, rc, opt.jobs);
+
+    stats::Table t("vdd sweep: " + opt.workload + " on " +
+                   opt.cache.toString() +
+                   " (energy/access, pJ; * = not operational)");
+    std::vector<std::string> header{"vdd"};
+    for (const core::VddCurve &c : result.curves)
+        header.push_back(c.scheme);
+    t.setHeader(header);
+    t.setPrecision(3);
+    for (std::size_t gi = 0; gi < result.grid.size(); ++gi) {
+        std::vector<stats::Cell> row{result.grid[gi]};
+        for (const core::VddCurve &c : result.curves) {
+            const core::VddPointResult &p = c.points[gi];
+            std::ostringstream cell;
+            cell.precision(3);
+            cell << std::fixed << p.energyPerAccess * 1e12;
+            if (!p.operational)
+                cell << '*';
+            row.emplace_back(cell.str());
+        }
+        t.addRow(row);
+    }
+    if (opt.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+
+    std::cout << "\nmin operational Vdd (post-ECC word failure rate <= ";
+    std::cout << result.failureThreshold << "):";
+    for (const core::VddCurve &c : result.curves) {
+        std::cout << "  " << c.scheme << " ("
+                  << sram::toString(c.cell) << ") ";
+        if (c.minVdd > 0.0)
+            std::cout << c.minVdd << " V";
+        else
+            std::cout << "none";
+    }
+    std::cout << "\n";
+
+    if (!opt.statsJsonFile.empty()) {
+        std::ofstream os(opt.statsJsonFile, std::ios::trunc);
+        if (!os) {
+            throw std::runtime_error("--stats-json: cannot open \"" +
+                                     opt.statsJsonFile +
+                                     "\" for writing");
+        }
+        result.dumpJson(os);
+        os << "\n";
+        if (!os.flush()) {
+            throw std::runtime_error("--stats-json: write to \"" +
+                                     opt.statsJsonFile + "\" failed");
+        }
+        std::cerr << "wrote vdd sweep JSON to " << opt.statsJsonFile
+                  << "\n";
+    }
+    if (obs::ChromeTraceWriter *trace = obs::globalTrace()) {
+        trace->close();
+        std::cerr << "wrote Chrome trace to " << trace->path()
+                  << " (load in https://ui.perfetto.dev)\n";
+    }
+    return 0;
+}
+
 int
 run(const app::SimOptions &opt)
 {
+    if (opt.vddSweep)
+        return runVddSweepCli(opt);
     // Observability sinks resolve before any simulation starts so a
     // bad path fails fast, not after a minutes-long sweep.
     if (!opt.chromeTraceFile.empty())
@@ -174,6 +279,7 @@ run(const app::SimOptions &opt)
         c.scheme = s;
         c.bufferEntries = opt.bufferEntries;
         c.silentDetection = opt.silentDetection;
+        c.vdd = opt.vdd;
         if (opt.l2SizeKb) {
             c.l2Enabled = true;
             c.l2.sizeBytes = opt.l2SizeKb * 1024;

@@ -7,9 +7,13 @@
 #   2. Configure + build an ASan/UBSan tree (-DC8T_ASAN=ON) and run the
 #      stream/cache/sweep/alloc tests under it. halt_on_error is the
 #      sanitizer default, so any heap misuse fails the script.
-#   3. Configure + build a TSan tree (-DC8T_TSAN=ON) and run the
+#   3. Configure + build a standalone UBSan tree (-DC8T_UBSAN=ON,
+#      -fno-sanitize-recover=all) and run the voltage-model tests
+#      under it (the numeric subsystem with the most UB surface:
+#      pow/exp/ceil scaling, bit_cast seeding, fault-map index math).
+#   4. Configure + build a TSan tree (-DC8T_TSAN=ON) and run the
 #      parallel sweep test under it (the data-race surface).
-#   4. Record a Release benchmark snapshot (tools/bench_report.sh into
+#   5. Record a Release benchmark snapshot (tools/bench_report.sh into
 #      build-bench) and bench_diff it against the newest recorded
 #      BENCH_*.json in the repo root (a local, gitignored artifact —
 #      seed one with tools/bench_report.sh); any record more than
@@ -45,6 +49,15 @@ for t in stream_identity_test sweep_test hot_path_alloc_test \
          functional_mem_test; do
     echo "---- asan: $t ----"
     "$repo_root/build-asan/tests/$t"
+done
+
+echo "==== ubsan: build + voltage-model tests ===="
+cmake -B "$repo_root/build-ubsan" -S "$repo_root" -DC8T_UBSAN=ON
+cmake --build "$repo_root/build-ubsan" -j "$jobs" --target \
+    vmodel_test vdd_sweep_test
+for t in vmodel_test vdd_sweep_test; do
+    echo "---- ubsan: $t ----"
+    "$repo_root/build-ubsan/tests/$t"
 done
 
 echo "==== tsan: build + parallel sweep test ===="
