@@ -8,13 +8,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/controller.hh"
 #include "core/simulator.hh"
 #include "core/sweep.hh"
 #include "mem/cache.hh"
+#include "mem/simd.hh"
 #include "sram/ecc.hh"
 #include "trace/markov_stream.hh"
 #include "trace/replay.hh"
@@ -24,6 +31,74 @@ namespace
 {
 
 using namespace c8t;
+
+/** Way-compare kernel input: flat per-set tag rows shaped like the
+ *  default cache (8 ways), with needles that hit a different way per
+ *  lookup so the match is never branch-predicted away. */
+struct WayCompareFixture
+{
+    static constexpr std::uint32_t kWays = 8;
+    static constexpr std::size_t kSets = 256;
+
+    std::vector<mem::Addr> tags;    // kSets rows of kWays tags
+    std::vector<mem::Addr> needles; // one per lookup, cycling hit ways
+
+    WayCompareFixture()
+    {
+        tags.resize(kSets * kWays);
+        needles.resize(kSets);
+        std::uint64_t v = 0x9e3779b97f4a7c15ull;
+        for (std::size_t i = 0; i < tags.size(); ++i) {
+            v ^= v << 13;
+            v ^= v >> 7;
+            v ^= v << 17;
+            tags[i] = v;
+        }
+        for (std::size_t s = 0; s < kSets; ++s)
+            needles[s] = tags[s * kWays + s % kWays];
+    }
+
+    /** One pass of kSets lookups at @p level; returns the OR of the
+     *  masks so the compiler cannot elide the compares. */
+    std::uint64_t passAt(mem::simd::SimdLevel level) const
+    {
+        std::uint64_t acc = 0;
+        for (std::size_t s = 0; s < kSets; ++s) {
+            acc |= mem::simd::matchBits(level, tags.data() + s * kWays,
+                                        kWays, needles[s]);
+        }
+        return acc;
+    }
+};
+
+/**
+ * The vectorized way-compare in isolation, per dispatch level.
+ * items/s is tag lookups (one full 8-way compare each); the ratio
+ * between the /scalar row and the /sse2 / /avx2 rows is the SIMD
+ * speedup of the kernel alone, uncontaminated by the rest of the
+ * access path. Levels the CPU cannot run are skipped.
+ */
+void
+BM_WayCompare(benchmark::State &state)
+{
+    const auto level =
+        static_cast<mem::simd::SimdLevel>(state.range(0));
+    if (mem::simd::setLevel(level) != level) {
+        state.SkipWithError("SIMD level unsupported on this CPU");
+        return;
+    }
+    static const WayCompareFixture fixture;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fixture.passAt(level));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(WayCompareFixture::kSets));
+    state.SetLabel(mem::simd::toString(level));
+}
+BENCHMARK(BM_WayCompare)
+    ->Arg(static_cast<int>(mem::simd::SimdLevel::Scalar))
+    ->Arg(static_cast<int>(mem::simd::SimdLevel::Sse2))
+    ->Arg(static_cast<int>(mem::simd::SimdLevel::Avx2));
 
 void
 BM_MarkovStreamGeneration(benchmark::State &state)
@@ -181,6 +256,80 @@ BM_SecDedDecodeCorrected(benchmark::State &state)
 }
 BENCHMARK(BM_SecDedDecodeCorrected);
 
+/**
+ * Append one kind:"micro" perf record per supported dispatch level
+ * when C8T_BENCH_JSON is set, alongside the sweep engine's
+ * kind:"sweep" and the voltage sweep's kind:"vdd" rows (same
+ * JSON-lines file, same accesses_per_sec rate field, so
+ * tools/bench_diff.sh pairs them on (kind, label, workers) like any
+ * other record). The rate is measured here with a fixed-work wall
+ * clock rather than scraped from google-benchmark, so the record
+ * exists even when the binary runs with a --benchmark_filter that
+ * excludes BM_WayCompare.
+ */
+void
+emitWayCompareMicroRecords()
+{
+    const char *path = std::getenv("C8T_BENCH_JSON");
+    if (!path || !*path)
+        return;
+
+    std::ofstream os(path, std::ios::app);
+    if (!os) {
+        std::cerr << "micro_perf: cannot open C8T_BENCH_JSON=\"" << path
+                  << "\" for append; perf records disabled\n";
+        return;
+    }
+
+    const WayCompareFixture fixture;
+    for (mem::simd::SimdLevel level :
+         {mem::simd::SimdLevel::Scalar, mem::simd::SimdLevel::Sse2,
+          mem::simd::SimdLevel::Avx2}) {
+        if (mem::simd::setLevel(level) != level)
+            continue; // CPU cannot run this level
+
+        // ~16M lookups, best of 3: long enough to be stable, short
+        // enough to not dominate the report run.
+        constexpr int kReps = 3;
+        constexpr std::size_t kPasses = 1u << 16;
+        double best_seconds = 0.0;
+        std::uint64_t sink = 0;
+        for (int rep = 0; rep < kReps; ++rep) {
+            const auto t0 = std::chrono::steady_clock::now();
+            for (std::size_t p = 0; p < kPasses; ++p)
+                sink |= fixture.passAt(level);
+            const std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - t0;
+            if (rep == 0 || dt.count() < best_seconds)
+                best_seconds = dt.count();
+        }
+        benchmark::DoNotOptimize(sink);
+
+        const double lookups =
+            static_cast<double>(kPasses) * WayCompareFixture::kSets;
+        os << "{\"kind\":\"micro\",\"label\":\"way_compare:"
+           << mem::simd::toString(level) << "\""
+           << ",\"workers\":1"
+           << ",\"ways\":" << WayCompareFixture::kWays
+           << ",\"lookups\":" << static_cast<std::uint64_t>(lookups)
+           << ",\"wall_seconds\":" << best_seconds
+           << ",\"accesses_per_sec\":"
+           << (best_seconds > 0.0 ? lookups / best_seconds : 0.0)
+           << "}\n";
+    }
+    mem::simd::setLevel(mem::simd::bestSupported());
+}
+
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    emitWayCompareMicroRecords();
+    return 0;
+}

@@ -80,6 +80,11 @@ CacheController::CacheController(const ControllerConfig &config,
         _vddPfailWrite.set(_vddPoint.pfailWrite);
     }
 
+    // Pre-size the chunk planner's scratch so the batched replay path
+    // never allocates in steady state (hot_path_alloc_test pins this).
+    if (_tags.planEligible())
+        _tags.reservePlan(kReplayChunkAccesses);
+
     if (usesGroupingBuffer(_config.scheme)) {
         _tagBuffer = std::make_unique<TagBuffer>(_config.bufferEntries,
                                                  _config.cache.ways);
@@ -275,6 +280,61 @@ CacheController::handleMiss(mem::Addr block_addr)
     return fill.way;
 }
 
+CacheController::ResidentRef
+CacheController::applyPlanned(mem::Addr block_addr,
+                              const mem::ChunkPlan &plan, std::size_t i)
+{
+    const std::uint32_t set = plan.set[i];
+    const std::uint32_t way = plan.way[i];
+    const std::uint8_t flags = plan.flags[i];
+
+    if (flags & mem::ChunkPlan::kHit) {
+        assert(_tags.probe(block_addr).hit &&
+               _tags.probe(block_addr).way == way &&
+               "planned hit disagrees with live tag state");
+        _tags.applyPlannedHit(set, plan.replWord[i]);
+        return {true, way};
+    }
+
+    // Planned miss: the handleMiss() sequence minus the tag-side work
+    // stage 1 already did (victim choice, eviction metadata,
+    // replacement update). The L2, event ring and audit hook are
+    // absent by eligibility, so no globally-ordered observer is
+    // skipped.
+    assert(!_tags.probe(block_addr).hit &&
+           "planned miss disagrees with live tag state");
+
+    if (_tagBuffer) {
+        const std::uint32_t e = entryOfSet(set);
+        if (e < _tagBuffer->entries()) {
+            endGroup(e, _missFlushWritebacks);
+            _tagBuffer->invalidate(e);
+        }
+    }
+
+    _lastMissPenalty = _config.latency.missPenaltyCycles;
+
+    const std::uint32_t block_bytes = _config.cache.blockBytes;
+    const sram::RowData &cur = _array.readRowRef(set);
+    ++_fillRowReads;
+    ++_ecounts.rowReads;
+
+    if (flags & mem::ChunkPlan::kEvictDirty) {
+        _mem.writeBytes(plan.evictedAddr[i],
+                        cur.data() + way * block_bytes, block_bytes);
+    }
+
+    _tags.applyPlannedFill(set, way, plan.tag[i], plan.replWord[i]);
+
+    sram::RowData &row = _array.updateRow(set);
+    _mem.readBytes(block_addr, row.data() + way * block_bytes,
+                   block_bytes);
+
+    ++_fillRowWrites;
+    ++_ecounts.rowWrites;
+    return {false, way};
+}
+
 AccessOutcome
 CacheController::access(const trace::MemAccess &request)
 {
@@ -293,16 +353,70 @@ CacheController::access(const trace::MemAccess &request)
     return {};
 }
 
+const mem::ChunkPlan *
+CacheController::planReplayChunk(const trace::MemAccess *chunk,
+                                 std::size_t count)
+{
+    if (!plannedChunkEligible() || count == 0)
+        return nullptr;
+    return &_tags.planChunk(chunk, count);
+}
+
+template <typename AccessFn>
+void
+CacheController::runPlannedChunk(const trace::MemAccess *chunk,
+                                 const mem::ChunkPlan &plan,
+                                 AccessFn &&body)
+{
+    // Stage 2 of the pipeline: apply the plan in original request
+    // order. The per-access prologue keeps only the clock (the
+    // request-count bumps are order-free sums, folded in once below),
+    // and each scheme body consumes the planned lookup outcome instead
+    // of performing a live one.
+    for (std::size_t i = 0; i < plan.count; ++i) {
+        const trace::MemAccess &a = chunk[i];
+        assert(a.size >= 1 && a.size <= 8);
+        assert(_tags.layout().blockOffset(a.addr) + a.size <=
+               _config.cache.blockBytes);
+        _cycle += a.gap + 1;
+        _requestCycle = _cycle;
+        body(a, [this, &plan, i](mem::Addr block_addr) {
+            return applyPlanned(block_addr, plan, i);
+        });
+    }
+    _requests += plan.count;
+    _readRequests += plan.reads;
+    _writeRequests += plan.writes;
+    _tags.addPlannedCounts(plan);
+}
+
 void
 CacheController::accessChunk(const trace::MemAccess *chunk,
-                             std::size_t count)
+                             std::size_t count,
+                             const mem::ChunkPlan *plan)
 {
     // One scheme-specialized loop per chunk: the dispatch runs once,
     // the request paths stay hot in the branch predictor, and each
     // iteration is statistics-identical to access().
+    //
+    // When the batched pipeline qualifies, run stage 1 (or adopt the
+    // caller's shared plan) and drive the scheme loop off it.
+    const mem::ChunkPlan *p = nullptr;
+    if (plannedChunkEligible() && count > 0)
+        p = plan ? plan : &_tags.planChunk(chunk, count);
+    assert(p == nullptr || p->count == count);
+
     switch (_config.scheme) {
       case WriteScheme::SixTDirect:
       case WriteScheme::WordGranular:
+        if (p) {
+            runPlannedChunk(chunk, *p,
+                            [this](const trace::MemAccess &a,
+                                   auto &&resolve) {
+                                accessDirectImpl(a, resolve);
+                            });
+            return;
+        }
         for (std::size_t i = 0; i < count; ++i) {
             beginAccess(chunk[i]);
             accessDirect(chunk[i]);
@@ -310,6 +424,14 @@ CacheController::accessChunk(const trace::MemAccess *chunk,
         break;
       case WriteScheme::Rmw:
       case WriteScheme::LocalRmw:
+        if (p) {
+            runPlannedChunk(chunk, *p,
+                            [this](const trace::MemAccess &a,
+                                   auto &&resolve) {
+                                accessRmwImpl(a, resolve);
+                            });
+            return;
+        }
         for (std::size_t i = 0; i < count; ++i) {
             beginAccess(chunk[i]);
             accessRmw(chunk[i]);
@@ -317,6 +439,14 @@ CacheController::accessChunk(const trace::MemAccess *chunk,
         break;
       case WriteScheme::WriteGrouping:
       case WriteScheme::WriteGroupingReadBypass:
+        if (p) {
+            runPlannedChunk(chunk, *p,
+                            [this](const trace::MemAccess &a,
+                                   auto &&resolve) {
+                                accessGroupedImpl(a, resolve);
+                            });
+            return;
+        }
         for (std::size_t i = 0; i < count; ++i) {
             beginAccess(chunk[i]);
             accessGrouped(chunk[i]);
@@ -328,9 +458,32 @@ CacheController::accessChunk(const trace::MemAccess *chunk,
 AccessOutcome
 CacheController::accessDirect(const trace::MemAccess &a)
 {
+    return accessDirectImpl(
+        a, [this](mem::Addr b) { return ensureResident(b); });
+}
+
+AccessOutcome
+CacheController::accessRmw(const trace::MemAccess &a)
+{
+    return accessRmwImpl(
+        a, [this](mem::Addr b) { return ensureResident(b); });
+}
+
+AccessOutcome
+CacheController::accessGrouped(const trace::MemAccess &a)
+{
+    return accessGroupedImpl(
+        a, [this](mem::Addr b) { return ensureResident(b); });
+}
+
+template <typename ResolveFn>
+AccessOutcome
+CacheController::accessDirectImpl(const trace::MemAccess &a,
+                                  ResolveFn &&resolve)
+{
     AccessOutcome out;
     const mem::Addr block_addr = _tags.layout().blockAlign(a.addr);
-    const ResidentRef res = ensureResident(block_addr);
+    const ResidentRef res = resolve(block_addr);
     out.hit = res.hit;
     const std::uint32_t way = res.way;
     const std::uint32_t set = _tags.layout().setOf(a.addr);
@@ -356,12 +509,14 @@ CacheController::accessDirect(const trace::MemAccess &a)
     return out;
 }
 
+template <typename ResolveFn>
 AccessOutcome
-CacheController::accessRmw(const trace::MemAccess &a)
+CacheController::accessRmwImpl(const trace::MemAccess &a,
+                               ResolveFn &&resolve)
 {
     AccessOutcome out;
     const mem::Addr block_addr = _tags.layout().blockAlign(a.addr);
-    const ResidentRef res = ensureResident(block_addr);
+    const ResidentRef res = resolve(block_addr);
     out.hit = res.hit;
     const std::uint32_t way = res.way;
     const std::uint32_t set = _tags.layout().setOf(a.addr);
@@ -401,8 +556,10 @@ CacheController::accessRmw(const trace::MemAccess &a)
     return out;
 }
 
+template <typename ResolveFn>
 AccessOutcome
-CacheController::accessGrouped(const trace::MemAccess &a)
+CacheController::accessGroupedImpl(const trace::MemAccess &a,
+                                   ResolveFn &&resolve)
 {
     AccessOutcome out;
     const mem::Addr block_addr = _tags.layout().blockAlign(a.addr);
@@ -415,7 +572,7 @@ CacheController::accessGrouped(const trace::MemAccess &a)
     ++_ecounts.tagCompares;
     auditEnergy(EnergyEvent::TagCompare, 0);
 
-    const ResidentRef res = ensureResident(block_addr);
+    const ResidentRef res = resolve(block_addr);
     out.hit = res.hit;
     // A Tag-Buffer tag hit implies the block was resident (the buffer
     // mirrors the set's tag state), so the entry survived ensureResident.

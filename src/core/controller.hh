@@ -137,13 +137,41 @@ class CacheController
     /** Service one request (Algorithm 1 for the grouping schemes). */
     AccessOutcome access(const trace::MemAccess &request);
 
+    /** Replay chunk length the drivers use (MultiSchemeRunner): the
+     *  controller pre-sizes the chunk planner's scratch for it. */
+    static constexpr std::size_t kReplayChunkAccesses = 4096;
+
     /**
      * Service @p count requests from @p chunk back to back. Result- and
      * statistics-identical to calling access() per element; the scheme
      * dispatch is hoisted out of the loop so each chunk runs one
      * scheme-specialized loop (MultiSchemeRunner's replay path).
+     *
+     * When the shape and controller qualify (packed deterministic
+     * replacement, no L2, no event ring, no energy audit hook), the
+     * chunk runs as the two-stage set-batched pipeline (DESIGN.md §7):
+     * stage 1 plans every tag lookup in per-set batches (SIMD
+     * way-compares, replacement arithmetic on stack-local state) and
+     * stage 2 applies the plan in original request order, so every
+     * table, stats dump and event total stays byte-identical to the
+     * per-access path. @p plan optionally supplies a stage-1 result
+     * computed by a controller with an identical cache (the sweep
+     * drivers share one plan across same-shape controllers); it is
+     * ignored when this controller does not qualify.
      */
-    void accessChunk(const trace::MemAccess *chunk, std::size_t count);
+    void accessChunk(const trace::MemAccess *chunk, std::size_t count,
+                     const mem::ChunkPlan *plan = nullptr);
+
+    /**
+     * Stage 1 only: plan @p count accesses against this controller's
+     * tag state for sharing with same-shape controllers (their tag
+     * trajectories are identical on identical streams, so one plan
+     * serves all). Returns nullptr when the batched pipeline does not
+     * apply here (see accessChunk()); the plan stays valid until the
+     * next planReplayChunk()/accessChunk() call on this controller.
+     */
+    const mem::ChunkPlan *planReplayChunk(const trace::MemAccess *chunk,
+                                          std::size_t count);
 
     /**
      * Write back every dirty Set-Buffer entry to the array (counted
@@ -390,10 +418,38 @@ class CacheController
     void dumpStats(std::ostream &os);
 
   private:
-    // Request paths.
+    // Request paths. Each scheme body is a template over the resolver
+    // that makes the block resident — the live tag lookup on the
+    // per-access path, or the planned-outcome application on the
+    // batched pipeline — so both paths execute the identical scheme
+    // logic (defined in controller.cc; used only there).
+    template <typename ResolveFn>
+    AccessOutcome accessDirectImpl(const trace::MemAccess &a,
+                                   ResolveFn &&resolve);
+    template <typename ResolveFn>
+    AccessOutcome accessRmwImpl(const trace::MemAccess &a,
+                                ResolveFn &&resolve);
+    template <typename ResolveFn>
+    AccessOutcome accessGroupedImpl(const trace::MemAccess &a,
+                                    ResolveFn &&resolve);
+
     AccessOutcome accessDirect(const trace::MemAccess &a);
     AccessOutcome accessRmw(const trace::MemAccess &a);
     AccessOutcome accessGrouped(const trace::MemAccess &a);
+
+    /** Scheme loop over a planned chunk (stage 2 of the pipeline). */
+    template <typename AccessFn>
+    void runPlannedChunk(const trace::MemAccess *chunk,
+                         const mem::ChunkPlan &plan, AccessFn &&body);
+
+    /** True when the batched pipeline may run right now: the shape is
+     *  plannable and no per-access observer (L2, event ring, energy
+     *  audit) needs the globally-ordered tag side effects. */
+    bool plannedChunkEligible() const
+    {
+        return !_l2 && !_events && !_energyAuditFn &&
+               _tags.planEligible();
+    }
 
     /** Outcome of ensureResident(): hit state plus the resident way,
      *  so the request paths never pay a second tag lookup. */
@@ -406,6 +462,12 @@ class CacheController
     /** Ensure the block is resident; reports whether it already was
      *  and the way now holding it. */
     ResidentRef ensureResident(mem::Addr block_addr);
+
+    /** Planned-path equivalent of ensureResident(): apply access @p i
+     *  of @p plan (tag install, replacement word, victim write-back,
+     *  fill data movement) in request order. */
+    ResidentRef applyPlanned(mem::Addr block_addr,
+                             const mem::ChunkPlan &plan, std::size_t i);
 
     /** Miss handling: victim write-back + fill; returns the filled
      *  way. */

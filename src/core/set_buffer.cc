@@ -27,33 +27,6 @@ SetBuffer::fill(std::uint32_t e, const sram::RowData &row)
     _rows[e] = row;
 }
 
-bool
-SetBuffer::updateBytes(std::uint32_t e, std::uint32_t offset,
-                       const std::uint8_t *src, std::size_t len)
-{
-    assert(e < _entries);
-    assert(offset + len <= _rowBytes);
-    ++_updates;
-
-    std::uint8_t *dst = _rows[e].data() + offset;
-    const bool changed = std::memcmp(dst, src, len) != 0;
-    if (changed)
-        std::memcpy(dst, src, len);
-    else
-        ++_silentUpdates;
-    return changed;
-}
-
-void
-SetBuffer::readBytes(std::uint32_t e, std::uint32_t offset,
-                     std::uint8_t *dst, std::size_t len) const
-{
-    assert(e < _entries);
-    assert(offset + len <= _rowBytes);
-    ++_reads;
-    std::memcpy(dst, _rows[e].data() + offset, len);
-}
-
 const sram::RowData &
 SetBuffer::row(std::uint32_t e) const
 {

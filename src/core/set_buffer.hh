@@ -13,7 +13,9 @@
 #ifndef C8T_CORE_SET_BUFFER_HH
 #define C8T_CORE_SET_BUFFER_HH
 
+#include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "sram/array.hh"
@@ -43,15 +45,49 @@ class SetBuffer
      * against the previous contents — the silent-store check the
      * proposed hardware performs with comparators on the latch inputs.
      *
+     * Inline with a whole-word fast path: this runs once per write
+     * under the grouping schemes, and the dominant request size is the
+     * full 8-byte word, where the fixed-size compare/copy compiles to
+     * two register moves instead of a libc call.
+     *
      * @return True when any byte changed (i.e. the write was NOT
      *         silent).
      */
     bool updateBytes(std::uint32_t e, std::uint32_t offset,
-                     const std::uint8_t *src, std::size_t len);
+                     const std::uint8_t *src, std::size_t len)
+    {
+        assert(e < _entries);
+        assert(offset + len <= _rowBytes);
+        ++_updates;
 
-    /** Read @p len bytes at @p offset from entry @p e. */
+        std::uint8_t *dst = _rows[e].data() + offset;
+        const bool changed = len == 8
+                                 ? __builtin_memcmp(dst, src, 8) != 0
+                                 : std::memcmp(dst, src, len) != 0;
+        if (changed) {
+            if (len == 8)
+                __builtin_memcpy(dst, src, 8);
+            else
+                std::memcpy(dst, src, len);
+        } else {
+            ++_silentUpdates;
+        }
+        return changed;
+    }
+
+    /** Read @p len bytes at @p offset from entry @p e. Inline: runs
+     *  once per bypassed read under WG+RB. */
     void readBytes(std::uint32_t e, std::uint32_t offset,
-                   std::uint8_t *dst, std::size_t len) const;
+                   std::uint8_t *dst, std::size_t len) const
+    {
+        assert(e < _entries);
+        assert(offset + len <= _rowBytes);
+        ++_reads;
+        if (len == 8)
+            __builtin_memcpy(dst, _rows[e].data() + offset, 8);
+        else
+            std::memcpy(dst, _rows[e].data() + offset, len);
+    }
 
     /** Whole row image of entry @p e (for write-back). */
     const sram::RowData &row(std::uint32_t e) const;

@@ -24,6 +24,21 @@ MultiSchemeRunner::MultiSchemeRunner(std::vector<ControllerConfig> configs)
         _controllers.push_back(
             std::make_unique<CacheController>(cfg, *_memories.back()));
     }
+
+    // Plan-sharing groups by cache shape (see simulator.hh): the first
+    // controller of each shape leads and runs stage 1 for the group.
+    _planLeader.resize(_configs.size());
+    _leaderPlan.assign(_configs.size(), nullptr);
+    for (std::size_t i = 0; i < _configs.size(); ++i) {
+        std::size_t leader = i;
+        for (std::size_t j = 0; j < i; ++j) {
+            if (_configs[j].cache == _configs[i].cache) {
+                leader = j;
+                break;
+            }
+        }
+        _planLeader[i] = leader;
+    }
 }
 
 CacheController &
@@ -49,18 +64,37 @@ MultiSchemeRunner::replayWindow(trace::AccessGenerator &gen,
             want = std::min(want,
                             _intervalAccesses - done % _intervalAccesses);
         }
-        const std::size_t got =
-            gen.fillChunk(_chunk.data(), static_cast<std::size_t>(want));
+        // Prefer a zero-copy view (ReplayGenerator lends its buffer);
+        // fall back to copying into the local chunk otherwise.
+        std::size_t got = 0;
+        const trace::MemAccess *chunk =
+            gen.borrowChunk(static_cast<std::size_t>(want), got);
+        if (!chunk) {
+            got = gen.fillChunk(_chunk.data(),
+                                static_cast<std::size_t>(want));
+            chunk = _chunk.data();
+        }
         if (got == 0)
             break;
 
         // Controllers are fully independent (each owns its memory), so
         // feeding them one after the other from the flat chunk is
         // result-identical to interleaving them per access. accessChunk
-        // hoists the write-scheme dispatch out of the per-access loop.
-        const trace::MemAccess *chunk = _chunk.data();
-        for (auto &ctrl : _controllers)
-            ctrl->accessChunk(chunk, got);
+        // hoists the write-scheme dispatch out of the per-access loop,
+        // and same-shape controllers share the group leader's stage-1
+        // plan: their tag trajectories are identical, so the tag
+        // compares and replacement arithmetic run once per shape, not
+        // once per scheme.
+        for (std::size_t i = 0; i < _controllers.size(); ++i) {
+            const mem::ChunkPlan *plan = nullptr;
+            if (_planLeader[i] == i) {
+                plan = _controllers[i]->planReplayChunk(chunk, got);
+                _leaderPlan[i] = plan;
+            } else {
+                plan = _leaderPlan[_planLeader[i]];
+            }
+            _controllers[i]->accessChunk(chunk, got, plan);
+        }
 
         done += got;
         if (hooked && done % _intervalAccesses == 0)

@@ -149,8 +149,10 @@ class MultiSchemeRunner
     /** Accesses pulled per fillChunk() call in run(). 4096 records =
      *  96 KiB of scratch: large enough to amortise the per-chunk
      *  dispatch, small enough to stay cache-resident while every
-     *  controller replays it. */
-    static constexpr std::size_t kChunkAccesses = 4096;
+     *  controller replays it. Matches the controllers' pre-sized
+     *  chunk-planner scratch. */
+    static constexpr std::size_t kChunkAccesses =
+        CacheController::kReplayChunkAccesses;
 
   private:
     /**
@@ -166,6 +168,15 @@ class MultiSchemeRunner
     std::vector<std::unique_ptr<mem::FunctionalMemory>> _memories;
     std::vector<std::unique_ptr<CacheController>> _controllers;
     std::vector<trace::MemAccess> _chunk;
+
+    /** Plan-sharing groups: _planLeader[i] is the first controller
+     *  with a cache identical to controller i's. Every controller sees
+     *  every access, and tag evolution is scheme-independent, so
+     *  same-shape tag states march in lockstep — the leader's stage-1
+     *  plan is exact for the whole group and is computed once per
+     *  chunk instead of once per controller. */
+    std::vector<std::size_t> _planLeader;
+    std::vector<const mem::ChunkPlan *> _leaderPlan;
     std::uint64_t _intervalAccesses = 0;
     std::function<void(std::uint64_t)> _intervalHook;
 };

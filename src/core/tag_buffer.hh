@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "mem/addr.hh"
+#include "mem/simd.hh"
 #include "stats/counter.hh"
 #include "stats/registry.hh"
 
@@ -69,12 +70,13 @@ class TagBuffer
                 continue;
             r.setMatch = true;
             r.entry = i;
+            // Same SIMD way-compare as the TagArray lookup (an entry
+            // mirrors one set, so the shape is identical).
             const mem::Addr *tags =
                 &_tags[static_cast<std::size_t>(i) * _ways];
-            std::uint64_t m = 0;
-            for (std::uint32_t w = 0; w < _ways; ++w)
-                m |= static_cast<std::uint64_t>(tags[w] == tag) << w;
-            m &= _validMask[i];
+            const std::uint64_t m =
+                mem::simd::matchBits(_simd, tags, _ways, tag) &
+                _validMask[i];
             if (m) {
                 r.tagMatch = true;
                 r.way =
@@ -212,6 +214,9 @@ class TagBuffer
   private:
     std::uint32_t _entries;
     std::uint32_t _ways;
+
+    /** Way-compare dispatch level, resolved once at construction. */
+    mem::simd::SimdLevel _simd;
 
     // Structure-of-arrays entry state.
     std::vector<mem::Addr> _tags;          //!< [entry * ways + way]

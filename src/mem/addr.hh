@@ -62,6 +62,15 @@ class AddrLayout
     /** Tag of @p a. */
     Addr tagOf(Addr a) const { return a >> (_offsetBits + _setBits); }
 
+    /** Combined set/tag decode — the chunk planner's decode stage
+     *  extracts both per access, so share the shifted intermediate. */
+    void splitOf(Addr a, std::uint32_t &set, Addr &tag) const
+    {
+        const Addr shifted = a >> _offsetBits;
+        set = static_cast<std::uint32_t>(shifted & _setMask);
+        tag = shifted >> _setBits;
+    }
+
     /** Rebuild a block base address from tag and set index. */
     Addr blockAddr(Addr tag, std::uint32_t set) const
     {

@@ -52,6 +52,7 @@ TagArray::TagArray(const CacheConfig &config)
     : _config(config),
       _layout((config.validate(), config.blockBytes), config.numSets()),
       _ways(config.ways),
+      _simd(simd::activeLevel()),
       _tagStore(static_cast<std::size_t>(config.numSets()) * config.ways,
                 0),
       _valid(config.numSets(), 0),
@@ -123,6 +124,157 @@ TagArray::copyTagsOfSet(std::uint32_t set, Addr *out) const
     const std::uint64_t valid = _valid[set];
     for (std::uint32_t w = 0; w < _ways; ++w)
         out[w] = ((valid >> w) & 1) ? tags[w] : 0;
+}
+
+void
+TagArray::reservePlan(std::size_t capacity)
+{
+    if (_plan.set.size() >= capacity && !_planHead.empty())
+        return;
+    _plan.set.resize(capacity);
+    _plan.tag.resize(capacity);
+    _plan.way.resize(capacity);
+    _plan.flags.resize(capacity);
+    _plan.replWord.resize(capacity);
+    _plan.evictedAddr.resize(capacity);
+    _planNext.resize(capacity);
+    _planTouched.reserve(capacity);
+    _planHead.assign(_layout.numSets(), kPlanNone);
+}
+
+template <TagArray::ReplMode M>
+void
+TagArray::planSets(const trace::MemAccess *chunk)
+{
+    const std::uint32_t *next = _planNext.data();
+
+    for (const std::uint32_t set : _planTouched) {
+        // Stack-local copy of the set's state: the walk below is pure
+        // prediction — nothing is committed until the controller
+        // applies the plan in original request order.
+        Addr tags[kMaxPlannedWays];
+        const Addr *row =
+            &_tagStore[static_cast<std::size_t>(set) * _ways];
+        for (std::uint32_t w = 0; w < _ways; ++w)
+            tags[w] = row[w];
+        std::uint64_t valid = _valid[set];
+        std::uint64_t dirty = _dirty[set];
+        std::uint64_t repl = _replWord[set];
+
+        for (std::uint32_t i = _planHead[set]; i != kPlanNone;
+             i = next[i]) {
+            const Addr tag = _plan.tag[i];
+            const std::uint64_t m =
+                simd::matchBits(_simd, tags, _ways, tag) & valid;
+            std::uint32_t w;
+            std::uint8_t flags;
+            if (m) {
+                w = static_cast<std::uint32_t>(std::countr_zero(m));
+                flags = ChunkPlan::kHit;
+                ++_plan.hits;
+                if constexpr (M == ReplMode::PackedLru)
+                    repl = lruMovedToFront(repl, w);
+                else if constexpr (M == ReplMode::PackedPlru)
+                    repl = plruPointedAway(repl, _ways, w);
+                // FIFO: hits do not move the fill counter.
+            } else {
+                ++_plan.misses;
+                flags = 0;
+                // Victim choice, identical to victimRepl(): invalid
+                // ways first in ascending order, then the packed
+                // heuristic.
+                w = static_cast<std::uint32_t>(std::countr_one(valid));
+                if (w >= _ways) {
+                    if constexpr (M == ReplMode::PackedLru)
+                        w = static_cast<std::uint32_t>(
+                            (repl >> (8 * (_ways - 1))) & 0xffu);
+                    else if constexpr (M == ReplMode::PackedPlru)
+                        w = plruVictimOf(repl, _ways);
+                    else
+                        w = static_cast<std::uint32_t>(repl % _ways);
+                }
+                const std::uint64_t bit = 1ull << w;
+                if (valid & bit) {
+                    flags |= ChunkPlan::kEvictValid;
+                    ++_plan.evictions;
+                    if (dirty & bit) {
+                        flags |= ChunkPlan::kEvictDirty;
+                        ++_plan.dirtyEvictions;
+                    }
+                    _plan.evictedAddr[i] =
+                        _layout.blockAddr(tags[w], set);
+                }
+                tags[w] = tag;
+                valid |= bit;
+                dirty &= ~bit;
+                if constexpr (M == ReplMode::PackedLru)
+                    repl = lruMovedToFront(repl, w);
+                else if constexpr (M == ReplMode::PackedPlru)
+                    repl = plruPointedAway(repl, _ways, w);
+                else
+                    ++repl; // FIFO fill counter
+            }
+            if (chunk[i].isWrite())
+                dirty |= 1ull << w; // markDirtyWay
+            _plan.way[i] = static_cast<std::uint8_t>(w);
+            _plan.flags[i] = flags;
+            _plan.replWord[i] = repl;
+        }
+    }
+}
+
+const ChunkPlan &
+TagArray::planChunk(const trace::MemAccess *chunk, std::size_t count)
+{
+    assert(planEligible() && "planChunk on an ineligible shape");
+    reservePlan(count);
+
+    // Stage A+B fused: decode every address once (the scheme loops
+    // reuse the plan's set/tag instead of re-deriving them) while
+    // threading the chunk into per-set chains. The single pass runs
+    // backwards: building with push-front leaves each chain in
+    // ascending access order, so per-set order — the only order tag
+    // evolution depends on — is preserved exactly.
+    _planTouched.clear();
+    std::uint64_t reads = 0;
+    for (std::size_t r = count; r-- > 0;) {
+        const auto i = static_cast<std::uint32_t>(r);
+        std::uint32_t set;
+        Addr tag;
+        _layout.splitOf(chunk[r].addr, set, tag);
+        _plan.set[i] = set;
+        _plan.tag[i] = tag;
+        reads += chunk[r].isRead();
+        if (_planHead[set] == kPlanNone)
+            _planTouched.push_back(set);
+        _planNext[i] = _planHead[set];
+        _planHead[set] = i;
+    }
+    _plan.reads = reads;
+    _plan.writes = count - reads;
+    _plan.hits = 0;
+    _plan.misses = 0;
+    _plan.evictions = 0;
+    _plan.dirtyEvictions = 0;
+    _plan.count = count;
+
+    // Stage C: simulate each touched set's batch.
+    switch (_mode) {
+      case ReplMode::PackedLru:
+        planSets<ReplMode::PackedLru>(chunk);
+        break;
+      case ReplMode::PackedPlru:
+        planSets<ReplMode::PackedPlru>(chunk);
+        break;
+      default:
+        planSets<ReplMode::PackedFifo>(chunk);
+        break;
+    }
+
+    // Reset only the touched heads so the next chunk starts clean.
+    for (const std::uint32_t set : _planTouched)
+        _planHead[set] = kPlanNone;
+    return _plan;
 }
 
 void

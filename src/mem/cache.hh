@@ -33,8 +33,10 @@
 
 #include "mem/addr.hh"
 #include "mem/replacement.hh"
+#include "mem/simd.hh"
 #include "stats/counter.hh"
 #include "stats/registry.hh"
+#include "trace/access.hh"
 #include "trace/rng.hh"
 
 namespace c8t::mem
@@ -73,6 +75,10 @@ struct CacheConfig
 
     /** "64KB/4w/32B/lru" style description. */
     std::string toString() const;
+
+    /** Shape equality — the sweep drivers use it to share per-chunk
+     *  access plans between controllers with identical caches. */
+    bool operator==(const CacheConfig &other) const = default;
 };
 
 /** Result of a tag lookup. */
@@ -99,6 +105,48 @@ struct FillResult
 
     /** Block base address of the evicted block (when evictedValid). */
     Addr evictedBlockAddr = 0;
+};
+
+/**
+ * Per-chunk access plan (DESIGN.md §7): the tag-pipeline stage outputs.
+ *
+ * TagArray::planChunk() walks a replay chunk in per-set batches and
+ * predicts, for every access, the full outcome of its tag lookup —
+ * hit/miss, the way involved, the post-access replacement word, and
+ * the eviction metadata of a fill — without committing any state.
+ * The controller's scheme loops then consume the plan in original
+ * request order, so every globally-ordered side effect (cycle clock,
+ * port scheduling, buffer traffic, data movement) happens exactly
+ * where the per-access path put it, while the tag compares and
+ * replacement arithmetic have already been done batch-wise.
+ *
+ * Structure-of-arrays and pre-sized (reservePlan()): filling a plan is
+ * allocation-free in steady state.
+ */
+struct ChunkPlan
+{
+    /** flags bits. */
+    static constexpr std::uint8_t kHit = 1;        //!< lookup hit
+    static constexpr std::uint8_t kEvictValid = 2; //!< fill evicted
+    static constexpr std::uint8_t kEvictDirty = 4; //!< ... a dirty block
+
+    std::vector<std::uint32_t> set;   //!< decoded set index
+    std::vector<Addr> tag;            //!< decoded tag bits
+    std::vector<std::uint8_t> way;    //!< hit way / filled way
+    std::vector<std::uint8_t> flags;  //!< kHit / kEvict* bits
+    std::vector<std::uint64_t> replWord; //!< post-access encoding
+    std::vector<Addr> evictedAddr;    //!< block base (when kEvictValid)
+
+    /** Chunk-wide sums, applied to the counters once per chunk. */
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dirtyEvictions = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+
+    /** Accesses planned (entries [0, count) are meaningful). */
+    std::size_t count = 0;
 };
 
 /**
@@ -262,6 +310,86 @@ class TagArray
         return _mode != ReplMode::Oracle;
     }
 
+    /** The SIMD level the way-compare runs at (resolved once at
+     *  construction from simd::activeLevel()). */
+    simd::SimdLevel simdLevel() const { return _simd; }
+
+    /** Largest associativity the chunk planner handles (the packed-LRU
+     *  bound: per-set state must fit the stack-local simulate). */
+    static constexpr std::uint32_t kMaxPlannedWays = 8;
+
+    /**
+     * True when planChunk() covers this shape: a packed deterministic
+     * replacement encoding (LRU/Tree-PLRU/FIFO) with at most
+     * kMaxPlannedWays ways. Random is excluded — its victim draws
+     * come from a shared RNG whose draw order is architectural, and
+     * set-batched planning would reorder them. Oracle shapes keep the
+     * virtual per-access path.
+     */
+    bool planEligible() const
+    {
+        return (_mode == ReplMode::PackedLru ||
+                _mode == ReplMode::PackedPlru ||
+                _mode == ReplMode::PackedFifo) &&
+               _ways <= kMaxPlannedWays;
+    }
+
+    /** Pre-size the plan and its set-sort scratch for chunks of up to
+     *  @p capacity accesses (planChunk() grows on demand otherwise;
+     *  reserving up front keeps the replay loop allocation-free). */
+    void reservePlan(std::size_t capacity);
+
+    /**
+     * Plan @p count accesses from @p chunk (requires planEligible()).
+     *
+     * Stage 1 of the chunk pipeline: decodes every address, sorts the
+     * chunk into per-set batches (stable within a set), and simulates
+     * each set's tag/valid/dirty/replacement evolution on stack-local
+     * state — SIMD way-compares included — recording the predicted
+     * outcome per access. No TagArray state is modified and no
+     * statistics move: the controller applies the plan in original
+     * request order via applyPlannedHit()/applyPlannedFill() and
+     * flushes the chunk-wide counter sums with addPlannedCounts().
+     *
+     * The prediction is exact because tag-state evolution is
+     * scheme-independent (every access performs exactly one lookup
+     * plus, on miss, one fill; writes dirty their way) and sets are
+     * independent: batching by set preserves each set's access order.
+     */
+    const ChunkPlan &planChunk(const trace::MemAccess *chunk,
+                               std::size_t count);
+
+    /** Apply a planned hit: store the post-access replacement word.
+     *  Pairs with a plan entry whose kHit flag is set. */
+    void applyPlannedHit(std::uint32_t set, std::uint64_t repl_word)
+    {
+        _replWord[set] = repl_word;
+    }
+
+    /** Apply a planned fill: install the tag, mark valid and clean,
+     *  store the post-access replacement word. The eviction metadata
+     *  was captured in the plan before this overwrite. */
+    void applyPlannedFill(std::uint32_t set, std::uint32_t way,
+                          Addr tag, std::uint64_t repl_word)
+    {
+        const std::uint64_t bit = 1ull << way;
+        _tagStore[static_cast<std::size_t>(set) * _ways + way] = tag;
+        _valid[set] |= bit;
+        _dirty[set] &= ~bit;
+        _replWord[set] = repl_word;
+    }
+
+    /** Fold a plan's chunk-wide hit/miss/eviction sums into the
+     *  counters (once per chunk; order-free, so deferring them off the
+     *  per-access path cannot change any dump). */
+    void addPlannedCounts(const ChunkPlan &plan)
+    {
+        _hits += plan.hits;
+        _misses += plan.misses;
+        _evictions += plan.evictions;
+        _dirtyEvictions += plan.dirtyEvictions;
+    }
+
     /** Reset statistics (contents untouched). */
     void resetCounters();
 
@@ -280,15 +408,14 @@ class TagArray
     };
 
     /** Valid-way match mask of @p tag in @p set (bit w set when way w
-     *  is valid and holds the tag). Branch-free over the ways. */
+     *  is valid and holds the tag). One SIMD compare over the flat
+     *  per-set tag words at the dispatched level (mem/simd.hh); every
+     *  level returns bit-identical masks. */
     std::uint64_t matchMask(std::uint32_t set, Addr tag) const
     {
         const Addr *tags =
             &_tagStore[static_cast<std::size_t>(set) * _ways];
-        std::uint64_t m = 0;
-        for (std::uint32_t w = 0; w < _ways; ++w)
-            m |= static_cast<std::uint64_t>(tags[w] == tag) << w;
-        return m & _valid[set];
+        return simd::matchBits(_simd, tags, _ways, tag) & _valid[set];
     }
 
     /** Record a use of (set, way) in the packed replacement state. */
@@ -348,21 +475,8 @@ class TagArray
           case ReplMode::PackedLru:
             return static_cast<std::uint32_t>(
                 (_replWord[set] >> (8 * (_ways - 1))) & 0xffu);
-          case ReplMode::PackedPlru: {
-            const std::uint64_t t = _replWord[set];
-            std::uint32_t node = 0;
-            std::uint32_t span = _ways;
-            std::uint32_t base = 0;
-            while (span > 1) {
-                const std::uint32_t half = span / 2;
-                const bool right = (t >> node) & 1;
-                node = 2 * node + (right ? 2 : 1);
-                if (right)
-                    base += half;
-                span = half;
-            }
-            return base;
-          }
+          case ReplMode::PackedPlru:
+            return plruVictimOf(_replWord[set], _ways);
           case ReplMode::PackedFifo:
             // Fills land on invalid ways in ascending order and the
             // only path to valid is fill(), so fill order is
@@ -377,10 +491,14 @@ class TagArray
         return 0;
     }
 
-    /** Move @p way to the MRU byte of the set's recency word. */
-    void lruMoveToFront(std::uint32_t set, std::uint32_t way)
+    // Pure packed-encoding transforms, shared verbatim between the
+    // live per-access path and the chunk planner's stack-local
+    // simulation so both compute bit-identical replacement words.
+
+    /** Recency word with @p way moved to the MRU byte. */
+    static std::uint64_t lruMovedToFront(std::uint64_t w,
+                                         std::uint32_t way)
     {
-        std::uint64_t w = _replWord[set];
         std::uint32_t p = 0;
         while (((w >> (8 * p)) & 0xffu) != way)
             ++p;
@@ -388,15 +506,16 @@ class TagArray
             p ? (w & ((1ull << (8 * p)) - 1)) : 0;
         const std::uint64_t above =
             p < 7 ? (w & ~((1ull << (8 * (p + 1))) - 1)) : 0;
-        _replWord[set] = above | (below << 8) | way;
+        return above | (below << 8) | way;
     }
 
-    /** Point every PLRU tree node on @p way's path away from it. */
-    void plruPointAway(std::uint32_t set, std::uint32_t way)
+    /** Tree word with every node on @p way's path pointed away. */
+    static std::uint64_t plruPointedAway(std::uint64_t t,
+                                         std::uint32_t ways,
+                                         std::uint32_t way)
     {
-        std::uint64_t t = _replWord[set];
         std::uint32_t node = 0;
-        std::uint32_t span = _ways;
+        std::uint32_t span = ways;
         std::uint32_t base = 0;
         while (span > 1) {
             const std::uint32_t half = span / 2;
@@ -408,12 +527,51 @@ class TagArray
                 base += half;
             span = half;
         }
-        _replWord[set] = t;
+        return t;
     }
+
+    /** Way the PLRU tree word points at. */
+    static std::uint32_t plruVictimOf(std::uint64_t t,
+                                      std::uint32_t ways)
+    {
+        std::uint32_t node = 0;
+        std::uint32_t span = ways;
+        std::uint32_t base = 0;
+        while (span > 1) {
+            const std::uint32_t half = span / 2;
+            const bool right = (t >> node) & 1;
+            node = 2 * node + (right ? 2 : 1);
+            if (right)
+                base += half;
+            span = half;
+        }
+        return base;
+    }
+
+    /** Move @p way to the MRU byte of the set's recency word. */
+    void lruMoveToFront(std::uint32_t set, std::uint32_t way)
+    {
+        _replWord[set] = lruMovedToFront(_replWord[set], way);
+    }
+
+    /** Point every PLRU tree node on @p way's path away from it. */
+    void plruPointAway(std::uint32_t set, std::uint32_t way)
+    {
+        _replWord[set] = plruPointedAway(_replWord[set], _ways, way);
+    }
+
+    /** Per-set batch simulation of one chain of planned accesses
+     *  (planChunk() stage C), specialized per packed mode so the
+     *  replacement arithmetic inlines without per-access dispatch. */
+    template <ReplMode M>
+    void planSets(const trace::MemAccess *chunk);
 
     CacheConfig _config;
     AddrLayout _layout;
     std::uint32_t _ways;
+
+    /** Way-compare dispatch level, resolved once at construction. */
+    simd::SimdLevel _simd;
 
     // Structure-of-arrays tag state.
     std::vector<Addr> _tagStore;        //!< [set * ways + way]
@@ -425,6 +583,18 @@ class TagArray
     std::vector<std::uint64_t> _replWord; //!< per-set encoding
     trace::Rng _victimRng{12345};         //!< PackedRandom draws
     std::unique_ptr<ReplacementPolicy> _repl; //!< Oracle fallback only
+
+    // Chunk-planner state (reservePlan()/planChunk()). The per-set
+    // chains are intrusive linked lists over the access indices:
+    // _planHead[set] is the first access touching the set (kPlanNone
+    // when untouched this chunk), _planNext[i] the next access to the
+    // same set. Only touched heads are reset between chunks, so the
+    // cost scales with the chunk, not the cache.
+    static constexpr std::uint32_t kPlanNone = 0xffffffffu;
+    ChunkPlan _plan;
+    std::vector<std::uint32_t> _planHead;    //!< per set, kPlanNone idle
+    std::vector<std::uint32_t> _planNext;    //!< per access
+    std::vector<std::uint32_t> _planTouched; //!< sets hit this chunk
 
     stats::Counter _hits{"cache.hits", "demand hits"};
     stats::Counter _misses{"cache.misses", "demand misses"};

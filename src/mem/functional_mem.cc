@@ -158,6 +158,22 @@ void
 FunctionalMemory::readBytes(Addr addr, std::uint8_t *out,
                             std::size_t len) const
 {
+    // Fast path for the miss pipeline: a whole cache block (32/64
+    // bytes, block-aligned so it never straddles a page) costs one
+    // probe and one fixed-size copy the compiler inlines.
+    const std::size_t off = static_cast<std::size_t>(
+        addr & static_cast<Addr>(pageBytes - 1));
+    if (off + len <= pageBytes && (len == 32 || len == 64)) {
+        const std::uint8_t *page = findPage(pageBase(addr));
+        if (!page)
+            std::memset(out, 0, len);
+        else if (len == 32)
+            __builtin_memcpy(out, page + off, 32);
+        else
+            __builtin_memcpy(out, page + off, 64);
+        return;
+    }
+
     std::size_t i = 0;
     while (i < len) {
         const Addr a = addr + i;
@@ -185,6 +201,19 @@ void
 FunctionalMemory::writeBytes(Addr addr, const std::uint8_t *data,
                              std::size_t len)
 {
+    // Fast path mirroring readBytes(): one probe, one fixed-size copy
+    // for block-granular transfers that stay within a page.
+    const std::size_t off = static_cast<std::size_t>(
+        addr & static_cast<Addr>(pageBytes - 1));
+    if (off + len <= pageBytes && (len == 32 || len == 64)) {
+        std::uint8_t *page = ensurePage(pageBase(addr));
+        if (len == 32)
+            __builtin_memcpy(page + off, data, 32);
+        else
+            __builtin_memcpy(page + off, data, 64);
+        return;
+    }
+
     std::size_t i = 0;
     while (i < len) {
         const Addr a = addr + i;

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * AVX2 way-compare kernel.
+ *
+ * This is the only translation unit compiled with -mavx2 (see
+ * src/CMakeLists.txt): everything else targets baseline x86-64, and the
+ * kernel is reached exclusively through the runtime dispatch in
+ * mem/simd.hh, so the binary stays runnable on CPUs without AVX2. Keep
+ * this file free of inline-able library code — any comdat function
+ * emitted here could be compiled with AVX2 encodings and picked by the
+ * linker for callers on the baseline path.
+ */
+
+#include "mem/simd.hh"
+
+#ifdef C8T_SIMD_X86_64
+
+#include <immintrin.h>
+
+namespace c8t::mem::simd
+{
+
+std::uint64_t
+matchBitsAvx2(const Addr *tags, std::uint32_t ways, Addr tag)
+{
+    const __m256i needle =
+        _mm256_set1_epi64x(static_cast<long long>(tag));
+    std::uint64_t m = 0;
+    std::uint32_t w = 0;
+    for (; w + 4 <= ways; w += 4) {
+        const __m256i row = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(tags + w));
+        const __m256i eq = _mm256_cmpeq_epi64(row, needle);
+        const int lanes =
+            _mm256_movemask_pd(_mm256_castsi256_pd(eq)); // 4 bits
+        m |= static_cast<std::uint64_t>(lanes) << w;
+    }
+    for (; w < ways; ++w)
+        m |= static_cast<std::uint64_t>(tags[w] == tag) << w;
+    return m;
+}
+
+} // namespace c8t::mem::simd
+
+#endif // C8T_SIMD_X86_64

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -68,9 +69,18 @@ class Distribution
             _underflow += n;
         } else if (v >= _max) {
             _overflow += n;
+        } else if (v == _lastValue) {
+            // Hot-path shortcut: consecutive samples are overwhelmingly
+            // the repeated common-case latency, so remembering the last
+            // value's bucket skips the FP divide. Bit-exact: the cached
+            // index is exactly what the divide below computed for this
+            // value.
+            _buckets[_lastBucket] += n;
         } else {
             auto idx = static_cast<std::size_t>((v - _min) / _width);
             idx = std::min(idx, _buckets.size() - 1);
+            _lastValue = v;
+            _lastBucket = idx;
             _buckets[idx] += n;
         }
     }
@@ -138,6 +148,13 @@ class Distribution
     double _sumSq = 0.0;
     double _minSeen = 0.0;
     double _maxSeen = 0.0;
+
+    /** Last in-range sample and its bucket (the bucket mapping is
+     *  fixed at construction, so the memo stays valid across reset()).
+     *  NaN compares unequal to everything, so the first sample always
+     *  takes the divide. */
+    double _lastValue = std::numeric_limits<double>::quiet_NaN();
+    std::size_t _lastBucket = 0;
 };
 
 } // namespace c8t::stats

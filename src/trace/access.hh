@@ -107,6 +107,31 @@ class AccessGenerator
      */
     virtual std::size_t fillChunk(MemAccess *dst, std::size_t n);
 
+    /**
+     * Zero-copy variant of fillChunk(): advance the stream by up to
+     * @p n accesses and return a pointer into generator-owned storage
+     * holding them, or nullptr when the generator cannot lend a view
+     * (the base implementation; callers then fall back to
+     * fillChunk()). A returned pointer stays valid until the next
+     * call that advances or resets the stream. The lent records are
+     * byte-identical to what fillChunk() would have copied out, so
+     * replay consumers (MultiSchemeRunner) skip one bulk copy per
+     * chunk with no observable difference.
+     *
+     * @param n   Maximum number of accesses to produce.
+     * @param got Set to the number of accesses in the returned view
+     *            (0 at end of stream); untouched when nullptr is
+     *            returned.
+     * @return Pointer to @p got consecutive records, or nullptr when
+     *         borrowing is unsupported.
+     */
+    virtual const MemAccess *borrowChunk(std::size_t n, std::size_t &got)
+    {
+        (void)n;
+        (void)got;
+        return nullptr;
+    }
+
     /** Restart the stream from the beginning (same seed, same content). */
     virtual void reset() = 0;
 

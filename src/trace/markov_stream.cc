@@ -130,6 +130,19 @@ MarkovStream::MarkovStream(StreamParams params)
     _gapZero = _params.memFraction >= 1.0;
     if (!_gapZero)
         _gapLogQ = std::log1p(-std::max(_params.memFraction, 1e-9));
+    // Hoist the per-access transition thresholds: each is the exact
+    // expression generate() historically evaluated per draw, computed
+    // once (bit-identical comparisons, divides paid at construction).
+    const double r = _params.readShare;
+    const double w = _params.writeShare();
+    _hasReadShare = r > 0.0;
+    _hasWriteShare = w > 0.0;
+    _rrGivenRead = _hasReadShare ? _params.rr / r : 0.0;
+    _rwGivenRead = _hasReadShare ? (_params.rr + _params.rw) / r : 0.0;
+    _wwGivenWrite = _hasWriteShare ? _params.ww / w : 0.0;
+    _wrGivenWrite =
+        _hasWriteShare ? (_params.ww + _params.wr) / w : 0.0;
+    _diffSetWriteProb = _params.diffSetWriteProb();
     buildPatterns();
 }
 
@@ -288,31 +301,29 @@ MarkovStream::generate(MemAccess &out)
                                                 : AccessType::Read;
         same_set = false;
     } else if (_prevType == AccessType::Read) {
-        const double r = _params.readShare;
         const double u = _rng.uniform();
-        if (r > 0.0 && u < _params.rr / r) {
+        if (_hasReadShare && u < _rrGivenRead) {
             cur = AccessType::Read;
             same_set = true;
-        } else if (r > 0.0 && u < (_params.rr + _params.rw) / r) {
+        } else if (_hasReadShare && u < _rwGivenRead) {
             cur = AccessType::Write;
             same_set = true;
         } else {
             same_set = false;
-            cur = _rng.chance(_params.diffSetWriteProb())
+            cur = _rng.chance(_diffSetWriteProb)
                       ? AccessType::Write : AccessType::Read;
         }
     } else {
-        const double w = _params.writeShare();
         const double u = _rng.uniform();
-        if (w > 0.0 && u < _params.ww / w) {
+        if (_hasWriteShare && u < _wwGivenWrite) {
             cur = AccessType::Write;
             same_set = true;
-        } else if (w > 0.0 && u < (_params.ww + _params.wr) / w) {
+        } else if (_hasWriteShare && u < _wrGivenWrite) {
             cur = AccessType::Read;
             same_set = true;
         } else {
             same_set = false;
-            cur = _rng.chance(_params.diffSetWriteProb())
+            cur = _rng.chance(_diffSetWriteProb)
                       ? AccessType::Write : AccessType::Read;
         }
     }

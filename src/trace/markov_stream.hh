@@ -210,6 +210,17 @@ class MarkovStream : public AccessGenerator
      *  Rng::geometricFromLog); _gapZero covers memFraction >= 1. */
     double _gapLogQ = 0.0;
     bool _gapZero = false;
+
+    /** Hoisted Markov transition thresholds (constructor): exactly the
+     *  per-draw expressions generate() historically computed, so the
+     *  comparisons — and hence the stream — are bit-identical. */
+    bool _hasReadShare = false;
+    bool _hasWriteShare = false;
+    double _rrGivenRead = 0.0;
+    double _rwGivenRead = 0.0;
+    double _wwGivenWrite = 0.0;
+    double _wrGivenWrite = 0.0;
+    double _diffSetWriteProb = 0.0;
 };
 
 /**

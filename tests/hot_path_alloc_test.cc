@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <memory>
@@ -164,6 +165,51 @@ TEST(HotPathAllocations, EventRingRecordingIsAllocationFree)
             << " heap allocations in " << kMeasure
             << " accesses with the event ring attached";
         EXPECT_GT(ring.recorded(), 0u) << toString(scheme);
+    }
+}
+
+TEST(HotPathAllocations, BatchedChunkPipelineIsAllocationFree)
+{
+    const auto stream = pregenerate(kWarmup + kMeasure);
+    constexpr std::size_t kChunk = 4096;
+
+    for (WriteScheme scheme :
+         {WriteScheme::SixTDirect, WriteScheme::Rmw,
+          WriteScheme::WriteGrouping,
+          WriteScheme::WriteGroupingReadBypass}) {
+        mem::FunctionalMemory memory;
+        memory.reserve(1u << 20);
+
+        ControllerConfig cfg;
+        cfg.scheme = scheme;
+        CacheController ctrl(cfg, memory);
+
+        // Drive the set-batched pipeline directly: plan each chunk,
+        // then apply it. The first planReplayChunk() sizes the plan
+        // scratch (set/tag/way/flags arrays and the per-set chains);
+        // after this warm-up pass the pipeline must never touch the
+        // heap again — the scratch is pre-sized and reused.
+        auto feed = [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; i += kChunk) {
+                const std::size_t n = std::min(kChunk, end - i);
+                const mem::ChunkPlan *plan =
+                    ctrl.planReplayChunk(stream.data() + i, n);
+                ASSERT_NE(plan, nullptr) << toString(scheme);
+                ctrl.accessChunk(stream.data() + i, n, plan);
+            }
+        };
+        feed(0, kWarmup);
+
+        const std::uint64_t before =
+            g_allocations.load(std::memory_order_relaxed);
+        feed(kWarmup, stream.size());
+        const std::uint64_t delta =
+            g_allocations.load(std::memory_order_relaxed) - before;
+
+        EXPECT_EQ(delta, 0u)
+            << toString(scheme) << ": " << delta
+            << " heap allocations in " << kMeasure
+            << " batched accesses";
     }
 }
 

@@ -3,9 +3,11 @@
 # tools/bench_report.sh) record-by-record and fail when throughput
 # regressed.
 #
-#   * sweep-engine records are matched on (kind, label, workers) and
-#     compared on accesses_per_sec — kind is "sweep" for plain sweeps
-#     and "vdd" for voltage-sweep records, so unlike kinds never pair,
+#   * JSON-lines records are matched on (kind, label, workers) and
+#     compared on accesses_per_sec — kind is "sweep" for plain sweeps,
+#     "vdd" for voltage-sweep records and "micro" for the way-compare
+#     microbenchmark rows, so unlike kinds never pair even when they
+#     share a label; a snapshot may mix any subset of kinds,
 #   * micro-benchmark entries are matched on name and compared on
 #     items_per_second (entries without an items/s rate, e.g. the
 #     SEC-DED codec rows, are compared on 1/real_time).
@@ -92,16 +94,26 @@ def rates(doc, path):
     """Map record key -> (rate, unit) for every comparable record."""
     out = {}
     for rec in doc.get("sweeps", []):
-        # Records carry a "kind" ("sweep", "vdd", ...); keying on it
-        # keeps e.g. a vdd record from pairing with a sweep record
-        # that happens to share a label. Legacy records have no kind
-        # field and keep their historical "sweep:" keys.
+        # Records carry a "kind" ("sweep", "vdd", "micro", ...);
+        # keying on it keeps e.g. a vdd record from pairing with a
+        # sweep record that happens to share a label. Legacy records
+        # have no kind field and keep their historical "sweep:" keys.
+        # Unknown future kinds compare fine as long as they carry the
+        # common accesses_per_sec rate field; ones that do not are
+        # reported (not silently dropped, not fatal).
         kind = rec.get("kind", "sweep")
         key = (f"{kind}:{rec.get('label', '?')}"
                f"/workers={rec.get('workers', '?')}")
         rate = rec.get("accesses_per_sec")
         if isinstance(rate, (int, float)) and rate > 0:
-            out[key] = (float(rate), "acc/s")
+            # Same-key repeats (a binary driving the same labelled
+            # sweep several times) keep the best run, matching the
+            # best-of-reps rule the micro rows use below.
+            if key not in out or float(rate) > out[key][0]:
+                out[key] = (float(rate), "acc/s")
+        else:
+            print(f"bench_diff: note: {path}: record {key} has no "
+                  f"accesses_per_sec rate; skipping it", file=sys.stderr)
     for rec in doc.get("micro", {}).get("benchmarks", []):
         if rec.get("run_type") == "aggregate":
             continue

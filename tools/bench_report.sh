@@ -3,7 +3,10 @@
 # snapshot of the simulator:
 #
 #   * bench/micro_perf in google-benchmark JSON format (per-access
-#     controller/generator costs and the whole-sweep throughput rows),
+#     controller/generator costs, the vectorized way-compare per
+#     dispatch level, and the whole-sweep throughput rows); the binary
+#     also appends one kind:"micro" JSON-lines record per supported
+#     SIMD level (way_compare:scalar|sse2|avx2, accesses_per_sec),
 #   * one parallel Fig. 9 sweep, timed by the sweep engine itself via
 #     C8T_BENCH_JSON (JSON-lines: workers, simulated accesses,
 #     accesses/sec),
@@ -64,11 +67,22 @@ fi
 
 # Five repetitions per benchmark: the short per-access rows are noisy
 # on small/shared machines, and bench_diff compares best-of-reps so
-# one quiet repetition is enough for a stable record.
+# one quiet repetition is enough for a stable record. Deliberately
+# run WITHOUT C8T_BENCH_JSON: BM_SweepThroughput drives the sweep
+# engine hundreds of times and every drive would append its own
+# kind:"sweep" row, drowning the snapshot in duplicates.
 "$build_dir/bench/micro_perf" \
     --benchmark_repetitions=5 \
     --benchmark_format=json --benchmark_out="$micro_json" \
     --benchmark_out_format=json
+
+# The kind:"micro" way-compare records (one per supported SIMD level,
+# self-timed) are appended by the binary regardless of the benchmark
+# filter, so a matches-nothing filter gets just the records into the
+# same JSON-lines file the sweeps use. bench_diff keys records on
+# (kind, label, workers), so the mixed kinds never cross-pair.
+C8T_BENCH_JSON="$sweep_jsonl" "$build_dir/bench/micro_perf" \
+    --benchmark_filter='^$' > /dev/null
 
 # A short parallel sweep; the engine appends its own perf record.
 C8T_BENCH_JSON="$sweep_jsonl" C8T_BENCH_ACCESSES=100000 \

@@ -3,7 +3,10 @@
 # builds and a Release performance smoke.
 #
 #   1. Configure + build the default tree and run the full ctest suite
-#      (this is the roadmap's tier-1 definition of "not broken").
+#      (this is the roadmap's tier-1 definition of "not broken"),
+#      then run it again with C8T_SIMD=scalar so the portable
+#      way-compare fallback stays exercised on hardware that would
+#      otherwise always dispatch to SSE2/AVX2.
 #   2. Configure + build an ASan/UBSan tree (-DC8T_ASAN=ON) and run the
 #      stream/cache/sweep/alloc tests under it. halt_on_error is the
 #      sanitizer default, so any heap misuse fails the script.
@@ -40,13 +43,17 @@ cmake -B "$repo_root/build" -S "$repo_root"
 cmake --build "$repo_root/build" -j "$jobs"
 ctest --test-dir "$repo_root/build" --output-on-failure -j "$jobs"
 
+echo "==== tier-1: full test suite, forced-scalar dispatch ===="
+C8T_SIMD=scalar \
+    ctest --test-dir "$repo_root/build" --output-on-failure -j "$jobs"
+
 echo "==== asan: build + stream/sweep/alloc tests ===="
 cmake -B "$repo_root/build-asan" -S "$repo_root" -DC8T_ASAN=ON
 cmake --build "$repo_root/build-asan" -j "$jobs" --target \
-    stream_identity_test sweep_test hot_path_alloc_test \
-    functional_mem_test
-for t in stream_identity_test sweep_test hot_path_alloc_test \
-         functional_mem_test; do
+    stream_identity_test simd_identity_test sweep_test \
+    hot_path_alloc_test functional_mem_test
+for t in stream_identity_test simd_identity_test sweep_test \
+         hot_path_alloc_test functional_mem_test; do
     echo "---- asan: $t ----"
     "$repo_root/build-asan/tests/$t"
 done
