@@ -109,6 +109,9 @@ usageText()
           "--interval accesses (JSON-lines)\n"
           "  --interval N        snapshot period in accesses "
           "(default 100000)\n"
+          "  --metrics-out FILE  write a Prometheus-style metrics "
+          "exposition (phase times, latency histograms, cache/worker "
+          "gauges); implies profiling (C8T_METRICS equivalent)\n"
           "  --progress          heartbeat sweep progress to stderr "
           "(C8T_PROGRESS equivalent)\n"
           "  --help\n"
@@ -208,6 +211,8 @@ parseOptions(const std::vector<std::string> &args)
             opt.chromeTraceFile = need_value(i++, a);
         } else if (a == "--trace-events") {
             opt.traceEvents = parseU64(a, need_value(i++, a));
+        } else if (a == "--metrics-out") {
+            opt.metricsOutFile = need_value(i++, a);
         } else if (a == "--interval-stats") {
             opt.intervalStatsFile = need_value(i++, a);
         } else if (a == "--interval") {

@@ -93,6 +93,11 @@ struct SimOptions
      *  the Chrome trace (--trace-events N; 0 = spans only). */
     std::uint64_t traceEvents = 0;
 
+    /** Write a Prometheus-style metrics exposition here
+     *  (--metrics-out FILE; empty = C8T_METRICS or off). Implies the
+     *  phase profiler. */
+    std::string metricsOutFile;
+
     /** Append interval counter-delta snapshots (JSON-lines) here
      *  (--interval-stats FILE; empty = off). */
     std::string intervalStatsFile;

@@ -6,7 +6,11 @@
 #include "core/simulator.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+
+#include "obs/metrics.hh"
+#include "obs/prof.hh"
 
 namespace c8t::core
 {
@@ -52,6 +56,9 @@ MultiSchemeRunner::replayWindow(trace::AccessGenerator &gen,
                                 std::uint64_t accesses, bool measured)
 {
     const bool hooked = measured && _intervalAccesses && _intervalHook;
+    // One atomic read per window, not per chunk; the scopes below are
+    // completely inert (no clock read) when the profiler is off.
+    const bool prof_on = obs::prof::enabled();
 
     std::uint64_t done = 0;
     while (done < accesses) {
@@ -67,15 +74,23 @@ MultiSchemeRunner::replayWindow(trace::AccessGenerator &gen,
         // Prefer a zero-copy view (ReplayGenerator lends its buffer);
         // fall back to copying into the local chunk otherwise.
         std::size_t got = 0;
-        const trace::MemAccess *chunk =
-            gen.borrowChunk(static_cast<std::size_t>(want), got);
-        if (!chunk) {
-            got = gen.fillChunk(_chunk.data(),
-                                static_cast<std::size_t>(want));
-            chunk = _chunk.data();
+        const trace::MemAccess *chunk = nullptr;
+        {
+            const obs::prof::ScopedPhase gen_scope(
+                obs::prof::Phase::StreamGenerate, prof_on);
+            chunk = gen.borrowChunk(static_cast<std::size_t>(want), got);
+            if (!chunk) {
+                got = gen.fillChunk(_chunk.data(),
+                                    static_cast<std::size_t>(want));
+                chunk = _chunk.data();
+            }
         }
         if (got == 0)
             break;
+
+        std::chrono::steady_clock::time_point chunk_t0;
+        if (prof_on)
+            chunk_t0 = std::chrono::steady_clock::now();
 
         // Controllers are fully independent (each owns its memory), so
         // feeding them one after the other from the flat chunk is
@@ -85,15 +100,28 @@ MultiSchemeRunner::replayWindow(trace::AccessGenerator &gen,
         // plan: their tag trajectories are identical, so the tag
         // compares and replacement arithmetic run once per shape, not
         // once per scheme.
-        for (std::size_t i = 0; i < _controllers.size(); ++i) {
-            const mem::ChunkPlan *plan = nullptr;
-            if (_planLeader[i] == i) {
-                plan = _controllers[i]->planReplayChunk(chunk, got);
-                _leaderPlan[i] = plan;
-            } else {
-                plan = _leaderPlan[_planLeader[i]];
+        {
+            const obs::prof::ScopedPhase replay_scope(
+                obs::prof::Phase::Replay, prof_on);
+            for (std::size_t i = 0; i < _controllers.size(); ++i) {
+                const mem::ChunkPlan *plan = nullptr;
+                if (_planLeader[i] == i) {
+                    const obs::prof::ScopedPhase plan_scope(
+                        obs::prof::Phase::Plan, prof_on);
+                    plan = _controllers[i]->planReplayChunk(chunk, got);
+                    _leaderPlan[i] = plan;
+                } else {
+                    plan = _leaderPlan[_planLeader[i]];
+                }
+                _controllers[i]->accessChunk(chunk, got, plan);
             }
-            _controllers[i]->accessChunk(chunk, got, plan);
+        }
+        if (prof_on) {
+            obs::globalMetrics().recordChunkReplayNs(
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - chunk_t0)
+                        .count()));
         }
 
         done += got;
@@ -115,13 +143,19 @@ MultiSchemeRunner::run(trace::AccessGenerator &gen, const RunConfig &run)
         ctrl->resetStats();
 
     replayWindow(gen, run.measureAccesses, true);
-    for (auto &ctrl : _controllers)
-        ctrl->drain();
 
     std::vector<SchemeRunResult> results;
-    results.reserve(_controllers.size());
-    for (auto &ctrl : _controllers)
-        results.push_back(snapshotResult(gen.name(), *ctrl));
+    {
+        // Drain + result materialization is where the deferred energy
+        // event counters turn into joules — the "energy" phase.
+        const obs::prof::ScopedPhase energy_scope(
+            obs::prof::Phase::Energy);
+        for (auto &ctrl : _controllers)
+            ctrl->drain();
+        results.reserve(_controllers.size());
+        for (auto &ctrl : _controllers)
+            results.push_back(snapshotResult(gen.name(), *ctrl));
+    }
     return results;
 }
 

@@ -10,6 +10,8 @@
 #include <iostream>
 #include <stdexcept>
 
+#include "obs/prof.hh"
+
 namespace c8t::core
 {
 
@@ -165,6 +167,11 @@ StreamCache::acquire(const std::string &key, std::uint64_t accesses,
 
     // Miss (or a shorter buffer than this request needs): build the
     // workload and capture the whole requested window in one pass.
+    // This is the bulk of the process's stream-generation time, so it
+    // carries the StreamGenerate phase scope (replays out of the
+    // buffer are near-free and show up under Replay instead).
+    const obs::prof::ScopedPhase gen_scope(
+        obs::prof::Phase::StreamGenerate);
     const std::unique_ptr<trace::AccessGenerator> gen = make();
     if (!gen)
         throw std::invalid_argument("StreamCache: factory returned null");

@@ -20,6 +20,8 @@
 
 #include "core/stream_cache.hh"
 #include "obs/chrome_trace.hh"
+#include "obs/metrics.hh"
+#include "obs/prof.hh"
 #include "stats/json.hh"
 #include "trace/markov_stream.hh"
 #include "trace/spec_profiles.hh"
@@ -49,12 +51,19 @@ executeJob(const SweepJob &job, const RunConfig &rc)
         throw std::invalid_argument("SweepJob: no configs");
 
     std::unique_ptr<trace::AccessGenerator> gen;
-    if (!job.streamKey.empty()) {
-        gen = globalStreamCache().acquire(
-            job.streamKey, rc.warmupAccesses + rc.measureAccesses,
-            job.makeGenerator);
-    } else {
-        gen = job.makeGenerator();
+    {
+        // Covers cache-hit buffer handoff and lock waits too; the
+        // generation proper (inside acquire, or lazily in fillChunk)
+        // carries its own nested scope of the same phase.
+        const obs::prof::ScopedPhase gen_scope(
+            obs::prof::Phase::StreamGenerate);
+        if (!job.streamKey.empty()) {
+            gen = globalStreamCache().acquire(
+                job.streamKey, rc.warmupAccesses + rc.measureAccesses,
+                job.makeGenerator);
+        } else {
+            gen = job.makeGenerator();
+        }
     }
     MultiSchemeRunner runner(job.configs);
     if (job.prepare)
@@ -65,7 +74,7 @@ executeJob(const SweepJob &job, const RunConfig &rc)
     return results;
 }
 
-/** One job's wall-clock span, for the Chrome trace. */
+/** One job's wall-clock span, for the Chrome trace and profiling. */
 struct JobSpan
 {
     double startUs = 0.0;
@@ -73,20 +82,39 @@ struct JobSpan
     unsigned worker = 0;
     std::size_t configRuns = 0;
     double vdd = 0.0;
+    obs::prof::PhaseTimes phases; ///< self-times, profiler on only
 };
+
+/** Copy core StreamCache counters into the obs push-model mirror. */
+obs::Metrics::StreamCacheStats
+streamCacheSnapshot()
+{
+    const StreamCache::Stats s = globalStreamCache().stats();
+    obs::Metrics::StreamCacheStats out;
+    out.hits = s.hits;
+    out.misses = s.misses;
+    out.bypasses = s.bypasses;
+    out.evictions = s.evictions;
+    out.entries = s.entries;
+    out.bytes = s.bytes;
+    return out;
+}
 
 /**
  * Shared heartbeat state. Workers call noteJobDone() after every job;
- * a throttled progress line (and always the final one) goes to
- * stderr.
+ * the progress gauges (jobs done, jobs/s, ETA, queue depth) and the
+ * StreamCache mirror in obs::Metrics are refreshed every time, and a
+ * throttled progress line (always including the final one) goes to
+ * stderr when enabled.
  */
 class Heartbeat
 {
   public:
     Heartbeat(bool enabled, const std::string &label, std::size_t jobs,
-              std::uint64_t accesses_per_job, Clock::time_point t0)
+              std::uint64_t accesses_per_job, unsigned workers,
+              Clock::time_point t0)
         : _enabled(enabled), _label(label), _jobs(jobs),
-          _accessesPerJob(accesses_per_job), _t0(t0)
+          _accessesPerJob(accesses_per_job), _workers(workers), _t0(t0)
     {
     }
 
@@ -94,10 +122,33 @@ class Heartbeat
     {
         const std::size_t done =
             _done.fetch_add(1, std::memory_order_relaxed) + 1;
+        const auto now = Clock::now();
+        const double elapsed =
+            std::chrono::duration<double>(now - _t0).count();
+        const double jobs_per_s =
+            elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+        const double eta =
+            done ? elapsed * static_cast<double>(_jobs - done) /
+                       static_cast<double>(done)
+                 : 0.0;
+
+        // Keep the process-wide gauges fresh even with the stderr
+        // line off: a --metrics-out / C8T_METRICS consumer watching
+        // the exposition file sees live progress either way.
+        obs::Metrics::SweepSnapshot snap;
+        snap.jobsDone = done;
+        snap.jobsTotal = _jobs;
+        snap.queueDepth = _jobs - done;
+        snap.jobsPerSec = jobs_per_s;
+        snap.etaSeconds = eta;
+        snap.workers = _workers;
+        obs::globalMetrics().noteSweep(snap);
+        const obs::Metrics::StreamCacheStats cache =
+            streamCacheSnapshot();
+        obs::globalMetrics().setStreamCache(cache);
+
         if (!_enabled)
             return;
-
-        const auto now = Clock::now();
         {
             const std::lock_guard<std::mutex> lock(_mutex);
             // Throttle to ~2 lines/s, but always print the last job.
@@ -106,22 +157,17 @@ class Heartbeat
             _lastPrint = now;
         }
 
-        const double elapsed =
-            std::chrono::duration<double>(now - _t0).count();
         const double simulated = static_cast<double>(done) *
                                  static_cast<double>(_accessesPerJob);
         const double rate = elapsed > 0.0 ? simulated / elapsed : 0.0;
-        const double eta =
-            done ? elapsed * static_cast<double>(_jobs - done) /
-                       static_cast<double>(done)
-                 : 0.0;
 
-        char line[192];
+        char line[256];
         std::snprintf(line, sizeof(line),
                       "[sweep %s] %zu/%zu jobs  %.2fs elapsed  "
-                      "%.2fM acc/s  ETA %.0fs\n",
+                      "%.2fM acc/s  %.2f jobs/s  ETA %.0fs  "
+                      "cache-hit %.0f%%\n",
                       _label.c_str(), done, _jobs, elapsed, rate / 1e6,
-                      eta);
+                      jobs_per_s, eta, 100.0 * cache.hitRate());
         std::cerr << line;
     }
 
@@ -130,6 +176,7 @@ class Heartbeat
     const std::string &_label;
     const std::size_t _jobs;
     const std::uint64_t _accessesPerJob;
+    const unsigned _workers;
     const Clock::time_point _t0;
     std::atomic<std::size_t> _done{0};
     std::mutex _mutex;
@@ -137,11 +184,17 @@ class Heartbeat
     static constexpr std::chrono::milliseconds _minGap{500};
 };
 
-/** Append one JSON-lines perf record when C8T_BENCH_JSON is set. */
+/**
+ * Append one JSON-lines perf record when C8T_BENCH_JSON is set.
+ * @p phases, when non-null, adds a "phases" block (per-phase self
+ * time in seconds, plus their total) so tools/bench_diff.sh can
+ * attribute a throughput change to the phase that moved.
+ */
 void
 emitBenchJson(const std::string &label,
               const std::vector<std::vector<SchemeRunResult>> &results,
-              const RunConfig &rc, unsigned workers, double wall_seconds)
+              const RunConfig &rc, unsigned workers, double wall_seconds,
+              const obs::prof::PhaseTimes *phases)
 {
     const char *path = std::getenv("C8T_BENCH_JSON");
     if (!path || !*path)
@@ -175,8 +228,23 @@ emitBenchJson(const std::string &label,
        << ",\"simulated_accesses\":" << static_cast<std::uint64_t>(simulated)
        << ",\"wall_seconds\":" << wall_seconds
        << ",\"accesses_per_sec\":"
-       << (wall_seconds > 0.0 ? simulated / wall_seconds : 0.0)
-       << "}\n";
+       << (wall_seconds > 0.0 ? simulated / wall_seconds : 0.0);
+    if (phases) {
+        os << ",\"phases\":{";
+        for (std::size_t i = 0; i < obs::prof::kNumPhases; ++i) {
+            os << "\""
+               << obs::prof::toString(static_cast<obs::prof::Phase>(i))
+               << "\":";
+            stats::jsonNumber(os, static_cast<double>(phases->ns[i]) *
+                                      1e-9);
+            os << ",";
+        }
+        os << "\"total\":";
+        stats::jsonNumber(os,
+                          static_cast<double>(phases->totalNs()) * 1e-9);
+        os << "}";
+    }
+    os << "}\n";
 }
 
 /**
@@ -207,6 +275,27 @@ emitTraceSpans(const std::string &label,
         trace->completeEvent(label + "/job" + std::to_string(i), "sweep",
                              pid, static_cast<int>(s.worker) + 1,
                              s.startUs, s.endUs - s.startUs, args.str());
+
+        // Phase sub-spans (profiler on only): each job's per-phase
+        // self times, laid out back-to-back from the job's start so
+        // they nest under its span. The layout is an aggregate — a
+        // phase's real occurrences interleave within the job — but
+        // the proportions and totals are exact.
+        if (s.phases.empty())
+            continue;
+        double cursor = s.startUs;
+        for (std::size_t p = 0; p < obs::prof::kNumPhases; ++p) {
+            const double dur_us =
+                static_cast<double>(s.phases.ns[p]) / 1000.0;
+            if (dur_us <= 0.0)
+                continue;
+            trace->completeEvent(
+                std::string("phase:") +
+                    obs::prof::toString(static_cast<obs::prof::Phase>(p)),
+                "phase", pid, static_cast<int>(s.worker) + 1, cursor,
+                dur_us);
+            cursor += dur_us;
+        }
     }
 }
 
@@ -242,6 +331,13 @@ ParallelSweeper::run(const std::vector<SweepJob> &jobs, const RunConfig &rc,
                      const std::string &label) const
 {
     const auto t0 = Clock::now();
+    const bool prof_on = obs::prof::enabled();
+    if (prof_on) {
+        // Flush whatever phase time this thread accumulated before
+        // the sweep into the process rollup, so the inline path's
+        // first per-job delta below starts from zero.
+        obs::globalMetrics().addPhaseTimes(obs::prof::takeThreadTimes());
+    }
     std::vector<std::vector<SchemeRunResult>> results(jobs.size());
     std::vector<JobSpan> spans(jobs.size());
 
@@ -251,11 +347,11 @@ ParallelSweeper::run(const std::vector<SweepJob> &jobs, const RunConfig &rc,
             accesses_per_job,
             job.configs.size() * (rc.warmupAccesses + rc.measureAccesses));
     }
-    Heartbeat heartbeat(_progress, label, jobs.size(), accesses_per_job,
-                        t0);
-
     const unsigned pool =
         static_cast<unsigned>(std::min<std::size_t>(_workers, jobs.size()));
+
+    Heartbeat heartbeat(_progress, label, jobs.size(), accesses_per_job,
+                        pool ? pool : 1, t0);
 
     const auto run_one = [&](std::size_t i, unsigned worker) {
         spans[i].worker = worker;
@@ -264,6 +360,14 @@ ParallelSweeper::run(const std::vector<SweepJob> &jobs, const RunConfig &rc,
         results[i] = executeJob(jobs[i], rc);
         spans[i].endUs = usSince(t0, Clock::now());
         spans[i].configRuns = results[i].size();
+        if (prof_on) {
+            // Nothing else ran on this thread since the previous
+            // take, so the thread-local delta is exactly this job's.
+            spans[i].phases = obs::prof::takeThreadTimes();
+            obs::globalMetrics().recordJobWallNs(
+                static_cast<std::uint64_t>(
+                    (spans[i].endUs - spans[i].startUs) * 1000.0));
+        }
         heartbeat.noteJobDone();
     };
 
@@ -305,8 +409,31 @@ ParallelSweeper::run(const std::vector<SweepJob> &jobs, const RunConfig &rc,
 
     const double wall =
         std::chrono::duration<double>(Clock::now() - t0).count();
-    emitBenchJson(label, results, rc, pool ? pool : 1, wall);
+
+    obs::prof::PhaseTimes run_phases;
+    if (prof_on) {
+        const unsigned tracks = pool ? pool : 1;
+        std::vector<double> busy(tracks, 0.0);
+        std::vector<std::uint64_t> worker_jobs(tracks, 0);
+        for (const JobSpan &s : spans) {
+            run_phases.add(s.phases);
+            busy[s.worker] += (s.endUs - s.startUs) * 1e-6;
+            ++worker_jobs[s.worker];
+        }
+        obs::globalMetrics().addPhaseTimes(run_phases);
+        for (unsigned w = 0; w < tracks; ++w) {
+            obs::globalMetrics().noteWorker(
+                w, busy[w], std::max(0.0, wall - busy[w]),
+                worker_jobs[w]);
+        }
+    }
+
+    emitBenchJson(label, results, rc, pool ? pool : 1, wall,
+                  prof_on ? &run_phases : nullptr);
     emitTraceSpans(label, spans, pool ? pool : 1);
+    // Keep the exposition file fresh after every run (no-op when no
+    // metrics path is configured).
+    obs::writeGlobalMetrics();
     return results;
 }
 

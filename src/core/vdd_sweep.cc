@@ -17,6 +17,8 @@
 #include <utility>
 
 #include "core/policies.hh"
+#include "obs/metrics.hh"
+#include "obs/prof.hh"
 #include "sram/energy.hh"
 #include "stats/json.hh"
 
@@ -64,7 +66,8 @@ geometryFor(const VddSweepSpec &spec, WriteScheme scheme)
 void
 emitVddBenchJson(const std::string &label, const VddSweepResult &result,
                  const RunConfig &rc, unsigned workers,
-                 double wall_seconds)
+                 double wall_seconds,
+                 const obs::prof::PhaseTimes *phases)
 {
     const char *path = std::getenv("C8T_BENCH_JSON");
     if (!path || !*path)
@@ -106,7 +109,23 @@ emitVddBenchJson(const std::string &label, const VddSweepResult &result,
         stats::jsonNumber(os, c.minVdd);
         first = false;
     }
-    os << "}}\n";
+    os << "}";
+    if (phases) {
+        os << ",\"phases\":{";
+        for (std::size_t i = 0; i < obs::prof::kNumPhases; ++i) {
+            os << "\""
+               << obs::prof::toString(static_cast<obs::prof::Phase>(i))
+               << "\":";
+            stats::jsonNumber(os, static_cast<double>(phases->ns[i]) *
+                                      1e-9);
+            os << ",";
+        }
+        os << "\"total\":";
+        stats::jsonNumber(os,
+                          static_cast<double>(phases->totalNs()) * 1e-9);
+        os << "}";
+    }
+    os << "}\n";
 }
 
 } // anonymous namespace
@@ -154,6 +173,8 @@ VddSweepResult::registerStats(stats::Registry &reg)
 void
 VddSweepResult::dumpJson(std::ostream &os) const
 {
+    const obs::prof::ScopedPhase serialize_scope(
+        obs::prof::Phase::Serialize);
     os << "{\"schema_version\":" << stats::Registry::kJsonSchemaVersion
        << ",\"kind\":\"vdd_sweep\""
        << ",\"workload\":\"" << stats::jsonEscape(workload) << "\""
@@ -215,6 +236,15 @@ runVddSweep(const VddSweepSpec &spec, const RunConfig &rc, unsigned workers)
 {
     validate(spec);
     const auto t0 = std::chrono::steady_clock::now();
+    const bool prof_on = obs::prof::enabled();
+    obs::prof::PhaseTimes phases_before;
+    if (prof_on) {
+        // The sweep's phase block is the delta of the process rollup
+        // across this call; flush this thread so earlier activity is
+        // not charged to it (worker threads flush per job).
+        obs::globalMetrics().addPhaseTimes(obs::prof::takeThreadTimes());
+        phases_before = obs::globalMetrics().phaseTimes();
+    }
     const sram::VddModel model(spec.model);
 
     // One job per grid point; every job replays the identical stream
@@ -269,6 +299,8 @@ runVddSweep(const VddSweepSpec &spec, const RunConfig &rc, unsigned workers)
         fmc.rows = spec.faultRows;
         fmc.wordsPerRow = words_per_row;
         fmc.degree = degree;
+        const obs::prof::ScopedPhase fault_scope(
+            obs::prof::Phase::FaultMap);
         return fault_memo[key] = sram::runFaultMapCampaign(fmc);
     };
 
@@ -334,8 +366,23 @@ runVddSweep(const VddSweepSpec &spec, const RunConfig &rc, unsigned workers)
     const double wall = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t0)
                             .count();
+    obs::prof::PhaseTimes run_phases;
+    if (prof_on) {
+        // Fold in the main-thread work (fault maps, curve assembly)
+        // and diff against the snapshot taken at entry.
+        obs::globalMetrics().addPhaseTimes(obs::prof::takeThreadTimes());
+        const obs::prof::PhaseTimes after =
+            obs::globalMetrics().phaseTimes();
+        for (std::size_t i = 0; i < obs::prof::kNumPhases; ++i) {
+            run_phases.ns[i] = after.ns[i] - phases_before.ns[i];
+            run_phases.scopes[i] =
+                after.scopes[i] - phases_before.scopes[i];
+        }
+    }
     emitVddBenchJson("vdd_sweep:" + result.workload, result, rc,
-                     sweeper.workers(), wall);
+                     sweeper.workers(), wall,
+                     prof_on ? &run_phases : nullptr);
+    obs::writeGlobalMetrics();
     return result;
 }
 

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Histogram quantile walk and reset.
+ */
+
+#include "obs/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace c8t::obs
+{
+
+std::uint64_t
+Histogram::quantile(double q) const
+{
+    if (!_count)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the q-th smallest recording, 1-based; q=1 -> count.
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(_count))));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        cum += _counts[i];
+        if (cum >= rank)
+            return std::min(bucketUpperBound(i), _max);
+    }
+    return _max; // unreachable: cum == _count after the loop
+}
+
+void
+Histogram::reset()
+{
+    std::memset(_counts, 0, sizeof(_counts));
+    _count = 0;
+    _sum = 0;
+    _max = 0;
+    _min = std::numeric_limits<std::uint64_t>::max();
+}
+
+} // namespace c8t::obs

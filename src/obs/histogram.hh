@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Fixed-size log-bucketed latency histogram (HDR style).
+ *
+ * Averages hide tails: a speculation-failure replay cost or a
+ * stream-cache-miss job shows up at p99, not in the mean. Histogram
+ * records unsigned 64-bit values (the codebase uses nanoseconds)
+ * into a fixed array of buckets whose width grows with magnitude:
+ * values below 16 get exact unit buckets; above that each power-of-2
+ * octave is split into 16 sub-buckets, bounding the relative error
+ * of any reported bound at 1/16 (6.25 %) while keeping the whole
+ * structure at 976 buckets (~15 KiB) — no allocation ever, so
+ * record() is safe on the counting-allocator-guarded hot path and
+ * cheap enough to call once per replayed chunk.
+ *
+ * Counts, sum, min and max are exact; quantile(q) returns the upper
+ * bound of the bucket holding the q-th recorded value (an upper
+ * bound on the true quantile, clamped to the exact max). The class
+ * is not thread-safe; obs::Metrics serialises access to the shared
+ * instances.
+ */
+
+#ifndef C8T_OBS_HISTOGRAM_HH
+#define C8T_OBS_HISTOGRAM_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace c8t::obs
+{
+
+/** Log-bucketed value distribution with exact count/sum/min/max. */
+class Histogram
+{
+  public:
+    /// Sub-buckets per octave; also the size of the exact region.
+    static constexpr std::size_t kSubBuckets = 16;
+    /// Octaves above the exact region: bit widths 5..64.
+    static constexpr std::size_t kOctaves = 60;
+    static constexpr std::size_t kBuckets =
+        kSubBuckets + kOctaves * kSubBuckets; // 976
+
+    /** Bucket index for @p v (total order, contiguous from 0). */
+    static constexpr std::size_t bucketIndex(std::uint64_t v)
+    {
+        if (v < kSubBuckets)
+            return static_cast<std::size_t>(v);
+        const unsigned shift =
+            static_cast<unsigned>(std::bit_width(v)) - 5;
+        return kSubBuckets * static_cast<std::size_t>(shift) +
+               static_cast<std::size_t>(v >> shift);
+    }
+
+    /** Smallest value mapping to bucket @p i. */
+    static constexpr std::uint64_t bucketLowerBound(std::size_t i)
+    {
+        if (i < 2 * kSubBuckets)
+            return static_cast<std::uint64_t>(i);
+        const unsigned octave =
+            static_cast<unsigned>(i / kSubBuckets) - 1;
+        const std::uint64_t sub = kSubBuckets + i % kSubBuckets;
+        return sub << octave;
+    }
+
+    /** Largest value mapping to bucket @p i. */
+    static constexpr std::uint64_t bucketUpperBound(std::size_t i)
+    {
+        if (i + 1 >= kBuckets)
+            return std::numeric_limits<std::uint64_t>::max();
+        return bucketLowerBound(i + 1) - 1;
+    }
+
+    void record(std::uint64_t v)
+    {
+        ++_counts[bucketIndex(v)];
+        ++_count;
+        _sum += v;
+        if (v > _max)
+            _max = v;
+        if (v < _min)
+            _min = v;
+    }
+
+    std::uint64_t count() const { return _count; }
+    std::uint64_t sum() const { return _sum; }
+    std::uint64_t max() const { return _count ? _max : 0; }
+    std::uint64_t min() const { return _count ? _min : 0; }
+    double mean() const
+    {
+        return _count ? static_cast<double>(_sum) /
+                            static_cast<double>(_count)
+                      : 0.0;
+    }
+
+    /**
+     * Upper bound on the @p q quantile (0 < q <= 1) of the recorded
+     * values: the upper bound of the bucket containing the
+     * ceil(q*count)-th smallest recording, clamped to the exact
+     * maximum. Returns 0 when empty.
+     */
+    std::uint64_t quantile(double q) const;
+
+    /** Exact count of recordings that fell into bucket @p i. */
+    std::uint64_t bucketCount(std::size_t i) const { return _counts[i]; }
+
+    void reset();
+
+  private:
+    std::uint64_t _counts[kBuckets] = {};
+    std::uint64_t _count = 0;
+    std::uint64_t _sum = 0;
+    std::uint64_t _max = 0;
+    std::uint64_t _min = std::numeric_limits<std::uint64_t>::max();
+};
+
+} // namespace c8t::obs
+
+#endif // C8T_OBS_HISTOGRAM_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Phase profiler: process-global switch and thread-local storage.
+ */
+
+#include "obs/prof.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace c8t::obs::prof
+{
+
+namespace
+{
+
+/**
+ * Default from the environment: C8T_PROF=<non-zero> turns the
+ * profiler on directly; a metrics output path (C8T_METRICS) implies
+ * it, since an exposition file without phase times would be empty of
+ * its main payload.
+ */
+bool
+envEnabled()
+{
+    if (const char *env = std::getenv("C8T_PROF");
+        env && *env && std::strcmp(env, "0") != 0)
+        return true;
+    if (const char *env = std::getenv("C8T_METRICS"); env && *env)
+        return true;
+    return false;
+}
+
+} // anonymous namespace
+
+namespace detail
+{
+
+std::atomic<bool> g_enabled{envEnabled()};
+
+ThreadState &
+threadState()
+{
+    thread_local ThreadState state;
+    return state;
+}
+
+} // namespace detail
+
+const char *
+toString(Phase p)
+{
+    switch (p) {
+    case Phase::StreamGenerate: return "stream_generate";
+    case Phase::Plan:           return "plan";
+    case Phase::Replay:         return "replay";
+    case Phase::Energy:         return "energy";
+    case Phase::FaultMap:       return "fault_map";
+    case Phase::Serialize:      return "serialize";
+    }
+    return "?";
+}
+
+void
+setEnabled(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+PhaseTimes
+threadTimes()
+{
+    return detail::threadState().times;
+}
+
+PhaseTimes
+takeThreadTimes()
+{
+    detail::ThreadState &s = detail::threadState();
+    const PhaseTimes out = s.times;
+    s.times = PhaseTimes{};
+    return out;
+}
+
+} // namespace c8t::obs::prof

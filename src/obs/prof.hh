@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Self-profiling phase timers for the sweep pipeline.
+ *
+ * A sweep job's wall time decomposes into six phases — stream
+ * generation, chunk planning, replay, energy/stats materialization,
+ * fault-map campaigns and serialization — and the scaling work ahead
+ * (the design-space explorer, the c8td daemon) needs that breakdown
+ * without attaching an external profiler. prof::ScopedPhase is an
+ * RAII scope placed at each phase boundary; scopes nest, and time is
+ * attributed as *self time*: entering an inner scope accrues the
+ * elapsed slice to the outer phase first, so the six buckets
+ * partition the instrumented span without double counting. Each
+ * boundary costs exactly one steady_clock read.
+ *
+ * The profiler is process-global and off by default. When disabled a
+ * scope is two branches and no clock read, no allocation and no
+ * shared-state traffic — cheap enough to leave compiled into the
+ * per-chunk hot path (tests/hot_path_alloc_test.cc enforces the
+ * zero-alloc half, tests/metrics_test.cc the changes-nothing half).
+ * Enable with C8T_PROF=1, by setting a metrics output path
+ * (C8T_METRICS / --metrics-out), or programmatically via
+ * setEnabled().
+ *
+ * Accumulation is thread-local. The sweep engine snapshots the
+ * calling thread's accumulator after every job (takeThreadTimes()),
+ * attributes the delta to that job, and rolls the totals up into the
+ * process-wide obs::Metrics registry; code that drives
+ * MultiSchemeRunner directly flushes the same way when it is done.
+ */
+
+#ifndef C8T_OBS_PROF_HH
+#define C8T_OBS_PROF_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace c8t::obs::prof
+{
+
+/** The pipeline phase taxonomy (DESIGN.md §11). */
+enum class Phase : std::uint8_t {
+    StreamGenerate, ///< synthetic trace generation / stream-cache fill
+    Plan,           ///< set-batched chunk planning (TagArray::planChunk)
+    Replay,         ///< per-access replay through the controllers
+    Energy,         ///< drain + energy/stats materialization
+    FaultMap,       ///< Monte-Carlo fault-map campaigns (Vdd sweeps)
+    Serialize,      ///< JSON/table/trace output
+};
+
+inline constexpr std::size_t kNumPhases = 6;
+
+/** Stable lower-case name ("stream_generate", ...), for export keys. */
+const char *toString(Phase p);
+
+/** Per-phase self-time accumulator (nanoseconds + scope entries). */
+struct PhaseTimes
+{
+    std::uint64_t ns[kNumPhases] = {};
+    std::uint64_t scopes[kNumPhases] = {};
+
+    void add(const PhaseTimes &other)
+    {
+        for (std::size_t i = 0; i < kNumPhases; ++i) {
+            ns[i] += other.ns[i];
+            scopes[i] += other.scopes[i];
+        }
+    }
+
+    std::uint64_t totalNs() const
+    {
+        std::uint64_t total = 0;
+        for (std::uint64_t v : ns)
+            total += v;
+        return total;
+    }
+
+    bool empty() const
+    {
+        for (std::size_t i = 0; i < kNumPhases; ++i)
+            if (ns[i] || scopes[i])
+                return false;
+        return true;
+    }
+};
+
+namespace detail
+{
+
+extern std::atomic<bool> g_enabled;
+
+/** Per-thread accumulator plus the currently-open phase. */
+struct ThreadState
+{
+    PhaseTimes times;
+    int active = -1; ///< index of the innermost open phase, -1 = none
+    std::chrono::steady_clock::time_point stamp{};
+};
+
+ThreadState &threadState();
+
+inline std::uint64_t
+nsBetween(std::chrono::steady_clock::time_point a,
+          std::chrono::steady_clock::time_point b)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+            .count());
+}
+
+} // namespace detail
+
+/** Whether phase scopes currently record (relaxed atomic read). */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** Turn recording on/off process-wide (tests, --metrics-out). */
+void setEnabled(bool on);
+
+/** Copy of the calling thread's accumulator. */
+PhaseTimes threadTimes();
+
+/**
+ * Copy-and-reset the calling thread's accumulator. Call between
+ * units of work (the sweep engine calls it after every job) with no
+ * scope open on this thread.
+ */
+PhaseTimes takeThreadTimes();
+
+/**
+ * RAII phase scope. One steady_clock read on entry, one on exit;
+ * nothing at all when the profiler is disabled. Scopes nest freely
+ * (self-time attribution); they must be destroyed in LIFO order,
+ * which stack scoping guarantees.
+ */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(Phase p) : ScopedPhase(p, enabled()) {}
+
+    /**
+     * @param active Caller-hoisted enabled() value, so a loop that
+     *               opens many scopes reads the atomic once.
+     */
+    ScopedPhase(Phase p, bool active)
+    {
+        if (!active) {
+            _state = nullptr;
+            return;
+        }
+        detail::ThreadState &s = detail::threadState();
+        const auto now = std::chrono::steady_clock::now();
+        if (s.active >= 0)
+            s.times.ns[s.active] += detail::nsBetween(s.stamp, now);
+        _state = &s;
+        _parent = s.active;
+        _phase = static_cast<int>(p);
+        s.active = _phase;
+        s.stamp = now;
+        ++s.times.scopes[_phase];
+    }
+
+    ~ScopedPhase()
+    {
+        if (!_state)
+            return;
+        const auto now = std::chrono::steady_clock::now();
+        _state->times.ns[_phase] += detail::nsBetween(_state->stamp, now);
+        _state->active = _parent;
+        _state->stamp = now;
+    }
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    detail::ThreadState *_state;
+    int _parent = -1;
+    int _phase = 0;
+};
+
+} // namespace c8t::obs::prof
+
+#endif // C8T_OBS_PROF_HH

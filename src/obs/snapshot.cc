@@ -26,10 +26,15 @@ IntervalSnapshotter::sample(std::uint64_t access_index)
 {
     // Render outside the stream lock so contention stays on the
     // write, not the formatting.
+    const std::uint64_t elapsed_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - _t0)
+            .count());
     std::ostringstream line;
     line << "{\"kind\":\"interval\",\"label\":\""
          << stats::jsonEscape(_label) << "\",\"sample\":" << _samples
-         << ",\"access\":" << access_index << ",\"deltas\":{";
+         << ",\"access\":" << access_index
+         << ",\"elapsed_us\":" << elapsed_us << ",\"deltas\":{";
     bool first = true;
     for (std::size_t i = 0; i < _counters.size(); ++i) {
         const std::uint64_t now = _counters[i]->value();

@@ -11,7 +11,12 @@
  * time series over the measurement window:
  *
  *   {"kind":"interval","label":"WG+RB","access":100000,
- *    "deltas":{"ctrl.grouped_writes":3121,...}}
+ *    "elapsed_us":184211,"deltas":{"ctrl.grouped_writes":3121,...}}
+ *
+ * elapsed_us is measured on the steady clock from the snapshotter's
+ * construction (the start of the measurement window), so deltas
+ * between consecutive samples stay monotone even while NTP slews the
+ * wall clock under a long sweep.
  *
  * Counters that did not move are omitted so the lines stay compact;
  * gauges and distributions are not sampled (counters carry every
@@ -22,6 +27,7 @@
 #ifndef C8T_OBS_SNAPSHOT_HH
 #define C8T_OBS_SNAPSHOT_HH
 
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <ostream>
@@ -70,6 +76,10 @@ class IntervalSnapshotter
     std::vector<const stats::Counter *> _counters;
     std::vector<std::uint64_t> _last;
     std::uint64_t _samples = 0;
+    /// Window origin for the per-line elapsed_us stamp: steady clock,
+    /// immune to NTP slew (a wall clock could run backwards mid-run).
+    std::chrono::steady_clock::time_point _t0 =
+        std::chrono::steady_clock::now();
 };
 
 } // namespace c8t::obs

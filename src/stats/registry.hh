@@ -91,8 +91,14 @@ class Registry
      *     result document (kind "vdd_sweep") shares this version tag.
      *     Nominal-Vdd dumps carry no new keys — only the version
      *     number changes.
+     *  3  self-profiling subsystem (DESIGN.md §11): the `c8tsim
+     *     --stats-json` document carries a top-level "profile"
+     *     section (phase self-times + latency histograms) when the
+     *     profiler is on, and interval snapshot lines gain a
+     *     steady-clock "elapsed_us" field. Registry dumps themselves
+     *     carry no new keys.
      */
-    static constexpr int kJsonSchemaVersion = 2;
+    static constexpr int kJsonSchemaVersion = 3;
 
     /**
      * Dump every statistic as one machine-readable JSON object:

@@ -90,23 +90,27 @@ TEST(Options, ObservabilityFlags)
     EXPECT_TRUE(d.statsJsonFile.empty());
     EXPECT_TRUE(d.chromeTraceFile.empty());
     EXPECT_EQ(d.traceEvents, 0u);
+    EXPECT_TRUE(d.metricsOutFile.empty());
     EXPECT_TRUE(d.intervalStatsFile.empty());
     EXPECT_EQ(d.intervalAccesses, 100'000u);
     EXPECT_FALSE(d.progress);
 
     const SimOptions o = parse(
         {"--stats-json", "out.json", "--chrome-trace", "trace.json",
-         "--trace-events", "4096", "--interval-stats", "ticks.jsonl",
+         "--trace-events", "4096", "--metrics-out", "metrics.prom",
+         "--interval-stats", "ticks.jsonl",
          "--interval", "2500", "--progress"});
     EXPECT_EQ(o.statsJsonFile, "out.json");
     EXPECT_EQ(o.chromeTraceFile, "trace.json");
     EXPECT_EQ(o.traceEvents, 4096u);
+    EXPECT_EQ(o.metricsOutFile, "metrics.prom");
     EXPECT_EQ(o.intervalStatsFile, "ticks.jsonl");
     EXPECT_EQ(o.intervalAccesses, 2500u);
     EXPECT_TRUE(o.progress);
 
     EXPECT_THROW(parse({"--interval", "0"}), std::invalid_argument);
     EXPECT_THROW(parse({"--stats-json"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--metrics-out"}), std::invalid_argument);
 }
 
 TEST(Options, L2DisabledByDefault)
@@ -183,7 +187,7 @@ TEST(Options, UsageMentionsEveryFlag)
           "--ways", "--block", "--repl", "--scheme", "--all",
           "--buffer-entries", "--no-silent-detection", "--l2",
           "--stats", "--stats-json", "--csv", "--chrome-trace",
-          "--trace-events", "--interval-stats", "--interval",
+          "--trace-events", "--metrics-out", "--interval-stats", "--interval",
           "--progress", "--jobs", "--stream-cache", "--vdd",
           "--vdd-sweep"}) {
         EXPECT_NE(u.find(flag), std::string::npos) << flag;

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * obs::Histogram: bucket boundaries, exact counts, quantile bounds.
+ */
+
+#include "obs/histogram.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace
+{
+
+using c8t::obs::Histogram;
+
+TEST(Histogram, SmallValuesGetExactUnitBuckets)
+{
+    for (std::uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+        EXPECT_EQ(Histogram::bucketIndex(v), v);
+        EXPECT_EQ(Histogram::bucketLowerBound(v), v);
+        EXPECT_EQ(Histogram::bucketUpperBound(v), v);
+    }
+    // The first octave is still exact: [16,32) maps one value per
+    // bucket, continuing the index sequence without a gap.
+    for (std::uint64_t v = 16; v < 32; ++v) {
+        EXPECT_EQ(Histogram::bucketIndex(v), v);
+        EXPECT_EQ(Histogram::bucketLowerBound(v), v);
+        EXPECT_EQ(Histogram::bucketUpperBound(v), v);
+    }
+}
+
+TEST(Histogram, BucketIndexIsMonotoneAndContiguousAtBoundaries)
+{
+    // Every bucket's bounds must invert back to its own index and
+    // chain seamlessly to the next bucket's lower bound.
+    for (std::size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
+        const std::uint64_t lo = Histogram::bucketLowerBound(i);
+        const std::uint64_t hi = Histogram::bucketUpperBound(i);
+        ASSERT_EQ(Histogram::bucketIndex(lo), i) << "lo of bucket " << i;
+        ASSERT_EQ(Histogram::bucketIndex(hi), i) << "hi of bucket " << i;
+        ASSERT_EQ(hi + 1, Histogram::bucketLowerBound(i + 1))
+            << "gap after bucket " << i;
+    }
+    EXPECT_EQ(
+        Histogram::bucketIndex(std::numeric_limits<std::uint64_t>::max()),
+        Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, RelativeBucketWidthIsBounded)
+{
+    // HDR guarantee: width/lower <= 1/16 above the exact region.
+    for (std::size_t i = Histogram::kSubBuckets;
+         i + 1 < Histogram::kBuckets; ++i) {
+        const std::uint64_t lo = Histogram::bucketLowerBound(i);
+        const std::uint64_t width =
+            Histogram::bucketUpperBound(i) - lo + 1;
+        EXPECT_LE(width * Histogram::kSubBuckets, lo)
+            << "bucket " << i << " too wide";
+    }
+}
+
+TEST(Histogram, CountsSumMinMaxAreExact)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+
+    std::uint64_t sum = 0;
+    for (std::uint64_t v = 0; v < 1000; ++v) {
+        h.record(v * v);
+        sum += v * v;
+    }
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_EQ(h.sum(), sum);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 999u * 999u);
+    EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(sum) / 1000.0);
+
+    // Per-bucket counts reconcile with the total.
+    std::uint64_t bucketed = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+        bucketed += h.bucketCount(i);
+    EXPECT_EQ(bucketed, h.count());
+
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, ExactQuantilesInTheUnitRegion)
+{
+    // All values < 16 live in exact buckets, so quantiles are exact.
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 10; ++v)
+        h.record(v);
+    EXPECT_EQ(h.quantile(0.1), 1u);
+    EXPECT_EQ(h.quantile(0.5), 5u);
+    EXPECT_EQ(h.quantile(0.9), 9u);
+    EXPECT_EQ(h.quantile(1.0), 10u);
+}
+
+TEST(Histogram, QuantileIsUpperBoundWithinOneSixteenth)
+{
+    // Against a sorted reference: the reported quantile must be >=
+    // the true order statistic and within the bucket's relative
+    // error of it.
+    std::mt19937_64 rng(42);
+    std::vector<std::uint64_t> values;
+    Histogram h;
+    for (int i = 0; i < 10000; ++i) {
+        // Spread over ~6 decades so many octaves participate.
+        const std::uint64_t v =
+            (rng() % 1000000) * ((rng() % 1000) + 1);
+        values.push_back(v);
+        h.record(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (const double q : {0.5, 0.9, 0.95, 0.99, 1.0}) {
+        const std::size_t rank = static_cast<std::size_t>(
+            std::ceil(q * static_cast<double>(values.size())));
+        const std::uint64_t exact = values[rank - 1];
+        const std::uint64_t approx = h.quantile(q);
+        EXPECT_GE(approx, exact) << "q=" << q;
+        // Upper bucket bound overshoots by < 1/16 of the value (+1
+        // for the integer bucket edge).
+        EXPECT_LE(approx, exact + exact / 16 + 1) << "q=" << q;
+    }
+    EXPECT_EQ(h.quantile(1.0), values.back());
+}
+
+TEST(Histogram, MaxClampsTailQuantiles)
+{
+    Histogram h;
+    h.record(1'000'000'007);
+    EXPECT_EQ(h.quantile(0.5), 1'000'000'007u);
+    EXPECT_EQ(h.quantile(0.99), 1'000'000'007u);
+    EXPECT_EQ(h.max(), 1'000'000'007u);
+}
+
+} // namespace

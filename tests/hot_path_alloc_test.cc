@@ -21,6 +21,9 @@
 
 #include "core/controller.hh"
 #include "obs/event_ring.hh"
+#include "obs/histogram.hh"
+#include "obs/metrics.hh"
+#include "obs/prof.hh"
 #include "trace/markov_stream.hh"
 #include "trace/replay.hh"
 #include "trace/spec_profiles.hh"
@@ -272,6 +275,45 @@ TEST(HotPathAllocations, MarkovStreamFillChunkIsAmortizedAllocationFree)
     // doublings may allocate; the chunked path adds nothing.
     EXPECT_LE(delta, 8u) << delta << " allocations in " << kMeasure
                          << " chunk-generated accesses";
+}
+
+TEST(HotPathAllocations, ProfilingAndMetricsRecordingIsAllocationFree)
+{
+    // The phase profiler and metrics registry sit on the per-chunk hot
+    // path; with recording ENABLED they must still be heap-silent —
+    // fixed arrays only, no string building, no map nodes.
+    obs::prof::setEnabled(true);
+    obs::prof::takeThreadTimes();
+    obs::Histogram h;
+    obs::Metrics &m = obs::globalMetrics();
+    // Warm everything once: thread-local state, the leaked registry.
+    {
+        obs::prof::ScopedPhase warm(obs::prof::Phase::Replay);
+        h.record(1);
+        m.recordChunkReplayNs(1);
+    }
+    obs::prof::takeThreadTimes();
+
+    const std::uint64_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    for (std::uint64_t i = 0; i < 10'000; ++i) {
+        obs::prof::ScopedPhase outer(obs::prof::Phase::Replay);
+        {
+            obs::prof::ScopedPhase inner(obs::prof::Phase::Plan);
+            h.record(i * 37);
+        }
+        m.recordChunkReplayNs(i * 91);
+        m.recordJobWallNs(i * 13);
+    }
+    m.addPhaseTimes(obs::prof::takeThreadTimes());
+    const std::uint64_t delta =
+        g_allocations.load(std::memory_order_relaxed) - before;
+
+    EXPECT_EQ(delta, 0u)
+        << delta << " heap allocations in 10000 profiled scopes";
+
+    obs::prof::setEnabled(false);
+    m.reset();
 }
 
 TEST(HotPathAllocations, ReplayGeneratorChunkedReplayIsAllocationFree)

@@ -166,7 +166,7 @@ TEST(JsonDump, GoldenHandBuiltRegistry)
     reg.dumpJson(os);
     EXPECT_EQ(
         os.str(),
-        "{\"schema_version\":2,"
+        "{\"schema_version\":3,"
         "\"counters\":{\"a.count\":{\"desc\":\"events\",\"value\":3}},"
         "\"gauges\":{\"b.gauge\":{\"desc\":\"volts\",\"value\":1.5}},"
         "\"formulas\":{\"c.ratio\":{\"desc\":\"a ratio\",\"value\":0.5}},"
@@ -190,7 +190,7 @@ TEST(JsonDump, EscapesDescriptionsAndEmptyRegistry)
     std::ostringstream os2;
     empty.dumpJson(os2);
     EXPECT_EQ(os2.str(),
-              "{\"schema_version\":2,\"counters\":{},\"gauges\":{},"
+              "{\"schema_version\":3,\"counters\":{},\"gauges\":{},"
               "\"formulas\":{},\"distributions\":{}}");
 }
 
@@ -208,7 +208,7 @@ TEST(JsonDump, ControllerRegistryCarriesEveryStatKind)
     reg.dumpJson(os);
     const std::string out = os.str();
 
-    EXPECT_EQ(out.find("{\"schema_version\":2,"), 0u);
+    EXPECT_EQ(out.find("{\"schema_version\":3,"), 0u);
     for (const char *key :
          {"\"ctrl.requests\"", "\"cache.misses\"", "\"array.row_reads\"",
           "\"ctrl.group_sizes\"", "\"ctrl.read_latency\"",
@@ -553,6 +553,10 @@ TEST(IntervalSnapshot, EmitsOnlyMovedCounterDeltas)
     EXPECT_NE(l1.find("\"kind\":\"interval\""), std::string::npos);
     EXPECT_NE(l1.find("\"label\":\"WG\""), std::string::npos);
     EXPECT_NE(l1.find("\"access\":100"), std::string::npos);
+    // Steady-clock timestamp: value is wall-time dependent, but the
+    // field must be present on every line.
+    EXPECT_NE(l1.find("\"elapsed_us\":"), std::string::npos);
+    EXPECT_NE(l3.find("\"elapsed_us\":"), std::string::npos);
     EXPECT_NE(l1.find("\"a.moves\":5"), std::string::npos);
     EXPECT_EQ(l1.find("b.still"), std::string::npos);
     EXPECT_NE(l2.find("\"a.moves\":2"), std::string::npos);

@@ -10,7 +10,13 @@
 #     share a label; a snapshot may mix any subset of kinds,
 #   * micro-benchmark entries are matched on name and compared on
 #     items_per_second (entries without an items/s rate, e.g. the
-#     SEC-DED codec rows, are compared on 1/real_time).
+#     SEC-DED codec rows, are compared on 1/real_time),
+#   * when BOTH paired records carry a "phases" block (per-phase self
+#     time in seconds, written when the sweep ran with C8T_PROF=1), a
+#     per-phase breakdown diff is printed under the rate line so a
+#     regression can be attributed to the phase that moved. Records
+#     lacking the block (older snapshots, profiling off) are compared
+#     on rate alone.
 #
 # A record counts as a regression when the new rate falls below the old
 # rate by more than the threshold (default 10 %). Records present in
@@ -90,8 +96,16 @@ def check_optimized(doc, path):
     sys.exit(2)
 
 
+# Canonical phase order (obs::prof::Phase); unknown future phase
+# names sort after these, "total" always prints last.
+PHASE_ORDER = ["stream_generate", "plan", "replay", "energy",
+               "fault_map", "serialize"]
+
+
 def rates(doc, path):
-    """Map record key -> (rate, unit) for every comparable record."""
+    """Map record key -> (rate, unit, phases) per comparable record;
+    phases is the record's {"phases": {...}} block (seconds, written
+    by profiling-enabled sweeps) or None."""
     out = {}
     for rec in doc.get("sweeps", []):
         # Records carry a "kind" ("sweep", "vdd", "micro", ...);
@@ -105,12 +119,17 @@ def rates(doc, path):
         key = (f"{kind}:{rec.get('label', '?')}"
                f"/workers={rec.get('workers', '?')}")
         rate = rec.get("accesses_per_sec")
+        phases = rec.get("phases")
+        if not isinstance(phases, dict):
+            phases = None
         if isinstance(rate, (int, float)) and rate > 0:
             # Same-key repeats (a binary driving the same labelled
             # sweep several times) keep the best run, matching the
-            # best-of-reps rule the micro rows use below.
+            # best-of-reps rule the micro rows use below. The kept
+            # run's phases travel with its rate so the breakdown
+            # describes the compared number.
             if key not in out or float(rate) > out[key][0]:
-                out[key] = (float(rate), "acc/s")
+                out[key] = (float(rate), "acc/s", phases)
         else:
             print(f"bench_diff: note: {path}: record {key} has no "
                   f"accesses_per_sec rate; skipping it", file=sys.stderr)
@@ -120,10 +139,10 @@ def rates(doc, path):
         key = f"micro:{rec.get('name', '?')}"
         rate = rec.get("items_per_second")
         if isinstance(rate, (int, float)) and rate > 0:
-            rate_unit = (float(rate), "items/s")
+            rate_unit = (float(rate), "items/s", None)
         elif isinstance(rec.get("real_time"), (int, float)) \
                 and rec["real_time"] > 0:
-            rate_unit = (1.0 / rec["real_time"], "1/t")
+            rate_unit = (1.0 / rec["real_time"], "1/t", None)
         else:
             continue
         # Repeated runs share a name; keep the best repetition (the
@@ -134,6 +153,25 @@ def rates(doc, path):
         print(f"bench_diff: {path}: no comparable records", file=sys.stderr)
         sys.exit(2)
     return out
+
+
+def print_phase_diff(old_ph, new_ph):
+    """Per-phase seconds diff, canonical order, total last."""
+    names = [n for n in PHASE_ORDER if n in old_ph or n in new_ph]
+    names += sorted((set(old_ph) | set(new_ph)) -
+                    set(names) - {"total"})
+    names.append("total")
+    for name in names:
+        o, n = old_ph.get(name), new_ph.get(name)
+        if not isinstance(o, (int, float)):
+            o = 0.0
+        if not isinstance(n, (int, float)):
+            n = 0.0
+        if o == 0.0 and n == 0.0:
+            continue
+        delta = f"{100.0 * (n - o) / o:+.1f}%" if o > 0 else "new"
+        print(f"             phase {name:<16} "
+              f"{o:8.3f}s -> {n:8.3f}s ({delta})")
 
 
 old_doc = load(old_path)
@@ -149,8 +187,8 @@ for key in sorted(old):
     if key not in new:
         print(f"  only-old   {key}")
         continue
-    old_rate, unit = old[key]
-    new_rate, _ = new[key]
+    old_rate, unit, old_phases = old[key]
+    new_rate, _, new_phases = new[key]
     compared += 1
     delta = 100.0 * (new_rate - old_rate) / old_rate
     mark = "ok        "
@@ -159,6 +197,10 @@ for key in sorted(old):
         regressions += 1
     print(f"  {mark} {key}: {old_rate:.3g} -> {new_rate:.3g} {unit} "
           f"({delta:+.1f}%)")
+    # Attribution: which phase the time moved to/from. Only when both
+    # sides carry the block — a one-sided breakdown has no baseline.
+    if old_phases and new_phases:
+        print_phase_diff(old_phases, new_phases)
 for key in sorted(set(new) - set(old)):
     print(f"  only-new   {key}")
 

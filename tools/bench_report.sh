@@ -85,12 +85,17 @@ C8T_BENCH_JSON="$sweep_jsonl" "$build_dir/bench/micro_perf" \
     --benchmark_filter='^$' > /dev/null
 
 # A short parallel sweep; the engine appends its own perf record.
-C8T_BENCH_JSON="$sweep_jsonl" C8T_BENCH_ACCESSES=100000 \
+# C8T_PROF=1 turns the phase profiler on so the record carries a
+# "phases" block (per-phase self time) — bench_diff prints a phase
+# breakdown when both sides have one, which is what lets a perf-smoke
+# failure name the phase that moved. Profiling is byte-identity-safe
+# (enforced by tests/metrics_test.cc) and costs < 2 % wall time.
+C8T_BENCH_JSON="$sweep_jsonl" C8T_BENCH_ACCESSES=100000 C8T_PROF=1 \
     "$build_dir/bench/fig09_access_reduction" > /dev/null
 
 # The voltage sweep appends a kind:"vdd" record (per-scheme min-Vdd
 # plus throughput) alongside the sweep engine's own kind:"sweep" row.
-C8T_BENCH_JSON="$sweep_jsonl" C8T_BENCH_ACCESSES=100000 \
+C8T_BENCH_JSON="$sweep_jsonl" C8T_BENCH_ACCESSES=100000 C8T_PROF=1 \
     "$build_dir/bench/bench_vdd" > /dev/null
 
 # Both producers must actually have written something; an empty file

@@ -27,6 +27,8 @@
 #include "core/vdd_sweep.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/event_ring.hh"
+#include "obs/metrics.hh"
+#include "obs/prof.hh"
 #include "obs/snapshot.hh"
 #include "stats/json.hh"
 #include "stats/table.hh"
@@ -113,6 +115,21 @@ inspectRunner(const app::SimOptions &opt, ObsPlumbing &obs_state,
     }
 }
 
+/**
+ * Flush this thread's phase times into the process rollup and write
+ * the Prometheus exposition file (no-op without a metrics path).
+ */
+void
+finishMetrics()
+{
+    if (obs::prof::enabled())
+        obs::globalMetrics().addPhaseTimes(obs::prof::takeThreadTimes());
+    obs::writeGlobalMetrics();
+    const std::string path = obs::resolvedMetricsPath();
+    if (!path.empty())
+        std::cerr << "wrote metrics exposition to " << path << "\n";
+}
+
 /** Write the combined --stats-json document. */
 void
 writeStatsJson(const app::SimOptions &opt,
@@ -124,12 +141,22 @@ writeStatsJson(const app::SimOptions &opt,
         throw std::runtime_error("--stats-json: cannot open \"" +
                                  opt.statsJsonFile + "\" for writing");
     }
+    const obs::prof::ScopedPhase serialize_scope(
+        obs::prof::Phase::Serialize);
     os << "{\"schema_version\":" << stats::Registry::kJsonSchemaVersion
        << ",\"workload\":\"" << stats::jsonEscape(opt.workload)
        << "\",\"cache\":\"" << stats::jsonEscape(opt.cache.toString())
        << "\",\"measure_accesses\":" << opt.accesses
-       << ",\"warmup_accesses\":" << opt.effectiveWarmup()
-       << ",\"runs\":[";
+       << ",\"warmup_accesses\":" << opt.effectiveWarmup();
+    if (obs::prof::enabled()) {
+        // Fold this thread's (single-scheme path) times in first so
+        // the embedded profile covers the whole run; worker threads
+        // already flushed per job.
+        obs::globalMetrics().addPhaseTimes(obs::prof::takeThreadTimes());
+        os << ",\"profile\":";
+        obs::globalMetrics().writeProfileJson(os);
+    }
+    os << ",\"runs\":[";
     for (std::size_t i = 0; i < results.size(); ++i) {
         os << (i ? "," : "") << "\n{\"scheme\":\""
            << stats::jsonEscape(results[i].scheme)
@@ -153,6 +180,8 @@ runVddSweepCli(const app::SimOptions &opt)
 {
     if (!opt.chromeTraceFile.empty())
         obs::setGlobalTracePath(opt.chromeTraceFile);
+    if (!opt.metricsOutFile.empty())
+        obs::setGlobalMetricsPath(opt.metricsOutFile);
     if (opt.streamCacheMb >= 0) {
         core::globalStreamCache().setByteBudget(
             static_cast<std::size_t>(opt.streamCacheMb) << 20);
@@ -240,6 +269,7 @@ runVddSweepCli(const app::SimOptions &opt)
         std::cerr << "wrote Chrome trace to " << trace->path()
                   << " (load in https://ui.perfetto.dev)\n";
     }
+    finishMetrics();
     return 0;
 }
 
@@ -252,6 +282,8 @@ run(const app::SimOptions &opt)
     // bad path fails fast, not after a minutes-long sweep.
     if (!opt.chromeTraceFile.empty())
         obs::setGlobalTracePath(opt.chromeTraceFile);
+    if (!opt.metricsOutFile.empty())
+        obs::setGlobalMetricsPath(opt.metricsOutFile);
 
     if (opt.streamCacheMb >= 0) {
         core::globalStreamCache().setByteBudget(
@@ -410,6 +442,7 @@ run(const app::SimOptions &opt)
         std::cerr << "wrote Chrome trace to " << trace->path()
                   << " (load in https://ui.perfetto.dev)\n";
     }
+    finishMetrics();
     return 0;
 }
 

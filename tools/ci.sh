@@ -16,7 +16,11 @@
 #      pow/exp/ceil scaling, bit_cast seeding, fault-map index math).
 #   4. Configure + build a TSan tree (-DC8T_TSAN=ON) and run the
 #      parallel sweep test under it (the data-race surface).
-#   5. Record a Release benchmark snapshot (tools/bench_report.sh into
+#   5. Metrics smoke: run the fig11 sweep with the phase profiler off
+#      and on (C8T_PROF=1 + C8T_METRICS) and require byte-identical
+#      stdout plus a non-empty Prometheus exposition — profiling must
+#      observe, never perturb.
+#   6. Record a Release benchmark snapshot (tools/bench_report.sh into
 #      build-bench) and bench_diff it against the newest recorded
 #      BENCH_*.json in the repo root (a local, gitignored artifact —
 #      seed one with tools/bench_report.sh); any record more than
@@ -28,7 +32,10 @@
 #      binaries are 5-10x off, accidental complexity regressions
 #      usually >25 %). Tighten via the environment on quiet hardware.
 #      Skipped with a notice when no baseline exists; set
-#      C8T_CI_SKIP_PERF=1 to skip explicitly.
+#      C8T_CI_SKIP_PERF=1 to skip explicitly. Snapshots are recorded
+#      with C8T_PROF=1, so when both sides carry a "phases" block the
+#      diff prints per-phase attribution — a failing gate names the
+#      phase that moved.
 #
 # Usage: tools/ci.sh [jobs]        (default: nproc)
 # Exit status: non-zero if any build, test or perf gate fails.
@@ -71,6 +78,34 @@ echo "==== tsan: build + parallel sweep test ===="
 cmake -B "$repo_root/build-tsan" -S "$repo_root" -DC8T_TSAN=ON
 cmake --build "$repo_root/build-tsan" -j "$jobs" --target sweep_test
 "$repo_root/build-tsan/tests/sweep_test"
+
+echo "==== metrics: profiling byte-identity + exposition ===="
+# The profiler must be invisible to results: the same fig11 sweep with
+# profiling on and off must print byte-identical tables, and a
+# profiling run must leave a non-empty Prometheus exposition behind.
+# Uses the tier-1 tree built above.
+metrics_plain=$(mktemp)
+metrics_prof=$(mktemp)
+metrics_expo=$(mktemp)
+# (cleaned up explicitly below — the perf stage installs its own EXIT
+# trap, so a trap here would be overwritten)
+C8T_BENCH_ACCESSES=20000 C8T_JOBS=2 \
+    "$repo_root/build/bench/fig11_cache_size" > "$metrics_plain"
+C8T_BENCH_ACCESSES=20000 C8T_JOBS=2 C8T_PROF=1 \
+    C8T_METRICS="$metrics_expo" \
+    "$repo_root/build/bench/fig11_cache_size" > "$metrics_prof"
+if ! cmp -s "$metrics_plain" "$metrics_prof"; then
+    echo "ci: fig11 output differs with profiling enabled" >&2
+    diff "$metrics_plain" "$metrics_prof" >&2 || true
+    exit 1
+fi
+if ! grep -q '^c8t_phase_seconds_total' "$metrics_expo"; then
+    echo "ci: metrics exposition missing phase times" \
+         "(C8T_METRICS produced no usable output)" >&2
+    exit 1
+fi
+rm -f "$metrics_plain" "$metrics_prof" "$metrics_expo"
+echo "ci: profiling byte-identity holds; exposition non-empty"
 
 echo "==== perf: Release snapshot vs committed baseline ===="
 if [ "${C8T_CI_SKIP_PERF:-0}" = 1 ]; then
