@@ -282,16 +282,14 @@ emitWayCompareMicroRecords()
     }
 
     const WayCompareFixture fixture;
-    for (mem::simd::SimdLevel level :
-         {mem::simd::SimdLevel::Scalar, mem::simd::SimdLevel::Sse2,
-          mem::simd::SimdLevel::Avx2}) {
-        if (mem::simd::setLevel(level) != level)
-            continue; // CPU cannot run this level
 
-        // ~16M lookups, best of 3: long enough to be stable, short
-        // enough to not dominate the report run.
-        constexpr int kReps = 3;
-        constexpr std::size_t kPasses = 1u << 16;
+    // ~16M lookups, best of 3: long enough to be stable, short
+    // enough to not dominate the report run.
+    constexpr int kReps = 3;
+    constexpr std::size_t kPasses = 1u << 16;
+    constexpr double kLookups =
+        static_cast<double>(kPasses) * WayCompareFixture::kSets;
+    const auto timeLevel = [&](mem::simd::SimdLevel level) {
         double best_seconds = 0.0;
         std::uint64_t sink = 0;
         for (int rep = 0; rep < kReps; ++rep) {
@@ -304,20 +302,44 @@ emitWayCompareMicroRecords()
                 best_seconds = dt.count();
         }
         benchmark::DoNotOptimize(sink);
+        return best_seconds;
+    };
 
-        const double lookups =
-            static_cast<double>(kPasses) * WayCompareFixture::kSets;
+    for (mem::simd::SimdLevel level :
+         {mem::simd::SimdLevel::Scalar, mem::simd::SimdLevel::Sse2,
+          mem::simd::SimdLevel::Avx2}) {
+        if (mem::simd::setLevel(level) != level)
+            continue; // CPU cannot run this level
+
+        const double best_seconds = timeLevel(level);
         os << "{\"kind\":\"micro\",\"label\":\"way_compare:"
            << mem::simd::toString(level) << "\""
            << ",\"workers\":1"
            << ",\"ways\":" << WayCompareFixture::kWays
-           << ",\"lookups\":" << static_cast<std::uint64_t>(lookups)
+           << ",\"lookups\":" << static_cast<std::uint64_t>(kLookups)
            << ",\"wall_seconds\":" << best_seconds
            << ",\"accesses_per_sec\":"
-           << (best_seconds > 0.0 ? lookups / best_seconds : 0.0)
+           << (best_seconds > 0.0 ? kLookups / best_seconds : 0.0)
            << "}\n";
     }
-    mem::simd::setLevel(mem::simd::bestSupported());
+
+    // The guard for C8T_SIMD=auto: what the calibrator picks and what
+    // it delivers. A future regression where auto resolves to a level
+    // measurably slower than the named records shows up in
+    // bench_diff.sh as a drop on this row.
+    const mem::simd::SimdLevel resolved =
+        mem::simd::autoCalibratedLevel();
+    mem::simd::setLevel(resolved);
+    const double auto_seconds = timeLevel(resolved);
+    os << "{\"kind\":\"micro\",\"label\":\"way_compare:auto\""
+       << ",\"workers\":1"
+       << ",\"resolved\":\"" << mem::simd::toString(resolved) << "\""
+       << ",\"ways\":" << WayCompareFixture::kWays
+       << ",\"lookups\":" << static_cast<std::uint64_t>(kLookups)
+       << ",\"wall_seconds\":" << auto_seconds
+       << ",\"accesses_per_sec\":"
+       << (auto_seconds > 0.0 ? kLookups / auto_seconds : 0.0)
+       << "}\n";
 }
 
 } // anonymous namespace

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sram/vmodel.hh"
 #include "trace/kernels.hh"
 #include "trace/markov_stream.hh"
 #include "trace/spec_profiles.hh"
@@ -49,6 +50,42 @@ parseDouble(const std::string &flag, const std::string &value)
     }
 }
 
+/** Split a comma-separated list ("16,32,64"); empty items rejected. */
+std::vector<std::string>
+splitList(const std::string &flag, const std::string &value)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream is(value);
+    while (std::getline(is, item, ',')) {
+        if (item.empty())
+            throw std::invalid_argument(flag + ": empty list item in '" +
+                                        value + "'");
+        out.push_back(item);
+    }
+    if (out.empty())
+        throw std::invalid_argument(flag + ": empty list");
+    return out;
+}
+
+std::vector<std::uint64_t>
+parseU64List(const std::string &flag, const std::string &value)
+{
+    std::vector<std::uint64_t> out;
+    for (const std::string &item : splitList(flag, value))
+        out.push_back(parseU64(flag, item));
+    return out;
+}
+
+std::vector<double>
+parseDoubleList(const std::string &flag, const std::string &value)
+{
+    std::vector<double> out;
+    for (const std::string &item : splitList(flag, value))
+        out.push_back(parseDouble(flag, item));
+    return out;
+}
+
 } // anonymous namespace
 
 std::string
@@ -86,6 +123,27 @@ usageText()
           "  --vdd-sweep         sweep every scheme over the default "
           "Vdd grid (1.00..0.50 V); prints per-scheme min-Vdd and "
           "energy/EDP curves\n"
+          "\n"
+          "design-space explorer (DESIGN.md §12)\n"
+          "  --explore           cross size x ways x block x repl x "
+          "Vdd x scheme x workload, reduce to a Pareto frontier per "
+          "workload\n"
+          "  --explore-workloads L\n"
+          "                      comma list of SPEC profiles, or "
+          "'all' (default all 25)\n"
+          "  --explore-sizes L   KiB list (default 16,32,64,128)\n"
+          "  --explore-ways L    associativity list (default 2,4,8)\n"
+          "  --explore-blocks L  block-size list (default 32,64)\n"
+          "  --explore-repl L    replacement list (default lru)\n"
+          "  --explore-vdd L     volts list (descending), 'grid' for "
+          "the default 1.00..0.50 grid, or 'none' for nominal-only "
+          "(default none)\n"
+          "  --checkpoint-dir D  write per-shard checkpoints to D; a "
+          "rerun resumes, skipping completed shards byte-identically\n"
+          "  --shard-cells N     cells per shard (default 8)\n"
+          "  --explore-max-shards N\n"
+          "                      stop after executing N shards "
+          "(interrupt half of interrupt/resume; 0 = unlimited)\n"
           "\n"
           "execution\n"
           "  --jobs N            worker threads for multi-scheme runs "
@@ -193,6 +251,49 @@ parseOptions(const std::vector<std::string> &args)
                 throw std::invalid_argument("--vdd: must be > 0");
         } else if (a == "--vdd-sweep") {
             opt.vddSweep = true;
+        } else if (a == "--explore") {
+            opt.explore = true;
+        } else if (a == "--explore-workloads") {
+            const std::string v = need_value(i++, a);
+            opt.exploreWorkloads =
+                v == "all" ? std::vector<std::string>{} : splitList(a, v);
+        } else if (a == "--explore-sizes") {
+            opt.exploreSizesKb = parseU64List(a, need_value(i++, a));
+        } else if (a == "--explore-ways") {
+            opt.exploreWays.clear();
+            for (const std::uint64_t v :
+                 parseU64List(a, need_value(i++, a)))
+                opt.exploreWays.push_back(
+                    static_cast<std::uint32_t>(v));
+        } else if (a == "--explore-blocks") {
+            opt.exploreBlocks.clear();
+            for (const std::uint64_t v :
+                 parseU64List(a, need_value(i++, a)))
+                opt.exploreBlocks.push_back(
+                    static_cast<std::uint32_t>(v));
+        } else if (a == "--explore-repl") {
+            opt.exploreRepls.clear();
+            for (const std::string &r :
+                 splitList(a, need_value(i++, a)))
+                opt.exploreRepls.push_back(mem::parseReplKind(r));
+        } else if (a == "--explore-vdd") {
+            const std::string v = need_value(i++, a);
+            if (v == "none")
+                opt.exploreVdd.clear();
+            else if (v == "grid")
+                opt.exploreVdd = sram::VddModel::defaultGrid();
+            else
+                opt.exploreVdd = parseDoubleList(a, v);
+        } else if (a == "--checkpoint-dir") {
+            opt.checkpointDir = need_value(i++, a);
+        } else if (a == "--shard-cells") {
+            opt.shardCells = static_cast<std::size_t>(
+                parseU64(a, need_value(i++, a)));
+            if (opt.shardCells == 0)
+                throw std::invalid_argument(
+                    "--shard-cells: must be >= 1");
+        } else if (a == "--explore-max-shards") {
+            opt.exploreMaxShards = parseU64(a, need_value(i++, a));
         } else if (a == "--jobs") {
             opt.jobs =
                 static_cast<unsigned>(parseU64(a, need_value(i++, a)));

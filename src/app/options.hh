@@ -69,6 +69,42 @@ struct SimOptions
      *  (--vdd-sweep). */
     bool vddSweep = false;
 
+    /** Run the design-space explorer (--explore; DESIGN.md §12). The
+     *  scheme set comes from --scheme/--all when given, else the
+     *  voltage-story four (6T, RMW, WG, WG+RB). */
+    bool explore = false;
+
+    /** Explorer workload axis (--explore-workloads name,name|all;
+     *  empty = every calibrated SPEC profile). */
+    std::vector<std::string> exploreWorkloads;
+
+    /** Explorer cache-size axis in KiB (--explore-sizes). */
+    std::vector<std::uint64_t> exploreSizesKb = {16, 32, 64, 128};
+
+    /** Explorer associativity axis (--explore-ways). */
+    std::vector<std::uint32_t> exploreWays = {2, 4, 8};
+
+    /** Explorer block-size axis (--explore-blocks). */
+    std::vector<std::uint32_t> exploreBlocks = {32, 64};
+
+    /** Explorer replacement axis (--explore-repl). */
+    std::vector<mem::ReplKind> exploreRepls = {mem::ReplKind::Lru};
+
+    /** Explorer Vdd axis (--explore-vdd V,V|grid|none; empty =
+     *  nominal-only, model detached). */
+    std::vector<double> exploreVdd;
+
+    /** Shard checkpoint directory (--checkpoint-dir; empty = no
+     *  checkpointing). */
+    std::string checkpointDir;
+
+    /** Cells per explorer shard (--shard-cells). */
+    std::size_t shardCells = 8;
+
+    /** Stop after executing N shards (--explore-max-shards; 0 =
+     *  unlimited) — the interrupt half of interrupt/resume. */
+    std::uint64_t exploreMaxShards = 0;
+
     /** Worker threads for multi-scheme runs (--jobs N; 0 = auto:
      *  C8T_JOBS env var, else hardware_concurrency). */
     unsigned jobs = 0;

@@ -1,0 +1,960 @@
+/**
+ * @file
+ * Design-space explorer implementation.
+ */
+
+#include "core/explorer.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "core/policies.hh"
+#include "core/stream_cache.hh"
+#include "core/sweep.hh"
+#include "obs/metrics.hh"
+#include "obs/prof.hh"
+#include "sram/energy.hh"
+#include "sram/fault_injection.hh"
+#include "stats/json.hh"
+#include "stats/registry.hh"
+#include "trace/markov_stream.hh"
+#include "trace/spec_profiles.hh"
+
+namespace c8t::core
+{
+
+namespace
+{
+
+/** Exact (round-trippable) double serialization for signatures and
+ *  checkpoints. */
+std::string
+hexDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+/** Parse a hexfloat (or any strtod-accepted) token exactly. */
+double
+parseDoubleToken(const std::string &tok)
+{
+    char *end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (!end || *end != '\0' || end == tok.c_str())
+        throw std::runtime_error("explorer checkpoint: bad number \"" +
+                                 tok + "\"");
+    return v;
+}
+
+/** splitmix64 step (the shard-shuffle PRNG; no global RNG state). */
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e9b5ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Decoded cross-product coordinates of one cell (workload-major so
+ *  adjacent cells share the workload stream). */
+struct CellCoord
+{
+    std::size_t workload = 0;
+    std::size_t size = 0;
+    std::size_t ways = 0;
+    std::size_t block = 0;
+    std::size_t repl = 0;
+};
+
+CellCoord
+decodeCell(const ExplorerSpec &spec, std::uint64_t index)
+{
+    CellCoord c;
+    c.repl = index % spec.replacements.size();
+    index /= spec.replacements.size();
+    c.block = index % spec.blocks.size();
+    index /= spec.blocks.size();
+    c.ways = index % spec.ways.size();
+    index /= spec.ways.size();
+    c.size = index % spec.sizesKb.size();
+    index /= spec.sizesKb.size();
+    c.workload = index;
+    return c;
+}
+
+mem::CacheConfig
+cacheFor(const ExplorerSpec &spec, const CellCoord &c)
+{
+    mem::CacheConfig cache;
+    cache.sizeBytes = spec.sizesKb[c.size] * 1024;
+    cache.ways = spec.ways[c.ways];
+    cache.blockBytes = spec.blocks[c.block];
+    cache.replacement = spec.replacements[c.repl];
+    return cache;
+}
+
+/** The data-array geometry the controller would build (mirrors
+ *  runVddSweep / the CacheController constructor). */
+sram::ArrayGeometry
+geometryFor(const mem::CacheConfig &cache, WriteScheme scheme)
+{
+    const SchemeTraits traits = schemeTraits(scheme);
+    const ControllerConfig defaults;
+    return sram::ArrayGeometry{
+        cache.numSets(), cache.setBytes(),
+        traits.requiresNonInterleaved ? 1u : defaults.interleaveDegree,
+        scheme == WriteScheme::WordGranular};
+}
+
+/** Fault-map memo key: maps depend only on (seed, cell type,
+ *  interleave degree, words per row, grid voltage). */
+using FaultKey =
+    std::tuple<sram::CellType, std::uint32_t, std::uint32_t, std::size_t>;
+
+std::string
+shardPath(const std::string &dir, std::uint64_t shard)
+{
+    return dir + "/shard-" + std::to_string(shard) + ".ckpt";
+}
+
+/** Serialize one shard's reduced summaries (atomic: tmp + rename). */
+void
+writeShardCheckpoint(const std::string &dir, std::uint64_t shard,
+                     const std::string &signature, std::uint64_t first,
+                     std::uint64_t count, std::uint64_t skipped,
+                     const std::vector<DesignPointSummary> &points)
+{
+    const obs::prof::ScopedPhase serialize_scope(
+        obs::prof::Phase::Serialize);
+    const std::string path = shardPath(dir, shard);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            throw std::runtime_error(
+                "explorer: cannot write checkpoint \"" + tmp + "\"");
+        os << "c8t-explore-shard 1\n";
+        os << "sig " << signature << "\n";
+        os << "shard " << shard << "\n";
+        os << "cells " << first << " " << count << "\n";
+        os << "skipped " << skipped << "\n";
+        os << "points " << points.size() << "\n";
+        for (const DesignPointSummary &p : points) {
+            os << "p " << p.workload << " " << p.sizeBytes << " "
+               << p.ways << " " << p.blockBytes << " "
+               << mem::toString(p.repl) << " " << p.scheme << " "
+               << (p.operational ? 1 : 0) << " " << hexDouble(p.minVdd)
+               << " " << hexDouble(p.energyPerAccess) << " "
+               << hexDouble(p.edpPerAccess) << " "
+               << hexDouble(p.cyclesPerAccess) << " "
+               << hexDouble(p.missRate) << "\n";
+        }
+        os << "end\n";
+        os.flush();
+        if (!os)
+            throw std::runtime_error(
+                "explorer: short write to checkpoint \"" + tmp + "\"");
+    }
+    std::filesystem::rename(tmp, path);
+}
+
+/** Load one shard checkpoint; returns the skipped-cell count and
+ *  appends the points to @p out. */
+std::uint64_t
+loadShardCheckpoint(const std::string &path,
+                    const std::string &signature, std::uint64_t shard,
+                    std::uint64_t first, std::uint64_t count,
+                    std::vector<DesignPointSummary> &out)
+{
+    const obs::prof::ScopedPhase serialize_scope(
+        obs::prof::Phase::Serialize);
+    std::ifstream is(path);
+    if (!is)
+        throw std::runtime_error("explorer: cannot read checkpoint \"" +
+                                 path + "\"");
+    const auto fail = [&](const std::string &what) -> std::runtime_error {
+        return std::runtime_error("explorer: malformed checkpoint \"" +
+                                  path + "\": " + what);
+    };
+    std::string line;
+    if (!std::getline(is, line) || line != "c8t-explore-shard 1")
+        throw fail("bad magic");
+    if (!std::getline(is, line) || line.rfind("sig ", 0) != 0)
+        throw fail("missing signature");
+    if (line.substr(4) != signature) {
+        throw std::invalid_argument(
+            "explorer: checkpoint \"" + path +
+            "\" was written by a different spec/run window; use a "
+            "fresh --checkpoint-dir");
+    }
+    const auto parseHeader = [&](const char *keyword,
+                                 std::size_t n_fields,
+                                 std::uint64_t *a, std::uint64_t *b) {
+        if (!std::getline(is, line))
+            throw fail(std::string("missing ") + keyword + " line");
+        std::istringstream ls(line);
+        std::string tag;
+        if (!(ls >> tag >> *a) || tag != keyword ||
+            (n_fields == 2 && !(ls >> *b)))
+            throw fail(std::string("bad ") + keyword + " line");
+    };
+    std::uint64_t f_shard = 0, f_first = 0, f_count = 0, skipped = 0,
+                  n_points = 0, unused = 0;
+    parseHeader("shard", 1, &f_shard, &unused);
+    if (f_shard != shard)
+        throw fail("shard index mismatch");
+    parseHeader("cells", 2, &f_first, &f_count);
+    if (f_first != first || f_count != count)
+        throw fail("cell range mismatch");
+    parseHeader("skipped", 1, &skipped, &unused);
+    parseHeader("points", 1, &n_points, &unused);
+    for (std::uint64_t i = 0; i < n_points; ++i) {
+        if (!std::getline(is, line))
+            throw fail("truncated point list");
+        std::istringstream ls(line);
+        std::string tag, repl_name, op_tok, min_vdd, energy, edp, cycles,
+            miss;
+        DesignPointSummary p;
+        if (!(ls >> tag >> p.workload >> p.sizeBytes >> p.ways >>
+              p.blockBytes >> repl_name >> p.scheme >> op_tok >>
+              min_vdd >> energy >> edp >> cycles >> miss) ||
+            tag != "p")
+            throw fail("bad point line");
+        p.repl = mem::parseReplKind(repl_name);
+        const WriteScheme scheme = parseWriteScheme(p.scheme);
+        p.cell = schemeTraits(scheme).requiresEightT
+                     ? sram::CellType::EightT
+                     : sram::CellType::SixT;
+        p.operational = op_tok == "1";
+        p.minVdd = parseDoubleToken(min_vdd);
+        p.energyPerAccess = parseDoubleToken(energy);
+        p.edpPerAccess = parseDoubleToken(edp);
+        p.cyclesPerAccess = parseDoubleToken(cycles);
+        p.missRate = parseDoubleToken(miss);
+        out.push_back(std::move(p));
+    }
+    if (!std::getline(is, line) || line != "end")
+        throw fail("missing end marker");
+    return skipped;
+}
+
+} // anonymous namespace
+
+void
+ExplorerSpec::validate() const
+{
+    if (workloads.empty())
+        throw std::invalid_argument("ExplorerSpec: no workloads");
+    for (const std::string &w : workloads) {
+        try {
+            trace::specProfile(w);
+        } catch (const std::out_of_range &) {
+            throw std::invalid_argument(
+                "ExplorerSpec: unknown workload \"" + w + "\"");
+        }
+    }
+    if (sizesKb.empty())
+        throw std::invalid_argument("ExplorerSpec: no cache sizes");
+    if (ways.empty())
+        throw std::invalid_argument("ExplorerSpec: no associativities");
+    if (blocks.empty())
+        throw std::invalid_argument("ExplorerSpec: no block sizes");
+    if (replacements.empty())
+        throw std::invalid_argument(
+            "ExplorerSpec: no replacement policies");
+    if (schemes.empty())
+        throw std::invalid_argument("ExplorerSpec: no schemes");
+    for (std::size_t i = 1; i < vddGrid.size(); ++i) {
+        if (!(vddGrid[i] < vddGrid[i - 1]))
+            throw std::invalid_argument(
+                "ExplorerSpec: grid must be strictly descending");
+    }
+    if (!vddGrid.empty() && vddGrid.back() <= 0.0)
+        throw std::invalid_argument(
+            "ExplorerSpec: grid voltages must be > 0");
+    if (faultRows == 0)
+        throw std::invalid_argument(
+            "ExplorerSpec: faultRows must be >= 1");
+    if (cellsPerShard == 0)
+        throw std::invalid_argument(
+            "ExplorerSpec: cellsPerShard must be >= 1");
+    model.validate();
+}
+
+std::uint64_t
+ExplorerSpec::cellCount() const
+{
+    return static_cast<std::uint64_t>(workloads.size()) * sizesKb.size() *
+           ways.size() * blocks.size() * replacements.size();
+}
+
+std::uint64_t
+ExplorerSpec::runsPerCell() const
+{
+    return static_cast<std::uint64_t>(schemes.size()) *
+           std::max<std::size_t>(1, vddGrid.size());
+}
+
+std::uint64_t
+ExplorerSpec::configRunCount() const
+{
+    return cellCount() * runsPerCell();
+}
+
+std::uint64_t
+ExplorerSpec::shardCount() const
+{
+    return (cellCount() + cellsPerShard - 1) / cellsPerShard;
+}
+
+std::string
+ExplorerSpec::signature(const RunConfig &rc) const
+{
+    std::ostringstream os;
+    os << "c8t-explore-sig 1";
+    os << "; workloads";
+    for (const std::string &w : workloads)
+        os << " " << w;
+    os << "; sizes_kb";
+    for (const std::uint64_t v : sizesKb)
+        os << " " << v;
+    os << "; ways";
+    for (const std::uint32_t v : ways)
+        os << " " << v;
+    os << "; blocks";
+    for (const std::uint32_t v : blocks)
+        os << " " << v;
+    os << "; repl";
+    for (const mem::ReplKind r : replacements)
+        os << " " << mem::toString(r);
+    os << "; schemes";
+    for (const WriteScheme s : schemes)
+        os << " " << toString(s);
+    os << "; grid";
+    for (const double v : vddGrid)
+        os << " " << hexDouble(v);
+    os << "; model " << hexDouble(model.nominalVdd) << " "
+       << hexDouble(model.alpha) << " " << hexDouble(model.leakDecayV)
+       << " " << hexDouble(model.clockGhz) << " "
+       << hexDouble(model.stability.vth) << " "
+       << hexDouble(model.stability.kHold) << " "
+       << hexDouble(model.stability.kRead6T) << " "
+       << hexDouble(model.stability.kWrite) << " "
+       << hexDouble(model.stability.sigmaVth);
+    os << "; threshold " << hexDouble(failureThreshold);
+    os << "; seed " << runSeed;
+    os << "; fault_rows " << faultRows;
+    os << "; cells_per_shard " << cellsPerShard;
+    os << "; window " << rc.warmupAccesses << " " << rc.measureAccesses;
+    return os.str();
+}
+
+/** Deferred bench-record state, armed by runExplore. */
+struct ExploreResult::Pending
+{
+    RunConfig rc;
+    unsigned workers = 0;
+    obs::prof::PhaseTimes phasesBefore;
+    bool profOn = false;
+};
+
+ExploreResult::ExploreResult() = default;
+ExploreResult::ExploreResult(ExploreResult &&) noexcept = default;
+ExploreResult &
+ExploreResult::operator=(ExploreResult &&) noexcept = default;
+
+ExploreResult::~ExploreResult()
+{
+    emitBenchRecord();
+}
+
+std::vector<const DesignPointSummary *>
+ExploreResult::frontier(const std::string &workload) const
+{
+    std::vector<const DesignPointSummary *> out;
+    for (const DesignPointSummary &p : summaries) {
+        if (p.onFrontier && p.workload == workload)
+            out.push_back(&p);
+    }
+    return out;
+}
+
+void
+ExploreResult::dumpJson(std::ostream &os) const
+{
+    const obs::prof::ScopedPhase serialize_scope(
+        obs::prof::Phase::Serialize);
+    os << "{\"schema_version\":" << stats::Registry::kJsonSchemaVersion
+       << ",\"kind\":\"explore\""
+       << ",\"label\":\"" << stats::jsonEscape(label) << "\""
+       << ",\"workloads\":[";
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        os << (i ? "," : "") << '"' << stats::jsonEscape(workloads[i])
+           << '"';
+    }
+    os << "],\"vdd_grid\":[";
+    for (std::size_t i = 0; i < vddGrid.size(); ++i) {
+        os << (i ? "," : "");
+        stats::jsonNumber(os, vddGrid[i]);
+    }
+    os << "],\"failure_threshold\":";
+    stats::jsonNumber(os, failureThreshold);
+    os << ",\"cells\":" << cellsTotal
+       << ",\"cells_skipped\":" << cellsSkipped
+       << ",\"config_runs\":" << configRunsTotal
+       << ",\"completed\":" << (completed ? "true" : "false")
+       << ",\"frontiers\":[";
+    // An incomplete explore has no frontier to speak of (dominance
+    // over a partial point set would be misleading) — emit the spec
+    // echo and accounting only.
+    bool first_workload = true;
+    if (completed) {
+        for (const std::string &w : workloads) {
+            std::uint64_t n_points = 0, n_operational = 0;
+            for (const DesignPointSummary &p : summaries) {
+                if (p.workload != w)
+                    continue;
+                ++n_points;
+                if (p.operational)
+                    ++n_operational;
+            }
+            os << (first_workload ? "" : ",") << "{\"workload\":\""
+               << stats::jsonEscape(w) << "\""
+               << ",\"points\":" << n_points
+               << ",\"operational\":" << n_operational
+               << ",\"frontier\":[";
+            bool first_point = true;
+            for (const DesignPointSummary &p : summaries) {
+                if (!p.onFrontier || p.workload != w)
+                    continue;
+                os << (first_point ? "" : ",") << "{\"size_kb\":"
+                   << p.sizeBytes / 1024 << ",\"ways\":" << p.ways
+                   << ",\"block\":" << p.blockBytes << ",\"repl\":\""
+                   << mem::toString(p.repl) << "\",\"scheme\":\""
+                   << stats::jsonEscape(p.scheme) << "\",\"cell\":\""
+                   << sram::toString(p.cell) << "\",\"min_vdd\":";
+                stats::jsonNumber(os, p.minVdd);
+                os << ",\"energy_per_access\":";
+                stats::jsonNumber(os, p.energyPerAccess);
+                os << ",\"edp_per_access\":";
+                stats::jsonNumber(os, p.edpPerAccess);
+                os << ",\"cycles_per_access\":";
+                stats::jsonNumber(os, p.cyclesPerAccess);
+                os << ",\"miss_rate\":";
+                stats::jsonNumber(os, p.missRate);
+                os << '}';
+                first_point = false;
+            }
+            os << "]}";
+            first_workload = false;
+        }
+    }
+    os << "]}";
+}
+
+void
+ExploreResult::emitBenchRecord()
+{
+    if (!_pending)
+        return;
+    const std::unique_ptr<Pending> p = std::move(_pending);
+    obs::prof::PhaseTimes run_phases;
+    if (p->profOn) {
+        // Fold in everything this thread did since the explore started
+        // — including the caller's dumpJson/table Serialize scopes —
+        // and diff against the entry snapshot.
+        obs::globalMetrics().addPhaseTimes(obs::prof::takeThreadTimes());
+        const obs::prof::PhaseTimes after =
+            obs::globalMetrics().phaseTimes();
+        for (std::size_t i = 0; i < obs::prof::kNumPhases; ++i) {
+            run_phases.ns[i] = after.ns[i] - p->phasesBefore.ns[i];
+            run_phases.scopes[i] =
+                after.scopes[i] - p->phasesBefore.scopes[i];
+        }
+    }
+
+    const char *path = std::getenv("C8T_BENCH_JSON");
+    if (path && *path) {
+        std::ofstream os(path, std::ios::app);
+        if (!os) {
+            static std::atomic<bool> warned{false};
+            if (!warned.exchange(true)) {
+                std::cerr << "explorer: cannot open C8T_BENCH_JSON=\""
+                          << path
+                          << "\" for append; perf records disabled\n";
+            }
+        } else {
+            const double simulated =
+                static_cast<double>(configRunsExecuted) *
+                static_cast<double>(p->rc.warmupAccesses +
+                                    p->rc.measureAccesses);
+            os << "{\"kind\":\"explore\",\"label\":\""
+               << stats::jsonEscape(label) << "\""
+               << ",\"workers\":" << p->workers
+               << ",\"cells\":" << cellsTotal
+               << ",\"cells_skipped\":" << cellsSkipped
+               << ",\"shards\":" << shardsTotal
+               << ",\"shards_executed\":" << shardsExecuted
+               << ",\"shards_resumed\":" << shardsResumed
+               << ",\"config_runs\":" << configRunsExecuted
+               << ",\"config_runs_total\":" << configRunsTotal
+               << ",\"warmup_accesses\":" << p->rc.warmupAccesses
+               << ",\"measure_accesses\":" << p->rc.measureAccesses
+               << ",\"simulated_accesses\":"
+               << static_cast<std::uint64_t>(simulated)
+               << ",\"wall_seconds\":" << wallSeconds
+               << ",\"accesses_per_sec\":"
+               << (wallSeconds > 0.0 ? simulated / wallSeconds : 0.0)
+               << ",\"config_runs_per_sec\":";
+            stats::jsonNumber(os, configRunsPerSec);
+            os << ",\"stream_cache_hit_rate\":";
+            stats::jsonNumber(os, streamCacheHitRate);
+            os << ",\"completed\":" << (completed ? "true" : "false");
+            if (p->profOn) {
+                os << ",\"phases\":{";
+                for (std::size_t i = 0; i < obs::prof::kNumPhases; ++i) {
+                    os << "\""
+                       << obs::prof::toString(
+                              static_cast<obs::prof::Phase>(i))
+                       << "\":";
+                    stats::jsonNumber(
+                        os, static_cast<double>(run_phases.ns[i]) * 1e-9);
+                    os << ",";
+                }
+                os << "\"total\":";
+                stats::jsonNumber(
+                    os, static_cast<double>(run_phases.totalNs()) * 1e-9);
+                os << "}";
+            }
+            os << "}\n";
+        }
+    }
+    obs::writeGlobalMetrics();
+}
+
+ExploreResult
+runExplore(const ExplorerSpec &spec, const RunConfig &rc, unsigned workers)
+{
+    spec.validate();
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool prof_on = obs::prof::enabled();
+    obs::prof::PhaseTimes phases_before;
+    if (prof_on) {
+        obs::globalMetrics().addPhaseTimes(obs::prof::takeThreadTimes());
+        phases_before = obs::globalMetrics().phaseTimes();
+    }
+
+    const sram::VddModel model(spec.model);
+    const bool vdd_mode = !spec.vddGrid.empty();
+    // Nominal-only mode is a one-point "grid" at the nominal supply
+    // with the voltage model detached (cfg.vdd = 0) and no fault maps.
+    const std::vector<double> grid =
+        vdd_mode ? spec.vddGrid
+                 : std::vector<double>{spec.model.nominalVdd};
+    const double period = model.clockPeriod();
+
+    const StreamCache::Stats cache_before = globalStreamCache().stats();
+
+    ExploreResult result;
+    result.label = spec.label;
+    result.workloads = spec.workloads;
+    result.vddGrid = spec.vddGrid;
+    result.failureThreshold = spec.failureThreshold;
+    result.cellsTotal = spec.cellCount();
+    result.configRunsTotal = spec.configRunCount();
+    result.shardsTotal = spec.shardCount();
+
+    const bool ckpt_on = !spec.checkpointDir.empty();
+    std::string sig;
+    if (ckpt_on) {
+        std::filesystem::create_directories(spec.checkpointDir);
+        sig = spec.signature(rc);
+    }
+
+    // Shard execution order: identity, or a seeded Fisher-Yates
+    // shuffle. Results are order-invariant (summaries are sorted
+    // canonically below); the shuffle exists so tests can prove it.
+    std::vector<std::uint64_t> order(result.shardsTotal);
+    std::iota(order.begin(), order.end(), 0);
+    if (spec.shuffleShards && order.size() > 1) {
+        std::uint64_t state = spec.shuffleSeed;
+        for (std::size_t i = order.size() - 1; i > 0; --i) {
+            const std::size_t j = static_cast<std::size_t>(
+                splitmix64(state) % (i + 1));
+            std::swap(order[i], order[j]);
+        }
+    }
+
+    ParallelSweeper sweeper(workers);
+    sweeper.setProgress(false); // the explorer heartbeats per shard
+    sweeper.setRecordBench(false); // one umbrella record, not per shard
+
+    // Fault maps are memoized explorer-wide: they depend only on
+    // (seed, cell type, interleave degree, words per row, voltage),
+    // so every geometry with the same set size shares them.
+    std::map<FaultKey, sram::FaultMapStats> fault_memo;
+    const auto faultsAt = [&](sram::CellType cell, std::uint32_t degree,
+                              std::uint32_t words_per_row,
+                              std::size_t grid_index) {
+        const auto key =
+            std::make_tuple(cell, degree, words_per_row, grid_index);
+        const auto it = fault_memo.find(key);
+        if (it != fault_memo.end())
+            return it->second;
+        sram::FaultMapConfig fmc;
+        fmc.runSeed = spec.runSeed;
+        fmc.vdd = grid[grid_index];
+        fmc.cell = cell;
+        fmc.pfailCell = model.at(fmc.vdd, cell).pfailCell;
+        fmc.rows = spec.faultRows;
+        fmc.wordsPerRow = words_per_row;
+        fmc.degree = degree;
+        const obs::prof::ScopedPhase fault_scope(
+            obs::prof::Phase::FaultMap);
+        return fault_memo[key] = sram::runFaultMapCampaign(fmc);
+    };
+
+    // Reduce one executed shard: per valid cell, per scheme, walk the
+    // grid for reachability and summarize at the min-Vdd point.
+    const auto reduceCell =
+        [&](const CellCoord &coord, const mem::CacheConfig &cache,
+            const std::vector<std::vector<SchemeRunResult>> &runs,
+            std::size_t job_base,
+            std::vector<DesignPointSummary> &out) {
+            for (std::size_t si = 0; si < spec.schemes.size(); ++si) {
+                const WriteScheme scheme = spec.schemes[si];
+                const SchemeTraits traits = schemeTraits(scheme);
+                const sram::CellType cell =
+                    traits.requiresEightT ? sram::CellType::EightT
+                                          : sram::CellType::SixT;
+                const sram::ArrayGeometry geom =
+                    geometryFor(cache, scheme);
+                const sram::EnergyModel em(geom,
+                                           ControllerConfig{}.tech);
+                const double leak_nominal = em.leakagePower();
+                const std::uint32_t words_per_row =
+                    std::max<std::uint32_t>(1, cache.setBytes() / 8);
+
+                DesignPointSummary p;
+                p.workload = spec.workloads[coord.workload];
+                p.sizeBytes = cache.sizeBytes;
+                p.ways = cache.ways;
+                p.blockBytes = cache.blockBytes;
+                p.repl = cache.replacement;
+                p.scheme = toString(scheme);
+                p.cell = cell;
+
+                // min-Vdd: the lowest grid voltage reachable from
+                // nominal through operational points only (exactly
+                // runVddSweep's reachability rule). Nominal-only mode
+                // has no fault dimension: the single point is
+                // operational by definition.
+                std::size_t summary_gi = 0;
+                bool reachable = true;
+                for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+                    const bool operational =
+                        !vdd_mode ||
+                        faultsAt(cell, geom.interleaveDegree,
+                                 words_per_row, gi)
+                                .postEccFailureRate() <=
+                            spec.failureThreshold;
+                    if (reachable && operational) {
+                        p.operational = true;
+                        p.minVdd = grid[gi];
+                        summary_gi = gi;
+                    } else {
+                        reachable = false;
+                    }
+                }
+
+                const SchemeRunResult &run =
+                    runs[job_base + summary_gi][si];
+                const double requests =
+                    static_cast<double>(run.requests);
+                if (requests > 0.0) {
+                    const sram::VddPoint point =
+                        model.at(grid[summary_gi], cell);
+                    const double seconds =
+                        static_cast<double>(run.cycles) * period;
+                    const double dyn = run.dynamicEnergy / requests;
+                    const double leak = leak_nominal *
+                                        point.leakageScale * seconds /
+                                        requests;
+                    p.energyPerAccess = dyn + leak;
+                    p.cyclesPerAccess =
+                        static_cast<double>(run.cycles) / requests;
+                    p.edpPerAccess =
+                        p.energyPerAccess * p.cyclesPerAccess * period;
+                    p.missRate =
+                        static_cast<double>(run.misses) / requests;
+                }
+                out.push_back(std::move(p));
+            }
+        };
+
+    const bool progress_on =
+        spec.progress || ParallelSweeper::defaultProgress();
+    auto last_beat = t0;
+    std::uint64_t shards_accounted = 0;
+    std::uint64_t cells_accounted = 0;
+
+    const auto heartbeat = [&](bool final_beat) {
+        if (!progress_on)
+            return;
+        const auto now = std::chrono::steady_clock::now();
+        if (!final_beat &&
+            std::chrono::duration<double>(now - last_beat).count() < 0.5)
+            return;
+        last_beat = now;
+        const double elapsed =
+            std::chrono::duration<double>(now - t0).count();
+        const std::uint64_t runs_done =
+            cells_accounted * spec.runsPerCell();
+        const double exec_rate =
+            elapsed > 0.0
+                ? static_cast<double>(result.configRunsExecuted) / elapsed
+                : 0.0;
+        const std::uint64_t runs_left =
+            result.configRunsTotal > runs_done
+                ? result.configRunsTotal - runs_done
+                : 0;
+        const double eta = exec_rate > 0.0
+                               ? static_cast<double>(runs_left) /
+                                     exec_rate
+                               : 0.0;
+        const StreamCache::Stats cs = globalStreamCache().stats();
+        const std::uint64_t d_hits = cs.hits - cache_before.hits;
+        const std::uint64_t d_lookups =
+            d_hits + (cs.misses - cache_before.misses);
+        std::fprintf(
+            stderr,
+            "\r[%s] shards %llu/%llu · config-runs %llu/%llu · "
+            "%.1f runs/s · ETA %.0fs · cache-hit %.0f%%%s",
+            spec.label.c_str(),
+            static_cast<unsigned long long>(shards_accounted),
+            static_cast<unsigned long long>(result.shardsTotal),
+            static_cast<unsigned long long>(runs_done),
+            static_cast<unsigned long long>(result.configRunsTotal),
+            exec_rate, eta,
+            d_lookups ? 100.0 * static_cast<double>(d_hits) /
+                            static_cast<double>(d_lookups)
+                      : 0.0,
+            final_beat ? "\n" : "");
+        std::fflush(stderr);
+    };
+
+    for (const std::uint64_t shard : order) {
+        const std::uint64_t first = shard * spec.cellsPerShard;
+        const std::uint64_t count = std::min<std::uint64_t>(
+            spec.cellsPerShard, result.cellsTotal - first);
+        const std::string path =
+            ckpt_on ? shardPath(spec.checkpointDir, shard)
+                    : std::string();
+
+        if (ckpt_on && std::filesystem::exists(path)) {
+            result.cellsSkipped += loadShardCheckpoint(
+                path, sig, shard, first, count, result.summaries);
+            ++result.shardsResumed;
+            ++shards_accounted;
+            cells_accounted += count;
+        } else if (!spec.maxShards ||
+                   result.shardsExecuted < spec.maxShards) {
+            const auto shard_t0 = std::chrono::steady_clock::now();
+
+            // Expand the shard's cells into jobs: one job per grid
+            // point, one controller per scheme. Invalid geometries
+            // (e.g. a set smaller than one block) are skipped — the
+            // verdict depends only on the spec, so it is identical on
+            // every run/resume.
+            std::vector<SweepJob> jobs;
+            std::vector<std::pair<CellCoord, mem::CacheConfig>> valid;
+            std::uint64_t skipped = 0;
+            for (std::uint64_t ci = first; ci < first + count; ++ci) {
+                const CellCoord coord = decodeCell(spec, ci);
+                const mem::CacheConfig cache = cacheFor(spec, coord);
+                try {
+                    cache.validate();
+                } catch (const std::invalid_argument &) {
+                    ++skipped;
+                    continue;
+                }
+                const trace::StreamParams profile =
+                    trace::specProfile(spec.workloads[coord.workload]);
+                const std::string key = trace::streamSignature(profile);
+                for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+                    SweepJob job;
+                    job.makeGenerator = [profile]() {
+                        return std::make_unique<trace::MarkovStream>(
+                            profile);
+                    };
+                    job.streamKey = key;
+                    job.vdd = vdd_mode ? grid[gi] : 0.0;
+                    job.configs.reserve(spec.schemes.size());
+                    for (const WriteScheme s : spec.schemes) {
+                        ControllerConfig cfg;
+                        cfg.cache = cache;
+                        cfg.scheme = s;
+                        if (vdd_mode) {
+                            cfg.vdd = grid[gi];
+                            cfg.vmodel = spec.model;
+                        }
+                        job.configs.push_back(cfg);
+                    }
+                    jobs.push_back(std::move(job));
+                }
+                valid.emplace_back(coord, cache);
+            }
+
+            std::vector<DesignPointSummary> shard_points;
+            if (!jobs.empty()) {
+                const auto runs = sweeper.run(
+                    jobs, rc,
+                    spec.label + ":shard" + std::to_string(shard));
+                shard_points.reserve(valid.size() *
+                                     spec.schemes.size());
+                for (std::size_t vi = 0; vi < valid.size(); ++vi) {
+                    reduceCell(valid[vi].first, valid[vi].second, runs,
+                               vi * grid.size(), shard_points);
+                }
+            }
+
+            if (ckpt_on) {
+                writeShardCheckpoint(spec.checkpointDir, shard, sig,
+                                     first, count, skipped,
+                                     shard_points);
+            }
+            result.summaries.insert(
+                result.summaries.end(),
+                std::make_move_iterator(shard_points.begin()),
+                std::make_move_iterator(shard_points.end()));
+            result.cellsSkipped += skipped;
+            result.configRunsExecuted +=
+                (count - skipped) * spec.runsPerCell();
+            ++result.shardsExecuted;
+            ++shards_accounted;
+            cells_accounted += count;
+
+            const auto shard_t1 = std::chrono::steady_clock::now();
+            obs::globalMetrics().recordShardWallNs(
+                static_cast<std::uint64_t>(
+                    std::chrono::duration<double, std::nano>(shard_t1 -
+                                                             shard_t0)
+                        .count()));
+        } else {
+            // Shard budget exhausted and this shard has no checkpoint:
+            // leave it for the next run.
+            continue;
+        }
+
+        const double elapsed = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+        obs::Metrics::ExplorerSnapshot snap;
+        snap.shardsDone = shards_accounted;
+        snap.shardsTotal = result.shardsTotal;
+        snap.configRunsDone = cells_accounted * spec.runsPerCell();
+        snap.configRunsTotal = result.configRunsTotal;
+        snap.configRunsPerSec =
+            elapsed > 0.0
+                ? static_cast<double>(result.configRunsExecuted) /
+                      elapsed
+                : 0.0;
+        snap.etaSeconds =
+            snap.configRunsPerSec > 0.0
+                ? static_cast<double>(snap.configRunsTotal -
+                                      snap.configRunsDone) /
+                      snap.configRunsPerSec
+                : 0.0;
+        obs::globalMetrics().noteExplorer(snap);
+        heartbeat(false);
+    }
+
+    result.completed = shards_accounted == result.shardsTotal;
+
+    // Canonical order: spec axes cannot leak execution order into the
+    // result document.
+    std::sort(result.summaries.begin(), result.summaries.end(),
+              [](const DesignPointSummary &a,
+                 const DesignPointSummary &b) {
+                  return std::tie(a.workload, a.sizeBytes, a.ways,
+                                  a.blockBytes, a.repl, a.scheme) <
+                         std::tie(b.workload, b.sizeBytes, b.ways,
+                                  b.blockBytes, b.repl, b.scheme);
+              });
+
+    // Pareto frontier per workload over the operational points:
+    // minimize (energy/access, EDP/access, min-Vdd). A point is
+    // dominated when another is no worse on all three and strictly
+    // better on one; exact ties survive together.
+    if (result.completed) {
+        for (const std::string &w : spec.workloads) {
+            std::vector<DesignPointSummary *> pts;
+            for (DesignPointSummary &p : result.summaries) {
+                if (p.workload == w && p.operational)
+                    pts.push_back(&p);
+            }
+            for (DesignPointSummary *p : pts) {
+                bool dominated = false;
+                for (const DesignPointSummary *q : pts) {
+                    if (q == p)
+                        continue;
+                    const bool no_worse =
+                        q->energyPerAccess <= p->energyPerAccess &&
+                        q->edpPerAccess <= p->edpPerAccess &&
+                        q->minVdd <= p->minVdd;
+                    const bool better =
+                        q->energyPerAccess < p->energyPerAccess ||
+                        q->edpPerAccess < p->edpPerAccess ||
+                        q->minVdd < p->minVdd;
+                    if (no_worse && better) {
+                        dominated = true;
+                        break;
+                    }
+                }
+                p->onFrontier = !dominated;
+            }
+        }
+    }
+
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    result.wallSeconds = wall;
+    result.configRunsPerSec =
+        wall > 0.0 ? static_cast<double>(result.configRunsExecuted) / wall
+                   : 0.0;
+    const StreamCache::Stats cache_after = globalStreamCache().stats();
+    const std::uint64_t d_hits = cache_after.hits - cache_before.hits;
+    const std::uint64_t d_lookups =
+        d_hits + (cache_after.misses - cache_before.misses);
+    result.streamCacheHitRate =
+        d_lookups ? static_cast<double>(d_hits) /
+                        static_cast<double>(d_lookups)
+                  : 0.0;
+    heartbeat(true);
+
+    result._pending = std::make_unique<ExploreResult::Pending>();
+    result._pending->rc = rc;
+    result._pending->workers = sweeper.workers();
+    result._pending->phasesBefore = phases_before;
+    result._pending->profOn = prof_on;
+    return result;
+}
+
+} // namespace c8t::core

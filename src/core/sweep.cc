@@ -410,8 +410,22 @@ ParallelSweeper::run(const std::vector<SweepJob> &jobs, const RunConfig &rc,
     const double wall =
         std::chrono::duration<double>(Clock::now() - t0).count();
 
+    {
+        // Trace-span emission and the metrics rewrite are in-run
+        // serialization work; scope them so the perf record below
+        // attributes them instead of reporting serialize:0. Both
+        // no-op (and cost nothing) when their sink is unset.
+        const obs::prof::ScopedPhase serialize_scope(
+            obs::prof::Phase::Serialize);
+        emitTraceSpans(label, spans, pool ? pool : 1);
+        obs::writeGlobalMetrics();
+    }
+
     obs::prof::PhaseTimes run_phases;
     if (prof_on) {
+        // The main thread contributed the serialize scope above (per
+        // job, run_one already flushed the workers' thread-locals).
+        run_phases.add(obs::prof::takeThreadTimes());
         const unsigned tracks = pool ? pool : 1;
         std::vector<double> busy(tracks, 0.0);
         std::vector<std::uint64_t> worker_jobs(tracks, 0);
@@ -428,11 +442,13 @@ ParallelSweeper::run(const std::vector<SweepJob> &jobs, const RunConfig &rc,
         }
     }
 
-    emitBenchJson(label, results, rc, pool ? pool : 1, wall,
-                  prof_on ? &run_phases : nullptr);
-    emitTraceSpans(label, spans, pool ? pool : 1);
+    if (_recordBench) {
+        emitBenchJson(label, results, rc, pool ? pool : 1, wall,
+                      prof_on ? &run_phases : nullptr);
+    }
     // Keep the exposition file fresh after every run (no-op when no
-    // metrics path is configured).
+    // metrics path is configured); this rewrite includes the phase
+    // fold above, the scoped one inside the record does not.
     obs::writeGlobalMetrics();
     return results;
 }

@@ -139,6 +139,17 @@ class ParallelSweeper
     static bool defaultProgress();
 
     /**
+     * Enable/disable the per-run C8T_BENCH_JSON record (default on).
+     * Drivers that execute many small runs under one umbrella record
+     * (the design-space explorer runs one sweep per shard) turn it
+     * off so the snapshot file is not flooded with per-shard rows.
+     */
+    void setRecordBench(bool on) { _recordBench = on; }
+
+    /** Whether run() appends a C8T_BENCH_JSON record. */
+    bool recordBench() const { return _recordBench; }
+
+    /**
      * Run every job and collect the per-job result vectors in
      * submission order.
      *
@@ -159,6 +170,7 @@ class ParallelSweeper
   private:
     unsigned _workers;
     bool _progress = defaultProgress();
+    bool _recordBench = true;
 };
 
 /**

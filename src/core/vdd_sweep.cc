@@ -130,6 +130,54 @@ emitVddBenchJson(const std::string &label, const VddSweepResult &result,
 
 } // anonymous namespace
 
+/** Deferred bench-record state, armed by runVddSweep and consumed by
+ *  emitBenchRecord(). Lives behind a unique_ptr so the header does not
+ *  need the definition. */
+struct VddSweepResult::Pending
+{
+    std::string label;
+    RunConfig rc;
+    unsigned workers = 0;
+    double wallSeconds = 0.0;
+    obs::prof::PhaseTimes phasesBefore;
+    bool profOn = false;
+};
+
+VddSweepResult::VddSweepResult() = default;
+VddSweepResult::VddSweepResult(VddSweepResult &&) noexcept = default;
+VddSweepResult &
+VddSweepResult::operator=(VddSweepResult &&) noexcept = default;
+
+VddSweepResult::~VddSweepResult()
+{
+    emitBenchRecord();
+}
+
+void
+VddSweepResult::emitBenchRecord()
+{
+    if (!_pending)
+        return;
+    const std::unique_ptr<Pending> p = std::move(_pending);
+    obs::prof::PhaseTimes run_phases;
+    if (p->profOn) {
+        // Fold in everything this thread did since the sweep started —
+        // including the caller's dumpJson/table Serialize scopes —
+        // and diff against the entry snapshot.
+        obs::globalMetrics().addPhaseTimes(obs::prof::takeThreadTimes());
+        const obs::prof::PhaseTimes after =
+            obs::globalMetrics().phaseTimes();
+        for (std::size_t i = 0; i < obs::prof::kNumPhases; ++i) {
+            run_phases.ns[i] = after.ns[i] - p->phasesBefore.ns[i];
+            run_phases.scopes[i] =
+                after.scopes[i] - p->phasesBefore.scopes[i];
+        }
+    }
+    emitVddBenchJson(p->label, *this, p->rc, p->workers, p->wallSeconds,
+                     p->profOn ? &run_phases : nullptr);
+    obs::writeGlobalMetrics();
+}
+
 const VddCurve *
 VddSweepResult::curve(WriteScheme scheme) const
 {
@@ -366,23 +414,16 @@ runVddSweep(const VddSweepSpec &spec, const RunConfig &rc, unsigned workers)
     const double wall = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t0)
                             .count();
-    obs::prof::PhaseTimes run_phases;
-    if (prof_on) {
-        // Fold in the main-thread work (fault maps, curve assembly)
-        // and diff against the snapshot taken at entry.
-        obs::globalMetrics().addPhaseTimes(obs::prof::takeThreadTimes());
-        const obs::prof::PhaseTimes after =
-            obs::globalMetrics().phaseTimes();
-        for (std::size_t i = 0; i < obs::prof::kNumPhases; ++i) {
-            run_phases.ns[i] = after.ns[i] - phases_before.ns[i];
-            run_phases.scopes[i] =
-                after.scopes[i] - phases_before.scopes[i];
-        }
-    }
-    emitVddBenchJson("vdd_sweep:" + result.workload, result, rc,
-                     sweeper.workers(), wall,
-                     prof_on ? &run_phases : nullptr);
-    obs::writeGlobalMetrics();
+    // Arm the deferred bench record: emitBenchRecord() (at the latest,
+    // the result's destructor) writes it, so the caller's Serialize
+    // scopes around dumpJson/table printing land in its phase block.
+    result._pending = std::make_unique<VddSweepResult::Pending>();
+    result._pending->label = "vdd_sweep:" + result.workload;
+    result._pending->rc = rc;
+    result._pending->workers = sweeper.workers();
+    result._pending->wallSeconds = wall;
+    result._pending->phasesBefore = phases_before;
+    result._pending->profOn = prof_on;
     return result;
 }
 

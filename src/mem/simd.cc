@@ -5,6 +5,7 @@
 
 #include "mem/simd.hh"
 
+#include <chrono>
 #include <cstdlib>
 
 namespace c8t::mem::simd
@@ -18,6 +19,78 @@ constexpr int kUnresolved = -1;
 
 /** Resolved level, or kUnresolved before first use. */
 int g_level = kUnresolved;
+
+/**
+ * Time one kernel over a small in-cache fixture; returns the best of
+ * three rounds (seconds). The fixture mirrors the micro bench: 64
+ * sets x 8 ways of xorshift tags, needles cycling through hit ways.
+ */
+double
+timeLevel(SimdLevel level, const Addr *tags, const Addr *needles,
+          std::uint32_t sets, std::uint32_t ways)
+{
+    using Clock = std::chrono::steady_clock;
+    constexpr int kRounds = 3;
+    constexpr int kPasses = 64;
+    double best = 1e30;
+    std::uint64_t sink = 0;
+    for (int round = -1; round < kRounds; ++round) { // -1 = warm-up
+        const auto t0 = Clock::now();
+        for (int pass = 0; pass < kPasses; ++pass) {
+            for (std::uint32_t s = 0; s < sets; ++s)
+                sink += matchBits(level, tags + s * ways, ways,
+                                  needles[s]);
+        }
+        const double secs =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        if (round >= 0 && secs < best)
+            best = secs;
+    }
+    // Keep the accumulator observable so the loops cannot be elided.
+    static volatile std::uint64_t g_sink;
+    g_sink = sink;
+    return best;
+}
+
+/** Measure every supported kernel and return the fastest. */
+SimdLevel
+calibrate()
+{
+    const SimdLevel best = bestSupported();
+    if (best == SimdLevel::Scalar)
+        return best;
+
+    constexpr std::uint32_t kSets = 64;
+    constexpr std::uint32_t kWays = 8;
+    Addr tags[kSets * kWays];
+    Addr needles[kSets];
+    std::uint64_t x = 0x9e3779b97f4a7c15ull; // xorshift64
+    for (auto &t : tags) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        t = static_cast<Addr>(x);
+    }
+    for (std::uint32_t s = 0; s < kSets; ++s)
+        needles[s] = tags[s * kWays + s % kWays]; // always one hit
+
+    // Highest level first so an (unlikely) exact tie keeps the wider
+    // kernel; every candidate produces bit-identical masks, so the
+    // stopwatch is the only tie-breaker that matters.
+    SimdLevel fastest = best;
+    double fastest_secs =
+        timeLevel(best, tags, needles, kSets, kWays);
+    for (int l = static_cast<int>(best) - 1; l >= 0; --l) {
+        const SimdLevel level = static_cast<SimdLevel>(l);
+        const double secs =
+            timeLevel(level, tags, needles, kSets, kWays);
+        if (secs < fastest_secs) {
+            fastest = level;
+            fastest_secs = secs;
+        }
+    }
+    return fastest;
+}
 
 } // anonymous namespace
 
@@ -51,6 +124,13 @@ bestSupported()
 }
 
 SimdLevel
+autoCalibratedLevel()
+{
+    static const SimdLevel calibrated = calibrate();
+    return calibrated;
+}
+
+SimdLevel
 parseLevel(const std::string &spec)
 {
     const SimdLevel best = bestSupported();
@@ -60,8 +140,10 @@ parseLevel(const std::string &spec)
         return best < SimdLevel::Sse2 ? best : SimdLevel::Sse2;
     if (spec == "avx2")
         return best < SimdLevel::Avx2 ? best : SimdLevel::Avx2;
-    // "auto", empty, or anything unrecognised: the best we can do.
-    return best;
+    // "auto", empty, or anything unrecognised: the measured-fastest
+    // level — not blindly the widest, which loses ~2x on hosts that
+    // emulate 256-bit ops.
+    return autoCalibratedLevel();
 }
 
 SimdLevel

@@ -54,10 +54,23 @@ const char *toString(SimdLevel level);
 SimdLevel bestSupported();
 
 /**
+ * The measured-fastest supported level. The first call times every
+ * supported kernel on a small in-cache fixture (one warm-up round,
+ * best-of-three timed rounds each) and caches the winner; subsequent
+ * calls are free. This exists because "highest ISA" is not "fastest"
+ * everywhere: on hosts that emulate 256-bit ops (some VMs) the AVX2
+ * kernel measures ~2x slower than SSE2, and since every level returns
+ * bit-identical masks the choice can safely follow the stopwatch.
+ * bench/micro_perf emits a "way_compare:auto" record guarding this.
+ */
+SimdLevel autoCalibratedLevel();
+
+/**
  * The level in effect. First use resolves the C8T_SIMD environment
- * variable (scalar|sse2|avx2|auto; auto and unset mean bestSupported(),
- * levels above hardware support are clamped down) and caches the
- * result; subsequent calls are a load.
+ * variable (scalar|sse2|avx2|auto; auto and unset mean
+ * autoCalibratedLevel() — the measured-fastest level, not blindly the
+ * highest; named levels above hardware support are clamped down) and
+ * caches the result; subsequent calls are a load.
  */
 SimdLevel activeLevel();
 
@@ -67,9 +80,9 @@ SimdLevel activeLevel();
 SimdLevel setLevel(SimdLevel level);
 
 /**
- * Parse a C8T_SIMD-style spec. Returns bestSupported() for "auto",
- * empty or unknown strings; named levels are clamped to hardware
- * support.
+ * Parse a C8T_SIMD-style spec. Returns autoCalibratedLevel() for
+ * "auto", empty or unknown strings; named levels are clamped to
+ * hardware support.
  */
 SimdLevel parseLevel(const std::string &spec);
 

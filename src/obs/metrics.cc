@@ -121,10 +121,24 @@ Metrics::recordChunkReplayNs(std::uint64_t ns)
 }
 
 void
+Metrics::recordShardWallNs(std::uint64_t ns)
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    _shardWall.record(ns);
+}
+
+void
 Metrics::noteSweep(const SweepSnapshot &s)
 {
     const std::lock_guard<std::mutex> lock(_mutex);
     _sweep = s;
+}
+
+void
+Metrics::noteExplorer(const ExplorerSnapshot &s)
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    _explorer = s;
 }
 
 void
@@ -167,11 +181,25 @@ Metrics::chunkReplay() const
     return _chunkReplay;
 }
 
+Histogram
+Metrics::shardWall() const
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    return _shardWall;
+}
+
 Metrics::SweepSnapshot
 Metrics::sweep() const
 {
     const std::lock_guard<std::mutex> lock(_mutex);
     return _sweep;
+}
+
+Metrics::ExplorerSnapshot
+Metrics::explorer() const
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    return _explorer;
 }
 
 std::vector<Metrics::WorkerStats>
@@ -219,6 +247,9 @@ Metrics::writePrometheus(std::ostream &os) const
                  "Sweep-job wall-time distribution.", _jobWall);
     writeSummary(os, "c8t_chunk_replay_seconds",
                  "Per-chunk replay-time distribution.", _chunkReplay);
+    writeSummary(os, "c8t_shard_wall_seconds",
+                 "Explorer per-shard wall-time distribution.",
+                 _shardWall);
 
     writeCounter(os, "c8t_stream_cache_hits_total",
                  "StreamCache lookup hits.", _streamCache.hits);
@@ -256,6 +287,25 @@ Metrics::writePrometheus(std::ostream &os) const
     writeGauge(os, "c8t_sweep_workers",
                "Worker threads used by the current/last sweep.",
                static_cast<double>(_sweep.workers));
+
+    writeGauge(os, "c8t_explorer_shards",
+               "Shards in the current/last explore.",
+               static_cast<double>(_explorer.shardsTotal));
+    writeGauge(os, "c8t_explorer_shards_done",
+               "Explorer shards completed so far.",
+               static_cast<double>(_explorer.shardsDone));
+    writeGauge(os, "c8t_explorer_config_runs",
+               "Config-runs in the current/last explore.",
+               static_cast<double>(_explorer.configRunsTotal));
+    writeGauge(os, "c8t_explorer_config_runs_done",
+               "Explorer config-runs completed so far.",
+               static_cast<double>(_explorer.configRunsDone));
+    writeGauge(os, "c8t_explorer_config_runs_per_second",
+               "Config-run throughput of the current/last explore.",
+               _explorer.configRunsPerSec);
+    writeGauge(os, "c8t_explorer_eta_seconds",
+               "Estimated seconds to explore completion (0 when done).",
+               _explorer.etaSeconds);
 
     if (!_workers.empty()) {
         os << "# HELP c8t_worker_busy_seconds_total Per-worker time "
@@ -306,6 +356,8 @@ Metrics::writeProfileJson(std::ostream &os) const
     writeHistogramJson(os, _jobWall);
     os << ",\"chunk_replay_us\":";
     writeHistogramJson(os, _chunkReplay);
+    os << ",\"shard_wall_us\":";
+    writeHistogramJson(os, _shardWall);
     os << "}}";
 }
 
@@ -316,7 +368,9 @@ Metrics::reset()
     _phases = prof::PhaseTimes{};
     _jobWall.reset();
     _chunkReplay.reset();
+    _shardWall.reset();
     _sweep = SweepSnapshot{};
+    _explorer = ExplorerSnapshot{};
     _workers.clear();
     _streamCache = StreamCacheStats{};
 }

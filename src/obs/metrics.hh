@@ -82,11 +82,26 @@ class Metrics
         std::uint64_t jobs = 0;
     };
 
+    /** Design-space explorer progress gauges (last explore wins).
+     *  Config-runs are the explorer's unit of throughput: one
+     *  (workload, geometry, scheme, Vdd) simulation. */
+    struct ExplorerSnapshot
+    {
+        std::uint64_t shardsDone = 0;
+        std::uint64_t shardsTotal = 0;
+        std::uint64_t configRunsDone = 0;
+        std::uint64_t configRunsTotal = 0;
+        double configRunsPerSec = 0.0;
+        double etaSeconds = 0.0;
+    };
+
     // --- producers -----------------------------------------------
     void addPhaseTimes(const prof::PhaseTimes &t);
     void recordJobWallNs(std::uint64_t ns);
     void recordChunkReplayNs(std::uint64_t ns);
+    void recordShardWallNs(std::uint64_t ns);
     void noteSweep(const SweepSnapshot &s);
+    void noteExplorer(const ExplorerSnapshot &s);
     /** Adds (cumulatively) onto worker @p worker's totals. */
     void noteWorker(std::uint32_t worker, double busy_seconds,
                     double idle_seconds, std::uint64_t jobs);
@@ -96,7 +111,9 @@ class Metrics
     prof::PhaseTimes phaseTimes() const;
     Histogram jobWall() const;
     Histogram chunkReplay() const;
+    Histogram shardWall() const;
     SweepSnapshot sweep() const;
+    ExplorerSnapshot explorer() const;
     std::vector<WorkerStats> workers() const;
     StreamCacheStats streamCache() const;
 
@@ -118,7 +135,9 @@ class Metrics
     prof::PhaseTimes _phases;
     Histogram _jobWall;
     Histogram _chunkReplay;
+    Histogram _shardWall;
     SweepSnapshot _sweep;
+    ExplorerSnapshot _explorer;
     std::vector<WorkerStats> _workers;
     StreamCacheStats _streamCache;
 };

@@ -97,8 +97,12 @@ class Registry
      *     profiler is on, and interval snapshot lines gain a
      *     steady-clock "elapsed_us" field. Registry dumps themselves
      *     carry no new keys.
+     *  4  design-space explorer (DESIGN.md §12): new top-level
+     *     kind:"explore" document (ExploreResult::dumpJson) and a
+     *     "shard_wall_us" histogram in the profile section. Registry
+     *     and vdd_sweep dumps carry no new keys.
      */
-    static constexpr int kJsonSchemaVersion = 3;
+    static constexpr int kJsonSchemaVersion = 4;
 
     /**
      * Dump every statistic as one machine-readable JSON object:

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "app/options.hh"
+#include "sram/vmodel.hh"
 
 namespace
 {
@@ -165,6 +166,61 @@ TEST(Options, VoltageFlags)
     EXPECT_THROW(parse({"--vdd", "-0.5"}), std::invalid_argument);
 }
 
+TEST(Options, ExplorerFlags)
+{
+    const SimOptions defaults = parse({});
+    EXPECT_FALSE(defaults.explore);
+    EXPECT_TRUE(defaults.exploreWorkloads.empty());
+    EXPECT_EQ(defaults.exploreSizesKb,
+              (std::vector<std::uint64_t>{16, 32, 64, 128}));
+    EXPECT_EQ(defaults.exploreWays, (std::vector<std::uint32_t>{2, 4, 8}));
+    EXPECT_EQ(defaults.exploreBlocks, (std::vector<std::uint32_t>{32, 64}));
+    EXPECT_EQ(defaults.exploreRepls,
+              (std::vector<c8t::mem::ReplKind>{c8t::mem::ReplKind::Lru}));
+    EXPECT_TRUE(defaults.exploreVdd.empty());
+    EXPECT_TRUE(defaults.checkpointDir.empty());
+    EXPECT_EQ(defaults.shardCells, 8u);
+    EXPECT_EQ(defaults.exploreMaxShards, 0u);
+
+    const SimOptions o = parse(
+        {"--explore", "--explore-workloads", "gcc,mcf",
+         "--explore-sizes", "16,32", "--explore-ways", "2,4",
+         "--explore-blocks", "32", "--explore-repl", "lru,fifo",
+         "--explore-vdd", "1.0,0.8", "--checkpoint-dir", "/tmp/ckpt",
+         "--shard-cells", "3", "--explore-max-shards", "2"});
+    EXPECT_TRUE(o.explore);
+    EXPECT_EQ(o.exploreWorkloads,
+              (std::vector<std::string>{"gcc", "mcf"}));
+    EXPECT_EQ(o.exploreSizesKb, (std::vector<std::uint64_t>{16, 32}));
+    EXPECT_EQ(o.exploreWays, (std::vector<std::uint32_t>{2, 4}));
+    EXPECT_EQ(o.exploreBlocks, (std::vector<std::uint32_t>{32}));
+    EXPECT_EQ(o.exploreRepls,
+              (std::vector<c8t::mem::ReplKind>{c8t::mem::ReplKind::Lru,
+                                               c8t::mem::ReplKind::Fifo}));
+    EXPECT_EQ(o.exploreVdd, (std::vector<double>{1.0, 0.8}));
+    EXPECT_EQ(o.checkpointDir, "/tmp/ckpt");
+    EXPECT_EQ(o.shardCells, 3u);
+    EXPECT_EQ(o.exploreMaxShards, 2u);
+
+    // Keyword values: "all" workloads = every profile (empty list),
+    // "grid" = the default Vdd grid, "none" = nominal-only.
+    EXPECT_TRUE(
+        parse({"--explore-workloads", "all"}).exploreWorkloads.empty());
+    EXPECT_EQ(parse({"--explore-vdd", "grid"}).exploreVdd,
+              c8t::sram::VddModel::defaultGrid());
+    EXPECT_TRUE(parse({"--explore-vdd", "none"}).exploreVdd.empty());
+
+    EXPECT_THROW(parse({"--explore-sizes"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--explore-sizes", ""}), std::invalid_argument);
+    EXPECT_THROW(parse({"--explore-sizes", "16,big"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({"--explore-repl", "mru"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({"--explore-vdd", "volts"}),
+                 std::invalid_argument);
+    EXPECT_THROW(parse({"--shard-cells", "0"}), std::invalid_argument);
+}
+
 TEST(Options, Errors)
 {
     EXPECT_THROW(parse({"--bogus"}), std::invalid_argument);
@@ -189,7 +245,10 @@ TEST(Options, UsageMentionsEveryFlag)
           "--stats", "--stats-json", "--csv", "--chrome-trace",
           "--trace-events", "--metrics-out", "--interval-stats", "--interval",
           "--progress", "--jobs", "--stream-cache", "--vdd",
-          "--vdd-sweep"}) {
+          "--vdd-sweep", "--explore", "--explore-workloads",
+          "--explore-sizes", "--explore-ways", "--explore-blocks",
+          "--explore-repl", "--explore-vdd", "--checkpoint-dir",
+          "--shard-cells", "--explore-max-shards"}) {
         EXPECT_NE(u.find(flag), std::string::npos) << flag;
     }
 }

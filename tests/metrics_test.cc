@@ -263,6 +263,8 @@ TEST(Metrics, ProfileJsonGolden)
         "\"job_wall_us\":{\"count\":2,\"mean\":1,\"p50\":1,\"p95\":1,"
         "\"p99\":1,\"max\":1},"
         "\"chunk_replay_us\":{\"count\":0,\"mean\":0,\"p50\":0,"
+        "\"p95\":0,\"p99\":0,\"max\":0},"
+        "\"shard_wall_us\":{\"count\":0,\"mean\":0,\"p50\":0,"
         "\"p95\":0,\"p99\":0,\"max\":0}"
         "}}";
     EXPECT_EQ(os.str(), expected);
@@ -275,7 +277,9 @@ TEST(Metrics, ResetDropsEverything)
     m.reset();
     EXPECT_TRUE(m.phaseTimes().empty());
     EXPECT_EQ(m.jobWall().count(), 0u);
+    EXPECT_EQ(m.shardWall().count(), 0u);
     EXPECT_EQ(m.sweep().jobsTotal, 0u);
+    EXPECT_EQ(m.explorer().shardsTotal, 0u);
     EXPECT_TRUE(m.workers().empty());
     EXPECT_EQ(m.streamCache().hits, 0u);
 }

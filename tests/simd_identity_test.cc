@@ -189,6 +189,21 @@ TEST(SimdKernels, MatchMasksBitIdenticalAcrossLevels)
     }
 }
 
+TEST(SimdKernels, AutoCalibrationPicksASupportedStableLevel)
+{
+    // The calibrated level must be executable (<= bestSupported())
+    // and cached: C8T_SIMD=auto may not flap between runs inside one
+    // process. Which level wins is host-dependent (the point of
+    // measuring), so only the contract is pinned; correctness is
+    // already covered by the mask-identity test above.
+    const SimdLevel calibrated = mem::simd::autoCalibratedLevel();
+    EXPECT_LE(static_cast<int>(calibrated),
+              static_cast<int>(mem::simd::bestSupported()));
+    EXPECT_EQ(mem::simd::autoCalibratedLevel(), calibrated);
+    EXPECT_EQ(mem::simd::parseLevel("auto"), calibrated);
+    EXPECT_EQ(mem::simd::parseLevel(""), calibrated);
+}
+
 TEST(SimdIdentity, SpecProfilesIdenticalAcrossLevels)
 {
     LevelGuard guard;

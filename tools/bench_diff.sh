@@ -5,9 +5,11 @@
 #
 #   * JSON-lines records are matched on (kind, label, workers) and
 #     compared on accesses_per_sec — kind is "sweep" for plain sweeps,
-#     "vdd" for voltage-sweep records and "micro" for the way-compare
-#     microbenchmark rows, so unlike kinds never pair even when they
-#     share a label; a snapshot may mix any subset of kinds,
+#     "vdd" for voltage-sweep records, "explore" for design-space
+#     explorer soaks (whose config_runs_per_sec rides along for
+#     context) and "micro" for the way-compare microbenchmark rows, so
+#     unlike kinds never pair even when they share a label; a snapshot
+#     may mix any subset of kinds,
 #   * micro-benchmark entries are matched on name and compared on
 #     items_per_second (entries without an items/s rate, e.g. the
 #     SEC-DED codec rows, are compared on 1/real_time),

@@ -11,7 +11,11 @@
 #     C8T_BENCH_JSON (JSON-lines: workers, simulated accesses,
 #     accesses/sec),
 #   * one voltage sweep (bench/bench_vdd), which appends a kind:"vdd"
-#     record carrying the per-scheme min-Vdd alongside its throughput.
+#     record carrying the per-scheme min-Vdd alongside its throughput,
+#   * one design-space explore (bench/bench_explorer, DESIGN.md §12),
+#     which appends a kind:"explore" record (config-runs/sec,
+#     stream-cache hit rate, accesses/sec) from a 14,400-config-run
+#     cross-product.
 #
 # Both are bundled into BENCH_<date>.json in the repository root so
 # successive commits can be compared.
@@ -41,7 +45,7 @@ trap 'rm -f "$micro_json" "$sweep_jsonl"' EXIT
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" --target micro_perf fig09_access_reduction \
-    bench_vdd -j "$(nproc)"
+    bench_vdd bench_explorer -j "$(nproc)"
 
 build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
     "$build_dir/CMakeCache.txt")
@@ -97,6 +101,13 @@ C8T_BENCH_JSON="$sweep_jsonl" C8T_BENCH_ACCESSES=100000 C8T_PROF=1 \
 # plus throughput) alongside the sweep engine's own kind:"sweep" row.
 C8T_BENCH_JSON="$sweep_jsonl" C8T_BENCH_ACCESSES=100000 C8T_PROF=1 \
     "$build_dir/bench/bench_vdd" > /dev/null
+
+# The explorer soak appends one kind:"explore" record (config-runs/sec
+# plus the stream-cache hit rate over 14,400 config-runs). It sets its
+# own short per-run window, so C8T_BENCH_ACCESSES is deliberately NOT
+# forwarded — 100k accesses x 14,400 runs would take hours.
+C8T_BENCH_JSON="$sweep_jsonl" C8T_PROF=1 \
+    "$build_dir/bench/bench_explorer" > /dev/null
 
 # Both producers must actually have written something; an empty file
 # here means a benchmark silently produced no records (e.g. the sweep

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "app/options.hh"
+#include "core/explorer.hh"
 #include "core/simulator.hh"
 #include "core/stream_cache.hh"
 #include "core/sweep.hh"
@@ -32,6 +33,7 @@
 #include "obs/snapshot.hh"
 #include "stats/json.hh"
 #include "stats/table.hh"
+#include "trace/spec_profiles.hh"
 #include "trace/trace_io.hh"
 
 namespace
@@ -273,9 +275,128 @@ runVddSweepCli(const app::SimOptions &opt)
     return 0;
 }
 
+/**
+ * --explore: run the design-space explorer (DESIGN.md §12) and print
+ * the per-workload Pareto frontier. An interrupted explore (shard
+ * budget exhausted) prints a resume hint instead of a frontier.
+ */
+int
+runExploreCli(const app::SimOptions &opt)
+{
+    if (!opt.chromeTraceFile.empty())
+        obs::setGlobalTracePath(opt.chromeTraceFile);
+    if (!opt.metricsOutFile.empty())
+        obs::setGlobalMetricsPath(opt.metricsOutFile);
+    if (opt.streamCacheMb >= 0) {
+        core::globalStreamCache().setByteBudget(
+            static_cast<std::size_t>(opt.streamCacheMb) << 20);
+    }
+
+    core::ExplorerSpec spec;
+    spec.label = "c8tsim_explore";
+    spec.workloads = opt.exploreWorkloads.empty()
+                         ? trace::specBenchmarkNames()
+                         : opt.exploreWorkloads;
+    spec.sizesKb = opt.exploreSizesKb;
+    spec.ways = opt.exploreWays;
+    spec.blocks = opt.exploreBlocks;
+    spec.replacements = opt.exploreRepls;
+    if (opt.schemesGiven)
+        spec.schemes = opt.schemes;
+    spec.vddGrid = opt.exploreVdd;
+    spec.checkpointDir = opt.checkpointDir;
+    spec.cellsPerShard = opt.shardCells;
+    spec.maxShards = opt.exploreMaxShards;
+    spec.progress = opt.progress;
+
+    const core::RunConfig rc{opt.effectiveWarmup(), opt.accesses};
+    core::ExploreResult result = core::runExplore(spec, rc, opt.jobs);
+
+    {
+        const obs::prof::ScopedPhase serialize_scope(
+            obs::prof::Phase::Serialize);
+        if (!result.completed) {
+            std::cerr << "explore interrupted after "
+                      << result.shardsExecuted << " of "
+                      << result.shardsTotal << " shards ("
+                      << result.configRunsExecuted
+                      << " config-runs); rerun with the same "
+                         "--checkpoint-dir to resume\n";
+        } else {
+            stats::Table t(
+                "explore frontier (" +
+                std::to_string(result.summaries.size()) +
+                " design points; energy pJ, EDP pJ*ns at min Vdd)");
+            t.setHeader({"workload", "config", "repl", "scheme",
+                         "cell", "minVdd", "energy", "EDP", "cyc/acc",
+                         "miss%"});
+            t.setPrecision(3);
+            for (const std::string &w : result.workloads) {
+                for (const core::DesignPointSummary *p :
+                     result.frontier(w)) {
+                    std::ostringstream cfg;
+                    cfg << (p->sizeBytes >> 10) << "K/" << p->ways
+                        << "w/" << p->blockBytes << "B";
+                    t.addRow({w, cfg.str(), mem::toString(p->repl),
+                              p->scheme, sram::toString(p->cell),
+                              p->minVdd, p->energyPerAccess * 1e12,
+                              p->edpPerAccess * 1e21,
+                              p->cyclesPerAccess, p->missRate * 100.0});
+                }
+            }
+            if (opt.csv)
+                t.printCsv(std::cout);
+            else
+                t.print(std::cout);
+        }
+        std::cerr << "explore: " << result.configRunsExecuted << "/"
+                  << result.configRunsTotal << " config-runs in "
+                  << result.wallSeconds << " s ("
+                  << result.configRunsPerSec
+                  << " config-runs/s, stream-cache hit rate "
+                  << 100.0 * result.streamCacheHitRate << "%"
+                  << (result.shardsResumed
+                          ? ", " + std::to_string(result.shardsResumed) +
+                                " shards resumed"
+                          : std::string())
+                  << ")\n";
+
+        if (!opt.statsJsonFile.empty()) {
+            std::ofstream os(opt.statsJsonFile, std::ios::trunc);
+            if (!os) {
+                throw std::runtime_error("--stats-json: cannot open \"" +
+                                         opt.statsJsonFile +
+                                         "\" for writing");
+            }
+            result.dumpJson(os);
+            os << "\n";
+            if (!os.flush()) {
+                throw std::runtime_error("--stats-json: write to \"" +
+                                         opt.statsJsonFile +
+                                         "\" failed");
+            }
+            std::cerr << "wrote explore JSON to " << opt.statsJsonFile
+                      << "\n";
+        }
+    }
+    // Flush the kind:"explore" record now so the serialization above is
+    // attributed to it (instead of at destructor time, after
+    // finishMetrics has written the exposition).
+    result.emitBenchRecord();
+    if (obs::ChromeTraceWriter *trace = obs::globalTrace()) {
+        trace->close();
+        std::cerr << "wrote Chrome trace to " << trace->path()
+                  << " (load in https://ui.perfetto.dev)\n";
+    }
+    finishMetrics();
+    return 0;
+}
+
 int
 run(const app::SimOptions &opt)
 {
+    if (opt.explore)
+        return runExploreCli(opt);
     if (opt.vddSweep)
         return runVddSweepCli(opt);
     // Observability sinks resolve before any simulation starts so a

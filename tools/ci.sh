@@ -20,7 +20,13 @@
 #      and on (C8T_PROF=1 + C8T_METRICS) and require byte-identical
 #      stdout plus a non-empty Prometheus exposition — profiling must
 #      observe, never perturb.
-#   6. Record a Release benchmark snapshot (tools/bench_report.sh into
+#   6. Explorer smoke: the same small design-space explore three ways
+#      — uninterrupted, interrupted after one shard (checkpointed),
+#      and resumed from those checkpoints — and require the resumed
+#      run's --stats-json document to be byte-identical to the
+#      uninterrupted one (DESIGN.md §12's resumability contract,
+#      checked end-to-end through the c8tsim CLI).
+#   7. Record a Release benchmark snapshot (tools/bench_report.sh into
 #      build-bench) and bench_diff it against the newest recorded
 #      BENCH_*.json in the repo root (a local, gitignored artifact —
 #      seed one with tools/bench_report.sh); any record more than
@@ -106,6 +112,34 @@ if ! grep -q '^c8t_phase_seconds_total' "$metrics_expo"; then
 fi
 rm -f "$metrics_plain" "$metrics_prof" "$metrics_expo"
 echo "ci: profiling byte-identity holds; exposition non-empty"
+
+echo "==== explorer: CLI interrupt/resume byte-identity ===="
+# A small explore (16 config-runs over 2 workloads) run three ways:
+# uninterrupted; interrupted after one shard into a checkpoint dir;
+# resumed from those checkpoints. The resumed JSON document must be
+# byte-identical to the uninterrupted one. Uses the tier-1 tree.
+explore_dir=$(mktemp -d)
+explore_a=$(mktemp)
+explore_b=$(mktemp)
+explore_args=(--explore --explore-workloads gcc,mcf
+    --explore-sizes 16,32 --explore-ways 2,4 --explore-blocks 32
+    --explore-vdd 1.0,0.8 --accesses 3000 --warmup 300 --jobs 2
+    --shard-cells 3)
+"$repo_root/build/tools/c8tsim" "${explore_args[@]}" \
+    --stats-json "$explore_a" > /dev/null
+"$repo_root/build/tools/c8tsim" "${explore_args[@]}" \
+    --checkpoint-dir "$explore_dir" --explore-max-shards 1 > /dev/null
+"$repo_root/build/tools/c8tsim" "${explore_args[@]}" \
+    --checkpoint-dir "$explore_dir" \
+    --stats-json "$explore_b" > /dev/null
+if ! cmp -s "$explore_a" "$explore_b"; then
+    echo "ci: resumed explore JSON differs from uninterrupted run" >&2
+    diff "$explore_a" "$explore_b" >&2 || true
+    exit 1
+fi
+rm -rf "$explore_dir"
+rm -f "$explore_a" "$explore_b"
+echo "ci: explorer interrupt/resume is byte-identical"
 
 echo "==== perf: Release snapshot vs committed baseline ===="
 if [ "${C8T_CI_SKIP_PERF:-0}" = 1 ]; then
