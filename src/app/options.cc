@@ -335,6 +335,37 @@ parseOptions(const std::vector<std::string> &args)
     return opt;
 }
 
+core::JobSpec
+toJobSpec(const SimOptions &opt)
+{
+    core::JobSpec spec;
+    spec.kind = opt.explore    ? core::JobKind::Explore
+                : opt.vddSweep ? core::JobKind::VddSweep
+                               : core::JobKind::Run;
+    spec.workload = opt.workload;
+    spec.accesses = opt.accesses;
+    spec.warmup = opt.warmup;
+    spec.cache = opt.cache;
+    // An empty spec scheme set means "kind default", which matches
+    // what c8tsim applies when --scheme/--all were not given.
+    if (opt.schemesGiven)
+        spec.schemes = opt.schemes;
+    spec.bufferEntries = opt.bufferEntries;
+    spec.silentDetection = opt.silentDetection;
+    spec.l2SizeKb = opt.l2SizeKb;
+    spec.vdd = opt.vdd;
+    spec.exploreWorkloads = opt.exploreWorkloads;
+    spec.exploreSizesKb = opt.exploreSizesKb;
+    spec.exploreWays = opt.exploreWays;
+    spec.exploreBlocks = opt.exploreBlocks;
+    spec.exploreRepls = opt.exploreRepls;
+    spec.exploreVdd = opt.exploreVdd;
+    spec.shardCells = opt.shardCells;
+    spec.checkpointDir = opt.checkpointDir;
+    spec.exploreMaxShards = opt.exploreMaxShards;
+    return spec;
+}
+
 std::vector<std::string>
 kernelNames()
 {

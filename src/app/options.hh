@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/job_spec.hh"
 #include "core/write_scheme.hh"
 #include "mem/cache.hh"
 #include "trace/access.hh"
@@ -166,6 +167,15 @@ struct SimOptions
  * @throws std::invalid_argument with a usable message on bad input.
  */
 SimOptions parseOptions(const std::vector<std::string> &args);
+
+/**
+ * Reduce parsed options to the shared core::JobSpec (DESIGN.md §13) —
+ * the same structure a c8td request parses to, so the CLI and the
+ * daemon execute through one path (app::runJobSpec) and cannot drift.
+ * Output-sink options (--stats-json, --chrome-trace, ...) stay on
+ * SimOptions: they describe where results go, not what to run.
+ */
+core::JobSpec toJobSpec(const SimOptions &opt);
 
 /** The --help text. */
 std::string usageText();

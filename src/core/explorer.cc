@@ -13,13 +13,12 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
-#include <tuple>
 #include <utility>
 
+#include "core/fault_cache.hh"
 #include "core/policies.hh"
 #include "core/stream_cache.hh"
 #include "core/sweep.hh"
@@ -121,11 +120,6 @@ geometryFor(const mem::CacheConfig &cache, WriteScheme scheme)
         traits.requiresNonInterleaved ? 1u : defaults.interleaveDegree,
         scheme == WriteScheme::WordGranular};
 }
-
-/** Fault-map memo key: maps depend only on (seed, cell type,
- *  interleave degree, words per row, grid voltage). */
-using FaultKey =
-    std::tuple<sram::CellType, std::uint32_t, std::uint32_t, std::size_t>;
 
 std::string
 shardPath(const std::string &dir, std::uint64_t shard)
@@ -605,18 +599,13 @@ runExplore(const ExplorerSpec &spec, const RunConfig &rc, unsigned workers)
     sweeper.setProgress(false); // the explorer heartbeats per shard
     sweeper.setRecordBench(false); // one umbrella record, not per shard
 
-    // Fault maps are memoized explorer-wide: they depend only on
+    // Fault maps are memoized process-wide: they depend only on
     // (seed, cell type, interleave degree, words per row, voltage),
-    // so every geometry with the same set size shares them.
-    std::map<FaultKey, sram::FaultMapStats> fault_memo;
+    // so every geometry with the same set size shares them — across
+    // this explore AND every other request in a long-running daemon.
     const auto faultsAt = [&](sram::CellType cell, std::uint32_t degree,
                               std::uint32_t words_per_row,
                               std::size_t grid_index) {
-        const auto key =
-            std::make_tuple(cell, degree, words_per_row, grid_index);
-        const auto it = fault_memo.find(key);
-        if (it != fault_memo.end())
-            return it->second;
         sram::FaultMapConfig fmc;
         fmc.runSeed = spec.runSeed;
         fmc.vdd = grid[grid_index];
@@ -625,9 +614,7 @@ runExplore(const ExplorerSpec &spec, const RunConfig &rc, unsigned workers)
         fmc.rows = spec.faultRows;
         fmc.wordsPerRow = words_per_row;
         fmc.degree = degree;
-        const obs::prof::ScopedPhase fault_scope(
-            obs::prof::Phase::FaultMap);
-        return fault_memo[key] = sram::runFaultMapCampaign(fmc);
+        return globalFaultMapCache().evaluate(fmc);
     };
 
     // Reduce one executed shard: per valid cell, per scheme, walk the

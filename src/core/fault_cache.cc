@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fault-map campaign memo implementation.
+ */
+
+#include "core/fault_cache.hh"
+
+#include <cstdio>
+
+#include "obs/metrics.hh"
+#include "obs/prof.hh"
+
+namespace c8t::core
+{
+
+namespace
+{
+
+/** Mirror the counters into the obs push-model registry. */
+void
+publish(const FaultMapCache::Stats &s)
+{
+    obs::Metrics::FaultCacheStats out;
+    out.hits = s.hits;
+    out.misses = s.misses;
+    out.entries = s.entries;
+    obs::globalMetrics().setFaultCache(out);
+}
+
+} // anonymous namespace
+
+std::string
+FaultMapCache::key(const sram::FaultMapConfig &cfg)
+{
+    // Hexfloat for the doubles: two configs compare equal exactly when
+    // every generation-relevant bit matches.
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%llu|%a|%d|%a|%u|%u|%u",
+                  static_cast<unsigned long long>(cfg.runSeed), cfg.vdd,
+                  static_cast<int>(cfg.cell), cfg.pfailCell, cfg.rows,
+                  cfg.wordsPerRow, cfg.degree);
+    return buf;
+}
+
+sram::FaultMapStats
+FaultMapCache::evaluate(const sram::FaultMapConfig &cfg)
+{
+    const std::string k = key(cfg);
+    {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        const auto it = _entries.find(k);
+        if (it != _entries.end()) {
+            ++_stats.hits;
+            publish(_stats);
+            return it->second;
+        }
+        ++_stats.misses;
+    }
+    sram::FaultMapStats stats;
+    {
+        const obs::prof::ScopedPhase fault_scope(
+            obs::prof::Phase::FaultMap);
+        stats = sram::runFaultMapCampaign(cfg);
+    }
+    const std::lock_guard<std::mutex> lock(_mutex);
+    _entries[k] = stats;
+    _stats.entries = _entries.size();
+    publish(_stats);
+    return stats;
+}
+
+FaultMapCache::Stats
+FaultMapCache::stats() const
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    return _stats;
+}
+
+void
+FaultMapCache::clear()
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    _entries.clear();
+    _stats.entries = 0;
+}
+
+FaultMapCache &
+globalFaultMapCache()
+{
+    // Leaked on purpose, like the other process-wide registries:
+    // daemon worker threads may consult it arbitrarily late.
+    static FaultMapCache *cache = new FaultMapCache;
+    return *cache;
+}
+
+} // namespace c8t::core

@@ -1,0 +1,612 @@
+/**
+ * @file
+ * JobSpec JSON parsing/serialization (strict unknown-key errors).
+ */
+
+#include "core/job_spec.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/json.hh"
+
+namespace c8t::core
+{
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string (no streaming). */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : _text(text) {}
+
+    JsonValue parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (_pos != _text.size())
+            fail("trailing characters after JSON value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        throw std::invalid_argument("json: " + what + " at byte " +
+                                    std::to_string(_pos));
+    }
+
+    void skipWs()
+    {
+        while (_pos < _text.size() &&
+               (_text[_pos] == ' ' || _text[_pos] == '\t' ||
+                _text[_pos] == '\n' || _text[_pos] == '\r'))
+            ++_pos;
+    }
+
+    char peek()
+    {
+        skipWs();
+        if (_pos >= _text.size())
+            fail("unexpected end of input");
+        return _text[_pos];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++_pos;
+    }
+
+    bool consumeWord(const char *w)
+    {
+        const std::size_t n = std::char_traits<char>::length(w);
+        if (_text.compare(_pos, n, w) == 0) {
+            _pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue value()
+    {
+        const char c = peek();
+        switch (c) {
+        case '{':
+            return object();
+        case '[':
+            return array();
+        case '"': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::String;
+            v.string = string();
+            return v;
+        }
+        case 't':
+        case 'f': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            if (consumeWord("true"))
+                v.boolean = true;
+            else if (consumeWord("false"))
+                v.boolean = false;
+            else
+                fail("bad literal");
+            return v;
+        }
+        case 'n': {
+            if (!consumeWord("null"))
+                fail("bad literal");
+            return JsonValue{};
+        }
+        default:
+            return numberValue();
+        }
+    }
+
+    JsonValue object()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        expect('{');
+        if (peek() == '}') {
+            ++_pos;
+            return v;
+        }
+        for (;;) {
+            if (peek() != '"')
+                fail("expected object key");
+            std::string key = string();
+            for (const auto &m : v.members) {
+                if (m.first == key)
+                    fail("duplicate object key \"" + key + "\"");
+            }
+            expect(':');
+            v.members.emplace_back(std::move(key), value());
+            const char c = peek();
+            if (c == ',') {
+                ++_pos;
+                continue;
+            }
+            if (c == '}') {
+                ++_pos;
+                return v;
+            }
+            fail("expected ',' or '}'");
+        }
+    }
+
+    JsonValue array()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        expect('[');
+        if (peek() == ']') {
+            ++_pos;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(value());
+            const char c = peek();
+            if (c == ',') {
+                ++_pos;
+                continue;
+            }
+            if (c == ']') {
+                ++_pos;
+                return v;
+            }
+            fail("expected ',' or ']'");
+        }
+    }
+
+    std::string string()
+    {
+        expect('"');
+        std::string out;
+        while (_pos < _text.size()) {
+            const char c = _text[_pos++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (_pos >= _text.size())
+                fail("unterminated escape");
+            const char e = _text[_pos++];
+            switch (e) {
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            case 'b': out.push_back('\b'); break;
+            case 'f': out.push_back('\f'); break;
+            case 'n': out.push_back('\n'); break;
+            case 'r': out.push_back('\r'); break;
+            case 't': out.push_back('\t'); break;
+            case 'u': {
+                if (_pos + 4 > _text.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = _text[_pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs
+                // are beyond what our ASCII-only specs ever carry).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+            }
+            default:
+                fail("unknown escape");
+            }
+        }
+        fail("unterminated string");
+    }
+
+    JsonValue numberValue()
+    {
+        const std::size_t start = _pos;
+        if (_pos < _text.size() && _text[_pos] == '-')
+            ++_pos;
+        while (_pos < _text.size() &&
+               (std::isdigit(static_cast<unsigned char>(_text[_pos])) ||
+                _text[_pos] == '.' || _text[_pos] == 'e' ||
+                _text[_pos] == 'E' || _text[_pos] == '+' ||
+                _text[_pos] == '-'))
+            ++_pos;
+        if (_pos == start)
+            fail("expected a value");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.raw = _text.substr(start, _pos - start);
+        std::size_t used = 0;
+        try {
+            v.number = std::stod(v.raw, &used);
+        } catch (const std::exception &) {
+            fail("bad number '" + v.raw + "'");
+        }
+        if (used != v.raw.size())
+            fail("bad number '" + v.raw + "'");
+        return v;
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+};
+
+[[noreturn]] void
+specFail(const std::string &what)
+{
+    throw std::invalid_argument("job spec: " + what);
+}
+
+/** Reject any member of @p v whose key is not in @p known. */
+void
+rejectUnknownKeys(const JsonValue &v, const char *where,
+                  std::initializer_list<const char *> known)
+{
+    for (const auto &m : v.members) {
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || m.first == k;
+        if (!ok) {
+            specFail(std::string("unknown key \"") + m.first + "\" in " +
+                     where);
+        }
+    }
+}
+
+std::uint64_t
+asU64(const JsonValue &v, const char *key)
+{
+    if (!v.isNumber() || v.number < 0.0 ||
+        v.number != std::floor(v.number) ||
+        v.raw.find_first_of(".eE") != std::string::npos)
+        specFail(std::string(key) + ": expected a non-negative integer");
+    return static_cast<std::uint64_t>(v.number);
+}
+
+double
+asDouble(const JsonValue &v, const char *key)
+{
+    if (!v.isNumber())
+        specFail(std::string(key) + ": expected a number");
+    return v.number;
+}
+
+const std::string &
+asString(const JsonValue &v, const char *key)
+{
+    if (!v.isString())
+        specFail(std::string(key) + ": expected a string");
+    return v.string;
+}
+
+bool
+asBool(const JsonValue &v, const char *key)
+{
+    if (v.kind != JsonValue::Kind::Bool)
+        specFail(std::string(key) + ": expected true or false");
+    return v.boolean;
+}
+
+template <typename T, typename Fn>
+std::vector<T>
+asList(const JsonValue &v, const char *key, Fn item)
+{
+    if (!v.isArray())
+        specFail(std::string(key) + ": expected an array");
+    if (v.items.empty())
+        specFail(std::string(key) + ": empty list");
+    std::vector<T> out;
+    out.reserve(v.items.size());
+    for (const JsonValue &e : v.items)
+        out.push_back(item(e));
+    return out;
+}
+
+} // anonymous namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &m : members) {
+        if (m.first == key)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+const char *
+toString(JobKind k)
+{
+    switch (k) {
+    case JobKind::Run: return "run";
+    case JobKind::VddSweep: return "vdd_sweep";
+    case JobKind::Explore: return "explore";
+    }
+    return "?";
+}
+
+JobKind
+parseJobKind(const std::string &name)
+{
+    if (name == "run")
+        return JobKind::Run;
+    if (name == "vdd_sweep")
+        return JobKind::VddSweep;
+    if (name == "explore")
+        return JobKind::Explore;
+    specFail("unknown kind \"" + name +
+             "\" (want run, vdd_sweep or explore)");
+}
+
+std::vector<WriteScheme>
+JobSpec::effectiveSchemes() const
+{
+    if (!schemes.empty())
+        return schemes;
+    if (kind == JobKind::Run)
+        return {WriteScheme::Rmw, WriteScheme::WriteGroupingReadBypass};
+    // The voltage story's four, matching VddSweepSpec / ExplorerSpec.
+    return {WriteScheme::SixTDirect, WriteScheme::Rmw,
+            WriteScheme::WriteGrouping,
+            WriteScheme::WriteGroupingReadBypass};
+}
+
+void
+JobSpec::validate() const
+{
+    if (accesses == 0)
+        specFail("accesses must be > 0");
+    if (bufferEntries == 0)
+        specFail("buffer_entries must be >= 1");
+    if (vdd < 0.0)
+        specFail("vdd must be > 0");
+    if (workload.find(':') == std::string::npos) {
+        specFail("workload must be spec:<bench>, kernel:<name> or "
+                 "trace:<path>, got '" + workload + "'");
+    }
+    cache.validate();
+    if (kind == JobKind::Explore && shardCells == 0)
+        specFail("shard_cells must be >= 1");
+}
+
+JobSpec
+JobSpec::fromJson(const JsonValue &v)
+{
+    if (!v.isObject())
+        specFail("expected a JSON object");
+    rejectUnknownKeys(v, "spec",
+                      {"kind", "workload", "accesses", "warmup", "cache",
+                       "schemes", "buffer_entries", "silent_detection",
+                       "l2_kb", "vdd", "explore"});
+
+    JobSpec spec;
+    const JsonValue *kind = v.find("kind");
+    if (!kind)
+        specFail("missing required key \"kind\"");
+    spec.kind = parseJobKind(asString(*kind, "kind"));
+
+    if (const JsonValue *w = v.find("workload"))
+        spec.workload = asString(*w, "workload");
+    if (const JsonValue *a = v.find("accesses"))
+        spec.accesses = asU64(*a, "accesses");
+    if (const JsonValue *w = v.find("warmup"))
+        spec.warmup = asU64(*w, "warmup");
+
+    if (const JsonValue *c = v.find("cache")) {
+        if (!c->isObject())
+            specFail("cache: expected an object");
+        rejectUnknownKeys(*c, "cache",
+                          {"size_kb", "ways", "block", "repl"});
+        if (const JsonValue *s = c->find("size_kb"))
+            spec.cache.sizeBytes = asU64(*s, "cache.size_kb") * 1024;
+        if (const JsonValue *w = c->find("ways")) {
+            spec.cache.ways =
+                static_cast<std::uint32_t>(asU64(*w, "cache.ways"));
+        }
+        if (const JsonValue *b = c->find("block")) {
+            spec.cache.blockBytes =
+                static_cast<std::uint32_t>(asU64(*b, "cache.block"));
+        }
+        if (const JsonValue *r = c->find("repl")) {
+            spec.cache.replacement =
+                mem::parseReplKind(asString(*r, "cache.repl"));
+        }
+    }
+
+    if (const JsonValue *s = v.find("schemes")) {
+        spec.schemes = asList<WriteScheme>(
+            *s, "schemes", [](const JsonValue &e) {
+                return parseWriteScheme(asString(e, "schemes[]"));
+            });
+    }
+    if (const JsonValue *b = v.find("buffer_entries")) {
+        spec.bufferEntries =
+            static_cast<std::uint32_t>(asU64(*b, "buffer_entries"));
+    }
+    if (const JsonValue *s = v.find("silent_detection"))
+        spec.silentDetection = asBool(*s, "silent_detection");
+    if (const JsonValue *l = v.find("l2_kb"))
+        spec.l2SizeKb = asU64(*l, "l2_kb");
+    if (const JsonValue *d = v.find("vdd")) {
+        spec.vdd = asDouble(*d, "vdd");
+        if (spec.vdd <= 0.0)
+            specFail("vdd: must be > 0");
+    }
+
+    if (const JsonValue *e = v.find("explore")) {
+        if (spec.kind != JobKind::Explore)
+            specFail("explore axes given for a non-explore kind");
+        if (!e->isObject())
+            specFail("explore: expected an object");
+        rejectUnknownKeys(*e, "explore",
+                          {"workloads", "sizes_kb", "ways", "blocks",
+                           "repl", "vdd", "shard_cells"});
+        if (const JsonValue *w = e->find("workloads")) {
+            spec.exploreWorkloads = asList<std::string>(
+                *w, "explore.workloads", [](const JsonValue &i) {
+                    return asString(i, "explore.workloads[]");
+                });
+        }
+        if (const JsonValue *s = e->find("sizes_kb")) {
+            spec.exploreSizesKb = asList<std::uint64_t>(
+                *s, "explore.sizes_kb", [](const JsonValue &i) {
+                    return asU64(i, "explore.sizes_kb[]");
+                });
+        }
+        if (const JsonValue *w = e->find("ways")) {
+            spec.exploreWays = asList<std::uint32_t>(
+                *w, "explore.ways", [](const JsonValue &i) {
+                    return static_cast<std::uint32_t>(
+                        asU64(i, "explore.ways[]"));
+                });
+        }
+        if (const JsonValue *b = e->find("blocks")) {
+            spec.exploreBlocks = asList<std::uint32_t>(
+                *b, "explore.blocks", [](const JsonValue &i) {
+                    return static_cast<std::uint32_t>(
+                        asU64(i, "explore.blocks[]"));
+                });
+        }
+        if (const JsonValue *r = e->find("repl")) {
+            spec.exploreRepls = asList<mem::ReplKind>(
+                *r, "explore.repl", [](const JsonValue &i) {
+                    return mem::parseReplKind(
+                        asString(i, "explore.repl[]"));
+                });
+        }
+        if (const JsonValue *g = e->find("vdd")) {
+            spec.exploreVdd = asList<double>(
+                *g, "explore.vdd", [](const JsonValue &i) {
+                    return asDouble(i, "explore.vdd[]");
+                });
+        }
+        if (const JsonValue *s = e->find("shard_cells")) {
+            spec.shardCells = static_cast<std::size_t>(
+                asU64(*s, "explore.shard_cells"));
+        }
+    }
+
+    spec.validate();
+    return spec;
+}
+
+JobSpec
+JobSpec::fromJsonText(const std::string &text)
+{
+    return fromJson(parseJson(text));
+}
+
+std::string
+JobSpec::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"kind\":\"" << toString(kind) << "\""
+       << ",\"workload\":\"" << stats::jsonEscape(workload) << "\""
+       << ",\"accesses\":" << accesses << ",\"warmup\":" << warmup
+       << ",\"cache\":{\"size_kb\":" << (cache.sizeBytes >> 10)
+       << ",\"ways\":" << cache.ways << ",\"block\":" << cache.blockBytes
+       << ",\"repl\":\"" << mem::toString(cache.replacement) << "\"}";
+    if (!schemes.empty()) {
+        os << ",\"schemes\":[";
+        for (std::size_t i = 0; i < schemes.size(); ++i) {
+            os << (i ? "," : "") << "\""
+               << core::toString(schemes[i]) << "\"";
+        }
+        os << "]";
+    }
+    os << ",\"buffer_entries\":" << bufferEntries
+       << ",\"silent_detection\":"
+       << (silentDetection ? "true" : "false")
+       << ",\"l2_kb\":" << l2SizeKb;
+    if (vdd > 0.0) {
+        os << ",\"vdd\":";
+        stats::jsonNumber(os, vdd);
+    }
+    if (kind == JobKind::Explore) {
+        os << ",\"explore\":{";
+        bool first = true;
+        const auto sep = [&] {
+            if (!first)
+                os << ",";
+            first = false;
+        };
+        if (!exploreWorkloads.empty()) {
+            sep();
+            os << "\"workloads\":[";
+            for (std::size_t i = 0; i < exploreWorkloads.size(); ++i) {
+                os << (i ? "," : "") << "\""
+                   << stats::jsonEscape(exploreWorkloads[i]) << "\"";
+            }
+            os << "]";
+        }
+        sep();
+        os << "\"sizes_kb\":[";
+        for (std::size_t i = 0; i < exploreSizesKb.size(); ++i)
+            os << (i ? "," : "") << exploreSizesKb[i];
+        os << "],\"ways\":[";
+        for (std::size_t i = 0; i < exploreWays.size(); ++i)
+            os << (i ? "," : "") << exploreWays[i];
+        os << "],\"blocks\":[";
+        for (std::size_t i = 0; i < exploreBlocks.size(); ++i)
+            os << (i ? "," : "") << exploreBlocks[i];
+        os << "],\"repl\":[";
+        for (std::size_t i = 0; i < exploreRepls.size(); ++i) {
+            os << (i ? "," : "") << "\""
+               << mem::toString(exploreRepls[i]) << "\"";
+        }
+        os << "]";
+        if (!exploreVdd.empty()) {
+            os << ",\"vdd\":[";
+            for (std::size_t i = 0; i < exploreVdd.size(); ++i) {
+                os << (i ? "," : "");
+                stats::jsonNumber(os, exploreVdd[i]);
+            }
+            os << "]";
+        }
+        os << ",\"shard_cells\":" << shardCells << "}";
+    }
+    os << "}";
+    return os.str();
+}
+
+} // namespace c8t::core

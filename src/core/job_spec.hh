@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The shared job specification: one parsed, validated description of
+ * a sweep / Vdd-sweep / explore request, used identically by the
+ * c8tsim command line and the c8td socket protocol (DESIGN.md §13).
+ *
+ * Both front ends reduce their input to a JobSpec and hand it to
+ * app::runJobSpec, so the two paths cannot drift: the same defaults,
+ * the same validation, the same execution translation, and therefore
+ * byte-identical result documents for the same spec.
+ *
+ * The JSON form (the c8td request payload) is parsed strictly: an
+ * unknown key anywhere in the document is an error naming the key,
+ * never silently ignored — a client typo ("acceses") must fail loudly
+ * instead of simulating the default. Checkpointing knobs
+ * (--checkpoint-dir, --explore-max-shards) are deliberately absent
+ * from the JSON schema: they name server-side files and interrupt
+ * semantics that only make sense for a one-shot CLI process.
+ */
+
+#ifndef C8T_CORE_JOB_SPEC_HH
+#define C8T_CORE_JOB_SPEC_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/write_scheme.hh"
+#include "mem/cache.hh"
+#include "mem/replacement.hh"
+
+namespace c8t::core
+{
+
+/**
+ * Minimal recursive JSON value, just rich enough for the request /
+ * response documents the daemon exchanges. Objects preserve key
+ * order; numbers are kept as doubles plus the raw token so integer
+ * consumers can reject fractional input.
+ */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string raw;    ///< number token as written (exactness checks)
+    std::string string; ///< string payload
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    /** Member lookup (objects only); nullptr when absent. */
+    const JsonValue *find(const std::string &key) const;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+    bool isNumber() const { return kind == Kind::Number; }
+};
+
+/**
+ * Parse @p text as one JSON document.
+ * @throws std::invalid_argument (with byte offset) on malformed
+ *         input, trailing garbage or duplicate object keys.
+ */
+JsonValue parseJson(const std::string &text);
+
+/** What a job asks the engine to do. */
+enum class JobKind : std::uint8_t {
+    Run,      ///< one multi-scheme run (the plain c8tsim table)
+    VddSweep, ///< runVddSweep over the default/narrowed grid
+    Explore,  ///< runExplore over the spec's axes
+};
+
+/** "run" / "vdd_sweep" / "explore". */
+const char *toString(JobKind k);
+
+/** Parse a kind name. @throws std::invalid_argument. */
+JobKind parseJobKind(const std::string &name);
+
+/** One sweep-service job, CLI- and wire-shared. */
+struct JobSpec
+{
+    JobKind kind = JobKind::Run;
+
+    /** Workload specifier (spec:/kernel:/trace:, app::makeWorkload). */
+    std::string workload = "spec:gcc";
+
+    /** Measured accesses. */
+    std::uint64_t accesses = 1'000'000;
+
+    /** Warm-up accesses; 0 = accesses/10. */
+    std::uint64_t warmup = 0;
+
+    /** Cache shape. */
+    mem::CacheConfig cache;
+
+    /** Schemes; empty = kind default (run: RMW + WG+RB, vdd_sweep /
+     *  explore: the voltage-story four). */
+    std::vector<WriteScheme> schemes;
+
+    /** Set-Buffer entries. */
+    std::uint32_t bufferEntries = 1;
+
+    /** Silent-store detection. */
+    bool silentDetection = true;
+
+    /** Tags-only L2 capacity (KiB, 0 = off). */
+    std::uint64_t l2SizeKb = 0;
+
+    /** Operating point (V; 0 = nominal/detached). For a vdd_sweep a
+     *  non-zero value narrows the grid to this single point. */
+    double vdd = 0.0;
+
+    /** Explore axes (kind Explore only). */
+    std::vector<std::string> exploreWorkloads; ///< empty = all SPEC
+    std::vector<std::uint64_t> exploreSizesKb = {16, 32, 64, 128};
+    std::vector<std::uint32_t> exploreWays = {2, 4, 8};
+    std::vector<std::uint32_t> exploreBlocks = {32, 64};
+    std::vector<mem::ReplKind> exploreRepls = {mem::ReplKind::Lru};
+    std::vector<double> exploreVdd; ///< empty = nominal-only
+    std::size_t shardCells = 8;
+
+    /** CLI-only (not in the JSON schema, see file comment). */
+    std::string checkpointDir;
+    std::uint64_t exploreMaxShards = 0;
+
+    /** Effective warm-up length. */
+    std::uint64_t effectiveWarmup() const
+    {
+        return warmup ? warmup : accesses / 10;
+    }
+
+    /** Scheme set with the kind default applied. */
+    std::vector<WriteScheme> effectiveSchemes() const;
+
+    /** Shape/range validation shared by both front ends.
+     *  @throws std::invalid_argument. */
+    void validate() const;
+
+    /**
+     * Parse the strict JSON form. Every known key is optional except
+     * "kind"; any unknown key (top level, "cache" or "explore"
+     * sub-object) throws naming the key.
+     */
+    static JobSpec fromJson(const JsonValue &v);
+
+    /** Convenience: parseJson + fromJson. */
+    static JobSpec fromJsonText(const std::string &text);
+
+    /**
+     * Serialize to the canonical JSON request form (round-trips
+     * through fromJson to an equivalent spec). Deterministic key
+     * order, so equal specs produce equal bytes — the daemon keys its
+     * duplicate-request log on this.
+     */
+    std::string toJson() const;
+};
+
+} // namespace c8t::core
+
+#endif // C8T_CORE_JOB_SPEC_HH

@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "core/stream_cache.hh"
+#include "core/worker_pool.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/metrics.hh"
 #include "obs/prof.hh"
@@ -350,8 +351,20 @@ ParallelSweeper::run(const std::vector<SweepJob> &jobs, const RunConfig &rc,
     const unsigned pool =
         static_cast<unsigned>(std::min<std::size_t>(_workers, jobs.size()));
 
+    // When a process-wide SweepPool is installed (the c8td daemon),
+    // route the jobs through it instead of spawning a private thread
+    // team: all concurrent sweeps then share one team with per-client
+    // fairness. Submissions from a pool worker (nested sweeps) fall
+    // back to the inline/private paths below via runBatch's inline
+    // guard — but we keep them off the shared path entirely so their
+    // span worker indices stay consistent.
+    SweepPool *shared = globalSweepPool();
+    const bool use_shared = shared && !SweepPool::onWorkerThread();
+    const unsigned tracks =
+        use_shared ? shared->workers() : (pool ? pool : 1);
+
     Heartbeat heartbeat(_progress, label, jobs.size(), accesses_per_job,
-                        pool ? pool : 1, t0);
+                        tracks, t0);
 
     const auto run_one = [&](std::size_t i, unsigned worker) {
         spans[i].worker = worker;
@@ -371,7 +384,15 @@ ParallelSweeper::run(const std::vector<SweepJob> &jobs, const RunConfig &rc,
         heartbeat.noteJobDone();
     };
 
-    if (pool <= 1) {
+    if (use_shared) {
+        std::vector<SweepPool::Task> tasks;
+        tasks.reserve(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            tasks.push_back([&run_one, i](unsigned w) { run_one(i, w); });
+        // Rethrows the first job error; throws JobCancelled when this
+        // thread's client slot was cancelled (client disconnect).
+        shared->runBatch(SweepPool::currentClient(), std::move(tasks));
+    } else if (pool <= 1) {
         // Inline serial path: reference order, no thread overhead.
         for (std::size_t i = 0; i < jobs.size(); ++i)
             run_one(i, 0);
@@ -417,7 +438,7 @@ ParallelSweeper::run(const std::vector<SweepJob> &jobs, const RunConfig &rc,
         // no-op (and cost nothing) when their sink is unset.
         const obs::prof::ScopedPhase serialize_scope(
             obs::prof::Phase::Serialize);
-        emitTraceSpans(label, spans, pool ? pool : 1);
+        emitTraceSpans(label, spans, tracks);
         obs::writeGlobalMetrics();
     }
 
@@ -426,7 +447,6 @@ ParallelSweeper::run(const std::vector<SweepJob> &jobs, const RunConfig &rc,
         // The main thread contributed the serialize scope above (per
         // job, run_one already flushed the workers' thread-locals).
         run_phases.add(obs::prof::takeThreadTimes());
-        const unsigned tracks = pool ? pool : 1;
         std::vector<double> busy(tracks, 0.0);
         std::vector<std::uint64_t> worker_jobs(tracks, 0);
         for (const JobSpan &s : spans) {
@@ -443,7 +463,7 @@ ParallelSweeper::run(const std::vector<SweepJob> &jobs, const RunConfig &rc,
     }
 
     if (_recordBench) {
-        emitBenchJson(label, results, rc, pool ? pool : 1, wall,
+        emitBenchJson(label, results, rc, tracks, wall,
                       prof_on ? &run_phases : nullptr);
     }
     // Keep the exposition file fresh after every run (no-op when no

@@ -11,11 +11,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <stdexcept>
-#include <tuple>
 #include <utility>
 
+#include "core/fault_cache.hh"
 #include "core/policies.hh"
 #include "obs/metrics.hh"
 #include "obs/prof.hh"
@@ -327,18 +326,13 @@ runVddSweep(const VddSweepSpec &spec, const RunConfig &rc, unsigned workers)
         sweeper.run(jobs, rc, "vdd_sweep:" + result.workload);
 
     // Fault maps depend on (seed, vdd, geometry, cell); schemes of the
-    // same cell flavour and interleave degree share one evaluation.
+    // same cell flavour and interleave degree share one evaluation,
+    // and the process-global memo shares it across requests too (a
+    // warm c8td daemon re-serves known operating points for free).
     const std::uint32_t words_per_row =
         std::max<std::uint32_t>(1, spec.cache.setBytes() / 8);
-    std::map<std::tuple<sram::CellType, std::uint32_t, std::size_t>,
-             sram::FaultMapStats>
-        fault_memo;
     const auto faultsAt = [&](sram::CellType cell, std::uint32_t degree,
                               std::size_t grid_index) {
-        const auto key = std::make_tuple(cell, degree, grid_index);
-        const auto it = fault_memo.find(key);
-        if (it != fault_memo.end())
-            return it->second;
         sram::FaultMapConfig fmc;
         fmc.runSeed = spec.runSeed;
         fmc.vdd = spec.grid[grid_index];
@@ -347,9 +341,7 @@ runVddSweep(const VddSweepSpec &spec, const RunConfig &rc, unsigned workers)
         fmc.rows = spec.faultRows;
         fmc.wordsPerRow = words_per_row;
         fmc.degree = degree;
-        const obs::prof::ScopedPhase fault_scope(
-            obs::prof::Phase::FaultMap);
-        return fault_memo[key] = sram::runFaultMapCampaign(fmc);
+        return globalFaultMapCache().evaluate(fmc);
     };
 
     result.curves.reserve(spec.schemes.size());

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Daemon client implementation.
+ */
+
+#include "net/client.hh"
+
+#include <stdexcept>
+
+#include <sys/socket.h>
+
+namespace c8t::net
+{
+
+DaemonClient::DaemonClient(const std::string &path)
+    : _fd(connectUnix(path))
+{
+}
+
+void
+DaemonClient::submit(const std::string &spec_json)
+{
+    const std::string bytes = encodeFrame(FrameType::Request, spec_json);
+    writeAll(_fd.get(), bytes.data(), bytes.size());
+}
+
+bool
+DaemonClient::read(Frame &out)
+{
+    for (;;) {
+        if (_reader.next(out)) {
+            if (out.type == FrameType::Request)
+                throw ProtocolError(
+                    "daemon sent a request frame to a client");
+            return true;
+        }
+        char buf[64 * 1024];
+        const std::size_t n = readSome(_fd.get(), buf, sizeof(buf));
+        if (n == 0) {
+            if (_reader.inProgress())
+                throw ProtocolError("connection closed mid-frame");
+            return false;
+        }
+        _reader.feed(buf, n);
+    }
+}
+
+std::string
+DaemonClient::call(const std::string &spec_json)
+{
+    submit(spec_json);
+    Frame f;
+    while (read(f)) {
+        if (f.type == FrameType::Final)
+            return std::move(f.payload);
+        if (f.type == FrameType::Error)
+            throw std::runtime_error("daemon error: " + f.payload);
+        // progress / partial: advisory, skip
+    }
+    throw ProtocolError("daemon closed before the final result");
+}
+
+void
+DaemonClient::finishSending()
+{
+    if (_fd.valid())
+        ::shutdown(_fd.get(), SHUT_WR);
+}
+
+void
+DaemonClient::close()
+{
+    _fd.close();
+}
+
+} // namespace c8t::net

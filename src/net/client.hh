@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Client side of the c8td frame protocol — used by c8tctl, the
+ * daemon tests and bench_daemon. One DaemonClient is one connection;
+ * it is deliberately synchronous (submit / read frames), since the
+ * protocol's FIFO contract makes request/response association
+ * positional.
+ */
+
+#ifndef C8T_NET_CLIENT_HH
+#define C8T_NET_CLIENT_HH
+
+#include <cstddef>
+#include <string>
+
+#include "net/frame.hh"
+#include "net/socket.hh"
+
+namespace c8t::net
+{
+
+/** One connection to a c8td daemon. */
+class DaemonClient
+{
+  public:
+    /** Connect to the daemon socket at @p path.
+     *  @throws std::runtime_error when nothing listens there. */
+    explicit DaemonClient(const std::string &path);
+
+    /** Queue one job: send a request frame carrying @p spec_json. */
+    void submit(const std::string &spec_json);
+
+    /**
+     * Block for the next frame from the daemon.
+     * @return false on orderly EOF (daemon closed the connection).
+     * @throws ProtocolError on a malformed stream (including EOF
+     *         mid-frame) or an unexpected request frame.
+     */
+    bool read(Frame &out);
+
+    /**
+     * Convenience: submit @p spec_json and block until its final
+     * result, discarding progress/partial frames on the way.
+     * Call only with no other submissions outstanding.
+     * @return the raw schema-v4 result document bytes.
+     * @throws std::runtime_error carrying the daemon's error payload
+     *         when the job fails, ProtocolError on a broken stream.
+     */
+    std::string call(const std::string &spec_json);
+
+    /** Half-close: tell the daemon no more requests are coming. */
+    void finishSending();
+
+    /** Close the connection. */
+    void close();
+
+    int fd() const { return _fd.get(); }
+
+  private:
+    Fd _fd;
+    FrameReader _reader;
+};
+
+} // namespace c8t::net
+
+#endif // C8T_NET_CLIENT_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Frame codec implementation.
+ */
+
+#include "net/frame.hh"
+
+namespace c8t::net
+{
+
+const char *
+toString(FrameType t)
+{
+    switch (t) {
+      case FrameType::Request:
+        return "request";
+      case FrameType::Progress:
+        return "progress";
+      case FrameType::Partial:
+        return "partial";
+      case FrameType::Final:
+        return "final";
+      case FrameType::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+bool
+isFrameType(std::uint8_t byte)
+{
+    return byte >= static_cast<std::uint8_t>(FrameType::Request) &&
+           byte <= static_cast<std::uint8_t>(FrameType::Error);
+}
+
+std::string
+encodeFrame(FrameType type, const std::string &payload)
+{
+    if (payload.size() > kMaxFramePayload)
+        throw std::invalid_argument("encodeFrame: payload too large (" +
+                                    std::to_string(payload.size()) +
+                                    " bytes)");
+    const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+    std::string out;
+    out.reserve(5 + payload.size());
+    out.push_back(static_cast<char>(type));
+    out.push_back(static_cast<char>((n >> 24) & 0xff));
+    out.push_back(static_cast<char>((n >> 16) & 0xff));
+    out.push_back(static_cast<char>((n >> 8) & 0xff));
+    out.push_back(static_cast<char>(n & 0xff));
+    out += payload;
+    return out;
+}
+
+void
+FrameReader::feed(const char *data, std::size_t n)
+{
+    _buffer.append(data, n);
+    for (;;) {
+        if (_buffer.size() < 5)
+            return;
+        const std::uint8_t type_byte =
+            static_cast<std::uint8_t>(_buffer[0]);
+        if (!isFrameType(type_byte)) {
+            throw ProtocolError("unknown frame type byte " +
+                                std::to_string(type_byte));
+        }
+        const std::uint32_t len =
+            (static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(_buffer[1]))
+             << 24) |
+            (static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(_buffer[2]))
+             << 16) |
+            (static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(_buffer[3]))
+             << 8) |
+            static_cast<std::uint32_t>(
+                static_cast<std::uint8_t>(_buffer[4]));
+        if (len > kMaxFramePayload) {
+            throw ProtocolError("length prefix " + std::to_string(len) +
+                                " exceeds the " +
+                                std::to_string(kMaxFramePayload) +
+                                "-byte cap");
+        }
+        if (_buffer.size() < 5u + len)
+            return; // incomplete frame; await more bytes
+        Frame f;
+        f.type = static_cast<FrameType>(type_byte);
+        f.payload.assign(_buffer, 5, len);
+        _buffer.erase(0, 5u + len);
+        _ready.push_back(std::move(f));
+    }
+}
+
+bool
+FrameReader::next(Frame &out)
+{
+    if (_ready.empty())
+        return false;
+    out = std::move(_ready.front());
+    _ready.pop_front();
+    return true;
+}
+
+} // namespace c8t::net

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The c8td wire protocol: length-prefixed frames over a Unix domain
+ * stream socket (DESIGN.md §13).
+ *
+ * One frame is
+ *
+ *     +------+------------------+--------------------+
+ *     | type |  payload length  |      payload       |
+ *     | u8   |  u32, big-endian |  <length> bytes    |
+ *     +------+------------------+--------------------+
+ *
+ * Types: Request (client -> server, a JSON job spec), Progress /
+ * Partial (server -> client, advisory JSON), Final (server -> client,
+ * the raw schema-v4 result document, byte-identical to the one-shot
+ * drivers' --stats-json output) and Error (server -> client, JSON
+ * naming the failure). Final/Error frames answer Requests strictly in
+ * request order per connection; Progress/Partial frames interleave
+ * and carry the 0-based request index they belong to.
+ *
+ * Robustness is the decoder's job: an unknown type byte or a length
+ * prefix beyond kMaxFramePayload throws ProtocolError immediately —
+ * a garbage or hostile peer cannot make the daemon allocate 4 GiB or
+ * mis-sync the stream. Truncated frames (EOF mid-header or
+ * mid-payload) are detected by the reader running dry with
+ * inProgress() set.
+ */
+
+#ifndef C8T_NET_FRAME_HH
+#define C8T_NET_FRAME_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+
+namespace c8t::net
+{
+
+/** A peer violated the framing rules (fail the connection). */
+struct ProtocolError : std::runtime_error
+{
+    explicit ProtocolError(const std::string &what)
+        : std::runtime_error("protocol error: " + what)
+    {
+    }
+};
+
+/** Frame type tags (the wire byte). */
+enum class FrameType : std::uint8_t {
+    Request = 1,  ///< client -> server: JSON job spec
+    Progress = 2, ///< server -> client: liveness / completion counts
+    Partial = 3,  ///< server -> client: incremental result payload
+    Final = 4,    ///< server -> client: the raw result document
+    Error = 5,    ///< server -> client: JSON {"job":N,"error":"..."}
+};
+
+/** "request" / "progress" / ... for messages and logs. */
+const char *toString(FrameType t);
+
+/** Whether @p byte is a defined frame-type tag. */
+bool isFrameType(std::uint8_t byte);
+
+/** Largest accepted payload (64 MiB — a full explore document is
+ *  well under 1 MiB; anything bigger is a corrupt or hostile
+ *  length prefix). */
+constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Request;
+    std::string payload;
+};
+
+/** Serialize one frame (header + payload).
+ *  @throws std::invalid_argument when payload exceeds the cap. */
+std::string encodeFrame(FrameType type, const std::string &payload);
+
+/**
+ * Incremental frame decoder: feed() arbitrary byte chunks as they
+ * arrive, pop completed frames with next().
+ */
+class FrameReader
+{
+  public:
+    /**
+     * Consume @p n bytes.
+     * @throws ProtocolError on an unknown type byte or an oversized
+     *         length prefix (the stream is unrecoverable after this).
+     */
+    void feed(const char *data, std::size_t n);
+
+    /** Pop the oldest completed frame into @p out. */
+    bool next(Frame &out);
+
+    /** Bytes of an incomplete frame are pending (EOF now = truncated
+     *  frame). */
+    bool inProgress() const { return !_buffer.empty(); }
+
+  private:
+    std::string _buffer; ///< partial header/payload bytes
+    std::deque<Frame> _ready;
+};
+
+} // namespace c8t::net
+
+#endif // C8T_NET_FRAME_HH

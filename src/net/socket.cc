@@ -1,0 +1,181 @@
+/**
+ * @file
+ * AF_UNIX socket wrapper implementation.
+ */
+
+#include "net/socket.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace c8t::net
+{
+
+namespace
+{
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un
+makeAddr(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        throw std::runtime_error("socket path too long (" +
+                                 std::to_string(path.size()) + " > " +
+                                 std::to_string(sizeof(addr.sun_path) -
+                                                1) +
+                                 "): " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+} // anonymous namespace
+
+Fd &
+Fd::operator=(Fd &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        _fd = other._fd;
+        other._fd = -1;
+    }
+    return *this;
+}
+
+void
+Fd::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+}
+
+void
+Fd::shutdownBoth()
+{
+    if (_fd >= 0)
+        ::shutdown(_fd, SHUT_RDWR);
+}
+
+void
+Fd::shutdownRead()
+{
+    if (_fd >= 0)
+        ::shutdown(_fd, SHUT_RD);
+}
+
+std::size_t
+readSome(int fd, char *buf, std::size_t n)
+{
+    for (;;) {
+        const ssize_t r = ::read(fd, buf, n);
+        if (r >= 0)
+            return static_cast<std::size_t>(r);
+        if (errno == EINTR)
+            continue;
+        if (errno == ECONNRESET)
+            return 0; // vanished peer == closing peer
+        throwErrno("read");
+    }
+}
+
+void
+writeAll(int fd, const char *buf, std::size_t n)
+{
+    std::size_t off = 0;
+    while (off < n) {
+        // MSG_NOSIGNAL: a vanished peer must be an EPIPE exception,
+        // not a process-killing SIGPIPE — the daemon's disconnect
+        // detection lives on this error path.
+        const ssize_t w =
+            ::send(fd, buf + off, n - off, MSG_NOSIGNAL);
+        if (w >= 0) {
+            off += static_cast<std::size_t>(w);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        throwErrno("write");
+    }
+}
+
+UnixListener::UnixListener(const std::string &path) : _path(path)
+{
+    const sockaddr_un addr = makeAddr(path);
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+        throwErrno("socket");
+    // A stale socket file from a killed daemon would make bind fail;
+    // removing it first is the conventional Unix-socket dance.
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        throwErrno("bind " + path);
+    if (::listen(fd.get(), 64) != 0)
+        throwErrno("listen " + path);
+    _fd = std::move(fd);
+}
+
+UnixListener::~UnixListener()
+{
+    _fd.close();
+    ::unlink(_path.c_str());
+}
+
+Fd
+UnixListener::accept(int wake_fd)
+{
+    for (;;) {
+        pollfd fds[2];
+        fds[0].fd = _fd.get();
+        fds[0].events = POLLIN;
+        fds[1].fd = wake_fd;
+        fds[1].events = POLLIN;
+        const int n = ::poll(fds, wake_fd >= 0 ? 2 : 1, -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("poll");
+        }
+        if (wake_fd >= 0 && (fds[1].revents & (POLLIN | POLLHUP)))
+            return Fd{}; // stop requested
+        if (!(fds[0].revents & POLLIN))
+            continue;
+        const int conn = ::accept(_fd.get(), nullptr, nullptr);
+        if (conn < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            throwErrno("accept");
+        }
+        return Fd(conn);
+    }
+}
+
+Fd
+connectUnix(const std::string &path)
+{
+    const sockaddr_un addr = makeAddr(path);
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+        throwErrno("socket");
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        throwErrno("connect " + path);
+    return fd;
+}
+
+} // namespace c8t::net

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -160,6 +161,35 @@ Metrics::setStreamCache(const StreamCacheStats &s)
     _streamCache = s;
 }
 
+void
+Metrics::setFaultCache(const FaultCacheStats &s)
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    _faultCache = s;
+}
+
+void
+Metrics::setPool(const PoolStats &s)
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    _pool = s;
+}
+
+void
+Metrics::noteDaemon(const DaemonSnapshot &s)
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    _daemon = s;
+    _daemonSeen = true;
+}
+
+void
+Metrics::recordDaemonJobNs(std::uint64_t ns)
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    _daemonJob.record(ns);
+}
+
 prof::PhaseTimes
 Metrics::phaseTimes() const
 {
@@ -214,6 +244,34 @@ Metrics::streamCache() const
 {
     const std::lock_guard<std::mutex> lock(_mutex);
     return _streamCache;
+}
+
+Metrics::FaultCacheStats
+Metrics::faultCache() const
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    return _faultCache;
+}
+
+Metrics::PoolStats
+Metrics::pool() const
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    return _pool;
+}
+
+Metrics::DaemonSnapshot
+Metrics::daemon() const
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    return _daemon;
+}
+
+Histogram
+Metrics::daemonJob() const
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    return _daemonJob;
 }
 
 void
@@ -334,6 +392,71 @@ Metrics::writePrometheus(std::ostream &os) const
                << _workers[w].jobs << "\n";
         }
     }
+
+    writeCounter(os, "c8t_fault_cache_hits_total",
+                 "Fault-map campaign memo hits.", _faultCache.hits);
+    writeCounter(os, "c8t_fault_cache_misses_total",
+                 "Fault-map campaign memo misses (campaign run).",
+                 _faultCache.misses);
+    writeGauge(os, "c8t_fault_cache_entries",
+               "Memoized fault-map campaigns.",
+               static_cast<double>(_faultCache.entries));
+
+    // Daemon families only once a daemon pushed a snapshot: the
+    // one-shot drivers' exposition stays exactly as before.
+    if (_daemonSeen) {
+        writeCounter(os, "c8t_pool_tasks_total",
+                     "Tasks executed by the shared sweep pool.",
+                     _pool.tasksRun);
+        writeCounter(os, "c8t_pool_tasks_cancelled_total",
+                     "Pool tasks dropped by client cancellation.",
+                     _pool.tasksCancelled);
+        writeCounter(os, "c8t_pool_batches_total",
+                     "Batches submitted to the shared sweep pool.",
+                     _pool.batches);
+        writeGauge(os, "c8t_pool_clients",
+                   "Registered pool client slots.",
+                   static_cast<double>(_pool.activeClients));
+        writeGauge(os, "c8t_pool_queue_depth",
+                   "Tasks queued in the shared sweep pool.",
+                   static_cast<double>(_pool.queuedTasks));
+        writeGauge(os, "c8t_pool_workers",
+                   "Worker threads in the shared sweep pool.",
+                   static_cast<double>(_pool.workers));
+
+        writeGauge(os, "c8t_daemon_connections_active",
+                   "Open daemon client connections.",
+                   static_cast<double>(_daemon.connectionsActive));
+        writeCounter(os, "c8t_daemon_connections_total",
+                     "Daemon client connections accepted.",
+                     _daemon.connectionsTotal);
+        writeCounter(os, "c8t_daemon_jobs_accepted_total",
+                     "Request frames accepted.", _daemon.jobsAccepted);
+        writeGauge(os, "c8t_daemon_jobs_running",
+                   "Jobs currently executing.",
+                   static_cast<double>(_daemon.jobsRunning));
+        writeCounter(os, "c8t_daemon_jobs_succeeded_total",
+                     "Jobs answered with a final-result frame.",
+                     _daemon.jobsSucceeded);
+        writeCounter(os, "c8t_daemon_jobs_failed_total",
+                     "Jobs answered with an error frame.",
+                     _daemon.jobsFailed);
+        writeCounter(os, "c8t_daemon_jobs_cancelled_total",
+                     "Jobs abandoned by client disconnect.",
+                     _daemon.jobsCancelled);
+        writeCounter(os, "c8t_daemon_memo_hits_total",
+                     "Jobs served verbatim from the result memo.",
+                     _daemon.memoHits);
+        writeCounter(os, "c8t_daemon_bytes_out_total",
+                     "Response bytes written to clients.",
+                     _daemon.bytesOut);
+        writeCounter(os, "c8t_daemon_frames_dropped_total",
+                     "Advisory frames dropped by response budgets.",
+                     _daemon.framesDropped);
+        writeSummary(os, "c8t_daemon_job_seconds",
+                     "End-to-end daemon job latency distribution.",
+                     _daemonJob);
+    }
 }
 
 void
@@ -369,10 +492,15 @@ Metrics::reset()
     _jobWall.reset();
     _chunkReplay.reset();
     _shardWall.reset();
+    _daemonJob.reset();
     _sweep = SweepSnapshot{};
     _explorer = ExplorerSnapshot{};
     _workers.clear();
     _streamCache = StreamCacheStats{};
+    _faultCache = FaultCacheStats{};
+    _pool = PoolStats{};
+    _daemon = DaemonSnapshot{};
+    _daemonSeen = false;
 }
 
 Metrics &
@@ -428,17 +556,36 @@ writeGlobalMetrics()
         if (g_write_failed)
             return;
     }
-    std::ofstream os(path, std::ios::trunc);
-    if (!os) {
+    // Atomic rewrite: compose into a tmp file and rename over the
+    // target. A scraper (or a process dying on a fatal error path
+    // mid-exposition) can then never observe a truncated file — the
+    // previous complete exposition stays in place until the new one
+    // is fully flushed.
+    const std::string tmp = path + ".tmp";
+    const auto fail = [&] {
         const std::lock_guard<std::mutex> lock(g_path_mutex);
         if (!g_write_failed) {
-            std::cerr << "metrics: cannot open \"" << path
-                      << "\" for writing; exposition disabled\n";
+            std::cerr << "metrics: cannot write \"" << path
+                      << "\"; exposition disabled\n";
             g_write_failed = true;
         }
-        return;
+        std::remove(tmp.c_str());
+    };
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os) {
+            fail();
+            return;
+        }
+        globalMetrics().writePrometheus(os);
+        os.flush();
+        if (!os) {
+            fail();
+            return;
+        }
     }
-    globalMetrics().writePrometheus(os);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fail();
 }
 
 } // namespace c8t::obs

@@ -95,6 +95,40 @@ class Metrics
         double etaSeconds = 0.0;
     };
 
+    /** Mirror of core::FaultMapCache::Stats (push-model). */
+    struct FaultCacheStats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t entries = 0;
+    };
+
+    /** Mirror of core::SweepPool::Stats (push-model). */
+    struct PoolStats
+    {
+        std::uint64_t tasksRun = 0;
+        std::uint64_t tasksCancelled = 0;
+        std::uint64_t batches = 0;
+        std::uint64_t activeClients = 0;
+        std::uint64_t queuedTasks = 0;
+        std::uint32_t workers = 0;
+    };
+
+    /** c8td sweep-service gauges/counters (pushed by the daemon). */
+    struct DaemonSnapshot
+    {
+        std::uint64_t connectionsActive = 0;
+        std::uint64_t connectionsTotal = 0;
+        std::uint64_t jobsAccepted = 0;
+        std::uint64_t jobsRunning = 0;
+        std::uint64_t jobsSucceeded = 0;
+        std::uint64_t jobsFailed = 0;
+        std::uint64_t jobsCancelled = 0;
+        std::uint64_t memoHits = 0;   ///< whole-result duplicate hits
+        std::uint64_t bytesOut = 0;   ///< response bytes written
+        std::uint64_t framesDropped = 0; ///< budget-dropped frames
+    };
+
     // --- producers -----------------------------------------------
     void addPhaseTimes(const prof::PhaseTimes &t);
     void recordJobWallNs(std::uint64_t ns);
@@ -106,16 +140,25 @@ class Metrics
     void noteWorker(std::uint32_t worker, double busy_seconds,
                     double idle_seconds, std::uint64_t jobs);
     void setStreamCache(const StreamCacheStats &s);
+    void setFaultCache(const FaultCacheStats &s);
+    void setPool(const PoolStats &s);
+    void noteDaemon(const DaemonSnapshot &s);
+    /** End-to-end daemon job latency (request decode to final frame). */
+    void recordDaemonJobNs(std::uint64_t ns);
 
     // --- consumers -----------------------------------------------
     prof::PhaseTimes phaseTimes() const;
     Histogram jobWall() const;
     Histogram chunkReplay() const;
     Histogram shardWall() const;
+    Histogram daemonJob() const;
     SweepSnapshot sweep() const;
     ExplorerSnapshot explorer() const;
     std::vector<WorkerStats> workers() const;
     StreamCacheStats streamCache() const;
+    FaultCacheStats faultCache() const;
+    PoolStats pool() const;
+    DaemonSnapshot daemon() const;
 
     /** Prometheus text exposition (# HELP/# TYPE + samples). */
     void writePrometheus(std::ostream &os) const;
@@ -136,10 +179,15 @@ class Metrics
     Histogram _jobWall;
     Histogram _chunkReplay;
     Histogram _shardWall;
+    Histogram _daemonJob;
     SweepSnapshot _sweep;
     ExplorerSnapshot _explorer;
     std::vector<WorkerStats> _workers;
     StreamCacheStats _streamCache;
+    FaultCacheStats _faultCache;
+    PoolStats _pool;
+    DaemonSnapshot _daemon;
+    bool _daemonSeen = false; ///< gate the daemon families in the text
 };
 
 /** The process-wide registry (never destroyed). */
@@ -158,10 +206,13 @@ void setGlobalMetricsPath(const std::string &path);
 std::string resolvedMetricsPath();
 
 /**
- * Write (truncate + rewrite) the exposition file if a path is
- * configured. The sweep engine calls this after every run and c8tsim
- * at exit, so long multi-sweep processes keep the file fresh; a
- * write failure warns once and disables further attempts.
+ * Write the exposition file if a path is configured. The write is
+ * atomic (tmp file + rename), so a reader — or a process dying
+ * mid-write on a fatal error path — can never observe a truncated
+ * exposition. The sweep engine calls this after every run and the
+ * drivers at exit (including their fatal-error paths), so long
+ * multi-sweep processes keep the file fresh; a write failure warns
+ * once and disables further attempts.
  */
 void writeGlobalMetrics();
 

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * JobSpec JSON tests: strict unknown-key rejection (the satellite
+ * contract: a client typo must fail loudly, never simulate the
+ * default), defaults, round-tripping and validation (DESIGN.md §13).
+ */
+
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/job_spec.hh"
+
+namespace
+{
+
+using namespace c8t;
+using core::JobKind;
+using core::JobSpec;
+
+/** EXPECT that parsing @p text throws mentioning @p needle. */
+void
+expectParseError(const std::string &text, const std::string &needle)
+{
+    try {
+        JobSpec::fromJsonText(text);
+        FAIL() << "expected failure parsing: " << text;
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "message '" << e.what() << "' lacks '" << needle << "'";
+    }
+}
+
+TEST(JobSpecTest, MinimalRunSpecGetsDefaults)
+{
+    const JobSpec spec = JobSpec::fromJsonText("{\"kind\":\"run\"}");
+    EXPECT_EQ(spec.kind, JobKind::Run);
+    EXPECT_EQ(spec.workload, "spec:gcc");
+    EXPECT_EQ(spec.accesses, 1'000'000u);
+    EXPECT_EQ(spec.warmup, 0u);
+    EXPECT_EQ(spec.effectiveWarmup(), 100'000u);
+    EXPECT_TRUE(spec.schemes.empty());
+    // Kind defaults: run = the paper's baseline pair.
+    EXPECT_EQ(spec.effectiveSchemes().size(), 2u);
+    EXPECT_TRUE(spec.silentDetection);
+    EXPECT_EQ(spec.bufferEntries, 1u);
+}
+
+TEST(JobSpecTest, KindIsRequired)
+{
+    expectParseError("{}", "kind");
+    expectParseError("{\"workload\":\"spec:gcc\"}", "kind");
+}
+
+TEST(JobSpecTest, UnknownKindRejected)
+{
+    expectParseError("{\"kind\":\"sweep\"}", "unknown kind");
+}
+
+TEST(JobSpecTest, UnknownTopLevelKeyRejected)
+{
+    // The canonical typo: "acceses" must not silently simulate 1M.
+    expectParseError("{\"kind\":\"run\",\"acceses\":5}",
+                     "unknown key \"acceses\"");
+}
+
+TEST(JobSpecTest, UnknownNestedCacheKeyRejected)
+{
+    expectParseError(
+        "{\"kind\":\"run\",\"cache\":{\"size_kb\":32,\"way\":4}}",
+        "unknown key \"way\"");
+}
+
+TEST(JobSpecTest, UnknownNestedExploreKeyRejected)
+{
+    expectParseError(
+        "{\"kind\":\"explore\",\"explore\":{\"sizes\":[16]}}",
+        "unknown key \"sizes\"");
+}
+
+TEST(JobSpecTest, ExploreAxesOnNonExploreKindRejected)
+{
+    expectParseError(
+        "{\"kind\":\"run\",\"explore\":{\"sizes_kb\":[16]}}",
+        "non-explore");
+}
+
+TEST(JobSpecTest, DuplicateKeysRejected)
+{
+    expectParseError("{\"kind\":\"run\",\"kind\":\"run\"}",
+                     "duplicate");
+}
+
+TEST(JobSpecTest, FractionalIntegerRejected)
+{
+    expectParseError("{\"kind\":\"run\",\"accesses\":10.5}",
+                     "accesses");
+    // Scientific notation is exact-integer-ambiguous; the raw token
+    // check rejects it for integer fields.
+    expectParseError("{\"kind\":\"run\",\"accesses\":1e6}",
+                     "accesses");
+}
+
+TEST(JobSpecTest, MalformedJsonRejectedWithOffset)
+{
+    expectParseError("{\"kind\":\"run\"", "byte");
+    expectParseError("{\"kind\":\"run\"} trailing", "byte");
+    expectParseError("", "byte");
+}
+
+TEST(JobSpecTest, FullSpecParses)
+{
+    const JobSpec spec = JobSpec::fromJsonText(
+        "{\"kind\":\"run\",\"workload\":\"kernel:hash_update\","
+        "\"accesses\":250000,\"warmup\":1000,"
+        "\"cache\":{\"size_kb\":64,\"ways\":8,\"block\":32,"
+        "\"repl\":\"lru\"},"
+        "\"schemes\":[\"RMW\",\"WG+RB\"],\"buffer_entries\":4,"
+        "\"silent_detection\":false,\"l2_kb\":256,\"vdd\":0.8}");
+    EXPECT_EQ(spec.workload, "kernel:hash_update");
+    EXPECT_EQ(spec.accesses, 250'000u);
+    EXPECT_EQ(spec.warmup, 1'000u);
+    EXPECT_EQ(spec.cache.sizeBytes, 64u * 1024);
+    EXPECT_EQ(spec.cache.ways, 8u);
+    EXPECT_EQ(spec.cache.blockBytes, 32u);
+    EXPECT_EQ(spec.schemes.size(), 2u);
+    EXPECT_EQ(spec.bufferEntries, 4u);
+    EXPECT_FALSE(spec.silentDetection);
+    EXPECT_EQ(spec.l2SizeKb, 256u);
+    EXPECT_DOUBLE_EQ(spec.vdd, 0.8);
+}
+
+TEST(JobSpecTest, ExploreSpecParses)
+{
+    const JobSpec spec = JobSpec::fromJsonText(
+        "{\"kind\":\"explore\",\"accesses\":50000,"
+        "\"explore\":{\"workloads\":[\"gcc\",\"mcf\"],"
+        "\"sizes_kb\":[16,32],\"ways\":[2],\"blocks\":[64],"
+        "\"repl\":[\"lru\"],\"vdd\":[0.7,0.8],\"shard_cells\":4}}");
+    EXPECT_EQ(spec.kind, JobKind::Explore);
+    EXPECT_EQ(spec.exploreWorkloads.size(), 2u);
+    EXPECT_EQ(spec.exploreSizesKb.size(), 2u);
+    EXPECT_EQ(spec.exploreVdd.size(), 2u);
+    EXPECT_EQ(spec.shardCells, 4u);
+    // Explore kind default: the voltage-story four.
+    EXPECT_EQ(spec.effectiveSchemes().size(), 4u);
+}
+
+TEST(JobSpecTest, ToJsonRoundTripsEquivalently)
+{
+    const JobSpec spec = JobSpec::fromJsonText(
+        "{\"kind\":\"explore\",\"accesses\":50000,"
+        "\"schemes\":[\"RMW\"],"
+        "\"explore\":{\"workloads\":[\"gcc\"],\"sizes_kb\":[16],"
+        "\"ways\":[2],\"blocks\":[64],\"vdd\":[0.75]}}");
+    const std::string canonical = spec.toJson();
+    const JobSpec again = JobSpec::fromJsonText(canonical);
+    // Canonical form is a fixed point: equal specs -> equal bytes
+    // (the daemon keys its whole-result memo on this).
+    EXPECT_EQ(again.toJson(), canonical);
+    EXPECT_EQ(again.kind, spec.kind);
+    EXPECT_EQ(again.accesses, spec.accesses);
+    EXPECT_EQ(again.schemes, spec.schemes);
+    EXPECT_EQ(again.exploreWorkloads, spec.exploreWorkloads);
+    EXPECT_EQ(again.exploreVdd, spec.exploreVdd);
+}
+
+TEST(JobSpecTest, DefaultSpecRoundTrips)
+{
+    for (const char *kind : {"run", "vdd_sweep", "explore"}) {
+        JobSpec spec;
+        spec.kind = core::parseJobKind(kind);
+        const JobSpec again = JobSpec::fromJsonText(spec.toJson());
+        EXPECT_EQ(again.toJson(), spec.toJson()) << kind;
+    }
+}
+
+TEST(JobSpecTest, ValidationCatchesBadShapes)
+{
+    expectParseError("{\"kind\":\"run\",\"accesses\":0}",
+                     "accesses");
+    expectParseError("{\"kind\":\"run\",\"buffer_entries\":0}",
+                     "buffer_entries");
+    expectParseError("{\"kind\":\"run\",\"vdd\":-0.5}", "vdd");
+    expectParseError("{\"kind\":\"run\",\"workload\":\"gcc\"}",
+                     "workload");
+    expectParseError(
+        "{\"kind\":\"explore\",\"explore\":{\"shard_cells\":0}}",
+        "shard_cells");
+}
+
+TEST(JobSpecTest, CheckpointKnobsAreNotWireKeys)
+{
+    // Server-side file paths stay out of the JSON schema by design.
+    expectParseError(
+        "{\"kind\":\"explore\",\"checkpoint_dir\":\"/tmp/x\"}",
+        "unknown key \"checkpoint_dir\"");
+    expectParseError(
+        "{\"kind\":\"explore\",\"explore_max_shards\":2}",
+        "unknown key \"explore_max_shards\"");
+}
+
+} // namespace

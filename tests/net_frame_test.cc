@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Frame codec tests: round-trips, incremental decode, and the
+ * protocol-robustness cases the daemon relies on — truncated frames,
+ * oversized length prefixes, unknown type bytes (DESIGN.md §13).
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "net/frame.hh"
+
+namespace
+{
+
+using namespace c8t;
+using net::Frame;
+using net::FrameReader;
+using net::FrameType;
+
+TEST(FrameTest, EncodeDecodeRoundTrip)
+{
+    const std::string payload = "{\"kind\":\"run\"}";
+    const std::string bytes =
+        net::encodeFrame(FrameType::Request, payload);
+    ASSERT_EQ(bytes.size(), 5 + payload.size());
+    EXPECT_EQ(static_cast<std::uint8_t>(bytes[0]),
+              static_cast<std::uint8_t>(FrameType::Request));
+
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    Frame f;
+    ASSERT_TRUE(reader.next(f));
+    EXPECT_EQ(f.type, FrameType::Request);
+    EXPECT_EQ(f.payload, payload);
+    EXPECT_FALSE(reader.next(f));
+    EXPECT_FALSE(reader.inProgress());
+}
+
+TEST(FrameTest, EmptyPayloadAndEveryType)
+{
+    FrameReader reader;
+    for (const FrameType t :
+         {FrameType::Request, FrameType::Progress, FrameType::Partial,
+          FrameType::Final, FrameType::Error}) {
+        const std::string bytes = net::encodeFrame(t, "");
+        reader.feed(bytes.data(), bytes.size());
+        Frame f;
+        ASSERT_TRUE(reader.next(f));
+        EXPECT_EQ(f.type, t);
+        EXPECT_TRUE(f.payload.empty());
+    }
+}
+
+TEST(FrameTest, ByteAtATimeFeedDecodes)
+{
+    const std::string bytes =
+        net::encodeFrame(FrameType::Final, "result body");
+    FrameReader reader;
+    Frame f;
+    for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+        reader.feed(&bytes[i], 1);
+        EXPECT_FALSE(reader.next(f));
+        EXPECT_TRUE(reader.inProgress());
+    }
+    reader.feed(&bytes[bytes.size() - 1], 1);
+    ASSERT_TRUE(reader.next(f));
+    EXPECT_EQ(f.payload, "result body");
+    EXPECT_FALSE(reader.inProgress());
+}
+
+TEST(FrameTest, PipelinedFramesDecodeInOrder)
+{
+    std::string bytes = net::encodeFrame(FrameType::Request, "one");
+    bytes += net::encodeFrame(FrameType::Request, "two");
+    bytes += net::encodeFrame(FrameType::Request, "three");
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    Frame f;
+    ASSERT_TRUE(reader.next(f));
+    EXPECT_EQ(f.payload, "one");
+    ASSERT_TRUE(reader.next(f));
+    EXPECT_EQ(f.payload, "two");
+    ASSERT_TRUE(reader.next(f));
+    EXPECT_EQ(f.payload, "three");
+    EXPECT_FALSE(reader.next(f));
+}
+
+TEST(FrameTest, TruncatedFrameIsInProgressNotAFrame)
+{
+    // Header promises 100 payload bytes; only 10 arrive before "EOF".
+    const std::string bytes =
+        net::encodeFrame(FrameType::Request, std::string(100, 'x'));
+    FrameReader reader;
+    reader.feed(bytes.data(), 15);
+    Frame f;
+    EXPECT_FALSE(reader.next(f));
+    // The daemon uses exactly this signal to report a truncated
+    // request at connection EOF.
+    EXPECT_TRUE(reader.inProgress());
+}
+
+TEST(FrameTest, TruncatedHeaderIsInProgress)
+{
+    const std::string bytes = net::encodeFrame(FrameType::Request, "x");
+    FrameReader reader;
+    reader.feed(bytes.data(), 3); // half a header
+    Frame f;
+    EXPECT_FALSE(reader.next(f));
+    EXPECT_TRUE(reader.inProgress());
+}
+
+TEST(FrameTest, OversizedLengthPrefixThrows)
+{
+    // 0xFFFFFFFF far exceeds the 64 MiB payload cap.
+    const char bytes[5] = {1, '\xff', '\xff', '\xff', '\xff'};
+    FrameReader reader;
+    EXPECT_THROW(reader.feed(bytes, sizeof(bytes)),
+                 net::ProtocolError);
+}
+
+TEST(FrameTest, JustOverTheCapThrowsJustUnderDoesNot)
+{
+    const std::uint32_t over = net::kMaxFramePayload + 1;
+    char bytes[5];
+    bytes[0] = 1;
+    bytes[1] = static_cast<char>((over >> 24) & 0xff);
+    bytes[2] = static_cast<char>((over >> 16) & 0xff);
+    bytes[3] = static_cast<char>((over >> 8) & 0xff);
+    bytes[4] = static_cast<char>(over & 0xff);
+    FrameReader reader;
+    EXPECT_THROW(reader.feed(bytes, sizeof(bytes)),
+                 net::ProtocolError);
+
+    const std::uint32_t cap = net::kMaxFramePayload;
+    bytes[1] = static_cast<char>((cap >> 24) & 0xff);
+    bytes[2] = static_cast<char>((cap >> 16) & 0xff);
+    bytes[3] = static_cast<char>((cap >> 8) & 0xff);
+    bytes[4] = static_cast<char>(cap & 0xff);
+    FrameReader ok;
+    EXPECT_NO_THROW(ok.feed(bytes, sizeof(bytes)));
+    EXPECT_TRUE(ok.inProgress());
+}
+
+TEST(FrameTest, UnknownTypeByteThrows)
+{
+    const char bytes[5] = {42, 0, 0, 0, 0};
+    FrameReader reader;
+    EXPECT_THROW(reader.feed(bytes, sizeof(bytes)),
+                 net::ProtocolError);
+}
+
+TEST(FrameTest, EncodeRejectsOversizedPayload)
+{
+    std::string huge;
+    huge.resize(net::kMaxFramePayload + 1);
+    EXPECT_THROW(net::encodeFrame(FrameType::Final, huge),
+                 std::invalid_argument);
+}
+
+TEST(FrameTest, TypeNames)
+{
+    EXPECT_STREQ(net::toString(FrameType::Request), "request");
+    EXPECT_STREQ(net::toString(FrameType::Progress), "progress");
+    EXPECT_STREQ(net::toString(FrameType::Partial), "partial");
+    EXPECT_STREQ(net::toString(FrameType::Final), "final");
+    EXPECT_STREQ(net::toString(FrameType::Error), "error");
+    EXPECT_TRUE(net::isFrameType(1));
+    EXPECT_TRUE(net::isFrameType(5));
+    EXPECT_FALSE(net::isFrameType(0));
+    EXPECT_FALSE(net::isFrameType(6));
+}
+
+} // namespace

@@ -15,7 +15,11 @@
 #   * one design-space explore (bench/bench_explorer, DESIGN.md §12),
 #     which appends a kind:"explore" record (config-runs/sec,
 #     stream-cache hit rate, accesses/sec) from a 14,400-config-run
-#     cross-product.
+#     cross-product,
+#   * one sweep-service soak (bench/bench_daemon, DESIGN.md §13),
+#     which appends a kind:"daemon" record (cold/warm jobs-per-sec,
+#     warm-over-cold speedup, client-observed p50/p99/p999 latency)
+#     from N concurrent clients against one in-process daemon.
 #
 # Both are bundled into BENCH_<date>.json in the repository root so
 # successive commits can be compared.
@@ -45,7 +49,7 @@ trap 'rm -f "$micro_json" "$sweep_jsonl"' EXIT
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" --target micro_perf fig09_access_reduction \
-    bench_vdd bench_explorer -j "$(nproc)"
+    bench_vdd bench_explorer bench_daemon -j "$(nproc)"
 
 build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
     "$build_dir/CMakeCache.txt")
@@ -108,6 +112,15 @@ C8T_BENCH_JSON="$sweep_jsonl" C8T_BENCH_ACCESSES=100000 C8T_PROF=1 \
 # forwarded — 100k accesses x 14,400 runs would take hours.
 C8T_BENCH_JSON="$sweep_jsonl" C8T_PROF=1 \
     "$build_dir/bench/bench_explorer" > /dev/null
+
+# The daemon soak appends one kind:"daemon" record (cold/warm jobs/s,
+# warm speedup, p50/p99/p999 job latency). The binary scrubs
+# C8T_BENCH_JSON from its own environment while the daemon runs, so
+# its thousands of internal sweeps never spam kind:"sweep" rows here.
+# It sets its own small per-job window; C8T_BENCH_ACCESSES is
+# deliberately NOT forwarded.
+C8T_BENCH_JSON="$sweep_jsonl" "$build_dir/bench/bench_daemon" \
+    > /dev/null
 
 # Both producers must actually have written something; an empty file
 # here means a benchmark silently produced no records (e.g. the sweep

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * c8tctl — submit jobs to a running c8td and print the results.
+ *
+ * Each positional argument is one job: inline JSON (starts with '{'),
+ * a path to a spec file, or "-" for stdin. Jobs are pipelined on one
+ * connection; the daemon answers in order. Final documents go to
+ * stdout (exactly the bytes `c8tsim --stats-json` would write);
+ * progress/partial frames go to stderr with --verbose.
+ *
+ * Examples:
+ *   c8tctl --socket /tmp/c8t.sock '{"kind":"run","workload":"spec:gcc"}'
+ *   c8tctl --socket /tmp/c8t.sock job1.json job2.json
+ *   echo '{"kind":"vdd_sweep"}' | c8tctl --socket /tmp/c8t.sock -
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/client.hh"
+
+namespace
+{
+
+using namespace c8t;
+
+const char kUsage[] =
+    "usage: c8tctl --socket PATH [options] JOB [JOB...]\n"
+    "\n"
+    "  JOB                 inline JSON ('{...}'), a spec file path,\n"
+    "                      or '-' for stdin\n"
+    "  --socket PATH       daemon socket (required)\n"
+    "  --output FILE       write final documents here instead of stdout\n"
+    "                      (concatenated in request order)\n"
+    "  --verbose           print progress/partial frames to stderr\n"
+    "  --help              this text\n";
+
+std::string
+loadJob(const std::string &arg)
+{
+    if (!arg.empty() && arg[0] == '{')
+        return arg;
+    if (arg == "-") {
+        std::ostringstream os;
+        os << std::cin.rdbuf();
+        return os.str();
+    }
+    std::ifstream is(arg);
+    if (!is)
+        throw std::runtime_error("cannot open spec file: " + arg);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+int
+run(const std::vector<std::string> &args)
+{
+    std::string socket_path;
+    std::string output_path;
+    bool verbose = false;
+    std::vector<std::string> jobs;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if (a == "--help" || a == "-h") {
+            std::cout << kUsage;
+            return 0;
+        } else if (a == "--socket") {
+            if (i + 1 >= args.size())
+                throw std::invalid_argument("--socket: missing value");
+            socket_path = args[++i];
+        } else if (a == "--output") {
+            if (i + 1 >= args.size())
+                throw std::invalid_argument("--output: missing value");
+            output_path = args[++i];
+        } else if (a == "--verbose" || a == "-v") {
+            verbose = true;
+        } else if (!a.empty() && a[0] == '-' && a != "-") {
+            throw std::invalid_argument("unknown option: " + a +
+                                        " (see --help)");
+        } else {
+            jobs.push_back(loadJob(a));
+        }
+    }
+    if (socket_path.empty())
+        throw std::invalid_argument("--socket is required (see --help)");
+    if (jobs.empty())
+        throw std::invalid_argument("no jobs given (see --help)");
+
+    std::ofstream output_file;
+    if (!output_path.empty()) {
+        output_file.open(output_path, std::ios::trunc);
+        if (!output_file)
+            throw std::runtime_error("cannot open output file: " +
+                                     output_path);
+    }
+    std::ostream &out = output_path.empty() ? std::cout : output_file;
+
+    net::DaemonClient client(socket_path);
+    // Pipeline everything up front; the daemon preserves FIFO order,
+    // so the k-th final/error frame answers the k-th job.
+    for (const std::string &job : jobs)
+        client.submit(job);
+    client.finishSending();
+
+    std::size_t finished = 0;
+    int failures = 0;
+    net::Frame f;
+    while (finished < jobs.size() && client.read(f)) {
+        switch (f.type) {
+          case net::FrameType::Progress:
+          case net::FrameType::Partial:
+            if (verbose)
+                std::cerr << "c8tctl: " << net::toString(f.type) << " "
+                          << f.payload << "\n";
+            break;
+          case net::FrameType::Final:
+            out << f.payload;
+            ++finished;
+            break;
+          case net::FrameType::Error:
+            std::cerr << "c8tctl: job failed: " << f.payload << "\n";
+            ++finished;
+            ++failures;
+            break;
+          default:
+            break;
+        }
+    }
+    if (finished < jobs.size()) {
+        std::cerr << "c8tctl: daemon closed after " << finished
+                  << " of " << jobs.size() << " jobs\n";
+        return 1;
+    }
+    if (!output_path.empty() && !output_file.flush())
+        throw std::runtime_error("write to " + output_path + " failed");
+    return failures ? 1 : 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        return run(args);
+    } catch (const std::exception &e) {
+        std::cerr << "c8tctl: " << e.what() << "\n";
+        return 1;
+    }
+}

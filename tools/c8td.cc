@@ -1,0 +1,172 @@
+/**
+ * @file
+ * c8td — the persistent sweep daemon (DESIGN.md §13).
+ *
+ * Serves sweep / Vdd-sweep / explore jobs over a Unix domain socket,
+ * multiplexing concurrent clients onto one shared worker pool, one
+ * stream cache and one fault-map memo. Final results are byte-
+ * identical to `c8tsim --stats-json` for the same spec.
+ *
+ * Examples:
+ *   c8td --socket /tmp/c8t.sock --jobs 8 --metrics-out /tmp/c8t.prom &
+ *   c8tctl --socket /tmp/c8t.sock '{"kind":"run","workload":"spec:gcc"}'
+ *   kill -TERM %1       # graceful drain: accepted jobs still answered
+ */
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/stream_cache.hh"
+#include "net/daemon.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/metrics.hh"
+
+namespace
+{
+
+using namespace c8t;
+
+net::Daemon *g_daemon = nullptr;
+
+extern "C" void
+onSignal(int)
+{
+    // stop() is one write(2) on the self-pipe: async-signal-safe.
+    if (g_daemon)
+        g_daemon->stop();
+}
+
+const char kUsage[] =
+    "usage: c8td --socket PATH [options]\n"
+    "\n"
+    "  --socket PATH       Unix socket to listen on (required)\n"
+    "  --jobs N            shared-pool worker threads (default:\n"
+    "                      C8T_JOBS, else hardware concurrency)\n"
+    "  --max-inflight N    per-connection request-queue bound; the\n"
+    "                      reader backpressures at the bound (default 8)\n"
+    "  --byte-budget N     per-connection byte budget for advisory\n"
+    "                      progress/partial frames; 0 = unlimited\n"
+    "  --heartbeat-ms N    running-job heartbeat period; 0 = off\n"
+    "                      (default 1000)\n"
+    "  --no-memo           disable the whole-result request memo\n"
+    "  --stream-cache MB   stream-cache byte budget (0 disables)\n"
+    "  --metrics-out FILE  Prometheus exposition file (also C8T_METRICS)\n"
+    "  --chrome-trace FILE Chrome trace (also C8T_CHROME_TRACE)\n"
+    "  --help              this text\n"
+    "\n"
+    "SIGTERM/SIGINT drain gracefully: accepted jobs finish and their\n"
+    "final frames are delivered before the daemon exits.\n";
+
+std::uint64_t
+parseU64(const std::string &flag, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        const std::uint64_t v = std::stoull(value, &pos, 10);
+        if (pos != value.size())
+            throw std::invalid_argument("trailing characters");
+        return v;
+    } catch (const std::exception &) {
+        throw std::invalid_argument(flag + ": expected an integer, got '" +
+                                    value + "'");
+    }
+}
+
+int
+run(const std::vector<std::string> &args)
+{
+    net::DaemonConfig cfg;
+    std::string metrics_out;
+    std::string chrome_trace;
+    std::int64_t stream_cache_mb = -1;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto value = [&]() -> const std::string & {
+            if (i + 1 >= args.size())
+                throw std::invalid_argument(a + ": missing value");
+            return args[++i];
+        };
+        if (a == "--help" || a == "-h") {
+            std::cout << kUsage;
+            return 0;
+        } else if (a == "--socket") {
+            cfg.socketPath = value();
+        } else if (a == "--jobs") {
+            cfg.workers = static_cast<unsigned>(parseU64(a, value()));
+        } else if (a == "--max-inflight") {
+            cfg.maxInflight =
+                static_cast<std::size_t>(parseU64(a, value()));
+            if (!cfg.maxInflight)
+                throw std::invalid_argument(
+                    "--max-inflight: must be >= 1");
+        } else if (a == "--byte-budget") {
+            cfg.responseByteBudget = parseU64(a, value());
+        } else if (a == "--heartbeat-ms") {
+            cfg.heartbeatMs =
+                static_cast<unsigned>(parseU64(a, value()));
+        } else if (a == "--no-memo") {
+            cfg.memoizeResults = false;
+        } else if (a == "--stream-cache") {
+            stream_cache_mb =
+                static_cast<std::int64_t>(parseU64(a, value()));
+        } else if (a == "--metrics-out") {
+            metrics_out = value();
+        } else if (a == "--chrome-trace") {
+            chrome_trace = value();
+        } else {
+            throw std::invalid_argument("unknown option: " + a +
+                                        " (see --help)");
+        }
+    }
+    if (cfg.socketPath.empty())
+        throw std::invalid_argument("--socket is required (see --help)");
+
+    if (!chrome_trace.empty())
+        obs::setGlobalTracePath(chrome_trace);
+    if (!metrics_out.empty())
+        obs::setGlobalMetricsPath(metrics_out);
+    if (stream_cache_mb >= 0) {
+        core::globalStreamCache().setByteBudget(
+            static_cast<std::size_t>(stream_cache_mb) << 20);
+    }
+
+    net::Daemon daemon(cfg);
+    g_daemon = &daemon;
+    // A client vanishing mid-write must be an EPIPE errno, not a
+    // process-killing signal.
+    std::signal(SIGPIPE, SIG_IGN);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    std::cerr << "c8td: serving on " << cfg.socketPath << " ("
+              << (cfg.workers ? std::to_string(cfg.workers)
+                              : std::string("auto"))
+              << " workers)\n";
+    daemon.serve();
+    std::cerr << "c8td: drained, exiting\n";
+    g_daemon = nullptr;
+
+    if (obs::ChromeTraceWriter *trace = obs::globalTrace())
+        trace->close();
+    obs::writeGlobalMetrics();
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        return run(args);
+    } catch (const std::exception &e) {
+        std::cerr << "c8td: " << e.what() << "\n";
+        obs::writeGlobalMetrics();
+        return 1;
+    }
+}

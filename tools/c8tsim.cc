@@ -20,20 +20,16 @@
 #include <stdexcept>
 #include <vector>
 
+#include "app/job_runner.hh"
 #include "app/options.hh"
-#include "core/explorer.hh"
 #include "core/simulator.hh"
 #include "core/stream_cache.hh"
-#include "core/sweep.hh"
-#include "core/vdd_sweep.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/event_ring.hh"
 #include "obs/metrics.hh"
 #include "obs/prof.hh"
 #include "obs/snapshot.hh"
-#include "stats/json.hh"
 #include "stats/table.hh"
-#include "trace/spec_profiles.hh"
 #include "trace/trace_io.hh"
 
 namespace
@@ -132,42 +128,60 @@ finishMetrics()
         std::cerr << "wrote metrics exposition to " << path << "\n";
 }
 
-/** Write the combined --stats-json document. */
+/**
+ * Write the canonical result document (built by app::runJobSpec — the
+ * same bytes a c8td final-result frame carries) to --stats-json.
+ */
 void
-writeStatsJson(const app::SimOptions &opt,
-               const std::vector<core::SchemeRunResult> &results,
-               const ObsPlumbing &obs_state)
+writeDocument(const std::string &path, const std::string &document,
+              const char *what)
 {
-    std::ofstream os(opt.statsJsonFile, std::ios::trunc);
-    if (!os) {
-        throw std::runtime_error("--stats-json: cannot open \"" +
-                                 opt.statsJsonFile + "\" for writing");
-    }
     const obs::prof::ScopedPhase serialize_scope(
         obs::prof::Phase::Serialize);
-    os << "{\"schema_version\":" << stats::Registry::kJsonSchemaVersion
-       << ",\"workload\":\"" << stats::jsonEscape(opt.workload)
-       << "\",\"cache\":\"" << stats::jsonEscape(opt.cache.toString())
-       << "\",\"measure_accesses\":" << opt.accesses
-       << ",\"warmup_accesses\":" << opt.effectiveWarmup();
-    if (obs::prof::enabled()) {
-        // Fold this thread's (single-scheme path) times in first so
-        // the embedded profile covers the whole run; worker threads
-        // already flushed per job.
-        obs::globalMetrics().addPhaseTimes(obs::prof::takeThreadTimes());
-        os << ",\"profile\":";
-        obs::globalMetrics().writeProfileJson(os);
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) {
+        throw std::runtime_error("--stats-json: cannot open \"" + path +
+                                 "\" for writing");
     }
-    os << ",\"runs\":[";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        os << (i ? "," : "") << "\n{\"scheme\":\""
-           << stats::jsonEscape(results[i].scheme)
-           << "\",\"stats\":" << obs_state.statsJson[i] << '}';
-    }
-    os << "\n]}\n";
+    os << document;
     if (!os.flush()) {
-        throw std::runtime_error("--stats-json: write to \"" +
-                                 opt.statsJsonFile + "\" failed");
+        throw std::runtime_error("--stats-json: write to \"" + path +
+                                 "\" failed");
+    }
+    std::cerr << "wrote " << what << " to " << path << "\n";
+}
+
+/**
+ * Resolve the observability sinks and engine knobs shared by all
+ * three job kinds. Runs before any simulation so a bad path fails
+ * fast, not after a minutes-long sweep.
+ */
+void
+setupSinks(const app::SimOptions &opt)
+{
+    if (!opt.chromeTraceFile.empty())
+        obs::setGlobalTracePath(opt.chromeTraceFile);
+    if (!opt.metricsOutFile.empty())
+        obs::setGlobalMetricsPath(opt.metricsOutFile);
+    if (opt.streamCacheMb >= 0) {
+        core::globalStreamCache().setByteBudget(
+            static_cast<std::size_t>(opt.streamCacheMb) << 20);
+    }
+    if (opt.progress) {
+        // The sweep engines (and the explorer) take their heartbeat
+        // default from the environment; --progress is its equivalent.
+        setenv("C8T_PROGRESS", "1", 1);
+    }
+}
+
+/** Close out the Chrome trace (if any) with a pointer to the viewer. */
+void
+finishTrace()
+{
+    if (obs::ChromeTraceWriter *trace = obs::globalTrace()) {
+        trace->close();
+        std::cerr << "wrote Chrome trace to " << trace->path()
+                  << " (load in https://ui.perfetto.dev)\n";
     }
 }
 
@@ -180,37 +194,11 @@ writeStatsJson(const app::SimOptions &opt,
 int
 runVddSweepCli(const app::SimOptions &opt)
 {
-    if (!opt.chromeTraceFile.empty())
-        obs::setGlobalTracePath(opt.chromeTraceFile);
-    if (!opt.metricsOutFile.empty())
-        obs::setGlobalMetricsPath(opt.metricsOutFile);
-    if (opt.streamCacheMb >= 0) {
-        core::globalStreamCache().setByteBudget(
-            static_cast<std::size_t>(opt.streamCacheMb) << 20);
-    }
-    if (opt.progress) {
-        // runVddSweep owns its sweeper; the heartbeat is enabled the
-        // same way the env var would.
-        setenv("C8T_PROGRESS", "1", 1);
-    }
+    setupSinks(opt);
 
-    core::VddSweepSpec spec;
-    spec.cache = opt.cache;
-    if (opt.schemesGiven)
-        spec.schemes = opt.schemes;
-    if (opt.vdd > 0.0) {
-        // An explicit --vdd narrows the sweep to that single point
-        // (useful for drilling into one operating point's fault map).
-        spec.grid = {opt.vdd};
-    }
-    spec.makeGenerator = [workload = opt.workload] {
-        return app::makeWorkload(workload);
-    };
-    spec.streamKey = "c8tsim:" + opt.workload;
-
-    const core::RunConfig rc{opt.effectiveWarmup(), opt.accesses};
-    core::VddSweepResult result =
-        core::runVddSweep(spec, rc, opt.jobs);
+    const app::JobOutcome outcome =
+        app::runJobSpec(app::toJobSpec(opt), opt.jobs);
+    const core::VddSweepResult &result = *outcome.vdd;
 
     stats::Table t("vdd sweep: " + opt.workload + " on " +
                    opt.cache.toString() +
@@ -250,27 +238,10 @@ runVddSweepCli(const app::SimOptions &opt)
     }
     std::cout << "\n";
 
-    if (!opt.statsJsonFile.empty()) {
-        std::ofstream os(opt.statsJsonFile, std::ios::trunc);
-        if (!os) {
-            throw std::runtime_error("--stats-json: cannot open \"" +
-                                     opt.statsJsonFile +
-                                     "\" for writing");
-        }
-        result.dumpJson(os);
-        os << "\n";
-        if (!os.flush()) {
-            throw std::runtime_error("--stats-json: write to \"" +
-                                     opt.statsJsonFile + "\" failed");
-        }
-        std::cerr << "wrote vdd sweep JSON to " << opt.statsJsonFile
-                  << "\n";
-    }
-    if (obs::ChromeTraceWriter *trace = obs::globalTrace()) {
-        trace->close();
-        std::cerr << "wrote Chrome trace to " << trace->path()
-                  << " (load in https://ui.perfetto.dev)\n";
-    }
+    if (!opt.statsJsonFile.empty())
+        writeDocument(opt.statsJsonFile, outcome.document,
+                      "vdd sweep JSON");
+    finishTrace();
     finishMetrics();
     return 0;
 }
@@ -283,34 +254,11 @@ runVddSweepCli(const app::SimOptions &opt)
 int
 runExploreCli(const app::SimOptions &opt)
 {
-    if (!opt.chromeTraceFile.empty())
-        obs::setGlobalTracePath(opt.chromeTraceFile);
-    if (!opt.metricsOutFile.empty())
-        obs::setGlobalMetricsPath(opt.metricsOutFile);
-    if (opt.streamCacheMb >= 0) {
-        core::globalStreamCache().setByteBudget(
-            static_cast<std::size_t>(opt.streamCacheMb) << 20);
-    }
+    setupSinks(opt);
 
-    core::ExplorerSpec spec;
-    spec.label = "c8tsim_explore";
-    spec.workloads = opt.exploreWorkloads.empty()
-                         ? trace::specBenchmarkNames()
-                         : opt.exploreWorkloads;
-    spec.sizesKb = opt.exploreSizesKb;
-    spec.ways = opt.exploreWays;
-    spec.blocks = opt.exploreBlocks;
-    spec.replacements = opt.exploreRepls;
-    if (opt.schemesGiven)
-        spec.schemes = opt.schemes;
-    spec.vddGrid = opt.exploreVdd;
-    spec.checkpointDir = opt.checkpointDir;
-    spec.cellsPerShard = opt.shardCells;
-    spec.maxShards = opt.exploreMaxShards;
-    spec.progress = opt.progress;
-
-    const core::RunConfig rc{opt.effectiveWarmup(), opt.accesses};
-    core::ExploreResult result = core::runExplore(spec, rc, opt.jobs);
+    app::JobOutcome outcome =
+        app::runJobSpec(app::toJobSpec(opt), opt.jobs);
+    core::ExploreResult &result = *outcome.explore;
 
     {
         const obs::prof::ScopedPhase serialize_scope(
@@ -361,33 +309,15 @@ runExploreCli(const app::SimOptions &opt)
                           : std::string())
                   << ")\n";
 
-        if (!opt.statsJsonFile.empty()) {
-            std::ofstream os(opt.statsJsonFile, std::ios::trunc);
-            if (!os) {
-                throw std::runtime_error("--stats-json: cannot open \"" +
-                                         opt.statsJsonFile +
-                                         "\" for writing");
-            }
-            result.dumpJson(os);
-            os << "\n";
-            if (!os.flush()) {
-                throw std::runtime_error("--stats-json: write to \"" +
-                                         opt.statsJsonFile +
-                                         "\" failed");
-            }
-            std::cerr << "wrote explore JSON to " << opt.statsJsonFile
-                      << "\n";
-        }
+        if (!opt.statsJsonFile.empty())
+            writeDocument(opt.statsJsonFile, outcome.document,
+                          "explore JSON");
     }
     // Flush the kind:"explore" record now so the serialization above is
     // attributed to it (instead of at destructor time, after
     // finishMetrics has written the exposition).
     result.emitBenchRecord();
-    if (obs::ChromeTraceWriter *trace = obs::globalTrace()) {
-        trace->close();
-        std::cerr << "wrote Chrome trace to " << trace->path()
-                  << " (load in https://ui.perfetto.dev)\n";
-    }
+    finishTrace();
     finishMetrics();
     return 0;
 }
@@ -399,17 +329,7 @@ run(const app::SimOptions &opt)
         return runExploreCli(opt);
     if (opt.vddSweep)
         return runVddSweepCli(opt);
-    // Observability sinks resolve before any simulation starts so a
-    // bad path fails fast, not after a minutes-long sweep.
-    if (!opt.chromeTraceFile.empty())
-        obs::setGlobalTracePath(opt.chromeTraceFile);
-    if (!opt.metricsOutFile.empty())
-        obs::setGlobalMetricsPath(opt.metricsOutFile);
-
-    if (opt.streamCacheMb >= 0) {
-        core::globalStreamCache().setByteBudget(
-            static_cast<std::size_t>(opt.streamCacheMb) << 20);
-    }
+    setupSinks(opt);
 
     // Optionally record the exact stream being simulated.
     if (!opt.recordTrace.empty()) {
@@ -425,31 +345,14 @@ run(const app::SimOptions &opt)
                   << opt.recordTrace << "\n";
     }
 
-    std::vector<core::ControllerConfig> cfgs;
-    for (core::WriteScheme s : opt.schemes) {
-        core::ControllerConfig c;
-        c.cache = opt.cache;
-        c.scheme = s;
-        c.bufferEntries = opt.bufferEntries;
-        c.silentDetection = opt.silentDetection;
-        c.vdd = opt.vdd;
-        if (opt.l2SizeKb) {
-            c.l2Enabled = true;
-            c.l2.sizeBytes = opt.l2SizeKb * 1024;
-            c.l2.blockBytes = opt.cache.blockBytes;
-        }
-        cfgs.push_back(c);
-    }
-
-    const core::RunConfig rc{opt.effectiveWarmup(), opt.accesses};
-
     ObsPlumbing obs_state;
     obs_state.ringCapacity = opt.traceEvents;
-    obs_state.rings.resize(cfgs.size());
-    obs_state.registries.resize(cfgs.size());
-    obs_state.snapshotters.resize(cfgs.size());
-    obs_state.statsText.resize(cfgs.size());
-    obs_state.statsJson.resize(cfgs.size());
+    const std::size_t n_schemes = opt.schemes.size();
+    obs_state.rings.resize(n_schemes);
+    obs_state.registries.resize(n_schemes);
+    obs_state.snapshotters.resize(n_schemes);
+    obs_state.statsText.resize(n_schemes);
+    obs_state.statsJson.resize(n_schemes);
     if (!opt.intervalStatsFile.empty()) {
         obs_state.intervalOs = std::make_unique<std::ofstream>(
             opt.intervalStatsFile, std::ios::app);
@@ -461,50 +364,26 @@ run(const app::SimOptions &opt)
         obs_state.intervalAccesses = opt.intervalAccesses;
     }
 
-    // Multi-scheme runs fan one job per scheme across the sweep
-    // engine's worker threads. Each job replays the workload from its
-    // own generator (deterministic: same spec, same stream), so the
-    // results are identical to the serial single-runner path. The
-    // observability hooks attach per job; dumps are captured per job
-    // and printed in order below.
-    std::vector<core::SchemeRunResult> results;
-    if (cfgs.size() > 1) {
-        std::vector<core::SweepJob> jobs(cfgs.size());
-        for (std::size_t i = 0; i < cfgs.size(); ++i) {
-            const std::string scheme = core::toString(cfgs[i].scheme);
-            jobs[i].makeGenerator = [&opt] {
-                return app::makeWorkload(opt.workload);
-            };
-            // One generation shared by every scheme job: the workload
-            // specifier names a deterministic stream within this
-            // process (spec/kernel parameters are fixed; a trace file
-            // does not change mid-run).
-            jobs[i].streamKey = "c8tsim:" + opt.workload;
-            jobs[i].configs = {cfgs[i]};
-            jobs[i].prepare = [&opt, &obs_state, i,
-                               scheme](core::MultiSchemeRunner &r) {
-                prepareRunner(opt, obs_state, i, scheme, r);
-            };
-            jobs[i].inspect = [&opt, &obs_state, i,
-                               scheme](core::MultiSchemeRunner &r) {
-                inspectRunner(opt, obs_state, i, scheme, r);
-            };
-        }
-        core::ParallelSweeper sweeper(opt.jobs);
-        if (opt.progress)
-            sweeper.setProgress(true);
-        const auto per_scheme =
-            sweeper.run(jobs, rc, "c8tsim:" + opt.workload);
-        for (const auto &r : per_scheme)
-            results.push_back(r.at(0));
-    } else {
-        auto workload = app::makeWorkload(opt.workload);
-        core::MultiSchemeRunner runner(cfgs);
-        const std::string scheme = core::toString(cfgs[0].scheme);
-        prepareRunner(opt, obs_state, 0, scheme, runner);
-        results = runner.run(*workload, rc);
-        inspectRunner(opt, obs_state, 0, scheme, runner);
-    }
+    // Execution goes through the shared job path (DESIGN.md §13): one
+    // sweep job per scheme, each replaying the workload from its own
+    // (stream-cache-memoized) generation, so results are identical to
+    // the historical serial path — and byte-identical to what the c8td
+    // daemon produces for the same spec. The CLI-only event-ring /
+    // interval-snapshot plumbing rides along on the hooks.
+    app::JobHooks hooks;
+    hooks.prepare = [&opt, &obs_state](std::size_t i,
+                                       const std::string &scheme,
+                                       core::MultiSchemeRunner &r) {
+        prepareRunner(opt, obs_state, i, scheme, r);
+    };
+    hooks.inspect = [&opt, &obs_state](std::size_t i,
+                                       const std::string &scheme,
+                                       core::MultiSchemeRunner &r) {
+        inspectRunner(opt, obs_state, i, scheme, r);
+    };
+    const app::JobOutcome outcome = app::runJobSpec(
+        app::toJobSpec(opt), opt.jobs, hooks, obs::prof::enabled());
+    const std::vector<core::SchemeRunResult> &results = outcome.runs;
 
     stats::Table t("c8tsim: " + opt.workload + " on " +
                    opt.cache.toString());
@@ -554,15 +433,10 @@ run(const app::SimOptions &opt)
         }
     }
 
-    if (!opt.statsJsonFile.empty()) {
-        writeStatsJson(opt, results, obs_state);
-        std::cerr << "wrote stats JSON to " << opt.statsJsonFile << "\n";
-    }
-    if (obs::ChromeTraceWriter *trace = obs::globalTrace()) {
-        trace->close();
-        std::cerr << "wrote Chrome trace to " << trace->path()
-                  << " (load in https://ui.perfetto.dev)\n";
-    }
+    if (!opt.statsJsonFile.empty())
+        writeDocument(opt.statsJsonFile, outcome.document,
+                      "stats JSON");
+    finishTrace();
     finishMetrics();
     return 0;
 }
@@ -582,6 +456,11 @@ main(int argc, char **argv)
         return run(opt);
     } catch (const std::exception &e) {
         std::cerr << "c8tsim: " << e.what() << "\n";
+        // A throw mid-sweep must still leave a complete exposition
+        // file behind (the write itself is atomic: tmp + rename), not
+        // a truncated or missing one — scrapers read it after failed
+        // runs too.
+        obs::writeGlobalMetrics();
         return 1;
     }
 }

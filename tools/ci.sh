@@ -26,7 +26,13 @@
 #      run's --stats-json document to be byte-identical to the
 #      uninterrupted one (DESIGN.md §12's resumability contract,
 #      checked end-to-end through the c8tsim CLI).
-#   7. Record a Release benchmark snapshot (tools/bench_report.sh into
+#   7. Daemon smoke: start c8td on a throwaway socket, run three
+#      concurrent c8tctl clients (two run kinds plus a Vdd sweep) and
+#      require each answer to be byte-identical to the one-shot
+#      c8tsim --stats-json document for the same operating point; then
+#      exercise the SIGTERM drain — a job submitted just before the
+#      signal must still be answered and the daemon must exit 0.
+#   8. Record a Release benchmark snapshot (tools/bench_report.sh into
 #      build-bench) and bench_diff it against the newest recorded
 #      BENCH_*.json in the repo root (a local, gitignored artifact —
 #      seed one with tools/bench_report.sh); any record more than
@@ -140,6 +146,68 @@ fi
 rm -rf "$explore_dir"
 rm -f "$explore_a" "$explore_b"
 echo "ci: explorer interrupt/resume is byte-identical"
+
+echo "==== daemon: c8td answers vs one-shot c8tsim + SIGTERM drain ===="
+# Three concurrent clients against one daemon; every answer must be
+# byte-identical to the one-shot driver's --stats-json document for
+# the same operating point (the shared-JobSpec contract, end-to-end
+# through the real binaries). Uses the tier-1 tree.
+daemon_dir=$(mktemp -d)
+daemon_sock="$daemon_dir/c8td.sock"
+"$repo_root/build/tools/c8td" --socket "$daemon_sock" > /dev/null &
+daemon_pid=$!
+daemon_up=0
+for _ in $(seq 1 100); do
+    if [ -S "$daemon_sock" ]; then daemon_up=1; break; fi
+    sleep 0.1
+done
+if [ "$daemon_up" != 1 ]; then
+    echo "ci: c8td did not come up on $daemon_sock" >&2
+    kill "$daemon_pid" 2>/dev/null || true
+    exit 1
+fi
+"$repo_root/build/tools/c8tctl" --socket "$daemon_sock" \
+    --output "$daemon_dir/a.json" \
+    '{"kind":"run","workload":"spec:gcc","accesses":20000}' &
+daemon_ca=$!
+"$repo_root/build/tools/c8tctl" --socket "$daemon_sock" \
+    --output "$daemon_dir/b.json" \
+    '{"kind":"run","workload":"spec:mcf","accesses":20000,"cache":{"size_kb":32}}' &
+daemon_cb=$!
+"$repo_root/build/tools/c8tctl" --socket "$daemon_sock" \
+    --output "$daemon_dir/c.json" \
+    '{"kind":"vdd_sweep","workload":"spec:gcc","accesses":20000}' &
+daemon_cc=$!
+wait "$daemon_ca" "$daemon_cb" "$daemon_cc"
+"$repo_root/build/tools/c8tsim" --workload spec:gcc --accesses 20000 \
+    --stats-json "$daemon_dir/a.ref" > /dev/null
+"$repo_root/build/tools/c8tsim" --workload spec:mcf --accesses 20000 \
+    --size 32 --stats-json "$daemon_dir/b.ref" > /dev/null
+"$repo_root/build/tools/c8tsim" --vdd-sweep --workload spec:gcc \
+    --accesses 20000 --stats-json "$daemon_dir/c.ref" > /dev/null
+for f in a b c; do
+    if ! cmp -s "$daemon_dir/$f.json" "$daemon_dir/$f.ref"; then
+        echo "ci: daemon answer '$f' differs from one-shot c8tsim" >&2
+        kill "$daemon_pid" 2>/dev/null || true
+        exit 1
+    fi
+done
+# SIGTERM drain: a job in flight when the signal lands must still get
+# its final frame, and the daemon must exit cleanly.
+"$repo_root/build/tools/c8tctl" --socket "$daemon_sock" \
+    --output "$daemon_dir/d.json" \
+    '{"kind":"run","workload":"spec:gcc","accesses":500000}' &
+daemon_cd=$!
+sleep 0.2
+kill -TERM "$daemon_pid"
+wait "$daemon_cd"
+wait "$daemon_pid"
+if ! [ -s "$daemon_dir/d.json" ]; then
+    echo "ci: SIGTERM drain dropped the in-flight job's answer" >&2
+    exit 1
+fi
+rm -rf "$daemon_dir"
+echo "ci: daemon bytes match one-shot; SIGTERM drain delivered finals"
 
 echo "==== perf: Release snapshot vs committed baseline ===="
 if [ "${C8T_CI_SKIP_PERF:-0}" = 1 ]; then
