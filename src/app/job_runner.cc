@@ -24,6 +24,27 @@ namespace c8t::app
 namespace
 {
 
+/** Resolve the spec's lower levels into controller LevelConfigs
+ *  (DESIGN.md §14): a block size of 0 inherits the L1 block. */
+std::vector<core::LevelConfig>
+levelConfigs(const core::JobSpec &spec)
+{
+    std::vector<core::LevelConfig> out;
+    out.reserve(spec.levels.size());
+    for (const core::LevelSpec &l : spec.levels) {
+        core::LevelConfig c;
+        c.cache.sizeBytes = l.sizeKb * 1024;
+        c.cache.ways = l.ways;
+        c.cache.blockBytes =
+            l.blockBytes ? l.blockBytes : spec.cache.blockBytes;
+        c.cache.replacement = l.repl;
+        c.scheme = l.scheme;
+        c.vdd = l.vdd;
+        out.push_back(c);
+    }
+    return out;
+}
+
 /** Execute a kind-Run job: one sweep job per scheme, per-scheme stats
  *  registries captured on the worker, document identical to c8tsim's
  *  historical writeStatsJson. */
@@ -36,6 +57,7 @@ runPlain(const core::JobSpec &spec, unsigned workers,
 
     const std::vector<core::WriteScheme> schemes =
         spec.effectiveSchemes();
+    const std::vector<core::LevelConfig> lower = levelConfigs(spec);
     std::vector<core::ControllerConfig> cfgs;
     cfgs.reserve(schemes.size());
     for (core::WriteScheme s : schemes) {
@@ -45,11 +67,7 @@ runPlain(const core::JobSpec &spec, unsigned workers,
         c.bufferEntries = spec.bufferEntries;
         c.silentDetection = spec.silentDetection;
         c.vdd = spec.vdd;
-        if (spec.l2SizeKb) {
-            c.l2Enabled = true;
-            c.l2.sizeBytes = spec.l2SizeKb * 1024;
-            c.l2.blockBytes = spec.cache.blockBytes;
-        }
+        c.lowerLevels = lower;
         cfgs.push_back(c);
     }
 
@@ -78,9 +96,12 @@ runPlain(const core::JobSpec &spec, unsigned workers,
         }
         jobs[i].inspect = [&, i, scheme](core::MultiSchemeRunner &r) {
             // The per-scheme registry dump is both the document's
-            // "stats" payload and the partial-result payload.
+            // "stats" payload and the partial-result payload. The
+            // whole stack registers: the top level unprefixed
+            // (byte-identical for a single level), lower levels
+            // under "l2."/"l3.".
             stats::Registry reg;
-            r.controller(0).registerStats(reg);
+            r.stack(0).registerStats(reg);
             std::ostringstream os;
             reg.dumpJson(os);
             stats_json[i] = os.str();
@@ -147,6 +168,9 @@ runVdd(const core::JobSpec &spec, unsigned workers,
     core::VddSweepSpec vspec;
     vspec.cache = spec.cache;
     vspec.schemes = spec.effectiveSchemes();
+    // A hierarchy spec sweeps the L2: the grid voltage and the scheme
+    // axis apply to the lower level while the 6T L1 stays at nominal.
+    vspec.lowerLevels = levelConfigs(spec);
     if (spec.vdd > 0.0) {
         // An explicit operating point narrows the sweep to it (useful
         // for drilling into one point's fault map).
@@ -208,6 +232,7 @@ runExploreJob(const core::JobSpec &spec, unsigned workers,
     espec.replacements = spec.exploreRepls;
     espec.schemes = spec.effectiveSchemes();
     espec.vddGrid = spec.exploreVdd;
+    espec.l2SizesKb = spec.exploreL2SizesKb;
     espec.checkpointDir = spec.checkpointDir;
     espec.cellsPerShard = spec.shardCells;
     espec.maxShards = spec.exploreMaxShards;

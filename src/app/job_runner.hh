@@ -1,7 +1,7 @@
 /**
  * @file
  * The shared job execution path (DESIGN.md §13): one core::JobSpec in,
- * one canonical schema-v4 result document out.
+ * one canonical schema-v5 result document out.
  *
  * Both front ends — the c8tsim command line and the c8td sweep daemon
  * — reduce their input to a JobSpec and call runJobSpec, so they
@@ -80,7 +80,7 @@ struct JobOutcome
 
     /**
      * The canonical result document: exactly the bytes `c8tsim
-     * --stats-json` writes for the same spec (schema-v4; trailing
+     * --stats-json` writes for the same spec (schema-v5; trailing
      * newline included). This is what the daemon's final-result frame
      * carries verbatim.
      */

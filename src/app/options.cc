@@ -115,7 +115,16 @@ usageText()
           "  --all               run every scheme\n"
           "  --buffer-entries N  Set-Buffer entries (default 1)\n"
           "  --no-silent-detection\n"
-          "  --l2 KB             enable a tags-only L2 of KB KiB\n"
+          "\n"
+          "hierarchy (DESIGN.md §14)\n"
+          "  --l2 KB             add an inclusive write-back L2 of KB "
+          "KiB behind the L1 (deprecated alias of the retired "
+          "tags-only shim; now a full second level)\n"
+          "  --l2-ways N         L2 associativity (default 8)\n"
+          "  --l2-repl P         L2 replacement policy (default lru)\n"
+          "  --l2-scheme S       L2 write scheme (default RMW)\n"
+          "  --l2-vdd V          L2 supply in volts (default: nominal); "
+          "with --vdd-sweep the grid is applied to the L2 instead\n"
           "\n"
           "voltage (DESIGN.md §10)\n"
           "  --vdd V             run at supply voltage V volts "
@@ -138,6 +147,9 @@ usageText()
           "  --explore-vdd L     volts list (descending), 'grid' for "
           "the default 1.00..0.50 grid, or 'none' for nominal-only "
           "(default none)\n"
+          "  --explore-l2-sizes L\n"
+          "                      L2 KiB list: every cell becomes a "
+          "two-level hierarchy (6T L1, scheme/Vdd axes on the L2)\n"
           "  --checkpoint-dir D  write per-shard checkpoints to D; a "
           "rerun resumes, skipping completed shards byte-identically\n"
           "  --shard-cells N     cells per shard (default 8)\n"
@@ -192,6 +204,7 @@ parseOptions(const std::vector<std::string> &args)
 {
     SimOptions opt;
     bool &schemes_given = opt.schemesGiven;
+    std::string l2_knob; // last --l2-* flag seen (requires --l2)
 
     auto need_value = [&](std::size_t i, const std::string &flag) {
         if (i + 1 >= args.size())
@@ -245,6 +258,21 @@ parseOptions(const std::vector<std::string> &args)
                     "--buffer-entries: must be >= 1");
         } else if (a == "--l2") {
             opt.l2SizeKb = parseU64(a, need_value(i++, a));
+        } else if (a == "--l2-ways") {
+            l2_knob = a;
+            opt.l2Ways =
+                static_cast<std::uint32_t>(parseU64(a, need_value(i++, a)));
+        } else if (a == "--l2-repl") {
+            l2_knob = a;
+            opt.l2Repl = mem::parseReplKind(need_value(i++, a));
+        } else if (a == "--l2-scheme") {
+            l2_knob = a;
+            opt.l2Scheme = core::parseWriteScheme(need_value(i++, a));
+        } else if (a == "--l2-vdd") {
+            l2_knob = a;
+            opt.l2Vdd = parseDouble(a, need_value(i++, a));
+            if (opt.l2Vdd <= 0.0)
+                throw std::invalid_argument("--l2-vdd: must be > 0");
         } else if (a == "--vdd") {
             opt.vdd = parseDouble(a, need_value(i++, a));
             if (opt.vdd <= 0.0)
@@ -276,6 +304,8 @@ parseOptions(const std::vector<std::string> &args)
             for (const std::string &r :
                  splitList(a, need_value(i++, a)))
                 opt.exploreRepls.push_back(mem::parseReplKind(r));
+        } else if (a == "--explore-l2-sizes") {
+            opt.exploreL2SizesKb = parseU64List(a, need_value(i++, a));
         } else if (a == "--explore-vdd") {
             const std::string v = need_value(i++, a);
             if (v == "none")
@@ -330,6 +360,8 @@ parseOptions(const std::vector<std::string> &args)
         }
     }
 
+    if (!l2_knob.empty() && !opt.l2SizeKb)
+        throw std::invalid_argument(l2_knob + ": requires --l2 KB");
     if (!opt.help)
         opt.cache.validate();
     return opt;
@@ -352,7 +384,15 @@ toJobSpec(const SimOptions &opt)
         spec.schemes = opt.schemes;
     spec.bufferEntries = opt.bufferEntries;
     spec.silentDetection = opt.silentDetection;
-    spec.l2SizeKb = opt.l2SizeKb;
+    if (opt.l2SizeKb) {
+        core::LevelSpec l2;
+        l2.sizeKb = opt.l2SizeKb;
+        l2.ways = opt.l2Ways;
+        l2.repl = opt.l2Repl;
+        l2.scheme = opt.l2Scheme;
+        l2.vdd = opt.l2Vdd;
+        spec.levels.push_back(l2);
+    }
     spec.vdd = opt.vdd;
     spec.exploreWorkloads = opt.exploreWorkloads;
     spec.exploreSizesKb = opt.exploreSizesKb;
@@ -360,6 +400,7 @@ toJobSpec(const SimOptions &opt)
     spec.exploreBlocks = opt.exploreBlocks;
     spec.exploreRepls = opt.exploreRepls;
     spec.exploreVdd = opt.exploreVdd;
+    spec.exploreL2SizesKb = opt.exploreL2SizesKb;
     spec.shardCells = opt.shardCells;
     spec.checkpointDir = opt.checkpointDir;
     spec.exploreMaxShards = opt.exploreMaxShards;

@@ -58,9 +58,18 @@ struct SimOptions
     /** Disable silent-store detection (--no-silent-detection). */
     bool silentDetection = true;
 
-    /** Enable the tags-only L2 of the given KiB capacity (--l2 KB;
-     *  0 = disabled). */
+    /** Enable a real inclusive write-back L2 of the given KiB
+     *  capacity (--l2 KB; 0 = disabled). Historically this flag
+     *  enabled a tags-only timing shim; it is kept as an alias for
+     *  the hierarchy (DESIGN.md §14). */
     std::uint64_t l2SizeKb = 0;
+
+    /** L2 shape/scheme/supply (--l2-ways, --l2-repl, --l2-scheme,
+     *  --l2-vdd; each requires --l2). */
+    std::uint32_t l2Ways = 8;
+    mem::ReplKind l2Repl = mem::ReplKind::Lru;
+    core::WriteScheme l2Scheme = core::WriteScheme::Rmw;
+    double l2Vdd = 0.0;
 
     /** Supply voltage operating point in volts (--vdd V; 0 = nominal,
      *  voltage model detached). */
@@ -94,6 +103,10 @@ struct SimOptions
     /** Explorer Vdd axis (--explore-vdd V,V|grid|none; empty =
      *  nominal-only, model detached). */
     std::vector<double> exploreVdd;
+
+    /** Explorer L2-capacity axis in KiB (--explore-l2-sizes; empty =
+     *  single-level cells). */
+    std::vector<std::uint64_t> exploreL2SizesKb;
 
     /** Shard checkpoint directory (--checkpoint-dir; empty = no
      *  checkpointing). */

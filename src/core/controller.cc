@@ -42,13 +42,6 @@ CacheController::CacheController(const ControllerConfig &config,
         throw std::invalid_argument(
             "ControllerConfig: bufferEntries must be >= 1");
 
-    if (_config.l2Enabled) {
-        if (_config.l2.blockBytes != _config.cache.blockBytes)
-            throw std::invalid_argument(
-                "ControllerConfig: L2 block size must match the L1's");
-        _l2 = std::make_unique<mem::TagArray>(_config.l2);
-    }
-
     // Deferred energy accounting: precompute every per-event energy
     // once (the exact addends the per-access accumulation used), so
     // the hot path only bumps integer counters.
@@ -59,8 +52,8 @@ CacheController::CacheController(const ControllerConfig &config,
     // Supply-voltage operating point (DESIGN.md §10): applied entirely
     // here — the energy rates and the array latency cycle counts are
     // rewritten once, so the hot path is identical whether a model is
-    // attached or not. The miss penalty and L2 latency model the next
-    // level of the hierarchy on its own supply and stay unscaled.
+    // attached or not. The miss penalty models the next level of the
+    // hierarchy on its own supply and stays unscaled.
     if (_config.vdd > 0.0 && _config.vdd != _config.vmodel.nominalVdd) {
         const sram::VddModel vm(_config.vmodel);
         _vddPoint = vm.at(_config.vdd, cellType());
@@ -231,26 +224,28 @@ CacheController::handleMiss(mem::Addr block_addr)
         }
     }
 
-    // Consult the L2 (tags-only): an L2 hit shortens the miss
-    // service; an L2 miss allocates there too. L1 victims are
-    // installed into the L2 (write-back allocate), keeping it roughly
-    // inclusive of recently evicted blocks.
-    _lastMissPenalty = _config.latency.missPenaltyCycles;
-    if (_l2) {
-        if (_l2->access(block_addr).hit) {
-            _lastMissPenalty = _config.l2LatencyCycles;
-        } else {
-            _l2->fill(block_addr);
-        }
+    const std::uint32_t block_bytes = _config.cache.blockBytes;
+
+    // Resolve the fill source *before* touching the tag state: a
+    // next-level fetch can evict a line down there and back-invalidate
+    // our copy, and doing that against settled tags keeps the victim
+    // and fill ways chosen below coherent with what actually remains
+    // resident. (Inclusion then guarantees the dirty-victim write
+    // burst issued further down always hits — see DESIGN.md §14.)
+    if (_next) {
+        _lastMissPenalty = static_cast<std::uint32_t>(_next->fetchBlock(
+            block_addr, _fetchScratch.data(), block_bytes));
+    } else {
+        _lastMissPenalty = _config.latency.missPenaltyCycles;
     }
 
     const mem::FillResult fill = _tags.fill(block_addr);
-    const std::uint32_t block_bytes = _config.cache.blockBytes;
 
     // Victim extraction + fill merge, as row operations performed in
     // place on the row image (miss-handling accounting, kept separate
     // from the paper's demand counters). The victim block is drained
-    // to memory before the new block overwrites its bytes.
+    // to the next level (or memory) before the new block overwrites
+    // its bytes.
     const sram::RowData &cur = _array.readRowRef(set);
     ++_fillRowReads;
     ++_ecounts.rowReads;
@@ -258,26 +253,144 @@ CacheController::handleMiss(mem::Addr block_addr)
 
     if (fill.evictedValid)
         note(obs::EventType::Eviction, fill.evictedBlockAddr, set);
-    if (fill.evictedValid && fill.evictedDirty) {
-        // Architectural state always lands in the functional memory;
-        // the L2 additionally remembers the victim (timing only).
-        _mem.writeBytes(fill.evictedBlockAddr,
-                        cur.data() + fill.way * block_bytes,
-                        block_bytes);
-    }
-    if (_l2 && fill.evictedValid &&
-        !_l2->probe(fill.evictedBlockAddr).hit) {
-        _l2->fill(fill.evictedBlockAddr);
+    if (fill.evictedValid) {
+        const std::uint8_t *victim = cur.data() + fill.way * block_bytes;
+        bool must_write = fill.evictedDirty;
+        if (_evictionHook) {
+            // Stage the victim so upper levels can merge a fresher
+            // copy while dropping theirs (inclusion maintenance).
+            std::memcpy(_victimScratch.data(), victim, block_bytes);
+            if (_evictionHook(fill.evictedBlockAddr,
+                              _victimScratch.data(), block_bytes)) {
+                must_write = true;
+                ++_evictionsMerged;
+            }
+            victim = _victimScratch.data();
+        }
+        if (must_write) {
+            if (_next)
+                _next->acceptBlockWriteback(fill.evictedBlockAddr,
+                                            victim, block_bytes);
+            else
+                _mem.writeBytes(fill.evictedBlockAddr, victim,
+                                block_bytes);
+        }
     }
 
     sram::RowData &row = _array.updateRow(set);
-    _mem.readBytes(block_addr, row.data() + fill.way * block_bytes,
-                   block_bytes);
+    if (_next)
+        std::memcpy(row.data() + fill.way * block_bytes,
+                    _fetchScratch.data(), block_bytes);
+    else
+        _mem.readBytes(block_addr, row.data() + fill.way * block_bytes,
+                       block_bytes);
 
     ++_fillRowWrites;
     ++_ecounts.rowWrites;
     auditEnergy(EnergyEvent::RowWrite, 0);
     return fill.way;
+}
+
+void
+CacheController::attachNextLevel(CacheController *next)
+{
+    if (next) {
+        if (next->config().cache.blockBytes != _config.cache.blockBytes)
+            throw std::invalid_argument(
+                "CacheController: next-level block size must match");
+        _fetchScratch.assign(_config.cache.blockBytes, 0);
+    }
+    _next = next;
+}
+
+void
+CacheController::setEvictionHook(EvictionHook hook)
+{
+    _evictionHook = std::move(hook);
+    if (_evictionHook)
+        _victimScratch.assign(_config.cache.blockBytes, 0);
+}
+
+std::uint64_t
+CacheController::fetchBlock(mem::Addr block_addr, std::uint8_t *dst,
+                            std::uint32_t len)
+{
+    assert(len == _config.cache.blockBytes);
+    assert(_tags.layout().blockAlign(block_addr) == block_addr);
+
+    // One demand access per fetch: the upper level's miss appears here
+    // as a single block read, so this level's "cache access frequency"
+    // counts L1 miss traffic exactly once per miss.
+    trace::MemAccess req;
+    req.addr = block_addr;
+    req.size = 8;
+    req.gap = 0;
+    req.type = trace::AccessType::Read;
+    const AccessOutcome out = access(req);
+
+    // Architectural copy of the whole block image (freshest source:
+    // Set-Buffer over array over memory); uncounted, like peekWord().
+    for (std::uint32_t off = 0; off < len; off += 8)
+        storeLe(dst + off, peekWord(block_addr + off), 8);
+    return out.latencyCycles;
+}
+
+void
+CacheController::acceptBlockWriteback(mem::Addr block_addr,
+                                      const std::uint8_t *src,
+                                      std::uint32_t len)
+{
+    assert(len == _config.cache.blockBytes);
+    assert(_tags.layout().blockAlign(block_addr) == block_addr);
+
+    // The eviction burst: one word-granular write per 8 bytes, all to
+    // the same set — the same-set grouping profile the Set-Buffer
+    // schemes are built for.
+    trace::MemAccess req;
+    req.gap = 0;
+    req.size = 8;
+    req.type = trace::AccessType::Write;
+    for (std::uint32_t off = 0; off < len; off += 8) {
+        req.addr = block_addr + off;
+        std::uint64_t v = 0;
+        for (std::uint32_t i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(src[off + i]) << (8 * i);
+        req.data = v;
+        access(req);
+    }
+}
+
+bool
+CacheController::extractInvalidate(mem::Addr block_addr,
+                                   std::uint8_t *dst, std::uint32_t len)
+{
+    assert(len == _config.cache.blockBytes);
+    const mem::LookupResult r = _tags.probe(block_addr);
+    if (!r.hit)
+        return false;
+
+    const std::uint32_t set = _tags.layout().setOf(block_addr);
+
+    // Settle any buffered group covering the set into the array so the
+    // row image read below is the freshest copy of the line.
+    if (_tagBuffer) {
+        const std::uint32_t e = entryOfSet(set);
+        if (e < _tagBuffer->entries()) {
+            endGroup(e, _backInvalFlushes);
+            _tagBuffer->invalidate(e);
+        }
+    }
+
+    const bool dirty = _tags.isDirty(set, r.way);
+    const sram::RowData &row = _array.peekRow(set);
+    std::memcpy(dst, row.data() + r.way * _config.cache.blockBytes, len);
+    _tags.invalidate(set, r.way);
+
+    ++_backInvalidations;
+    if (dirty)
+        ++_backInvalDirty;
+    note(obs::EventType::Eviction, block_addr, set);
+    return dirty;
 }
 
 CacheController::ResidentRef
@@ -298,9 +411,9 @@ CacheController::applyPlanned(mem::Addr block_addr,
 
     // Planned miss: the handleMiss() sequence minus the tag-side work
     // stage 1 already did (victim choice, eviction metadata,
-    // replacement update). The L2, event ring and audit hook are
-    // absent by eligibility, so no globally-ordered observer is
-    // skipped.
+    // replacement update). The next level, eviction hook, event ring
+    // and audit hook are absent by eligibility, so no globally-ordered
+    // observer is skipped.
     assert(!_tags.probe(block_addr).hit &&
            "planned miss disagrees with live tag state");
 
@@ -790,25 +903,26 @@ CacheController::dynamicEnergy() const
 }
 
 void
-CacheController::registerStats(stats::Registry &reg)
+CacheController::registerStats(stats::Registry &reg,
+                               const std::string &prefix)
 {
-    reg.add(_requests);
-    reg.add(_readRequests);
-    reg.add(_writeRequests);
-    reg.add(_demandRowReads);
-    reg.add(_demandRowWrites);
-    reg.add(_fillRowReads);
-    reg.add(_fillRowWrites);
-    reg.add(_drainWrites);
-    reg.add(_groupedWrites);
-    reg.add(_prematureWritebacks);
-    reg.add(_groupWritebacks);
-    reg.add(_missFlushWritebacks);
-    reg.add(_silentGroupsElided);
-    reg.add(_bypassedReads);
-    reg.add(_silentWritesDetected);
-    reg.add(_groupSizes);
-    reg.add(_readLatency);
+    reg.add(_requests, prefix);
+    reg.add(_readRequests, prefix);
+    reg.add(_writeRequests, prefix);
+    reg.add(_demandRowReads, prefix);
+    reg.add(_demandRowWrites, prefix);
+    reg.add(_fillRowReads, prefix);
+    reg.add(_fillRowWrites, prefix);
+    reg.add(_drainWrites, prefix);
+    reg.add(_groupedWrites, prefix);
+    reg.add(_prematureWritebacks, prefix);
+    reg.add(_groupWritebacks, prefix);
+    reg.add(_missFlushWritebacks, prefix);
+    reg.add(_silentGroupsElided, prefix);
+    reg.add(_bypassedReads, prefix);
+    reg.add(_silentWritesDetected, prefix);
+    reg.add(_groupSizes, prefix);
+    reg.add(_readLatency, prefix);
 
     // Registered only when a non-nominal supply is attached: a nominal
     // (or detached) controller's dump must stay byte-identical to a
@@ -821,21 +935,30 @@ CacheController::registerStats(stats::Registry &reg)
         _vddDelayFactor.set(_vddPoint.delayFactor);
         _vddPfailRead.set(_vddPoint.pfailRead);
         _vddPfailWrite.set(_vddPoint.pfailWrite);
-        reg.add(_vddSupply);
-        reg.add(_vddEnergyScale);
-        reg.add(_vddLeakScale);
-        reg.add(_vddDelayFactor);
-        reg.add(_vddPfailRead);
-        reg.add(_vddPfailWrite);
+        reg.add(_vddSupply, prefix);
+        reg.add(_vddEnergyScale, prefix);
+        reg.add(_vddLeakScale, prefix);
+        reg.add(_vddDelayFactor, prefix);
+        reg.add(_vddPfailRead, prefix);
+        reg.add(_vddPfailWrite, prefix);
     }
 
-    _tags.registerStats(reg);
-    _array.registerStats(reg);
-    _ports.registerStats(reg);
+    // Hierarchy counters exist only for stacked controllers, so a
+    // single-level dump stays byte-identical to historical builds.
+    if (_next || _evictionHook) {
+        reg.add(_backInvalidations, prefix);
+        reg.add(_backInvalDirty, prefix);
+        reg.add(_backInvalFlushes, prefix);
+        reg.add(_evictionsMerged, prefix);
+    }
+
+    _tags.registerStats(reg, prefix);
+    _array.registerStats(reg, prefix);
+    _ports.registerStats(reg, prefix);
     if (_tagBuffer)
-        _tagBuffer->registerStats(reg);
+        _tagBuffer->registerStats(reg, prefix);
     if (_setBuffer)
-        _setBuffer->registerStats(reg);
+        _setBuffer->registerStats(reg, prefix);
 }
 
 void
@@ -870,12 +993,14 @@ CacheController::resetStats()
     _silentGroupsElided.reset();
     _bypassedReads.reset();
     _silentWritesDetected.reset();
+    _backInvalidations.reset();
+    _backInvalDirty.reset();
+    _backInvalFlushes.reset();
+    _evictionsMerged.reset();
     _groupSizes.reset();
     _readLatency.reset();
 
     _tags.resetCounters();
-    if (_l2)
-        _l2->resetCounters();
     _array.resetCounters();
     _ports.reset();
     if (_tagBuffer)

@@ -24,9 +24,11 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "core/policies.hh"
 #include "core/set_buffer.hh"
@@ -45,6 +47,44 @@
 
 namespace c8t::core
 {
+
+/**
+ * Shape and policy of one lower cache level (DESIGN.md §14).
+ *
+ * core::LevelStack derives a full ControllerConfig from it: process
+ * constants (tech) and voltage-model constants (vmodel) are inherited
+ * from the top-level configuration so the whole hierarchy shares one
+ * technology, while geometry, write scheme, buffering and the supply
+ * operating point are free per level — the canonical split runs a 6T
+ * L1 at nominal Vdd over an 8T L2 at near-threshold.
+ */
+struct LevelConfig
+{
+    /** Cache shape (default: 256 KB / 8-way / 32 B / LRU). The block
+     *  size must match the upper level's. */
+    mem::CacheConfig cache{256 * 1024, 8, 32};
+
+    /** Write scheme of this level's data array. */
+    WriteScheme scheme = WriteScheme::Rmw;
+
+    /** Set-Buffer / Tag-Buffer entries (grouping schemes). */
+    std::uint32_t bufferEntries = 1;
+
+    /** Detect silent stores in this level's Set-Buffer. */
+    bool silentDetection = true;
+
+    /** Bit-interleave degree of this level's data array. */
+    std::uint32_t interleaveDegree = 4;
+
+    /** Array timing; missPenaltyCycles is this level's own penalty to
+     *  the level (or memory) behind it. */
+    LatencyParams latency;
+
+    /** Supply operating point (V); 0 = nominal/detached. */
+    double vdd = 0.0;
+
+    bool operator==(const LevelConfig &other) const = default;
+};
 
 /** Full configuration of one controller instance. */
 struct ControllerConfig
@@ -71,19 +111,16 @@ struct ControllerConfig
     sram::TechParams tech;
 
     /**
-     * Optional second-level cache (tags-only timing model): L1 misses
-     * that hit in the L2 pay l2LatencyCycles instead of the full miss
-     * penalty. The data path is unaffected — the functional memory is
-     * kept architecturally current — so the L2 changes latency and
-     * hit statistics only, never values.
+     * Lower levels of the hierarchy, nearest first ([0] is the L2).
+     * Empty — the default — means a single-level cache backed directly
+     * by the functional memory, byte-identical to historical builds.
+     * The controller itself does not consume this list: each entry is
+     * realised as a full CacheController of its own (tags, data array,
+     * buffers, energy accounting, supply point) wired behind this one
+     * by core::LevelStack (DESIGN.md §14), which replaced the old
+     * tags-only l2Enabled shim.
      */
-    bool l2Enabled = false;
-
-    /** L2 shape (block size must match the L1's). */
-    mem::CacheConfig l2{256 * 1024, 8, 32};
-
-    /** L1-miss/L2-hit service latency (cycles). */
-    std::uint32_t l2LatencyCycles = 12;
+    std::vector<LevelConfig> lowerLevels;
 
     /**
      * Supply-voltage operating point (V). 0 — the default — or exactly
@@ -148,7 +185,8 @@ class CacheController
      * scheme-specialized loop (MultiSchemeRunner's replay path).
      *
      * When the shape and controller qualify (packed deterministic
-     * replacement, no L2, no event ring, no energy audit hook), the
+     * replacement, no next level or eviction hook, no event ring, no
+     * energy audit hook), the
      * chunk runs as the two-stage set-batched pipeline (DESIGN.md §7):
      * stage 1 plans every tag lookup in per-set batches (SIMD
      * way-compares, replacement arithmetic on stack-local state) and
@@ -202,9 +240,6 @@ class CacheController
     /** The tag array (hit/miss statistics). */
     const mem::TagArray &tags() const { return _tags; }
 
-    /** The L2 tag array; null when the L2 is disabled. */
-    const mem::TagArray *l2() const { return _l2.get(); }
-
     /** The data array (circuit event counters). */
     const sram::SRAMArray &array() const { return _array; }
 
@@ -234,6 +269,95 @@ class CacheController
     {
         return _traits.requiresEightT ? sram::CellType::EightT
                                       : sram::CellType::SixT;
+    }
+
+    // --- hierarchy (DESIGN.md §14) ----------------------------------------
+
+    /**
+     * Wire @p next as the backing level of this controller (nullptr
+     * to detach). With a next level attached, miss fills fetch the
+     * block from it — the miss penalty becomes the observed next-level
+     * latency — and dirty victim write-backs become its write stream
+     * instead of going straight to the functional memory. The next
+     * level must share this controller's FunctionalMemory and block
+     * size; core::LevelStack owns the wiring.
+     *
+     * @throws std::invalid_argument on a block-size mismatch.
+     */
+    void attachNextLevel(CacheController *next);
+
+    /** The backing level; nullptr for the lowest (memory-backed). */
+    CacheController *nextLevel() const { return _next; }
+
+    /**
+     * Inclusion-maintenance hook, fired once per valid victim this
+     * controller evicts, with the victim's block address and its
+     * row-image bytes staged in a controller-owned scratch buffer.
+     * The hook may overwrite the bytes with a fresher upper-level copy
+     * (back-invalidation) and returns true when that copy was dirty —
+     * which forces the victim to be written down even if this level
+     * held it clean. Installing a hook reserves the scratch buffer, so
+     * the eviction path stays allocation-free.
+     */
+    using EvictionHook =
+        std::function<bool(mem::Addr blockAddr, std::uint8_t *block,
+                           std::uint32_t blockBytes)>;
+
+    /** Install (or clear, with an empty function) the eviction hook. */
+    void setEvictionHook(EvictionHook hook);
+
+    /**
+     * Back-invalidation entry point, called on an *upper* level when a
+     * lower level evicts @p block_addr: if the line is resident here,
+     * settle any buffered group covering its set, copy the freshest
+     * line image over @p dst (an architectural move — uncounted, like
+     * peekWord()), drop the line from the tags, and report whether it
+     * was dirty. Returns false (and leaves @p dst untouched) when the
+     * line is not resident. @p len must equal the block size.
+     */
+    bool extractInvalidate(mem::Addr block_addr, std::uint8_t *dst,
+                           std::uint32_t len);
+
+    /**
+     * Service an upper level's miss: one demand read access for the
+     * block (counted in this level's statistics exactly like a CPU
+     * read of its first word) followed by an uncounted architectural
+     * copy of the whole block image into @p dst. Returns the observed
+     * request-to-completion latency in cycles — the upper level's
+     * miss penalty.
+     */
+    std::uint64_t fetchBlock(mem::Addr block_addr, std::uint8_t *dst,
+                             std::uint32_t len);
+
+    /**
+     * Accept an upper level's dirty victim: one demand write access
+     * per 8-byte word of the block — the eviction burst that forms
+     * this level's write stream, maximally same-set grouped, which is
+     * exactly the profile the grouping schemes target (EXPERIMENTS:
+     * hierarchy grouping comparison).
+     */
+    void acceptBlockWriteback(mem::Addr block_addr,
+                              const std::uint8_t *src,
+                              std::uint32_t len);
+
+    /** Lines dropped here by lower-level evictions (upper levels). */
+    std::uint64_t backInvalidations() const
+    {
+        return _backInvalidations.value();
+    }
+
+    /** Back-invalidated lines that were dirty (their bytes were merged
+     *  into the outgoing lower-level victim). */
+    std::uint64_t backInvalDirty() const
+    {
+        return _backInvalDirty.value();
+    }
+
+    /** Evictions whose victim absorbed fresher upper-level bytes
+     *  (levels with an eviction hook installed). */
+    std::uint64_t evictionsMerged() const
+    {
+        return _evictionsMerged.value();
     }
 
     // --- the paper's accounting -------------------------------------------
@@ -408,10 +532,14 @@ class CacheController
 
     /**
      * Register every statistic of the controller and its components
-     * (tag array, data array, ports, buffers) with @p reg. Use one
-     * registry per controller — statistic names are not prefixed.
+     * (tag array, data array, ports, buffers) with @p reg under
+     * @p prefix (see stats::Registry prefixed registration). The
+     * default empty prefix is the historical single-level layout; a
+     * LevelStack registers lower levels under "l2.", "l3.", ... so one
+     * registry carries the whole hierarchy without name collisions.
      */
-    void registerStats(stats::Registry &reg);
+    void registerStats(stats::Registry &reg,
+                       const std::string &prefix = std::string());
 
     /** Convenience: register into a fresh registry and dump it
      *  (gem5 stats.txt flavour) to @p os. */
@@ -443,11 +571,12 @@ class CacheController
                          const mem::ChunkPlan &plan, AccessFn &&body);
 
     /** True when the batched pipeline may run right now: the shape is
-     *  plannable and no per-access observer (L2, event ring, energy
-     *  audit) needs the globally-ordered tag side effects. */
+     *  plannable and no per-access observer (next level, eviction
+     *  hook, event ring, energy audit) needs the globally-ordered tag
+     *  side effects. */
     bool plannedChunkEligible() const
     {
-        return !_l2 && !_events && !_energyAuditFn &&
+        return !_next && !_evictionHook && !_events && !_energyAuditFn &&
                _tags.planEligible();
     }
 
@@ -541,7 +670,6 @@ class CacheController
 
     mem::FunctionalMemory &_mem;
     mem::TagArray _tags;
-    std::unique_ptr<mem::TagArray> _l2;
     sram::SRAMArray _array;
     sram::EnergyModel _energy;
     sram::PortScheduler _ports;
@@ -554,8 +682,21 @@ class CacheController
     /** Attached event ring; nullptr when tracing is off. */
     obs::EventRing *_events = nullptr;
 
-    /** Service latency of the most recent miss (L2 hit vs memory). */
+    /** Service latency of the most recent miss (next level vs memory). */
     std::uint32_t _lastMissPenalty = 0;
+
+    /** Backing level (non-owning; core::LevelStack wires it). */
+    CacheController *_next = nullptr;
+
+    /** Inclusion-maintenance hook; empty for single-level runs. */
+    EvictionHook _evictionHook;
+
+    /** Staged victim image for the eviction hook (pre-sized at
+     *  setEvictionHook(); keeps the eviction path allocation-free). */
+    std::vector<std::uint8_t> _victimScratch;
+
+    /** Staged next-level fetch (pre-sized at attachNextLevel()). */
+    std::vector<std::uint8_t> _fetchScratch;
 
     /** Deferred energy accounting state (see dynamicEnergy()). */
     EnergyCounts _ecounts;
@@ -611,6 +752,22 @@ class CacheController
     stats::Counter _silentWritesDetected{
         "ctrl.silent_writes_detected",
         "silent stores caught by comparison"};
+
+    /** Hierarchy counters; registered only when this controller is
+     *  part of a level stack (next level or eviction hook wired), so
+     *  single-level dumps stay byte-identical. */
+    stats::Counter _backInvalidations{
+        "hier.back_invalidations",
+        "lines dropped by lower-level evictions"};
+    stats::Counter _backInvalDirty{
+        "hier.back_inval_dirty",
+        "back-invalidated lines that were dirty"};
+    stats::Counter _backInvalFlushes{
+        "hier.back_inval_flushes",
+        "buffered-group write-backs forced by back-invalidation"};
+    stats::Counter _evictionsMerged{
+        "hier.evictions_merged",
+        "victims that absorbed fresher upper-level bytes"};
 
     stats::Distribution _groupSizes{"ctrl.group_sizes",
                                     "writes per write-group", 0, 64, 64};

@@ -79,12 +79,19 @@ struct CellCoord
     std::size_t ways = 0;
     std::size_t block = 0;
     std::size_t repl = 0;
+    std::size_t l2 = 0; ///< index into l2SizesKb; 0 when axis empty
 };
 
 CellCoord
 decodeCell(const ExplorerSpec &spec, std::uint64_t index)
 {
     CellCoord c;
+    // The L2 axis is the innermost coordinate, so a single-level spec
+    // (axis size 1 below) decodes exactly as it always did.
+    const std::size_t n_l2 =
+        std::max<std::size_t>(1, spec.l2SizesKb.size());
+    c.l2 = index % n_l2;
+    index /= n_l2;
     c.repl = index % spec.replacements.size();
     index /= spec.replacements.size();
     c.block = index % spec.blocks.size();
@@ -106,6 +113,21 @@ cacheFor(const ExplorerSpec &spec, const CellCoord &c)
     cache.blockBytes = spec.blocks[c.block];
     cache.replacement = spec.replacements[c.repl];
     return cache;
+}
+
+/** The L2 level of a hierarchy cell (spec.l2SizesKb non-empty): axis
+ *  capacity, 8 ways, the L1's block, the cell's replacement policy.
+ *  Scheme/Vdd are stamped in per config-run. */
+LevelConfig
+lowerFor(const ExplorerSpec &spec, const CellCoord &c,
+         const mem::CacheConfig &l1)
+{
+    LevelConfig l2;
+    l2.cache.sizeBytes = spec.l2SizesKb[c.l2] * 1024;
+    l2.cache.ways = 8;
+    l2.cache.blockBytes = l1.blockBytes;
+    l2.cache.replacement = l1.replacement;
+    return l2;
 }
 
 /** The data-array geometry the controller would build (mirrors
@@ -157,7 +179,13 @@ writeShardCheckpoint(const std::string &dir, std::uint64_t shard,
                << " " << hexDouble(p.energyPerAccess) << " "
                << hexDouble(p.edpPerAccess) << " "
                << hexDouble(p.cyclesPerAccess) << " "
-               << hexDouble(p.missRate) << "\n";
+               << hexDouble(p.missRate);
+            // Trailing optional field: hierarchy points carry their
+            // L2 capacity; single-level lines stay byte-identical to
+            // the historical format.
+            if (p.l2SizeBytes)
+                os << " " << p.l2SizeBytes;
+            os << "\n";
         }
         os << "end\n";
         os.flush();
@@ -241,6 +269,9 @@ loadShardCheckpoint(const std::string &path,
         p.edpPerAccess = parseDoubleToken(edp);
         p.cyclesPerAccess = parseDoubleToken(cycles);
         p.missRate = parseDoubleToken(miss);
+        std::uint64_t l2_bytes = 0;
+        if (ls >> l2_bytes)
+            p.l2SizeBytes = l2_bytes;
         out.push_back(std::move(p));
     }
     if (!std::getline(is, line) || line != "end")
@@ -274,6 +305,11 @@ ExplorerSpec::validate() const
             "ExplorerSpec: no replacement policies");
     if (schemes.empty())
         throw std::invalid_argument("ExplorerSpec: no schemes");
+    for (const std::uint64_t kb : l2SizesKb) {
+        if (kb == 0)
+            throw std::invalid_argument(
+                "ExplorerSpec: L2 sizes must be > 0");
+    }
     for (std::size_t i = 1; i < vddGrid.size(); ++i) {
         if (!(vddGrid[i] < vddGrid[i - 1]))
             throw std::invalid_argument(
@@ -295,7 +331,8 @@ std::uint64_t
 ExplorerSpec::cellCount() const
 {
     return static_cast<std::uint64_t>(workloads.size()) * sizesKb.size() *
-           ways.size() * blocks.size() * replacements.size();
+           ways.size() * blocks.size() * replacements.size() *
+           std::max<std::size_t>(1, l2SizesKb.size());
 }
 
 std::uint64_t
@@ -340,6 +377,13 @@ ExplorerSpec::signature(const RunConfig &rc) const
     os << "; schemes";
     for (const WriteScheme s : schemes)
         os << " " << toString(s);
+    // Appended only when the axis is in use, so every historical
+    // single-level signature (and its checkpoints) stays valid.
+    if (!l2SizesKb.empty()) {
+        os << "; l2_sizes_kb";
+        for (const std::uint64_t v : l2SizesKb)
+            os << " " << v;
+    }
     os << "; grid";
     for (const double v : vddGrid)
         os << " " << hexDouble(v);
@@ -439,7 +483,11 @@ ExploreResult::dumpJson(std::ostream &os) const
                     continue;
                 os << (first_point ? "" : ",") << "{\"size_kb\":"
                    << p.sizeBytes / 1024 << ",\"ways\":" << p.ways
-                   << ",\"block\":" << p.blockBytes << ",\"repl\":\""
+                   << ",\"block\":" << p.blockBytes;
+                // Gated key: absent for single-level documents.
+                if (p.l2SizeBytes)
+                    os << ",\"l2_kb\":" << p.l2SizeBytes / 1024;
+                os << ",\"repl\":\""
                    << mem::toString(p.repl) << "\",\"scheme\":\""
                    << stats::jsonEscape(p.scheme) << "\",\"cell\":\""
                    << sram::toString(p.cell) << "\",\"min_vdd\":";
@@ -556,6 +604,7 @@ runExplore(const ExplorerSpec &spec, const RunConfig &rc, unsigned workers)
 
     const sram::VddModel model(spec.model);
     const bool vdd_mode = !spec.vddGrid.empty();
+    const bool hier_mode = !spec.l2SizesKb.empty();
     // Nominal-only mode is a one-point "grid" at the nominal supply
     // with the voltage model detached (cfg.vdd = 0) and no fault maps.
     const std::vector<double> grid =
@@ -624,6 +673,19 @@ runExplore(const ExplorerSpec &spec, const RunConfig &rc, unsigned workers)
             const std::vector<std::vector<SchemeRunResult>> &runs,
             std::size_t job_base,
             std::vector<DesignPointSummary> &out) {
+            // In hierarchy mode the swept scheme runs on the L2, so
+            // fault maps, verdicts and leakage scaling follow the L2
+            // shape; the pinned 6T L1 contributes a fixed leakage
+            // term at nominal supply.
+            const mem::CacheConfig swept_shape =
+                hier_mode ? lowerFor(spec, coord, cache).cache : cache;
+            double leak_top_fixed = 0.0;
+            if (hier_mode) {
+                const sram::EnergyModel top_em(
+                    geometryFor(cache, WriteScheme::SixTDirect),
+                    ControllerConfig{}.tech);
+                leak_top_fixed = top_em.leakagePower();
+            }
             for (std::size_t si = 0; si < spec.schemes.size(); ++si) {
                 const WriteScheme scheme = spec.schemes[si];
                 const SchemeTraits traits = schemeTraits(scheme);
@@ -631,18 +693,21 @@ runExplore(const ExplorerSpec &spec, const RunConfig &rc, unsigned workers)
                     traits.requiresEightT ? sram::CellType::EightT
                                           : sram::CellType::SixT;
                 const sram::ArrayGeometry geom =
-                    geometryFor(cache, scheme);
+                    geometryFor(swept_shape, scheme);
                 const sram::EnergyModel em(geom,
                                            ControllerConfig{}.tech);
                 const double leak_nominal = em.leakagePower();
                 const std::uint32_t words_per_row =
-                    std::max<std::uint32_t>(1, cache.setBytes() / 8);
+                    std::max<std::uint32_t>(1,
+                                            swept_shape.setBytes() / 8);
 
                 DesignPointSummary p;
                 p.workload = spec.workloads[coord.workload];
                 p.sizeBytes = cache.sizeBytes;
                 p.ways = cache.ways;
                 p.blockBytes = cache.blockBytes;
+                p.l2SizeBytes =
+                    hier_mode ? swept_shape.sizeBytes : 0;
                 p.repl = cache.replacement;
                 p.scheme = toString(scheme);
                 p.cell = cell;
@@ -679,10 +744,14 @@ runExplore(const ExplorerSpec &spec, const RunConfig &rc, unsigned workers)
                         model.at(grid[summary_gi], cell);
                     const double seconds =
                         static_cast<double>(run.cycles) * period;
-                    const double dyn = run.dynamicEnergy / requests;
-                    const double leak = leak_nominal *
-                                        point.leakageScale * seconds /
-                                        requests;
+                    // totalDynamicEnergy == dynamicEnergy
+                    // bit-identically for a single level.
+                    const double dyn =
+                        run.totalDynamicEnergy / requests;
+                    const double leak = (leak_top_fixed +
+                                         leak_nominal *
+                                             point.leakageScale) *
+                                        seconds / requests;
                     p.energyPerAccess = dyn + leak;
                     p.cyclesPerAccess =
                         static_cast<double>(run.cycles) / requests;
@@ -777,6 +846,17 @@ runExplore(const ExplorerSpec &spec, const RunConfig &rc, unsigned workers)
                 const mem::CacheConfig cache = cacheFor(spec, coord);
                 try {
                     cache.validate();
+                    if (hier_mode) {
+                        // An L2 that cannot hold the L1 breaks
+                        // inclusion — skipped like any other invalid
+                        // geometry, deterministically from the spec.
+                        const LevelConfig l2 =
+                            lowerFor(spec, coord, cache);
+                        l2.cache.validate();
+                        if (l2.cache.sizeBytes < cache.sizeBytes)
+                            throw std::invalid_argument(
+                                "L2 smaller than L1");
+                    }
                 } catch (const std::invalid_argument &) {
                     ++skipped;
                     continue;
@@ -796,10 +876,23 @@ runExplore(const ExplorerSpec &spec, const RunConfig &rc, unsigned workers)
                     for (const WriteScheme s : spec.schemes) {
                         ControllerConfig cfg;
                         cfg.cache = cache;
-                        cfg.scheme = s;
-                        if (vdd_mode) {
-                            cfg.vdd = grid[gi];
-                            cfg.vmodel = spec.model;
+                        if (hier_mode) {
+                            // 6T L1 at nominal; scheme and grid Vdd
+                            // ride on the L2 (DESIGN.md §14).
+                            cfg.scheme = WriteScheme::SixTDirect;
+                            cfg.lowerLevels = {
+                                lowerFor(spec, coord, cache)};
+                            cfg.lowerLevels.front().scheme = s;
+                            if (vdd_mode) {
+                                cfg.lowerLevels.front().vdd = grid[gi];
+                                cfg.vmodel = spec.model;
+                            }
+                        } else {
+                            cfg.scheme = s;
+                            if (vdd_mode) {
+                                cfg.vdd = grid[gi];
+                                cfg.vmodel = spec.model;
+                            }
                         }
                         job.configs.push_back(cfg);
                     }
@@ -880,9 +973,11 @@ runExplore(const ExplorerSpec &spec, const RunConfig &rc, unsigned workers)
               [](const DesignPointSummary &a,
                  const DesignPointSummary &b) {
                   return std::tie(a.workload, a.sizeBytes, a.ways,
-                                  a.blockBytes, a.repl, a.scheme) <
+                                  a.blockBytes, a.repl, a.l2SizeBytes,
+                                  a.scheme) <
                          std::tie(b.workload, b.sizeBytes, b.ways,
-                                  b.blockBytes, b.repl, b.scheme);
+                                  b.blockBytes, b.repl, b.l2SizeBytes,
+                                  b.scheme);
               });
 
     // Pareto frontier per workload over the operational points:

@@ -85,6 +85,18 @@ struct ExplorerSpec
     };
 
     /**
+     * L2-capacity axis (KiB). Empty = classic single-level cells.
+     * Non-empty switches every cell into a two-level hierarchy
+     * (DESIGN.md §14): the L1 is pinned to a 6T direct-write cache at
+     * nominal supply with the cell's geometry, while the scheme axis
+     * and the Vdd grid apply to an inclusive write-back L2 of the
+     * axis capacity (8 ways, the L1's block size, the cell's
+     * replacement policy). Cells whose L2 would be smaller than the
+     * L1 are skipped like any other invalid geometry.
+     */
+    std::vector<std::uint64_t> l2SizesKb;
+
+    /**
      * Supply grid, strictly descending (same contract as VddSweepSpec).
      * Empty = nominal-only: one config-run per scheme with the voltage
      * model detached, min-Vdd reported as the nominal supply.
@@ -134,7 +146,8 @@ struct ExplorerSpec
      *  workload, an ascending/non-positive grid or cellsPerShard 0. */
     void validate() const;
 
-    /** Cells = workloads × sizes × ways × blocks × replacements. */
+    /** Cells = workloads × sizes × ways × blocks × replacements
+     *  (× L2 sizes when that axis is non-empty). */
     std::uint64_t cellCount() const;
 
     /** Config-runs per cell = schemes × max(1, grid points). */
@@ -167,6 +180,9 @@ struct DesignPointSummary
     std::uint64_t sizeBytes = 0;
     std::uint32_t ways = 0;
     std::uint32_t blockBytes = 0;
+
+    /** L2 capacity behind this point (bytes; 0 = single-level). */
+    std::uint64_t l2SizeBytes = 0;
 
     /** Replacement policy. */
     mem::ReplKind repl = mem::ReplKind::Lru;
@@ -253,7 +269,7 @@ class ExploreResult
     frontier(const std::string &workload) const;
 
     /**
-     * Dump the schema-v4 kind:"explore" document: spec echo, cell
+     * Dump the schema-v5 kind:"explore" document: spec echo, cell
      * accounting and the per-workload frontiers. Deliberately excludes
      * all run telemetry (wall time, rates, resumed-shard counts) so an
      * interrupted-and-resumed explore dumps the byte-identical

@@ -400,6 +400,18 @@ JobSpec::validate() const
         specFail("buffer_entries must be >= 1");
     if (vdd < 0.0)
         specFail("vdd must be > 0");
+    for (const LevelSpec &l : levels) {
+        mem::CacheConfig lc;
+        lc.sizeBytes = l.sizeKb * 1024;
+        lc.ways = l.ways;
+        lc.blockBytes = l.blockBytes ? l.blockBytes : cache.blockBytes;
+        lc.replacement = l.repl;
+        lc.validate();
+        if (l.blockBytes && l.blockBytes != cache.blockBytes)
+            specFail("levels[].block must match the L1 block size");
+        if (l.vdd < 0.0)
+            specFail("levels[].vdd must be > 0");
+    }
     if (workload.find(':') == std::string::npos) {
         specFail("workload must be spec:<bench>, kernel:<name> or "
                  "trace:<path>, got '" + workload + "'");
@@ -417,7 +429,7 @@ JobSpec::fromJson(const JsonValue &v)
     rejectUnknownKeys(v, "spec",
                       {"kind", "workload", "accesses", "warmup", "cache",
                        "schemes", "buffer_entries", "silent_detection",
-                       "l2_kb", "vdd", "explore"});
+                       "l2_kb", "levels", "vdd", "explore"});
 
     JobSpec spec;
     const JsonValue *kind = v.find("kind");
@@ -465,8 +477,56 @@ JobSpec::fromJson(const JsonValue &v)
     }
     if (const JsonValue *s = v.find("silent_detection"))
         spec.silentDetection = asBool(*s, "silent_detection");
-    if (const JsonValue *l = v.find("l2_kb"))
-        spec.l2SizeKb = asU64(*l, "l2_kb");
+    if (const JsonValue *lv = v.find("levels")) {
+        if (!lv->isArray())
+            specFail("levels: expected an array");
+        if (lv->items.empty())
+            specFail("levels: empty list");
+        for (const JsonValue &e : lv->items) {
+            if (!e.isObject())
+                specFail("levels[]: expected an object");
+            rejectUnknownKeys(e, "levels[]",
+                              {"size_kb", "ways", "block", "repl",
+                               "scheme", "vdd"});
+            LevelSpec l;
+            if (const JsonValue *s = e.find("size_kb"))
+                l.sizeKb = asU64(*s, "levels[].size_kb");
+            if (const JsonValue *w = e.find("ways")) {
+                l.ways = static_cast<std::uint32_t>(
+                    asU64(*w, "levels[].ways"));
+            }
+            if (const JsonValue *b = e.find("block")) {
+                l.blockBytes = static_cast<std::uint32_t>(
+                    asU64(*b, "levels[].block"));
+            }
+            if (const JsonValue *r = e.find("repl")) {
+                l.repl =
+                    mem::parseReplKind(asString(*r, "levels[].repl"));
+            }
+            if (const JsonValue *s = e.find("scheme")) {
+                l.scheme =
+                    parseWriteScheme(asString(*s, "levels[].scheme"));
+            }
+            if (const JsonValue *d = e.find("vdd")) {
+                l.vdd = asDouble(*d, "levels[].vdd");
+                if (l.vdd <= 0.0)
+                    specFail("levels[].vdd: must be > 0");
+            }
+            spec.levels.push_back(l);
+        }
+    }
+    if (const JsonValue *l = v.find("l2_kb")) {
+        // Deprecated alias for the retired tags-only shim: a bare
+        // capacity becomes a default-shaped L2 level.
+        if (!spec.levels.empty())
+            specFail("l2_kb is a deprecated alias for levels; give "
+                     "one or the other");
+        if (const std::uint64_t kb = asU64(*l, "l2_kb")) {
+            LevelSpec l2;
+            l2.sizeKb = kb;
+            spec.levels.push_back(l2);
+        }
+    }
     if (const JsonValue *d = v.find("vdd")) {
         spec.vdd = asDouble(*d, "vdd");
         if (spec.vdd <= 0.0)
@@ -480,7 +540,7 @@ JobSpec::fromJson(const JsonValue &v)
             specFail("explore: expected an object");
         rejectUnknownKeys(*e, "explore",
                           {"workloads", "sizes_kb", "ways", "blocks",
-                           "repl", "vdd", "shard_cells"});
+                           "repl", "vdd", "l2_sizes_kb", "shard_cells"});
         if (const JsonValue *w = e->find("workloads")) {
             spec.exploreWorkloads = asList<std::string>(
                 *w, "explore.workloads", [](const JsonValue &i) {
@@ -520,6 +580,12 @@ JobSpec::fromJson(const JsonValue &v)
                     return asDouble(i, "explore.vdd[]");
                 });
         }
+        if (const JsonValue *l = e->find("l2_sizes_kb")) {
+            spec.exploreL2SizesKb = asList<std::uint64_t>(
+                *l, "explore.l2_sizes_kb", [](const JsonValue &i) {
+                    return asU64(i, "explore.l2_sizes_kb[]");
+                });
+        }
         if (const JsonValue *s = e->find("shard_cells")) {
             spec.shardCells = static_cast<std::size_t>(
                 asU64(*s, "explore.shard_cells"));
@@ -556,8 +622,23 @@ JobSpec::toJson() const
     }
     os << ",\"buffer_entries\":" << bufferEntries
        << ",\"silent_detection\":"
-       << (silentDetection ? "true" : "false")
-       << ",\"l2_kb\":" << l2SizeKb;
+       << (silentDetection ? "true" : "false");
+    if (!levels.empty()) {
+        os << ",\"levels\":[";
+        for (std::size_t i = 0; i < levels.size(); ++i) {
+            const LevelSpec &l = levels[i];
+            os << (i ? "," : "") << "{\"size_kb\":" << l.sizeKb
+               << ",\"ways\":" << l.ways << ",\"block\":" << l.blockBytes
+               << ",\"repl\":\"" << mem::toString(l.repl)
+               << "\",\"scheme\":\"" << core::toString(l.scheme) << "\"";
+            if (l.vdd > 0.0) {
+                os << ",\"vdd\":";
+                stats::jsonNumber(os, l.vdd);
+            }
+            os << "}";
+        }
+        os << "]";
+    }
     if (vdd > 0.0) {
         os << ",\"vdd\":";
         stats::jsonNumber(os, vdd);
@@ -601,6 +682,12 @@ JobSpec::toJson() const
                 os << (i ? "," : "");
                 stats::jsonNumber(os, exploreVdd[i]);
             }
+            os << "]";
+        }
+        if (!exploreL2SizesKb.empty()) {
+            os << ",\"l2_sizes_kb\":[";
+            for (std::size_t i = 0; i < exploreL2SizesKb.size(); ++i)
+                os << (i ? "," : "") << exploreL2SizesKb[i];
             os << "]";
         }
         os << ",\"shard_cells\":" << shardCells << "}";

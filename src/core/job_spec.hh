@@ -81,6 +81,35 @@ const char *toString(JobKind k);
 /** Parse a kind name. @throws std::invalid_argument. */
 JobKind parseJobKind(const std::string &name);
 
+/**
+ * One lower cache level of a hierarchy job ([0] = L2, DESIGN.md §14).
+ * JSON form: an object in the "levels" array with the strict key set
+ * {"size_kb", "ways", "block", "repl", "scheme", "vdd"}.
+ */
+struct LevelSpec
+{
+    /** Capacity (KiB). */
+    std::uint64_t sizeKb = 256;
+
+    /** Associativity. */
+    std::uint32_t ways = 8;
+
+    /** Block size (bytes); 0 = inherit the top level's block (the
+     *  only legal choice once resolved — LevelStack enforces it). */
+    std::uint32_t blockBytes = 0;
+
+    /** Replacement policy. */
+    mem::ReplKind repl = mem::ReplKind::Lru;
+
+    /** Write scheme of this level. */
+    WriteScheme scheme = WriteScheme::Rmw;
+
+    /** Supply operating point (V; 0 = nominal/detached). */
+    double vdd = 0.0;
+
+    bool operator==(const LevelSpec &other) const = default;
+};
+
 /** One sweep-service job, CLI- and wire-shared. */
 struct JobSpec
 {
@@ -108,8 +137,11 @@ struct JobSpec
     /** Silent-store detection. */
     bool silentDetection = true;
 
-    /** Tags-only L2 capacity (KiB, 0 = off). */
-    std::uint64_t l2SizeKb = 0;
+    /** Lower cache levels, nearest first ([0] = L2); empty = the
+     *  classic single-level run. JSON key "levels"; the retired
+     *  tags-only shim's "l2_kb" key is accepted as a deprecated alias
+     *  for a default L2 of that capacity. */
+    std::vector<LevelSpec> levels;
 
     /** Operating point (V; 0 = nominal/detached). For a vdd_sweep a
      *  non-zero value narrows the grid to this single point. */
@@ -122,6 +154,7 @@ struct JobSpec
     std::vector<std::uint32_t> exploreBlocks = {32, 64};
     std::vector<mem::ReplKind> exploreRepls = {mem::ReplKind::Lru};
     std::vector<double> exploreVdd; ///< empty = nominal-only
+    std::vector<std::uint64_t> exploreL2SizesKb; ///< empty = no L2 axis
     std::size_t shardCells = 8;
 
     /** CLI-only (not in the JSON schema, see file comment). */

@@ -35,12 +35,12 @@ SetBuffer::row(std::uint32_t e) const
 }
 
 void
-SetBuffer::registerStats(stats::Registry &reg)
+SetBuffer::registerStats(stats::Registry &reg, const std::string &prefix)
 {
-    reg.add(_fills);
-    reg.add(_updates);
-    reg.add(_silentUpdates);
-    reg.add(_reads);
+    reg.add(_fills, prefix);
+    reg.add(_updates, prefix);
+    reg.add(_silentUpdates, prefix);
+    reg.add(_reads, prefix);
 }
 
 void

@@ -114,7 +114,8 @@ class SetBuffer
     void resetCounters();
 
     /** Register the buffer counters with @p reg. */
-    void registerStats(stats::Registry &reg);
+    void registerStats(stats::Registry &reg,
+                       const std::string &prefix = std::string());
 
   private:
     std::uint32_t _entries;

@@ -22,21 +22,27 @@ MultiSchemeRunner::MultiSchemeRunner(std::vector<ControllerConfig> configs)
         throw std::invalid_argument("MultiSchemeRunner: no configs");
 
     _memories.reserve(_configs.size());
-    _controllers.reserve(_configs.size());
+    _stacks.reserve(_configs.size());
     for (const auto &cfg : _configs) {
         _memories.push_back(std::make_unique<mem::FunctionalMemory>());
-        _controllers.push_back(
-            std::make_unique<CacheController>(cfg, *_memories.back()));
+        _stacks.push_back(
+            std::make_unique<LevelStack>(cfg, *_memories.back()));
     }
 
     // Plan-sharing groups by cache shape (see simulator.hh): the first
     // controller of each shape leads and runs stage 1 for the group.
+    // Stacked configurations must also agree on their lower levels —
+    // back-invalidations perturb the top level's tag trajectory, so a
+    // hierarchy only marches in lockstep with an identical hierarchy.
+    // (A stacked top level is plan-ineligible anyway; the grouping
+    // just keeps leaders from doing stage-1 work nobody can adopt.)
     _planLeader.resize(_configs.size());
     _leaderPlan.assign(_configs.size(), nullptr);
     for (std::size_t i = 0; i < _configs.size(); ++i) {
         std::size_t leader = i;
         for (std::size_t j = 0; j < i; ++j) {
-            if (_configs[j].cache == _configs[i].cache) {
+            if (_configs[j].cache == _configs[i].cache &&
+                _configs[j].lowerLevels == _configs[i].lowerLevels) {
                 leader = j;
                 break;
             }
@@ -48,7 +54,13 @@ MultiSchemeRunner::MultiSchemeRunner(std::vector<ControllerConfig> configs)
 CacheController &
 MultiSchemeRunner::controller(std::size_t i)
 {
-    return *_controllers.at(i);
+    return _stacks.at(i)->top();
+}
+
+LevelStack &
+MultiSchemeRunner::stack(std::size_t i)
+{
+    return *_stacks.at(i);
 }
 
 std::uint64_t
@@ -103,17 +115,17 @@ MultiSchemeRunner::replayWindow(trace::AccessGenerator &gen,
         {
             const obs::prof::ScopedPhase replay_scope(
                 obs::prof::Phase::Replay, prof_on);
-            for (std::size_t i = 0; i < _controllers.size(); ++i) {
+            for (std::size_t i = 0; i < _stacks.size(); ++i) {
                 const mem::ChunkPlan *plan = nullptr;
                 if (_planLeader[i] == i) {
                     const obs::prof::ScopedPhase plan_scope(
                         obs::prof::Phase::Plan, prof_on);
-                    plan = _controllers[i]->planReplayChunk(chunk, got);
+                    plan = _stacks[i]->planReplayChunk(chunk, got);
                     _leaderPlan[i] = plan;
                 } else {
                     plan = _leaderPlan[_planLeader[i]];
                 }
-                _controllers[i]->accessChunk(chunk, got, plan);
+                _stacks[i]->accessChunk(chunk, got, plan);
             }
         }
         if (prof_on) {
@@ -139,8 +151,8 @@ MultiSchemeRunner::run(trace::AccessGenerator &gen, const RunConfig &run)
         _chunk.resize(kChunkAccesses);
 
     replayWindow(gen, run.warmupAccesses, false);
-    for (auto &ctrl : _controllers)
-        ctrl->resetStats();
+    for (auto &stack : _stacks)
+        stack->resetStats();
 
     replayWindow(gen, run.measureAccesses, true);
 
@@ -150,11 +162,11 @@ MultiSchemeRunner::run(trace::AccessGenerator &gen, const RunConfig &run)
         // event counters turn into joules — the "energy" phase.
         const obs::prof::ScopedPhase energy_scope(
             obs::prof::Phase::Energy);
-        for (auto &ctrl : _controllers)
-            ctrl->drain();
-        results.reserve(_controllers.size());
-        for (auto &ctrl : _controllers)
-            results.push_back(snapshotResult(gen.name(), *ctrl));
+        for (auto &stack : _stacks)
+            stack->drain();
+        results.reserve(_stacks.size());
+        for (auto &stack : _stacks)
+            results.push_back(snapshotResult(gen.name(), *stack));
     }
     return results;
 }
@@ -185,6 +197,21 @@ snapshotResult(const std::string &workload, const CacheController &ctrl)
     r.meanReadLatency = ctrl.readLatency().mean();
     r.dynamicEnergy = ctrl.dynamicEnergy();
     r.cycles = ctrl.cycle();
+    // A lone controller is its own hierarchy: the total is the one
+    // addend, bit-identically.
+    r.totalDynamicEnergy = r.dynamicEnergy;
+    return r;
+}
+
+SchemeRunResult
+snapshotResult(const std::string &workload, const LevelStack &stack)
+{
+    SchemeRunResult r = snapshotResult(workload, stack.top());
+    r.levels.reserve(stack.depth() - 1);
+    for (std::size_t i = 1; i < stack.depth(); ++i)
+        r.levels.push_back(snapshotResult(workload, stack.level(i)));
+    for (const SchemeRunResult &lvl : r.levels)
+        r.totalDynamicEnergy += lvl.dynamicEnergy;
     return r;
 }
 

@@ -16,6 +16,7 @@
 
 #include "core/analyzer.hh"
 #include "core/controller.hh"
+#include "core/level_stack.hh"
 #include "trace/access.hh"
 
 namespace c8t::core
@@ -90,6 +91,14 @@ struct SchemeRunResult
     /** Elapsed cycles. */
     std::uint64_t cycles = 0;
 
+    /** Lower-level snapshots ([0] = L2, ...); empty for the classic
+     *  single-level run, so historical results are unchanged. */
+    std::vector<SchemeRunResult> levels;
+
+    /** Hierarchy-wide dynamic energy: this level plus every level
+     *  below (== dynamicEnergy for a single-level run). */
+    double totalDynamicEnergy = 0.0;
+
     /** Field-wise (bit-exact) equality — the sweep engine's
      *  determinism guarantee is tested through this. */
     bool operator==(const SchemeRunResult &other) const = default;
@@ -123,11 +132,16 @@ class MultiSchemeRunner
     std::vector<SchemeRunResult> run(trace::AccessGenerator &gen,
                                      const RunConfig &run);
 
-    /** Access a controller (e.g. for invariant checks after run()). */
+    /** Access a top-level controller (e.g. for invariant checks after
+     *  run()); identical to stack(i).top(). */
     CacheController &controller(std::size_t i);
 
-    /** Number of controllers. */
-    std::size_t controllers() const { return _controllers.size(); }
+    /** Access the whole level stack of configuration @p i (per-level
+     *  controllers, hierarchy peek/flush). */
+    LevelStack &stack(std::size_t i);
+
+    /** Number of controllers (= configurations = stacks). */
+    std::size_t controllers() const { return _stacks.size(); }
 
     /**
      * Install an interval hook: during run()'s measurement window the
@@ -166,7 +180,7 @@ class MultiSchemeRunner
 
     std::vector<ControllerConfig> _configs;
     std::vector<std::unique_ptr<mem::FunctionalMemory>> _memories;
-    std::vector<std::unique_ptr<CacheController>> _controllers;
+    std::vector<std::unique_ptr<LevelStack>> _stacks;
     std::vector<trace::MemAccess> _chunk;
 
     /** Plan-sharing groups: _planLeader[i] is the first controller
@@ -205,9 +219,17 @@ StreamStats analyzeStream(trace::AccessGenerator &gen,
                           const mem::AddrLayout &layout,
                           std::uint64_t accesses);
 
-/** Extract a result snapshot from a controller. */
+/** Extract a result snapshot from a controller. The snapshot's
+ *  totalDynamicEnergy equals its own dynamicEnergy (single level). */
 SchemeRunResult snapshotResult(const std::string &workload,
                                const CacheController &ctrl);
+
+/** Extract a result snapshot from a whole stack: the top level's
+ *  snapshot plus one `levels` entry per lower level and the
+ *  hierarchy-wide totalDynamicEnergy. Identical to the controller
+ *  overload for a depth-1 stack. */
+SchemeRunResult snapshotResult(const std::string &workload,
+                               const LevelStack &stack);
 
 } // namespace c8t::core
 

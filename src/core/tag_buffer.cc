@@ -56,11 +56,11 @@ TagBuffer::storageBits(std::uint32_t set_index_bits,
 }
 
 void
-TagBuffer::registerStats(stats::Registry &reg)
+TagBuffer::registerStats(stats::Registry &reg, const std::string &prefix)
 {
-    reg.add(_probes);
-    reg.add(_setHits);
-    reg.add(_tagHits);
+    reg.add(_probes, prefix);
+    reg.add(_setHits, prefix);
+    reg.add(_tagHits, prefix);
 }
 
 void

@@ -209,7 +209,8 @@ class TagBuffer
     void resetCounters();
 
     /** Register the probe counters with @p reg. */
-    void registerStats(stats::Registry &reg);
+    void registerStats(stats::Registry &reg,
+                       const std::string &prefix = std::string());
 
   private:
     std::uint32_t _entries;

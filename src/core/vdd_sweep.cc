@@ -45,19 +45,39 @@ validate(const VddSweepSpec &spec)
         throw std::invalid_argument("VddSweepSpec: no workload factory");
     if (spec.faultRows == 0)
         throw std::invalid_argument("VddSweepSpec: faultRows must be >= 1");
+    for (const LevelConfig &l : spec.lowerLevels) {
+        if (l.cache.blockBytes != spec.cache.blockBytes)
+            throw std::invalid_argument(
+                "VddSweepSpec: lower-level block size must match the "
+                "top level's");
+    }
     spec.model.validate();
 }
 
+/** The cache shape whose array the swept scheme runs on: the L1 for a
+ *  single-level sweep, the L2 in hierarchy mode (the scheme axis and
+ *  the grid voltage apply to the L2 there). */
+const mem::CacheConfig &
+sweptShape(const VddSweepSpec &spec)
+{
+    return spec.lowerLevels.empty() ? spec.cache
+                                    : spec.lowerLevels.front().cache;
+}
+
 /** The data-array geometry the controller would build for @p scheme
- *  (mirrors the CacheController constructor). */
+ *  (mirrors the CacheController constructor) on the swept shape. */
 sram::ArrayGeometry
 geometryFor(const VddSweepSpec &spec, WriteScheme scheme)
 {
     const SchemeTraits traits = schemeTraits(scheme);
-    const ControllerConfig defaults;
+    const std::uint32_t degree =
+        spec.lowerLevels.empty()
+            ? ControllerConfig{}.interleaveDegree
+            : spec.lowerLevels.front().interleaveDegree;
+    const mem::CacheConfig &shape = sweptShape(spec);
     return sram::ArrayGeometry{
-        spec.cache.numSets(), spec.cache.setBytes(),
-        traits.requiresNonInterleaved ? 1u : defaults.interleaveDegree,
+        shape.numSets(), shape.setBytes(),
+        traits.requiresNonInterleaved ? 1u : degree,
         scheme == WriteScheme::WordGranular};
 }
 
@@ -223,8 +243,12 @@ VddSweepResult::dumpJson(std::ostream &os) const
     const obs::prof::ScopedPhase serialize_scope(
         obs::prof::Phase::Serialize);
     os << "{\"schema_version\":" << stats::Registry::kJsonSchemaVersion
-       << ",\"kind\":\"vdd_sweep\""
-       << ",\"workload\":\"" << stats::jsonEscape(workload) << "\""
+       << ",\"kind\":\"vdd_sweep\"";
+    // New key only when the feature is active: single-level documents
+    // stay byte-identical (modulo the schema version).
+    if (hierarchy)
+        os << ",\"hierarchy\":true";
+    os << ",\"workload\":\"" << stats::jsonEscape(workload) << "\""
        << ",\"failure_threshold\":";
     stats::jsonNumber(os, failureThreshold);
     os << ",\"grid\":[";
@@ -308,29 +332,47 @@ runVddSweep(const VddSweepSpec &spec, const RunConfig &rc, unsigned workers)
         for (const WriteScheme s : spec.schemes) {
             ControllerConfig cfg;
             cfg.cache = spec.cache;
-            cfg.scheme = s;
-            cfg.vdd = vdd;
             cfg.vmodel = spec.model;
+            if (spec.lowerLevels.empty()) {
+                cfg.scheme = s;
+                cfg.vdd = vdd;
+            } else {
+                // Hierarchy mode: the L1 is pinned while the scheme
+                // axis and the grid voltage ride on the L2.
+                cfg.scheme = spec.topScheme;
+                cfg.vdd = spec.topVdd;
+                cfg.lowerLevels = spec.lowerLevels;
+                cfg.lowerLevels.front().scheme = s;
+                cfg.lowerLevels.front().vdd = vdd;
+            }
             job.configs.push_back(cfg);
         }
         jobs.push_back(std::move(job));
     }
 
+    const bool hier = !spec.lowerLevels.empty();
+
     VddSweepResult result;
     result.workload = spec.makeGenerator()->name();
     result.failureThreshold = spec.failureThreshold;
     result.grid = spec.grid;
+    result.hierarchy = hier;
+
+    // Hierarchy sweeps get their own label so their perf records never
+    // pair with a single-level sweep of the same workload in
+    // bench_diff (both kinds of record can land in one snapshot).
+    const std::string label =
+        "vdd_sweep:" + result.workload + (hier ? "+l2" : "");
 
     const ParallelSweeper sweeper(workers);
-    const auto runs =
-        sweeper.run(jobs, rc, "vdd_sweep:" + result.workload);
+    const auto runs = sweeper.run(jobs, rc, label);
 
     // Fault maps depend on (seed, vdd, geometry, cell); schemes of the
     // same cell flavour and interleave degree share one evaluation,
     // and the process-global memo shares it across requests too (a
     // warm c8td daemon re-serves known operating points for free).
     const std::uint32_t words_per_row =
-        std::max<std::uint32_t>(1, spec.cache.setBytes() / 8);
+        std::max<std::uint32_t>(1, sweptShape(spec).setBytes() / 8);
     const auto faultsAt = [&](sram::CellType cell, std::uint32_t degree,
                               std::size_t grid_index) {
         sram::FaultMapConfig fmc;
@@ -356,6 +398,29 @@ runVddSweep(const VddSweepSpec &spec, const RunConfig &rc, unsigned workers)
         const double leak_nominal = em.leakagePower();
         const double period = model.clockPeriod();
 
+        // Hierarchy mode adds the pinned L1's leakage at its own
+        // (fixed) operating point; the grid only scales the L2's.
+        double leak_top_fixed = 0.0;
+        if (hier) {
+            const SchemeTraits top_traits = schemeTraits(spec.topScheme);
+            const sram::CellType top_cell =
+                top_traits.requiresEightT ? sram::CellType::EightT
+                                          : sram::CellType::SixT;
+            const ControllerConfig defaults;
+            const sram::ArrayGeometry top_geom{
+                spec.cache.numSets(), spec.cache.setBytes(),
+                top_traits.requiresNonInterleaved
+                    ? 1u
+                    : defaults.interleaveDegree,
+                spec.topScheme == WriteScheme::WordGranular};
+            const sram::EnergyModel top_em(top_geom, defaults.tech);
+            const double top_scale =
+                spec.topVdd > 0.0
+                    ? model.at(spec.topVdd, top_cell).leakageScale
+                    : 1.0;
+            leak_top_fixed = top_em.leakagePower() * top_scale;
+        }
+
         VddCurve curve;
         curve.scheme = toString(scheme);
         curve.cell = cell;
@@ -376,10 +441,13 @@ runVddSweep(const VddSweepSpec &spec, const RunConfig &rc, unsigned workers)
             if (requests > 0.0) {
                 const double seconds =
                     static_cast<double>(pt.run.cycles) * period;
+                // totalDynamicEnergy == dynamicEnergy bit-identically
+                // for a single level; hierarchy-wide otherwise.
                 pt.dynamicEnergyPerAccess =
-                    pt.run.dynamicEnergy / requests;
-                pt.leakageEnergyPerAccess = leak_nominal *
-                                            pt.point.leakageScale *
+                    pt.run.totalDynamicEnergy / requests;
+                pt.leakageEnergyPerAccess = (leak_top_fixed +
+                                             leak_nominal *
+                                                 pt.point.leakageScale) *
                                             seconds / requests;
                 pt.energyPerAccess = pt.dynamicEnergyPerAccess +
                                      pt.leakageEnergyPerAccess;
@@ -410,7 +478,7 @@ runVddSweep(const VddSweepSpec &spec, const RunConfig &rc, unsigned workers)
     // the result's destructor) writes it, so the caller's Serialize
     // scopes around dumpJson/table printing land in its phase block.
     result._pending = std::make_unique<VddSweepResult::Pending>();
-    result._pending->label = "vdd_sweep:" + result.workload;
+    result._pending->label = label;
     result._pending->rc = rc;
     result._pending->workers = sweeper.workers();
     result._pending->wallSeconds = wall;

@@ -83,6 +83,26 @@ struct VddSweepSpec
         WriteScheme::WriteGroupingReadBypass,
     };
 
+    /**
+     * Lower cache levels, nearest first (empty = the classic
+     * single-level sweep). A non-empty list switches the sweep into
+     * hierarchy mode (DESIGN.md §14): the top level is pinned to
+     * topScheme at topVdd while the scheme axis *and the grid
+     * voltage* apply to the first lower level — the paper's 6T-L1 /
+     * near-threshold-8T-L2 split. Fault maps and the operational
+     * verdict follow the L2 geometry and the swept scheme's cell;
+     * energy and EDP are hierarchy-wide.
+     */
+    std::vector<LevelConfig> lowerLevels;
+
+    /** Top-level scheme in hierarchy mode (the L1 stays a 6T
+     *  direct-write cache by default). */
+    WriteScheme topScheme = WriteScheme::SixTDirect;
+
+    /** Top-level supply in hierarchy mode (V; 0 = nominal,
+     *  model detached for the L1). */
+    double topVdd = 0.0;
+
     /** Workload factory (same contract as SweepJob::makeGenerator). */
     std::function<std::unique_ptr<trace::AccessGenerator>()> makeGenerator;
 
@@ -166,6 +186,10 @@ class VddSweepResult
     /** The grid swept, descending. */
     std::vector<double> grid;
 
+    /** True for a hierarchy sweep (spec.lowerLevels non-empty): the
+     *  energy/EDP columns are hierarchy-wide and min-Vdd is the L2's. */
+    bool hierarchy = false;
+
     /** One curve per spec scheme, in spec order. */
     std::vector<VddCurve> curves;
 
@@ -214,7 +238,9 @@ class VddSweepResult
 
 /**
  * Run the sweep: one parallel SweepJob per grid point (label
- * "vdd_sweep:<workload>" for the bench/trace plumbing), fault maps per
+ * "vdd_sweep:<workload>" for the bench/trace plumbing, with a "+l2"
+ * suffix in hierarchy mode so the records never pair with a
+ * single-level sweep's in bench_diff), fault maps per
  * (cell, Vdd) on the calling thread, curves assembled per scheme.
  *
  * Arms one kind:"vdd" JSON record (per-scheme min-Vdd plus the

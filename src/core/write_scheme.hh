@@ -87,6 +87,8 @@ struct LatencyParams
 
     /** Demand miss penalty (next level round trip). */
     std::uint32_t missPenaltyCycles = 40;
+
+    bool operator==(const LatencyParams &other) const = default;
 };
 
 } // namespace c8t::core

@@ -278,12 +278,12 @@ TagArray::planChunk(const trace::MemAccess *chunk, std::size_t count)
 }
 
 void
-TagArray::registerStats(stats::Registry &reg)
+TagArray::registerStats(stats::Registry &reg, const std::string &prefix)
 {
-    reg.add(_hits);
-    reg.add(_misses);
-    reg.add(_evictions);
-    reg.add(_dirtyEvictions);
+    reg.add(_hits, prefix);
+    reg.add(_misses, prefix);
+    reg.add(_evictions, prefix);
+    reg.add(_dirtyEvictions, prefix);
 }
 
 void

@@ -237,6 +237,21 @@ class TagArray
         return result;
     }
 
+    /**
+     * Drop the block in (set, way): clears valid and dirty without
+     * touching replacement state (the stale repl entry ages out
+     * naturally; victimRepl may pick the hole next, which is the
+     * desired behaviour for a back-invalidated frame). Used by the
+     * hierarchy's inclusion maintenance — an L2 eviction must
+     * invalidate the line's L1 copy.
+     */
+    void invalidate(std::uint32_t set, std::uint32_t way)
+    {
+        const std::uint64_t bit = 1ull << way;
+        _valid[set] &= ~bit;
+        _dirty[set] &= ~bit;
+    }
+
     /** Mark the block holding @p addr dirty (must be resident). */
     void markDirty(Addr addr);
 
@@ -394,7 +409,8 @@ class TagArray
     void resetCounters();
 
     /** Register the hit/miss/eviction counters with @p reg. */
-    void registerStats(stats::Registry &reg);
+    void registerStats(stats::Registry &reg,
+                       const std::string &prefix = std::string());
 
   private:
     /** Per-run replacement dispatch, selected once in the constructor

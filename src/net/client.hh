@@ -42,7 +42,7 @@ class DaemonClient
      * Convenience: submit @p spec_json and block until its final
      * result, discarding progress/partial frames on the way.
      * Call only with no other submissions outstanding.
-     * @return the raw schema-v4 result document bytes.
+     * @return the raw schema-v5 result document bytes.
      * @throws std::runtime_error carrying the daemon's error payload
      *         when the job fails, ProtocolError on a broken stream.
      */

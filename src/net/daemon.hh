@@ -13,7 +13,7 @@
  * Per connection the daemon runs a reader thread (frame decode,
  * request queue, disconnect detection) and an executor thread
  * (strict FIFO job execution through app::runJobSpec). Final-result
- * frames carry the raw schema-v4 document bytes — byte-identical to
+ * frames carry the raw schema-v5 document bytes — byte-identical to
  * `c8tsim --stats-json` for the same spec, proven by the golden
  * tests. Budgets: the request queue is bounded (maxInflight; the
  * reader applies backpressure by not consuming further frames, so

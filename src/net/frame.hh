@@ -12,7 +12,7 @@
  *
  * Types: Request (client -> server, a JSON job spec), Progress /
  * Partial (server -> client, advisory JSON), Final (server -> client,
- * the raw schema-v4 result document, byte-identical to the one-shot
+ * the raw schema-v5 result document, byte-identical to the one-shot
  * drivers' --stats-json output) and Error (server -> client, JSON
  * naming the failure). Final/Error frames answer Requests strictly in
  * request order per connection; Progress/Partial frames interleave

@@ -141,12 +141,12 @@ SRAMArray::flipPhysicalBit(std::uint32_t row, std::uint32_t col)
 }
 
 void
-SRAMArray::registerStats(stats::Registry &reg)
+SRAMArray::registerStats(stats::Registry &reg, const std::string &prefix)
 {
-    reg.add(_rowReads);
-    reg.add(_rowWrites);
-    reg.add(_precharges);
-    reg.add(_halfSelectCorruptions);
+    reg.add(_rowReads, prefix);
+    reg.add(_rowWrites, prefix);
+    reg.add(_precharges, prefix);
+    reg.add(_halfSelectCorruptions, prefix);
 }
 
 void

@@ -217,7 +217,8 @@ class SRAMArray
     void resetCounters();
 
     /** Register every event counter with @p reg. */
-    void registerStats(stats::Registry &reg);
+    void registerStats(stats::Registry &reg,
+                       const std::string &prefix = std::string());
 
   private:
     ArrayGeometry _geom;

@@ -11,12 +11,13 @@ namespace c8t::sram
 {
 
 void
-PortScheduler::registerStats(stats::Registry &reg)
+PortScheduler::registerStats(stats::Registry &reg,
+                             const std::string &prefix)
 {
-    reg.add(_stallCycles);
-    reg.add(_conflicts);
-    reg.add(_readBusy);
-    reg.add(_writeBusy);
+    reg.add(_stallCycles, prefix);
+    reg.add(_conflicts, prefix);
+    reg.add(_readBusy, prefix);
+    reg.add(_writeBusy, prefix);
 }
 
 void

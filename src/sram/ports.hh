@@ -104,7 +104,8 @@ class PortScheduler
     void reset();
 
     /** Register the contention counters with @p reg. */
-    void registerStats(stats::Registry &reg);
+    void registerStats(stats::Registry &reg,
+                       const std::string &prefix = std::string());
 
   private:
     std::uint64_t _readFreeAt = 0;

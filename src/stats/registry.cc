@@ -14,40 +14,40 @@ namespace c8t::stats
 {
 
 void
-Registry::add(Counter &c)
+Registry::add(Counter &c, const std::string &prefix)
 {
     assert(!c.name().empty() && "stat must be named before registration");
-    auto [it, inserted] = _counters.emplace(c.name(), &c);
+    auto [it, inserted] = _counters.emplace(prefix + c.name(), &c);
     (void)it;
     assert(inserted && "duplicate counter name");
     (void)inserted;
 }
 
 void
-Registry::add(Gauge &g)
+Registry::add(Gauge &g, const std::string &prefix)
 {
     assert(!g.name().empty() && "stat must be named before registration");
-    auto [it, inserted] = _gauges.emplace(g.name(), &g);
+    auto [it, inserted] = _gauges.emplace(prefix + g.name(), &g);
     (void)it;
     assert(inserted && "duplicate gauge name");
     (void)inserted;
 }
 
 void
-Registry::add(Formula &f)
+Registry::add(Formula &f, const std::string &prefix)
 {
     assert(!f.name().empty() && "stat must be named before registration");
-    auto [it, inserted] = _formulas.emplace(f.name(), &f);
+    auto [it, inserted] = _formulas.emplace(prefix + f.name(), &f);
     (void)it;
     assert(inserted && "duplicate formula name");
     (void)inserted;
 }
 
 void
-Registry::add(Distribution &d)
+Registry::add(Distribution &d, const std::string &prefix)
 {
     assert(!d.name().empty() && "stat must be named before registration");
-    auto [it, inserted] = _distributions.emplace(d.name(), &d);
+    auto [it, inserted] = _distributions.emplace(prefix + d.name(), &d);
     (void)it;
     assert(inserted && "duplicate distribution name");
     (void)inserted;

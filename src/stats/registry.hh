@@ -34,16 +34,37 @@ class Registry
 {
   public:
     /** Register a counter. Names must be unique within the registry. */
-    void add(Counter &c);
+    void add(Counter &c) { add(c, std::string()); }
 
     /** Register a gauge. */
-    void add(Gauge &g);
+    void add(Gauge &g) { add(g, std::string()); }
 
     /** Register a formula. */
-    void add(Formula &f);
+    void add(Formula &f) { add(f, std::string()); }
 
     /** Register a distribution. */
-    void add(Distribution &d);
+    void add(Distribution &d) { add(d, std::string()); }
+
+    /**
+     * Prefixed registration: the statistic is stored (and reported)
+     * under @p prefix + its own name, e.g. prefix "l2." turns
+     * "ctrl.requests" into "l2.ctrl.requests". The statistic object
+     * itself is not renamed — updates stay a plain member access and
+     * one object may appear in different registries under different
+     * prefixes. Used by the cache hierarchy to report per-level stats
+     * from identical controller code (DESIGN.md §14). An empty prefix
+     * is the classic unprefixed registration.
+     */
+    void add(Counter &c, const std::string &prefix);
+
+    /** Prefixed gauge registration; see add(Counter&, prefix). */
+    void add(Gauge &g, const std::string &prefix);
+
+    /** Prefixed formula registration; see add(Counter&, prefix). */
+    void add(Formula &f, const std::string &prefix);
+
+    /** Prefixed distribution registration; see add(Counter&, prefix). */
+    void add(Distribution &d, const std::string &prefix);
 
     /** Look up a counter by exact name; nullptr when absent. */
     const Counter *counter(const std::string &name) const;
@@ -101,8 +122,15 @@ class Registry
      *     kind:"explore" document (ExploreResult::dumpJson) and a
      *     "shard_wall_us" histogram in the profile section. Registry
      *     and vdd_sweep dumps carry no new keys.
+     *  5  two-level hierarchy (DESIGN.md §14): lower-level controllers
+     *     register their statistics under an "l2." prefix in the same
+     *     registry, so a two-level dump interleaves l2.cache.*,
+     *     l2.ctrl.*, ... alongside the unprefixed L1 keys. vdd_sweep
+     *     and explore documents gain hierarchy keys ("levels",
+     *     "l2_kb") only when a hierarchy is configured. Single-level
+     *     dumps carry no new keys — only the version number changes.
      */
-    static constexpr int kJsonSchemaVersion = 4;
+    static constexpr int kJsonSchemaVersion = 5;
 
     /**
      * Dump every statistic as one machine-readable JSON object:

@@ -15,6 +15,8 @@ namespace
 
 using namespace c8t::app;
 using c8t::core::WriteScheme;
+namespace core = c8t::core;
+namespace mem = c8t::mem;
 
 SimOptions
 parse(std::initializer_list<const char *> args)
@@ -117,6 +119,46 @@ TEST(Options, ObservabilityFlags)
 TEST(Options, L2DisabledByDefault)
 {
     EXPECT_EQ(parse({}).l2SizeKb, 0u);
+    EXPECT_TRUE(toJobSpec(parse({})).levels.empty());
+}
+
+TEST(Options, HierarchyFlags)
+{
+    const SimOptions o =
+        parse({"--l2", "256", "--l2-ways", "16", "--l2-repl", "fifo",
+               "--l2-scheme", "WG", "--l2-vdd", "0.75"});
+    EXPECT_EQ(o.l2SizeKb, 256u);
+    EXPECT_EQ(o.l2Ways, 16u);
+    EXPECT_EQ(o.l2Repl, mem::ReplKind::Fifo);
+    EXPECT_EQ(o.l2Scheme, core::WriteScheme::WriteGrouping);
+    EXPECT_DOUBLE_EQ(o.l2Vdd, 0.75);
+
+    // The spec translation carries the level through.
+    const core::JobSpec spec = toJobSpec(o);
+    ASSERT_EQ(spec.levels.size(), 1u);
+    EXPECT_EQ(spec.levels[0].sizeKb, 256u);
+    EXPECT_EQ(spec.levels[0].ways, 16u);
+    EXPECT_EQ(spec.levels[0].repl, mem::ReplKind::Fifo);
+    EXPECT_EQ(spec.levels[0].scheme, core::WriteScheme::WriteGrouping);
+    EXPECT_DOUBLE_EQ(spec.levels[0].vdd, 0.75);
+}
+
+TEST(Options, L2KnobsRequireL2)
+{
+    EXPECT_THROW(parse({"--l2-ways", "16"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--l2-vdd", "0.8"}), std::invalid_argument);
+    EXPECT_THROW(parse({"--l2", "256", "--l2-vdd", "0"}),
+                 std::invalid_argument);
+}
+
+TEST(Options, ExploreL2Sizes)
+{
+    const SimOptions o =
+        parse({"--explore", "--explore-l2-sizes", "128,256"});
+    ASSERT_EQ(o.exploreL2SizesKb.size(), 2u);
+    EXPECT_EQ(o.exploreL2SizesKb[0], 128u);
+    EXPECT_EQ(o.exploreL2SizesKb[1], 256u);
+    EXPECT_EQ(toJobSpec(o).exploreL2SizesKb, o.exploreL2SizesKb);
 }
 
 TEST(Options, StreamCacheBudget)
@@ -242,6 +284,8 @@ TEST(Options, UsageMentionsEveryFlag)
          {"--workload", "--accesses", "--warmup", "--record", "--size",
           "--ways", "--block", "--repl", "--scheme", "--all",
           "--buffer-entries", "--no-silent-detection", "--l2",
+          "--l2-ways", "--l2-repl", "--l2-scheme", "--l2-vdd",
+          "--explore-l2-sizes",
           "--stats", "--stats-json", "--csv", "--chrome-trace",
           "--trace-events", "--metrics-out", "--interval-stats", "--interval",
           "--progress", "--jobs", "--stream-cache", "--vdd",

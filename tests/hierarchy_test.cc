@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Hierarchy-wide property tests (DESIGN.md §14): the inclusion
+ * invariant, per-level event-ring reconciliation against the registry
+ * counters, write-back accounting between levels, and byte-identity
+ * of the shared job documents across worker counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "app/job_runner.hh"
+#include "core/controller.hh"
+#include "core/job_spec.hh"
+#include "core/level_stack.hh"
+#include "obs/event_ring.hh"
+#include "trace/markov_stream.hh"
+#include "trace/spec_profiles.hh"
+
+namespace
+{
+
+using namespace c8t;
+using core::ControllerConfig;
+using core::LevelConfig;
+using core::LevelStack;
+
+/** 64K/4w/32B L1 over an equal-capacity 64K/8w/32B L2: the tightest
+ *  legal hierarchy, so L2 evictions (and therefore back-invalidations
+ *  of live L1 lines) happen constantly. */
+ControllerConfig
+tightHierConfig()
+{
+    ControllerConfig cfg;
+    LevelConfig l2;
+    l2.cache = mem::CacheConfig{64 * 1024, 8, 32};
+    cfg.lowerLevels.push_back(l2);
+    return cfg;
+}
+
+/** Assert every valid L1 line is L2-resident (inclusion). */
+void
+expectInclusion(const LevelStack &stack, int after_accesses)
+{
+    const mem::TagArray &l1 = stack.top().tags();
+    const mem::TagArray &l2 = stack.level(1).tags();
+    for (std::uint32_t set = 0; set < l1.config().numSets(); ++set) {
+        for (std::uint32_t way = 0; way < l1.config().ways; ++way) {
+            if (!l1.isValid(set, way))
+                continue;
+            const mem::Addr addr = l1.blockAddrAt(set, way);
+            ASSERT_TRUE(l2.probe(addr).hit)
+                << "L1 line 0x" << std::hex << addr << std::dec
+                << " not in L2 after " << after_accesses << " accesses";
+        }
+    }
+}
+
+TEST(Hierarchy, InclusionInvariantHolds)
+{
+    trace::MarkovStream gen(trace::specProfile("mcf"));
+    mem::FunctionalMemory memory;
+    LevelStack stack(tightHierConfig(), memory);
+
+    trace::MemAccess a;
+    for (int i = 1; i <= 60'000; ++i) {
+        ASSERT_TRUE(gen.next(a));
+        stack.access(a);
+        if (i % 10'000 == 0)
+            expectInclusion(stack, i);
+    }
+    // The stress must actually have exercised the maintenance path.
+    EXPECT_GT(stack.top().backInvalidations(), 0u);
+}
+
+TEST(Hierarchy, EventRingsReconcileWithCounters)
+{
+    trace::MarkovStream gen(trace::specProfile("mcf"));
+    mem::FunctionalMemory memory;
+    LevelStack stack(tightHierConfig(), memory);
+
+    obs::EventRing l1_ring(1 << 12), l2_ring(1 << 12);
+    stack.top().attachEventRing(&l1_ring);
+    stack.level(1).attachEventRing(&l2_ring);
+
+    trace::MemAccess a;
+    for (int i = 0; i < 40'000; ++i) {
+        ASSERT_TRUE(gen.next(a));
+        stack.access(a);
+    }
+    stack.drain();
+
+    const core::CacheController &l1 = stack.top();
+    const core::CacheController &l2 = stack.level(1);
+
+    // L1 lines disappear for exactly two reasons, and both record an
+    // Eviction event: a fill evicting a victim, and an L2 eviction
+    // back-invalidating the copy.
+    EXPECT_EQ(l1_ring.typeCount(obs::EventType::Eviction),
+              l1.tags().evictions() + l1.backInvalidations());
+    EXPECT_GT(l1.backInvalidations(), 0u);
+
+    // The L2 is the lowest level — nothing beneath it ever
+    // back-invalidates it, so its ring carries fill evictions only.
+    EXPECT_EQ(l2_ring.typeCount(obs::EventType::Eviction),
+              l2.tags().evictions());
+    EXPECT_EQ(l2.backInvalidations(), 0u);
+}
+
+TEST(Hierarchy, WritebackAccountingMatchesAcrossLevels)
+{
+    trace::MarkovStream gen(trace::specProfile("mcf"));
+    mem::FunctionalMemory memory;
+    ControllerConfig cfg = tightHierConfig();
+    LevelStack stack(cfg, memory);
+
+    trace::MemAccess a;
+    for (int i = 0; i < 40'000; ++i) {
+        ASSERT_TRUE(gen.next(a));
+        stack.access(a);
+    }
+
+    const core::CacheController &l1 = stack.top();
+    const core::CacheController &l2 = stack.level(1);
+
+    // Every L1 miss fetches its block from the L2 as one read request;
+    // every dirty L1 victim arrives as one word-granular write burst
+    // (block / 8 writes). Nothing else generates L2 traffic.
+    const std::uint64_t words_per_block = cfg.cache.blockBytes / 8;
+    EXPECT_EQ(l2.readRequests(), l1.tags().misses());
+    EXPECT_EQ(l2.writeRequests(),
+              l1.tags().dirtyEvictions() * words_per_block);
+    EXPECT_GT(l1.tags().dirtyEvictions(), 0u);
+}
+
+/** Run one spec through the shared job path at several worker counts
+ *  and assert the canonical result documents are byte-identical. */
+void
+expectDocumentStableAcrossWorkers(const core::JobSpec &spec)
+{
+    const std::string doc1 = app::runJobSpec(spec, 1).document;
+    for (unsigned workers : {2u, 8u}) {
+        EXPECT_EQ(doc1, app::runJobSpec(spec, workers).document)
+            << "workers=" << workers;
+    }
+}
+
+TEST(Hierarchy, SingleLevelDocumentByteIdenticalAcrossWorkers)
+{
+    core::JobSpec spec;
+    spec.workload = "spec:mcf";
+    spec.accesses = 20'000;
+    expectDocumentStableAcrossWorkers(spec);
+}
+
+TEST(Hierarchy, TwoLevelDocumentByteIdenticalAcrossWorkers)
+{
+    core::JobSpec spec;
+    spec.workload = "spec:mcf";
+    spec.accesses = 20'000;
+    core::LevelSpec l2;
+    l2.sizeKb = 128;
+    spec.levels.push_back(l2);
+    expectDocumentStableAcrossWorkers(spec);
+}
+
+} // anonymous namespace

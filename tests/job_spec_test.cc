@@ -127,8 +127,93 @@ TEST(JobSpecTest, FullSpecParses)
     EXPECT_EQ(spec.schemes.size(), 2u);
     EXPECT_EQ(spec.bufferEntries, 4u);
     EXPECT_FALSE(spec.silentDetection);
-    EXPECT_EQ(spec.l2SizeKb, 256u);
+    // "l2_kb" is the deprecated alias: a default L2 of that capacity.
+    ASSERT_EQ(spec.levels.size(), 1u);
+    EXPECT_EQ(spec.levels[0].sizeKb, 256u);
+    EXPECT_EQ(spec.levels[0].ways, 8u);
     EXPECT_DOUBLE_EQ(spec.vdd, 0.8);
+}
+
+TEST(JobSpecTest, LevelsArrayParses)
+{
+    const JobSpec spec = JobSpec::fromJsonText(
+        "{\"kind\":\"run\",\"levels\":[{\"size_kb\":512,\"ways\":16,"
+        "\"repl\":\"fifo\",\"scheme\":\"WG\",\"vdd\":0.7}]}");
+    ASSERT_EQ(spec.levels.size(), 1u);
+    EXPECT_EQ(spec.levels[0].sizeKb, 512u);
+    EXPECT_EQ(spec.levels[0].ways, 16u);
+    EXPECT_EQ(spec.levels[0].blockBytes, 0u); // inherits the L1 block
+    EXPECT_EQ(spec.levels[0].repl, mem::ReplKind::Fifo);
+    EXPECT_EQ(spec.levels[0].scheme, core::WriteScheme::WriteGrouping);
+    EXPECT_DOUBLE_EQ(spec.levels[0].vdd, 0.7);
+}
+
+TEST(JobSpecTest, UnknownLevelKeyRejected)
+{
+    expectParseError(
+        "{\"kind\":\"run\",\"levels\":[{\"size_kb\":256,\"way\":8}]}",
+        "unknown key \"way\"");
+}
+
+TEST(JobSpecTest, DuplicateLevelKeyRejected)
+{
+    expectParseError(
+        "{\"kind\":\"run\","
+        "\"levels\":[{\"size_kb\":256,\"size_kb\":512}]}",
+        "duplicate");
+}
+
+TEST(JobSpecTest, L2AliasAndLevelsAreMutuallyExclusive)
+{
+    expectParseError("{\"kind\":\"run\",\"l2_kb\":256,"
+                     "\"levels\":[{\"size_kb\":256}]}",
+                     "deprecated alias");
+}
+
+TEST(JobSpecTest, LevelSpecRoundTripsThroughCanonicalForm)
+{
+    const JobSpec spec = JobSpec::fromJsonText(
+        "{\"kind\":\"run\",\"levels\":[{\"size_kb\":256,\"ways\":8,"
+        "\"scheme\":\"RMW\",\"vdd\":0.75}]}");
+    const std::string canonical = spec.toJson();
+    // The alias never survives serialization: the canonical form
+    // carries the "levels" array.
+    EXPECT_EQ(canonical.find("l2_kb"), std::string::npos);
+    EXPECT_NE(canonical.find("\"levels\""), std::string::npos);
+    const JobSpec again = JobSpec::fromJsonText(canonical);
+    EXPECT_EQ(again.toJson(), canonical);
+    EXPECT_EQ(again.levels, spec.levels);
+}
+
+TEST(JobSpecTest, SingleLevelCanonicalFormHasNoLevelsKey)
+{
+    // The gating contract: a single-level spec serializes without any
+    // hierarchy key, byte-identical to pre-hierarchy builds.
+    JobSpec spec;
+    EXPECT_EQ(spec.toJson().find("levels"), std::string::npos);
+    EXPECT_EQ(spec.toJson().find("l2_kb"), std::string::npos);
+}
+
+TEST(JobSpecTest, LevelValidationCatchesBadShapes)
+{
+    // Block mismatch with the L1 (default 32 B) and negative vdd.
+    expectParseError(
+        "{\"kind\":\"run\",\"levels\":[{\"block\":64}]}", "block");
+    expectParseError(
+        "{\"kind\":\"run\",\"levels\":[{\"vdd\":-0.5}]}", "vdd");
+}
+
+TEST(JobSpecTest, ExploreL2SizesParses)
+{
+    const JobSpec spec = JobSpec::fromJsonText(
+        "{\"kind\":\"explore\",\"explore\":{\"sizes_kb\":[16],"
+        "\"l2_sizes_kb\":[128,256]}}");
+    ASSERT_EQ(spec.exploreL2SizesKb.size(), 2u);
+    EXPECT_EQ(spec.exploreL2SizesKb[0], 128u);
+    const std::string canonical = spec.toJson();
+    const JobSpec again = JobSpec::fromJsonText(canonical);
+    EXPECT_EQ(again.toJson(), canonical);
+    EXPECT_EQ(again.exploreL2SizesKb, spec.exploreL2SizesKb);
 }
 
 TEST(JobSpecTest, ExploreSpecParses)

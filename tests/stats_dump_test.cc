@@ -166,7 +166,7 @@ TEST(JsonDump, GoldenHandBuiltRegistry)
     reg.dumpJson(os);
     EXPECT_EQ(
         os.str(),
-        "{\"schema_version\":4,"
+        "{\"schema_version\":5,"
         "\"counters\":{\"a.count\":{\"desc\":\"events\",\"value\":3}},"
         "\"gauges\":{\"b.gauge\":{\"desc\":\"volts\",\"value\":1.5}},"
         "\"formulas\":{\"c.ratio\":{\"desc\":\"a ratio\",\"value\":0.5}},"
@@ -190,7 +190,7 @@ TEST(JsonDump, EscapesDescriptionsAndEmptyRegistry)
     std::ostringstream os2;
     empty.dumpJson(os2);
     EXPECT_EQ(os2.str(),
-              "{\"schema_version\":4,\"counters\":{},\"gauges\":{},"
+              "{\"schema_version\":5,\"counters\":{},\"gauges\":{},"
               "\"formulas\":{},\"distributions\":{}}");
 }
 
@@ -208,7 +208,7 @@ TEST(JsonDump, ControllerRegistryCarriesEveryStatKind)
     reg.dumpJson(os);
     const std::string out = os.str();
 
-    EXPECT_EQ(out.find("{\"schema_version\":4,"), 0u);
+    EXPECT_EQ(out.find("{\"schema_version\":5,"), 0u);
     for (const char *key :
          {"\"ctrl.requests\"", "\"cache.misses\"", "\"array.row_reads\"",
           "\"ctrl.group_sizes\"", "\"ctrl.read_latency\"",

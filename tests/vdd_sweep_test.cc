@@ -237,7 +237,7 @@ TEST(VddSweep, DumpJsonIsVersionedAndWellFormed)
     std::ostringstream os;
     r.dumpJson(os);
     const std::string out = os.str();
-    EXPECT_EQ(out.find("{\"schema_version\":4,\"kind\":\"vdd_sweep\""),
+    EXPECT_EQ(out.find("{\"schema_version\":5,\"kind\":\"vdd_sweep\""),
               0u);
     for (const char *key :
          {"\"workload\":\"gcc\"", "\"failure_threshold\"", "\"grid\"",

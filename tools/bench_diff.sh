@@ -5,7 +5,10 @@
 #
 #   * JSON-lines records are matched on (kind, label, workers) and
 #     compared on accesses_per_sec — kind is "sweep" for plain sweeps,
-#     "vdd" for voltage-sweep records, "explore" for design-space
+#     "vdd" for voltage-sweep records, "hierarchy" for two-level
+#     sweeps (whose l2_min_vdd map rides along for context; the
+#     record pairs and diffs on throughput like any other),
+#     "explore" for design-space
 #     explorer soaks (whose config_runs_per_sec rides along for
 #     context) and "micro" for the way-compare microbenchmark rows, so
 #     unlike kinds never pair even when they share a label; a snapshot

@@ -12,6 +12,10 @@
 #     accesses/sec),
 #   * one voltage sweep (bench/bench_vdd), which appends a kind:"vdd"
 #     record carrying the per-scheme min-Vdd alongside its throughput,
+#   * one two-level sweep (bench/bench_hierarchy, DESIGN.md §14) — a
+#     6T L1 pinned at nominal over an 8T L2 swept to near threshold —
+#     which appends a kind:"hierarchy" record (per-scheme L2 min-Vdd,
+#     level geometries, hierarchy-sweep throughput),
 #   * one design-space explore (bench/bench_explorer, DESIGN.md §12),
 #     which appends a kind:"explore" record (config-runs/sec,
 #     stream-cache hit rate, accesses/sec) from a 14,400-config-run
@@ -49,7 +53,7 @@ trap 'rm -f "$micro_json" "$sweep_jsonl"' EXIT
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" --target micro_perf fig09_access_reduction \
-    bench_vdd bench_explorer bench_daemon -j "$(nproc)"
+    bench_vdd bench_hierarchy bench_explorer bench_daemon -j "$(nproc)"
 
 build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
     "$build_dir/CMakeCache.txt")
@@ -105,6 +109,12 @@ C8T_BENCH_JSON="$sweep_jsonl" C8T_BENCH_ACCESSES=100000 C8T_PROF=1 \
 # plus throughput) alongside the sweep engine's own kind:"sweep" row.
 C8T_BENCH_JSON="$sweep_jsonl" C8T_BENCH_ACCESSES=100000 C8T_PROF=1 \
     "$build_dir/bench/bench_vdd" > /dev/null
+
+# The two-level sweep appends a kind:"hierarchy" record (per-scheme
+# L2 min-Vdd over the 6T-L1 + 8T-L2 split, hierarchy throughput) plus
+# the engine's own kind:"sweep"/"vdd" rows for the same run.
+C8T_BENCH_JSON="$sweep_jsonl" C8T_BENCH_ACCESSES=100000 C8T_PROF=1 \
+    "$build_dir/bench/bench_hierarchy" > /dev/null
 
 # The explorer soak appends one kind:"explore" record (config-runs/sec
 # plus the stream-cache hit rate over 14,400 config-runs). It sets its

@@ -46,7 +46,9 @@ using namespace c8t;
 struct ObsPlumbing
 {
     std::uint64_t ringCapacity = 0;
-    std::vector<std::unique_ptr<obs::EventRing>> rings;
+    /** One ring per (scheme, cache level): rings[i][0] is the L1's,
+     *  deeper entries follow the hierarchy (DESIGN.md §14). */
+    std::vector<std::vector<std::unique_ptr<obs::EventRing>>> rings;
     std::vector<std::unique_ptr<stats::Registry>> registries;
     std::vector<std::unique_ptr<obs::IntervalSnapshotter>> snapshotters;
     std::vector<std::string> statsText;
@@ -62,15 +64,21 @@ prepareRunner(const app::SimOptions &opt, ObsPlumbing &obs_state,
               std::size_t i, const std::string &scheme,
               core::MultiSchemeRunner &runner)
 {
-    core::CacheController &ctrl = runner.controller(0);
+    core::LevelStack &stack = runner.stack(0);
     if (obs_state.ringCapacity) {
-        obs_state.rings[i] = std::make_unique<obs::EventRing>(
-            static_cast<std::size_t>(obs_state.ringCapacity));
-        ctrl.attachEventRing(obs_state.rings[i].get());
+        obs_state.rings[i].resize(stack.depth());
+        for (std::size_t lvl = 0; lvl < stack.depth(); ++lvl) {
+            obs_state.rings[i][lvl] = std::make_unique<obs::EventRing>(
+                static_cast<std::size_t>(obs_state.ringCapacity));
+            stack.level(lvl).attachEventRing(
+                obs_state.rings[i][lvl].get());
+        }
     }
     if (obs_state.intervalOs) {
         obs_state.registries[i] = std::make_unique<stats::Registry>();
-        ctrl.registerStats(*obs_state.registries[i]);
+        // Whole-stack registration: the top level keeps the historical
+        // unprefixed names, lower levels sample under "l2."/"l3.".
+        stack.registerStats(*obs_state.registries[i]);
         obs_state.snapshotters[i] =
             std::make_unique<obs::IntervalSnapshotter>(
                 *obs_state.registries[i], *obs_state.intervalOs, scheme,
@@ -88,28 +96,43 @@ inspectRunner(const app::SimOptions &opt, ObsPlumbing &obs_state,
               std::size_t i, const std::string &scheme,
               core::MultiSchemeRunner &runner)
 {
-    core::CacheController &ctrl = runner.controller(0);
+    core::LevelStack &stack = runner.stack(0);
     if (opt.dumpStats) {
+        // Equivalent to CacheController::dumpStats for a single level;
+        // a hierarchy folds the lower levels in under their prefixes.
+        stats::Registry reg;
+        stack.registerStats(reg);
         std::ostringstream os;
-        ctrl.dumpStats(os);
+        reg.dump(os);
         obs_state.statsText[i] = os.str();
     }
     if (!opt.statsJsonFile.empty()) {
         stats::Registry reg;
-        ctrl.registerStats(reg);
+        stack.registerStats(reg);
         std::ostringstream os;
         reg.dumpJson(os);
         obs_state.statsJson[i] = os.str();
     }
-    if (obs_state.rings[i]) {
+    if (!obs_state.rings[i].empty()) {
         // pid 2 is the per-access track family (pid 1 holds the sweep
-        // worker spans); one tid per scheme.
+        // worker spans); one tid per scheme, lower cache levels on
+        // their own tids ("WG/l2", ...) so the per-level event streams
+        // stay separable in the viewer.
         if (obs::ChromeTraceWriter *trace = obs::globalTrace()) {
             trace->processName(2, "accesses");
-            obs::appendEventRing(*trace, *obs_state.rings[i], scheme, 2,
-                                 static_cast<int>(i) + 1);
+            for (std::size_t lvl = 0; lvl < obs_state.rings[i].size();
+                 ++lvl) {
+                const std::string track =
+                    lvl ? scheme + "/l" + std::to_string(lvl + 1)
+                        : scheme;
+                obs::appendEventRing(*trace, *obs_state.rings[i][lvl],
+                                     track, 2,
+                                     static_cast<int>(i) + 1 +
+                                         100 * static_cast<int>(lvl));
+            }
         }
-        ctrl.attachEventRing(nullptr);
+        for (std::size_t lvl = 0; lvl < obs_state.rings[i].size(); ++lvl)
+            stack.level(lvl).attachEventRing(nullptr);
     }
 }
 
@@ -200,8 +223,14 @@ runVddSweepCli(const app::SimOptions &opt)
         app::runJobSpec(app::toJobSpec(opt), opt.jobs);
     const core::VddSweepResult &result = *outcome.vdd;
 
-    stats::Table t("vdd sweep: " + opt.workload + " on " +
-                   opt.cache.toString() +
+    // In hierarchy mode (--l2) the grid sweeps the L2's supply while
+    // the L1 stays pinned; columns are hierarchy-wide energy.
+    const std::string subject =
+        result.hierarchy
+            ? opt.cache.toString() + " + " +
+                  std::to_string(opt.l2SizeKb) + "K L2 (L2 swept)"
+            : opt.cache.toString();
+    stats::Table t("vdd sweep: " + opt.workload + " on " + subject +
                    " (energy/access, pJ; * = not operational)");
     std::vector<std::string> header{"vdd"};
     for (const core::VddCurve &c : result.curves)
@@ -226,7 +255,9 @@ runVddSweepCli(const app::SimOptions &opt)
     else
         t.print(std::cout);
 
-    std::cout << "\nmin operational Vdd (post-ECC word failure rate <= ";
+    std::cout << "\nmin operational "
+              << (result.hierarchy ? "L2 " : "")
+              << "Vdd (post-ECC word failure rate <= ";
     std::cout << result.failureThreshold << "):";
     for (const core::VddCurve &c : result.curves) {
         std::cout << "  " << c.scheme << " ("
@@ -285,6 +316,8 @@ runExploreCli(const app::SimOptions &opt)
                     std::ostringstream cfg;
                     cfg << (p->sizeBytes >> 10) << "K/" << p->ways
                         << "w/" << p->blockBytes << "B";
+                    if (p->l2SizeBytes)
+                        cfg << "+L2:" << (p->l2SizeBytes >> 10) << "K";
                     t.addRow({w, cfg.str(), mem::toString(p->repl),
                               p->scheme, sram::toString(p->cell),
                               p->minVdd, p->energyPerAccess * 1e12,

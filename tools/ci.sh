@@ -32,7 +32,14 @@
 #      c8tsim --stats-json document for the same operating point; then
 #      exercise the SIGTERM drain — a job submitted just before the
 #      signal must still be answered and the daemon must exit 0.
-#   8. Record a Release benchmark snapshot (tools/bench_report.sh into
+#   8. Hierarchy smoke: build the two-level tests (l2_test,
+#      hierarchy_test) under the ASan tree and run them — the
+#      fetch/writeback/back-invalidation paths are the newest
+#      pointer-heavy surface — then run one two-level JobSpec through
+#      c8td and require the answer byte-identical to the one-shot
+#      c8tsim --l2 document for the same operating point (the
+#      shared-JobSpec contract extended to the hierarchy).
+#   9. Record a Release benchmark snapshot (tools/bench_report.sh into
 #      build-bench) and bench_diff it against the newest recorded
 #      BENCH_*.json in the repo root (a local, gitignored artifact —
 #      seed one with tools/bench_report.sh); any record more than
@@ -208,6 +215,48 @@ if ! [ -s "$daemon_dir/d.json" ]; then
 fi
 rm -rf "$daemon_dir"
 echo "ci: daemon bytes match one-shot; SIGTERM drain delivered finals"
+
+echo "==== hierarchy: ASan two-level tests + daemon golden diff ===="
+# The two-level paths (L2 fetch, dirty-victim write-back bursts,
+# back-invalidation on L2 eviction) are the newest pointer-heavy
+# surface; run their tests under the ASan tree built above.
+cmake --build "$repo_root/build-asan" -j "$jobs" --target \
+    l2_test hierarchy_test
+for t in l2_test hierarchy_test; do
+    echo "---- asan: $t ----"
+    "$repo_root/build-asan/tests/$t"
+done
+# One two-level JobSpec through the daemon must answer byte-identical
+# to the one-shot driver — same contract the single-level stage checks,
+# now with a "levels" array in the spec.
+hier_dir=$(mktemp -d)
+hier_sock="$hier_dir/c8td.sock"
+"$repo_root/build/tools/c8td" --socket "$hier_sock" > /dev/null &
+hier_pid=$!
+hier_up=0
+for _ in $(seq 1 100); do
+    if [ -S "$hier_sock" ]; then hier_up=1; break; fi
+    sleep 0.1
+done
+if [ "$hier_up" != 1 ]; then
+    echo "ci: c8td did not come up on $hier_sock" >&2
+    kill "$hier_pid" 2>/dev/null || true
+    exit 1
+fi
+"$repo_root/build/tools/c8tctl" --socket "$hier_sock" \
+    --output "$hier_dir/h.json" \
+    '{"kind":"run","workload":"spec:gcc","accesses":20000,"levels":[{"size_kb":256}]}'
+kill -TERM "$hier_pid"
+wait "$hier_pid"
+"$repo_root/build/tools/c8tsim" --workload spec:gcc --accesses 20000 \
+    --l2 256 --stats-json "$hier_dir/h.ref" > /dev/null
+if ! cmp -s "$hier_dir/h.json" "$hier_dir/h.ref"; then
+    echo "ci: daemon two-level answer differs from one-shot c8tsim" >&2
+    diff "$hier_dir/h.json" "$hier_dir/h.ref" >&2 || true
+    exit 1
+fi
+rm -rf "$hier_dir"
+echo "ci: two-level tests clean under ASan; daemon hierarchy bytes match"
 
 echo "==== perf: Release snapshot vs committed baseline ===="
 if [ "${C8T_CI_SKIP_PERF:-0}" = 1 ]; then
